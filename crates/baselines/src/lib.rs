@@ -1,0 +1,22 @@
+//! Baselines the paper evaluates Shadowfax against (§4.1).
+//!
+//! * [`partitioned`] — a Seastar+memcached-style **shared-nothing** server:
+//!   records are statically partitioned across cores, each core runs its own
+//!   single-threaded store, and a request that lands on the "wrong" core is
+//!   forwarded to the owning core over an in-memory message queue (Seastar's
+//!   shared-memory queues / FlowDirector steering).  This is the design whose
+//!   inter-core message passing limits scalability in Figure 9.
+//! * **Rocksteady-style migration** — implemented inside the `shadowfax`
+//!   core crate as [`MigrationMode::Rocksteady`](shadowfax::MigrationMode):
+//!   in-memory records are migrated first, then a single thread sequentially
+//!   scans the on-SSD log.  The scale-out benchmarks select it through the
+//!   server's migration configuration, so both protocols run on exactly the
+//!   same substrate (Figures 10–13).
+
+#![warn(missing_docs)]
+
+pub mod partitioned;
+
+pub use partitioned::{
+    PartitionedConfig, PartitionedStore, PartitionedStoreHandle, RoutedOp, RoutedResult,
+};

@@ -1,0 +1,412 @@
+//! A Seastar+memcached-style shared-nothing partitioned store.
+//!
+//! Records are statically partitioned across worker cores by key hash.  Each
+//! core owns a private, single-threaded in-memory store (no locks, like a
+//! memcached shard compiled against Seastar), and cores exchange requests and
+//! responses over bounded in-memory queues.  A request that arrives at a core
+//! that does not own its key is *forwarded* to the owning core and the reply
+//! travels back the same way — this software routing step is exactly the
+//! structural cost Shadowfax avoids by sharing its data structures between
+//! threads (paper §3.1, §4.2, Figure 9).
+//!
+//! The implementation exposes two usage styles:
+//!
+//! * a live mode ([`PartitionedStore::spawn`]) that runs one OS thread per
+//!   core, used by the integration tests and the cluster-behaviour examples;
+//! * measured per-operation costs ([`PartitionedStore::measure_costs`]) used
+//!   by the Figure 9 analytical model, which needs the cost of a local
+//!   operation versus one that crosses cores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use shadowfax_faster::KeyHash;
+
+/// Configuration of the partitioned baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedConfig {
+    /// Number of worker cores (each owns one shard).
+    pub cores: usize,
+    /// Value size for records created by read-modify-writes.
+    pub value_size: usize,
+}
+
+impl Default for PartitionedConfig {
+    fn default() -> Self {
+        PartitionedConfig {
+            cores: 4,
+            value_size: 256,
+        }
+    }
+}
+
+/// An operation routed between cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutedOp {
+    /// Read a key.
+    Read {
+        /// Target key.
+        key: u64,
+    },
+    /// Overwrite a key.
+    Upsert {
+        /// Target key.
+        key: u64,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Increment the 8-byte counter at the head of the value.
+    RmwAdd {
+        /// Target key.
+        key: u64,
+        /// Increment.
+        delta: u64,
+    },
+}
+
+impl RoutedOp {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            RoutedOp::Read { key } | RoutedOp::Upsert { key, .. } | RoutedOp::RmwAdd { key, .. } => *key,
+        }
+    }
+}
+
+/// The result of a routed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutedResult {
+    /// Read result.
+    Value(Option<Vec<u8>>),
+    /// New counter value.
+    Counter(u64),
+    /// Upsert acknowledged.
+    Ok,
+}
+
+/// One shard: a plain single-threaded map.  No synchronization is needed
+/// because only the owning core ever touches it — the whole point of the
+/// shared-nothing design.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Vec<u8>>,
+}
+
+impl Shard {
+    fn execute(&mut self, op: &RoutedOp, value_size: usize) -> RoutedResult {
+        match op {
+            RoutedOp::Read { key } => RoutedResult::Value(self.map.get(key).cloned()),
+            RoutedOp::Upsert { key, value } => {
+                self.map.insert(*key, value.clone());
+                RoutedResult::Ok
+            }
+            RoutedOp::RmwAdd { key, delta } => {
+                let entry = self
+                    .map
+                    .entry(*key)
+                    .or_insert_with(|| vec![0u8; value_size.max(8)]);
+                let counter = u64::from_le_bytes(entry[0..8].try_into().unwrap()).wrapping_add(*delta);
+                entry[0..8].copy_from_slice(&counter.to_le_bytes());
+                RoutedResult::Counter(counter)
+            }
+        }
+    }
+}
+
+/// A forwarded request: the operation plus the channel to reply on.
+struct Forwarded {
+    op: RoutedOp,
+    reply: Sender<RoutedResult>,
+}
+
+/// The shared-nothing partitioned store.
+pub struct PartitionedStore {
+    config: PartitionedConfig,
+    /// Per-core inboxes for forwarded requests.
+    inboxes: Vec<Sender<Forwarded>>,
+    /// Operations completed per core (throughput accounting).
+    completed: Arc<Vec<AtomicU64>>,
+    /// Operations that required cross-core forwarding.
+    forwarded: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for PartitionedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedStore")
+            .field("cores", &self.config.cores)
+            .field("completed", &self.total_completed())
+            .finish()
+    }
+}
+
+/// Join handle for the worker threads.
+pub struct PartitionedStoreHandle {
+    store: Arc<PartitionedStore>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PartitionedStoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedStoreHandle")
+            .field("threads", &self.joins.len())
+            .finish()
+    }
+}
+
+impl PartitionedStoreHandle {
+    /// The running store.
+    pub fn store(&self) -> &Arc<PartitionedStore> {
+        &self.store
+    }
+
+    /// Stops the worker threads.
+    pub fn shutdown(self) {
+        self.store.shutdown.store(true, Ordering::SeqCst);
+        for j in self.joins {
+            let _ = j.join();
+        }
+    }
+}
+
+impl PartitionedStore {
+    /// Which core owns `key`.
+    pub fn owner_core(&self, key: u64) -> usize {
+        (KeyHash::of(key).raw() % self.config.cores as u64) as usize
+    }
+
+    /// Total operations completed across all cores.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Operations that crossed cores.
+    pub fn total_forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> PartitionedConfig {
+        self.config
+    }
+
+    /// Spawns the worker threads.  Each worker drains its inbox of forwarded
+    /// requests; client threads inject work with
+    /// [`PartitionedStoreHandle::store`] + [`PartitionedStore::submit`].
+    pub fn spawn(config: PartitionedConfig) -> PartitionedStoreHandle {
+        assert!(config.cores >= 1);
+        let mut inboxes = Vec::with_capacity(config.cores);
+        let mut receivers: Vec<Receiver<Forwarded>> = Vec::with_capacity(config.cores);
+        for _ in 0..config.cores {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let completed = Arc::new((0..config.cores).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let store = Arc::new(PartitionedStore {
+            config,
+            inboxes,
+            completed: Arc::clone(&completed),
+            forwarded: Arc::new(AtomicU64::new(0)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let mut joins = Vec::with_capacity(config.cores);
+        for (core, rx) in receivers.into_iter().enumerate() {
+            let completed = Arc::clone(&completed);
+            let shutdown = Arc::clone(&store.shutdown);
+            let value_size = config.value_size;
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("seastar-core-{core}"))
+                    .spawn(move || {
+                        let mut shard = Shard::default();
+                        while !shutdown.load(Ordering::SeqCst) {
+                            let mut did_work = false;
+                            while let Ok(fwd) = rx.try_recv() {
+                                let result = shard.execute(&fwd.op, value_size);
+                                completed[core].fetch_add(1, Ordering::Relaxed);
+                                let _ = fwd.reply.send(result);
+                                did_work = true;
+                            }
+                            if !did_work {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn shard thread"),
+            );
+        }
+        PartitionedStoreHandle { store, joins }
+    }
+
+    /// Submits one operation from a client thread and waits for its result.
+    /// The operation is always forwarded to the owning core's inbox — exactly
+    /// the software routing step the shared-nothing design requires for every
+    /// request that does not happen to arrive on the right core.
+    pub fn submit(&self, op: RoutedOp) -> RoutedResult {
+        let core = self.owner_core(op.key());
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.inboxes[core]
+            .send(Forwarded { op, reply: tx })
+            .expect("shard thread has exited");
+        rx.recv().expect("shard thread dropped the reply channel")
+    }
+
+    /// Measures the baseline's two fundamental per-operation costs on this
+    /// machine: executing an operation on a local shard (no routing) and the
+    /// round trip of forwarding an operation through a same-process queue.
+    /// The Figure 9 model combines these with a core count to predict
+    /// throughput under uniform load.
+    pub fn measure_costs(iters: u64) -> PartitionedCosts {
+        // Local: single-threaded shard execution.
+        let mut shard = Shard::default();
+        let value = vec![0u8; 256];
+        for k in 0..1024u64 {
+            shard.execute(&RoutedOp::Upsert { key: k, value: value.clone() }, 256);
+        }
+        let start = Instant::now();
+        for i in 0..iters {
+            shard.execute(&RoutedOp::RmwAdd { key: i % 1024, delta: 1 }, 256);
+        }
+        let local_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Forwarded: round trip through a channel serviced by another thread.
+        let (req_tx, req_rx) = unbounded::<Forwarded>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let mut shard = Shard::default();
+            while !stop2.load(Ordering::SeqCst) {
+                while let Ok(fwd) = req_rx.try_recv() {
+                    let r = shard.execute(&fwd.op, 256);
+                    let _ = fwd.reply.send(r);
+                }
+                std::hint::spin_loop();
+            }
+        });
+        let start = Instant::now();
+        let fwd_iters = iters.min(100_000);
+        for i in 0..fwd_iters {
+            let (tx, rx) = unbounded();
+            req_tx
+                .send(Forwarded {
+                    op: RoutedOp::RmwAdd { key: i, delta: 1 },
+                    reply: tx,
+                })
+                .unwrap();
+            let _ = rx.recv();
+        }
+        let forwarded_ns = start.elapsed().as_nanos() as f64 / fwd_iters as f64;
+        stop.store(true, Ordering::SeqCst);
+        let _ = worker.join();
+
+        PartitionedCosts {
+            local_op: Duration::from_nanos(local_ns as u64),
+            forwarded_op: Duration::from_nanos(forwarded_ns as u64),
+        }
+    }
+}
+
+/// Measured per-operation costs of the partitioned baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedCosts {
+    /// Cost of an operation executed on the local shard (no routing).
+    pub local_op: Duration,
+    /// Cost of an operation forwarded to another core and answered.
+    pub forwarded_op: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_roundtrip() {
+        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 1, value_size: 64 });
+        let store = handle.store();
+        assert_eq!(
+            store.submit(RoutedOp::Upsert { key: 1, value: vec![9u8; 64] }),
+            RoutedResult::Ok
+        );
+        assert_eq!(
+            store.submit(RoutedOp::Read { key: 1 }),
+            RoutedResult::Value(Some(vec![9u8; 64]))
+        );
+        assert_eq!(store.submit(RoutedOp::Read { key: 2 }), RoutedResult::Value(None));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rmw_counters_accumulate_across_cores() {
+        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 3, value_size: 32 });
+        let store = handle.store();
+        for _ in 0..10 {
+            for key in 0..30u64 {
+                store.submit(RoutedOp::RmwAdd { key, delta: 1 });
+            }
+        }
+        for key in 0..30u64 {
+            match store.submit(RoutedOp::Read { key }) {
+                RoutedResult::Value(Some(v)) => {
+                    assert_eq!(u64::from_le_bytes(v[0..8].try_into().unwrap()), 10);
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+        }
+        assert_eq!(store.total_completed(), 10 * 30 + 30);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keys_partition_deterministically() {
+        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 4, value_size: 8 });
+        let store = handle.store();
+        for key in 0..100u64 {
+            let a = store.owner_core(key);
+            let b = store.owner_core(key);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_see_consistent_counters() {
+        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 2, value_size: 16 });
+        let store = Arc::clone(handle.store());
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            clients.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    store.submit(RoutedOp::RmwAdd { key: 7, delta: 1 });
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        match store.submit(RoutedOp::Read { key: 7 }) {
+            RoutedResult::Value(Some(v)) => {
+                assert_eq!(u64::from_le_bytes(v[0..8].try_into().unwrap()), 2000);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn measured_costs_are_sane() {
+        let costs = PartitionedStore::measure_costs(20_000);
+        assert!(costs.local_op.as_nanos() > 0);
+        assert!(
+            costs.forwarded_op > costs.local_op,
+            "forwarding through a queue must cost more than a local operation: {costs:?}"
+        );
+    }
+}

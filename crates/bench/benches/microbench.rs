@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks over the core data structures and hot paths:
+//! hash-index probes, HybridLog appends and in-place RMWs, epoch
+//! protection/cuts, Zipfian key generation, batch encode/validation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use shadowfax::{HashRange, RangeSet};
+use shadowfax_epoch::EpochManager;
+use shadowfax_faster::{Faster, FasterConfig, KeyHash};
+use shadowfax_net::{KvRequest, RequestBatch, WireSize};
+use shadowfax_storage::SimSsd;
+use shadowfax_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_faster_ops(c: &mut Criterion) {
+    let mut config = FasterConfig::small_for_tests();
+    config.table_bits = 16;
+    config.log.page_bits = 20;
+    config.log.memory_pages = 64;
+    config.log.mutable_pages = 48;
+    let store = Faster::standalone(config, Arc::new(SimSsd::new(1 << 30)));
+    let session = store.start_session();
+    let value = vec![0u8; 256];
+    for k in 0..100_000u64 {
+        session.upsert(k, &value).unwrap();
+    }
+    let mut group = c.benchmark_group("faster");
+    group.throughput(Throughput::Elements(1));
+    let mut key = 0u64;
+    group.bench_function("read_in_memory", |b| {
+        b.iter(|| {
+            key = (key + 7919) % 100_000;
+            session.read(key).unwrap()
+        })
+    });
+    group.bench_function("rmw_add_in_place", |b| {
+        b.iter(|| {
+            key = (key + 104729) % 100_000;
+            session.rmw_add(key, 1, &value).unwrap()
+        })
+    });
+    group.bench_function("upsert_same_size", |b| {
+        b.iter(|| {
+            key = (key + 15485863) % 100_000;
+            session.upsert(key, &value).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let epoch = Arc::new(EpochManager::new());
+    let thread = epoch.register();
+    let mut group = c.benchmark_group("epoch");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("protect_unprotect", |b| {
+        b.iter(|| {
+            let g = thread.protect();
+            drop(g);
+        })
+    });
+    group.bench_function("bump_with_action_uncontended", |b| {
+        b.iter(|| epoch.bump_with_action(|| {}))
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(1));
+    let mut zipf = WorkloadGenerator::new(WorkloadConfig::ycsb_f(10_000_000));
+    group.bench_function("zipfian_next_key", |b| b.iter(|| zipf.next_key()));
+    let mut uniform = WorkloadGenerator::new(WorkloadConfig::ycsb_f_uniform(10_000_000));
+    group.bench_function("uniform_next_key", |b| b.iter(|| uniform.next_key()));
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let batch = RequestBatch {
+        view: 3,
+        seq: 1,
+        ops: (0..64u64).map(|k| KvRequest::RmwAdd { key: k, delta: 1 }).collect(),
+    };
+    let owned = RangeSet::from_ranges(HashRange::FULL.split(512).into_iter().step_by(2));
+    let mut group = c.benchmark_group("ownership_validation");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("view_validation_per_batch", |b| {
+        b.iter(|| std::hint::black_box(batch.view) == std::hint::black_box(3u64))
+    });
+    group.bench_function("hash_validation_per_batch_256_splits", |b| {
+        b.iter(|| {
+            batch
+                .ops
+                .iter()
+                .filter(|op| owned.contains(KeyHash::of(op.key()).raw()))
+                .count()
+        })
+    });
+    group.bench_function("batch_wire_size", |b| b.iter(|| batch.wire_size()));
+    group.finish();
+}
+
+fn bench_hash_index(c: &mut Criterion) {
+    use shadowfax_faster::HashIndex;
+    let idx = HashIndex::new(16);
+    for key in 0..50_000u64 {
+        let h = KeyHash::of(key);
+        let (slot, entry) = idx.find_or_create_entry(h);
+        if entry.address == shadowfax_faster::INVALID_ADDRESS {
+            let _ = idx.try_update_entry(slot, entry, shadowfax_faster::Address::new(64 + key * 8));
+        }
+    }
+    let mut group = c.benchmark_group("hash_index");
+    group.throughput(Throughput::Elements(1));
+    let mut key = 0u64;
+    group.bench_function("find_entry_hit", |b| {
+        b.iter(|| {
+            key = (key + 12289) % 50_000;
+            idx.find_entry(KeyHash::of(key))
+        })
+    });
+    group.bench_function("key_hash", |b| {
+        b.iter_batched(|| key.wrapping_add(1), KeyHash::of, BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_faster_ops, bench_epoch, bench_workload, bench_validation, bench_hash_index
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 11: per-server (source and target) throughput during scale-out.
+//!
+//! The paper's shape: the source keeps most of its throughput while it
+//! collects and transmits records; the target ramps up as records arrive; in
+//! the Rocksteady variant the source loses roughly one thread's worth of
+//! throughput for the whole (much longer) disk scan.
+
+use shadowfax_bench::report::{banner, Table};
+use shadowfax_bench::timeline::{run_scaleout, ScaleOutConfig, ScaleOutVariant};
+
+fn main() {
+    banner(
+        "Figure 11 — source and target throughput during scale-out",
+        "source retains most throughput; target ramps as records arrive",
+    );
+    for variant in [
+        ScaleOutVariant::AllInMemory,
+        ScaleOutVariant::IndirectionRecords,
+        ScaleOutVariant::Rocksteady,
+    ] {
+        let result = run_scaleout(ScaleOutConfig { variant, ..ScaleOutConfig::default() });
+        let mut series = Table::new(&["t_secs", "source_kops", "target_kops"]);
+        for s in &result.samples {
+            series.row(&[
+                format!("{:.2}", s.elapsed_secs),
+                format!("{:.1}", s.source_ops / 1000.0),
+                format!("{:.1}", s.target_ops / 1000.0),
+            ]);
+        }
+        println!("--- {} (migration {:.1}s) ---", variant.label(), result.migration_secs().unwrap_or(f64::NAN));
+        println!("{}", series.render());
+        println!("CSV:\n{}", series.to_csv());
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 12: number of operations pending at the target during scale-out.
+//!
+//! The paper's shape: a flood of pending operations right after ownership
+//! transfer that drains as records arrive; with indirection records (b) a
+//! long, thin tail remains because cold records are fetched lazily from slow
+//! shared storage.
+
+use shadowfax_bench::report::{banner, Table};
+use shadowfax_bench::timeline::{run_scaleout, ScaleOutConfig, ScaleOutVariant};
+
+fn main() {
+    banner(
+        "Figure 12 — operations pending at the target during scale-out",
+        "pending spike at transfer, drains as records arrive; shared-tier tail for (b)",
+    );
+    let mut summary = Table::new(&["variant", "peak_pending", "total_ever_pended_proxy"]);
+    for variant in [
+        ScaleOutVariant::AllInMemory,
+        ScaleOutVariant::IndirectionRecords,
+        ScaleOutVariant::Rocksteady,
+    ] {
+        let result = run_scaleout(ScaleOutConfig { variant, ..ScaleOutConfig::default() });
+        let mut series = Table::new(&["t_secs", "pending_ops"]);
+        for s in &result.samples {
+            series.row(&[format!("{:.2}", s.elapsed_secs), s.target_pending.to_string()]);
+        }
+        println!("--- {} ---", variant.label());
+        println!("{}", series.render());
+        summary.row(&[
+            variant.label().to_string(),
+            result.peak_pending().to_string(),
+            result
+                .samples
+                .iter()
+                .map(|s| s.target_pending)
+                .sum::<u64>()
+                .to_string(),
+        ]);
+    }
+    println!("=== summary ===");
+    println!("{}", summary.render());
+}

@@ -1,0 +1,40 @@
+//! Figure 14: target throughput immediately after ownership transfer, with
+//! and without shipping sampled hot records.
+//!
+//! The paper's shape: with sampling the target starts serving (several
+//! Mops/s) immediately after ownership transfer; without it the ramp starts
+//! several seconds later, once enough records have been migrated.
+
+use shadowfax_bench::report::{banner, Table};
+use shadowfax_bench::timeline::{run_sampling_comparison, ScaleOutConfig};
+
+fn main() {
+    banner(
+        "Figure 14 — effect of shipping sampled hot records at ownership transfer",
+        "with sampling the target contributes throughput ~30% earlier in the scale-out",
+    );
+    let (with, without) = run_sampling_comparison(ScaleOutConfig::default());
+    let mut table = Table::new(&["t_secs", "target_kops_sampling", "target_kops_no_sampling"]);
+    for (a, b) in with.samples.iter().zip(without.samples.iter()) {
+        table.row(&[
+            format!("{:.2}", a.elapsed_secs),
+            format!("{:.1}", a.target_ops / 1000.0),
+            format!("{:.1}", b.target_ops / 1000.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let ramp = |r: &shadowfax_bench::timeline::ScaleOutResult| -> f64 {
+        r.samples
+            .iter()
+            .find(|s| s.elapsed_secs > r.migration_started_at && s.target_ops > 1000.0)
+            .map(|s| s.elapsed_secs - r.migration_started_at)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "target first serves >1 kops/s after {:.2}s (sampling) vs {:.2}s (no sampling)",
+        ramp(&with),
+        ramp(&without)
+    );
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,34 @@
+//! Figure 15: normal-case server throughput under view validation versus
+//! per-key hash validation as the number of hash splits grows.
+//!
+//! The paper reports view validation flat across splits, with hash validation
+//! ~5% slower at 16 splits and ~10% slower at 512 splits.
+
+use shadowfax_bench::calibrate::{calibrate, CalibrationConfig};
+use shadowfax_bench::model::validation_scaling;
+use shadowfax_bench::report::{banner, mops, Table};
+
+fn main() {
+    banner(
+        "Figure 15 — ownership validation: views vs per-key hash checks",
+        "view validation flat; hash validation loses 5-10% as splits grow",
+    );
+    let calibration = calibrate(CalibrationConfig::default());
+    println!(
+        "calibrated costs: view check/batch {:?}, hash check/key {:?}",
+        calibration.view_validation_per_batch, calibration.hash_validation_per_key_16_splits
+    );
+    let splits = [1usize, 2, 4, 8, 16, 32, 64, 256, 512, 2048];
+    let rows = validation_scaling(&calibration, &splits, 64, 64);
+    let mut table = Table::new(&["hash_splits", "view_validation_mops", "hash_validation_mops", "view_advantage"]);
+    for (s, view, hash) in rows {
+        table.row(&[
+            s.to_string(),
+            mops(view),
+            mops(hash),
+            format!("{:.1}%", (view / hash - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,196 @@
+//! Measurement of this machine's primitive costs.
+//!
+//! The analytical models (Figures 8, 9, 15 and Table 2) are driven by a small
+//! number of per-operation costs measured on the machine running the
+//! benchmark, so the predicted curves always reflect real code, not guessed
+//! constants.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shadowfax::{HashRange, RangeSet};
+use shadowfax_baselines::PartitionedStore;
+use shadowfax_faster::{Faster, FasterConfig, KeyHash};
+use shadowfax_net::{KvRequest, RequestBatch, WireSize};
+use shadowfax_storage::SimSsd;
+use shadowfax_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// The per-operation service time the paper's evaluation machine achieves at
+/// saturation (64 threads serving ≈130 Mops/s ⇒ ≈492 ns per operation per
+/// thread, §4.2).  Transport CPU costs in `shadowfax-net::NetworkProfile` are
+/// expressed for that machine; [`Calibration::cpu_scale_vs_paper`] converts
+/// them to this machine's speed so the *ratio* of transport cost to operation
+/// cost — which is what determines every Figure 8/9/Table 2 shape — is
+/// preserved regardless of how slow the evaluation host is.
+pub const PAPER_REFERENCE_OP: Duration = Duration::from_nanos(492);
+
+/// The measured primitive costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Service time of one YCSB-F read-modify-write against an in-memory
+    /// FASTER instance under Zipfian (θ=0.99) keys.
+    pub faster_op_zipfian: Duration,
+    /// The same under uniformly distributed keys (worse cache locality, so
+    /// typically slower — this is the paper's observation that Shadowfax is
+    /// ~1.5× faster under skew, §4.2).
+    pub faster_op_uniform: Duration,
+    /// The partitioned (Seastar-style) baseline's local shard operation cost.
+    pub partitioned_local_op: Duration,
+    /// The partitioned baseline's cross-core forward + reply cost.
+    pub partitioned_forward: Duration,
+    /// Cost of validating one batch by comparing view numbers.
+    pub view_validation_per_batch: Duration,
+    /// Cost of validating one key by hashing it and searching the owned
+    /// range set, with 16 hash splits (scaled by the model for other splits).
+    pub hash_validation_per_key_16_splits: Duration,
+}
+
+impl Calibration {
+    /// How much slower this machine executes one FASTER operation than the
+    /// paper's Azure E64_v3 vCPU ([`PAPER_REFERENCE_OP`]).  Transport CPU
+    /// costs are multiplied by this factor so that the transport-to-operation
+    /// cost ratio matches the paper's machine.
+    pub fn cpu_scale_vs_paper(&self) -> f64 {
+        (self.faster_op_zipfian.as_nanos() as f64 / PAPER_REFERENCE_OP.as_nanos() as f64).max(1.0)
+    }
+}
+
+/// Options controlling calibration effort.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationConfig {
+    /// Number of records loaded into the calibration store.
+    pub records: u64,
+    /// Operations measured per primitive.
+    pub ops: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            records: 200_000,
+            ops: 300_000,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        CalibrationConfig {
+            records: 10_000,
+            ops: 20_000,
+        }
+    }
+}
+
+/// Runs the full calibration suite.
+pub fn calibrate(config: CalibrationConfig) -> Calibration {
+    let (zipf, uniform) = measure_faster_ops(config);
+    let partitioned = PartitionedStore::measure_costs(config.ops.min(100_000));
+    let (view_batch, hash_key) = measure_validation_costs(config.ops);
+    Calibration {
+        faster_op_zipfian: zipf,
+        faster_op_uniform: uniform,
+        partitioned_local_op: partitioned.local_op,
+        partitioned_forward: partitioned.forwarded_op,
+        view_validation_per_batch: view_batch,
+        hash_validation_per_key_16_splits: hash_key,
+    }
+}
+
+/// Measures single-thread FASTER RMW service time under Zipfian and uniform
+/// key distributions, with the dataset resident in memory (the Figure 8/9
+/// configuration).
+fn measure_faster_ops(config: CalibrationConfig) -> (Duration, Duration) {
+    // Size the log so the calibration dataset stays in memory.
+    let mut faster_config = FasterConfig::small_for_tests();
+    faster_config.table_bits = 18;
+    faster_config.log.page_bits = 20;
+    faster_config.log.memory_pages = 128;
+    faster_config.log.mutable_pages = 96;
+    let store = Faster::standalone(faster_config, Arc::new(SimSsd::new(1 << 32)));
+    let session = store.start_session();
+    let value = vec![0u8; 256];
+    for k in 0..config.records {
+        session.upsert(k, &value).unwrap();
+    }
+
+    let measure = |workload: WorkloadConfig| {
+        let mut gen = WorkloadGenerator::new(workload);
+        // Warm up.
+        for _ in 0..(config.ops / 10).max(1) {
+            session.rmw_add(gen.next_key(), 1, &value).unwrap();
+        }
+        let start = Instant::now();
+        for _ in 0..config.ops {
+            session.rmw_add(gen.next_key(), 1, &value).unwrap();
+        }
+        Duration::from_nanos((start.elapsed().as_nanos() / config.ops as u128) as u64)
+    };
+
+    let zipf = measure(WorkloadConfig::ycsb_f(config.records));
+    let uniform = measure(WorkloadConfig::ycsb_f_uniform(config.records));
+    (zipf, uniform)
+}
+
+/// Measures the per-batch view-validation cost and the per-key hash-range
+/// validation cost (16 splits), i.e. the two sides of Figure 15.
+fn measure_validation_costs(ops: u64) -> (Duration, Duration) {
+    let batch = RequestBatch {
+        view: 7,
+        seq: 1,
+        ops: (0..64u64).map(|k| KvRequest::RmwAdd { key: k, delta: 1 }).collect(),
+    };
+    let iters = (ops / 64).max(1_000);
+
+    // View validation: one integer comparison per batch.
+    let serving_view = 7u64;
+    let start = Instant::now();
+    let mut accepted = 0u64;
+    for i in 0..iters {
+        // Vary the tagged view slightly so the comparison cannot be hoisted.
+        let tagged = if i % 1024 == 0 { 6 } else { batch.view };
+        if tagged == serving_view {
+            accepted += 1;
+        }
+    }
+    let view_batch = Duration::from_nanos((start.elapsed().as_nanos() / iters as u128) as u64);
+    assert!(accepted > 0);
+
+    // Hash validation: hash every key and search the owned range set.
+    let owned: Vec<HashRange> = HashRange::FULL.split(32).into_iter().step_by(2).collect();
+    let owned = RangeSet::from_ranges(owned);
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..iters {
+        for op in &batch.ops {
+            if owned.contains(KeyHash::of(op.key()).raw()) {
+                hits += 1;
+            }
+        }
+    }
+    let per_key =
+        Duration::from_nanos((start.elapsed().as_nanos() / (iters as u128 * 64)) as u64);
+    assert!(hits > 0);
+    let _ = batch.wire_size();
+    (view_batch, per_key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_calibration_produces_plausible_costs() {
+        let c = calibrate(CalibrationConfig::quick());
+        // An in-memory FASTER RMW is sub-10µs even on a slow shared vCPU.
+        assert!(c.faster_op_zipfian > Duration::ZERO);
+        assert!(c.faster_op_zipfian < Duration::from_micros(100));
+        assert!(c.faster_op_uniform > Duration::ZERO);
+        // Forwarding across cores must cost more than a local shard op.
+        assert!(c.partitioned_forward > c.partitioned_local_op);
+        // Hash validation per key costs something; view validation per batch
+        // is at most a handful of nanoseconds.
+        assert!(c.view_validation_per_batch <= Duration::from_nanos(200));
+    }
+}

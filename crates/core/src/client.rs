@@ -1,0 +1,264 @@
+//! The Shadowfax client library (paper §3.1.1).
+//!
+//! Each client thread owns one [`ShadowfaxClient`].  The library keeps a
+//! cached copy of the cluster's ownership mappings (refreshed from the
+//! metadata store on demand), one pipelined session per server, and issues
+//! fully asynchronous operations: `issue_*` buffers the operation with a
+//! completion callback and returns immediately; [`ShadowfaxClient::poll`]
+//! drains replies, runs callbacks, and re-routes any operations that were
+//! parked by view-mismatch rejections after refreshing the ownership cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use shadowfax_faster::KeyHash;
+use shadowfax_net::{ClientSession, KvRequest, KvResponse, SessionConfig};
+
+use crate::config::ClientConfig;
+use crate::meta::{MetadataStore, OwnershipSnapshot};
+use crate::server::KvNetwork;
+use crate::ServerId;
+
+/// Callback type used by the asynchronous operation API.
+pub type OpCallback = Box<dyn FnOnce(KvResponse) + Send>;
+
+/// Counters kept by a client instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations completed (callback executed).
+    pub completed: u64,
+    /// Ownership-cache refreshes triggered by batch rejections.
+    pub ownership_refreshes: u64,
+    /// Operations re-routed after a rejection.
+    pub rerouted: u64,
+}
+
+/// A per-thread Shadowfax client.
+pub struct ShadowfaxClient {
+    config: ClientConfig,
+    meta: Arc<MetadataStore>,
+    net: Arc<KvNetwork>,
+    ownership: OwnershipSnapshot,
+    sessions: HashMap<ServerId, ClientSession>,
+    completed: Arc<AtomicU64>,
+    stats: ClientStats,
+}
+
+impl std::fmt::Debug for ShadowfaxClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowfaxClient")
+            .field("thread", &self.config.thread_id)
+            .field("sessions", &self.sessions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ShadowfaxClient {
+    /// Creates a client bound to the given metadata store and fabric.
+    pub fn new(config: ClientConfig, meta: Arc<MetadataStore>, net: Arc<KvNetwork>) -> Self {
+        let ownership = meta.snapshot();
+        ShadowfaxClient {
+            config,
+            meta,
+            net,
+            ownership,
+            sessions: HashMap::new(),
+            completed: Arc::new(AtomicU64::new(0)),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Client counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Operations whose callbacks have run (shared counter usable from
+    /// callbacks created by the convenience helpers).
+    pub fn completed_ops(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Operations issued but not yet completed across all sessions.
+    pub fn outstanding_ops(&self) -> usize {
+        self.sessions.values().map(|s| s.outstanding_ops()).sum()
+    }
+
+    /// Refreshes the cached ownership mappings from the metadata store.
+    pub fn refresh_ownership(&mut self) {
+        self.ownership = self.meta.snapshot();
+        self.stats.ownership_refreshes += 1;
+        // Update the view stamped by existing sessions.
+        for (server, session) in self.sessions.iter_mut() {
+            if let Some(m) = self.ownership.server(*server) {
+                session.set_view(m.view);
+            }
+        }
+    }
+
+    fn owner_for_key(&self, key: u64) -> Option<ServerId> {
+        let hash = KeyHash::of(key).raw();
+        self.ownership.owner_of(hash).map(|(id, _)| id)
+    }
+
+    fn session_for(&mut self, server: ServerId) -> Option<&mut ClientSession> {
+        if !self.sessions.contains_key(&server) {
+            let meta = self.ownership.server(server)?.clone();
+            let thread = self.config.thread_id % meta.threads.max(1);
+            let addr = format!("{}/t{}", meta.address, thread);
+            let conn = self.net.connect(&addr)?;
+            let session = ClientSession::new(conn, meta.view, self.config.session);
+            self.sessions.insert(server, session);
+        }
+        self.sessions.get_mut(&server)
+    }
+
+    /// Issues an arbitrary request with a completion callback.  Returns
+    /// `false` if no server currently owns the key's hash (the caller should
+    /// refresh ownership and retry).
+    pub fn issue(&mut self, request: KvRequest, callback: OpCallback) -> bool {
+        let Some(owner) = self.owner_for_key(request.key()) else {
+            return false;
+        };
+        self.stats.issued += 1;
+        let Some(session) = self.session_for(owner) else {
+            return false;
+        };
+        session.issue(request, callback);
+        true
+    }
+
+    /// Issues an asynchronous read.
+    pub fn issue_read(&mut self, key: u64, callback: OpCallback) -> bool {
+        self.issue(KvRequest::Read { key }, callback)
+    }
+
+    /// Issues an asynchronous upsert.
+    pub fn issue_upsert(&mut self, key: u64, value: Vec<u8>, callback: OpCallback) -> bool {
+        self.issue(KvRequest::Upsert { key, value }, callback)
+    }
+
+    /// Issues an asynchronous read-modify-write (counter increment).
+    pub fn issue_rmw(&mut self, key: u64, delta: u64, callback: OpCallback) -> bool {
+        self.issue(KvRequest::RmwAdd { key, delta }, callback)
+    }
+
+    /// Flushes partially filled batches on every session.
+    pub fn flush(&mut self) {
+        for session in self.sessions.values_mut() {
+            session.flush();
+        }
+    }
+
+    /// Drains replies, runs callbacks, refreshes ownership after rejections,
+    /// and re-routes parked operations.  Returns the number of operations
+    /// completed by this call.
+    pub fn poll(&mut self) -> usize {
+        let mut completed = 0;
+        let mut needs_refresh = false;
+        for session in self.sessions.values_mut() {
+            completed += session.poll();
+            if session.stale_view().is_some() {
+                needs_refresh = true;
+            }
+        }
+        self.stats.completed += completed as u64;
+        if needs_refresh {
+            self.refresh_ownership();
+            // Collect parked operations and re-route them: ownership may have
+            // moved them to a different server entirely.
+            let parked: Vec<(KvRequest, OpCallback)> = self
+                .sessions
+                .values_mut()
+                .flat_map(|s| s.take_parked())
+                .collect();
+            for (req, cb) in parked {
+                self.stats.rerouted += 1;
+                self.stats.issued = self.stats.issued.saturating_sub(1); // re-issue, not a new op
+                if !self.issue(req, cb) {
+                    // Ownership is momentarily unknown; drop back to parked on
+                    // the next poll via a fresh refresh.
+                }
+            }
+            self.flush();
+        }
+        completed
+    }
+
+    /// Issues an operation and spins (polling) until its reply arrives.
+    /// Convenience for examples, tests, and load phases — not the hot path.
+    pub fn execute_sync(&mut self, request: KvRequest) -> KvResponse {
+        use parking_lot::Mutex;
+        let slot: Arc<Mutex<Option<KvResponse>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let completed = Arc::clone(&self.completed);
+        let issued = self.issue(
+            request,
+            Box::new(move |resp| {
+                completed.fetch_add(1, Ordering::Relaxed);
+                *slot2.lock() = Some(resp);
+            }),
+        );
+        if !issued {
+            return KvResponse::Error("no owner for key".into());
+        }
+        self.flush();
+        let start = std::time::Instant::now();
+        loop {
+            self.poll();
+            if let Some(resp) = slot.lock().take() {
+                return resp;
+            }
+            if start.elapsed() > std::time::Duration::from_secs(30) {
+                return KvResponse::Error("timed out waiting for reply".into());
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Synchronously reads a key.
+    pub fn read(&mut self, key: u64) -> Option<Vec<u8>> {
+        match self.execute_sync(KvRequest::Read { key }) {
+            KvResponse::Value(v) => v,
+            _ => None,
+        }
+    }
+
+    /// Synchronously writes a key.
+    pub fn upsert(&mut self, key: u64, value: Vec<u8>) -> bool {
+        matches!(self.execute_sync(KvRequest::Upsert { key, value }), KvResponse::Ok)
+    }
+
+    /// Synchronously increments a key's counter, returning the new value.
+    pub fn rmw_add(&mut self, key: u64, delta: u64) -> Option<u64> {
+        match self.execute_sync(KvRequest::RmwAdd { key, delta }) {
+            KvResponse::Counter(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Waits until every outstanding operation has completed (or the timeout
+    /// expires).  Returns `true` if the client became quiescent.
+    pub fn drain(&mut self, timeout: std::time::Duration) -> bool {
+        let start = std::time::Instant::now();
+        self.flush();
+        while self.outstanding_ops() > 0 {
+            self.poll();
+            self.flush();
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// The session configuration in force.
+    pub fn session_config(&self) -> SessionConfig {
+        self.config.session
+    }
+}

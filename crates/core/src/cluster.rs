@@ -1,0 +1,301 @@
+//! In-process cluster assembly.
+//!
+//! The paper's deployment is a set of Azure VMs, a ZooKeeper ensemble, and an
+//! Azure blob storage account.  [`Cluster`] assembles the equivalent inside
+//! one process: a metadata store, a simulated client/server fabric, a
+//! simulated migration fabric, a shared blob tier, and `n` servers whose
+//! dispatch threads run on real OS threads.  Examples, integration tests and
+//! the benchmark harness all build clusters through this type.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use shadowfax_net::NetworkProfile;
+use shadowfax_storage::SharedBlobTier;
+
+use crate::client::ShadowfaxClient;
+use crate::config::{ClientConfig, ServerConfig};
+use crate::hash_range::{partition_space, HashRange, RangeSet};
+use crate::meta::MetadataStore;
+use crate::server::{KvNetwork, MigrationNetwork, Server, ServerHandle};
+use crate::ServerId;
+
+/// Options controlling cluster assembly.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-server configuration template (the id field is overwritten).
+    pub server_template: ServerConfig,
+    /// Number of servers to start.
+    pub servers: usize,
+    /// Network cost profile for the client/server fabric.
+    pub kv_profile: NetworkProfile,
+    /// Network cost profile for the server/server (migration) fabric.
+    pub migration_profile: NetworkProfile,
+    /// Capacity of each server's log space on the shared blob tier.
+    pub shared_tier_capacity: u64,
+    /// If `false`, the last server is started with no owned ranges (an idle
+    /// scale-out target, as in the Figure 10 experiments).
+    pub assign_ranges_to_all: bool,
+}
+
+impl ClusterConfig {
+    /// A small two-server configuration used by tests and examples: server 0
+    /// owns the whole hash space, server 1 is an idle scale-out target.
+    pub fn two_server_test() -> Self {
+        ClusterConfig {
+            server_template: ServerConfig::small_for_tests(ServerId(0)),
+            servers: 2,
+            kv_profile: NetworkProfile::instant(),
+            migration_profile: NetworkProfile::instant(),
+            shared_tier_capacity: 1 << 30,
+            assign_ranges_to_all: false,
+        }
+    }
+
+    /// An `n`-server configuration with the hash space split evenly.
+    pub fn balanced(n: usize) -> Self {
+        ClusterConfig {
+            server_template: ServerConfig::small_for_tests(ServerId(0)),
+            servers: n,
+            kv_profile: NetworkProfile::instant(),
+            migration_profile: NetworkProfile::instant(),
+            shared_tier_capacity: 1 << 30,
+            assign_ranges_to_all: true,
+        }
+    }
+}
+
+/// A running in-process cluster.
+pub struct Cluster {
+    meta: Arc<MetadataStore>,
+    kv_net: Arc<KvNetwork>,
+    mig_net: Arc<MigrationNetwork>,
+    shared_tier: Arc<SharedBlobTier>,
+    handles: Vec<ServerHandle>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds and starts a cluster.
+    pub fn start(config: ClusterConfig) -> Self {
+        assert!(config.servers >= 1);
+        let meta = MetadataStore::new();
+        let kv_net: Arc<KvNetwork> = KvNetwork::new(config.kv_profile);
+        let mig_net: Arc<MigrationNetwork> = MigrationNetwork::new(config.migration_profile);
+        let shared_tier = SharedBlobTier::new(config.shared_tier_capacity);
+
+        // Initial ownership: either split evenly over every server or give
+        // everything to server 0 and leave the rest idle (scale-out targets).
+        let owners = if config.assign_ranges_to_all {
+            config.servers
+        } else {
+            1
+        };
+        let parts = partition_space(owners);
+
+        let mut handles = Vec::with_capacity(config.servers);
+        for i in 0..config.servers {
+            let mut server_config = config.server_template.clone();
+            server_config.id = ServerId(i as u32);
+            let ranges = if i < owners {
+                RangeSet::from_ranges([parts[i]])
+            } else {
+                RangeSet::empty()
+            };
+            let server = Server::new(
+                server_config,
+                ranges,
+                Arc::clone(&meta),
+                Arc::clone(&kv_net),
+                Arc::clone(&mig_net),
+                Arc::clone(&shared_tier),
+            );
+            handles.push(server.spawn_threads());
+        }
+        Cluster {
+            meta,
+            kv_net,
+            mig_net,
+            shared_tier,
+            handles,
+        }
+    }
+
+    /// The metadata store.
+    pub fn meta(&self) -> &Arc<MetadataStore> {
+        &self.meta
+    }
+
+    /// The client/server fabric (used to build additional clients).
+    pub fn kv_network(&self) -> &Arc<KvNetwork> {
+        &self.kv_net
+    }
+
+    /// The server/server migration fabric.
+    pub fn migration_network(&self) -> &Arc<MigrationNetwork> {
+        &self.mig_net
+    }
+
+    /// The shared blob tier.
+    pub fn shared_tier(&self) -> &Arc<SharedBlobTier> {
+        &self.shared_tier
+    }
+
+    /// The running servers.
+    pub fn servers(&self) -> Vec<Arc<Server>> {
+        self.handles.iter().map(|h| Arc::clone(h.server())).collect()
+    }
+
+    /// One server by id.
+    pub fn server(&self, id: ServerId) -> Option<Arc<Server>> {
+        self.handles
+            .iter()
+            .map(|h| h.server())
+            .find(|s| s.id() == id)
+            .cloned()
+    }
+
+    /// Builds a client bound to this cluster.
+    pub fn client(&self, config: ClientConfig) -> ShadowfaxClient {
+        ShadowfaxClient::new(config, Arc::clone(&self.meta), Arc::clone(&self.kv_net))
+    }
+
+    /// Total operations completed across every server.
+    pub fn total_completed_ops(&self) -> u64 {
+        self.handles.iter().map(|h| h.server().completed_ops()).sum()
+    }
+
+    /// Starts migrating `fraction` of `source`'s first owned range to
+    /// `target`.  Returns the migration id.
+    pub fn migrate_fraction(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        fraction: f64,
+    ) -> Result<u64, String> {
+        let src = self.server(source).ok_or("unknown source server")?;
+        let owned = src.owned_ranges();
+        let first = owned
+            .ranges()
+            .first()
+            .copied()
+            .ok_or("source owns no ranges")?;
+        let moving = first.take_fraction(fraction);
+        src.start_migration(vec![moving], target)
+    }
+
+    /// Starts migrating an explicit set of ranges.
+    pub fn migrate_ranges(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        ranges: Vec<HashRange>,
+    ) -> Result<u64, String> {
+        let src = self.server(source).ok_or("unknown source server")?;
+        src.start_migration(ranges, target)
+    }
+
+    /// Removes and returns the handle of server `id`, if it is running.
+    /// Used by crash simulation ([`Cluster::crash_server`]) and scale-in.
+    pub(crate) fn take_handle(&mut self, id: ServerId) -> Option<ServerHandle> {
+        let pos = self.handles.iter().position(|h| h.server().id() == id)?;
+        Some(self.handles.remove(pos))
+    }
+
+    /// Adds a newly started server to the cluster (used by crash recovery).
+    pub(crate) fn push_handle(&mut self, handle: ServerHandle) {
+        self.handles.push(handle);
+    }
+
+    /// Adds a brand-new, initially empty server to the running cluster — the
+    /// "provision a new VM" half of elastic scale-out.  The server starts
+    /// with no owned ranges; move load onto it with
+    /// [`Cluster::migrate_fraction`] or [`Cluster::migrate_ranges`].
+    pub fn add_server(&mut self, config: ServerConfig) -> Result<ServerId, String> {
+        if self.server(config.id).is_some() {
+            return Err(format!("server {} is already running", config.id));
+        }
+        let server = Server::new(
+            config,
+            RangeSet::empty(),
+            Arc::clone(&self.meta),
+            Arc::clone(&self.kv_net),
+            Arc::clone(&self.mig_net),
+            Arc::clone(&self.shared_tier),
+        );
+        let id = server.id();
+        self.handles.push(server.spawn_threads());
+        Ok(id)
+    }
+
+    /// Elastic scale-in: migrates every range `from` owns to `to`, waits for
+    /// the migration to become durable, deregisters `from` from the metadata
+    /// store, and stops its dispatch threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either server is unknown, if the migration cannot start, or
+    /// if it does not complete within `timeout` (in which case the server is
+    /// left running and still registered).
+    pub fn scale_in(
+        &mut self,
+        from: ServerId,
+        to: ServerId,
+        timeout: Duration,
+    ) -> Result<(), String> {
+        let src = self.server(from).ok_or_else(|| format!("unknown server {from}"))?;
+        self.server(to).ok_or_else(|| format!("unknown server {to}"))?;
+        let ranges = src.owned_ranges().ranges().to_vec();
+        if !ranges.is_empty() {
+            self.migrate_ranges(from, to, ranges)?;
+            if !self.wait_for_migrations(timeout) {
+                return Err(format!(
+                    "scale-in migration from {from} to {to} did not complete within {timeout:?}"
+                ));
+            }
+        }
+        self.meta.deregister_server(from);
+        let handle = self
+            .take_handle(from)
+            .ok_or_else(|| format!("unknown server {from}"))?;
+        handle.shutdown();
+        Ok(())
+    }
+
+    /// Waits until no server has a migration in flight (or the timeout
+    /// expires).  Returns `true` if the cluster became quiescent.
+    pub fn wait_for_migrations(&self, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        loop {
+            let busy = self
+                .handles
+                .iter()
+                .any(|h| h.server().migration_in_progress())
+                || self.meta.pending_migrations() > 0;
+            if !busy {
+                return true;
+            }
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops every server and waits for its threads to exit.
+    pub fn shutdown(self) {
+        for h in &self.handles {
+            h.server().request_shutdown();
+        }
+        for h in self.handles {
+            h.shutdown();
+        }
+    }
+}

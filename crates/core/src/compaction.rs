@@ -1,0 +1,126 @@
+//! Log compaction with lazy indirection-record cleanup (paper §3.3.3).
+//!
+//! Servers must periodically compact their logs anyway, to drop stale record
+//! versions from the shared tier.  Shadowfax piggybacks the cleanup of
+//! cross-log dependencies on that pass:
+//!
+//! * A live record whose hash range this server **no longer owns** is shipped
+//!   to the range's current owner instead of being kept.  On receipt the
+//!   owner inserts it only if its own latest version for the key is still an
+//!   indirection record — i.e. the key was never fetched from the shared tier
+//!   after migration — otherwise the copy is discarded
+//!   ([`crate::messages::MigrationMsg::CompactionHandoff`]).
+//! * An indirection record whose contained hash range this server no longer
+//!   owns is dropped (the owner keeps its own copy).
+//! * Everything else that is still live is kept: it is re-appended at the
+//!   tail and survives the truncation of the compacted prefix.
+//!
+//! Barring normal-case request processing, this is the only time records that
+//! are not in main memory are read, and it happens during the sequential I/O
+//! of compaction — which has to be done anyway.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use shadowfax_faster::{compact_until, record_is_foreign, CompactionStats, Disposition, KeyHash};
+
+use crate::indirection::IndirectionRecord;
+use crate::messages::MigrationMsg;
+use crate::server::{Server, ServerMigConn};
+use crate::ServerId;
+
+/// The result of one [`Server::compact_log`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Raw compaction statistics (records scanned / kept / stale / ...).
+    pub stats: CompactionStats,
+    /// Live records handed off to their current owner because this server no
+    /// longer owns their hash range.
+    pub handed_off_records: u64,
+    /// Indirection records dropped because their range is no longer owned.
+    pub dropped_indirections: u64,
+    /// Records that should have been handed off but could not be (their
+    /// owner was unreachable); they were kept locally so no data is lost.
+    pub kept_unreachable: u64,
+}
+
+impl Server {
+    /// Compacts everything below the log's read-only boundary, handing
+    /// records this server no longer owns to their current owner and dropping
+    /// indirection records for ranges it no longer owns (paper §3.3.3).
+    pub fn compact_log(self: &Arc<Self>) -> CompactionOutcome {
+        let session = self.store.start_session();
+        let owned_pairs: Vec<(u64, u64)> = self
+            .owned
+            .read()
+            .ranges()
+            .iter()
+            .map(|r| (r.start, r.end))
+            .collect();
+        let snapshot = self.meta.snapshot();
+        let my_id = self.id();
+        let mig_net = Arc::clone(&self.mig_net);
+
+        let mut conns: HashMap<ServerId, Option<ServerMigConn>> = HashMap::new();
+        let mut handed_off_records = 0u64;
+        let mut dropped_indirections = 0u64;
+        let mut kept_unreachable = 0u64;
+
+        let until = self.store.log().read_only_address();
+        let stats = compact_until(&self.store, &session, until, |record| {
+            if record.is_indirection() {
+                // Indirection records are keyed by a representative hash, so
+                // ownership is decided by the range stored in their payload.
+                let still_owned = IndirectionRecord::decode_value(record.value())
+                    .map(|ind| owned_pairs.iter().any(|(s, e)| ind.range.start < *e && *s < ind.range.end))
+                    .unwrap_or(false);
+                return if still_owned {
+                    Disposition::Keep
+                } else {
+                    dropped_indirections += 1;
+                    Disposition::Discard
+                };
+            }
+            if !record_is_foreign(record, &owned_pairs) {
+                return Disposition::Keep;
+            }
+            // The record belongs to a range this server migrated away: ship it
+            // to whoever owns the range now.
+            let hash = KeyHash::of(record.key()).raw();
+            let owner = snapshot.owner_of(hash).map(|(id, _)| id).filter(|id| *id != my_id);
+            let Some(owner) = owner else {
+                // Unknown or self-owned (ownership raced back): keep it.
+                kept_unreachable += 1;
+                return Disposition::Keep;
+            };
+            let conn = conns.entry(owner).or_insert_with(|| {
+                snapshot
+                    .server(owner)
+                    .and_then(|m| mig_net.connect(&format!("{}/m0", m.address)))
+            });
+            match conn {
+                Some(conn) => {
+                    conn.send(MigrationMsg::CompactionHandoff {
+                        key: record.key(),
+                        value: record.value().to_vec(),
+                    });
+                    // Drain acknowledgements/noise so the channel never backs up.
+                    while conn.try_recv().is_some() {}
+                    handed_off_records += 1;
+                    Disposition::Handled
+                }
+                None => {
+                    kept_unreachable += 1;
+                    Disposition::Keep
+                }
+            }
+        });
+
+        CompactionOutcome {
+            stats,
+            handed_off_records,
+            dropped_indirections,
+            kept_unreachable,
+        }
+    }
+}

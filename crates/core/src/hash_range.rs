@@ -1,0 +1,312 @@
+//! Hash-range ownership.
+//!
+//! Shadowfax hash-partitions records across servers (paper §3): each server
+//! owns a set of half-open ranges `[start, end)` of the 64-bit key-hash
+//! space, and ownership moves between servers in units of ranges.  The hash
+//! used is exactly the one the FASTER index uses for bucket selection
+//! ([`shadowfax_faster::KeyHash`]), so clients, servers, and migration all
+//! agree on which range a key belongs to.
+
+use serde::{Deserialize, Serialize};
+use shadowfax_faster::KeyHash;
+
+/// A half-open range `[start, end)` of the 64-bit hash space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HashRange {
+    /// Inclusive lower bound.
+    pub start: u64,
+    /// Exclusive upper bound (`u64::MAX` is treated as "to the top", and the
+    /// top value itself is included in the final range so the whole space is
+    /// coverable).
+    pub end: u64,
+}
+
+impl HashRange {
+    /// The full hash space.
+    pub const FULL: HashRange = HashRange { start: 0, end: u64::MAX };
+
+    /// Creates a range.  `start` must not exceed `end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "invalid hash range [{start}, {end})");
+        HashRange { start, end }
+    }
+
+    /// `true` if `hash` falls within this range.
+    pub fn contains(&self, hash: u64) -> bool {
+        hash >= self.start && (hash < self.end || (self.end == u64::MAX && hash == u64::MAX))
+    }
+
+    /// `true` if `key`'s hash falls within this range.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.contains(KeyHash::of(key).raw())
+    }
+
+    /// The number of hash values covered (saturating).
+    pub fn width(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Splits the range into `n` nearly equal sub-ranges.
+    pub fn split(&self, n: usize) -> Vec<HashRange> {
+        assert!(n > 0);
+        let n64 = n as u64;
+        let step = self.width() / n64;
+        let mut out = Vec::with_capacity(n);
+        let mut start = self.start;
+        for i in 0..n64 {
+            let end = if i == n64 - 1 { self.end } else { start + step };
+            out.push(HashRange::new(start, end));
+            start = end;
+        }
+        out
+    }
+
+    /// The prefix of this range covering roughly `fraction` of its width
+    /// (used by the scale-out experiments, which migrate "10% of a server's
+    /// hash range").
+    pub fn take_fraction(&self, fraction: f64) -> HashRange {
+        assert!((0.0..=1.0).contains(&fraction));
+        let w = (self.width() as f64 * fraction) as u64;
+        HashRange::new(self.start, self.start + w)
+    }
+
+    /// `true` if the two ranges overlap.
+    pub fn overlaps(&self, other: &HashRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl std::fmt::Display for HashRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#018x}, {:#018x})", self.start, self.end)
+    }
+}
+
+/// A set of owned ranges with membership and set-algebra helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeSet {
+    ranges: Vec<HashRange>,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn empty() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// A set holding the full hash space.
+    pub fn full() -> Self {
+        RangeSet { ranges: vec![HashRange::FULL] }
+    }
+
+    /// Builds a set from ranges, normalizing (sorting and merging adjacent
+    /// ranges).
+    pub fn from_ranges(ranges: impl IntoIterator<Item = HashRange>) -> Self {
+        let mut set = RangeSet {
+            ranges: ranges.into_iter().filter(|r| r.width() > 0).collect(),
+        };
+        set.normalize();
+        set
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_by_key(|r| r.start);
+        let mut merged: Vec<HashRange> = Vec::with_capacity(self.ranges.len());
+        for r in self.ranges.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.end >= r.start => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// The ranges in the set, sorted and non-overlapping.
+    pub fn ranges(&self) -> &[HashRange] {
+        &self.ranges
+    }
+
+    /// Number of disjoint ranges ("hash splits" in Figure 15).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Membership test for a raw hash value.  Binary search over the sorted
+    /// ranges — this is the "trie of owned hash ranges" lookup the paper's
+    /// Hash Validation baseline performs per key (Figure 15).
+    pub fn contains(&self, hash: u64) -> bool {
+        match self.ranges.binary_search_by(|r| {
+            if hash < r.start {
+                std::cmp::Ordering::Greater
+            } else if r.contains(hash) {
+                std::cmp::Ordering::Equal
+            } else {
+                std::cmp::Ordering::Less
+            }
+        }) {
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test for a key.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.contains(KeyHash::of(key).raw())
+    }
+
+    /// Adds ranges to the set.
+    pub fn add(&mut self, ranges: &[HashRange]) {
+        self.ranges.extend_from_slice(ranges);
+        self.normalize();
+    }
+
+    /// Removes ranges from the set (exact or partial overlaps are handled).
+    pub fn remove(&mut self, ranges: &[HashRange]) {
+        for r in ranges {
+            let mut next = Vec::with_capacity(self.ranges.len() + 1);
+            for own in self.ranges.drain(..) {
+                if !own.overlaps(r) {
+                    next.push(own);
+                    continue;
+                }
+                if own.start < r.start {
+                    next.push(HashRange::new(own.start, r.start));
+                }
+                if r.end < own.end {
+                    next.push(HashRange::new(r.end, own.end));
+                }
+            }
+            self.ranges = next;
+        }
+        self.normalize();
+    }
+
+    /// Sum of the widths of all ranges.
+    pub fn total_width(&self) -> u64 {
+        self.ranges.iter().map(|r| r.width()).sum()
+    }
+}
+
+/// Partitions the full hash space evenly across `n` servers, returning one
+/// range per server (cluster bootstrap).
+pub fn partition_space(n: usize) -> Vec<HashRange> {
+    HashRange::FULL.split(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_bounds() {
+        let r = HashRange::new(100, 200);
+        assert!(r.contains(100));
+        assert!(r.contains(199));
+        assert!(!r.contains(200));
+        assert!(!r.contains(99));
+    }
+
+    #[test]
+    fn full_range_contains_everything() {
+        assert!(HashRange::FULL.contains(0));
+        assert!(HashRange::FULL.contains(u64::MAX));
+        assert!(HashRange::FULL.contains_key(42));
+    }
+
+    #[test]
+    fn split_covers_whole_range_without_overlap() {
+        let parts = HashRange::FULL.split(8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts[7].end, u64::MAX);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Every hash belongs to exactly one part.
+        for h in [0u64, 1, u64::MAX / 3, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            assert_eq!(parts.iter().filter(|p| p.contains(h)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn take_fraction_is_proportional() {
+        let r = HashRange::new(0, 1000);
+        let tenth = r.take_fraction(0.1);
+        assert_eq!(tenth, HashRange::new(0, 100));
+    }
+
+    #[test]
+    fn rangeset_membership_and_splits() {
+        let set = RangeSet::from_ranges(HashRange::FULL.split(16));
+        assert_eq!(set.len(), 1, "adjacent splits merge back into one range");
+        let alternating: Vec<HashRange> = HashRange::FULL
+            .split(16)
+            .into_iter()
+            .step_by(2)
+            .collect();
+        let set = RangeSet::from_ranges(alternating.clone());
+        assert_eq!(set.len(), 8);
+        for r in &alternating {
+            assert!(set.contains(r.start));
+            assert!(set.contains(r.start + r.width() / 2));
+        }
+        // Gaps are not contained.
+        let gaps: Vec<HashRange> = HashRange::FULL.split(16).into_iter().skip(1).step_by(2).collect();
+        for g in &gaps {
+            assert!(!set.contains(g.start + 1));
+        }
+    }
+
+    #[test]
+    fn rangeset_add_and_remove() {
+        let mut set = RangeSet::full();
+        let removed = HashRange::new(1000, 2000);
+        set.remove(&[removed]);
+        assert!(!set.contains(1500));
+        assert!(set.contains(999));
+        assert!(set.contains(2000));
+        assert_eq!(set.len(), 2);
+        set.add(&[removed]);
+        assert!(set.contains(1500));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set, RangeSet::full());
+    }
+
+    #[test]
+    fn remove_partial_overlap() {
+        let mut set = RangeSet::from_ranges([HashRange::new(0, 100)]);
+        set.remove(&[HashRange::new(50, 150)]);
+        assert_eq!(set.ranges(), &[HashRange::new(0, 50)]);
+    }
+
+    #[test]
+    fn partition_space_is_exhaustive() {
+        for n in [1usize, 2, 3, 8] {
+            let parts = partition_space(n);
+            assert_eq!(parts.len(), n);
+            let set = RangeSet::from_ranges(parts);
+            assert_eq!(set.total_width(), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn width_and_total_width() {
+        let r = HashRange::new(10, 110);
+        assert_eq!(r.width(), 100);
+        let set = RangeSet::from_ranges([HashRange::new(0, 10), HashRange::new(20, 30)]);
+        assert_eq!(set.total_width(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hash range")]
+    fn inverted_range_panics() {
+        let _ = HashRange::new(10, 5);
+    }
+}

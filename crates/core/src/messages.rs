@@ -1,0 +1,178 @@
+//! Server-to-server messages used by the migration protocol (paper §3.3).
+//!
+//! Client/server traffic reuses the request/reply batch types from
+//! `shadowfax-net`.  Migration traffic between the source and target flows
+//! over its own sessions on the same simulated fabric using the messages
+//! defined here, mirroring the paper's RPCs: `PrepForTransfer`,
+//! `TransferedOwnership` (carrying sampled hot records), record batches,
+//! `CompleteMigration`, plus a compaction-time hand-off message for records a
+//! server no longer owns (paper §3.3.3).
+
+use serde::{Deserialize, Serialize};
+use shadowfax_net::WireSize;
+
+use crate::hash_range::HashRange;
+use crate::ServerId;
+
+/// One record being shipped from the source to the target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigratedItem {
+    /// A full record (key + value) that was resident in the source's memory.
+    Record {
+        /// The record key.
+        key: u64,
+        /// The record value.
+        value: Vec<u8>,
+    },
+    /// An indirection record pointing at the remainder of a hash chain on the
+    /// shared storage tier (encoded with
+    /// [`IndirectionRecord::encode_value`](crate::IndirectionRecord::encode_value)).
+    Indirection {
+        /// Hash value identifying the bucket/tag chain the record belongs in.
+        representative_hash: u64,
+        /// Encoded indirection payload.
+        payload: Vec<u8>,
+    },
+}
+
+impl MigratedItem {
+    /// Approximate wire footprint of this item.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            MigratedItem::Record { value, .. } => 16 + value.len(),
+            MigratedItem::Indirection { payload, .. } => 16 + payload.len(),
+        }
+    }
+}
+
+/// Messages exchanged between the source and target of a migration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationMsg {
+    /// Source → target: ownership transfer is imminent; start pending
+    /// requests for the migrating ranges (target moves to its Prepare phase).
+    PrepForTransfer {
+        /// Migration id assigned by the metadata store.
+        migration_id: u64,
+        /// The ranges being migrated.
+        ranges: Vec<HashRange>,
+        /// The source server.
+        source: ServerId,
+        /// The view the target moved to when ownership was remapped.
+        target_view: u64,
+    },
+    /// Source → target: the source has stopped serving the ranges; the target
+    /// owns them now and may begin serving (its Receive phase).  Carries the
+    /// hot records sampled during the source's Sampling phase.
+    TransferredOwnership {
+        /// Migration id.
+        migration_id: u64,
+        /// The ranges being migrated.
+        ranges: Vec<HashRange>,
+        /// Hot records sampled at the source (key, value).
+        sampled: Vec<(u64, Vec<u8>)>,
+    },
+    /// Source → target: a parallel batch of migrated records / indirection
+    /// records collected from one source thread's hash-table region.
+    Records {
+        /// Migration id.
+        migration_id: u64,
+        /// Items in this batch.
+        items: Vec<MigratedItem>,
+    },
+    /// Source → target: every record has been shipped; checkpoint and mark
+    /// your side complete at the metadata store.
+    CompleteMigration {
+        /// Migration id.
+        migration_id: u64,
+        /// Total items (records + indirection records) the source sent across
+        /// all of its threads' sessions; the target waits until it has
+        /// received this many before finalizing.
+        total_items: u64,
+    },
+    /// Target → source: acknowledgement of a control message (keeps the
+    /// source's state machine purely asynchronous — it never blocks on these).
+    Ack {
+        /// Migration id.
+        migration_id: u64,
+        /// Which phase is being acknowledged.
+        phase: MigrationAckPhase,
+    },
+    /// Compaction hand-off (either direction, outside migrations): the sender
+    /// found a record during log compaction whose hash range it no longer
+    /// owns; the receiver inserts it unless it already has a newer version
+    /// (paper §3.3.3).
+    CompactionHandoff {
+        /// The record key.
+        key: u64,
+        /// The record value.
+        value: Vec<u8>,
+    },
+}
+
+/// Which control step an [`MigrationMsg::Ack`] acknowledges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationAckPhase {
+    /// Acknowledges `PrepForTransfer`.
+    Prepared,
+    /// Acknowledges `TransferredOwnership`.
+    OwnershipReceived,
+    /// Acknowledges `CompleteMigration` (target finished inserting records).
+    Completed,
+}
+
+impl WireSize for MigrationMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            MigrationMsg::PrepForTransfer { ranges, .. } => 32 + ranges.len() * 16,
+            MigrationMsg::TransferredOwnership { ranges, sampled, .. } => {
+                32 + ranges.len() * 16
+                    + sampled.iter().map(|(_, v)| 16 + v.len()).sum::<usize>()
+            }
+            MigrationMsg::Records { items, .. } => {
+                16 + items.iter().map(MigratedItem::wire_size).sum::<usize>()
+            }
+            MigrationMsg::CompleteMigration { .. } => 16,
+            MigrationMsg::Ack { .. } => 17,
+            MigrationMsg::CompactionHandoff { value, .. } => 16 + value.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_batches_scale_with_payload() {
+        let small = MigrationMsg::Records {
+            migration_id: 1,
+            items: vec![MigratedItem::Record { key: 1, value: vec![0; 8] }],
+        };
+        let big = MigrationMsg::Records {
+            migration_id: 1,
+            items: (0..100)
+                .map(|k| MigratedItem::Record { key: k, value: vec![0; 256] })
+                .collect(),
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert!(big.wire_size() > 100 * 256);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(MigrationMsg::CompleteMigration { migration_id: 3, total_items: 10 }.wire_size() < 64);
+        assert!(
+            MigrationMsg::Ack { migration_id: 3, phase: MigrationAckPhase::Prepared }.wire_size() < 64
+        );
+    }
+
+    #[test]
+    fn transferred_ownership_counts_sampled_records() {
+        let msg = MigrationMsg::TransferredOwnership {
+            migration_id: 1,
+            ranges: vec![HashRange::new(0, 100)],
+            sampled: vec![(1, vec![0u8; 256]), (2, vec![0u8; 256])],
+        };
+        assert!(msg.wire_size() > 512);
+    }
+}

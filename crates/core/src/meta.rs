@@ -1,0 +1,408 @@
+//! The fault-tolerant external metadata store (paper §3: "a fault-tolerant,
+//! external metadata store (e.g. ZooKeeper) durably maintains these view
+//! numbers along with mappings from hash ranges to servers").
+//!
+//! The protocol only needs a handful of linearizable operations from the
+//! store: register a server, atomically transfer ownership of a set of hash
+//! ranges (incrementing both servers' view numbers and recording a migration
+//! dependency), mark a migration role complete, cancel a migration, and read
+//! back a consistent snapshot of the ownership map.  A mutex-protected map
+//! provides exactly those semantics in-process; nothing in the rest of the
+//! system can tell the difference from a real ZooKeeper ensemble, which is
+//! why this substitution is sound (see DESIGN.md §1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::hash_range::{HashRange, RangeSet};
+use crate::ServerId;
+
+/// A migration dependency recorded while a migration is in flight
+/// (paper §3.3.1): recovery of either server must consult it until both
+/// completion flags are set, after which it is garbage collected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationDep {
+    /// Unique id of the migration.
+    pub id: u64,
+    /// Server losing the ranges.
+    pub source: ServerId,
+    /// Server gaining the ranges.
+    pub target: ServerId,
+    /// The ranges being moved.
+    pub ranges: Vec<HashRange>,
+    /// Set when the source has checkpointed and finished its role.
+    pub source_complete: bool,
+    /// Set when the target has checkpointed and finished its role.
+    pub target_complete: bool,
+    /// Set if the migration was cancelled (crash during migration).
+    pub cancelled: bool,
+}
+
+impl MigrationDep {
+    /// `true` once both sides have completed (the dependency can be GC'd).
+    pub fn is_complete(&self) -> bool {
+        self.source_complete && self.target_complete
+    }
+}
+
+/// Per-server state kept by the metadata store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMeta {
+    /// The server's strictly increasing view number.
+    pub view: u64,
+    /// The hash ranges the server owns.
+    pub owned: RangeSet,
+    /// Base network address ("sv3"); thread `t` listens at `"sv3/t{t}"`.
+    pub address: String,
+    /// Number of dispatch threads the server runs (clients pick one).
+    pub threads: usize,
+}
+
+/// A consistent snapshot of the cluster's ownership mappings, cached by
+/// clients and refreshed on batch rejection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OwnershipSnapshot {
+    /// Per-server view, ranges, address, and thread count.
+    pub servers: HashMap<ServerId, ServerMeta>,
+}
+
+impl OwnershipSnapshot {
+    /// The server owning `hash`, with its view number, if any.
+    pub fn owner_of(&self, hash: u64) -> Option<(ServerId, u64)> {
+        self.servers
+            .iter()
+            .find(|(_, m)| m.owned.contains(hash))
+            .map(|(id, m)| (*id, m.view))
+    }
+
+    /// The metadata of one server.
+    pub fn server(&self, id: ServerId) -> Option<&ServerMeta> {
+        self.servers.get(&id)
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetaInner {
+    servers: HashMap<ServerId, ServerMeta>,
+    migrations: Vec<MigrationDep>,
+    next_migration_id: u64,
+}
+
+/// The in-process metadata store.
+#[derive(Debug, Default)]
+pub struct MetadataStore {
+    inner: Mutex<MetaInner>,
+}
+
+impl MetadataStore {
+    /// Creates an empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers (or re-registers) a server with its initial ownership.
+    pub fn register_server(
+        &self,
+        id: ServerId,
+        address: impl Into<String>,
+        threads: usize,
+        owned: RangeSet,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.servers.insert(
+            id,
+            ServerMeta {
+                view: 1,
+                owned,
+                address: address.into(),
+                threads,
+            },
+        );
+    }
+
+    /// Removes a server (scale-in after its ranges have been migrated away).
+    pub fn deregister_server(&self, id: ServerId) {
+        self.inner.lock().servers.remove(&id);
+    }
+
+    /// The current view number of `id`.
+    pub fn view_of(&self, id: ServerId) -> Option<u64> {
+        self.inner.lock().servers.get(&id).map(|m| m.view)
+    }
+
+    /// A consistent snapshot of all ownership mappings.
+    pub fn snapshot(&self) -> OwnershipSnapshot {
+        OwnershipSnapshot {
+            servers: self.inner.lock().servers.clone(),
+        }
+    }
+
+    /// The `(server, view)` owning `hash`, if any.
+    pub fn owner_of(&self, hash: u64) -> Option<(ServerId, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .servers
+            .iter()
+            .find(|(_, m)| m.owned.contains(hash))
+            .map(|(id, m)| (*id, m.view))
+    }
+
+    /// Atomically moves `ranges` from `source` to `target`: both servers'
+    /// view numbers are incremented, the ownership mappings updated, and a
+    /// migration dependency recorded (paper §3.3 "Sampling" step 1).
+    ///
+    /// Returns `(migration id, new source view, new target view)`.
+    pub fn transfer_ownership(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        ranges: &[HashRange],
+    ) -> Result<(u64, u64, u64), MetaError> {
+        let mut inner = self.inner.lock();
+        {
+            let src = inner.servers.get(&source).ok_or(MetaError::UnknownServer(source))?;
+            for r in ranges {
+                if !r
+                    .split(2)
+                    .iter()
+                    .all(|half| src.owned.contains(half.start) || half.width() == 0)
+                {
+                    return Err(MetaError::NotOwned { server: source, range: *r });
+                }
+            }
+            inner.servers.get(&target).ok_or(MetaError::UnknownServer(target))?;
+        }
+        let id = inner.next_migration_id;
+        inner.next_migration_id += 1;
+        let src = inner.servers.get_mut(&source).unwrap();
+        src.owned.remove(ranges);
+        src.view += 1;
+        let new_source_view = src.view;
+        let tgt = inner.servers.get_mut(&target).unwrap();
+        tgt.owned.add(ranges);
+        tgt.view += 1;
+        let new_target_view = tgt.view;
+        inner.migrations.push(MigrationDep {
+            id,
+            source,
+            target,
+            ranges: ranges.to_vec(),
+            source_complete: false,
+            target_complete: false,
+            cancelled: false,
+        });
+        Ok((id, new_source_view, new_target_view))
+    }
+
+    /// Marks one side of a migration complete.  Once both sides are complete
+    /// the dependency is garbage collected.  Returns `true` if the dependency
+    /// is now fully resolved.
+    pub fn mark_complete(&self, migration_id: u64, server: ServerId) -> Result<bool, MetaError> {
+        let mut inner = self.inner.lock();
+        let dep = inner
+            .migrations
+            .iter_mut()
+            .find(|d| d.id == migration_id)
+            .ok_or(MetaError::UnknownMigration(migration_id))?;
+        if dep.source == server {
+            dep.source_complete = true;
+        } else if dep.target == server {
+            dep.target_complete = true;
+        } else {
+            return Err(MetaError::UnknownServer(server));
+        }
+        let done = dep.is_complete();
+        if done {
+            inner.migrations.retain(|d| d.id != migration_id);
+        }
+        Ok(done)
+    }
+
+    /// Cancels an in-flight migration (paper §3.3.1): ownership of the ranges
+    /// is transferred back to the source and both views advance again, so
+    /// both servers can be rolled back to their pre-migration checkpoints.
+    pub fn cancel_migration(&self, migration_id: u64) -> Result<MigrationDep, MetaError> {
+        let mut inner = self.inner.lock();
+        let pos = inner
+            .migrations
+            .iter()
+            .position(|d| d.id == migration_id)
+            .ok_or(MetaError::UnknownMigration(migration_id))?;
+        let mut dep = inner.migrations.remove(pos);
+        dep.cancelled = true;
+        let ranges = dep.ranges.clone();
+        if let Some(tgt) = inner.servers.get_mut(&dep.target) {
+            tgt.owned.remove(&ranges);
+            tgt.view += 1;
+        }
+        if let Some(src) = inner.servers.get_mut(&dep.source) {
+            src.owned.add(&ranges);
+            src.view += 1;
+        }
+        Ok(dep)
+    }
+
+    /// Any migration dependency involving `server` that has not completed
+    /// (consulted during crash recovery).
+    pub fn pending_dependency_for(&self, server: ServerId) -> Option<MigrationDep> {
+        self.inner
+            .lock()
+            .migrations
+            .iter()
+            .find(|d| (d.source == server || d.target == server) && !d.is_complete())
+            .cloned()
+    }
+
+    /// Number of unresolved migration dependencies.
+    pub fn pending_migrations(&self) -> usize {
+        self.inner.lock().migrations.len()
+    }
+}
+
+/// Errors returned by the metadata store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// The server is not registered.
+    UnknownServer(ServerId),
+    /// The migration id does not exist.
+    UnknownMigration(u64),
+    /// The source does not own the requested range.
+    NotOwned {
+        /// The server that was asked to give up the range.
+        server: ServerId,
+        /// The range it does not own.
+        range: HashRange,
+    },
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::UnknownServer(s) => write!(f, "unknown server {s:?}"),
+            MetaError::UnknownMigration(id) => write!(f, "unknown migration {id}"),
+            MetaError::NotOwned { server, range } => {
+                write!(f, "server {server:?} does not own range {range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_range::partition_space;
+
+    fn two_server_store() -> Arc<MetadataStore> {
+        let meta = MetadataStore::new();
+        let parts = partition_space(2);
+        meta.register_server(ServerId(0), "sv0", 2, RangeSet::from_ranges([parts[0]]));
+        meta.register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges([parts[1]]));
+        meta
+    }
+
+    #[test]
+    fn registration_and_ownership_lookup() {
+        let meta = two_server_store();
+        assert_eq!(meta.view_of(ServerId(0)), Some(1));
+        let (owner, view) = meta.owner_of(0).unwrap();
+        assert_eq!(owner, ServerId(0));
+        assert_eq!(view, 1);
+        let (owner, _) = meta.owner_of(u64::MAX).unwrap();
+        assert_eq!(owner, ServerId(1));
+    }
+
+    #[test]
+    fn transfer_increments_both_views_and_moves_ranges() {
+        let meta = two_server_store();
+        let moved = partition_space(2)[0].take_fraction(0.1);
+        let (id, src_view, tgt_view) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        assert_eq!(src_view, 2);
+        assert_eq!(tgt_view, 2);
+        assert_eq!(meta.pending_migrations(), 1);
+        // The moved hash now resolves to the target.
+        let (owner, view) = meta.owner_of(moved.start).unwrap();
+        assert_eq!(owner, ServerId(1));
+        assert_eq!(view, 2);
+        // The rest of server 0's range is untouched.
+        let (owner, _) = meta.owner_of(moved.end + 1).unwrap();
+        assert_eq!(owner, ServerId(0));
+        // Completing both sides garbage-collects the dependency.
+        assert!(!meta.mark_complete(id, ServerId(0)).unwrap());
+        assert!(meta.mark_complete(id, ServerId(1)).unwrap());
+        assert_eq!(meta.pending_migrations(), 0);
+    }
+
+    #[test]
+    fn transfer_of_unowned_range_fails() {
+        let meta = two_server_store();
+        let not_owned = partition_space(2)[1];
+        let err = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[not_owned])
+            .unwrap_err();
+        assert!(matches!(err, MetaError::NotOwned { .. }));
+    }
+
+    #[test]
+    fn cancellation_returns_ranges_to_source() {
+        let meta = two_server_store();
+        let moved = partition_space(2)[0].take_fraction(0.25);
+        let (id, ..) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        let dep = meta.cancel_migration(id).unwrap();
+        assert!(dep.cancelled);
+        let (owner, view) = meta.owner_of(moved.start).unwrap();
+        assert_eq!(owner, ServerId(0));
+        assert_eq!(view, 3, "cancellation advances the view again");
+        assert_eq!(meta.pending_migrations(), 0);
+    }
+
+    #[test]
+    fn pending_dependency_visible_until_both_complete() {
+        let meta = two_server_store();
+        let moved = partition_space(2)[0].take_fraction(0.1);
+        let (id, ..) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        assert!(meta.pending_dependency_for(ServerId(0)).is_some());
+        assert!(meta.pending_dependency_for(ServerId(1)).is_some());
+        meta.mark_complete(id, ServerId(0)).unwrap();
+        assert!(meta.pending_dependency_for(ServerId(1)).is_some());
+        meta.mark_complete(id, ServerId(1)).unwrap();
+        assert!(meta.pending_dependency_for(ServerId(0)).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_consistent_copy() {
+        let meta = two_server_store();
+        let snap = meta.snapshot();
+        assert_eq!(snap.servers.len(), 2);
+        assert_eq!(snap.owner_of(0).unwrap().0, ServerId(0));
+        // Later changes do not affect the snapshot.
+        let moved = partition_space(2)[0].take_fraction(0.5);
+        meta.transfer_ownership(ServerId(0), ServerId(1), &[moved]).unwrap();
+        assert_eq!(snap.owner_of(moved.start).unwrap().0, ServerId(0));
+        assert_eq!(meta.snapshot().owner_of(moved.start).unwrap().0, ServerId(1));
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let meta = MetadataStore::new();
+        assert_eq!(meta.view_of(ServerId(9)), None);
+        assert!(matches!(
+            meta.transfer_ownership(ServerId(0), ServerId(1), &[HashRange::FULL]),
+            Err(MetaError::UnknownServer(_))
+        ));
+        assert!(matches!(
+            meta.mark_complete(0, ServerId(0)),
+            Err(MetaError::UnknownMigration(0))
+        ));
+    }
+}

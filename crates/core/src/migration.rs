@@ -1,0 +1,978 @@
+//! The scale-out / migration protocol (paper §3.3).
+//!
+//! Migration moves ownership of a set of hash ranges from a *source* server
+//! to a *target* server and then moves the records themselves.  It is driven
+//! by the source as a sequence of phases — Sampling, Prepare, Transfer,
+//! Migrate, Complete — whose transitions happen over asynchronous global cuts
+//! (epoch bumps): no dispatch thread is ever stalled; each simply observes the
+//! new phase between request batches.
+//!
+//! * **Sampling** — ownership is remapped at the metadata store (both views
+//!   advance, a dependency is recorded), and the source starts copying
+//!   accessed records in the migrating ranges to its log tail so a small hot
+//!   set can be shipped with the ownership transfer.
+//! * **Prepare** — the source tells the target that transfer is imminent
+//!   (`PrepForTransfer`); the target starts pending requests for the ranges.
+//! * **Transfer** — the source moves into its new view (it stops serving the
+//!   ranges) and, once every thread has crossed that cut, sends
+//!   `TransferredOwnership` with the sampled hot records; the target starts
+//!   serving the ranges immediately.
+//! * **Migrate** — every source thread walks its own disjoint region of the
+//!   hash table, shipping in-memory records and, for chains that extend onto
+//!   the SSD, *indirection records* naming the shared-tier location
+//!   (`MigrationMode::Shadowfax`), or — for the Rocksteady baseline — a
+//!   single thread sequentially scans the on-SSD log afterwards.
+//! * **Complete** — the source sends `CompleteMigration`, checkpoints, and
+//!   marks its side complete at the metadata store; the target does the same
+//!   once every shipped record has been inserted.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use shadowfax_faster::{
+    take_checkpoint, Address, FasterSession, KeyHash, ReadOutcome, RecordFlags, RecordOwned,
+};
+use shadowfax_hlog::{LogScanner, RecordHeader, RECORD_HEADER_BYTES};
+use shadowfax_storage::{LogId, SharedBlobTier};
+
+use crate::config::MigrationMode;
+use crate::hash_range::{HashRange, RangeSet};
+use crate::indirection::IndirectionRecord;
+use crate::messages::{MigratedItem, MigrationAckPhase, MigrationMsg};
+use crate::server::{Server, ServerMigConn};
+use crate::ServerId;
+
+/// Source-side migration phases (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SourcePhase {
+    /// Sampling hot records; still serving the old view.
+    Sampling = 0,
+    /// Told the target that transfer is imminent.
+    Prepare = 1,
+    /// Moved into the new view; ownership handed to the target.
+    Transfer = 2,
+    /// Threads are shipping records in parallel.
+    Migrate = 3,
+    /// (Rocksteady baseline only) a single thread is scanning the on-SSD log.
+    DiskScan = 4,
+    /// All records shipped; checkpointing and finishing up.
+    Complete = 5,
+}
+
+impl SourcePhase {
+    fn from_u8(v: u8) -> SourcePhase {
+        match v {
+            0 => SourcePhase::Sampling,
+            1 => SourcePhase::Prepare,
+            2 => SourcePhase::Transfer,
+            3 => SourcePhase::Migrate,
+            4 => SourcePhase::DiskScan,
+            _ => SourcePhase::Complete,
+        }
+    }
+}
+
+/// How the target treats requests in the migrating ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendMode {
+    /// Ownership transfer is imminent but has not happened: pend everything
+    /// (the target's Prepare phase).
+    PendAll,
+    /// The target owns the ranges; pend only operations whose record has not
+    /// arrived yet (the target's Receive phase).
+    PendMissing,
+}
+
+/// Target-side state for an incoming migration.
+#[derive(Debug)]
+pub struct IncomingMigration {
+    /// Migration id assigned by the metadata store.
+    pub migration_id: u64,
+    /// The ranges being received.
+    pub ranges: RangeSet,
+    /// Current pending rule.
+    pub mode: PendMode,
+    /// The source server.
+    pub source: ServerId,
+    /// Items received so far (records + indirection records).
+    pub items_received: u64,
+    /// Total items the source reported in `CompleteMigration` (`None` until
+    /// that message arrives).
+    pub expected_items: Option<u64>,
+    /// When the first migration message arrived.
+    pub started: Instant,
+}
+
+/// A report describing a finished migration, kept for benchmarking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Migration id.
+    pub migration_id: u64,
+    /// Role of the reporting server.
+    pub role: MigrationRole,
+    /// Bytes of record data shipped out of (or into) main memory.
+    pub bytes_from_memory: u64,
+    /// Full records shipped.
+    pub records_moved: u64,
+    /// Indirection records shipped.
+    pub indirection_records: u64,
+    /// Bytes read from the SSD by the Rocksteady scan (0 for Shadowfax).
+    pub ssd_bytes_scanned: u64,
+    /// Wall-clock duration from start to completion, in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// Which side of a migration a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationRole {
+    /// The server that gave up the ranges.
+    Source,
+    /// The server that received them.
+    Target,
+}
+
+/// Cursor over the hash-table region one source thread is responsible for.
+#[derive(Debug)]
+pub(crate) struct RegionCursor {
+    next_bucket: usize,
+    end_bucket: usize,
+}
+
+/// Source-side migration state shared by all dispatch threads.
+pub struct OutgoingMigration {
+    pub(crate) migration_id: u64,
+    pub(crate) target: ServerId,
+    pub(crate) ranges: Vec<HashRange>,
+    pub(crate) new_view: u64,
+    pub(crate) mode: MigrationMode,
+    pub(crate) phase: AtomicU8,
+    pub(crate) started: Instant,
+    /// Set once the epoch action advancing out of Sampling has been scheduled.
+    pub(crate) prepare_scheduled: AtomicBool,
+    pub(crate) prep_sent: AtomicBool,
+    pub(crate) ownership_sent: AtomicBool,
+    pub(crate) complete_sent: AtomicBool,
+    /// Per-thread loop generations recorded when the serving view flipped;
+    /// the hot set is read only after every thread has advanced past these.
+    pub(crate) view_flip_generations: Mutex<Option<Vec<u64>>>,
+    /// Per-thread hash-table regions.
+    pub(crate) regions: Vec<Mutex<RegionCursor>>,
+    pub(crate) regions_done: AtomicUsize,
+    /// Control connection to the target (thread 0 of its migration fabric).
+    pub(crate) control: Mutex<ServerMigConn>,
+    /// Rocksteady disk-scan cursor.
+    pub(crate) disk_cursor: Mutex<Address>,
+    // Accounting (Figure 13).
+    pub(crate) bytes_from_memory: AtomicU64,
+    pub(crate) records_sent: AtomicU64,
+    pub(crate) indirections_sent: AtomicU64,
+    pub(crate) ssd_bytes_scanned: AtomicU64,
+    pub(crate) total_items: AtomicU64,
+}
+
+impl std::fmt::Debug for OutgoingMigration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutgoingMigration")
+            .field("id", &self.migration_id)
+            .field("target", &self.target)
+            .field("phase", &self.phase())
+            .finish()
+    }
+}
+
+impl OutgoingMigration {
+    /// The current source phase.
+    pub fn phase(&self) -> SourcePhase {
+        SourcePhase::from_u8(self.phase.load(Ordering::SeqCst))
+    }
+
+    fn set_phase(&self, p: SourcePhase) {
+        self.phase.store(p as u8, Ordering::SeqCst);
+    }
+}
+
+/// Per-thread state used while contributing to an outgoing migration.
+pub(crate) struct SourceThreadState {
+    pub(crate) thread_id: usize,
+    /// Lazily created connection to the target for record batches.
+    pub(crate) records_conn: Option<ServerMigConn>,
+    pub(crate) region_done_reported: bool,
+    pub(crate) batch: Vec<MigratedItem>,
+    pub(crate) batch_bytes: usize,
+    /// The migration id the per-thread state belongs to (reset across
+    /// migrations).
+    pub(crate) migration_id: Option<u64>,
+}
+
+impl SourceThreadState {
+    pub(crate) fn new(thread_id: usize) -> Self {
+        SourceThreadState {
+            thread_id,
+            records_conn: None,
+            region_done_reported: false,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            migration_id: None,
+        }
+    }
+
+    fn reset_for(&mut self, migration_id: u64) {
+        if self.migration_id != Some(migration_id) {
+            self.migration_id = Some(migration_id);
+            self.records_conn = None;
+            self.region_done_reported = false;
+            self.batch.clear();
+            self.batch_bytes = 0;
+        }
+    }
+}
+
+impl Server {
+    /// Starts migrating `ranges` from this server to `target` (the paper's
+    /// `Migrate()` RPC, §3.3).  Returns the migration id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a migration is already in flight at this server, if the
+    /// metadata store rejects the ownership transfer, or if the target cannot
+    /// be reached.
+    pub fn start_migration(
+        self: &Arc<Self>,
+        ranges: Vec<HashRange>,
+        target: ServerId,
+    ) -> Result<u64, String> {
+        if self.outgoing.read().is_some() {
+            return Err("a migration is already in progress at this server".into());
+        }
+        let snapshot = self.meta.snapshot();
+        let target_meta = snapshot
+            .server(target)
+            .ok_or_else(|| format!("unknown target server {target:?}"))?
+            .clone();
+        // Step 1 (Sampling phase entry): atomically remap ownership, advance
+        // both views, and record the recovery dependency.
+        let (migration_id, new_source_view, _new_target_view) = self
+            .meta
+            .transfer_ownership(self.id(), target, &ranges)
+            .map_err(|e| e.to_string())?;
+        // Step 2: start sampling hot records in the migrating ranges.
+        if self.config.migration.ship_sampled_records {
+            let filter_ranges = ranges.clone();
+            self.store
+                .begin_sampling(Box::new(move |hash| filter_ranges.iter().any(|r| r.contains(hash))));
+        }
+        // Control connection to the target's thread-0 migration endpoint.
+        let control_addr = format!("{}/m0", target_meta.address);
+        let control = self
+            .mig_net
+            .connect(&control_addr)
+            .ok_or_else(|| format!("cannot connect to target at {control_addr}"))?;
+
+        let buckets = self.store.index().num_buckets();
+        let threads = self.config.threads;
+        let per = buckets.div_ceil(threads);
+        let regions = (0..threads)
+            .map(|t| {
+                Mutex::new(RegionCursor {
+                    next_bucket: t * per,
+                    end_bucket: ((t + 1) * per).min(buckets),
+                })
+            })
+            .collect();
+
+        let outgoing = Arc::new(OutgoingMigration {
+            migration_id,
+            target,
+            ranges,
+            new_view: new_source_view,
+            mode: self.config.migration.mode,
+            phase: AtomicU8::new(SourcePhase::Sampling as u8),
+            started: Instant::now(),
+            prepare_scheduled: AtomicBool::new(false),
+            prep_sent: AtomicBool::new(false),
+            ownership_sent: AtomicBool::new(false),
+            complete_sent: AtomicBool::new(false),
+            view_flip_generations: Mutex::new(None),
+            regions,
+            regions_done: AtomicUsize::new(0),
+            control: Mutex::new(control),
+            disk_cursor: Mutex::new(self.store.log().begin_address()),
+            bytes_from_memory: AtomicU64::new(0),
+            records_sent: AtomicU64::new(0),
+            indirections_sent: AtomicU64::new(0),
+            ssd_bytes_scanned: AtomicU64::new(0),
+            total_items: AtomicU64::new(0),
+        });
+        *self.outgoing.write() = Some(outgoing);
+        Ok(migration_id)
+    }
+
+    /// The last completed migration's report, if any (source side keeps it in
+    /// the completed-report slot of the metadata-free server state).
+    pub fn last_migration_report(&self) -> Option<MigrationReport> {
+        self.completed_report.lock().clone()
+    }
+
+    /// Contributes this thread's share of the outgoing migration, if one is
+    /// in flight.  Returns `true` if any work was done.
+    pub(crate) fn drive_outgoing(
+        self: &Arc<Self>,
+        state: &mut SourceThreadState,
+        session: &FasterSession,
+    ) -> bool {
+        let Some(outgoing) = self.outgoing.read().clone() else {
+            return false;
+        };
+        state.reset_for(outgoing.migration_id);
+        let is_driver = state.thread_id == 0;
+        // Drain (and ignore) acknowledgements on the control connection so it
+        // never backs up; the protocol is fully asynchronous.
+        if is_driver {
+            let control = outgoing.control.lock();
+            while control.try_recv().is_some() {}
+        }
+        match outgoing.phase() {
+            SourcePhase::Sampling => {
+                if is_driver
+                    && outgoing.started.elapsed() >= self.config.migration.sampling_duration
+                    && !outgoing.prepare_scheduled.swap(true, Ordering::SeqCst)
+                {
+                    // Advance to Prepare over a global cut: the phase flips
+                    // only after every dispatch thread has refreshed, i.e.
+                    // completed its part of the Sampling phase.
+                    let out = Arc::clone(&outgoing);
+                    self.store.epoch().bump_with_action(move || {
+                        out.set_phase(SourcePhase::Prepare);
+                    });
+                    return true;
+                }
+                false
+            }
+            SourcePhase::Prepare => {
+                if is_driver && !outgoing.prep_sent.swap(true, Ordering::SeqCst) {
+                    let snapshot = self.meta.snapshot();
+                    let target_view = snapshot
+                        .server(outgoing.target)
+                        .map(|m| m.view)
+                        .unwrap_or(0);
+                    outgoing.control.lock().send(MigrationMsg::PrepForTransfer {
+                        migration_id: outgoing.migration_id,
+                        ranges: outgoing.ranges.clone(),
+                        source: self.id(),
+                        target_view,
+                    });
+                    // Transfer begins once every thread has completed Prepare.
+                    let server = Arc::clone(self);
+                    let out = Arc::clone(&outgoing);
+                    self.store.epoch().bump_with_action(move || {
+                        // Transfer-phase entry: move into the new view.  From
+                        // this instant batches tagged with the old view are
+                        // rejected, which pushes the cut out to clients over
+                        // their sessions (paper §3.2.1).
+                        server.serving_view.store(out.new_view, Ordering::SeqCst);
+                        server.owned.write().remove(&out.ranges);
+                        // Record each thread's position in its operation
+                        // sequence; the hot set is shipped only after every
+                        // thread has moved past it (the paper's global cut is
+                        // taken at operation boundaries, §2.1/§3.2.1).
+                        let generations = server
+                            .loop_generation
+                            .iter()
+                            .map(|g| g.load(Ordering::SeqCst))
+                            .collect();
+                        *out.view_flip_generations.lock() = Some(generations);
+                        out.set_phase(SourcePhase::Transfer);
+                    });
+                    return true;
+                }
+                false
+            }
+            SourcePhase::Transfer => {
+                if !is_driver {
+                    return false;
+                }
+                // Wait until every dispatch thread has crossed an operation
+                // boundary after the view flip, so no batch accepted in the
+                // old view is still applying updates.
+                let cut_passed = {
+                    let recorded = outgoing.view_flip_generations.lock();
+                    match recorded.as_ref() {
+                        Some(at_flip) => at_flip
+                            .iter()
+                            .enumerate()
+                            .all(|(t, g)| self.loop_generation[t].load(Ordering::SeqCst) > *g),
+                        None => false,
+                    }
+                };
+                if !cut_passed {
+                    return false;
+                }
+                if !outgoing.ownership_sent.swap(true, Ordering::SeqCst) {
+                    // Read the hot set's current values now — after the cut —
+                    // so every update acknowledged by the source is included.
+                    let sampled = if self.config.migration.ship_sampled_records {
+                        let keys = self.store.end_sampling();
+                        let mut records = Vec::with_capacity(keys.len());
+                        for key in keys {
+                            if let Ok(ReadOutcome::Found { record, .. }) =
+                                self.store.read_record_for(key, session)
+                            {
+                                if !record.is_indirection() && !record.is_tombstone() {
+                                    records.push((key, record.value().to_vec()));
+                                }
+                            }
+                        }
+                        records
+                    } else {
+                        let _ = self.store.end_sampling();
+                        Vec::new()
+                    };
+                    outgoing
+                        .control
+                        .lock()
+                        .send(MigrationMsg::TransferredOwnership {
+                            migration_id: outgoing.migration_id,
+                            ranges: outgoing.ranges.clone(),
+                            sampled,
+                        });
+                    outgoing.set_phase(SourcePhase::Migrate);
+                    return true;
+                }
+                false
+            }
+            SourcePhase::Migrate => self.drive_migrate_phase(&outgoing, state, session),
+            SourcePhase::DiskScan => {
+                if is_driver {
+                    self.drive_disk_scan(&outgoing, state, session)
+                } else {
+                    false
+                }
+            }
+            SourcePhase::Complete => {
+                if is_driver && !outgoing.complete_sent.swap(true, Ordering::SeqCst) {
+                    outgoing.control.lock().send(MigrationMsg::CompleteMigration {
+                        migration_id: outgoing.migration_id,
+                        total_items: outgoing.total_items.load(Ordering::SeqCst),
+                    });
+                    // Checkpoint so the post-migration state is independently
+                    // recoverable, then mark our side complete (paper §3.3.1).
+                    let cp = take_checkpoint(&self.store, session);
+                    *self.latest_checkpoint.lock() = Some(cp);
+                    let _ = self.meta.mark_complete(outgoing.migration_id, self.id());
+                    let report = MigrationReport {
+                        migration_id: outgoing.migration_id,
+                        role: MigrationRole::Source,
+                        bytes_from_memory: outgoing.bytes_from_memory.load(Ordering::Relaxed),
+                        records_moved: outgoing.records_sent.load(Ordering::Relaxed),
+                        indirection_records: outgoing.indirections_sent.load(Ordering::Relaxed),
+                        ssd_bytes_scanned: outgoing.ssd_bytes_scanned.load(Ordering::Relaxed),
+                        duration_ms: outgoing.started.elapsed().as_millis() as u64,
+                    };
+                    *self.completed_report.lock() = Some(report);
+                    *self.outgoing.write() = None;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// One iteration of this thread's share of the Migrate phase: walk up to
+    /// `buckets_per_iteration` buckets of the thread's region and ship the
+    /// matching records.
+    fn drive_migrate_phase(
+        self: &Arc<Self>,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+        session: &FasterSession,
+    ) -> bool {
+        let thread_id = state.thread_id;
+        if state.region_done_reported {
+            // This thread is finished; thread 0 watches for global completion.
+            if thread_id == 0
+                && outgoing.regions_done.load(Ordering::SeqCst) >= self.config.threads
+            {
+                let next = match outgoing.mode {
+                    MigrationMode::Shadowfax => SourcePhase::Complete,
+                    MigrationMode::Rocksteady => SourcePhase::DiskScan,
+                };
+                outgoing.set_phase(next);
+                return true;
+            }
+            return false;
+        }
+
+        // Ensure this thread has its own session to the target.
+        if state.records_conn.is_none() {
+            let snapshot = self.meta.snapshot();
+            let Some(target_meta) = snapshot.server(outgoing.target).cloned() else {
+                return false;
+            };
+            let addr = format!(
+                "{}/m{}",
+                target_meta.address,
+                thread_id % target_meta.threads.max(1)
+            );
+            state.records_conn = self.mig_net.connect(&addr);
+        }
+
+        let (start, end) = {
+            let mut cursor = outgoing.regions[thread_id].lock();
+            if cursor.next_bucket >= cursor.end_bucket {
+                (cursor.end_bucket, cursor.end_bucket)
+            } else {
+                let start = cursor.next_bucket;
+                let end = (start + self.config.migration.buckets_per_iteration).min(cursor.end_bucket);
+                cursor.next_bucket = end;
+                (start, end)
+            }
+        };
+
+        if start < end {
+            self.collect_region(outgoing, state, start..end, session);
+        }
+
+        let finished = {
+            let cursor = outgoing.regions[thread_id].lock();
+            cursor.next_bucket >= cursor.end_bucket
+        };
+        if finished && !state.region_done_reported {
+            self.flush_migration_batch(outgoing, state);
+            state.region_done_reported = true;
+            outgoing.regions_done.fetch_add(1, Ordering::SeqCst);
+        }
+        start < end
+    }
+
+    /// Collects records for the migrating ranges from main-table buckets
+    /// `region` and appends them to this thread's outgoing batch.
+    fn collect_region(
+        self: &Arc<Self>,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+        region: std::ops::Range<usize>,
+        session: &FasterSession,
+    ) {
+        let log = self.store.log();
+        let head = log.head_address();
+        let guard = session.thread().protect();
+        for snap in self.store.index().scan_region(region) {
+            let mut addr = snap.entry.address;
+            let mut seen_keys: Vec<u64> = Vec::new();
+            while addr.is_valid() && addr >= log.begin_address() {
+                if addr < head {
+                    // The rest of this chain lives on the SSD / shared tier.
+                    match outgoing.mode {
+                        MigrationMode::Shadowfax => {
+                            let representative =
+                                representative_hash(snap.bucket, snap.entry.tag, self.store.index().table_bits());
+                            let ind = IndirectionRecord {
+                                range: enclosing_range(&outgoing.ranges, HashRange::FULL),
+                                chain_address: addr,
+                                source_log: self.log_id(),
+                                representative_hash: representative,
+                            };
+                            let item = MigratedItem::Indirection {
+                                representative_hash: representative,
+                                payload: ind.encode_value(),
+                            };
+                            outgoing.indirections_sent.fetch_add(1, Ordering::Relaxed);
+                            self.push_migration_item(outgoing, state, item);
+                        }
+                        MigrationMode::Rocksteady => {
+                            // The disk-scan phase will pick these up.
+                        }
+                    }
+                    break;
+                }
+                let Ok(record) = log.read_record(addr, &guard) else { break };
+                let key = record.key();
+                let hash = KeyHash::of(key).raw();
+                let in_range = outgoing.ranges.iter().any(|r| r.contains(hash));
+                let is_dup = seen_keys.contains(&key);
+                if in_range
+                    && !is_dup
+                    && !record.is_tombstone()
+                    && !record.header.flags.contains(RecordFlags::INDIRECTION)
+                {
+                    let item = MigratedItem::Record {
+                        key,
+                        value: record.value().to_vec(),
+                    };
+                    outgoing.records_sent.fetch_add(1, Ordering::Relaxed);
+                    self.push_migration_item(outgoing, state, item);
+                }
+                if in_range {
+                    seen_keys.push(key);
+                }
+                addr = record.header.prev;
+            }
+        }
+        drop(guard);
+        self.maybe_flush_migration_batch(outgoing, state);
+    }
+
+    fn push_migration_item(
+        &self,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+        item: MigratedItem,
+    ) {
+        let bytes = item.wire_size();
+        outgoing.bytes_from_memory.fetch_add(bytes as u64, Ordering::Relaxed);
+        outgoing.total_items.fetch_add(1, Ordering::Relaxed);
+        state.batch_bytes += bytes;
+        state.batch.push(item);
+    }
+
+    fn maybe_flush_migration_batch(
+        &self,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+    ) {
+        if state.batch.len() >= self.config.migration.records_per_batch {
+            self.flush_migration_batch(outgoing, state);
+        }
+    }
+
+    fn flush_migration_batch(&self, outgoing: &Arc<OutgoingMigration>, state: &mut SourceThreadState) {
+        if state.batch.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut state.batch);
+        state.batch_bytes = 0;
+        let msg = MigrationMsg::Records {
+            migration_id: outgoing.migration_id,
+            items,
+        };
+        if let Some(conn) = &state.records_conn {
+            conn.send(msg);
+            // Drain acknowledgements/noise so the channel never backs up.
+            while conn.try_recv().is_some() {}
+        } else {
+            // No connection to the target: fall back to the control channel.
+            outgoing.control.lock().send(msg);
+        }
+    }
+
+    /// One bounded slice of the Rocksteady baseline's sequential SSD scan.
+    ///
+    /// The cursor always resumes from the scanner's own position (a record or
+    /// page boundary), never from an arbitrary byte offset, so no record is
+    /// ever skipped at a chunk boundary.
+    fn drive_disk_scan(
+        self: &Arc<Self>,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+        session: &FasterSession,
+    ) -> bool {
+        let log = self.store.log();
+        let head = log.head_address();
+        let start = *outgoing.disk_cursor.lock();
+        if start >= head {
+            outgoing.set_phase(SourcePhase::Complete);
+            return true;
+        }
+        let budget = self.config.migration.disk_scan_bytes_per_iteration as u64;
+        let mut records: Vec<(Address, RecordOwned)> = Vec::new();
+        let mut scanner = LogScanner::new(log, start, head, session.thread());
+        let mut exhausted = true;
+        for (addr, record) in scanner.by_ref() {
+            records.push((addr, record));
+            if addr.raw().saturating_sub(start.raw()) >= budget {
+                exhausted = false;
+                break;
+            }
+        }
+        let new_cursor = if exhausted { head } else { scanner.position() };
+        for (addr, record) in records {
+            let hash = KeyHash::of(record.key()).raw();
+            if !outgoing.ranges.iter().any(|r| r.contains(hash)) || record.is_tombstone() {
+                continue;
+            }
+            // Only ship records that are still the live (newest) version.
+            let live = matches!(
+                self.store.read_record_for(record.key(), session),
+                Ok(ReadOutcome::Found { address, .. }) if address == addr
+            );
+            if !live {
+                continue;
+            }
+            let item = MigratedItem::Record {
+                key: record.key(),
+                value: record.value().to_vec(),
+            };
+            outgoing.records_sent.fetch_add(1, Ordering::Relaxed);
+            outgoing.total_items.fetch_add(1, Ordering::Relaxed);
+            state.batch.push(item);
+        }
+        // The scan read this whole slice of the stable region sequentially.
+        outgoing
+            .ssd_bytes_scanned
+            .fetch_add(new_cursor.raw() - start.raw(), Ordering::Relaxed);
+        *outgoing.disk_cursor.lock() = new_cursor;
+        self.flush_migration_batch(outgoing, state);
+        if new_cursor >= head {
+            outgoing.set_phase(SourcePhase::Complete);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Target side
+    // ------------------------------------------------------------------
+
+    /// Handles one migration message arriving from a peer server.
+    pub(crate) fn handle_migration_msg(
+        self: &Arc<Self>,
+        msg: MigrationMsg,
+        conn: &ServerMigConn,
+        session: &FasterSession,
+    ) {
+        match msg {
+            MigrationMsg::PrepForTransfer {
+                migration_id,
+                ranges,
+                source,
+                target_view,
+            } => {
+                let mut incoming = self.incoming.lock();
+                *incoming = Some(IncomingMigration {
+                    migration_id,
+                    ranges: RangeSet::from_ranges(ranges.iter().copied()),
+                    mode: PendMode::PendAll,
+                    source,
+                    items_received: 0,
+                    expected_items: None,
+                    started: Instant::now(),
+                });
+                drop(incoming);
+                self.incoming_active.store(true, Ordering::SeqCst);
+                // Adopt the view the metadata store assigned us at transfer
+                // time and take responsibility for the ranges.
+                self.serving_view.fetch_max(target_view, Ordering::SeqCst);
+                self.owned.write().add(&ranges);
+                conn.send(MigrationMsg::Ack {
+                    migration_id,
+                    phase: MigrationAckPhase::Prepared,
+                });
+            }
+            MigrationMsg::TransferredOwnership {
+                migration_id,
+                ranges: _,
+                sampled,
+            } => {
+                // Insert the sampled hot set so those keys serve immediately.
+                for (key, value) in &sampled {
+                    self.insert_migrated_record(*key, value, session);
+                }
+                if let Some(incoming) = self.incoming.lock().as_mut() {
+                    if incoming.migration_id == migration_id {
+                        incoming.mode = PendMode::PendMissing;
+                    }
+                }
+                conn.send(MigrationMsg::Ack {
+                    migration_id,
+                    phase: MigrationAckPhase::OwnershipReceived,
+                });
+            }
+            MigrationMsg::Records { migration_id, items } => {
+                let count = items.len() as u64;
+                for item in items {
+                    match item {
+                        MigratedItem::Record { key, value } => {
+                            self.insert_migrated_record(key, &value, session);
+                        }
+                        MigratedItem::Indirection {
+                            representative_hash,
+                            payload,
+                        } => {
+                            let _ = self.store.insert_record_at_hash(
+                                representative_hash,
+                                representative_hash,
+                                &payload,
+                                RecordFlags::INDIRECTION,
+                                session,
+                            );
+                        }
+                    }
+                }
+                if let Some(incoming) = self.incoming.lock().as_mut() {
+                    if incoming.migration_id == migration_id {
+                        incoming.items_received += count;
+                    }
+                }
+                self.maybe_finalize_incoming(session);
+            }
+            MigrationMsg::CompleteMigration { migration_id, total_items } => {
+                if let Some(incoming) = self.incoming.lock().as_mut() {
+                    if incoming.migration_id == migration_id {
+                        incoming.expected_items = Some(total_items);
+                    }
+                }
+                conn.send(MigrationMsg::Ack {
+                    migration_id,
+                    phase: MigrationAckPhase::Completed,
+                });
+                self.maybe_finalize_incoming(session);
+            }
+            MigrationMsg::Ack { .. } => {
+                // Control-plane acknowledgement; nothing to do.
+            }
+            MigrationMsg::CompactionHandoff { key, value } => {
+                // Insert unless we already have a version for this key that is
+                // not an indirection record (paper §3.3.3).
+                match session.read_outcome(key) {
+                    Ok(ReadOutcome::Found { record, .. }) if !record.is_indirection() => {}
+                    _ => {
+                        let _ = self.store.insert_record(key, &value, RecordFlags::empty(), session);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts a record that arrived via migration, unless a newer version
+    /// already exists locally (a client may have written the key after
+    /// ownership transferred).
+    fn insert_migrated_record(&self, key: u64, value: &[u8], session: &FasterSession) {
+        match session.read_outcome(key) {
+            Ok(ReadOutcome::Found { record, .. }) if !record.is_indirection() => {
+                // Local version is newer; keep it.
+            }
+            _ => {
+                let _ = self.store.insert_record(key, value, RecordFlags::empty(), session);
+            }
+        }
+    }
+
+    /// Finalizes the incoming migration once the source has declared
+    /// completion and every announced item has been received: checkpoint,
+    /// mark complete at the metadata store, stop pending.
+    fn maybe_finalize_incoming(self: &Arc<Self>, session: &FasterSession) {
+        let ready = {
+            let incoming = self.incoming.lock();
+            match incoming.as_ref() {
+                Some(m) => m
+                    .expected_items
+                    .map(|expected| m.items_received >= expected)
+                    .unwrap_or(false),
+                None => false,
+            }
+        };
+        if !ready {
+            return;
+        }
+        let finished = self.incoming.lock().take();
+        self.incoming_active.store(false, Ordering::SeqCst);
+        if let Some(m) = finished {
+            let cp = take_checkpoint(&self.store, session);
+            *self.latest_checkpoint.lock() = Some(cp);
+            let _ = self.meta.mark_complete(m.migration_id, self.id());
+            *self.completed_report.lock() = Some(MigrationReport {
+                migration_id: m.migration_id,
+                role: MigrationRole::Target,
+                bytes_from_memory: 0,
+                records_moved: m.items_received,
+                indirection_records: 0,
+                ssd_bytes_scanned: 0,
+                duration_ms: m.started.elapsed().as_millis() as u64,
+            });
+        }
+    }
+}
+
+/// Builds a hash value that maps to the same bucket and tag as the given
+/// source bucket entry, so the target (whose table is the same size) places
+/// the indirection record in the equivalent chain.
+pub(crate) fn representative_hash(bucket: usize, tag: u16, _table_bits: u32) -> u64 {
+    ((tag as u64) << 48) | bucket as u64
+}
+
+/// The smallest single range enclosing all migrating ranges (indirection
+/// records store one contiguous range; migrations in this reproduction and in
+/// the paper's experiments move one contiguous range at a time).
+fn enclosing_range(ranges: &[HashRange], default: HashRange) -> HashRange {
+    if ranges.is_empty() {
+        return default;
+    }
+    let start = ranges.iter().map(|r| r.start).min().unwrap();
+    let end = ranges.iter().map(|r| r.end).max().unwrap();
+    HashRange::new(start, end)
+}
+
+/// Follows a record chain stored on the shared tier (written there by
+/// `source_log`'s HybridLog flush path) looking for `key`.  Returns the
+/// record if found.
+pub(crate) fn fetch_from_shared_chain(
+    tier: &Arc<SharedBlobTier>,
+    source_log: LogId,
+    mut addr: Address,
+    key: u64,
+) -> Option<RecordOwned> {
+    let mut hops = 0;
+    while addr.is_valid() && hops < 1_000_000 {
+        let mut header_bytes = [0u8; RECORD_HEADER_BYTES];
+        tier.read_log(source_log, addr.raw(), &mut header_bytes).ok()?;
+        let header = RecordHeader::decode(&header_bytes);
+        if header.is_null() {
+            return None;
+        }
+        if header.key == key {
+            let mut value = vec![0u8; header.value_len as usize];
+            if !value.is_empty() {
+                tier.read_log(source_log, addr.raw() + RECORD_HEADER_BYTES as u64, &mut value)
+                    .ok()?;
+            }
+            if header.flags.contains(RecordFlags::TOMBSTONE) {
+                return None;
+            }
+            return Some(RecordOwned { header, value });
+        }
+        addr = header.prev;
+        hops += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_hash_lands_in_same_bucket_and_tag() {
+        let table_bits = 12u32;
+        let bucket = 1234usize;
+        let tag = 0x2ABCu16 & 0x3FFF;
+        let rep = representative_hash(bucket, tag, table_bits);
+        let h = KeyHash(rep);
+        assert_eq!(h.bucket(table_bits), bucket);
+        assert_eq!(h.tag(), tag);
+    }
+
+    #[test]
+    fn enclosing_range_spans_inputs() {
+        let ranges = vec![HashRange::new(100, 200), HashRange::new(400, 500)];
+        let e = enclosing_range(&ranges, HashRange::FULL);
+        assert_eq!(e, HashRange::new(100, 500));
+        assert_eq!(enclosing_range(&[], HashRange::new(1, 2)), HashRange::new(1, 2));
+    }
+
+    #[test]
+    fn source_phase_roundtrip() {
+        for p in [
+            SourcePhase::Sampling,
+            SourcePhase::Prepare,
+            SourcePhase::Transfer,
+            SourcePhase::Migrate,
+            SourcePhase::DiskScan,
+            SourcePhase::Complete,
+        ] {
+            assert_eq!(SourcePhase::from_u8(p as u8), p);
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! The Shadowfax server: per-thread dispatch loops over a shared FASTER
+//! instance (paper §3.1, Figure 4).
+//!
+//! Each server runs one dispatch thread per (v)CPU.  A thread's loop polls
+//! for new connections, drains request batches from its sessions, validates
+//! each batch's view with a single integer comparison, executes the
+//! operations against the shared FASTER instance, and replies on the same
+//! session — no request or result ever crosses threads.  Between batches the
+//! thread refreshes its epoch slot (letting global cuts complete), retries
+//! pending operations, and contributes its share of any in-flight migration
+//! (paper §3.3: migration work is interleaved with request processing).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+
+use shadowfax_faster::{Checkpoint, Faster, FasterSession, KeyHash, ReadOutcome, RecordFlags};
+use shadowfax_net::{BatchReply, Connection, KvRequest, KvResponse, RequestBatch, SimNetwork};
+use shadowfax_storage::{LogId, SharedBlobTier};
+
+use crate::config::{OwnershipCheck, ServerConfig};
+use crate::hash_range::RangeSet;
+use crate::indirection::IndirectionRecord;
+use crate::messages::MigrationMsg;
+use crate::meta::MetadataStore;
+use crate::migration::{IncomingMigration, OutgoingMigration, PendMode, SourceThreadState};
+use crate::ServerId;
+
+/// The client-facing fabric type.
+pub type KvNetwork = SimNetwork<RequestBatch, BatchReply>;
+/// The server-to-server (migration) fabric type.
+pub type MigrationNetwork = SimNetwork<MigrationMsg, MigrationMsg>;
+
+/// A server-side client connection (sends replies, receives request batches).
+pub(crate) type ServerKvConn = Connection<BatchReply, RequestBatch>;
+/// A server-side migration connection.
+pub(crate) type ServerMigConn = Connection<MigrationMsg, MigrationMsg>;
+
+/// A request batch whose reply is being withheld until every operation in it
+/// can be completed (paper §3.3: the target "marks these requests pending,
+/// and it processes them when it receives the corresponding record").
+pub(crate) struct PendingBatch {
+    pub(crate) conn_idx: usize,
+    pub(crate) seq: u64,
+    pub(crate) results: Vec<Option<KvResponse>>,
+    pub(crate) unresolved: Vec<(usize, KvRequest)>,
+}
+
+/// A running Shadowfax server.
+pub struct Server {
+    pub(crate) config: ServerConfig,
+    pub(crate) store: Arc<Faster>,
+    pub(crate) meta: Arc<MetadataStore>,
+    pub(crate) kv_net: Arc<KvNetwork>,
+    pub(crate) mig_net: Arc<MigrationNetwork>,
+    pub(crate) shared_tier: Arc<SharedBlobTier>,
+    /// The view number the server validates batches against.  Lags the
+    /// metadata store's view until the appropriate migration phase flips it.
+    pub(crate) serving_view: AtomicU64,
+    /// The hash ranges this server currently considers itself responsible for.
+    pub(crate) owned: RwLock<RangeSet>,
+    /// Target-side state for an in-flight incoming migration.
+    pub(crate) incoming: Mutex<Option<IncomingMigration>>,
+    /// Source-side state for an in-flight outgoing migration.
+    pub(crate) outgoing: RwLock<Option<Arc<OutgoingMigration>>>,
+    /// Fast-path flag: `true` while `incoming` holds an active migration, so
+    /// the per-operation check avoids the mutex in the common case.
+    pub(crate) incoming_active: AtomicBool,
+    /// The most recently completed migration's report (source or target role).
+    pub(crate) completed_report: Mutex<Option<crate::migration::MigrationReport>>,
+    /// The most recent checkpoint image, kept as the recovery point for this
+    /// server (paper §3.3.1: migration completion checkpoints both ends so
+    /// either can be recovered independently).  Updated by migration
+    /// completion and by [`Server::checkpoint_now`].
+    pub(crate) latest_checkpoint: Mutex<Option<Checkpoint>>,
+    /// Gauge: operations currently pending at this server (Figure 12).
+    pub(crate) pending_gauge: AtomicU64,
+    /// Cumulative count of operations that ever pended.
+    pub(crate) total_pended: AtomicU64,
+    /// Count of records fetched from the shared tier to resolve indirection
+    /// records during normal operation.
+    pub(crate) indirection_fetches: AtomicU64,
+    /// Per-dispatch-thread loop counters.  A thread increments its counter at
+    /// the top of every loop iteration; migration uses them to wait until
+    /// every thread has passed an operation-sequence boundary after the
+    /// ownership-transfer cut (so no old-view batch is still executing when
+    /// the hot set and migrated records are read).
+    pub(crate) loop_generation: Box<[AtomicU64]>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) threads_running: AtomicUsize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("id", &self.config.id)
+            .field("view", &self.serving_view())
+            .field("owned_ranges", &self.owned.read().len())
+            .field("pending_ops", &self.pending_ops())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server, registers it with the metadata store as the owner of
+    /// `initial_ranges`, and returns it (threads are started separately with
+    /// [`Server::spawn_threads`]).
+    pub fn new(
+        config: ServerConfig,
+        initial_ranges: RangeSet,
+        meta: Arc<MetadataStore>,
+        kv_net: Arc<KvNetwork>,
+        mig_net: Arc<MigrationNetwork>,
+        shared_tier: Arc<SharedBlobTier>,
+    ) -> Arc<Self> {
+        config.validate();
+        let epoch = Arc::new(shadowfax_epoch::EpochManager::new());
+        let ssd = Arc::new(shadowfax_storage::SimSsd::new(config.faster.log.ssd_capacity));
+        let shared_handle = shared_tier.handle(LogId(config.id.0 as u64));
+        let store = Faster::new(config.faster, ssd, Some(shared_handle), epoch);
+        meta.register_server(config.id, config.address(), config.threads, initial_ranges.clone());
+        let view = meta.view_of(config.id).unwrap_or(1);
+        Arc::new(Server {
+            store,
+            meta,
+            kv_net,
+            mig_net,
+            shared_tier,
+            serving_view: AtomicU64::new(view),
+            owned: RwLock::new(initial_ranges),
+            incoming: Mutex::new(None),
+            outgoing: RwLock::new(None),
+            incoming_active: AtomicBool::new(false),
+            completed_report: Mutex::new(None),
+            latest_checkpoint: Mutex::new(None),
+            pending_gauge: AtomicU64::new(0),
+            total_pended: AtomicU64::new(0),
+            indirection_fetches: AtomicU64::new(0),
+            loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+            threads_running: AtomicUsize::new(0),
+            config,
+        })
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.config.id
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shared FASTER instance.
+    pub fn store(&self) -> &Arc<Faster> {
+        &self.store
+    }
+
+    /// The log id under which this server writes to the shared tier.
+    pub fn log_id(&self) -> LogId {
+        LogId(self.config.id.0 as u64)
+    }
+
+    /// The view number currently used to validate batches.
+    pub fn serving_view(&self) -> u64 {
+        self.serving_view.load(Ordering::SeqCst)
+    }
+
+    /// The hash ranges this server currently owns.
+    pub fn owned_ranges(&self) -> RangeSet {
+        self.owned.read().clone()
+    }
+
+    /// Overrides the owned range set without a migration (used by the
+    /// Figure 15 experiment to install many hash splits).
+    pub fn set_owned_ranges(&self, ranges: RangeSet) {
+        *self.owned.write() = ranges;
+    }
+
+    /// Number of operations currently pending at this server (Figure 12).
+    pub fn pending_ops(&self) -> u64 {
+        self.pending_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of operations that ever pended.
+    pub fn total_pended_ops(&self) -> u64 {
+        self.total_pended.load(Ordering::Relaxed)
+    }
+
+    /// Operations completed by this server since start (throughput sampling).
+    pub fn completed_ops(&self) -> u64 {
+        self.store.stats().completed_ops()
+    }
+
+    /// Records fetched from the shared tier to resolve indirection records.
+    pub fn indirection_fetches(&self) -> u64 {
+        self.indirection_fetches.load(Ordering::Relaxed)
+    }
+
+    /// `true` while an outgoing (source-side) migration is in flight.
+    pub fn migration_in_progress(&self) -> bool {
+        self.outgoing.read().is_some() || self.incoming.lock().is_some()
+    }
+
+    /// The network address of dispatch thread `t`.
+    pub fn thread_address(&self, t: usize) -> String {
+        format!("{}/t{}", self.config.address(), t % self.config.threads.max(1))
+    }
+
+    /// The migration-network address of dispatch thread `t`.
+    pub fn migration_address(&self, t: usize) -> String {
+        format!("{}/m{}", self.config.address(), t % self.config.threads.max(1))
+    }
+
+    /// Starts the server's dispatch threads.  Returns a handle used to stop
+    /// them.
+    pub fn spawn_threads(self: &Arc<Self>) -> ServerHandle {
+        let mut joins = Vec::with_capacity(self.config.threads);
+        for t in 0..self.config.threads {
+            let server = Arc::clone(self);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-t{}", self.config.address(), t))
+                    .spawn(move || server.run_thread(t))
+                    .expect("failed to spawn server thread"),
+            );
+        }
+        // Wait until every thread has registered its listeners so clients can
+        // connect immediately after this returns.
+        while self.threads_running.load(Ordering::SeqCst) < self.config.threads {
+            std::thread::yield_now();
+        }
+        ServerHandle {
+            server: Arc::clone(self),
+            joins,
+        }
+    }
+
+    /// Requests shutdown of all dispatch threads.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch loop
+    // ------------------------------------------------------------------
+
+    fn run_thread(self: Arc<Self>, thread_id: usize) {
+        let session = self.store.start_session();
+        let kv_listener = self.kv_net.listen(&self.thread_address(thread_id));
+        let mig_listener = self.mig_net.listen(&self.migration_address(thread_id));
+        self.threads_running.fetch_add(1, Ordering::SeqCst);
+
+        let mut kv_conns: Vec<ServerKvConn> = Vec::new();
+        let mut mig_conns: Vec<ServerMigConn> = Vec::new();
+        let mut pending: Vec<PendingBatch> = Vec::new();
+        let mut source_state = SourceThreadState::new(thread_id);
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            // Mark an operation-sequence boundary for this thread: every batch
+            // accepted in earlier iterations has fully completed by now.
+            self.loop_generation[thread_id].fetch_add(1, Ordering::SeqCst);
+            let mut did_work = false;
+
+            // New connections.
+            let new_kv = kv_listener.accept_all();
+            let new_mig = mig_listener.accept_all();
+            did_work |= !new_kv.is_empty() || !new_mig.is_empty();
+            kv_conns.extend(new_kv);
+            mig_conns.extend(new_mig);
+
+            // Client request batches.
+            for conn_idx in 0..kv_conns.len() {
+                loop {
+                    let Some(batch) = kv_conns[conn_idx].try_recv() else { break };
+                    did_work = true;
+                    self.process_batch(batch, conn_idx, &kv_conns, &mut pending, &session);
+                }
+            }
+
+            // Migration messages from peer servers.
+            for conn in &mig_conns {
+                while let Some(msg) = conn.try_recv() {
+                    did_work = true;
+                    self.handle_migration_msg(msg, conn, &session);
+                }
+            }
+
+            // Retry pending operations (bounded per iteration).
+            did_work |= self.retry_pending(&mut pending, &kv_conns, &session);
+
+            // Contribute this thread's share of any outgoing migration.
+            did_work |= self.drive_outgoing(&mut source_state, &session);
+
+            // Let global cuts (view changes, checkpoints, log maintenance)
+            // make progress, then yield if idle.
+            session.refresh();
+            if !did_work {
+                std::thread::yield_now();
+            }
+        }
+
+        self.kv_net.unlisten(&self.thread_address(thread_id));
+        self.mig_net.unlisten(&self.migration_address(thread_id));
+        self.threads_running.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Batch processing
+    // ------------------------------------------------------------------
+
+    fn validate_batch(&self, batch: &RequestBatch) -> bool {
+        match self.config.ownership_check {
+            OwnershipCheck::ViewValidation => batch.view == self.serving_view(),
+            OwnershipCheck::HashValidation => {
+                // Per-key hash-range membership check (the costly baseline of
+                // Figure 15).  The view is still consulted so that migration
+                // cut-over remains correct.
+                if batch.view != self.serving_view() {
+                    return false;
+                }
+                let owned = self.owned.read();
+                batch
+                    .ops
+                    .iter()
+                    .all(|op| owned.contains(KeyHash::of(op.key()).raw()))
+            }
+        }
+    }
+
+    fn process_batch(
+        &self,
+        batch: RequestBatch,
+        conn_idx: usize,
+        kv_conns: &[ServerKvConn],
+        pending: &mut Vec<PendingBatch>,
+        session: &FasterSession,
+    ) {
+        if !self.validate_batch(&batch) {
+            kv_conns[conn_idx].send(BatchReply::Rejected {
+                seq: batch.seq,
+                server_view: self.serving_view(),
+            });
+            return;
+        }
+        let mut results: Vec<Option<KvResponse>> = vec![None; batch.ops.len()];
+        let mut unresolved: Vec<(usize, KvRequest)> = Vec::new();
+        for (i, op) in batch.ops.into_iter().enumerate() {
+            match self.execute_op(&op, false, session) {
+                ExecOutcome::Done(resp) => results[i] = Some(resp),
+                ExecOutcome::Pend => {
+                    self.pending_gauge.fetch_add(1, Ordering::Relaxed);
+                    self.total_pended.fetch_add(1, Ordering::Relaxed);
+                    unresolved.push((i, op));
+                }
+            }
+        }
+        if unresolved.is_empty() {
+            kv_conns[conn_idx].send(BatchReply::Executed {
+                seq: batch.seq,
+                results: results.into_iter().map(|r| r.unwrap()).collect(),
+            });
+        } else {
+            pending.push(PendingBatch {
+                conn_idx,
+                seq: batch.seq,
+                results,
+                unresolved,
+            });
+        }
+    }
+
+    /// Retries pending operations; completes and replies to batches whose
+    /// operations have all resolved.  Returns `true` if any progress was made.
+    fn retry_pending(
+        &self,
+        pending: &mut Vec<PendingBatch>,
+        kv_conns: &[ServerKvConn],
+        session: &FasterSession,
+    ) -> bool {
+        if pending.is_empty() {
+            return false;
+        }
+        let mut budget = self.config.migration.pending_retries_per_iteration;
+        let mut progressed = false;
+        for batch in pending.iter_mut() {
+            if budget == 0 {
+                break;
+            }
+            let mut still_unresolved = Vec::with_capacity(batch.unresolved.len());
+            for (idx, op) in batch.unresolved.drain(..) {
+                if budget == 0 {
+                    still_unresolved.push((idx, op));
+                    continue;
+                }
+                budget -= 1;
+                match self.execute_op(&op, true, session) {
+                    ExecOutcome::Done(resp) => {
+                        batch.results[idx] = Some(resp);
+                        self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    ExecOutcome::Pend => still_unresolved.push((idx, op)),
+                }
+            }
+            batch.unresolved = still_unresolved;
+        }
+        // Reply to fully resolved batches.
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].unresolved.is_empty() {
+                let done = pending.swap_remove(i);
+                kv_conns[done.conn_idx].send(BatchReply::Executed {
+                    seq: done.seq,
+                    results: done.results.into_iter().map(|r| r.unwrap()).collect(),
+                });
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        progressed
+    }
+
+    /// Executes one operation.  `is_retry` permits slow work (shared-tier
+    /// fetches) that the first attempt defers by pending the operation.
+    fn execute_op(&self, op: &KvRequest, is_retry: bool, session: &FasterSession) -> ExecOutcome {
+        let key = op.key();
+        let hash = KeyHash::of(key).raw();
+
+        // Target-side pending rules while an incoming migration is active.
+        // The atomic flag keeps the common (no migration) case lock-free.
+        let pend_mode = if self.incoming_active.load(Ordering::Relaxed) {
+            let incoming = self.incoming.lock();
+            incoming
+                .as_ref()
+                .filter(|m| m.ranges.contains(hash))
+                .map(|m| m.mode)
+        } else {
+            None
+        };
+        if let Some(PendMode::PendAll) = pend_mode {
+            return ExecOutcome::Pend;
+        }
+
+        match op {
+            KvRequest::Upsert { key, value } => match session.upsert(*key, value) {
+                Ok(()) => ExecOutcome::Done(KvResponse::Ok),
+                Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+            },
+            KvRequest::Delete { key } => match session.delete(*key) {
+                Ok(existed) => ExecOutcome::Done(KvResponse::Deleted(existed)),
+                Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+            },
+            KvRequest::Read { key } | KvRequest::RmwAdd { key, .. } => {
+                // Both need the current record; look it up first.
+                match session.read_outcome(*key) {
+                    Ok(ReadOutcome::Found { record, .. }) if record.is_indirection() => {
+                        if !is_retry {
+                            // Defer the shared-tier access: the op pends and a
+                            // later retry performs the fetch (paper §3.3.2).
+                            return ExecOutcome::Pend;
+                        }
+                        match self.resolve_indirection(*key, record.value(), session) {
+                            Some(()) => self.execute_resolved(op, session),
+                            None => self.finish_missing(op, session),
+                        }
+                    }
+                    Ok(ReadOutcome::Found { .. }) => self.execute_resolved(op, session),
+                    Ok(ReadOutcome::NotFound) => {
+                        if pend_mode == Some(PendMode::PendMissing) {
+                            // The record may simply not have been migrated yet.
+                            ExecOutcome::Pend
+                        } else {
+                            self.finish_missing(op, session)
+                        }
+                    }
+                    Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Executes a read or RMW once the record is known to be locally present.
+    fn execute_resolved(&self, op: &KvRequest, session: &FasterSession) -> ExecOutcome {
+        match op {
+            KvRequest::Read { key } => match session.read(*key) {
+                Ok(v) => ExecOutcome::Done(KvResponse::Value(v)),
+                Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+            },
+            KvRequest::RmwAdd { key, delta } => {
+                // The record exists; the initial value is only used if it was
+                // concurrently deleted, in which case YCSB-F semantics apply.
+                let initial = vec![0u8; 256];
+                match session.rmw_add(*key, *delta, &initial) {
+                    Ok(counter) => ExecOutcome::Done(KvResponse::Counter(counter)),
+                    Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+                }
+            }
+            _ => unreachable!("execute_resolved only handles reads and RMWs"),
+        }
+    }
+
+    /// Completes a read or RMW for a key that genuinely does not exist.
+    fn finish_missing(&self, op: &KvRequest, session: &FasterSession) -> ExecOutcome {
+        match op {
+            KvRequest::Read { .. } => ExecOutcome::Done(KvResponse::Value(None)),
+            KvRequest::RmwAdd { key, delta } => {
+                // YCSB-F semantics: missing records are created with a zeroed
+                // 256-byte value before the increment is applied.
+                let initial = vec![0u8; 256];
+                match session.rmw_add(*key, *delta, &initial) {
+                    Ok(counter) => ExecOutcome::Done(KvResponse::Counter(counter)),
+                    Err(e) => ExecOutcome::Done(KvResponse::Error(e.to_string())),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Fetches the record for `key` from the shared tier by following the
+    /// chain named by an indirection record's payload, inserting it locally.
+    /// Returns `None` if the key does not exist on the source's chain.
+    fn resolve_indirection(
+        &self,
+        key: u64,
+        payload: &[u8],
+        session: &FasterSession,
+    ) -> Option<()> {
+        let ind = IndirectionRecord::decode_value(payload)?;
+        let record = crate::migration::fetch_from_shared_chain(
+            &self.shared_tier,
+            ind.source_log,
+            ind.chain_address,
+            key,
+        )?;
+        self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+        // Insert unless a newer local version appeared meanwhile.
+        if matches!(session.read_outcome(key), Ok(ReadOutcome::NotFound))
+            || matches!(
+                session.read_outcome(key),
+                Ok(ReadOutcome::Found { ref record, .. }) if record.is_indirection()
+            )
+        {
+            let _ = self.store.insert_record(key, record.value(), RecordFlags::empty(), session);
+        }
+        Some(())
+    }
+}
+
+enum ExecOutcome {
+    Done(KvResponse),
+    Pend,
+}
+
+/// Join handle for a server's dispatch threads.
+pub struct ServerHandle {
+    server: Arc<Server>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("server", &self.server.id())
+            .field("threads", &self.joins.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The server being run.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Stops the dispatch threads and waits for them to exit.
+    pub fn shutdown(self) {
+        self.server.request_shutdown();
+        for j in self.joins {
+            let _ = j.join();
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Explicit global-cut bookkeeping.
+//!
+//! [`EpochManager::bump_with_action`](crate::EpochManager::bump_with_action)
+//! realizes a cut implicitly — the action runs once every thread has crossed
+//! it.  Some protocols additionally need to *record* the per-thread positions
+//! that made up the cut: Shadowfax's ownership transfer pushes the cut out to
+//! client sessions, and its (future-work) client-assisted recovery replays
+//! operations after the cut.  [`GlobalCut`] provides that bookkeeping: each
+//! participating thread marks the position it chose (an operation sequence
+//! number), and the cut is complete once every participant has marked.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sentinel meaning "participant has not yet chosen its cut point".
+const UNMARKED: u64 = u64::MAX;
+
+/// A cut across `n` participants' operation sequences.
+///
+/// Each participant independently calls [`CutParticipant::mark`] with the
+/// sequence number of the last operation it performed *before* the cut.  The
+/// cut is complete once every participant has marked; the collected positions
+/// then describe an unambiguous before/after boundary over all concurrent
+/// operation streams (paper §2.1, Figure 3).
+#[derive(Debug)]
+pub struct GlobalCut {
+    positions: Box<[AtomicU64]>,
+    remaining: AtomicUsize,
+}
+
+impl GlobalCut {
+    /// Creates a cut with `participants` slots and returns one handle per
+    /// participant.
+    pub fn new(participants: usize) -> (Arc<Self>, Vec<CutParticipant>) {
+        let cut = Arc::new(Self {
+            positions: (0..participants).map(|_| AtomicU64::new(UNMARKED)).collect(),
+            remaining: AtomicUsize::new(participants),
+        });
+        let handles = (0..participants)
+            .map(|idx| CutParticipant {
+                cut: Arc::clone(&cut),
+                idx,
+            })
+            .collect();
+        (cut, handles)
+    }
+
+    /// Number of participants that have not yet marked their position.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// `true` once every participant has marked.
+    pub fn is_complete(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Positions chosen by each participant, or `None` for participants that
+    /// have not marked yet.
+    pub fn positions(&self) -> Vec<Option<u64>> {
+        self.positions
+            .iter()
+            .map(|p| {
+                let v = p.load(Ordering::SeqCst);
+                (v != UNMARKED).then_some(v)
+            })
+            .collect()
+    }
+
+    /// The completed cut as a vector of positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is not yet complete.
+    pub fn completed_positions(&self) -> Vec<u64> {
+        assert!(self.is_complete(), "global cut is not complete");
+        self.positions
+            .iter()
+            .map(|p| p.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn mark(&self, idx: usize, position: u64) -> bool {
+        assert_ne!(position, UNMARKED, "u64::MAX is reserved");
+        let prev = self.positions[idx].swap(position, Ordering::SeqCst);
+        if prev == UNMARKED {
+            let left = self.remaining.fetch_sub(1, Ordering::SeqCst) - 1;
+            left == 0
+        } else {
+            // Re-marking is idempotent with respect to completion.
+            false
+        }
+    }
+}
+
+/// One participant's handle on a [`GlobalCut`].
+#[derive(Debug, Clone)]
+pub struct CutParticipant {
+    cut: Arc<GlobalCut>,
+    idx: usize,
+}
+
+impl CutParticipant {
+    /// Records this participant's cut position.  Returns `true` if this call
+    /// completed the cut (i.e. this was the last participant to mark).
+    pub fn mark(&self, position: u64) -> bool {
+        self.cut.mark(self.idx, position)
+    }
+
+    /// The participant's index within the cut.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The underlying cut, for observing completion.
+    pub fn cut(&self) -> &Arc<GlobalCut> {
+        &self.cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_completes_when_all_mark() {
+        let (cut, parts) = GlobalCut::new(3);
+        assert!(!cut.is_complete());
+        assert!(!parts[0].mark(10));
+        assert!(!parts[1].mark(20));
+        assert!(!cut.is_complete());
+        assert!(parts[2].mark(30));
+        assert!(cut.is_complete());
+        assert_eq!(cut.completed_positions(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn remark_does_not_double_complete() {
+        let (cut, parts) = GlobalCut::new(2);
+        assert!(!parts[0].mark(1));
+        assert!(!parts[0].mark(2));
+        assert_eq!(cut.remaining(), 1);
+        assert!(parts[1].mark(3));
+        assert_eq!(cut.positions(), vec![Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn zero_participant_cut_is_trivially_complete() {
+        let (cut, parts) = GlobalCut::new(0);
+        assert!(parts.is_empty());
+        assert!(cut.is_complete());
+        assert!(cut.completed_positions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not complete")]
+    fn completed_positions_panics_when_incomplete() {
+        let (cut, _parts) = GlobalCut::new(1);
+        let _ = cut.completed_positions();
+    }
+
+    #[test]
+    fn concurrent_marks() {
+        let (cut, parts) = GlobalCut::new(8);
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| std::thread::spawn(move || p.mark(i as u64 * 100)))
+            .collect();
+        let completions: usize = handles
+            .into_iter()
+            .map(|h| usize::from(h.join().unwrap()))
+            .sum();
+        assert_eq!(completions, 1, "exactly one mark call completes the cut");
+        assert!(cut.is_complete());
+    }
+}

@@ -1,0 +1,57 @@
+//! Epoch-based memory protection and asynchronous global cuts.
+//!
+//! This crate implements the synchronization substrate that both FASTER and
+//! Shadowfax are built on (paper §2.1): a *LightEpoch*-style epoch manager.
+//!
+//! Threads that access shared, lock-free structures register with an
+//! [`EpochManager`] and bracket every access with [`ThreadEpoch::protect`] /
+//! the returned [`Guard`].  Internally the manager keeps a global epoch
+//! counter and, for every registered thread, the epoch value that thread most
+//! recently observed.  Memory (or any other resource) that was retired at
+//! epoch `e` can be reclaimed once every registered thread has observed an
+//! epoch greater than `e` — i.e. once `e` has become *safe*.
+//!
+//! Beyond memory safety, the same machinery provides the paper's central
+//! coordination primitive: **asynchronous global cuts**.  A caller bumps the
+//! global epoch and registers a *trigger action* that runs exactly once, as
+//! soon as every thread has refreshed past the bump.  The set of per-thread
+//! refresh points forms a cut across all threads' operation sequences without
+//! ever stalling any of them.  FASTER's checkpointing, and Shadowfax's
+//! ownership transfer and migration phases, are all expressed as sequences of
+//! such cuts (see `shadowfax-faster` and the `shadowfax` core crate).
+//!
+//! # Example
+//!
+//! ```
+//! use shadowfax_epoch::EpochManager;
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//!
+//! let epoch = Arc::new(EpochManager::new());
+//! let thread = epoch.register();
+//!
+//! // Protect an access to a shared structure.
+//! {
+//!     let _guard = thread.protect();
+//!     // ... read or update lock-free state ...
+//! }
+//!
+//! // Create a global cut: the flag flips only after every registered thread
+//! // has refreshed past the bump.
+//! let flag = Arc::new(AtomicBool::new(false));
+//! let f = flag.clone();
+//! epoch.bump_with_action(move || f.store(true, Ordering::SeqCst));
+//! thread.refresh();            // this thread observes the new epoch
+//! epoch.try_drain();           // actions whose cut is complete run here
+//! assert!(flag.load(Ordering::SeqCst));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cut;
+mod manager;
+mod thread_id;
+
+pub use cut::{CutParticipant, GlobalCut};
+pub use manager::{EpochAction, EpochManager, Guard, ThreadEpoch, MAX_THREADS, UNPROTECTED};
+pub use thread_id::ThreadIdAllocator;

@@ -1,0 +1,503 @@
+//! The epoch manager: per-thread protection slots, a global epoch counter,
+//! and a drain list of trigger actions.
+//!
+//! The design follows FASTER's `LightEpoch`:
+//!
+//! * a global monotonically increasing epoch counter,
+//! * a fixed table of per-thread slots recording the epoch each registered
+//!   thread most recently observed while protected,
+//! * a drain list of `(trigger_epoch, action)` pairs.  An action becomes
+//!   eligible once the *safe epoch* — the largest epoch every registered,
+//!   protected thread has moved past — reaches its trigger epoch, and is then
+//!   executed exactly once by whichever thread notices first.
+//!
+//! Bumping the epoch together with registering an action is the mechanism the
+//! paper calls an **asynchronous global cut**: no thread is ever stalled, yet
+//! the action is guaranteed to run only after every thread has crossed the
+//! cut (refreshed its slot past the bump).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::thread_id::ThreadIdAllocator;
+
+/// Maximum number of threads that may be registered with one [`EpochManager`].
+pub const MAX_THREADS: usize = 128;
+
+/// Sentinel slot value meaning "this thread is not currently protected".
+pub const UNPROTECTED: u64 = 0;
+
+/// A deferred action registered with [`EpochManager::bump_with_action`].
+pub type EpochAction = Box<dyn FnOnce() + Send + 'static>;
+
+struct DrainItem {
+    /// The action runs once `safe_epoch() >= trigger_epoch`.
+    trigger_epoch: u64,
+    action: EpochAction,
+}
+
+/// Epoch manager shared by every thread of a FASTER / Shadowfax instance.
+///
+/// See the crate-level documentation for the protocol.  The manager is cheap
+/// to share behind an [`Arc`]; all hot-path operations (protect, refresh,
+/// unprotect) are a single store plus, rarely, a drain check.
+pub struct EpochManager {
+    /// Global epoch. Starts at 1 so that `UNPROTECTED` (0) never collides with
+    /// a real epoch value.
+    current: CachePadded<AtomicU64>,
+    /// Per-thread slots; `UNPROTECTED` or the epoch observed at protect time.
+    table: Box<[CachePadded<AtomicU64>]>,
+    /// Allocator for dense thread indices into `table`.
+    ids: ThreadIdAllocator,
+    /// Deferred trigger actions.
+    drain_list: Mutex<Vec<DrainItem>>,
+    /// Fast-path count of pending drain items (avoids taking the lock when 0).
+    drain_count: AtomicUsize,
+}
+
+impl std::fmt::Debug for EpochManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochManager")
+            .field("current", &self.current_epoch())
+            .field("safe", &self.safe_epoch())
+            .field("registered", &self.ids.in_use())
+            .field("pending_actions", &self.drain_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for EpochManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochManager {
+    /// Creates a manager supporting up to [`MAX_THREADS`] registered threads.
+    pub fn new() -> Self {
+        Self::with_capacity(MAX_THREADS)
+    }
+
+    /// Creates a manager supporting up to `capacity` registered threads.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let table = (0..capacity)
+            .map(|_| CachePadded::new(AtomicU64::new(UNPROTECTED)))
+            .collect();
+        Self {
+            current: CachePadded::new(AtomicU64::new(1)),
+            table,
+            ids: ThreadIdAllocator::new(capacity),
+            drain_list: Mutex::new(Vec::new()),
+            drain_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers the calling thread, returning a handle used to protect
+    /// accesses.  The slot is released when the handle is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than the configured number of threads register at once.
+    pub fn register(self: &Arc<Self>) -> ThreadEpoch {
+        let idx = self
+            .ids
+            .acquire()
+            .expect("too many threads registered with EpochManager");
+        ThreadEpoch {
+            manager: Arc::clone(self),
+            idx,
+        }
+    }
+
+    /// The current global epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Number of threads currently registered.
+    pub fn registered_threads(&self) -> usize {
+        self.ids.in_use()
+    }
+
+    /// Computes the *safe epoch*: the largest epoch `e` such that every
+    /// currently protected thread has observed an epoch strictly greater than
+    /// `e`.  If no thread is protected, every epoch below the current one is
+    /// safe.
+    pub fn safe_epoch(&self) -> u64 {
+        let current = self.current.load(Ordering::SeqCst);
+        let mut min_observed = u64::MAX;
+        for slot in self.table.iter() {
+            let v = slot.load(Ordering::SeqCst);
+            if v != UNPROTECTED && v < min_observed {
+                min_observed = v;
+            }
+        }
+        if min_observed == u64::MAX {
+            current.saturating_sub(0)
+        } else {
+            min_observed.saturating_sub(1).min(current)
+        }
+    }
+
+    /// Returns `true` once `epoch` is safe (every protected thread has moved
+    /// past it).
+    pub fn is_safe(&self, epoch: u64) -> bool {
+        self.safe_epoch() >= epoch
+    }
+
+    /// Atomically advances the global epoch by one and returns the *new*
+    /// epoch value.
+    pub fn bump(&self) -> u64 {
+        let new = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        new
+    }
+
+    /// Advances the global epoch and registers `action` to run exactly once
+    /// after every registered thread has observed the new epoch — i.e. after
+    /// the global cut created by this bump is complete.
+    ///
+    /// Returns the new epoch value.
+    pub fn bump_with_action<F>(&self, action: F) -> u64
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // The cut is "complete" once the epoch value that was current *before*
+        // the bump becomes safe: at that point every protected thread has
+        // refreshed to at least the bumped epoch.
+        let trigger_epoch;
+        {
+            let mut list = self.drain_list.lock();
+            let new = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+            trigger_epoch = new - 1;
+            list.push(DrainItem {
+                trigger_epoch,
+                action: Box::new(action),
+            });
+            self.drain_count.fetch_add(1, Ordering::SeqCst);
+        }
+        // The cut may already be complete (e.g. no thread is protected).
+        self.try_drain();
+        trigger_epoch + 1
+    }
+
+    /// Executes any registered actions whose cut has completed.  Called from
+    /// protect/refresh on the hot path (guarded by a cheap counter check) and
+    /// callable directly by control-plane code.
+    ///
+    /// Returns the number of actions executed.
+    pub fn try_drain(&self) -> usize {
+        if self.drain_count.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+        let safe = self.safe_epoch();
+        let ready: Vec<DrainItem> = {
+            let mut list = self.drain_list.lock();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < list.len() {
+                if list[i].trigger_epoch <= safe {
+                    ready.push(list.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if !ready.is_empty() {
+                self.drain_count.fetch_sub(ready.len(), Ordering::SeqCst);
+            }
+            ready
+        };
+        // Run actions outside the lock: they may themselves bump the epoch and
+        // register further actions (checkpoint and migration state machines do
+        // exactly this).
+        let count = ready.len();
+        for item in ready {
+            (item.action)();
+        }
+        count
+    }
+
+    /// Number of actions currently waiting for their cut to complete.
+    pub fn pending_actions(&self) -> usize {
+        self.drain_count.load(Ordering::SeqCst)
+    }
+
+    fn protect_slot(&self, idx: usize) -> u64 {
+        let e = self.current.load(Ordering::SeqCst);
+        self.table[idx].store(e, Ordering::SeqCst);
+        if self.drain_count.load(Ordering::Relaxed) > 0 {
+            self.try_drain();
+        }
+        e
+    }
+
+    fn unprotect_slot(&self, idx: usize) {
+        self.table[idx].store(UNPROTECTED, Ordering::SeqCst);
+    }
+}
+
+/// Per-thread registration handle.
+///
+/// The handle owns a slot in the epoch table.  It is **not** `Sync`: each
+/// thread registers for itself.  It is `Send` so a thread pool can be set up
+/// by a coordinator and handles moved onto worker threads.
+pub struct ThreadEpoch {
+    manager: Arc<EpochManager>,
+    idx: usize,
+}
+
+impl std::fmt::Debug for ThreadEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadEpoch").field("idx", &self.idx).finish()
+    }
+}
+
+impl ThreadEpoch {
+    /// The dense index of this thread in the epoch table.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The manager this handle is registered with.
+    pub fn manager(&self) -> &Arc<EpochManager> {
+        &self.manager
+    }
+
+    /// Marks the thread protected at the current epoch and returns a guard
+    /// that removes the protection when dropped.
+    pub fn protect(&self) -> Guard<'_> {
+        let epoch = self.manager.protect_slot(self.idx);
+        Guard { owner: self, epoch }
+    }
+
+    /// Re-reads the global epoch into this thread's slot without dropping
+    /// protection, and drains any completed actions.
+    ///
+    /// Long-running protected loops (server dispatch threads) call this
+    /// between operations so that global cuts make progress.
+    pub fn refresh(&self) -> u64 {
+        self.manager.protect_slot(self.idx)
+    }
+
+    /// Explicitly removes protection (equivalent to dropping all guards).
+    pub fn unprotect(&self) {
+        self.manager.unprotect_slot(self.idx);
+    }
+
+    /// Epoch value currently recorded for this thread (0 if unprotected).
+    pub fn observed_epoch(&self) -> u64 {
+        self.manager.table[self.idx].load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadEpoch {
+    fn drop(&mut self) {
+        self.manager.unprotect_slot(self.idx);
+        self.manager.ids.release(self.idx);
+        // Give pending actions a chance to run now that this thread no longer
+        // holds up the cut.
+        self.manager.try_drain();
+    }
+}
+
+/// RAII protection scope returned by [`ThreadEpoch::protect`].
+#[must_use = "dropping the guard immediately removes epoch protection"]
+pub struct Guard<'a> {
+    owner: &'a ThreadEpoch,
+    epoch: u64,
+}
+
+impl<'a> Guard<'a> {
+    /// The epoch observed when this guard was created.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Refreshes the owning thread's slot to the current global epoch.
+    pub fn refresh(&mut self) {
+        self.epoch = self.owner.refresh();
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.owner.unprotect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn bump_increases_epoch() {
+        let m = EpochManager::new();
+        let e0 = m.current_epoch();
+        let e1 = m.bump();
+        assert_eq!(e1, e0 + 1);
+        assert_eq!(m.current_epoch(), e1);
+    }
+
+    #[test]
+    fn action_fires_immediately_when_no_thread_protected() {
+        let m = Arc::new(EpochManager::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        m.bump_with_action(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(m.pending_actions(), 0);
+    }
+
+    #[test]
+    fn action_waits_for_protected_thread() {
+        let m = Arc::new(EpochManager::new());
+        let t = m.register();
+        let _g = t.protect();
+
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        m.bump_with_action(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // The protected thread has not refreshed past the bump yet.
+        m.try_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+
+        // Refreshing completes the cut.
+        t.refresh();
+        m.try_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn action_fires_exactly_once() {
+        let m = Arc::new(EpochManager::new());
+        let t = m.register();
+        let _g = t.protect();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        m.bump_with_action(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        t.refresh();
+        for _ in 0..10 {
+            m.try_drain();
+            t.refresh();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropping_guard_unprotects() {
+        let m = Arc::new(EpochManager::new());
+        let t = m.register();
+        {
+            let _g = t.protect();
+            assert_ne!(t.observed_epoch(), UNPROTECTED);
+        }
+        assert_eq!(t.observed_epoch(), UNPROTECTED);
+    }
+
+    #[test]
+    fn dropping_thread_handle_completes_cut() {
+        let m = Arc::new(EpochManager::new());
+        let t = m.register();
+        let _g = t.protect();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        m.bump_with_action(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        drop(_g);
+        drop(t);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn safe_epoch_tracks_minimum_observed() {
+        let m = Arc::new(EpochManager::new());
+        let t1 = m.register();
+        let t2 = m.register();
+        let _g1 = t1.protect();
+        let _g2 = t2.protect();
+        let protected_at = m.current_epoch();
+        m.bump();
+        m.bump();
+        // Neither thread refreshed: safe epoch stays below their observation.
+        assert_eq!(m.safe_epoch(), protected_at - 1);
+        t1.refresh();
+        // t2 still pins the old epoch.
+        assert_eq!(m.safe_epoch(), protected_at - 1);
+        t2.refresh();
+        assert_eq!(m.safe_epoch(), m.current_epoch() - 1);
+    }
+
+    #[test]
+    fn actions_registered_by_actions_run() {
+        let m = Arc::new(EpochManager::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f_outer = fired.clone();
+        let m2 = m.clone();
+        m.bump_with_action(move || {
+            let f_inner = f_outer.clone();
+            f_outer.fetch_add(1, Ordering::SeqCst);
+            m2.bump_with_action(move || {
+                f_inner.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        m.try_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn multithreaded_cut_counts_every_thread() {
+        // N worker threads continuously protect/refresh; a cut must observe
+        // all of them before its action runs.
+        use std::sync::atomic::AtomicBool;
+        let m = Arc::new(EpochManager::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            let stop = stop.clone();
+            let started = started.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = m.register();
+                started.fetch_add(1, Ordering::SeqCst);
+                while !stop.load(Ordering::SeqCst) {
+                    let _g = t.protect();
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        while started.load(Ordering::SeqCst) < 4 {
+            std::thread::yield_now();
+        }
+        let fired = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let f = fired.clone();
+            m.bump_with_action(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // The workers' protect() calls double as refresh+drain.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) < 50 && std::time::Instant::now() < deadline {
+            m.try_drain();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.try_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), 50);
+    }
+}

@@ -1,0 +1,126 @@
+//! Allocation of small, dense thread identifiers.
+//!
+//! The epoch table is a fixed array indexed by a small per-thread id.  Ids are
+//! handed out from a free list so that short-lived worker threads (tests,
+//! migration helpers) recycle slots instead of exhausting the table.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Allocates dense thread ids in `0..capacity`.
+///
+/// Allocation and release are lock-free; each slot is a single atomic flag.
+#[derive(Debug)]
+pub struct ThreadIdAllocator {
+    slots: Box<[AtomicBool]>,
+}
+
+impl ThreadIdAllocator {
+    /// Creates an allocator with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        let slots = (0..capacity).map(|_| AtomicBool::new(false)).collect();
+        Self { slots }
+    }
+
+    /// Number of slots managed by this allocator.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Acquires a free id, or `None` if every slot is in use.
+    pub fn acquire(&self) -> Option<usize> {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Releases a previously acquired id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or was not currently acquired; both
+    /// indicate a double-release bug in the caller.
+    pub fn release(&self, id: usize) {
+        let slot = &self.slots[id];
+        let was = slot.swap(false, Ordering::AcqRel);
+        assert!(was, "thread id {id} released twice");
+    }
+
+    /// Number of ids currently acquired.
+    pub fn in_use(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let alloc = ThreadIdAllocator::new(4);
+        let a = alloc.acquire().unwrap();
+        let b = alloc.acquire().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(alloc.in_use(), 2);
+        alloc.release(a);
+        assert_eq!(alloc.in_use(), 1);
+        let c = alloc.acquire().unwrap();
+        assert_eq!(c, a, "released slot should be reused first");
+        alloc.release(b);
+        alloc.release(c);
+        assert_eq!(alloc.in_use(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let alloc = ThreadIdAllocator::new(2);
+        let a = alloc.acquire().unwrap();
+        let b = alloc.acquire().unwrap();
+        assert!(alloc.acquire().is_none());
+        alloc.release(a);
+        assert!(alloc.acquire().is_some());
+        alloc.release(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_panics() {
+        let alloc = ThreadIdAllocator::new(2);
+        let a = alloc.acquire().unwrap();
+        alloc.release(a);
+        alloc.release(a);
+    }
+
+    #[test]
+    fn concurrent_acquire_is_unique() {
+        use std::sync::Arc;
+        let alloc = Arc::new(ThreadIdAllocator::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let alloc = alloc.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..8 {
+                    ids.push(alloc.acquire().unwrap());
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 64, "every acquired id must be distinct");
+    }
+}

@@ -1,0 +1,65 @@
+//! FASTER store configuration.
+
+use shadowfax_hlog::LogConfig;
+
+/// Configuration for a [`Faster`](crate::Faster) instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FasterConfig {
+    /// log2 of the number of main hash-table buckets.
+    pub table_bits: u32,
+    /// HybridLog sizing.
+    pub log: LogConfig,
+}
+
+impl FasterConfig {
+    /// A small configuration for unit tests: 4 Ki buckets, tiny log.
+    pub fn small_for_tests() -> Self {
+        FasterConfig {
+            table_bits: 12,
+            log: LogConfig::small_for_tests(),
+        }
+    }
+
+    /// A server-scale default: 4 Mi buckets, 256 MiB of in-memory log.
+    pub fn server_default() -> Self {
+        FasterConfig {
+            table_bits: 22,
+            log: LogConfig::server_default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unusable parameter combinations.
+    pub fn validate(&self) {
+        assert!(self.table_bits >= 1 && self.table_bits <= 30, "table_bits out of range");
+        self.log.validate();
+    }
+}
+
+impl Default for FasterConfig {
+    fn default() -> Self {
+        Self::server_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        FasterConfig::small_for_tests().validate();
+        FasterConfig::server_default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "table_bits")]
+    fn zero_table_bits_rejected() {
+        let mut c = FasterConfig::small_for_tests();
+        c.table_bits = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,535 @@
+//! The lock-free hash index (paper §2, Figure 2).
+//!
+//! The index is an array of cache-line-sized buckets.  Each bucket holds
+//! seven 8-byte entries plus an overflow pointer to another bucket.  An entry
+//! packs a 48-bit HybridLog address, a 14-bit tag (extra key-hash bits that
+//! disambiguate chains without a cache miss), and a *tentative* bit used by
+//! the two-phase lock-free insert protocol.
+//!
+//! Every entry is the head of a reverse linked list of records on the log
+//! whose key hashes share the bucket and tag.  All mutations are single-word
+//! compare-and-swap operations; readers never block writers and vice versa.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use shadowfax_hlog::{Address, INVALID_ADDRESS};
+
+use crate::key_hash::KeyHash;
+
+/// Entries per bucket that hold records (the eighth slot is the overflow
+/// pointer).
+pub const ENTRIES_PER_BUCKET: usize = 7;
+
+const ADDR_MASK: u64 = (1 << 48) - 1;
+const TAG_SHIFT: u32 = 48;
+const TAG_MASK: u64 = ((1 << KeyHash::TAG_BITS) - 1) as u64;
+const TENTATIVE_BIT: u64 = 1 << 62;
+/// An overflow "pointer" is the overflow bucket's index plus one (zero means
+/// no overflow bucket).
+const EMPTY_ENTRY: u64 = 0;
+
+/// A decoded bucket entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketEntry {
+    /// Head of the record chain for this entry.
+    pub address: Address,
+    /// The 14-bit key-hash tag.
+    pub tag: u16,
+    /// Set while a two-phase insert is in flight.
+    pub tentative: bool,
+}
+
+impl BucketEntry {
+    /// Packs the entry into its 64-bit wire form.
+    pub fn pack(&self) -> u64 {
+        (self.address.raw() & ADDR_MASK)
+            | (((self.tag as u64) & TAG_MASK) << TAG_SHIFT)
+            | if self.tentative { TENTATIVE_BIT } else { 0 }
+    }
+
+    /// Decodes a 64-bit entry.  Returns `None` for an empty slot.
+    pub fn unpack(raw: u64) -> Option<Self> {
+        if raw == EMPTY_ENTRY {
+            return None;
+        }
+        Some(BucketEntry {
+            address: Address::new(raw & ADDR_MASK),
+            tag: ((raw >> TAG_SHIFT) & TAG_MASK) as u16,
+            tentative: raw & TENTATIVE_BIT != 0,
+        })
+    }
+}
+
+/// One cache-line-sized bucket: seven entries plus an overflow pointer.
+#[repr(align(64))]
+struct HashBucket {
+    entries: [AtomicU64; ENTRIES_PER_BUCKET],
+    /// Index+1 of the overflow bucket in the overflow pool (0 = none).
+    overflow: AtomicU64,
+}
+
+impl HashBucket {
+    fn new() -> Self {
+        HashBucket {
+            entries: Default::default(),
+            overflow: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A snapshot of one live entry, used by migration to walk the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// Main-table bucket this entry belongs to.
+    pub bucket: usize,
+    /// The decoded entry.
+    pub entry: BucketEntry,
+}
+
+/// The lock-free hash index.
+pub struct HashIndex {
+    table_bits: u32,
+    main: Box<[HashBucket]>,
+    overflow: Box<[HashBucket]>,
+    overflow_next: AtomicUsize,
+}
+
+impl std::fmt::Debug for HashIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashIndex")
+            .field("buckets", &self.main.len())
+            .field("overflow_in_use", &self.overflow_next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl HashIndex {
+    /// Creates an index with `1 << table_bits` main buckets and an overflow
+    /// pool sized at one quarter of the main table (with a generous floor so
+    /// that deliberately tiny tables used in tests still work).
+    pub fn new(table_bits: u32) -> Self {
+        let n = 1usize << table_bits;
+        let overflow_n = (n / 4).max(256);
+        HashIndex {
+            table_bits,
+            main: (0..n).map(|_| HashBucket::new()).collect(),
+            overflow: (0..overflow_n).map(|_| HashBucket::new()).collect(),
+            overflow_next: AtomicUsize::new(0),
+        }
+    }
+
+    /// log2 of the number of main buckets.
+    pub fn table_bits(&self) -> u32 {
+        self.table_bits
+    }
+
+    /// Number of main buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.main.len()
+    }
+
+    fn bucket_chain(&self, bucket: usize) -> BucketChainIter<'_> {
+        BucketChainIter {
+            index: self,
+            current: Some(&self.main[bucket]),
+        }
+    }
+
+    /// Finds the entry slot for `hash`, if one exists (matching tag,
+    /// non-tentative).  Returns the slot and its decoded value.
+    pub fn find_entry(&self, hash: KeyHash) -> Option<(&AtomicU64, BucketEntry)> {
+        let tag = hash.tag();
+        for bucket in self.bucket_chain(hash.bucket(self.table_bits)) {
+            for slot in &bucket.entries {
+                let raw = slot.load(Ordering::Acquire);
+                if let Some(entry) = BucketEntry::unpack(raw) {
+                    if entry.tag == tag && !entry.tentative {
+                        return Some((slot, entry));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds the entry for `hash`, creating an empty (address =
+    /// [`INVALID_ADDRESS`]) entry if none exists.  Uses the two-phase
+    /// tentative-bit protocol so that two concurrent creators for the same tag
+    /// cannot both install an entry.
+    pub fn find_or_create_entry(&self, hash: KeyHash) -> (&AtomicU64, BucketEntry) {
+        let tag = hash.tag();
+        loop {
+            if let Some(found) = self.find_entry(hash) {
+                return found;
+            }
+            // Phase 1: claim a free slot with the tentative bit set.
+            let Some(slot) = self.claim_free_slot(hash.bucket(self.table_bits), tag) else {
+                // No free slot: retry after another thread's insert settles or
+                // an overflow bucket is linked in by `claim_free_slot`.
+                std::hint::spin_loop();
+                continue;
+            };
+            // Phase 2: check for a concurrent non-tentative duplicate.  If one
+            // exists we back off and use it.
+            let mut duplicate = false;
+            for bucket in self.bucket_chain(hash.bucket(self.table_bits)) {
+                for other in &bucket.entries {
+                    if std::ptr::eq(other, slot) {
+                        continue;
+                    }
+                    if let Some(e) = BucketEntry::unpack(other.load(Ordering::Acquire)) {
+                        if e.tag == tag {
+                            duplicate = true;
+                        }
+                    }
+                }
+            }
+            if duplicate {
+                slot.store(EMPTY_ENTRY, Ordering::Release);
+                continue;
+            }
+            // Commit: clear the tentative bit.
+            let committed = BucketEntry {
+                address: INVALID_ADDRESS,
+                tag,
+                tentative: false,
+            };
+            slot.store(committed.pack(), Ordering::Release);
+            return (slot, committed);
+        }
+    }
+
+    /// Claims an empty slot in the bucket chain for `bucket`, installing a
+    /// tentative entry with `tag`.  Links a new overflow bucket if every slot
+    /// in the chain is full.
+    fn claim_free_slot(&self, bucket: usize, tag: u16) -> Option<&AtomicU64> {
+        let tentative = BucketEntry {
+            address: INVALID_ADDRESS,
+            tag,
+            tentative: true,
+        }
+        .pack();
+        let mut last_bucket = &self.main[bucket];
+        loop {
+            for slot in &last_bucket.entries {
+                if slot
+                    .compare_exchange(EMPTY_ENTRY, tentative, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Some(slot);
+                }
+            }
+            let next = last_bucket.overflow.load(Ordering::Acquire);
+            if next != 0 {
+                last_bucket = &self.overflow[(next - 1) as usize];
+                continue;
+            }
+            // Allocate and link a new overflow bucket.
+            let idx = self.overflow_next.fetch_add(1, Ordering::AcqRel);
+            assert!(
+                idx < self.overflow.len(),
+                "hash index overflow pool exhausted; increase table_bits"
+            );
+            match last_bucket.overflow.compare_exchange(
+                0,
+                (idx + 1) as u64,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    last_bucket = &self.overflow[idx];
+                }
+                Err(other) => {
+                    // Another thread linked an overflow bucket first; ours
+                    // leaks from the pool (bounded by thread count), use theirs.
+                    last_bucket = &self.overflow[(other - 1) as usize];
+                }
+            }
+        }
+    }
+
+    /// Attempts to swing `slot` from `expected` to a non-tentative entry with
+    /// the same tag pointing at `new_address`.  Returns the current entry on
+    /// failure so the caller can retry its operation.
+    pub fn try_update_entry(
+        &self,
+        slot: &AtomicU64,
+        expected: BucketEntry,
+        new_address: Address,
+    ) -> Result<(), BucketEntry> {
+        let new = BucketEntry {
+            address: new_address,
+            tag: expected.tag,
+            tentative: false,
+        };
+        match slot.compare_exchange(
+            expected.pack(),
+            new.pack(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => Err(BucketEntry::unpack(actual).unwrap_or(BucketEntry {
+                address: INVALID_ADDRESS,
+                tag: expected.tag,
+                tentative: false,
+            })),
+        }
+    }
+
+    /// Unconditionally points `slot` at `new_address` (used by recovery and
+    /// by migration's insert path where the slot was just created).
+    pub fn set_entry(&self, slot: &AtomicU64, tag: u16, new_address: Address) {
+        let new = BucketEntry {
+            address: new_address,
+            tag,
+            tentative: false,
+        };
+        slot.store(new.pack(), Ordering::Release);
+    }
+
+    /// Snapshots every live entry in main-table buckets `range` (used by
+    /// migration threads, each of which owns a disjoint region of the table —
+    /// paper §3.3 "each thread works on independent, non-overlapping hash
+    /// table regions").
+    pub fn scan_region(&self, range: std::ops::Range<usize>) -> Vec<EntrySnapshot> {
+        let mut out = Vec::new();
+        for bucket in range {
+            if bucket >= self.main.len() {
+                break;
+            }
+            for b in self.bucket_chain(bucket) {
+                for slot in &b.entries {
+                    if let Some(entry) = BucketEntry::unpack(slot.load(Ordering::Acquire)) {
+                        if entry.address.is_valid() && !entry.tentative {
+                            out.push(EntrySnapshot { bucket, entry });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the whole index (checkpointing).
+    pub fn serialize(&self) -> IndexSnapshot {
+        let main = self
+            .main
+            .iter()
+            .map(|b| {
+                let mut words = [0u64; ENTRIES_PER_BUCKET + 1];
+                for (i, e) in b.entries.iter().enumerate() {
+                    words[i] = e.load(Ordering::Acquire);
+                }
+                words[ENTRIES_PER_BUCKET] = b.overflow.load(Ordering::Acquire);
+                words
+            })
+            .collect();
+        let overflow = self
+            .overflow
+            .iter()
+            .map(|b| {
+                let mut words = [0u64; ENTRIES_PER_BUCKET + 1];
+                for (i, e) in b.entries.iter().enumerate() {
+                    words[i] = e.load(Ordering::Acquire);
+                }
+                words[ENTRIES_PER_BUCKET] = b.overflow.load(Ordering::Acquire);
+                words
+            })
+            .collect();
+        IndexSnapshot {
+            table_bits: self.table_bits,
+            main,
+            overflow,
+            overflow_next: self.overflow_next.load(Ordering::Acquire),
+        }
+    }
+
+    /// Restores the index from a snapshot (recovery).  Only safe before any
+    /// threads operate on it.
+    pub fn restore(&self, snapshot: &IndexSnapshot) {
+        assert_eq!(snapshot.table_bits, self.table_bits, "table size mismatch");
+        for (bucket, words) in self.main.iter().zip(snapshot.main.iter()) {
+            for (slot, w) in bucket.entries.iter().zip(words.iter()) {
+                slot.store(*w, Ordering::Release);
+            }
+            bucket.overflow.store(words[ENTRIES_PER_BUCKET], Ordering::Release);
+        }
+        for (bucket, words) in self.overflow.iter().zip(snapshot.overflow.iter()) {
+            for (slot, w) in bucket.entries.iter().zip(words.iter()) {
+                slot.store(*w, Ordering::Release);
+            }
+            bucket.overflow.store(words[ENTRIES_PER_BUCKET], Ordering::Release);
+        }
+        self.overflow_next.store(snapshot.overflow_next, Ordering::Release);
+    }
+
+    /// Number of live (non-empty, non-tentative) entries.
+    pub fn live_entries(&self) -> usize {
+        self.scan_region(0..self.main.len()).len()
+    }
+}
+
+/// A serialized copy of the index used by checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSnapshot {
+    /// log2 of the main-table size.
+    pub table_bits: u32,
+    /// Main bucket words (7 entries + overflow pointer each).
+    pub main: Vec<[u64; ENTRIES_PER_BUCKET + 1]>,
+    /// Overflow bucket words.
+    pub overflow: Vec<[u64; ENTRIES_PER_BUCKET + 1]>,
+    /// Next free overflow bucket.
+    pub overflow_next: usize,
+}
+
+struct BucketChainIter<'a> {
+    index: &'a HashIndex,
+    current: Option<&'a HashBucket>,
+}
+
+impl<'a> Iterator for BucketChainIter<'a> {
+    type Item = &'a HashBucket;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cur = self.current?;
+        let next = cur.overflow.load(Ordering::Acquire);
+        self.current = if next == 0 {
+            None
+        } else {
+            Some(&self.index.overflow[(next - 1) as usize])
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_pack_unpack_roundtrip() {
+        let e = BucketEntry {
+            address: Address::new(0x1234_5678_9ABC),
+            tag: 0x3FF,
+            tentative: true,
+        };
+        assert_eq!(BucketEntry::unpack(e.pack()), Some(e));
+        assert_eq!(BucketEntry::unpack(0), None);
+    }
+
+    #[test]
+    fn find_or_create_then_find() {
+        let idx = HashIndex::new(4);
+        let h = KeyHash::of(77);
+        let (slot, entry) = idx.find_or_create_entry(h);
+        assert_eq!(entry.address, INVALID_ADDRESS);
+        idx.try_update_entry(slot, entry, Address::new(1000)).unwrap();
+        let (_, found) = idx.find_entry(h).expect("entry should exist");
+        assert_eq!(found.address, Address::new(1000));
+        assert_eq!(found.tag, h.tag());
+    }
+
+    #[test]
+    fn cas_failure_reports_current_entry() {
+        let idx = HashIndex::new(4);
+        let h = KeyHash::of(5);
+        let (slot, entry) = idx.find_or_create_entry(h);
+        idx.try_update_entry(slot, entry, Address::new(64)).unwrap();
+        // Retrying with the stale expected value fails and reports the winner.
+        let err = idx.try_update_entry(slot, entry, Address::new(128)).unwrap_err();
+        assert_eq!(err.address, Address::new(64));
+    }
+
+    #[test]
+    fn overflow_buckets_are_linked_when_bucket_fills() {
+        // A 1-bucket table forces every key into the same chain.
+        let idx = HashIndex::new(0);
+        let mut created = 0;
+        for key in 0..64u64 {
+            let h = KeyHash::of(key);
+            let (slot, entry) = idx.find_or_create_entry(h);
+            if entry.address == INVALID_ADDRESS {
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+                created += 1;
+            }
+        }
+        assert!(created > ENTRIES_PER_BUCKET, "should have spilled to overflow");
+        // All distinct tags are findable.
+        for key in 0..64u64 {
+            let h = KeyHash::of(key);
+            assert!(idx.find_entry(h).is_some());
+        }
+    }
+
+    #[test]
+    fn scan_region_reports_live_entries() {
+        let idx = HashIndex::new(6);
+        for key in 0..100u64 {
+            let h = KeyHash::of(key);
+            let (slot, entry) = idx.find_or_create_entry(h);
+            if entry.address == INVALID_ADDRESS {
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+            }
+        }
+        let all = idx.scan_region(0..idx.num_buckets());
+        assert!(!all.is_empty());
+        assert_eq!(all.len(), idx.live_entries());
+        let half = idx.scan_region(0..idx.num_buckets() / 2);
+        assert!(half.len() < all.len());
+    }
+
+    #[test]
+    fn serialize_restore_roundtrip() {
+        let idx = HashIndex::new(5);
+        for key in 0..200u64 {
+            let h = KeyHash::of(key);
+            let (slot, entry) = idx.find_or_create_entry(h);
+            if entry.address == INVALID_ADDRESS {
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+            }
+        }
+        let snap = idx.serialize();
+        let fresh = HashIndex::new(5);
+        fresh.restore(&snap);
+        assert_eq!(fresh.live_entries(), idx.live_entries());
+        for key in 0..200u64 {
+            let h = KeyHash::of(key);
+            let a = idx.find_entry(h).map(|(_, e)| e.address);
+            let b = fresh.find_entry(h).map(|(_, e)| e.address);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn concurrent_find_or_create_never_duplicates_tags() {
+        use std::sync::Arc;
+        let idx = Arc::new(HashIndex::new(2));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = idx.clone();
+            handles.push(std::thread::spawn(move || {
+                for key in 0..256u64 {
+                    let h = KeyHash::of(key);
+                    let (slot, entry) = idx.find_or_create_entry(h);
+                    if entry.address == INVALID_ADDRESS {
+                        // Racing threads may both see INVALID; only one CAS wins.
+                        let _ = idx.try_update_entry(slot, entry, Address::new(64 + key * 8 + t));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each distinct (bucket, tag) pair appears exactly once.
+        let entries = idx.scan_region(0..idx.num_buckets());
+        let mut seen = std::collections::HashSet::new();
+        for e in entries {
+            assert!(
+                seen.insert((e.bucket, e.entry.tag)),
+                "duplicate (bucket, tag) entry after concurrent inserts"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Key hashing.
+//!
+//! One 64-bit hash per key serves three purposes, exactly as in the paper:
+//!
+//! * the low bits select a hash-table bucket,
+//! * fourteen high bits form the *tag* stored in the bucket entry, which
+//!   disambiguates chains without extra cache misses (paper §2),
+//! * the full 64-bit value is the coordinate Shadowfax partitions across
+//!   servers: ownership is expressed as ranges of this hash space (paper §3).
+//!
+//! The hash must therefore be identical on clients and servers; both use this
+//! module through `shadowfax-faster`.
+
+/// A key's 64-bit hash together with the accessors the index needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyHash(pub u64);
+
+impl KeyHash {
+    /// Number of tag bits stored in a hash-bucket entry.
+    pub const TAG_BITS: u32 = 14;
+
+    /// Hashes a key.  Uses a strong 64-bit finalizer (SplitMix64/Murmur3-style
+    /// avalanche) so that Zipfian key patterns spread uniformly over both the
+    /// bucket space and the ownership hash space.
+    #[inline]
+    pub fn of(key: u64) -> Self {
+        let mut h = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        KeyHash(h)
+    }
+
+    /// The raw 64-bit hash value (the coordinate used for hash-range
+    /// ownership).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The bucket index in a table of `1 << table_bits` buckets.
+    #[inline]
+    pub fn bucket(self, table_bits: u32) -> usize {
+        (self.0 & ((1u64 << table_bits) - 1)) as usize
+    }
+
+    /// The 14-bit tag stored alongside the address in a bucket entry.
+    #[inline]
+    pub fn tag(self) -> u16 {
+        ((self.0 >> 48) & ((1 << Self::TAG_BITS) - 1)) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(KeyHash::of(42).raw(), KeyHash::of(42).raw());
+        assert_ne!(KeyHash::of(42).raw(), KeyHash::of(43).raw());
+    }
+
+    #[test]
+    fn bucket_is_within_table() {
+        for key in 0..1000u64 {
+            let b = KeyHash::of(key).bucket(10);
+            assert!(b < 1024);
+        }
+    }
+
+    #[test]
+    fn tag_fits_in_14_bits() {
+        for key in 0..1000u64 {
+            assert!(KeyHash::of(key).tag() < (1 << 14));
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_buckets() {
+        // YCSB keys are dense integers; the hash must spread them well.
+        let table_bits = 8;
+        let mut counts = vec![0usize; 1 << table_bits];
+        let n = 64 * 1024;
+        for key in 0..n as u64 {
+            counts[KeyHash::of(key).bucket(table_bits)] += 1;
+        }
+        let expected = n / (1 << table_bits);
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < expected * 2, "bucket skew too high: max {max}");
+        assert!(min > expected / 2, "bucket skew too high: min {min}");
+    }
+
+    #[test]
+    fn hash_space_is_roughly_uniform() {
+        // Hash-range ownership splits the space into equal ranges; dense keys
+        // must land roughly proportionally in each half.
+        let n = 100_000u64;
+        let below = (0..n).filter(|&k| KeyHash::of(k).raw() < u64::MAX / 2).count();
+        let frac = below as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "hash space skewed: {frac}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Operation counters for a FASTER instance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-store operation counters.
+///
+/// These back the per-server throughput series in the scale-out experiments
+/// (Figures 10–11): the bench harness samples `completed_ops()` once per
+/// tick and differentiates.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    reads: AtomicU64,
+    upserts: AtomicU64,
+    rmws: AtomicU64,
+    deletes: AtomicU64,
+    in_place_updates: AtomicU64,
+    rcu_appends: AtomicU64,
+    stable_reads: AtomicU64,
+    sampled_copies: AtomicU64,
+}
+
+/// Point-in-time copy of [`StoreStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed upsert operations.
+    pub upserts: u64,
+    /// Completed read-modify-write operations.
+    pub rmws: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+    /// Updates applied in place in the mutable region.
+    pub in_place_updates: u64,
+    /// Updates applied by appending a new version (read-copy-update).
+    pub rcu_appends: u64,
+    /// Reads that had to visit stable storage (SSD / shared tier).
+    pub stable_reads: u64,
+    /// Records copied to the tail by migration sampling.
+    pub sampled_copies: u64,
+}
+
+impl StoreStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_upsert(&self) {
+        self.upserts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_rmw(&self) {
+        self.rmws.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_in_place(&self) {
+        self.in_place_updates.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_rcu(&self) {
+        self.rcu_appends.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_stable_read(&self) {
+        self.stable_reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_sampled_copy(&self) {
+        self.sampled_copies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total completed operations (reads + upserts + rmws + deletes).
+    pub fn completed_ops(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+            + self.upserts.load(Ordering::Relaxed)
+            + self.rmws.load(Ordering::Relaxed)
+            + self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            upserts: self.upserts.load(Ordering::Relaxed),
+            rmws: self.rmws.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            in_place_updates: self.in_place_updates.load(Ordering::Relaxed),
+            rcu_appends: self.rcu_appends.load(Ordering::Relaxed),
+            stable_reads: self.stable_reads.load(Ordering::Relaxed),
+            sampled_copies: self.sampled_copies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sum() {
+        let s = StoreStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_rmw();
+        s.record_upsert();
+        s.record_delete();
+        assert_eq!(s.completed_ops(), 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.rmws, 1);
+        assert_eq!(snap.upserts, 1);
+        assert_eq!(snap.deletes, 1);
+    }
+}

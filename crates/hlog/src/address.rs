@@ -1,0 +1,130 @@
+//! Logical addresses into the HybridLog.
+//!
+//! FASTER uses 48-bit logical addresses so that an address, a 14-bit hash tag
+//! and control bits fit together in one 64-bit hash-bucket entry.  We keep the
+//! same width: the hash index in `shadowfax-faster` packs these addresses into
+//! its bucket entries.
+
+use std::fmt;
+
+/// The reserved "no record" address.  The first [`Address::FIRST_VALID`] bytes
+/// of the log are never allocated so that `0` is unambiguous.
+pub const INVALID_ADDRESS: Address = Address(0);
+
+/// A 48-bit logical byte offset into a HybridLog.
+///
+/// Addresses are totally ordered and monotonically allocated; comparing two
+/// addresses tells you which record is newer.  Region membership (mutable /
+/// read-only / stable) is a comparison against the log's published boundary
+/// addresses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// Number of usable address bits.
+    pub const BITS: u32 = 48;
+    /// Largest representable address.
+    pub const MAX: Address = Address((1 << Self::BITS) - 1);
+    /// The first address handed out by a fresh log.  Offsets below this are
+    /// reserved so that the all-zero address means "invalid".
+    pub const FIRST_VALID: Address = Address(64);
+
+    /// Creates an address, checking that it fits in 48 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit in 48 bits.
+    pub fn new(raw: u64) -> Self {
+        assert!(raw <= Self::MAX.0, "address {raw:#x} exceeds 48 bits");
+        Address(raw)
+    }
+
+    /// The raw 48-bit value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// `true` for any address other than [`INVALID_ADDRESS`].
+    pub fn is_valid(self) -> bool {
+        self != INVALID_ADDRESS
+    }
+
+    /// The page this address falls on, given `page_bits` (log2 of page size).
+    pub fn page(self, page_bits: u32) -> u64 {
+        self.0 >> page_bits
+    }
+
+    /// The offset of this address within its page.
+    pub fn offset(self, page_bits: u32) -> usize {
+        (self.0 & ((1u64 << page_bits) - 1)) as usize
+    }
+
+    /// The address of the first byte of `page`.
+    pub fn from_page(page: u64, page_bits: u32) -> Self {
+        Address::new(page << page_bits)
+    }
+
+    /// This address plus `n` bytes.
+    pub fn add(self, n: u64) -> Self {
+        Address::new(self.0 + n)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> u64 {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_roundtrip() {
+        let page_bits = 16; // 64 KiB pages
+        let a = Address::new((5 << page_bits) + 1234);
+        assert_eq!(a.page(page_bits), 5);
+        assert_eq!(a.offset(page_bits), 1234);
+        assert_eq!(
+            Address::from_page(5, page_bits).add(1234),
+            a
+        );
+    }
+
+    #[test]
+    fn invalid_address_is_not_valid() {
+        assert!(!INVALID_ADDRESS.is_valid());
+        assert!(Address::FIRST_VALID.is_valid());
+    }
+
+    #[test]
+    fn ordering_matches_allocation_order() {
+        assert!(Address::new(100) < Address::new(200));
+        assert!(Address::FIRST_VALID > INVALID_ADDRESS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_address_panics() {
+        let _ = Address::new(1 << 48);
+    }
+
+    #[test]
+    fn max_address_fits() {
+        let a = Address::MAX;
+        assert_eq!(a.raw(), (1 << 48) - 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! HybridLog sizing parameters.
+
+/// Configuration for a [`HybridLog`](crate::HybridLog).
+///
+/// The in-memory portion of the log holds `memory_pages` page frames of
+/// `1 << page_bits` bytes each.  `mutable_pages` of those (the newest ones)
+/// form the mutable region; the rest form the read-only region.  Pages that
+/// fall out of memory are flushed to the local SSD device and, if a shared
+/// tier handle is configured, write-through to the shared cloud tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// log2 of the page size in bytes.
+    pub page_bits: u32,
+    /// Number of page frames kept in memory (must be ≥ 2).
+    pub memory_pages: u64,
+    /// Number of in-memory pages (counted back from the tail) that form the
+    /// mutable, update-in-place region.  Must be ≥ 1 and < `memory_pages`.
+    pub mutable_pages: u64,
+    /// Capacity, in bytes, reserved on the SSD device for the stable region.
+    pub ssd_capacity: u64,
+    /// Also write flushed pages to the shared tier (Shadowfax configuration).
+    pub shared_tier_write_through: bool,
+}
+
+impl LogConfig {
+    /// A tiny configuration (64 KiB pages, 8 in memory) used across unit
+    /// tests so that region transitions happen after a few hundred records.
+    pub fn small_for_tests() -> Self {
+        LogConfig {
+            page_bits: 16,
+            memory_pages: 8,
+            mutable_pages: 4,
+            ssd_capacity: 1 << 30,
+            shared_tier_write_through: true,
+        }
+    }
+
+    /// A default server-scale configuration: 1 MiB pages, 256 MiB of memory,
+    /// half of it mutable.
+    pub fn server_default() -> Self {
+        LogConfig {
+            page_bits: 20,
+            memory_pages: 256,
+            mutable_pages: 128,
+            ssd_capacity: 8 << 30,
+            shared_tier_write_through: true,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        1usize << self.page_bits
+    }
+
+    /// Total bytes of log data kept in memory.
+    pub fn memory_budget(&self) -> u64 {
+        self.memory_pages << self.page_bits
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unusable (too few pages, mutable region
+    /// not smaller than memory, pages too small for a record header).
+    pub fn validate(&self) {
+        assert!(self.page_bits >= 9, "pages must be at least 512 bytes");
+        assert!(self.page_bits <= 30, "pages larger than 1 GiB are not supported");
+        assert!(self.memory_pages >= 2, "need at least two in-memory pages");
+        assert!(
+            self.mutable_pages >= 1 && self.mutable_pages < self.memory_pages,
+            "mutable region must be at least one page and smaller than the memory budget"
+        );
+    }
+
+    /// Returns a copy with a different memory budget, keeping the same
+    /// mutable fraction (used by the scale-out experiments that constrain the
+    /// source's memory).
+    pub fn with_memory_pages(mut self, memory_pages: u64) -> Self {
+        let frac = self.mutable_pages as f64 / self.memory_pages as f64;
+        self.memory_pages = memory_pages.max(2);
+        self.mutable_pages = ((memory_pages as f64 * frac).round() as u64)
+            .clamp(1, self.memory_pages - 1);
+        self
+    }
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        Self::server_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        LogConfig::default().validate();
+        LogConfig::small_for_tests().validate();
+        LogConfig::server_default().validate();
+    }
+
+    #[test]
+    fn page_size_and_budget() {
+        let c = LogConfig::small_for_tests();
+        assert_eq!(c.page_size(), 64 * 1024);
+        assert_eq!(c.memory_budget(), 8 * 64 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutable region")]
+    fn mutable_region_must_be_smaller_than_memory() {
+        let mut c = LogConfig::small_for_tests();
+        c.mutable_pages = c.memory_pages;
+        c.validate();
+    }
+
+    #[test]
+    fn with_memory_pages_preserves_fraction() {
+        let c = LogConfig::small_for_tests().with_memory_pages(16);
+        assert_eq!(c.memory_pages, 16);
+        assert_eq!(c.mutable_pages, 8);
+        c.validate();
+        // Extreme shrink still yields a valid configuration.
+        let c = LogConfig::small_for_tests().with_memory_pages(2);
+        c.validate();
+    }
+}

@@ -1,0 +1,63 @@
+//! The HybridLog: FASTER's record allocator spanning memory, SSD, and a
+//! shared cloud tier (paper §2.2, §3.3.2).
+//!
+//! The log is a single logical address space.  Its tail lives in memory in a
+//! circular buffer of page frames; as the tail advances, older pages move
+//! through three regions:
+//!
+//! * **mutable region** (in memory, near the tail): records may be updated in
+//!   place,
+//! * **read-only region** (in memory, below the mutable region): records are
+//!   being flushed and must be updated with read-copy-update (a new version is
+//!   appended at the tail),
+//! * **stable region** (on the local SSD and, write-through, on the shared
+//!   cloud tier): records are immutable and read back on demand.
+//!
+//! Region boundaries are published as monotonically increasing addresses
+//! (`read_only`, `head`, `safe_head`) and advanced using asynchronous global
+//! cuts from [`shadowfax_epoch`]: a boundary is published immediately (so new
+//! decisions use it) but the *effects* that require no thread to be using the
+//! old boundary — flushing a page, reusing its frame — run only after every
+//! registered thread has refreshed past the bump.  No thread ever blocks
+//! another; a thread that needs a frame spins on its own epoch refresh until
+//! the cut completes, exactly as in FASTER.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use shadowfax_epoch::EpochManager;
+//! use shadowfax_hlog::{HybridLog, LogConfig, RecordFlags, INVALID_ADDRESS};
+//! use shadowfax_storage::SimSsd;
+//!
+//! let epoch = Arc::new(EpochManager::new());
+//! let log = HybridLog::new(
+//!     LogConfig::small_for_tests(),
+//!     Arc::new(SimSsd::new(1 << 26)),
+//!     None,
+//!     Arc::clone(&epoch),
+//! );
+//! let thread = epoch.register();
+//! let guard = thread.protect();
+//! let addr = log
+//!     .append(42, b"hello world", INVALID_ADDRESS, 1, RecordFlags::empty(), &thread)
+//!     .unwrap();
+//! let rec = log.read_record(addr, &guard).unwrap();
+//! assert_eq!(rec.key(), 42);
+//! assert_eq!(rec.value(), b"hello world");
+//! ```
+
+#![warn(missing_docs)]
+
+mod address;
+mod config;
+mod frame;
+mod hybrid_log;
+mod record;
+mod scan;
+
+pub use address::{Address, INVALID_ADDRESS};
+pub use config::LogConfig;
+pub use hybrid_log::{HybridLog, LogError, LogStats, RecordPlace};
+pub use record::{RecordFlags, RecordHeader, RecordOwned, RecordView, RECORD_ALIGNMENT, RECORD_HEADER_BYTES};
+pub use scan::LogScanner;

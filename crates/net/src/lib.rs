@@ -1,0 +1,33 @@
+//! Networking substrate: wire messages, sessions with pipelined batches, and
+//! a simulated transport with per-transport CPU-cost profiles.
+//!
+//! The paper's servers and clients communicate over ordinary Linux TCP whose
+//! packet-processing CPU cost is partially offloaded to SmartNIC FPGAs
+//! ("accelerated networking"), or over two-sided RDMA on HPC instances.  None
+//! of that hardware exists here, so this crate models what actually matters
+//! to the system's behaviour:
+//!
+//! * **sessions** — a connection between one client thread and one server
+//!   thread carrying pipelined batches of asynchronous requests tagged with a
+//!   view number (paper §3.1.1, §3.2);
+//! * **transport cost** — a [`NetworkProfile`] charges CPU time per batch and
+//!   per byte on both the send and receive paths, plus a propagation delay.
+//!   The presets (`tcp_accelerated`, `tcp_no_accel`, `infrc`, `tcp_ipoib`)
+//!   correspond to the four rows of Table 2; the analytical benchmark mode
+//!   uses the same numbers to derive saturation throughput, batch size, and
+//!   latency.
+//!
+//! Transports are generic over the message type; the Shadowfax core crate
+//! instantiates them with its client/server and server/server message enums.
+
+#![warn(missing_docs)]
+
+mod message;
+mod profile;
+mod session;
+mod transport;
+
+pub use message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
+pub use profile::NetworkProfile;
+pub use session::{ClientSession, SessionConfig, SessionStats};
+pub use transport::{Connection, ConnectionStats, Listener, SimNetwork};

@@ -1,0 +1,213 @@
+//! Per-transport CPU cost and delay profiles.
+//!
+//! The paper's key networking observation (§3.1.2, §4.2–4.3) is that the CPU
+//! cost of packet processing — not link bandwidth — determines how large
+//! request batches must be to saturate a server, and hence what the median
+//! latency is.  Hardware-accelerated TCP halves that CPU cost relative to
+//! plain TCP; RDMA (Infrc) nearly eliminates it.
+//!
+//! A [`NetworkProfile`] captures those costs: fixed nanoseconds of CPU per
+//! batch, nanoseconds of CPU per byte, and a propagation delay.  Live
+//! experiments *spend* the CPU cost (busy-spinning, since it models work the
+//! CPU would be doing in the kernel/NIC driver); the analytical benchmark
+//! mode plugs the same numbers into closed-form saturation formulas.
+
+use std::time::Duration;
+
+/// CPU and delay costs of one transport option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name (matches Table 2 row labels).
+    pub name: &'static str,
+    /// CPU nanoseconds consumed per batch on the send path (syscall, driver,
+    /// protocol bookkeeping).
+    pub send_batch_ns: u64,
+    /// CPU nanoseconds per byte on the send path (copies, checksums).
+    pub send_byte_ns: f64,
+    /// CPU nanoseconds consumed per batch on the receive path.
+    pub recv_batch_ns: u64,
+    /// CPU nanoseconds per byte on the receive path.
+    pub recv_byte_ns: f64,
+    /// One-way propagation delay (fabric latency, independent of CPU).
+    pub propagation: Duration,
+    /// Whether live transports actually burn the CPU cost (busy-wait) or only
+    /// account for it.  Tests use `false`.
+    pub spend_cpu: bool,
+}
+
+impl NetworkProfile {
+    /// Zero-cost profile for unit tests and protocol-behaviour experiments
+    /// where transport CPU cost is not the quantity under study.
+    pub const fn instant() -> Self {
+        NetworkProfile {
+            name: "instant",
+            send_batch_ns: 0,
+            send_byte_ns: 0.0,
+            recv_batch_ns: 0,
+            recv_byte_ns: 0.0,
+            propagation: Duration::ZERO,
+            spend_cpu: false,
+        }
+    }
+
+    /// Linux TCP with SmartNIC acceleration (the paper's default transport;
+    /// Table 2 row "TCP").
+    pub const fn tcp_accelerated() -> Self {
+        NetworkProfile {
+            name: "TCP (accelerated)",
+            send_batch_ns: 4_000,
+            send_byte_ns: 0.45,
+            recv_batch_ns: 4_000,
+            recv_byte_ns: 0.45,
+            propagation: Duration::from_micros(25),
+            spend_cpu: true,
+        }
+    }
+
+    /// Linux TCP without acceleration (Table 2 row "w/o Accel").  With the
+    /// whole kernel TCP stack on the vCPU, per-byte processing (copies,
+    /// checksums, segmentation) dominates: the paper measures the same
+    /// workload dropping from 130 Mops/s to 75 Mops/s at 32 KB batches, which
+    /// corresponds to roughly an extra 360 ns of CPU per 29-byte operation —
+    /// i.e. ~12 ns/byte of un-offloaded protocol processing.
+    pub const fn tcp_no_accel() -> Self {
+        NetworkProfile {
+            name: "TCP (no accel)",
+            send_batch_ns: 20_000,
+            send_byte_ns: 12.0,
+            recv_batch_ns: 20_000,
+            recv_byte_ns: 12.0,
+            propagation: Duration::from_micros(25),
+            spend_cpu: true,
+        }
+    }
+
+    /// Two-sided RDMA on HPC instances (Table 2 row "Infrc"): the stack is in
+    /// hardware, so per-batch and per-byte CPU costs are tiny and the fabric
+    /// delay is a few microseconds.
+    pub const fn infrc() -> Self {
+        NetworkProfile {
+            name: "Infrc (RDMA)",
+            send_batch_ns: 400,
+            send_byte_ns: 0.02,
+            recv_batch_ns: 400,
+            recv_byte_ns: 0.02,
+            propagation: Duration::from_micros(3),
+            spend_cpu: true,
+        }
+    }
+
+    /// TCP over IPoIB on the RDMA instances (Table 2 row "TCP-IPoIB"):
+    /// kernel TCP costs, but faster vCPUs and fabric.
+    pub const fn tcp_ipoib() -> Self {
+        NetworkProfile {
+            name: "TCP-IPoIB",
+            send_batch_ns: 3_000,
+            send_byte_ns: 0.35,
+            recv_batch_ns: 3_000,
+            recv_byte_ns: 0.35,
+            propagation: Duration::from_micros(8),
+            spend_cpu: true,
+        }
+    }
+
+    /// All four Table 2 transports, in the paper's row order.
+    pub fn table2_rows() -> [NetworkProfile; 4] {
+        [
+            Self::tcp_accelerated(),
+            Self::tcp_no_accel(),
+            Self::infrc(),
+            Self::tcp_ipoib(),
+        ]
+    }
+
+    /// CPU time charged on the send path for a message of `bytes`.
+    pub fn send_cost(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(self.send_batch_ns + (self.send_byte_ns * bytes as f64) as u64)
+    }
+
+    /// CPU time charged on the receive path for a message of `bytes`.
+    pub fn recv_cost(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(self.recv_batch_ns + (self.recv_byte_ns * bytes as f64) as u64)
+    }
+
+    /// Returns a copy that only accounts for CPU cost instead of spending it.
+    pub fn accounting_only(mut self) -> Self {
+        self.spend_cpu = false;
+        self
+    }
+
+    /// Busy-spins for `cost` if this profile spends CPU.  Returns the cost so
+    /// callers can also account for it.
+    pub fn spend(&self, cost: Duration) -> Duration {
+        if self.spend_cpu && !cost.is_zero() {
+            let start = std::time::Instant::now();
+            while start.elapsed() < cost {
+                std::hint::spin_loop();
+            }
+        }
+        cost
+    }
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        Self::tcp_accelerated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerated_tcp_is_cheaper_than_plain_tcp() {
+        let accel = NetworkProfile::tcp_accelerated();
+        let plain = NetworkProfile::tcp_no_accel();
+        let batch = 32 * 1024;
+        assert!(accel.send_cost(batch) < plain.send_cost(batch));
+        assert!(accel.recv_cost(batch) < plain.recv_cost(batch));
+    }
+
+    #[test]
+    fn rdma_is_cheapest_and_fastest() {
+        let rows = NetworkProfile::table2_rows();
+        let infrc = NetworkProfile::infrc();
+        for p in rows.iter().filter(|p| p.name != infrc.name) {
+            assert!(infrc.send_cost(1024) < p.send_cost(1024));
+            assert!(infrc.propagation <= p.propagation);
+        }
+    }
+
+    #[test]
+    fn instant_profile_costs_nothing() {
+        let p = NetworkProfile::instant();
+        assert_eq!(p.send_cost(1 << 20), Duration::ZERO);
+        assert_eq!(p.spend(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn accounting_only_does_not_spin() {
+        let p = NetworkProfile::tcp_no_accel().accounting_only();
+        let start = std::time::Instant::now();
+        let cost = p.spend(p.send_cost(1 << 20));
+        assert!(start.elapsed() < Duration::from_millis(1));
+        assert!(cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn spend_cpu_actually_spins() {
+        let p = NetworkProfile {
+            name: "test",
+            send_batch_ns: 0,
+            send_byte_ns: 0.0,
+            recv_batch_ns: 0,
+            recv_byte_ns: 0.0,
+            propagation: Duration::ZERO,
+            spend_cpu: true,
+        };
+        let start = std::time::Instant::now();
+        p.spend(Duration::from_micros(200));
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+}

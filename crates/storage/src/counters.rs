@@ -1,0 +1,119 @@
+//! Usage counters maintained by every device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters recording the traffic a device has absorbed.
+///
+/// Benchmarks use these to report, e.g., how many bytes the Rocksteady
+/// baseline scanned from SSD versus how many bytes indirection records kept
+/// off the I/O path entirely (Figure 13).
+#[derive(Debug, Default)]
+pub struct DeviceCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A point-in-time copy of [`DeviceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl DeviceCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read of `bytes` bytes.
+    pub fn record_read(&self, bytes: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one write of `bytes` bytes.
+    pub fn record_write(&self, bytes: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting purposes.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (benchmark warm-up boundaries).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CounterSnapshot {
+    /// Difference between two snapshots (`self - earlier`), saturating at 0.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = DeviceCounters::new();
+        c.record_read(100);
+        c.record_read(50);
+        c.record_write(200);
+        let s = c.snapshot();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.bytes_written, 200);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = DeviceCounters::new();
+        c.record_write(10);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let c = DeviceCounters::new();
+        c.record_write(10);
+        let s1 = c.snapshot();
+        c.record_write(30);
+        c.record_read(5);
+        let s2 = c.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.bytes_written, 30);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes_read, 5);
+    }
+}

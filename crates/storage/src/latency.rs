@@ -1,0 +1,141 @@
+//! Service-time models for simulated devices.
+//!
+//! The paper's SSD offers 96 k IOPS and 500 MB/s sequential writes; its shared
+//! tier (premium page blobs) offers 7.5 k IOPS and 250 MB/s per blob
+//! (Table 1 / §4.1).  [`LatencyModel`] captures those three parameters — a
+//! fixed per-operation cost plus a per-byte cost — and converts an access size
+//! into a simulated service duration.  Devices either sleep for that duration
+//! (live experiments) or merely account for it (model-driven experiments).
+
+use std::time::Duration;
+
+/// A simple `fixed + size/bandwidth` service-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-operation latency in nanoseconds (seek/queue/RTT component).
+    pub per_op_ns: u64,
+    /// Transfer cost in nanoseconds per byte (inverse bandwidth).
+    pub per_byte_ns: f64,
+    /// If `true`, devices actually sleep for the computed duration; if
+    /// `false`, the duration is only recorded (useful in unit tests and in
+    /// the analytical benchmark mode).
+    pub blocking: bool,
+}
+
+impl LatencyModel {
+    /// A model with zero cost — the default for unit tests.
+    pub const fn instant() -> Self {
+        Self {
+            per_op_ns: 0,
+            per_byte_ns: 0.0,
+            blocking: false,
+        }
+    }
+
+    /// Approximation of the paper's local NVMe SSD: ~100 µs access latency,
+    /// 500 MB/s sequential bandwidth (Table 1).
+    pub const fn paper_ssd() -> Self {
+        Self {
+            per_op_ns: 100_000,
+            per_byte_ns: 2.0, // 1 / (500 MB/s) = 2 ns per byte
+            blocking: true,
+        }
+    }
+
+    /// Approximation of the paper's shared remote tier (Azure premium page
+    /// blobs): ~1 ms access latency, 250 MB/s bandwidth, 7.5 k IOPS (§4.1).
+    pub const fn paper_shared_tier() -> Self {
+        Self {
+            per_op_ns: 1_000_000,
+            per_byte_ns: 4.0, // 1 / (250 MB/s) = 4 ns per byte
+            blocking: true,
+        }
+    }
+
+    /// Scales both cost components by `factor` (used to compress experiment
+    /// timelines; e.g. 0.01 turns a 180 s Rocksteady scan into 1.8 s while
+    /// preserving every ratio).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            per_op_ns: (self.per_op_ns as f64 * factor) as u64,
+            per_byte_ns: self.per_byte_ns * factor,
+            blocking: self.blocking,
+        }
+    }
+
+    /// Service time for an access of `bytes` bytes.
+    pub fn service_time(&self, bytes: usize) -> Duration {
+        let ns = self.per_op_ns as f64 + self.per_byte_ns * bytes as f64;
+        Duration::from_nanos(ns as u64)
+    }
+
+    /// Applies the model to an access: sleeps if `blocking`, otherwise
+    /// returns immediately.  Always returns the modelled service time so
+    /// callers can account for it.
+    pub fn apply(&self, bytes: usize) -> Duration {
+        let d = self.service_time(bytes);
+        if self.blocking && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_model_costs_nothing() {
+        let m = LatencyModel::instant();
+        assert_eq!(m.service_time(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn service_time_combines_fixed_and_per_byte() {
+        let m = LatencyModel {
+            per_op_ns: 1000,
+            per_byte_ns: 2.0,
+            blocking: false,
+        };
+        assert_eq!(m.service_time(0), Duration::from_nanos(1000));
+        assert_eq!(m.service_time(500), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn ssd_is_faster_than_shared_tier() {
+        let ssd = LatencyModel::paper_ssd();
+        let blob = LatencyModel::paper_shared_tier();
+        assert!(ssd.service_time(4096) < blob.service_time(4096));
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let ssd = LatencyModel::paper_ssd();
+        let blob = LatencyModel::paper_shared_tier();
+        let r_full = blob.service_time(1 << 16).as_nanos() as f64
+            / ssd.service_time(1 << 16).as_nanos() as f64;
+        let r_scaled = blob.scaled(0.1).service_time(1 << 16).as_nanos() as f64
+            / ssd.scaled(0.1).service_time(1 << 16).as_nanos() as f64;
+        assert!((r_full - r_scaled).abs() < 0.1);
+    }
+
+    #[test]
+    fn non_blocking_apply_does_not_sleep_long() {
+        let m = LatencyModel {
+            per_op_ns: 10_000_000,
+            per_byte_ns: 0.0,
+            blocking: false,
+        };
+        let t0 = std::time::Instant::now();
+        let d = m.apply(0);
+        assert!(t0.elapsed() < Duration::from_millis(5));
+        assert_eq!(d, Duration::from_millis(10));
+    }
+}

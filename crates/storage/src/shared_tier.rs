@@ -1,0 +1,252 @@
+//! The shared remote storage tier.
+//!
+//! Shadowfax extends FASTER's stable log region onto a blob store that every
+//! server in the cluster can read (paper §3.3.2).  During migration the source
+//! never reads its own SSD; instead it ships *indirection records* naming a
+//! `(log id, address)` location on this shared tier, and the target fetches
+//! the actual record lazily if and when a client asks for it.
+//!
+//! [`SharedBlobTier`] models that tier as a set of per-log byte spaces keyed
+//! by [`LogId`].  Each server obtains a [`SharedTierHandle`] bound to its own
+//! log id for writes, but may read any log's data — exactly the capability the
+//! protocol needs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::counters::DeviceCounters;
+use crate::device::{Device, DeviceError, Result};
+use crate::latency::LatencyModel;
+use crate::sim_ssd::SimSsd;
+
+/// Identifies one server's log within the shared tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogId(pub u64);
+
+impl std::fmt::Display for LogId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log-{}", self.0)
+    }
+}
+
+/// The cluster-shared blob tier: a namespace of per-log byte spaces.
+pub struct SharedBlobTier {
+    logs: RwLock<HashMap<LogId, Arc<SimSsd>>>,
+    per_log_capacity: u64,
+    latency: LatencyModel,
+    counters: DeviceCounters,
+}
+
+impl std::fmt::Debug for SharedBlobTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBlobTier")
+            .field("logs", &self.logs.read().len())
+            .field("per_log_capacity", &self.per_log_capacity)
+            .finish()
+    }
+}
+
+impl SharedBlobTier {
+    /// Creates a tier where each log may hold up to `per_log_capacity` bytes,
+    /// with no access latency (unit-test configuration).
+    pub fn new(per_log_capacity: u64) -> Arc<Self> {
+        Self::with_latency(per_log_capacity, LatencyModel::instant())
+    }
+
+    /// Creates a tier with the given per-access latency model.
+    pub fn with_latency(per_log_capacity: u64, latency: LatencyModel) -> Arc<Self> {
+        Arc::new(Self {
+            logs: RwLock::new(HashMap::new()),
+            per_log_capacity,
+            latency,
+            counters: DeviceCounters::new(),
+        })
+    }
+
+    /// Returns (creating if necessary) the write handle for `log`.
+    pub fn handle(self: &Arc<Self>, log: LogId) -> SharedTierHandle {
+        self.ensure_log(log);
+        SharedTierHandle {
+            tier: Arc::clone(self),
+            log,
+        }
+    }
+
+    fn ensure_log(&self, log: LogId) -> Arc<SimSsd> {
+        if let Some(dev) = self.logs.read().get(&log) {
+            return Arc::clone(dev);
+        }
+        let mut logs = self.logs.write();
+        Arc::clone(logs.entry(log).or_insert_with(|| {
+            Arc::new(
+                SimSsd::with_latency(self.per_log_capacity, LatencyModel::instant())
+                    .named(format!("shared:{log}")),
+            )
+        }))
+    }
+
+    fn log_device(&self, log: LogId) -> Result<Arc<SimSsd>> {
+        self.logs
+            .read()
+            .get(&log)
+            .cloned()
+            .ok_or(DeviceError::UnknownLog(log.0))
+    }
+
+    /// Logs currently present on the tier.
+    pub fn logs(&self) -> Vec<LogId> {
+        let mut v: Vec<LogId> = self.logs.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Writes `data` at `offset` within `log`'s space.
+    pub fn write_log(&self, log: LogId, offset: u64, data: &[u8]) -> Result<()> {
+        self.latency.apply(data.len());
+        self.counters.record_write(data.len());
+        self.ensure_log(log).write(offset, data)
+    }
+
+    /// Reads from `log`'s space.  Any server may read any log — this is the
+    /// cross-server capability indirection records rely on.
+    pub fn read_log(&self, log: LogId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.latency.apply(buf.len());
+        self.counters.record_read(buf.len());
+        self.log_device(log)?.read(offset, buf)
+    }
+
+    /// Bytes written across all logs.
+    pub fn total_bytes(&self) -> u64 {
+        self.counters.snapshot().bytes_written
+    }
+
+    /// Tier-wide counters (aggregated over all logs).
+    pub fn counters(&self) -> &DeviceCounters {
+        &self.counters
+    }
+
+    /// The latency model applied to every access.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+}
+
+/// A per-server handle onto the shared tier, bound to that server's [`LogId`].
+///
+/// Implements [`Device`] so a HybridLog can use the shared tier directly as a
+/// flush target for its coldest region.
+#[derive(Clone)]
+pub struct SharedTierHandle {
+    tier: Arc<SharedBlobTier>,
+    log: LogId,
+}
+
+impl std::fmt::Debug for SharedTierHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTierHandle").field("log", &self.log).finish()
+    }
+}
+
+impl SharedTierHandle {
+    /// The log this handle writes to.
+    pub fn log_id(&self) -> LogId {
+        self.log
+    }
+
+    /// The underlying shared tier (for cross-log reads).
+    pub fn tier(&self) -> &Arc<SharedBlobTier> {
+        &self.tier
+    }
+
+    /// Reads from an arbitrary log on the tier (used when resolving another
+    /// server's indirection record).
+    pub fn read_other(&self, log: LogId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.tier.read_log(log, offset, buf)
+    }
+}
+
+impl Device for SharedTierHandle {
+    fn write(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.tier.write_log(self.log, offset, data)
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.tier.read_log(self.log, offset, buf)
+    }
+
+    fn written_extent(&self) -> u64 {
+        self.tier
+            .log_device(self.log)
+            .map(|d| d.written_extent())
+            .unwrap_or(0)
+    }
+
+    fn counters(&self) -> &DeviceCounters {
+        self.tier.counters()
+    }
+
+    fn name(&self) -> &str {
+        "shared-tier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_log_isolation() {
+        let tier = SharedBlobTier::new(1 << 20);
+        let a = tier.handle(LogId(1));
+        let b = tier.handle(LogId(2));
+        a.write(0, &[0xAA; 64]).unwrap();
+        b.write(0, &[0xBB; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        a.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xAA));
+        b.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xBB));
+    }
+
+    #[test]
+    fn cross_log_reads_work() {
+        let tier = SharedBlobTier::new(1 << 20);
+        let source = tier.handle(LogId(10));
+        let target = tier.handle(LogId(20));
+        source.write(4096, &[7u8; 128]).unwrap();
+        let mut buf = [0u8; 128];
+        // The target resolves an indirection record pointing at the source's log.
+        target.read_other(LogId(10), 4096, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn unknown_log_read_fails() {
+        let tier = SharedBlobTier::new(1 << 20);
+        let h = tier.handle(LogId(1));
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            h.read_other(LogId(99), 0, &mut buf),
+            Err(DeviceError::UnknownLog(99))
+        ));
+    }
+
+    #[test]
+    fn logs_enumeration_sorted() {
+        let tier = SharedBlobTier::new(1 << 16);
+        tier.handle(LogId(3));
+        tier.handle(LogId(1));
+        tier.handle(LogId(2));
+        assert_eq!(tier.logs(), vec![LogId(1), LogId(2), LogId(3)]);
+    }
+
+    #[test]
+    fn tier_counters_aggregate_all_logs() {
+        let tier = SharedBlobTier::new(1 << 16);
+        tier.handle(LogId(1)).write(0, &[0u8; 100]).unwrap();
+        tier.handle(LogId(2)).write(0, &[0u8; 50]).unwrap();
+        assert_eq!(tier.total_bytes(), 150);
+    }
+}

@@ -1,0 +1,177 @@
+//! A fixed-bucket latency histogram.
+//!
+//! The benchmark harness needs medians and tail percentiles of request
+//! latency (Table 2).  A log-spaced fixed-bucket histogram gives ~2% relative
+//! error with constant memory and lock-free-ish recording (the harness keeps
+//! one histogram per client thread and merges at the end).
+
+use std::time::Duration;
+
+/// Number of buckets per power of two (resolution knob).
+const SUB_BUCKETS: usize = 32;
+/// Highest representable latency: 2^38 ns ≈ 275 s.
+const MAX_POWER: usize = 38;
+
+/// A log-spaced histogram of durations from 1 ns to ~275 s.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB_BUCKETS * MAX_POWER],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        if ns == 0 {
+            return 0;
+        }
+        let power = 63 - ns.leading_zeros() as usize; // floor(log2(ns))
+        let power = power.min(MAX_POWER - 1);
+        let base = 1u64 << power;
+        let sub = ((ns - base) as u128 * SUB_BUCKETS as u128 / base as u128) as usize;
+        power * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        let power = idx / SUB_BUCKETS;
+        let sub = idx % SUB_BUCKETS;
+        let base = 1u64 << power;
+        base + (base as u128 * sub as u128 / SUB_BUCKETS as u128) as u64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_for(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency of recorded samples.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The latency at percentile `p` (0.0–100.0).
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(Self::bucket_value(idx).min(self.max_ns.max(1)));
+            }
+        }
+        self.max()
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// Merges another histogram into this one (per-thread histograms are
+    /// merged at the end of a run).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn median_of_uniform_samples_is_accurate() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let median = h.median().as_micros() as f64;
+        assert!((median - 500.0).abs() / 500.0 < 0.05, "median {median} µs");
+        let p99 = h.percentile(99.0).as_micros() as f64;
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 {p99} µs");
+    }
+
+    #[test]
+    fn mean_and_max_track_samples() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        assert_eq!(h.mean(), Duration::from_nanos(200));
+        assert_eq!(h.max(), Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..100 {
+            a.record(Duration::from_micros(10));
+            b.record(Duration::from_micros(1000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.median() >= Duration::from_micros(9));
+        assert!(a.percentile(90.0) >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        let value = Duration::from_nanos(123_456);
+        for _ in 0..10 {
+            h.record(value);
+        }
+        let est = h.median().as_nanos() as f64;
+        let err = (est - 123_456.0).abs() / 123_456.0;
+        assert!(err < 0.05, "relative error {err}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Operation mixes and the request stream generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distribution::{KeyDistribution, ScrambledZipfian, UniformGenerator};
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the value of `key`.
+    Read {
+        /// Target key.
+        key: u64,
+    },
+    /// Blindly overwrite `key` with `value`.
+    Upsert {
+        /// Target key.
+        key: u64,
+        /// New value bytes.
+        value: Vec<u8>,
+    },
+    /// Read `key`, add `delta` to the embedded counter, write it back.
+    ReadModifyWrite {
+        /// Target key.
+        key: u64,
+        /// Counter increment.
+        delta: u64,
+    },
+}
+
+impl Operation {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            Operation::Read { key } => *key,
+            Operation::Upsert { key, .. } => *key,
+            Operation::ReadModifyWrite { key, .. } => *key,
+        }
+    }
+}
+
+/// An operation mix expressed as fractions that sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMix {
+    /// Fraction of reads.
+    pub reads: f64,
+    /// Fraction of blind upserts.
+    pub upserts: f64,
+    /// Fraction of read-modify-writes.
+    pub rmws: f64,
+}
+
+impl WorkloadMix {
+    /// YCSB-A: 50% reads, 50% updates.
+    pub const YCSB_A: WorkloadMix = WorkloadMix { reads: 0.5, upserts: 0.5, rmws: 0.0 };
+    /// YCSB-B: 95% reads, 5% updates.
+    pub const YCSB_B: WorkloadMix = WorkloadMix { reads: 0.95, upserts: 0.05, rmws: 0.0 };
+    /// YCSB-C: read only.
+    pub const YCSB_C: WorkloadMix = WorkloadMix { reads: 1.0, upserts: 0.0, rmws: 0.0 };
+    /// YCSB-F: read-modify-write only — the mix the paper evaluates with.
+    pub const YCSB_F: WorkloadMix = WorkloadMix { reads: 0.0, upserts: 0.0, rmws: 1.0 };
+
+    /// Validates that the fractions are non-negative and sum to ~1.
+    pub fn validate(&self) {
+        assert!(self.reads >= 0.0 && self.upserts >= 0.0 && self.rmws >= 0.0);
+        let sum = self.reads + self.upserts + self.rmws;
+        assert!((sum - 1.0).abs() < 1e-6, "workload mix must sum to 1 (got {sum})");
+    }
+}
+
+/// Which key distribution to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Distribution {
+    Uniform,
+    Zipfian {
+        theta: f64,
+    },
+}
+
+/// Configuration of a workload stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of distinct keys in the dataset.
+    pub record_count: u64,
+    /// Value size in bytes (the paper uses 256).
+    pub value_size: usize,
+    /// Operation mix.
+    pub mix: WorkloadMix,
+    /// Zipfian skew (`None` selects the uniform distribution).
+    pub zipfian_theta: Option<f64>,
+    /// RNG seed (per client thread; vary it across threads).
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration scaled down to `record_count` records:
+    /// YCSB-F, 256-byte values, Zipfian θ = 0.99.
+    pub fn ycsb_f(record_count: u64) -> Self {
+        WorkloadConfig {
+            record_count,
+            value_size: 256,
+            mix: WorkloadMix::YCSB_F,
+            zipfian_theta: Some(0.99),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// YCSB-F with uniformly distributed keys (the Figure 9 configuration).
+    pub fn ycsb_f_uniform(record_count: u64) -> Self {
+        WorkloadConfig {
+            zipfian_theta: None,
+            ..Self::ycsb_f(record_count)
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+enum KeyGen {
+    Uniform(UniformGenerator),
+    Zipfian(ScrambledZipfian),
+}
+
+/// A deterministic stream of operations.
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    keys: KeyGen,
+    rng: StdRng,
+    #[allow(dead_code)]
+    distribution: Distribution,
+}
+
+impl std::fmt::Debug for WorkloadGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadGenerator")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator from a configuration.
+    pub fn new(config: WorkloadConfig) -> Self {
+        config.mix.validate();
+        let distribution = match config.zipfian_theta {
+            Some(theta) => Distribution::Zipfian { theta },
+            None => Distribution::Uniform,
+        };
+        let keys = match config.zipfian_theta {
+            Some(theta) => KeyGen::Zipfian(ScrambledZipfian::new(config.record_count, theta)),
+            None => KeyGen::Uniform(UniformGenerator::new(config.record_count)),
+        };
+        let rng = StdRng::seed_from_u64(config.seed);
+        WorkloadGenerator {
+            config,
+            keys,
+            rng,
+            distribution,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Draws the next key from the configured distribution.
+    pub fn next_key(&mut self) -> u64 {
+        match &mut self.keys {
+            KeyGen::Uniform(g) => g.next_key(&mut self.rng),
+            KeyGen::Zipfian(g) => g.next_key(&mut self.rng),
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let key = self.next_key();
+        let r: f64 = self.rng.gen();
+        let mix = self.config.mix;
+        if r < mix.reads {
+            Operation::Read { key }
+        } else if r < mix.reads + mix.upserts {
+            Operation::Upsert {
+                key,
+                value: self.make_value(key),
+            }
+        } else {
+            Operation::ReadModifyWrite { key, delta: 1 }
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn batch(&mut self, n: usize) -> Vec<Operation> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// The canonical initial value for `key` used to preload the dataset:
+    /// an 8-byte counter (zero) followed by a deterministic fill pattern.
+    pub fn make_value(&self, key: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.config.value_size.max(8)];
+        // Bytes after the counter carry a key-derived pattern so corruption
+        // (e.g. a migration delivering the wrong record) is detectable.
+        for (i, b) in v.iter_mut().enumerate().skip(8) {
+            *b = (key as u8).wrapping_add(i as u8);
+        }
+        v
+    }
+
+    /// Produces the `(key, value)` pairs used to preload the dataset.
+    pub fn load_phase(&self) -> impl Iterator<Item = (u64, Vec<u8>)> + '_ {
+        (0..self.config.record_count).map(move |k| (k, self.make_value(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ycsb_f_is_all_rmw() {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::ycsb_f(1000));
+        for _ in 0..1000 {
+            assert!(matches!(gen.next_op(), Operation::ReadModifyWrite { .. }));
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let mut config = WorkloadConfig::ycsb_f(10_000);
+        config.mix = WorkloadMix::YCSB_B;
+        let mut gen = WorkloadGenerator::new(config);
+        let n = 50_000;
+        let reads = (0..n)
+            .filter(|_| matches!(gen.next_op(), Operation::Read { .. }))
+            .count();
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(WorkloadConfig::ycsb_f(1000).with_seed(7));
+            (0..100).map(|_| g.next_op().key()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(WorkloadConfig::ycsb_f(1000).with_seed(7));
+            (0..100).map(|_| g.next_op().key()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = WorkloadGenerator::new(WorkloadConfig::ycsb_f(1000).with_seed(8));
+            (0..100).map(|_| g.next_op().key()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_have_configured_size_and_pattern() {
+        let gen = WorkloadGenerator::new(WorkloadConfig::ycsb_f(10));
+        let v = gen.make_value(3);
+        assert_eq!(v.len(), 256);
+        assert_eq!(&v[0..8], &[0u8; 8]);
+        assert_eq!(v[8], 3u8.wrapping_add(8));
+    }
+
+    #[test]
+    fn load_phase_covers_all_keys() {
+        let gen = WorkloadGenerator::new(WorkloadConfig::ycsb_f(100));
+        let pairs: Vec<_> = gen.load_phase().collect();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[0].0, 0);
+        assert_eq!(pairs[99].0, 99);
+    }
+
+    #[test]
+    fn uniform_config_uses_uniform_distribution() {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::ycsb_f_uniform(1_000_000));
+        // With a uniform distribution the hottest single key should appear
+        // only a handful of times in 100k draws.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(gen.next_key()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max < 20, "uniform workload has a hot key repeated {max} times");
+    }
+
+    #[test]
+    fn batch_produces_requested_count() {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::ycsb_f(100));
+        assert_eq!(gen.batch(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_mix_is_rejected() {
+        let mut config = WorkloadConfig::ycsb_f(10);
+        config.mix = WorkloadMix { reads: 0.5, upserts: 0.0, rmws: 0.0 };
+        let _ = WorkloadGenerator::new(config);
+    }
+}

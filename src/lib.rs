@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the Shadowfax reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories (quickstart, telemetry ingest, elastic scale-out,
+//! larger-than-memory, and the cross-crate integration tests) have a single
+//! package to hang off.  It re-exports the individual crates under short
+//! names; library users should depend on the individual crates directly.
+
+pub use shadowfax;
+pub use shadowfax_baselines as baselines;
+pub use shadowfax_epoch as epoch;
+pub use shadowfax_faster as faster;
+pub use shadowfax_hlog as hlog;
+pub use shadowfax_net as net;
+pub use shadowfax_storage as storage;
+pub use shadowfax_workload as workload;

@@ -1,0 +1,227 @@
+//! Cross-crate integration tests for the elasticity and fault-tolerance
+//! surface: scale-in, adding brand-new servers, crash recovery from
+//! checkpoints, migration cancellation when a server crashes mid-migration
+//! (paper §3.3.1), and compaction-time indirection cleanup / record hand-off
+//! (paper §3.3.3).
+
+use std::time::Duration;
+
+use shadowfax::{
+    ClientConfig, Cluster, ClusterConfig, MigrationMode, ServerConfig, ServerId,
+};
+
+fn preload(cluster: &Cluster, records: u64, value: &[u8]) {
+    let mut loader = cluster.client(ClientConfig::default());
+    for key in 0..records {
+        loader.issue_upsert(key, value.to_vec(), Box::new(|_| {}));
+        if loader.outstanding_ops() > 2048 {
+            loader.poll();
+        }
+    }
+    assert!(loader.drain(Duration::from_secs(120)), "preload did not finish");
+}
+
+fn constrained_template(mode: MigrationMode) -> ServerConfig {
+    let mut template = ServerConfig::small_for_tests(ServerId(0));
+    template.migration.mode = mode;
+    template.migration.sampling_duration = Duration::from_millis(50);
+    template.faster.table_bits = 13;
+    template.faster.log.page_bits = 16;
+    template.faster.log.memory_pages = 8;
+    template.faster.log.mutable_pages = 4;
+    template
+}
+
+#[test]
+fn scale_in_consolidates_ownership_and_preserves_data() {
+    let mut cluster = Cluster::start(ClusterConfig::balanced(3));
+    preload(&cluster, 3_000, &vec![9u8; 64]);
+
+    cluster
+        .scale_in(ServerId(2), ServerId(0), Duration::from_secs(120))
+        .expect("scale-in failed");
+
+    // The decommissioned server is gone from the metadata store and the
+    // remaining two servers cover the whole hash space between them.
+    let snapshot = cluster.meta().snapshot();
+    assert!(snapshot.server(ServerId(2)).is_none());
+    assert_eq!(snapshot.servers.len(), 2);
+    let total_width: u64 = snapshot
+        .servers
+        .values()
+        .map(|m| m.owned.total_width())
+        .sum();
+    assert_eq!(total_width, u64::MAX, "hash space no longer fully covered");
+
+    // Every key is still readable through the surviving servers.
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..3_000u64).step_by(59) {
+        assert_eq!(client.read(key), Some(vec![9u8; 64]), "key {key} lost by scale-in");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn add_server_then_shift_load_onto_it() {
+    let mut cluster = Cluster::start(ClusterConfig::two_server_test());
+    preload(&cluster, 1_500, &vec![4u8; 64]);
+
+    let mut config = ServerConfig::small_for_tests(ServerId(7));
+    config.threads = 1;
+    let added = cluster.add_server(config).expect("could not add server");
+    assert_eq!(added, ServerId(7));
+    assert!(cluster.server(added).unwrap().owned_ranges().is_empty());
+
+    cluster.migrate_fraction(ServerId(0), added, 0.25).unwrap();
+    assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
+    assert!(!cluster.server(added).unwrap().owned_ranges().is_empty());
+
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..1_500u64).step_by(43) {
+        assert_eq!(client.read(key), Some(vec![4u8; 64]));
+    }
+    assert!(cluster.server(added).unwrap().completed_ops() > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_recovery_restores_data_from_checkpoint() {
+    let mut cluster = Cluster::start(ClusterConfig::two_server_test());
+    preload(&cluster, 2_000, &vec![7u8; 128]);
+
+    let source = cluster.server(ServerId(0)).unwrap();
+    let cp = source.checkpoint_now();
+    assert!(cp.version >= 1);
+    drop(source);
+
+    let crashed = cluster.crash_server(ServerId(0)).expect("crash failed");
+    assert!(crashed.checkpoint.is_some());
+    let outcome = cluster.recover_server(crashed).expect("recovery failed");
+    assert!(outcome.restored_from_checkpoint);
+    assert!(outcome.cancelled_migration.is_none());
+    assert!(!outcome.restored_ranges.is_empty());
+
+    // Data written before the checkpoint survives the crash.
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..2_000u64).step_by(67) {
+        assert_eq!(client.read(key), Some(vec![7u8; 128]), "key {key} lost by the crash");
+    }
+    // And the recovered server accepts new writes.
+    assert!(client.upsert(9_999, b"post-recovery".to_vec()));
+    assert_eq!(client.read(9_999).as_deref(), Some(&b"post-recovery"[..]));
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_during_migration_cancels_it_and_returns_ownership_to_the_source() {
+    // A long sampling phase keeps the migration in flight while we crash the
+    // source.
+    let mut template = ServerConfig::small_for_tests(ServerId(0));
+    template.migration.sampling_duration = Duration::from_secs(30);
+    let mut cluster = Cluster::start(ClusterConfig {
+        server_template: template,
+        ..ClusterConfig::two_server_test()
+    });
+    preload(&cluster, 1_000, &vec![2u8; 64]);
+
+    let source = cluster.server(ServerId(0)).unwrap();
+    source.checkpoint_now();
+    let owned_before = source.owned_ranges();
+    drop(source);
+
+    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    assert_eq!(cluster.meta().pending_migrations(), 1);
+
+    let crashed = cluster.crash_server(ServerId(0)).unwrap();
+    let outcome = cluster.recover_server(crashed).unwrap();
+
+    // The migration was cancelled: no dependency is left, the source owns its
+    // pre-migration ranges again, and the target owns nothing.
+    assert!(outcome.cancelled_migration.is_some());
+    assert_eq!(cluster.meta().pending_migrations(), 0);
+    assert_eq!(outcome.restored_ranges, owned_before);
+    let target = cluster.server(ServerId(1)).unwrap();
+    assert!(target.owned_ranges().is_empty());
+    assert!(!target.migration_in_progress());
+
+    // Cancellation advanced both views past their pre-migration values.
+    assert!(outcome.view > 1);
+    assert!(target.serving_view() > 1);
+
+    // All data is served by the recovered source.
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..1_000u64).step_by(29) {
+        assert_eq!(client.read(key), Some(vec![2u8; 64]), "key {key} lost by cancellation");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn compaction_hands_foreign_records_to_the_new_owner() {
+    let cluster = Cluster::start(ClusterConfig {
+        server_template: constrained_template(MigrationMode::Shadowfax),
+        ..ClusterConfig::two_server_test()
+    });
+    preload(&cluster, 5_000, &vec![8u8; 256]);
+
+    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
+
+    // The source's log still holds records for the migrated range (they were
+    // shipped as indirection records, not removed).  Compaction must hand the
+    // cold ones to the target instead of keeping them.
+    let source = cluster.server(ServerId(0)).unwrap();
+    let outcome = source.compact_log();
+    assert!(outcome.stats.scanned > 0, "compaction scanned nothing");
+    assert!(
+        outcome.handed_off_records > 0,
+        "no foreign records were handed to the new owner: {outcome:?}"
+    );
+    assert_eq!(outcome.kept_unreachable, 0);
+
+    // Give the target's dispatch threads a moment to apply the hand-offs,
+    // then verify every key is still readable.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..5_000u64).step_by(83) {
+        assert_eq!(client.read(key), Some(vec![8u8; 256]), "key {key} lost by compaction");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn target_compaction_drops_indirections_for_ranges_it_no_longer_owns() {
+    // Move a range to the target (creating indirection records there), then
+    // move it back to the source; the indirection records at the target now
+    // refer to a range it no longer owns and must be dropped by compaction.
+    let cluster = Cluster::start(ClusterConfig {
+        server_template: constrained_template(MigrationMode::Shadowfax),
+        ..ClusterConfig::two_server_test()
+    });
+    preload(&cluster, 4_000, &vec![3u8; 256]);
+
+    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.4).unwrap();
+    assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
+    let target = cluster.server(ServerId(1)).unwrap();
+    let moved_back = target.owned_ranges().ranges().to_vec();
+    assert!(!moved_back.is_empty());
+    cluster
+        .migrate_ranges(ServerId(1), ServerId(0), moved_back)
+        .unwrap();
+    assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
+    assert!(target.owned_ranges().is_empty());
+
+    // Push the target's indirection records below the read-only boundary so
+    // compaction sees them, then compact.
+    let outcome = target.compact_log();
+    assert!(
+        outcome.dropped_indirections > 0 || outcome.stats.scanned == 0,
+        "compaction kept indirection records for a range the target no longer owns: {outcome:?}"
+    );
+
+    let mut client = cluster.client(ClientConfig::default());
+    for key in (0..4_000u64).step_by(71) {
+        assert_eq!(client.read(key), Some(vec![3u8; 256]), "key {key} lost");
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,186 @@
+//! Cross-crate property-based and invariant tests over the substrates: the
+//! FASTER store against a model map, HybridLog region invariants, hash-range
+//! set algebra, and checkpoint/recovery round trips.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use shadowfax::{HashRange, RangeSet};
+use shadowfax_epoch::EpochManager;
+use shadowfax_faster::{
+    recover_from_checkpoint, take_checkpoint, Faster, FasterConfig, KeyHash,
+};
+use shadowfax_hlog::{HybridLog, LogConfig, RecordFlags, INVALID_ADDRESS};
+use shadowfax_storage::SimSsd;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Upsert(u64, u8, u8),
+    RmwAdd(u64, u8),
+    Delete(u64),
+    Read(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0u64..64, any::<u8>(), 1u8..32).prop_map(|(k, b, l)| ModelOp::Upsert(k, b, l)),
+        (0u64..64, 1u8..16).prop_map(|(k, d)| ModelOp::RmwAdd(k, d)),
+        (0u64..64).prop_map(ModelOp::Delete),
+        (0u64..64).prop_map(ModelOp::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// FASTER behaves like a map for any sequence of operations: every read
+    /// agrees with a model HashMap, including after deletes and
+    /// re-insertions.
+    #[test]
+    fn faster_matches_model_map(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let store = Faster::standalone(FasterConfig::small_for_tests(), Arc::new(SimSsd::new(1 << 28)));
+        let session = store.start_session();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                ModelOp::Upsert(k, b, l) => {
+                    let v = vec![b; l as usize];
+                    session.upsert(k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                ModelOp::RmwAdd(k, d) => {
+                    session.rmw_add(k, d as u64, &[0u8; 8]).unwrap();
+                    let entry = model.entry(k).or_insert_with(|| vec![0u8; 8]);
+                    if entry.len() < 8 { entry.resize(8, 0); }
+                    let c = u64::from_le_bytes(entry[0..8].try_into().unwrap()) + d as u64;
+                    entry[0..8].copy_from_slice(&c.to_le_bytes());
+                }
+                ModelOp::Delete(k) => {
+                    session.delete(k).unwrap();
+                    model.remove(&k);
+                }
+                ModelOp::Read(k) => {
+                    prop_assert_eq!(session.read(k).unwrap(), model.get(&k).cloned());
+                }
+            }
+        }
+        for (k, v) in &model {
+            let read = session.read(*k).unwrap();
+            prop_assert_eq!(read.as_ref(), Some(v));
+        }
+    }
+
+    /// Appending arbitrary records never violates the log's region ordering
+    /// invariants, and every appended record reads back intact.
+    #[test]
+    fn hybridlog_region_invariants(values in proptest::collection::vec((any::<u64>(), 1usize..512), 1..200)) {
+        let epoch = Arc::new(EpochManager::new());
+        let log = HybridLog::new(
+            LogConfig::small_for_tests(),
+            Arc::new(SimSsd::new(1 << 28)),
+            None,
+            Arc::clone(&epoch),
+        );
+        let t = epoch.register();
+        let mut appended = Vec::new();
+        for (key, len) in values {
+            let value = vec![(key % 251) as u8; len];
+            let addr = log.append(key, &value, INVALID_ADDRESS, 1, RecordFlags::empty(), &t).unwrap();
+            appended.push((key, value, addr));
+            let s = log.stats();
+            prop_assert!(s.begin <= s.safe_head);
+            prop_assert!(s.safe_head <= s.head);
+            prop_assert!(s.head <= s.read_only);
+            prop_assert!(s.read_only <= s.tail);
+        }
+        let g = t.protect();
+        for (key, value, addr) in appended {
+            let rec = log.read_record(addr, &g).unwrap();
+            prop_assert_eq!(rec.key(), key);
+            prop_assert_eq!(rec.value(), &value[..]);
+        }
+    }
+
+    /// RangeSet add/remove behaves like set algebra over the hash space.
+    #[test]
+    fn rangeset_add_remove_is_set_algebra(
+        cut_points in proptest::collection::btree_set(1u64..u64::MAX - 1, 2..10),
+        probes in proptest::collection::vec(any::<u64>(), 32),
+    ) {
+        let cuts: Vec<u64> = cut_points.into_iter().collect();
+        let ranges: Vec<HashRange> = cuts.windows(2).map(|w| HashRange::new(w[0], w[1])).collect();
+        let mut set = RangeSet::full();
+        set.remove(&ranges);
+        for p in &probes {
+            let in_removed = ranges.iter().any(|r| r.contains(*p));
+            prop_assert_eq!(set.contains(*p), !in_removed);
+        }
+        set.add(&ranges);
+        prop_assert_eq!(set, RangeSet::full());
+    }
+
+    /// Every key hashes into exactly one part of any even partition of the
+    /// hash space (the routing invariant clients and servers rely on).
+    #[test]
+    fn partition_routes_every_key_exactly_once(key in any::<u64>(), parts in 1usize..16) {
+        let ranges = HashRange::FULL.split(parts);
+        let hash = KeyHash::of(key).raw();
+        let owners = ranges.iter().filter(|r| r.contains(hash)).count();
+        prop_assert_eq!(owners, 1);
+    }
+}
+
+#[test]
+fn checkpoint_recover_roundtrip_preserves_counters() {
+    let ssd: Arc<SimSsd> = Arc::new(SimSsd::new(1 << 28));
+    let store = Faster::new(
+        FasterConfig::small_for_tests(),
+        ssd.clone(),
+        None,
+        Arc::new(EpochManager::new()),
+    );
+    let session = store.start_session();
+    for k in 0..500u64 {
+        session.rmw_add(k, k, &[0u8; 8]).unwrap();
+    }
+    let cp = take_checkpoint(&store, &session);
+    let recovered = Faster::new(
+        FasterConfig::small_for_tests(),
+        ssd,
+        None,
+        Arc::new(EpochManager::new()),
+    );
+    recover_from_checkpoint(&recovered, &cp);
+    let session2 = recovered.start_session();
+    for k in (0..500u64).step_by(23) {
+        let v = session2.read(k).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[0..8].try_into().unwrap()), k);
+    }
+}
+
+#[test]
+fn epoch_actions_fire_once_under_thread_churn() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let epoch = Arc::new(EpochManager::new());
+    let fired = Arc::new(AtomicUsize::new(0));
+    for round in 0..20 {
+        let worker = {
+            let epoch = Arc::clone(&epoch);
+            std::thread::spawn(move || {
+                let t = epoch.register();
+                for _ in 0..100 {
+                    let _g = t.protect();
+                }
+            })
+        };
+        let f = Arc::clone(&fired);
+        epoch.bump_with_action(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        worker.join().unwrap();
+        epoch.try_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), round + 1);
+    }
+}
