@@ -72,7 +72,9 @@ impl RoutedOp {
     /// The key this operation targets.
     pub fn key(&self) -> u64 {
         match self {
-            RoutedOp::Read { key } | RoutedOp::Upsert { key, .. } | RoutedOp::RmwAdd { key, .. } => *key,
+            RoutedOp::Read { key }
+            | RoutedOp::Upsert { key, .. }
+            | RoutedOp::RmwAdd { key, .. } => *key,
         }
     }
 }
@@ -109,7 +111,8 @@ impl Shard {
                     .map
                     .entry(*key)
                     .or_insert_with(|| vec![0u8; value_size.max(8)]);
-                let counter = u64::from_le_bytes(entry[0..8].try_into().unwrap()).wrapping_add(*delta);
+                let counter =
+                    u64::from_le_bytes(entry[0..8].try_into().unwrap()).wrapping_add(*delta);
                 entry[0..8].copy_from_slice(&counter.to_le_bytes());
                 RoutedResult::Counter(counter)
             }
@@ -181,7 +184,10 @@ impl PartitionedStore {
 
     /// Total operations completed across all cores.
     pub fn total_completed(&self) -> u64 {
-        self.completed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Operations that crossed cores.
@@ -206,7 +212,11 @@ impl PartitionedStore {
             inboxes.push(tx);
             receivers.push(rx);
         }
-        let completed = Arc::new((0..config.cores).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let completed = Arc::new(
+            (0..config.cores)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>(),
+        );
         let store = Arc::new(PartitionedStore {
             config,
             inboxes,
@@ -267,11 +277,23 @@ impl PartitionedStore {
         let mut shard = Shard::default();
         let value = vec![0u8; 256];
         for k in 0..1024u64 {
-            shard.execute(&RoutedOp::Upsert { key: k, value: value.clone() }, 256);
+            shard.execute(
+                &RoutedOp::Upsert {
+                    key: k,
+                    value: value.clone(),
+                },
+                256,
+            );
         }
         let start = Instant::now();
         for i in 0..iters {
-            shard.execute(&RoutedOp::RmwAdd { key: i % 1024, delta: 1 }, 256);
+            shard.execute(
+                &RoutedOp::RmwAdd {
+                    key: i % 1024,
+                    delta: 1,
+                },
+                256,
+            );
         }
         let local_ns = start.elapsed().as_nanos() as f64 / iters as f64;
 
@@ -327,23 +349,35 @@ mod tests {
 
     #[test]
     fn single_core_roundtrip() {
-        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 1, value_size: 64 });
+        let handle = PartitionedStore::spawn(PartitionedConfig {
+            cores: 1,
+            value_size: 64,
+        });
         let store = handle.store();
         assert_eq!(
-            store.submit(RoutedOp::Upsert { key: 1, value: vec![9u8; 64] }),
+            store.submit(RoutedOp::Upsert {
+                key: 1,
+                value: vec![9u8; 64]
+            }),
             RoutedResult::Ok
         );
         assert_eq!(
             store.submit(RoutedOp::Read { key: 1 }),
             RoutedResult::Value(Some(vec![9u8; 64]))
         );
-        assert_eq!(store.submit(RoutedOp::Read { key: 2 }), RoutedResult::Value(None));
+        assert_eq!(
+            store.submit(RoutedOp::Read { key: 2 }),
+            RoutedResult::Value(None)
+        );
         handle.shutdown();
     }
 
     #[test]
     fn rmw_counters_accumulate_across_cores() {
-        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 3, value_size: 32 });
+        let handle = PartitionedStore::spawn(PartitionedConfig {
+            cores: 3,
+            value_size: 32,
+        });
         let store = handle.store();
         for _ in 0..10 {
             for key in 0..30u64 {
@@ -364,7 +398,10 @@ mod tests {
 
     #[test]
     fn keys_partition_deterministically() {
-        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 4, value_size: 8 });
+        let handle = PartitionedStore::spawn(PartitionedConfig {
+            cores: 4,
+            value_size: 8,
+        });
         let store = handle.store();
         for key in 0..100u64 {
             let a = store.owner_core(key);
@@ -377,7 +414,10 @@ mod tests {
 
     #[test]
     fn concurrent_clients_see_consistent_counters() {
-        let handle = PartitionedStore::spawn(PartitionedConfig { cores: 2, value_size: 16 });
+        let handle = PartitionedStore::spawn(PartitionedConfig {
+            cores: 2,
+            value_size: 16,
+        });
         let store = Arc::clone(handle.store());
         let mut clients = Vec::new();
         for _ in 0..4 {

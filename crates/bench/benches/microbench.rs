@@ -1,10 +1,14 @@
-//! Criterion microbenchmarks over the core data structures and hot paths:
-//! hash-index probes, HybridLog appends and in-place RMWs, epoch
-//! protection/cuts, Zipfian key generation, batch encode/validation.
+//! Microbenchmarks over the core data structures and hot paths: hash-index
+//! probes, FASTER ops, epoch protection/cuts, Zipfian key generation, and
+//! batch validation/encoding.
+//!
+//! The build environment has no registry access, so instead of criterion this
+//! uses a small self-contained harness (`harness = false` in Cargo.toml):
+//! each case is warmed up, then timed over a fixed wall-clock window and
+//! reported as ns/op and Mops/s.  Run with `cargo bench -p shadowfax-bench`.
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use shadowfax::{HashRange, RangeSet};
 use shadowfax_epoch::EpochManager;
@@ -13,7 +17,31 @@ use shadowfax_net::{KvRequest, RequestBatch, WireSize};
 use shadowfax_storage::SimSsd;
 use shadowfax_workload::{WorkloadConfig, WorkloadGenerator};
 
-fn bench_faster_ops(c: &mut Criterion) {
+/// Times `op` for roughly `window`, returning (iterations, elapsed).
+fn run_case<T>(name: &str, elements_per_iter: u64, mut op: impl FnMut() -> T) {
+    // Warm-up.
+    let warm_until = Instant::now() + Duration::from_millis(200);
+    while Instant::now() < warm_until {
+        std::hint::black_box(op());
+    }
+    let window = Duration::from_millis(800);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < window {
+        // Amortize the clock read over a small inner loop.
+        for _ in 0..64 {
+            std::hint::black_box(op());
+        }
+        iters += 64;
+    }
+    let elapsed = start.elapsed();
+    let elements = iters * elements_per_iter;
+    let ns_per_elem = elapsed.as_nanos() as f64 / elements as f64;
+    let mops = elements as f64 / elapsed.as_secs_f64() / 1e6;
+    println!("{name:<44} {ns_per_elem:>10.1} ns/op {mops:>10.2} Mops/s");
+}
+
+fn bench_faster_ops() {
     let mut config = FasterConfig::small_for_tests();
     config.table_bits = 16;
     config.log.page_bits = 20;
@@ -25,83 +53,63 @@ fn bench_faster_ops(c: &mut Criterion) {
     for k in 0..100_000u64 {
         session.upsert(k, &value).unwrap();
     }
-    let mut group = c.benchmark_group("faster");
-    group.throughput(Throughput::Elements(1));
     let mut key = 0u64;
-    group.bench_function("read_in_memory", |b| {
-        b.iter(|| {
-            key = (key + 7919) % 100_000;
-            session.read(key).unwrap()
-        })
+    run_case("faster/read_in_memory", 1, || {
+        key = (key + 7919) % 100_000;
+        session.read(key).unwrap()
     });
-    group.bench_function("rmw_add_in_place", |b| {
-        b.iter(|| {
-            key = (key + 104729) % 100_000;
-            session.rmw_add(key, 1, &value).unwrap()
-        })
+    run_case("faster/rmw_add_in_place", 1, || {
+        key = (key + 104729) % 100_000;
+        session.rmw_add(key, 1, &value).unwrap()
     });
-    group.bench_function("upsert_same_size", |b| {
-        b.iter(|| {
-            key = (key + 15485863) % 100_000;
-            session.upsert(key, &value).unwrap()
-        })
+    run_case("faster/upsert_same_size", 1, || {
+        key = (key + 15485863) % 100_000;
+        session.upsert(key, &value).unwrap()
     });
-    group.finish();
 }
 
-fn bench_epoch(c: &mut Criterion) {
+fn bench_epoch() {
     let epoch = Arc::new(EpochManager::new());
     let thread = epoch.register();
-    let mut group = c.benchmark_group("epoch");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("protect_unprotect", |b| {
-        b.iter(|| {
-            let g = thread.protect();
-            drop(g);
-        })
+    run_case("epoch/protect_unprotect", 1, || {
+        let g = thread.protect();
+        drop(g);
     });
-    group.bench_function("bump_with_action_uncontended", |b| {
-        b.iter(|| epoch.bump_with_action(|| {}))
+    run_case("epoch/bump_with_action_uncontended", 1, || {
+        epoch.bump_with_action(|| {})
     });
-    group.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload");
-    group.throughput(Throughput::Elements(1));
+fn bench_workload() {
     let mut zipf = WorkloadGenerator::new(WorkloadConfig::ycsb_f(10_000_000));
-    group.bench_function("zipfian_next_key", |b| b.iter(|| zipf.next_key()));
+    run_case("workload/zipfian_next_key", 1, || zipf.next_key());
     let mut uniform = WorkloadGenerator::new(WorkloadConfig::ycsb_f_uniform(10_000_000));
-    group.bench_function("uniform_next_key", |b| b.iter(|| uniform.next_key()));
-    group.finish();
+    run_case("workload/uniform_next_key", 1, || uniform.next_key());
 }
 
-fn bench_validation(c: &mut Criterion) {
+fn bench_validation() {
     let batch = RequestBatch {
         view: 3,
         seq: 1,
-        ops: (0..64u64).map(|k| KvRequest::RmwAdd { key: k, delta: 1 }).collect(),
+        ops: (0..64u64)
+            .map(|k| KvRequest::RmwAdd { key: k, delta: 1 })
+            .collect(),
     };
     let owned = RangeSet::from_ranges(HashRange::FULL.split(512).into_iter().step_by(2));
-    let mut group = c.benchmark_group("ownership_validation");
-    group.throughput(Throughput::Elements(64));
-    group.bench_function("view_validation_per_batch", |b| {
-        b.iter(|| std::hint::black_box(batch.view) == std::hint::black_box(3u64))
+    run_case("validation/view_validation_per_batch", 64, || {
+        std::hint::black_box(batch.view) == std::hint::black_box(3u64)
     });
-    group.bench_function("hash_validation_per_batch_256_splits", |b| {
-        b.iter(|| {
-            batch
-                .ops
-                .iter()
-                .filter(|op| owned.contains(KeyHash::of(op.key()).raw()))
-                .count()
-        })
+    run_case("validation/hash_validation_256_splits", 64, || {
+        batch
+            .ops
+            .iter()
+            .filter(|op| owned.contains(KeyHash::of(op.key()).raw()))
+            .count()
     });
-    group.bench_function("batch_wire_size", |b| b.iter(|| batch.wire_size()));
-    group.finish();
+    run_case("validation/batch_wire_size", 64, || batch.wire_size());
 }
 
-fn bench_hash_index(c: &mut Criterion) {
+fn bench_hash_index() {
     use shadowfax_faster::HashIndex;
     let idx = HashIndex::new(16);
     for key in 0..50_000u64 {
@@ -111,24 +119,22 @@ fn bench_hash_index(c: &mut Criterion) {
             let _ = idx.try_update_entry(slot, entry, shadowfax_faster::Address::new(64 + key * 8));
         }
     }
-    let mut group = c.benchmark_group("hash_index");
-    group.throughput(Throughput::Elements(1));
     let mut key = 0u64;
-    group.bench_function("find_entry_hit", |b| {
-        b.iter(|| {
-            key = (key + 12289) % 50_000;
-            idx.find_entry(KeyHash::of(key))
-        })
+    run_case("hash_index/find_entry_hit", 1, || {
+        key = (key + 12289) % 50_000;
+        idx.find_entry(KeyHash::of(key))
     });
-    group.bench_function("key_hash", |b| {
-        b.iter_batched(|| key.wrapping_add(1), KeyHash::of, BatchSize::SmallInput)
+    run_case("hash_index/key_hash", 1, || {
+        key = key.wrapping_add(1);
+        KeyHash::of(key)
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_faster_ops, bench_epoch, bench_workload, bench_validation, bench_hash_index
+fn main() {
+    println!("{:<44} {:>13} {:>17}", "benchmark", "latency", "throughput");
+    bench_faster_ops();
+    bench_epoch();
+    bench_workload();
+    bench_validation();
+    bench_hash_index();
 }
-criterion_main!(benches);

@@ -27,7 +27,13 @@ fn live_cluster_ops(servers: usize, seconds: u64) -> f64 {
         for _ in 0..128 {
             let key = gen.next_key();
             let completed = Arc::clone(&completed);
-            client.issue_rmw(key, 1, Box::new(move |_| { completed.fetch_add(1, Ordering::Relaxed); }));
+            client.issue_rmw(
+                key,
+                1,
+                Box::new(move |_| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
         }
         client.flush();
         client.poll();
@@ -44,7 +50,8 @@ fn main() {
         "linear scaling to 400 Mops/s on 8 servers (CloudLab, §4)",
     );
     let calibration = calibrate(CalibrationConfig::default());
-    let per_server = saturation_for_profile(&calibration, &NetworkProfile::tcp_accelerated(), 64, 1.0);
+    let per_server =
+        saturation_for_profile(&calibration, &NetworkProfile::tcp_accelerated(), 64, 1.0);
     let servers = [1usize, 2, 4, 8];
     let modeled = cluster_scaling(per_server.throughput_ops, &servers);
     let mut table = Table::new(&["servers", "modeled_aggregate_mops", "live_smoke_ops_per_s"]);
@@ -52,11 +59,19 @@ fn main() {
         // The live run is a smoke test (single client, one core), not a
         // saturation measurement; it demonstrates the cluster path works for
         // every server count.
-        let live = if n <= 4 { live_cluster_ops(n, 3) } else { f64::NAN };
+        let live = if n <= 4 {
+            live_cluster_ops(n, 3)
+        } else {
+            f64::NAN
+        };
         table.row(&[
             n.to_string(),
             mops(agg),
-            if live.is_nan() { "-".into() } else { format!("{live:.0}") },
+            if live.is_nan() {
+                "-".into()
+            } else {
+                format!("{live:.0}")
+            },
         ]);
     }
     println!("{}", table.render());

@@ -28,8 +28,15 @@ fn main() {
         "post_migration_kops",
     ]);
     for variant in variants {
-        let config = ScaleOutConfig { variant, ..ScaleOutConfig::default() };
-        eprintln!("running {} (duration {:?})...", variant.label(), config.duration);
+        let config = ScaleOutConfig {
+            variant,
+            ..ScaleOutConfig::default()
+        };
+        eprintln!(
+            "running {} (duration {:?})...",
+            variant.label(),
+            config.duration
+        );
         let result = run_scaleout(config);
         let mig_start = result.migration_started_at;
         let mig_secs = result.migration_secs().unwrap_or(f64::NAN);
@@ -48,7 +55,10 @@ fn main() {
             variant.label().to_string(),
             format!("{mig_secs:.1}"),
             format!("{:.1}", result.mean_system_ops(0.0, mig_start) / 1000.0),
-            format!("{:.1}", result.mean_system_ops(mig_start, mig_start + mig_secs.max(1.0)) / 1000.0),
+            format!(
+                "{:.1}",
+                result.mean_system_ops(mig_start, mig_start + mig_secs.max(1.0)) / 1000.0
+            ),
             format!(
                 "{:.1}",
                 result.mean_system_ops(mig_start + mig_secs.max(1.0), f64::INFINITY) / 1000.0

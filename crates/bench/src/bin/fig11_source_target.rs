@@ -18,7 +18,10 @@ fn main() {
         ScaleOutVariant::IndirectionRecords,
         ScaleOutVariant::Rocksteady,
     ] {
-        let result = run_scaleout(ScaleOutConfig { variant, ..ScaleOutConfig::default() });
+        let result = run_scaleout(ScaleOutConfig {
+            variant,
+            ..ScaleOutConfig::default()
+        });
         let mut series = Table::new(&["t_secs", "source_kops", "target_kops"]);
         for s in &result.samples {
             series.row(&[
@@ -27,7 +30,11 @@ fn main() {
                 format!("{:.1}", s.target_ops / 1000.0),
             ]);
         }
-        println!("--- {} (migration {:.1}s) ---", variant.label(), result.migration_secs().unwrap_or(f64::NAN));
+        println!(
+            "--- {} (migration {:.1}s) ---",
+            variant.label(),
+            result.migration_secs().unwrap_or(f64::NAN)
+        );
         println!("{}", series.render());
         println!("CSV:\n{}", series.to_csv());
     }

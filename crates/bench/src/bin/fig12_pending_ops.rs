@@ -19,10 +19,16 @@ fn main() {
         ScaleOutVariant::IndirectionRecords,
         ScaleOutVariant::Rocksteady,
     ] {
-        let result = run_scaleout(ScaleOutConfig { variant, ..ScaleOutConfig::default() });
+        let result = run_scaleout(ScaleOutConfig {
+            variant,
+            ..ScaleOutConfig::default()
+        });
         let mut series = Table::new(&["t_secs", "pending_ops"]);
         for s in &result.samples {
-            series.row(&[format!("{:.2}", s.elapsed_secs), s.target_pending.to_string()]);
+            series.row(&[
+                format!("{:.2}", s.elapsed_secs),
+                s.target_pending.to_string(),
+            ]);
         }
         println!("--- {} ---", variant.label());
         println!("{}", series.render());

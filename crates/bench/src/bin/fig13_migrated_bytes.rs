@@ -26,8 +26,14 @@ fn main() {
         ScaleOutVariant::IndirectionRecords,
         ScaleOutVariant::Rocksteady,
     ] {
-        let result = run_scaleout(ScaleOutConfig { variant, ..ScaleOutConfig::default() });
-        let report = result.source_report.clone().expect("migration did not complete");
+        let result = run_scaleout(ScaleOutConfig {
+            variant,
+            ..ScaleOutConfig::default()
+        });
+        let report = result
+            .source_report
+            .clone()
+            .expect("migration did not complete");
         table.row(&[
             variant.label().to_string(),
             format!("{:.2}", report.bytes_from_memory as f64 / (1 << 20) as f64),

@@ -20,7 +20,12 @@ fn main() {
     );
     let splits = [1usize, 2, 4, 8, 16, 32, 64, 256, 512, 2048];
     let rows = validation_scaling(&calibration, &splits, 64, 64);
-    let mut table = Table::new(&["hash_splits", "view_validation_mops", "hash_validation_mops", "view_advantage"]);
+    let mut table = Table::new(&[
+        "hash_splits",
+        "view_validation_mops",
+        "hash_validation_mops",
+        "view_advantage",
+    ]);
     for (s, view, hash) in rows {
         table.row(&[
             s.to_string(),

@@ -17,11 +17,35 @@ fn main() {
         "FASTER 128 Mops/s, Shadowfax 130 Mops/s, w/o accel 75 Mops/s at 64 threads",
     );
     let calibration = calibrate(CalibrationConfig::default());
-    println!("calibrated per-op cost (zipfian): {:?}", calibration.faster_op_zipfian);
+    println!(
+        "calibrated per-op cost (zipfian): {:?}",
+        calibration.faster_op_zipfian
+    );
     let threads = [1usize, 8, 16, 24, 32, 40, 48, 56, 64];
-    let faster = shadowfax_scaling(&calibration, &NetworkProfile::instant(), &threads, true, true, 32 * 1024);
-    let accel = shadowfax_scaling(&calibration, &NetworkProfile::tcp_accelerated(), &threads, true, false, 32 * 1024);
-    let noaccel = shadowfax_scaling(&calibration, &NetworkProfile::tcp_no_accel(), &threads, true, false, 32 * 1024);
+    let faster = shadowfax_scaling(
+        &calibration,
+        &NetworkProfile::instant(),
+        &threads,
+        true,
+        true,
+        32 * 1024,
+    );
+    let accel = shadowfax_scaling(
+        &calibration,
+        &NetworkProfile::tcp_accelerated(),
+        &threads,
+        true,
+        false,
+        32 * 1024,
+    );
+    let noaccel = shadowfax_scaling(
+        &calibration,
+        &NetworkProfile::tcp_no_accel(),
+        &threads,
+        true,
+        false,
+        32 * 1024,
+    );
 
     let mut table = Table::new(&["threads", "faster_mops", "shadowfax_mops", "no_accel_mops"]);
     for i in 0..threads.len() {

@@ -17,10 +17,19 @@ fn main() {
     let calibration = calibrate(CalibrationConfig::default());
     println!(
         "calibrated costs: local shard op {:?}, cross-core forward {:?}, faster op (uniform) {:?}",
-        calibration.partitioned_local_op, calibration.partitioned_forward, calibration.faster_op_uniform
+        calibration.partitioned_local_op,
+        calibration.partitioned_forward,
+        calibration.faster_op_uniform
     );
     let threads = [1usize, 4, 8, 16, 24, 28, 32, 40, 48, 56, 64];
-    let shadowfax = shadowfax_scaling(&calibration, &NetworkProfile::tcp_accelerated(), &threads, false, false, 32 * 1024);
+    let shadowfax = shadowfax_scaling(
+        &calibration,
+        &NetworkProfile::tcp_accelerated(),
+        &threads,
+        false,
+        false,
+        32 * 1024,
+    );
     let seastar = partitioned_scaling(&calibration, &threads);
 
     let mut table = Table::new(&["threads", "seastar_mops", "shadowfax_mops", "speedup"]);
@@ -29,7 +38,10 @@ fn main() {
             threads[i].to_string(),
             mops(seastar[i].throughput_ops),
             mops(shadowfax[i].throughput_ops),
-            format!("{:.1}x", shadowfax[i].throughput_ops / seastar[i].throughput_ops),
+            format!(
+                "{:.1}x",
+                shadowfax[i].throughput_ops / seastar[i].throughput_ops
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -23,7 +23,13 @@ fn main() {
         (NetworkProfile::infrc(), 44, 2.7 / 2.3),
         (NetworkProfile::tcp_ipoib(), 44, 2.7 / 2.3),
     ];
-    let mut table = Table::new(&["transport", "throughput_mops", "batch_kb", "median_latency", "queue_depth"]);
+    let mut table = Table::new(&[
+        "transport",
+        "throughput_mops",
+        "batch_kb",
+        "median_latency",
+        "queue_depth",
+    ]);
     for (profile, threads, speedup) in rows {
         let p = saturation_for_profile(&calibration, &profile, threads, speedup);
         table.row(&[

@@ -139,7 +139,9 @@ fn measure_validation_costs(ops: u64) -> (Duration, Duration) {
     let batch = RequestBatch {
         view: 7,
         seq: 1,
-        ops: (0..64u64).map(|k| KvRequest::RmwAdd { key: k, delta: 1 }).collect(),
+        ops: (0..64u64)
+            .map(|k| KvRequest::RmwAdd { key: k, delta: 1 })
+            .collect(),
     };
     let iters = (ops / 64).max(1_000);
 
@@ -169,8 +171,7 @@ fn measure_validation_costs(ops: u64) -> (Duration, Duration) {
             }
         }
     }
-    let per_key =
-        Duration::from_nanos((start.elapsed().as_nanos() / (iters as u128 * 64)) as u64);
+    let per_key = Duration::from_nanos((start.elapsed().as_nanos() / (iters as u128 * 64)) as u64);
     assert!(hits > 0);
     let _ = batch.wire_size();
     (view_batch, per_key)

@@ -236,8 +236,7 @@ pub fn validation_scaling(
     ops_per_batch: usize,
 ) -> Vec<(usize, f64, f64)> {
     let op = calibration.faster_op_zipfian.as_secs_f64();
-    let view_per_op =
-        calibration.view_validation_per_batch.as_secs_f64() / ops_per_batch as f64;
+    let view_per_op = calibration.view_validation_per_batch.as_secs_f64() / ops_per_batch as f64;
     splits
         .iter()
         .map(|&s| {
@@ -255,7 +254,10 @@ pub fn validation_scaling(
 /// 8-server, 400 Mops/s CloudLab result): servers do not coordinate on the
 /// data path, so the aggregate is the per-server saturation times the count.
 pub fn cluster_scaling(per_server_ops: f64, servers: &[usize]) -> Vec<(usize, f64)> {
-    servers.iter().map(|&n| (n, per_server_ops * n as f64)).collect()
+    servers
+        .iter()
+        .map(|&n| (n, per_server_ops * n as f64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -276,8 +278,22 @@ mod tests {
     fn shadowfax_tracks_faster_and_scales_linearly() {
         let c = test_calibration();
         let threads = [1usize, 8, 16, 32, 64];
-        let accel = shadowfax_scaling(&c, &NetworkProfile::tcp_accelerated(), &threads, true, false, 32 * 1024);
-        let local = shadowfax_scaling(&c, &NetworkProfile::instant(), &threads, true, true, 32 * 1024);
+        let accel = shadowfax_scaling(
+            &c,
+            &NetworkProfile::tcp_accelerated(),
+            &threads,
+            true,
+            false,
+            32 * 1024,
+        );
+        let local = shadowfax_scaling(
+            &c,
+            &NetworkProfile::instant(),
+            &threads,
+            true,
+            true,
+            32 * 1024,
+        );
         // Networked throughput stays within ~15% of local FASTER (Figure 8).
         for (a, l) in accel.iter().zip(local.iter()) {
             assert!(a.throughput_ops > 0.80 * l.throughput_ops);
@@ -290,10 +306,22 @@ mod tests {
     fn disabling_acceleration_costs_throughput() {
         let c = test_calibration();
         let threads = [64usize];
-        let accel =
-            shadowfax_scaling(&c, &NetworkProfile::tcp_accelerated(), &threads, true, false, 32 * 1024);
-        let plain =
-            shadowfax_scaling(&c, &NetworkProfile::tcp_no_accel(), &threads, true, false, 32 * 1024);
+        let accel = shadowfax_scaling(
+            &c,
+            &NetworkProfile::tcp_accelerated(),
+            &threads,
+            true,
+            false,
+            32 * 1024,
+        );
+        let plain = shadowfax_scaling(
+            &c,
+            &NetworkProfile::tcp_no_accel(),
+            &threads,
+            true,
+            false,
+            32 * 1024,
+        );
         let ratio = accel[0].throughput_ops / plain[0].throughput_ops;
         assert!(ratio > 1.1, "acceleration should matter, got ratio {ratio}");
     }
@@ -303,8 +331,14 @@ mod tests {
         let c = test_calibration();
         let threads = [1usize, 8, 16, 28, 32, 64];
         let seastar = partitioned_scaling(&c, &threads);
-        let shadowfax =
-            shadowfax_scaling(&c, &NetworkProfile::tcp_accelerated(), &threads, false, false, 32 * 1024);
+        let shadowfax = shadowfax_scaling(
+            &c,
+            &NetworkProfile::tcp_accelerated(),
+            &threads,
+            false,
+            false,
+            32 * 1024,
+        );
         // At 28 threads Shadowfax is already far ahead (paper: ≥4×).
         let s28 = seastar.iter().find(|p| p.threads == 28).unwrap();
         let f28 = shadowfax.iter().find(|p| p.threads == 28).unwrap();

@@ -34,7 +34,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+";
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for (c, w) in cells.iter().zip(&widths) {
@@ -129,8 +133,14 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(mops(130_000_000.0), "130.0");
-        assert_eq!(human_duration(std::time::Duration::from_micros(40)), "40 µs");
-        assert_eq!(human_duration(std::time::Duration::from_micros(1300)), "1.3 ms");
+        assert_eq!(
+            human_duration(std::time::Duration::from_micros(40)),
+            "40 µs"
+        );
+        assert_eq!(
+            human_duration(std::time::Duration::from_micros(1300)),
+            "1.3 ms"
+        );
         assert!(human_duration(std::time::Duration::from_secs(17)).contains('s'));
     }
 }

@@ -143,7 +143,9 @@ pub struct ScaleOutResult {
 impl ScaleOutResult {
     /// Duration of the migration in seconds, if it completed.
     pub fn migration_secs(&self) -> Option<f64> {
-        self.source_report.as_ref().map(|r| r.duration_ms as f64 / 1000.0)
+        self.source_report
+            .as_ref()
+            .map(|r| r.duration_ms as f64 / 1000.0)
     }
 
     /// Mean system throughput over a time window (seconds since start).
@@ -163,7 +165,11 @@ impl ScaleOutResult {
 
     /// Maximum pending-operation count observed at the target.
     pub fn peak_pending(&self) -> u64 {
-        self.samples.iter().map(|s| s.target_pending).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.target_pending)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -192,8 +198,7 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
             // records from the Rocksteady scan.
             server_template.faster.log.page_bits = 18;
             server_template.faster.log.memory_pages = config.constrained_memory_pages;
-            server_template.faster.log.mutable_pages =
-                (config.constrained_memory_pages / 2).max(1);
+            server_template.faster.log.mutable_pages = (config.constrained_memory_pages / 2).max(1);
         }
     }
     let cluster = Cluster::start(ClusterConfig {
@@ -217,7 +222,7 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
         for (key, value) in gen.load_phase() {
             loader.issue_upsert(key, value, Box::new(|_| {}));
             outstanding += 1;
-            if outstanding % 2048 == 0 {
+            if outstanding.is_multiple_of(2048) {
                 loader.flush();
                 while loader.outstanding_ops() > 4096 {
                     loader.poll();
@@ -238,13 +243,14 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
         let net = Arc::clone(cluster.kv_network());
         let records = config.records;
         client_joins.push(std::thread::spawn(move || {
-            let client_config = ClientConfig::default()
-                .with_thread_id(t)
-                .with_session(SessionConfig {
-                    max_batch_ops: 64,
-                    max_batch_bytes: 32 * 1024,
-                    max_inflight_batches: 4,
-                });
+            let client_config =
+                ClientConfig::default()
+                    .with_thread_id(t)
+                    .with_session(SessionConfig {
+                        max_batch_ops: 64,
+                        max_batch_bytes: 32 * 1024,
+                        max_inflight_batches: 4,
+                    });
             let mut client = shadowfax::ShadowfaxClient::new(client_config, meta, net);
             let mut gen = WorkloadGenerator::new(
                 WorkloadConfig::ycsb_f(records).with_seed(0xFEED + t as u64),

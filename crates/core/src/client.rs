@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use shadowfax_faster::KeyHash;
-use shadowfax_net::{ClientSession, KvRequest, KvResponse, SessionConfig};
+use shadowfax_net::{ClientSession, KvRequest, KvResponse, SessionConfig, Transport};
 
 use crate::config::ClientConfig;
 use crate::meta::{MetadataStore, OwnershipSnapshot};
@@ -37,12 +37,20 @@ pub struct ClientStats {
 }
 
 /// A per-thread Shadowfax client.
+///
+/// The client is written against the [`Transport`] trait, so the same
+/// ownership-caching, batching, and re-routing logic runs over the simulated
+/// fabric (tests, benchmarks) and over real sockets (`shadowfax-rpc`).
 pub struct ShadowfaxClient {
     config: ClientConfig,
     meta: Arc<MetadataStore>,
-    net: Arc<KvNetwork>,
+    transport: Arc<dyn Transport>,
     ownership: OwnershipSnapshot,
     sessions: HashMap<ServerId, ClientSession>,
+    /// Operations whose re-route attempt failed (ownership momentarily
+    /// unknown, or a session could not be opened); retried on every poll so
+    /// their callbacks are never silently dropped.
+    pending_reroute: Vec<(KvRequest, OpCallback)>,
     completed: Arc<AtomicU64>,
     stats: ClientStats,
 }
@@ -58,15 +66,26 @@ impl std::fmt::Debug for ShadowfaxClient {
 }
 
 impl ShadowfaxClient {
-    /// Creates a client bound to the given metadata store and fabric.
+    /// Creates a client bound to the given metadata store and simulated
+    /// fabric.
     pub fn new(config: ClientConfig, meta: Arc<MetadataStore>, net: Arc<KvNetwork>) -> Self {
+        Self::with_transport(config, meta, net)
+    }
+
+    /// Creates a client over an arbitrary [`Transport`] implementation.
+    pub fn with_transport(
+        config: ClientConfig,
+        meta: Arc<MetadataStore>,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
         let ownership = meta.snapshot();
         ShadowfaxClient {
             config,
             meta,
-            net,
+            transport,
             ownership,
             sessions: HashMap::new(),
+            pending_reroute: Vec::new(),
             completed: Arc::new(AtomicU64::new(0)),
             stats: ClientStats::default(),
         }
@@ -85,7 +104,11 @@ impl ShadowfaxClient {
 
     /// Operations issued but not yet completed across all sessions.
     pub fn outstanding_ops(&self) -> usize {
-        self.sessions.values().map(|s| s.outstanding_ops()).sum()
+        self.sessions
+            .values()
+            .map(|s| s.outstanding_ops())
+            .sum::<usize>()
+            + self.pending_reroute.len()
     }
 
     /// Refreshes the cached ownership mappings from the metadata store.
@@ -110,8 +133,8 @@ impl ShadowfaxClient {
             let meta = self.ownership.server(server)?.clone();
             let thread = self.config.thread_id % meta.threads.max(1);
             let addr = format!("{}/t{}", meta.address, thread);
-            let conn = self.net.connect(&addr)?;
-            let session = ClientSession::new(conn, meta.view, self.config.session);
+            let link = self.transport.connect_link(&addr).ok()?;
+            let session = ClientSession::from_link(link, meta.view, self.config.session);
             self.sessions.insert(server, session);
         }
         self.sessions.get_mut(&server)
@@ -121,15 +144,26 @@ impl ShadowfaxClient {
     /// `false` if no server currently owns the key's hash (the caller should
     /// refresh ownership and retry).
     pub fn issue(&mut self, request: KvRequest, callback: OpCallback) -> bool {
+        self.try_issue(request, callback).is_none()
+    }
+
+    /// Like [`ShadowfaxClient::issue`], but hands the operation back instead
+    /// of dropping it when no route exists.
+    fn try_issue(
+        &mut self,
+        request: KvRequest,
+        callback: OpCallback,
+    ) -> Option<(KvRequest, OpCallback)> {
         let Some(owner) = self.owner_for_key(request.key()) else {
-            return false;
+            return Some((request, callback));
         };
+        if self.session_for(owner).is_none() {
+            return Some((request, callback));
+        }
         self.stats.issued += 1;
-        let Some(session) = self.session_for(owner) else {
-            return false;
-        };
+        let session = self.sessions.get_mut(&owner).expect("session just ensured");
         session.issue(request, callback);
-        true
+        None
     }
 
     /// Issues an asynchronous read.
@@ -147,23 +181,45 @@ impl ShadowfaxClient {
         self.issue(KvRequest::RmwAdd { key, delta }, callback)
     }
 
-    /// Flushes partially filled batches on every session.
+    /// Flushes partially filled batches on every session.  Transport
+    /// failures are left recorded on the session and surface as dead links
+    /// cleaned up by [`ShadowfaxClient::poll`].
     pub fn flush(&mut self) {
         for session in self.sessions.values_mut() {
-            session.flush();
+            let _ = session.flush();
         }
     }
 
     /// Drains replies, runs callbacks, refreshes ownership after rejections,
     /// and re-routes parked operations.  Returns the number of operations
     /// completed by this call.
+    ///
+    /// Sessions whose link has failed (a server process went away) are torn
+    /// down; their parked operations are re-routed with everything else after
+    /// the ownership refresh.
     pub fn poll(&mut self) -> usize {
         let mut completed = 0;
         let mut needs_refresh = false;
-        for session in self.sessions.values_mut() {
-            completed += session.poll();
+        let mut dead: Vec<ServerId> = Vec::new();
+        for (server, session) in self.sessions.iter_mut() {
+            match session.poll() {
+                Ok(n) => completed += n,
+                Err(_) => {
+                    needs_refresh = true;
+                    dead.push(*server);
+                }
+            }
             if session.stale_view().is_some() {
                 needs_refresh = true;
+            }
+        }
+        // Salvage what can safely be re-routed from dead sessions: parked
+        // and never-sent operations survive; batches already in flight on
+        // the broken link have unknown outcomes and are lost with it.
+        let mut orphans: Vec<(KvRequest, OpCallback)> = Vec::new();
+        for server in dead {
+            if let Some(mut session) = self.sessions.remove(&server) {
+                orphans.extend(session.take_unsent());
             }
         }
         self.stats.completed += completed as u64;
@@ -171,17 +227,31 @@ impl ShadowfaxClient {
             self.refresh_ownership();
             // Collect parked operations and re-route them: ownership may have
             // moved them to a different server entirely.
-            let parked: Vec<(KvRequest, OpCallback)> = self
+            let mut parked: Vec<(KvRequest, OpCallback)> = self
                 .sessions
                 .values_mut()
                 .flat_map(|s| s.take_parked())
                 .collect();
+            parked.append(&mut orphans);
             for (req, cb) in parked {
                 self.stats.rerouted += 1;
                 self.stats.issued = self.stats.issued.saturating_sub(1); // re-issue, not a new op
-                if !self.issue(req, cb) {
-                    // Ownership is momentarily unknown; drop back to parked on
-                    // the next poll via a fresh refresh.
+                if let Some(op) = self.try_issue(req, cb) {
+                    // Ownership is momentarily unknown; hold the operation
+                    // and retry on the next poll.
+                    self.pending_reroute.push(op);
+                }
+            }
+            self.flush();
+        } else if !self.pending_reroute.is_empty() {
+            self.refresh_ownership();
+        }
+        // Retry operations whose earlier re-route found no owner.
+        if !self.pending_reroute.is_empty() {
+            let retry = std::mem::take(&mut self.pending_reroute);
+            for (req, cb) in retry {
+                if let Some(op) = self.try_issue(req, cb) {
+                    self.pending_reroute.push(op);
                 }
             }
             self.flush();
@@ -230,7 +300,10 @@ impl ShadowfaxClient {
 
     /// Synchronously writes a key.
     pub fn upsert(&mut self, key: u64, value: Vec<u8>) -> bool {
-        matches!(self.execute_sync(KvRequest::Upsert { key, value }), KvResponse::Ok)
+        matches!(
+            self.execute_sync(KvRequest::Upsert { key, value }),
+            KvResponse::Ok
+        )
     }
 
     /// Synchronously increments a key's counter, returning the new value.

@@ -104,10 +104,9 @@ impl Cluster {
         for i in 0..config.servers {
             let mut server_config = config.server_template.clone();
             server_config.id = ServerId(i as u32);
-            let ranges = if i < owners {
-                RangeSet::from_ranges([parts[i]])
-            } else {
-                RangeSet::empty()
+            let ranges = match parts.get(i) {
+                Some(part) => RangeSet::from_ranges([*part]),
+                None => RangeSet::empty(),
             };
             let server = Server::new(
                 server_config,
@@ -150,7 +149,10 @@ impl Cluster {
 
     /// The running servers.
     pub fn servers(&self) -> Vec<Arc<Server>> {
-        self.handles.iter().map(|h| Arc::clone(h.server())).collect()
+        self.handles
+            .iter()
+            .map(|h| Arc::clone(h.server()))
+            .collect()
     }
 
     /// One server by id.
@@ -169,7 +171,10 @@ impl Cluster {
 
     /// Total operations completed across every server.
     pub fn total_completed_ops(&self) -> u64 {
-        self.handles.iter().map(|h| h.server().completed_ops()).sum()
+        self.handles
+            .iter()
+            .map(|h| h.server().completed_ops())
+            .sum()
     }
 
     /// Starts migrating `fraction` of `source`'s first owned range to
@@ -250,8 +255,11 @@ impl Cluster {
         to: ServerId,
         timeout: Duration,
     ) -> Result<(), String> {
-        let src = self.server(from).ok_or_else(|| format!("unknown server {from}"))?;
-        self.server(to).ok_or_else(|| format!("unknown server {to}"))?;
+        let src = self
+            .server(from)
+            .ok_or_else(|| format!("unknown server {from}"))?;
+        self.server(to)
+            .ok_or_else(|| format!("unknown server {to}"))?;
         let ranges = src.owned_ranges().ranges().to_vec();
         if !ranges.is_empty() {
             self.migrate_ranges(from, to, ranges)?;

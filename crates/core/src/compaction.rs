@@ -72,7 +72,11 @@ impl Server {
                 // Indirection records are keyed by a representative hash, so
                 // ownership is decided by the range stored in their payload.
                 let still_owned = IndirectionRecord::decode_value(record.value())
-                    .map(|ind| owned_pairs.iter().any(|(s, e)| ind.range.start < *e && *s < ind.range.end))
+                    .map(|ind| {
+                        owned_pairs
+                            .iter()
+                            .any(|(s, e)| ind.range.start < *e && *s < ind.range.end)
+                    })
                     .unwrap_or(false);
                 return if still_owned {
                     Disposition::Keep
@@ -87,7 +91,10 @@ impl Server {
             // The record belongs to a range this server migrated away: ship it
             // to whoever owns the range now.
             let hash = KeyHash::of(record.key()).raw();
-            let owner = snapshot.owner_of(hash).map(|(id, _)| id).filter(|id| *id != my_id);
+            let owner = snapshot
+                .owner_of(hash)
+                .map(|(id, _)| id)
+                .filter(|id| *id != my_id);
             let Some(owner) = owner else {
                 // Unknown or self-owned (ownership raced back): keep it.
                 kept_unreachable += 1;

@@ -7,11 +7,10 @@
 //! ([`shadowfax_faster::KeyHash`]), so clients, servers, and migration all
 //! agree on which range a key belongs to.
 
-use serde::{Deserialize, Serialize};
 use shadowfax_faster::KeyHash;
 
 /// A half-open range `[start, end)` of the 64-bit hash space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HashRange {
     /// Inclusive lower bound.
     pub start: u64,
@@ -23,7 +22,10 @@ pub struct HashRange {
 
 impl HashRange {
     /// The full hash space.
-    pub const FULL: HashRange = HashRange { start: 0, end: u64::MAX };
+    pub const FULL: HashRange = HashRange {
+        start: 0,
+        end: u64::MAX,
+    };
 
     /// Creates a range.  `start` must not exceed `end`.
     pub fn new(start: u64, end: u64) -> Self {
@@ -83,7 +85,7 @@ impl std::fmt::Display for HashRange {
 }
 
 /// A set of owned ranges with membership and set-algebra helpers.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RangeSet {
     ranges: Vec<HashRange>,
 }
@@ -96,7 +98,9 @@ impl RangeSet {
 
     /// A set holding the full hash space.
     pub fn full() -> Self {
-        RangeSet { ranges: vec![HashRange::FULL] }
+        RangeSet {
+            ranges: vec![HashRange::FULL],
+        }
     }
 
     /// Builds a set from ranges, normalizing (sorting and merging adjacent
@@ -142,18 +146,17 @@ impl RangeSet {
     /// ranges — this is the "trie of owned hash ranges" lookup the paper's
     /// Hash Validation baseline performs per key (Figure 15).
     pub fn contains(&self, hash: u64) -> bool {
-        match self.ranges.binary_search_by(|r| {
-            if hash < r.start {
-                std::cmp::Ordering::Greater
-            } else if r.contains(hash) {
-                std::cmp::Ordering::Equal
-            } else {
-                std::cmp::Ordering::Less
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                if hash < r.start {
+                    std::cmp::Ordering::Greater
+                } else if r.contains(hash) {
+                    std::cmp::Ordering::Equal
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            })
+            .is_ok()
     }
 
     /// Membership test for a key.
@@ -246,11 +249,8 @@ mod tests {
     fn rangeset_membership_and_splits() {
         let set = RangeSet::from_ranges(HashRange::FULL.split(16));
         assert_eq!(set.len(), 1, "adjacent splits merge back into one range");
-        let alternating: Vec<HashRange> = HashRange::FULL
-            .split(16)
-            .into_iter()
-            .step_by(2)
-            .collect();
+        let alternating: Vec<HashRange> =
+            HashRange::FULL.split(16).into_iter().step_by(2).collect();
         let set = RangeSet::from_ranges(alternating.clone());
         assert_eq!(set.len(), 8);
         for r in &alternating {
@@ -258,7 +258,12 @@ mod tests {
             assert!(set.contains(r.start + r.width() / 2));
         }
         // Gaps are not contained.
-        let gaps: Vec<HashRange> = HashRange::FULL.split(16).into_iter().skip(1).step_by(2).collect();
+        let gaps: Vec<HashRange> = HashRange::FULL
+            .split(16)
+            .into_iter()
+            .skip(1)
+            .step_by(2)
+            .collect();
         for g in &gaps {
             assert!(!set.contains(g.start + 1));
         }

@@ -68,10 +68,8 @@ pub use server::{KvNetwork, MigrationNetwork, Server, ServerHandle};
 // Re-export the request/response types clients interact with.
 pub use shadowfax_net::{KvRequest, KvResponse, NetworkProfile, SessionConfig};
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one server in the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServerId(pub u32);
 
 impl std::fmt::Display for ServerId {

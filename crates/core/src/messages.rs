@@ -8,14 +8,13 @@
 //! `CompleteMigration`, plus a compaction-time hand-off message for records a
 //! server no longer owns (paper §3.3.3).
 
-use serde::{Deserialize, Serialize};
 use shadowfax_net::WireSize;
 
 use crate::hash_range::HashRange;
 use crate::ServerId;
 
 /// One record being shipped from the source to the target.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MigratedItem {
     /// A full record (key + value) that was resident in the source's memory.
     Record {
@@ -46,7 +45,7 @@ impl MigratedItem {
 }
 
 /// Messages exchanged between the source and target of a migration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MigrationMsg {
     /// Source → target: ownership transfer is imminent; start pending
     /// requests for the migrating ranges (target moves to its Prepare phase).
@@ -110,7 +109,7 @@ pub enum MigrationMsg {
 }
 
 /// Which control step an [`MigrationMsg::Ack`] acknowledges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationAckPhase {
     /// Acknowledges `PrepForTransfer`.
     Prepared,
@@ -124,10 +123,9 @@ impl WireSize for MigrationMsg {
     fn wire_size(&self) -> usize {
         match self {
             MigrationMsg::PrepForTransfer { ranges, .. } => 32 + ranges.len() * 16,
-            MigrationMsg::TransferredOwnership { ranges, sampled, .. } => {
-                32 + ranges.len() * 16
-                    + sampled.iter().map(|(_, v)| 16 + v.len()).sum::<usize>()
-            }
+            MigrationMsg::TransferredOwnership {
+                ranges, sampled, ..
+            } => 32 + ranges.len() * 16 + sampled.iter().map(|(_, v)| 16 + v.len()).sum::<usize>(),
             MigrationMsg::Records { items, .. } => {
                 16 + items.iter().map(MigratedItem::wire_size).sum::<usize>()
             }
@@ -146,12 +144,18 @@ mod tests {
     fn record_batches_scale_with_payload() {
         let small = MigrationMsg::Records {
             migration_id: 1,
-            items: vec![MigratedItem::Record { key: 1, value: vec![0; 8] }],
+            items: vec![MigratedItem::Record {
+                key: 1,
+                value: vec![0; 8],
+            }],
         };
         let big = MigrationMsg::Records {
             migration_id: 1,
             items: (0..100)
-                .map(|k| MigratedItem::Record { key: k, value: vec![0; 256] })
+                .map(|k| MigratedItem::Record {
+                    key: k,
+                    value: vec![0; 256],
+                })
                 .collect(),
         };
         assert!(big.wire_size() > small.wire_size());
@@ -160,9 +164,21 @@ mod tests {
 
     #[test]
     fn control_messages_are_small() {
-        assert!(MigrationMsg::CompleteMigration { migration_id: 3, total_items: 10 }.wire_size() < 64);
         assert!(
-            MigrationMsg::Ack { migration_id: 3, phase: MigrationAckPhase::Prepared }.wire_size() < 64
+            MigrationMsg::CompleteMigration {
+                migration_id: 3,
+                total_items: 10
+            }
+            .wire_size()
+                < 64
+        );
+        assert!(
+            MigrationMsg::Ack {
+                migration_id: 3,
+                phase: MigrationAckPhase::Prepared
+            }
+            .wire_size()
+                < 64
         );
     }
 

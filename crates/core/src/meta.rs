@@ -15,7 +15,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use crate::hash_range::{HashRange, RangeSet};
 use crate::ServerId;
@@ -23,7 +22,7 @@ use crate::ServerId;
 /// A migration dependency recorded while a migration is in flight
 /// (paper §3.3.1): recovery of either server must consult it until both
 /// completion flags are set, after which it is garbage collected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationDep {
     /// Unique id of the migration.
     pub id: u64,
@@ -49,7 +48,7 @@ impl MigrationDep {
 }
 
 /// Per-server state kept by the metadata store.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerMeta {
     /// The server's strictly increasing view number.
     pub view: u64,
@@ -163,17 +162,26 @@ impl MetadataStore {
     ) -> Result<(u64, u64, u64), MetaError> {
         let mut inner = self.inner.lock();
         {
-            let src = inner.servers.get(&source).ok_or(MetaError::UnknownServer(source))?;
+            let src = inner
+                .servers
+                .get(&source)
+                .ok_or(MetaError::UnknownServer(source))?;
             for r in ranges {
                 if !r
                     .split(2)
                     .iter()
                     .all(|half| src.owned.contains(half.start) || half.width() == 0)
                 {
-                    return Err(MetaError::NotOwned { server: source, range: *r });
+                    return Err(MetaError::NotOwned {
+                        server: source,
+                        range: *r,
+                    });
                 }
             }
-            inner.servers.get(&target).ok_or(MetaError::UnknownServer(target))?;
+            inner
+                .servers
+                .get(&target)
+                .ok_or(MetaError::UnknownServer(target))?;
         }
         let id = inner.next_migration_id;
         inner.next_migration_id += 1;
@@ -387,9 +395,13 @@ mod tests {
         assert_eq!(snap.owner_of(0).unwrap().0, ServerId(0));
         // Later changes do not affect the snapshot.
         let moved = partition_space(2)[0].take_fraction(0.5);
-        meta.transfer_ownership(ServerId(0), ServerId(1), &[moved]).unwrap();
+        meta.transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
         assert_eq!(snap.owner_of(moved.start).unwrap().0, ServerId(0));
-        assert_eq!(meta.snapshot().owner_of(moved.start).unwrap().0, ServerId(1));
+        assert_eq!(
+            meta.snapshot().owner_of(moved.start).unwrap().0,
+            ServerId(1)
+        );
     }
 
     #[test]

@@ -262,8 +262,9 @@ impl Server {
         // Step 2: start sampling hot records in the migrating ranges.
         if self.config.migration.ship_sampled_records {
             let filter_ranges = ranges.clone();
-            self.store
-                .begin_sampling(Box::new(move |hash| filter_ranges.iter().any(|r| r.contains(hash))));
+            self.store.begin_sampling(Box::new(move |hash| {
+                filter_ranges.iter().any(|r| r.contains(hash))
+            }));
         }
         // Control connection to the target's thread-0 migration endpoint.
         let control_addr = format!("{}/m0", target_meta.address);
@@ -454,10 +455,13 @@ impl Server {
             }
             SourcePhase::Complete => {
                 if is_driver && !outgoing.complete_sent.swap(true, Ordering::SeqCst) {
-                    outgoing.control.lock().send(MigrationMsg::CompleteMigration {
-                        migration_id: outgoing.migration_id,
-                        total_items: outgoing.total_items.load(Ordering::SeqCst),
-                    });
+                    outgoing
+                        .control
+                        .lock()
+                        .send(MigrationMsg::CompleteMigration {
+                            migration_id: outgoing.migration_id,
+                            total_items: outgoing.total_items.load(Ordering::SeqCst),
+                        });
                     // Checkpoint so the post-migration state is independently
                     // recoverable, then mark our side complete (paper §3.3.1).
                     let cp = take_checkpoint(&self.store, session);
@@ -493,8 +497,7 @@ impl Server {
         let thread_id = state.thread_id;
         if state.region_done_reported {
             // This thread is finished; thread 0 watches for global completion.
-            if thread_id == 0
-                && outgoing.regions_done.load(Ordering::SeqCst) >= self.config.threads
+            if thread_id == 0 && outgoing.regions_done.load(Ordering::SeqCst) >= self.config.threads
             {
                 let next = match outgoing.mode {
                     MigrationMode::Shadowfax => SourcePhase::Complete,
@@ -526,7 +529,8 @@ impl Server {
                 (cursor.end_bucket, cursor.end_bucket)
             } else {
                 let start = cursor.next_bucket;
-                let end = (start + self.config.migration.buckets_per_iteration).min(cursor.end_bucket);
+                let end =
+                    (start + self.config.migration.buckets_per_iteration).min(cursor.end_bucket);
                 cursor.next_bucket = end;
                 (start, end)
             }
@@ -568,8 +572,11 @@ impl Server {
                     // The rest of this chain lives on the SSD / shared tier.
                     match outgoing.mode {
                         MigrationMode::Shadowfax => {
-                            let representative =
-                                representative_hash(snap.bucket, snap.entry.tag, self.store.index().table_bits());
+                            let representative = representative_hash(
+                                snap.bucket,
+                                snap.entry.tag,
+                                self.store.index().table_bits(),
+                            );
                             let ind = IndirectionRecord {
                                 range: enclosing_range(&outgoing.ranges, HashRange::FULL),
                                 chain_address: addr,
@@ -589,7 +596,9 @@ impl Server {
                     }
                     break;
                 }
-                let Ok(record) = log.read_record(addr, &guard) else { break };
+                let Ok(record) = log.read_record(addr, &guard) else {
+                    break;
+                };
                 let key = record.key();
                 let hash = KeyHash::of(key).raw();
                 let in_range = outgoing.ranges.iter().any(|r| r.contains(hash));
@@ -623,7 +632,9 @@ impl Server {
         item: MigratedItem,
     ) {
         let bytes = item.wire_size();
-        outgoing.bytes_from_memory.fetch_add(bytes as u64, Ordering::Relaxed);
+        outgoing
+            .bytes_from_memory
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         outgoing.total_items.fetch_add(1, Ordering::Relaxed);
         state.batch_bytes += bytes;
         state.batch.push(item);
@@ -639,7 +650,11 @@ impl Server {
         }
     }
 
-    fn flush_migration_batch(&self, outgoing: &Arc<OutgoingMigration>, state: &mut SourceThreadState) {
+    fn flush_migration_batch(
+        &self,
+        outgoing: &Arc<OutgoingMigration>,
+        state: &mut SourceThreadState,
+    ) {
         if state.batch.is_empty() {
             return;
         }
@@ -780,7 +795,10 @@ impl Server {
                     phase: MigrationAckPhase::OwnershipReceived,
                 });
             }
-            MigrationMsg::Records { migration_id, items } => {
+            MigrationMsg::Records {
+                migration_id,
+                items,
+            } => {
                 let count = items.len() as u64;
                 for item in items {
                     match item {
@@ -808,7 +826,10 @@ impl Server {
                 }
                 self.maybe_finalize_incoming(session);
             }
-            MigrationMsg::CompleteMigration { migration_id, total_items } => {
+            MigrationMsg::CompleteMigration {
+                migration_id,
+                total_items,
+            } => {
                 if let Some(incoming) = self.incoming.lock().as_mut() {
                     if incoming.migration_id == migration_id {
                         incoming.expected_items = Some(total_items);
@@ -829,7 +850,9 @@ impl Server {
                 match session.read_outcome(key) {
                     Ok(ReadOutcome::Found { record, .. }) if !record.is_indirection() => {}
                     _ => {
-                        let _ = self.store.insert_record(key, &value, RecordFlags::empty(), session);
+                        let _ =
+                            self.store
+                                .insert_record(key, &value, RecordFlags::empty(), session);
                     }
                 }
             }
@@ -845,7 +868,9 @@ impl Server {
                 // Local version is newer; keep it.
             }
             _ => {
-                let _ = self.store.insert_record(key, value, RecordFlags::empty(), session);
+                let _ = self
+                    .store
+                    .insert_record(key, value, RecordFlags::empty(), session);
             }
         }
     }
@@ -917,7 +942,8 @@ pub(crate) fn fetch_from_shared_chain(
     let mut hops = 0;
     while addr.is_valid() && hops < 1_000_000 {
         let mut header_bytes = [0u8; RECORD_HEADER_BYTES];
-        tier.read_log(source_log, addr.raw(), &mut header_bytes).ok()?;
+        tier.read_log(source_log, addr.raw(), &mut header_bytes)
+            .ok()?;
         let header = RecordHeader::decode(&header_bytes);
         if header.is_null() {
             return None;
@@ -925,8 +951,12 @@ pub(crate) fn fetch_from_shared_chain(
         if header.key == key {
             let mut value = vec![0u8; header.value_len as usize];
             if !value.is_empty() {
-                tier.read_log(source_log, addr.raw() + RECORD_HEADER_BYTES as u64, &mut value)
-                    .ok()?;
+                tier.read_log(
+                    source_log,
+                    addr.raw() + RECORD_HEADER_BYTES as u64,
+                    &mut value,
+                )
+                .ok()?;
             }
             if header.flags.contains(RecordFlags::TOMBSTONE) {
                 return None;
@@ -959,7 +989,10 @@ mod tests {
         let ranges = vec![HashRange::new(100, 200), HashRange::new(400, 500)];
         let e = enclosing_range(&ranges, HashRange::FULL);
         assert_eq!(e, HashRange::new(100, 500));
-        assert_eq!(enclosing_range(&[], HashRange::new(1, 2)), HashRange::new(1, 2));
+        assert_eq!(
+            enclosing_range(&[], HashRange::new(1, 2)),
+            HashRange::new(1, 2)
+        );
     }
 
     #[test]

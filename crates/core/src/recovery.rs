@@ -223,7 +223,11 @@ impl Cluster {
                     .meta()
                     .cancel_migration(dep.id)
                     .map_err(|e| e.to_string())?;
-                let peer = if dep.source == id { dep.target } else { dep.source };
+                let peer = if dep.source == id {
+                    dep.target
+                } else {
+                    dep.source
+                };
                 if let Some(peer) = self.server(peer) {
                     peer.abort_migration_state(dep.id);
                     peer.refresh_ownership_from_meta();

@@ -117,10 +117,17 @@ impl Server {
     ) -> Arc<Self> {
         config.validate();
         let epoch = Arc::new(shadowfax_epoch::EpochManager::new());
-        let ssd = Arc::new(shadowfax_storage::SimSsd::new(config.faster.log.ssd_capacity));
+        let ssd = Arc::new(shadowfax_storage::SimSsd::new(
+            config.faster.log.ssd_capacity,
+        ));
         let shared_handle = shared_tier.handle(LogId(config.id.0 as u64));
         let store = Faster::new(config.faster, ssd, Some(shared_handle), epoch);
-        meta.register_server(config.id, config.address(), config.threads, initial_ranges.clone());
+        meta.register_server(
+            config.id,
+            config.address(),
+            config.threads,
+            initial_ranges.clone(),
+        );
         let view = meta.view_of(config.id).unwrap_or(1);
         Arc::new(Server {
             store,
@@ -208,12 +215,20 @@ impl Server {
 
     /// The network address of dispatch thread `t`.
     pub fn thread_address(&self, t: usize) -> String {
-        format!("{}/t{}", self.config.address(), t % self.config.threads.max(1))
+        format!(
+            "{}/t{}",
+            self.config.address(),
+            t % self.config.threads.max(1)
+        )
     }
 
     /// The migration-network address of dispatch thread `t`.
     pub fn migration_address(&self, t: usize) -> String {
-        format!("{}/m{}", self.config.address(), t % self.config.threads.max(1))
+        format!(
+            "{}/m{}",
+            self.config.address(),
+            t % self.config.threads.max(1)
+        )
     }
 
     /// Starts the server's dispatch threads.  Returns a handle used to stop
@@ -275,8 +290,7 @@ impl Server {
 
             // Client request batches.
             for conn_idx in 0..kv_conns.len() {
-                loop {
-                    let Some(batch) = kv_conns[conn_idx].try_recv() else { break };
+                while let Some(batch) = kv_conns[conn_idx].try_recv() {
                     did_work = true;
                     self.process_batch(batch, conn_idx, &kv_conns, &mut pending, &session);
                 }
@@ -525,12 +539,7 @@ impl Server {
     /// Fetches the record for `key` from the shared tier by following the
     /// chain named by an indirection record's payload, inserting it locally.
     /// Returns `None` if the key does not exist on the source's chain.
-    fn resolve_indirection(
-        &self,
-        key: u64,
-        payload: &[u8],
-        session: &FasterSession,
-    ) -> Option<()> {
+    fn resolve_indirection(&self, key: u64, payload: &[u8], session: &FasterSession) -> Option<()> {
         let ind = IndirectionRecord::decode_value(payload)?;
         let record = crate::migration::fetch_from_shared_chain(
             &self.shared_tier,
@@ -546,7 +555,9 @@ impl Server {
                 Ok(ReadOutcome::Found { ref record, .. }) if record.is_indirection()
             )
         {
-            let _ = self.store.insert_record(key, record.value(), RecordFlags::empty(), session);
+            let _ = self
+                .store
+                .insert_record(key, record.value(), RecordFlags::empty(), session);
         }
         Some(())
     }

@@ -33,7 +33,9 @@ impl GlobalCut {
     /// participant.
     pub fn new(participants: usize) -> (Arc<Self>, Vec<CutParticipant>) {
         let cut = Arc::new(Self {
-            positions: (0..participants).map(|_| AtomicU64::new(UNMARKED)).collect(),
+            positions: (0..participants)
+                .map(|_| AtomicU64::new(UNMARKED))
+                .collect(),
             remaining: AtomicUsize::new(participants),
         });
         let handles = (0..participants)

@@ -151,8 +151,7 @@ impl EpochManager {
     /// Atomically advances the global epoch by one and returns the *new*
     /// epoch value.
     pub fn bump(&self) -> u64 {
-        let new = self.current.fetch_add(1, Ordering::SeqCst) + 1;
-        new
+        self.current.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Advances the global epoch and registers `action` to run exactly once
@@ -250,7 +249,9 @@ pub struct ThreadEpoch {
 
 impl std::fmt::Debug for ThreadEpoch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadEpoch").field("idx", &self.idx).finish()
+        f.debug_struct("ThreadEpoch")
+            .field("idx", &self.idx)
+            .finish()
     }
 }
 

@@ -127,7 +127,9 @@ where
 /// keeping every live record (single-server configuration with no ownership
 /// changes).
 pub fn compact_all_keep(store: &Faster, session: &FasterSession) -> CompactionStats {
-    compact_until(store, session, store.log().read_only_address(), |_| Disposition::Keep)
+    compact_until(store, session, store.log().read_only_address(), |_| {
+        Disposition::Keep
+    })
 }
 
 /// Returns `true` if `record`'s key hash falls outside all of the hash ranges
@@ -147,7 +149,10 @@ mod tests {
     use std::sync::Arc;
 
     fn loaded_store(n: u64) -> (Arc<Faster>, crate::store::FasterSession) {
-        let store = Faster::standalone(FasterConfig::small_for_tests(), Arc::new(SimSsd::new(1 << 30)));
+        let store = Faster::standalone(
+            FasterConfig::small_for_tests(),
+            Arc::new(SimSsd::new(1 << 30)),
+        );
         let session = store.start_session();
         let value = vec![5u8; 200];
         for k in 0..n {
@@ -179,7 +184,10 @@ mod tests {
     fn compaction_detects_stale_versions() {
         let (store, session) = loaded_store(2000);
         let stats = compact_all_keep(&store, &session);
-        assert!(stats.stale > 0, "re-updated keys should have stale old versions");
+        assert!(
+            stats.stale > 0,
+            "re-updated keys should have stale old versions"
+        );
     }
 
     #[test]
@@ -232,13 +240,16 @@ mod tests {
             .unwrap();
         // Push it below the read-only boundary so compaction scans it.
         for k in 10_000..12_000u64 {
-            session.upsert(k, &vec![1u8; 200]).unwrap();
+            session.upsert(k, &[1u8; 200]).unwrap();
         }
         let found_before = matches!(
             store.read_record_for(probe_key, &session),
             Ok(ReadOutcome::Found { ref record, .. }) if record.is_indirection()
         );
-        assert!(found_before, "test setup: indirection record not visible before compaction");
+        assert!(
+            found_before,
+            "test setup: indirection record not visible before compaction"
+        );
 
         let stats = compact_until(&store, &session, store.log().read_only_address(), |_rec| {
             Disposition::Keep

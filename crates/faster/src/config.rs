@@ -34,7 +34,10 @@ impl FasterConfig {
     ///
     /// Panics on unusable parameter combinations.
     pub fn validate(&self) {
-        assert!(self.table_bits >= 1 && self.table_bits <= 30, "table_bits out of range");
+        assert!(
+            self.table_bits >= 1 && self.table_bits <= 30,
+            "table_bits out of range"
+        );
         self.log.validate();
     }
 }

@@ -98,7 +98,10 @@ impl std::fmt::Debug for HashIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HashIndex")
             .field("buckets", &self.main.len())
-            .field("overflow_in_use", &self.overflow_next.load(Ordering::Relaxed))
+            .field(
+                "overflow_in_use",
+                &self.overflow_next.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -353,15 +356,20 @@ impl HashIndex {
             for (slot, w) in bucket.entries.iter().zip(words.iter()) {
                 slot.store(*w, Ordering::Release);
             }
-            bucket.overflow.store(words[ENTRIES_PER_BUCKET], Ordering::Release);
+            bucket
+                .overflow
+                .store(words[ENTRIES_PER_BUCKET], Ordering::Release);
         }
         for (bucket, words) in self.overflow.iter().zip(snapshot.overflow.iter()) {
             for (slot, w) in bucket.entries.iter().zip(words.iter()) {
                 slot.store(*w, Ordering::Release);
             }
-            bucket.overflow.store(words[ENTRIES_PER_BUCKET], Ordering::Release);
+            bucket
+                .overflow
+                .store(words[ENTRIES_PER_BUCKET], Ordering::Release);
         }
-        self.overflow_next.store(snapshot.overflow_next, Ordering::Release);
+        self.overflow_next
+            .store(snapshot.overflow_next, Ordering::Release);
     }
 
     /// Number of live (non-empty, non-tentative) entries.
@@ -424,7 +432,8 @@ mod tests {
         let h = KeyHash::of(77);
         let (slot, entry) = idx.find_or_create_entry(h);
         assert_eq!(entry.address, INVALID_ADDRESS);
-        idx.try_update_entry(slot, entry, Address::new(1000)).unwrap();
+        idx.try_update_entry(slot, entry, Address::new(1000))
+            .unwrap();
         let (_, found) = idx.find_entry(h).expect("entry should exist");
         assert_eq!(found.address, Address::new(1000));
         assert_eq!(found.tag, h.tag());
@@ -437,7 +446,9 @@ mod tests {
         let (slot, entry) = idx.find_or_create_entry(h);
         idx.try_update_entry(slot, entry, Address::new(64)).unwrap();
         // Retrying with the stale expected value fails and reports the winner.
-        let err = idx.try_update_entry(slot, entry, Address::new(128)).unwrap_err();
+        let err = idx
+            .try_update_entry(slot, entry, Address::new(128))
+            .unwrap_err();
         assert_eq!(err.address, Address::new(64));
     }
 
@@ -450,11 +461,15 @@ mod tests {
             let h = KeyHash::of(key);
             let (slot, entry) = idx.find_or_create_entry(h);
             if entry.address == INVALID_ADDRESS {
-                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8))
+                    .unwrap();
                 created += 1;
             }
         }
-        assert!(created > ENTRIES_PER_BUCKET, "should have spilled to overflow");
+        assert!(
+            created > ENTRIES_PER_BUCKET,
+            "should have spilled to overflow"
+        );
         // All distinct tags are findable.
         for key in 0..64u64 {
             let h = KeyHash::of(key);
@@ -469,7 +484,8 @@ mod tests {
             let h = KeyHash::of(key);
             let (slot, entry) = idx.find_or_create_entry(h);
             if entry.address == INVALID_ADDRESS {
-                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8))
+                    .unwrap();
             }
         }
         let all = idx.scan_region(0..idx.num_buckets());
@@ -486,7 +502,8 @@ mod tests {
             let h = KeyHash::of(key);
             let (slot, entry) = idx.find_or_create_entry(h);
             if entry.address == INVALID_ADDRESS {
-                idx.try_update_entry(slot, entry, Address::new(64 + key * 8)).unwrap();
+                idx.try_update_entry(slot, entry, Address::new(64 + key * 8))
+                    .unwrap();
             }
         }
         let snap = idx.serialize();

@@ -97,7 +97,9 @@ mod tests {
         // Hash-range ownership splits the space into equal ranges; dense keys
         // must land roughly proportionally in each half.
         let n = 100_000u64;
-        let below = (0..n).filter(|&k| KeyHash::of(k).raw() < u64::MAX / 2).count();
+        let below = (0..n)
+            .filter(|&k| KeyHash::of(k).raw() < u64::MAX / 2)
+            .count();
         let frac = below as f64 / n as f64;
         assert!((0.45..0.55).contains(&frac), "hash space skewed: {frac}");
     }

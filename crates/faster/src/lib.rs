@@ -35,7 +35,9 @@ mod stats;
 mod store;
 
 pub use checkpoint::{recover_from_checkpoint, take_checkpoint, Checkpoint};
-pub use compaction::{compact_all_keep, compact_until, record_is_foreign, CompactionStats, Disposition};
+pub use compaction::{
+    compact_all_keep, compact_until, record_is_foreign, CompactionStats, Disposition,
+};
 pub use config::FasterConfig;
 pub use hash_index::{BucketEntry, EntrySnapshot, HashIndex, IndexSnapshot, ENTRIES_PER_BUCKET};
 pub use key_hash::KeyHash;

@@ -318,9 +318,14 @@ impl Faster {
                 }
             }
             // Slow path: append a new version and CAS the bucket entry.
-            let new_addr =
-                self.log
-                    .append(key, value, entry.address, version, RecordFlags::empty(), &session.thread)?;
+            let new_addr = self.log.append(
+                key,
+                value,
+                entry.address,
+                version,
+                RecordFlags::empty(),
+                &session.thread,
+            )?;
             match self.index.try_update_entry(slot, entry, new_addr) {
                 Ok(()) => {
                     self.maybe_sample(hash, new_addr, key);
@@ -340,8 +345,17 @@ impl Faster {
     /// Read-modify-write specialised for 8-byte counters (the paper's YCSB-F
     /// workload): adds `delta` to the first 8 bytes of the value, creating
     /// the record with `initial` if absent.
-    fn rmw_add_impl(&self, key: u64, delta: u64, initial: &[u8], session: &FasterSession) -> Result<u64> {
-        assert!(initial.len() >= 8, "rmw_add requires at least an 8-byte value");
+    fn rmw_add_impl(
+        &self,
+        key: u64,
+        delta: u64,
+        initial: &[u8],
+        session: &FasterSession,
+    ) -> Result<u64> {
+        assert!(
+            initial.len() >= 8,
+            "rmw_add requires at least an 8-byte value"
+        );
         let hash = KeyHash::of(key);
         let version = self.current_version();
         loop {
@@ -548,7 +562,9 @@ impl Faster {
             let mut addr = snap.entry.address;
             let mut seen = std::collections::HashSet::new();
             while addr.is_valid() && addr >= self.log.begin_address() {
-                let Ok(rec) = self.log.read_record(addr, &guard) else { break };
+                let Ok(rec) = self.log.read_record(addr, &guard) else {
+                    break;
+                };
                 if seen.insert(rec.key()) && !rec.is_tombstone() {
                     count += 1;
                 }
@@ -642,7 +658,10 @@ mod tests {
     use shadowfax_storage::SimSsd;
 
     fn store() -> Arc<Faster> {
-        Faster::standalone(FasterConfig::small_for_tests(), Arc::new(SimSsd::new(1 << 30)))
+        Faster::standalone(
+            FasterConfig::small_for_tests(),
+            Arc::new(SimSsd::new(1 << 30)),
+        )
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl Address {
     }
 
     /// This address plus `n` bytes.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u64) -> Self {
         Address::new(self.0 + n)
     }
@@ -98,10 +99,7 @@ mod tests {
         let a = Address::new((5 << page_bits) + 1234);
         assert_eq!(a.page(page_bits), 5);
         assert_eq!(a.offset(page_bits), 1234);
-        assert_eq!(
-            Address::from_page(5, page_bits).add(1234),
-            a
-        );
+        assert_eq!(Address::from_page(5, page_bits).add(1234), a);
     }
 
     #[test]

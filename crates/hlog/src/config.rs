@@ -65,7 +65,10 @@ impl LogConfig {
     /// not smaller than memory, pages too small for a record header).
     pub fn validate(&self) {
         assert!(self.page_bits >= 9, "pages must be at least 512 bytes");
-        assert!(self.page_bits <= 30, "pages larger than 1 GiB are not supported");
+        assert!(
+            self.page_bits <= 30,
+            "pages larger than 1 GiB are not supported"
+        );
         assert!(self.memory_pages >= 2, "need at least two in-memory pages");
         assert!(
             self.mutable_pages >= 1 && self.mutable_pages < self.memory_pages,
@@ -79,8 +82,8 @@ impl LogConfig {
     pub fn with_memory_pages(mut self, memory_pages: u64) -> Self {
         let frac = self.mutable_pages as f64 / self.memory_pages as f64;
         self.memory_pages = memory_pages.max(2);
-        self.mutable_pages = ((memory_pages as f64 * frac).round() as u64)
-            .clamp(1, self.memory_pages - 1);
+        self.mutable_pages =
+            ((memory_pages as f64 * frac).round() as u64).clamp(1, self.memory_pages - 1);
         self
     }
 }

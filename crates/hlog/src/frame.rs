@@ -55,7 +55,10 @@ impl PageFrame {
     /// bytes always belong to the same record, whose size is 8-aligned).
     pub(crate) fn write(&self, offset: usize, data: &[u8]) {
         assert_eq!(offset % 8, 0, "unaligned frame write");
-        assert!(offset + data.len() <= self.page_size(), "frame write overflow");
+        assert!(
+            offset + data.len() <= self.page_size(),
+            "frame write overflow"
+        );
         let mut word_idx = offset / 8;
         let mut chunks = data.chunks_exact(8);
         for chunk in &mut chunks {
@@ -74,7 +77,10 @@ impl PageFrame {
     /// Reads `out.len()` bytes starting at `offset` (8-byte aligned).
     pub(crate) fn read(&self, offset: usize, out: &mut [u8]) {
         assert_eq!(offset % 8, 0, "unaligned frame read");
-        assert!(offset + out.len() <= self.page_size(), "frame read overflow");
+        assert!(
+            offset + out.len() <= self.page_size(),
+            "frame read overflow"
+        );
         let mut word_idx = offset / 8;
         let mut chunks = out.chunks_exact_mut(8);
         for chunk in &mut chunks {

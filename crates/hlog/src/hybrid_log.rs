@@ -128,7 +128,9 @@ pub struct HybridLog {
 
 impl std::fmt::Debug for HybridLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HybridLog").field("stats", &self.stats()).finish()
+        f.debug_struct("HybridLog")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -164,7 +166,11 @@ impl HybridLog {
             appended_bytes: AtomicU64::new(0),
             pages_flushed: AtomicU64::new(0),
             ssd,
-            shared: if config.shared_tier_write_through { shared } else { None },
+            shared: if config.shared_tier_write_through {
+                shared
+            } else {
+                None
+            },
             epoch,
             flush_lock: Mutex::new(()),
             self_ref: OnceLock::new(),
@@ -291,7 +297,8 @@ impl HybridLog {
         let addr = self.allocate(size, thread);
         self.write_record(addr, key, value, prev, version, flags);
         self.appended_records.fetch_add(1, Ordering::Relaxed);
-        self.appended_bytes.fetch_add(size as u64, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(size as u64, Ordering::Relaxed);
         Ok(addr)
     }
 
@@ -299,7 +306,7 @@ impl HybridLog {
     /// current page cannot fit the record the allocation skips to the next
     /// page (the skipped bytes stay zero, which scanners treat as padding).
     fn allocate(&self, size: usize, thread: &ThreadEpoch) -> Address {
-        debug_assert!(size % 8 == 0);
+        debug_assert!(size.is_multiple_of(8));
         loop {
             let cur = self.tail.load(Ordering::SeqCst);
             let cur_page = cur >> self.page_bits;
@@ -453,7 +460,9 @@ impl HybridLog {
         let target = (tail >> self.page_bits) << self.page_bits;
         self.publish_read_only(target);
         // Wait for the flush cut to complete.
-        while self.flushed_until.load(Ordering::SeqCst) < target.min(self.read_only.load(Ordering::SeqCst)) {
+        while self.flushed_until.load(Ordering::SeqCst)
+            < target.min(self.read_only.load(Ordering::SeqCst))
+        {
             thread.refresh();
             self.epoch.try_drain();
             std::hint::spin_loop();
@@ -552,7 +561,8 @@ impl HybridLog {
         let vlen = header.value_len as usize;
         let mut value = vec![0u8; vlen];
         if vlen > 0 {
-            self.ssd.read(addr.raw() + RECORD_HEADER_BYTES as u64, &mut value)?;
+            self.ssd
+                .read(addr.raw() + RECORD_HEADER_BYTES as u64, &mut value)?;
         }
         Ok(RecordOwned { header, value })
     }
@@ -708,7 +718,13 @@ impl HybridLog {
     /// the [`HybridLog::restore_page`] calls that follow, and the tail page's
     /// frame is re-armed so appends can resume even if the checkpoint carried
     /// no in-memory pages.
-    pub fn recover_boundaries(&self, begin: Address, head: Address, read_only: Address, tail: Address) {
+    pub fn recover_boundaries(
+        &self,
+        begin: Address,
+        head: Address,
+        read_only: Address,
+        tail: Address,
+    ) {
         for frame in self.frames.iter() {
             frame.set_current_page(u64::MAX);
         }
@@ -716,7 +732,8 @@ impl HybridLog {
         self.head.store(head.raw(), Ordering::SeqCst);
         self.safe_head.store(head.raw(), Ordering::SeqCst);
         self.read_only.store(read_only.raw(), Ordering::SeqCst);
-        self.flushed_until.store(read_only.raw().max(head.raw()), Ordering::SeqCst);
+        self.flushed_until
+            .store(read_only.raw().max(head.raw()), Ordering::SeqCst);
         self.tail.store(tail.raw(), Ordering::SeqCst);
         // Re-arm the tail page so appends have a live frame to write into;
         // restore_page overwrites its contents if the checkpoint captured it.
@@ -811,8 +828,12 @@ mod tests {
         let a1 = log
             .append(1, b"v1", INVALID_ADDRESS, 1, RecordFlags::empty(), &t)
             .unwrap();
-        let a2 = log.append(1, b"v2", a1, 1, RecordFlags::empty(), &t).unwrap();
-        let a3 = log.append(1, b"v3", a2, 1, RecordFlags::empty(), &t).unwrap();
+        let a2 = log
+            .append(1, b"v2", a1, 1, RecordFlags::empty(), &t)
+            .unwrap();
+        let a3 = log
+            .append(1, b"v3", a2, 1, RecordFlags::empty(), &t)
+            .unwrap();
         assert_eq!(log.chain_prev(a3, &g).unwrap(), a2);
         assert_eq!(log.chain_prev(a2, &g).unwrap(), a1);
         assert_eq!(log.chain_prev(a1, &g).unwrap(), INVALID_ADDRESS);
@@ -899,7 +920,14 @@ mod tests {
         );
         let t = epoch.register();
         let a = log
-            .append(1, &0u64.to_le_bytes(), INVALID_ADDRESS, 1, RecordFlags::empty(), &t)
+            .append(
+                1,
+                &0u64.to_le_bytes(),
+                INVALID_ADDRESS,
+                1,
+                RecordFlags::empty(),
+                &t,
+            )
             .unwrap();
         drop(t);
         let mut handles = Vec::new();
@@ -947,7 +975,10 @@ mod tests {
             .unwrap();
         log.truncate_until(a.add(64));
         assert_eq!(log.place_of(a), RecordPlace::Truncated);
-        assert!(matches!(log.read_record(a, &g), Err(LogError::Truncated(_))));
+        assert!(matches!(
+            log.read_record(a, &g),
+            Err(LogError::Truncated(_))
+        ));
     }
 
     #[test]
@@ -969,14 +1000,24 @@ mod tests {
                 for i in 0..500u64 {
                     let key = th * 10_000 + i;
                     let a = log
-                        .append(key, &key.to_le_bytes(), INVALID_ADDRESS, 1, RecordFlags::empty(), &t)
+                        .append(
+                            key,
+                            &key.to_le_bytes(),
+                            INVALID_ADDRESS,
+                            1,
+                            RecordFlags::empty(),
+                            &t,
+                        )
                         .unwrap();
                     addrs.push((key, a));
                 }
                 addrs
             }));
         }
-        let all: Vec<(u64, Address)> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all: Vec<(u64, Address)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let mut unique: Vec<u64> = all.iter().map(|(_, a)| a.raw()).collect();
         unique.sort_unstable();
         unique.dedup();

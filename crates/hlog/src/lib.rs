@@ -59,5 +59,7 @@ mod scan;
 pub use address::{Address, INVALID_ADDRESS};
 pub use config::LogConfig;
 pub use hybrid_log::{HybridLog, LogError, LogStats, RecordPlace};
-pub use record::{RecordFlags, RecordHeader, RecordOwned, RecordView, RECORD_ALIGNMENT, RECORD_HEADER_BYTES};
+pub use record::{
+    RecordFlags, RecordHeader, RecordOwned, RecordView, RECORD_ALIGNMENT, RECORD_HEADER_BYTES,
+};
 pub use scan::LogScanner;

@@ -265,7 +265,8 @@ impl RecordOwned {
         let mut header = self.header;
         header.value_len = self.value.len() as u32;
         header.encode_into(&mut buf);
-        buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + self.value.len()].copy_from_slice(&self.value);
+        buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + self.value.len()]
+            .copy_from_slice(&self.value);
         buf
     }
 }
@@ -322,7 +323,9 @@ mod tests {
         assert!(f.contains(RecordFlags::TOMBSTONE));
         assert!(f.contains(RecordFlags::INDIRECTION));
         assert!(!f.contains(RecordFlags::INVALID));
-        assert!(!f.difference(RecordFlags::TOMBSTONE).contains(RecordFlags::TOMBSTONE));
+        assert!(!f
+            .difference(RecordFlags::TOMBSTONE)
+            .contains(RecordFlags::TOMBSTONE));
         assert_eq!(RecordFlags::from_bits(f.bits()), f);
     }
 

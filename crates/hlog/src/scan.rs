@@ -124,7 +124,10 @@ mod tests {
     use shadowfax_storage::SimSsd;
     use std::sync::Arc;
 
-    fn build_log(n: u64, value_len: usize) -> (Arc<HybridLog>, Arc<EpochManager>, Vec<(u64, Address)>) {
+    fn build_log(
+        n: u64,
+        value_len: usize,
+    ) -> (Arc<HybridLog>, Arc<EpochManager>, Vec<(u64, Address)>) {
         let epoch = Arc::new(EpochManager::new());
         let log = HybridLog::new(
             LogConfig::small_for_tests(),

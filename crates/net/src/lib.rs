@@ -1,33 +1,54 @@
-//! Networking substrate: wire messages, sessions with pipelined batches, and
-//! a simulated transport with per-transport CPU-cost profiles.
+//! Networking substrate: wire messages, sessions with pipelined batches, a
+//! pluggable transport layer, and a simulated fabric with per-transport
+//! CPU-cost profiles.
 //!
 //! The paper's servers and clients communicate over ordinary Linux TCP whose
 //! packet-processing CPU cost is partially offloaded to SmartNIC FPGAs
-//! ("accelerated networking"), or over two-sided RDMA on HPC instances.  None
-//! of that hardware exists here, so this crate models what actually matters
-//! to the system's behaviour:
+//! ("accelerated networking"), or over two-sided RDMA on HPC instances.
+//! This crate models what matters to the system's behaviour and defines the
+//! seams real transports plug into:
 //!
-//! * **sessions** — a connection between one client thread and one server
-//!   thread carrying pipelined batches of asynchronous requests tagged with a
-//!   view number (paper §3.1.1, §3.2);
-//! * **transport cost** — a [`NetworkProfile`] charges CPU time per batch and
-//!   per byte on both the send and receive paths, plus a propagation delay.
-//!   The presets (`tcp_accelerated`, `tcp_no_accel`, `infrc`, `tcp_ipoib`)
-//!   correspond to the four rows of Table 2; the analytical benchmark mode
-//!   uses the same numbers to derive saturation throughput, batch size, and
-//!   latency.
+//! * **messages** — [`KvRequest`]s travel in [`RequestBatch`]es tagged with
+//!   the client's cached view number; [`BatchReply`] either answers every
+//!   operation or rejects the whole batch with the server's current view
+//!   (paper §3.2).
+//! * **sessions** — a [`ClientSession`] connects one client thread to one
+//!   server thread, carrying pipelined batches of asynchronous requests with
+//!   completion callbacks (paper §3.1.1, §3.2).
+//! * **transports** — the [`Transport`] / [`KvLink`] traits decouple the
+//!   session machinery from the bytes underneath:
 //!
-//! Transports are generic over the message type; the Shadowfax core crate
-//! instantiates them with its client/server and server/server message enums.
+//!   | implementation | where | what it is |
+//!   |---|---|---|
+//!   | [`SimNetwork`] | this crate | in-process fabric charging [`NetworkProfile`] CPU costs per batch/byte (Table 2 presets) |
+//!   | `TcpTransport` | `shadowfax-rpc` | real loopback/LAN TCP sockets speaking the length-prefixed wire codec |
+//!
+//!   A [`Transport`] opens [`KvLink`]s to string addresses.  Fabric
+//!   addresses name a server dispatch thread (`"sv0/t3"`); the TCP transport
+//!   prefixes the socket address (`"127.0.0.1:4870/sv0/t3"`).  Because
+//!   [`ClientSession`] is written purely against `dyn KvLink`, the paper's
+//!   client-side properties (batching, pipelining, view stamping, parking on
+//!   rejection) hold identically over the simulator and over real sockets.
+//! * **typed errors** — [`TransportError`] / [`SessionError`] replace the
+//!   old ad-hoc `bool`/`Option` signalling, and carry a stable one-byte
+//!   [`StatusCode`] so the RPC layer can put them on the wire.
+//!
+//! The simulated fabric remains generic over the message type; the Shadowfax
+//! core crate instantiates it with its client/server and server/server
+//! message enums.
 
 #![warn(missing_docs)]
 
+mod error;
 mod message;
 mod profile;
 mod session;
+mod sim;
 mod transport;
 
+pub use error::{SessionError, StatusCode, TransportError};
 pub use message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
 pub use profile::NetworkProfile;
-pub use session::{ClientSession, SessionConfig, SessionStats};
-pub use transport::{Connection, ConnectionStats, Listener, SimNetwork};
+pub use session::{Callback, ClientSession, SessionConfig, SessionStats};
+pub use sim::{Connection, ConnectionStats, Listener, SimNetwork};
+pub use transport::{KvLink, Transport};

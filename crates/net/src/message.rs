@@ -4,8 +4,6 @@
 //! number for the server; replies either carry one [`KvResponse`] per request
 //! or reject the whole batch with the server's current view (paper §3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Anything with a meaningful serialized size; the transport charges per-byte
 /// CPU cost based on this.
 pub trait WireSize {
@@ -14,7 +12,7 @@ pub trait WireSize {
 }
 
 /// A single key-value operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvRequest {
     /// Return the value of `key`.
     Read {
@@ -67,7 +65,7 @@ impl WireSize for KvRequest {
 }
 
 /// The result of one [`KvRequest`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvResponse {
     /// Result of a read.
     Value(Option<Vec<u8>>),
@@ -99,7 +97,7 @@ impl WireSize for KvResponse {
 }
 
 /// A pipelined batch of requests from one client thread to one server thread.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestBatch {
     /// The view number the client believes the server is in.  A single
     /// integer comparison at the server validates ownership of every key in
@@ -118,7 +116,7 @@ impl WireSize for RequestBatch {
 }
 
 /// The server's reply to a [`RequestBatch`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchReply {
     /// Every operation was executed; one response per request, in order.
     Executed {
@@ -163,8 +161,14 @@ mod tests {
 
     #[test]
     fn request_wire_sizes_scale_with_payload() {
-        let small = KvRequest::Upsert { key: 1, value: vec![0; 8] };
-        let big = KvRequest::Upsert { key: 1, value: vec![0; 256] };
+        let small = KvRequest::Upsert {
+            key: 1,
+            value: vec![0; 8],
+        };
+        let big = KvRequest::Upsert {
+            key: 1,
+            value: vec![0; 256],
+        };
         assert!(big.wire_size() > small.wire_size());
         assert_eq!(KvRequest::Read { key: 1 }.wire_size(), 12);
     }
@@ -174,15 +178,24 @@ mod tests {
         let batch = RequestBatch {
             view: 1,
             seq: 9,
-            ops: vec![KvRequest::Read { key: 1 }, KvRequest::RmwAdd { key: 2, delta: 1 }],
+            ops: vec![
+                KvRequest::Read { key: 1 },
+                KvRequest::RmwAdd { key: 2, delta: 1 },
+            ],
         };
         assert_eq!(batch.wire_size(), 16 + 12 + 20);
     }
 
     #[test]
     fn reply_seq_matches_variant() {
-        let e = BatchReply::Executed { seq: 3, results: vec![] };
-        let r = BatchReply::Rejected { seq: 4, server_view: 7 };
+        let e = BatchReply::Executed {
+            seq: 3,
+            results: vec![],
+        };
+        let r = BatchReply::Rejected {
+            seq: 4,
+            server_view: 7,
+        };
         assert_eq!(e.seq(), 3);
         assert_eq!(r.seq(), 4);
     }
@@ -198,7 +211,10 @@ mod tests {
         let batch = RequestBatch {
             view: 2,
             seq: 5,
-            ops: vec![KvRequest::Upsert { key: 1, value: vec![1, 2, 3] }],
+            ops: vec![KvRequest::Upsert {
+                key: 1,
+                value: vec![1, 2, 3],
+            }],
         };
         let copy = batch.clone();
         assert_eq!(batch, copy);

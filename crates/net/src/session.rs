@@ -8,15 +8,21 @@
 //! replies arrive.  The issuing thread never blocks — this is the paper's
 //! "end-to-end asynchronous clients" property.
 //!
+//! The session is written against the [`KvLink`] trait, so exactly the same
+//! batching/pipelining machinery drives the in-process simulated fabric and
+//! real TCP sockets (`shadowfax-rpc`).
+//!
 //! When the server rejects a batch because of a view mismatch (ownership
-//! changed), the session parks the affected operations; the Shadowfax client
-//! library refreshes its ownership mappings from the metadata store and
-//! re-routes them (possibly onto a different session).
+//! changed), the session parks the affected operations and records a typed
+//! [`SessionError::StaleView`]; the Shadowfax client library refreshes its
+//! ownership mappings from the metadata store and re-routes them (possibly
+//! onto a different session).
 
 use std::collections::VecDeque;
 
+use crate::error::SessionError;
 use crate::message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
-use crate::transport::Connection;
+use crate::transport::KvLink;
 
 /// A completion callback invoked with the operation's response.
 pub type Callback = Box<dyn FnOnce(KvResponse) + Send>;
@@ -64,9 +70,10 @@ struct InflightBatch {
     ops: Vec<(KvRequest, Callback)>,
 }
 
-/// A pipelined, batched session from one client thread to one server thread.
+/// A pipelined, batched session from one client thread to one server thread,
+/// over any [`KvLink`] implementation.
 pub struct ClientSession {
-    conn: Connection<RequestBatch, BatchReply>,
+    link: Box<dyn KvLink>,
     config: SessionConfig,
     /// View number the client believes the server is in; stamped on batches.
     view: u64,
@@ -77,14 +84,15 @@ pub struct ClientSession {
     /// Operations from rejected batches, waiting for the owner's view to be
     /// refreshed and the ops re-routed by the client library.
     parked: Vec<(KvRequest, Callback)>,
-    /// Set when a rejection told us the server moved to a newer view.
-    stale_view: Option<u64>,
+    /// The typed rejection recorded when the server reported a newer view.
+    rejection: Option<SessionError>,
     stats: SessionStats,
 }
 
 impl std::fmt::Debug for ClientSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClientSession")
+            .field("peer", &self.link.peer_label())
             .field("view", &self.view)
             .field("buffered", &self.buffer.len())
             .field("inflight", &self.inflight.len())
@@ -94,10 +102,15 @@ impl std::fmt::Debug for ClientSession {
 }
 
 impl ClientSession {
-    /// Wraps a connection into a session, starting in `view`.
-    pub fn new(conn: Connection<RequestBatch, BatchReply>, view: u64, config: SessionConfig) -> Self {
+    /// Wraps a link into a session, starting in `view`.
+    pub fn new(link: impl KvLink + 'static, view: u64, config: SessionConfig) -> Self {
+        Self::from_link(Box::new(link), view, config)
+    }
+
+    /// Wraps an already boxed link into a session, starting in `view`.
+    pub fn from_link(link: Box<dyn KvLink>, view: u64, config: SessionConfig) -> Self {
         ClientSession {
-            conn,
+            link,
             config,
             view,
             next_seq: 1,
@@ -105,7 +118,7 @@ impl ClientSession {
             buffer_bytes: 0,
             inflight: VecDeque::new(),
             parked: Vec::new(),
-            stale_view: None,
+            rejection: None,
             stats: SessionStats::default(),
         }
     }
@@ -119,12 +132,21 @@ impl ClientSession {
     /// refreshed ownership mappings from the metadata store).
     pub fn set_view(&mut self, view: u64) {
         self.view = view;
-        self.stale_view = None;
+        self.rejection = None;
     }
 
     /// If a rejection reported a newer server view, returns it.
     pub fn stale_view(&self) -> Option<u64> {
-        self.stale_view
+        match self.rejection {
+            Some(SessionError::StaleView { server_view, .. }) => Some(server_view),
+            _ => None,
+        }
+    }
+
+    /// The typed error recorded by the most recent batch rejection, if any.
+    /// Cleared by [`ClientSession::set_view`].
+    pub fn rejection_error(&self) -> Option<&SessionError> {
+        self.rejection.as_ref()
     }
 
     /// Session counters.
@@ -158,46 +180,51 @@ impl ClientSession {
         if self.buffer.len() >= self.config.max_batch_ops
             || self.buffer_bytes >= self.config.max_batch_bytes
         {
-            self.flush();
+            // A full buffer flushes eagerly; a transport failure leaves the
+            // operations buffered and surfaces on the next explicit flush or
+            // poll.
+            let _ = self.flush();
         }
     }
 
     /// Sends the currently buffered operations as one batch (if the pipeline
-    /// has room).  Returns `true` if a batch was sent.
-    pub fn flush(&mut self) -> bool {
+    /// has room).  Returns `Ok(true)` if a batch was sent; a transport
+    /// failure leaves the operations buffered for a later retry.
+    pub fn flush(&mut self) -> Result<bool, SessionError> {
         if self.buffer.is_empty() || self.inflight.len() >= self.config.max_inflight_batches {
-            return false;
+            return Ok(false);
         }
+        let batch = RequestBatch {
+            view: self.view,
+            seq: self.next_seq,
+            ops: self.buffer.iter().map(|(r, _)| r.clone()).collect(),
+        };
+        let wire_bytes = batch.wire_size() as u64;
+        self.link.send_batch(batch).map_err(SessionError::from)?;
         let ops = std::mem::take(&mut self.buffer);
         self.buffer_bytes = 0;
         let seq = self.next_seq;
         self.next_seq += 1;
-        let batch = RequestBatch {
-            view: self.view,
-            seq,
-            ops: ops.iter().map(|(r, _)| r.clone()).collect(),
-        };
         self.stats.batches_sent += 1;
-        self.stats.bytes_sent += batch.wire_size() as u64;
-        self.conn.send(batch);
+        self.stats.bytes_sent += wire_bytes;
         self.inflight.push_back(InflightBatch { seq, ops });
-        true
+        Ok(true)
     }
 
     /// Receives any available replies and runs their callbacks.  Returns the
     /// number of operations completed by this call.
-    pub fn poll(&mut self) -> usize {
+    pub fn poll(&mut self) -> Result<usize, SessionError> {
         let mut completed = 0;
-        while let Some(reply) = self.conn.try_recv() {
+        while let Some(reply) = self.link.try_recv_reply().map_err(SessionError::from)? {
             completed += self.handle_reply(reply);
         }
         // Keep the pipeline full.
         while !self.buffer.is_empty() && self.inflight.len() < self.config.max_inflight_batches {
-            if !self.flush() {
+            if !self.flush()? {
                 break;
             }
         }
-        completed
+        Ok(completed)
     }
 
     fn handle_reply(&mut self, reply: BatchReply) -> usize {
@@ -210,7 +237,7 @@ impl ClientSession {
             BatchReply::Executed { results, .. } => {
                 debug_assert_eq!(results.len(), batch.ops.len(), "reply arity mismatch");
                 let mut completed = 0;
-                for ((_, cb), result) in batch.ops.into_iter().zip(results.into_iter()) {
+                for ((_, cb), result) in batch.ops.into_iter().zip(results) {
                     cb(result);
                     completed += 1;
                     self.stats.ops_completed += 1;
@@ -219,7 +246,10 @@ impl ClientSession {
             }
             BatchReply::Rejected { server_view, .. } => {
                 self.stats.batches_rejected += 1;
-                self.stale_view = Some(server_view);
+                self.rejection = Some(SessionError::StaleView {
+                    session_view: self.view,
+                    server_view,
+                });
                 self.parked.extend(batch.ops);
                 0
             }
@@ -232,14 +262,26 @@ impl ClientSession {
         std::mem::take(&mut self.parked)
     }
 
+    /// Removes and returns every operation that was never put on the wire:
+    /// parked operations plus the unsent send buffer.  Used when tearing
+    /// down a session over a failed link — these operations can safely be
+    /// re-routed because the server never saw them.  (Operations in flight
+    /// have unknown outcomes and are deliberately not returned.)
+    pub fn take_unsent(&mut self) -> Vec<(KvRequest, Callback)> {
+        self.buffer_bytes = 0;
+        let mut out = std::mem::take(&mut self.parked);
+        out.extend(std::mem::take(&mut self.buffer));
+        out
+    }
+
     /// `true` if nothing is buffered, in flight, or parked.
     pub fn is_quiescent(&self) -> bool {
         self.outstanding_ops() == 0
     }
 
-    /// The underlying connection (e.g. for checking peer liveness).
-    pub fn connection(&self) -> &Connection<RequestBatch, BatchReply> {
-        &self.conn
+    /// The underlying link (e.g. for checking peer liveness).
+    pub fn link(&self) -> &dyn KvLink {
+        self.link.as_ref()
     }
 }
 
@@ -247,15 +289,13 @@ impl ClientSession {
 mod tests {
     use super::*;
     use crate::profile::NetworkProfile;
-    use crate::transport::SimNetwork;
+    use crate::sim::{Connection, SimNetwork};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     type Net = SimNetwork<RequestBatch, BatchReply>;
 
-    fn setup(
-        config: SessionConfig,
-    ) -> (ClientSession, Connection<BatchReply, RequestBatch>) {
+    fn setup(config: SessionConfig) -> (ClientSession, Connection<BatchReply, RequestBatch>) {
         let net: Arc<Net> = SimNetwork::new(NetworkProfile::instant());
         let listener = net.listen("srv");
         let conn = net.connect("srv").unwrap();
@@ -277,7 +317,10 @@ mod tests {
                 })
                 .collect();
             handled += batch.ops.len();
-            server.send(BatchReply::Executed { seq: batch.seq, results });
+            server.send(BatchReply::Executed {
+                seq: batch.seq,
+                results,
+            });
         }
         handled
     }
@@ -293,7 +336,11 @@ mod tests {
         for key in 0..3u64 {
             session.issue(KvRequest::Read { key }, Box::new(|_| {}));
         }
-        assert_eq!(session.stats().batches_sent, 0, "batch sent before it was full");
+        assert_eq!(
+            session.stats().batches_sent,
+            0,
+            "batch sent before it was full"
+        );
         session.issue(KvRequest::Read { key: 3 }, Box::new(|_| {}));
         assert_eq!(session.stats().batches_sent, 1);
         assert_eq!(server.drain().len(), 1);
@@ -309,14 +356,17 @@ mod tests {
                 KvRequest::Read { key },
                 Box::new(move |resp| {
                     if let KvResponse::Value(Some(bytes)) = resp {
-                        sum.fetch_add(u64::from_le_bytes(bytes.try_into().unwrap()), Ordering::SeqCst);
+                        sum.fetch_add(
+                            u64::from_le_bytes(bytes.try_into().unwrap()),
+                            Ordering::SeqCst,
+                        );
                     }
                 }),
             );
         }
-        session.flush();
+        session.flush().unwrap();
         echo_server(&server);
-        let completed = session.poll();
+        let completed = session.poll().unwrap();
         assert_eq!(completed, 10);
         assert_eq!(sum.load(Ordering::SeqCst), 55);
         assert!(session.is_quiescent());
@@ -346,12 +396,22 @@ mod tests {
         for key in 0..5u64 {
             session.issue(KvRequest::RmwAdd { key, delta: 1 }, Box::new(|_| {}));
         }
-        session.flush();
+        session.flush().unwrap();
         let batch = server.drain().pop().unwrap();
-        server.send(BatchReply::Rejected { seq: batch.seq, server_view: 9 });
-        let completed = session.poll();
+        server.send(BatchReply::Rejected {
+            seq: batch.seq,
+            server_view: 9,
+        });
+        let completed = session.poll().unwrap();
         assert_eq!(completed, 0);
         assert_eq!(session.stale_view(), Some(9));
+        assert_eq!(
+            session.rejection_error(),
+            Some(&SessionError::StaleView {
+                session_view: 1,
+                server_view: 9
+            })
+        );
         assert_eq!(session.stats().batches_rejected, 1);
         let parked = session.take_parked();
         assert_eq!(parked.len(), 5);
@@ -359,6 +419,7 @@ mod tests {
         session.set_view(9);
         assert_eq!(session.view(), 9);
         assert_eq!(session.stale_view(), None);
+        assert!(session.rejection_error().is_none());
     }
 
     #[test]
@@ -375,12 +436,12 @@ mod tests {
         assert_eq!(session.inflight_batches(), 1);
         assert_eq!(session.buffered_ops(), 5);
         echo_server(&server);
-        session.poll();
+        session.poll().unwrap();
         // The reply freed a pipeline slot, so the next batch went out.
         assert_eq!(session.inflight_batches(), 1);
         assert_eq!(session.buffered_ops(), 0);
         echo_server(&server);
-        assert_eq!(session.poll(), 5);
+        assert_eq!(session.poll().unwrap(), 5);
         assert_eq!(session.stats().ops_completed, 10);
     }
 
@@ -395,11 +456,26 @@ mod tests {
         // Each upsert is ~272 bytes on the wire; the 4th crosses 1 KiB.
         for key in 0..4u64 {
             session.issue(
-                KvRequest::Upsert { key, value: vec![0u8; 256] },
+                KvRequest::Upsert {
+                    key,
+                    value: vec![0u8; 256],
+                },
                 Box::new(|_| {}),
             );
         }
         assert_eq!(session.stats().batches_sent, 1);
         assert_eq!(server.drain().len(), 1);
+    }
+
+    #[test]
+    fn send_failure_is_typed_and_keeps_ops_buffered() {
+        let (mut session, server) = setup(SessionConfig::default());
+        drop(server);
+        session.issue(KvRequest::Read { key: 1 }, Box::new(|_| {}));
+        let err = session.flush().unwrap_err();
+        assert!(matches!(err, SessionError::Transport(_)));
+        // The operation was not lost: it is still buffered for a re-route.
+        assert_eq!(session.buffered_ops(), 1);
+        assert!(!session.link().is_open());
     }
 }

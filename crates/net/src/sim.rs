@@ -1,0 +1,412 @@
+//! The simulated transport (see `transport` for the trait layer): in-process connections between client threads and
+//! server threads with per-message CPU cost and propagation delay.
+//!
+//! A [`SimNetwork`] plays the role of the cloud fabric.  Server threads
+//! register listeners under string addresses (e.g. `"server-0/thread-3"`),
+//! clients connect to those addresses, and each side gets a [`Connection`]
+//! carrying typed messages.  Every send and receive is charged the CPU cost
+//! of the connection's [`NetworkProfile`], which is how the reproduction
+//! models accelerated vs. unaccelerated TCP and RDMA.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::message::WireSize;
+use crate::profile::NetworkProfile;
+
+/// Per-connection traffic counters.
+#[derive(Debug, Default)]
+pub struct ConnectionStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_received: AtomicU64,
+    cpu_ns_spent: AtomicU64,
+}
+
+impl ConnectionStats {
+    /// Messages sent on this end.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.load(Ordering::Relaxed)
+    }
+    /// Bytes sent on this end.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+    /// Messages received on this end.
+    pub fn msgs_received(&self) -> u64 {
+        self.msgs_received.load(Ordering::Relaxed)
+    }
+    /// Bytes received on this end.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+    /// CPU nanoseconds charged to this end for transport processing.
+    pub fn cpu_ns_spent(&self) -> u64 {
+        self.cpu_ns_spent.load(Ordering::Relaxed)
+    }
+}
+
+struct Timed<M> {
+    deliver_at: Instant,
+    msg: M,
+}
+
+/// One endpoint of a bidirectional connection that sends messages of type `S`
+/// and receives messages of type `R`.
+pub struct Connection<S, R> {
+    tx: Sender<Timed<S>>,
+    rx: Receiver<Timed<R>>,
+    /// A message popped from the channel but not yet deliverable (propagation
+    /// delay has not elapsed).
+    stash: Mutex<Option<Timed<R>>>,
+    profile: NetworkProfile,
+    stats: Arc<ConnectionStats>,
+    peer_closed_marker: Arc<()>,
+}
+
+impl<S, R> std::fmt::Debug for Connection<S, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("profile", &self.profile.name)
+            .finish()
+    }
+}
+
+impl<S: WireSize + Send + 'static, R: WireSize + Send + 'static> Connection<S, R> {
+    /// Sends `msg` to the peer, charging this side the profile's send cost.
+    /// Returns `false` if the peer end has been dropped.
+    pub fn send(&self, msg: S) -> bool {
+        let bytes = msg.wire_size();
+        let cost = self.profile.spend(self.profile.send_cost(bytes));
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats
+            .cpu_ns_spent
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.tx
+            .send(Timed {
+                deliver_at: Instant::now() + self.profile.propagation,
+                msg,
+            })
+            .is_ok()
+    }
+
+    /// Attempts to receive one message whose propagation delay has elapsed,
+    /// charging this side the profile's receive cost.
+    pub fn try_recv(&self) -> Option<R> {
+        let candidate = {
+            let mut stash = self.stash.lock();
+            match stash.take() {
+                Some(t) => Some(t),
+                None => match self.rx.try_recv() {
+                    Ok(t) => Some(t),
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+                },
+            }
+        };
+        let timed = candidate?;
+        if timed.deliver_at > Instant::now() {
+            *self.stash.lock() = Some(timed);
+            return None;
+        }
+        let bytes = timed.msg.wire_size();
+        let cost = self.profile.spend(self.profile.recv_cost(bytes));
+        self.stats.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats
+            .cpu_ns_spent
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        Some(timed.msg)
+    }
+
+    /// Drains every currently deliverable message.
+    pub fn drain(&self) -> Vec<R> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn stats(&self) -> &ConnectionStats {
+        &self.stats
+    }
+
+    /// The cost profile in force on this endpoint.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// `true` once the peer endpoint has been dropped.
+    pub fn peer_closed(&self) -> bool {
+        // Two strong references exist while both ends are alive (one per end).
+        Arc::strong_count(&self.peer_closed_marker) < 2
+    }
+}
+
+/// A listener registered under an address; yields the server-side endpoint of
+/// each accepted connection.  The server-side endpoint sends `S2C` messages
+/// and receives `C2S` messages.
+pub struct Listener<C2S, S2C> {
+    incoming: Receiver<Connection<S2C, C2S>>,
+}
+
+impl<C2S, S2C> std::fmt::Debug for Listener<C2S, S2C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Listener")
+    }
+}
+
+impl<C2S, S2C> Listener<C2S, S2C> {
+    /// Accepts one pending connection, if any.
+    pub fn try_accept(&self) -> Option<Connection<S2C, C2S>> {
+        self.incoming.try_recv().ok()
+    }
+
+    /// Accepts every pending connection.
+    pub fn accept_all(&self) -> Vec<Connection<S2C, C2S>> {
+        let mut out = Vec::new();
+        while let Ok(c) = self.incoming.try_recv() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// The in-process fabric: a registry of listeners by address.
+///
+/// `C2S` is the client-to-server message type, `S2C` the server-to-client
+/// message type.
+pub struct SimNetwork<C2S, S2C> {
+    listeners: Mutex<HashMap<String, Sender<Connection<S2C, C2S>>>>,
+    default_profile: NetworkProfile,
+}
+
+impl<C2S, S2C> std::fmt::Debug for SimNetwork<C2S, S2C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("listeners", &self.listeners.lock().len())
+            .field("profile", &self.default_profile.name)
+            .finish()
+    }
+}
+
+impl<C2S: WireSize + Send + 'static, S2C: WireSize + Send + 'static> SimNetwork<C2S, S2C> {
+    /// Creates a fabric whose connections use `profile` by default.
+    pub fn new(profile: NetworkProfile) -> Arc<Self> {
+        Arc::new(SimNetwork {
+            listeners: Mutex::new(HashMap::new()),
+            default_profile: profile,
+        })
+    }
+
+    /// The fabric-wide default profile.
+    pub fn default_profile(&self) -> NetworkProfile {
+        self.default_profile
+    }
+
+    /// Registers a listener at `addr`.  Panics if the address is taken.
+    pub fn listen(&self, addr: &str) -> Listener<C2S, S2C> {
+        let (tx, rx) = unbounded();
+        let prev = self.listeners.lock().insert(addr.to_string(), tx);
+        assert!(prev.is_none(), "address {addr} already has a listener");
+        Listener { incoming: rx }
+    }
+
+    /// Removes the listener at `addr` (server shutdown).
+    pub fn unlisten(&self, addr: &str) {
+        self.listeners.lock().remove(addr);
+    }
+
+    /// `true` if a listener is registered at `addr`.
+    pub fn has_listener(&self, addr: &str) -> bool {
+        self.listeners.lock().contains_key(addr)
+    }
+
+    /// Connects to the listener at `addr` using the fabric's default profile.
+    pub fn connect(&self, addr: &str) -> Option<Connection<C2S, S2C>> {
+        self.connect_with(addr, self.default_profile)
+    }
+
+    /// Connects to the listener at `addr` with an explicit profile.
+    pub fn connect_with(
+        &self,
+        addr: &str,
+        profile: NetworkProfile,
+    ) -> Option<Connection<C2S, S2C>> {
+        let accept_tx = self.listeners.lock().get(addr).cloned()?;
+        let (c2s_tx, c2s_rx) = unbounded();
+        let (s2c_tx, s2c_rx) = unbounded();
+        let marker = Arc::new(());
+        let client_end = Connection {
+            tx: c2s_tx,
+            rx: s2c_rx,
+            stash: Mutex::new(None),
+            profile,
+            stats: Arc::new(ConnectionStats::default()),
+            peer_closed_marker: Arc::clone(&marker),
+        };
+        let server_end = Connection {
+            tx: s2c_tx,
+            rx: c2s_rx,
+            stash: Mutex::new(None),
+            profile,
+            stats: Arc::new(ConnectionStats::default()),
+            peer_closed_marker: marker,
+        };
+        accept_tx.send(server_end).ok()?;
+        Some(client_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{KvRequest, RequestBatch};
+
+    fn batch(seq: u64) -> RequestBatch {
+        RequestBatch {
+            view: 1,
+            seq,
+            ops: vec![KvRequest::Read { key: seq }],
+        }
+    }
+
+    #[test]
+    fn connect_and_exchange_messages() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("server-0/0");
+        let client = net.connect("server-0/0").unwrap();
+        let server = listener.try_accept().unwrap();
+
+        assert!(client.send(batch(1)));
+        assert!(client.send(batch(2)));
+        let got = server.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[1].seq, 2);
+
+        assert!(server.send(batch(3)));
+        assert_eq!(client.try_recv().unwrap().seq, 3);
+        assert!(client.try_recv().is_none());
+    }
+
+    #[test]
+    fn connect_to_unknown_address_fails() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        assert!(net.connect("nowhere").is_none());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("s");
+        let client = net.connect("s").unwrap();
+        let server = listener.try_accept().unwrap();
+        client.send(batch(1));
+        let _ = server.drain();
+        assert_eq!(client.stats().msgs_sent(), 1);
+        assert!(client.stats().bytes_sent() > 0);
+        assert_eq!(server.stats().msgs_received(), 1);
+        assert_eq!(server.stats().bytes_received(), client.stats().bytes_sent());
+    }
+
+    #[test]
+    fn propagation_delay_defers_delivery() {
+        let profile = NetworkProfile {
+            propagation: std::time::Duration::from_millis(30),
+            ..NetworkProfile::instant()
+        };
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(profile);
+        let listener = net.listen("s");
+        let client = net.connect("s").unwrap();
+        let server = listener.try_accept().unwrap();
+        client.send(batch(1));
+        assert!(
+            server.try_recv().is_none(),
+            "message arrived before propagation delay"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(server.try_recv().is_some());
+    }
+
+    #[test]
+    fn peer_closed_detection() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("s");
+        let client = net.connect("s").unwrap();
+        let server = listener.try_accept().unwrap();
+        assert!(!client.peer_closed());
+        drop(server);
+        assert!(client.peer_closed());
+        assert!(!client.send(batch(1)), "send to a closed peer should fail");
+    }
+
+    #[test]
+    fn duplicate_listener_panics() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let _a = net.listen("dup");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.listen("dup")));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unlisten_frees_address() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let _a = net.listen("addr");
+        net.unlisten("addr");
+        let _b = net.listen("addr");
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> =
+            SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("s");
+        let net2 = Arc::clone(&net);
+        let client_thread = std::thread::spawn(move || {
+            let client = net2.connect("s").unwrap();
+            for i in 0..100 {
+                client.send(batch(i));
+            }
+            // Wait for 100 acks.
+            let mut acks = 0;
+            while acks < 100 {
+                if client.try_recv().is_some() {
+                    acks += 1;
+                }
+            }
+            acks
+        });
+        let server = loop {
+            if let Some(c) = listener.try_accept() {
+                break c;
+            }
+        };
+        let mut echoed = 0;
+        while echoed < 100 {
+            if let Some(m) = server.try_recv() {
+                server.send(m);
+                echoed += 1;
+            }
+        }
+        assert_eq!(client_thread.join().unwrap(), 100);
+    }
+}

@@ -1,394 +1,153 @@
-//! The simulated transport: in-process connections between client threads and
-//! server threads with per-message CPU cost and propagation delay.
+//! The transport abstraction: pluggable fabrics behind one session type.
 //!
-//! A [`SimNetwork`] plays the role of the cloud fabric.  Server threads
-//! register listeners under string addresses (e.g. `"server-0/thread-3"`),
-//! clients connect to those addresses, and each side gets a [`Connection`]
-//! carrying typed messages.  Every send and receive is charged the CPU cost
-//! of the connection's [`NetworkProfile`], which is how the reproduction
-//! models accelerated vs. unaccelerated TCP and RDMA.
+//! A [`Transport`] opens [`KvLink`]s — bidirectional, non-blocking,
+//! batch-oriented links from one client thread to one server dispatch
+//! thread.  [`ClientSession`](crate::ClientSession) is written purely
+//! against `dyn KvLink`, so the same pipelined-batch machinery runs over:
+//!
+//! * the in-process [`SimNetwork`] fabric (charging per-message CPU costs
+//!   from a [`NetworkProfile`](crate::NetworkProfile)), and
+//! * real TCP sockets (`TcpTransport` in the `shadowfax-rpc` crate, which
+//!   frames batches with the length-prefixed wire codec).
+//!
+//! Addresses are strings.  The simulated fabric uses bare fabric addresses
+//! (`"sv0/t3"`); the TCP transport prefixes a socket address
+//! (`"127.0.0.1:4870/sv0/t3"`) and forwards the fabric part in its HELLO
+//! frame so the serving process can bind the connection to a dispatch
+//! thread.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use crate::error::TransportError;
+use crate::message::{BatchReply, RequestBatch};
+use crate::sim::{Connection, SimNetwork};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+/// One end of a client-to-server link carrying request batches out and
+/// batch replies back.  All methods are non-blocking; implementations are
+/// internally synchronized so a link can be driven from a session while
+/// diagnostics threads read its state.
+pub trait KvLink: Send {
+    /// Sends one request batch toward the server.
+    fn send_batch(&self, batch: RequestBatch) -> Result<(), TransportError>;
 
-use crate::message::WireSize;
-use crate::profile::NetworkProfile;
+    /// Receives one reply, if one is available, without blocking.
+    fn try_recv_reply(&self) -> Result<Option<BatchReply>, TransportError>;
 
-/// Per-connection traffic counters.
-#[derive(Debug, Default)]
-pub struct ConnectionStats {
-    msgs_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    msgs_received: AtomicU64,
-    bytes_received: AtomicU64,
-    cpu_ns_spent: AtomicU64,
-}
+    /// `true` while the link can still carry traffic.
+    fn is_open(&self) -> bool;
 
-impl ConnectionStats {
-    /// Messages sent on this end.
-    pub fn msgs_sent(&self) -> u64 {
-        self.msgs_sent.load(Ordering::Relaxed)
-    }
-    /// Bytes sent on this end.
-    pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
-    }
-    /// Messages received on this end.
-    pub fn msgs_received(&self) -> u64 {
-        self.msgs_received.load(Ordering::Relaxed)
-    }
-    /// Bytes received on this end.
-    pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
-    }
-    /// CPU nanoseconds charged to this end for transport processing.
-    pub fn cpu_ns_spent(&self) -> u64 {
-        self.cpu_ns_spent.load(Ordering::Relaxed)
+    /// A human-readable description of the remote endpoint.
+    fn peer_label(&self) -> String {
+        "<unknown peer>".to_string()
     }
 }
 
-struct Timed<M> {
-    deliver_at: Instant,
-    msg: M,
-}
-
-/// One endpoint of a bidirectional connection that sends messages of type `S`
-/// and receives messages of type `R`.
-pub struct Connection<S, R> {
-    tx: Sender<Timed<S>>,
-    rx: Receiver<Timed<R>>,
-    /// A message popped from the channel but not yet deliverable (propagation
-    /// delay has not elapsed).
-    stash: Mutex<Option<Timed<R>>>,
-    profile: NetworkProfile,
-    stats: Arc<ConnectionStats>,
-    peer_closed_marker: Arc<()>,
-}
-
-impl<S, R> std::fmt::Debug for Connection<S, R> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Connection")
-            .field("profile", &self.profile.name)
-            .finish()
-    }
-}
-
-impl<S: WireSize + Send + 'static, R: WireSize + Send + 'static> Connection<S, R> {
-    /// Sends `msg` to the peer, charging this side the profile's send cost.
-    /// Returns `false` if the peer end has been dropped.
-    pub fn send(&self, msg: S) -> bool {
-        let bytes = msg.wire_size();
-        let cost = self.profile.spend(self.profile.send_cost(bytes));
-        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.stats
-            .cpu_ns_spent
-            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        self.tx
-            .send(Timed {
-                deliver_at: Instant::now() + self.profile.propagation,
-                msg,
-            })
-            .is_ok()
-    }
-
-    /// Attempts to receive one message whose propagation delay has elapsed,
-    /// charging this side the profile's receive cost.
-    pub fn try_recv(&self) -> Option<R> {
-        let candidate = {
-            let mut stash = self.stash.lock();
-            match stash.take() {
-                Some(t) => Some(t),
-                None => match self.rx.try_recv() {
-                    Ok(t) => Some(t),
-                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-                },
-            }
-        };
-        let timed = candidate?;
-        if timed.deliver_at > Instant::now() {
-            *self.stash.lock() = Some(timed);
-            return None;
-        }
-        let bytes = timed.msg.wire_size();
-        let cost = self.profile.spend(self.profile.recv_cost(bytes));
-        self.stats.msgs_received.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.stats
-            .cpu_ns_spent
-            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        Some(timed.msg)
-    }
-
-    /// Drains every currently deliverable message.
-    pub fn drain(&self) -> Vec<R> {
-        let mut out = Vec::new();
-        while let Some(m) = self.try_recv() {
-            out.push(m);
-        }
-        out
-    }
-
-    /// Traffic counters for this endpoint.
-    pub fn stats(&self) -> &ConnectionStats {
-        &self.stats
-    }
-
-    /// The cost profile in force on this endpoint.
-    pub fn profile(&self) -> &NetworkProfile {
-        &self.profile
-    }
-
-    /// `true` once the peer endpoint has been dropped.
-    pub fn peer_closed(&self) -> bool {
-        // Two strong references exist while both ends are alive (one per end).
-        Arc::strong_count(&self.peer_closed_marker) < 2
-    }
-}
-
-/// A listener registered under an address; yields the server-side endpoint of
-/// each accepted connection.  The server-side endpoint sends `S2C` messages
-/// and receives `C2S` messages.
-pub struct Listener<C2S, S2C> {
-    incoming: Receiver<Connection<S2C, C2S>>,
-}
-
-impl<C2S, S2C> std::fmt::Debug for Listener<C2S, S2C> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Listener")
-    }
-}
-
-impl<C2S, S2C> Listener<C2S, S2C> {
-    /// Accepts one pending connection, if any.
-    pub fn try_accept(&self) -> Option<Connection<S2C, C2S>> {
-        self.incoming.try_recv().ok()
-    }
-
-    /// Accepts every pending connection.
-    pub fn accept_all(&self) -> Vec<Connection<S2C, C2S>> {
-        let mut out = Vec::new();
-        while let Ok(c) = self.incoming.try_recv() {
-            out.push(c);
-        }
-        out
-    }
-}
-
-/// The in-process fabric: a registry of listeners by address.
+/// A client-side transport: a factory for [`KvLink`]s.
 ///
-/// `C2S` is the client-to-server message type, `S2C` the server-to-client
-/// message type.
-pub struct SimNetwork<C2S, S2C> {
-    listeners: Mutex<HashMap<String, Sender<Connection<S2C, C2S>>>>,
-    default_profile: NetworkProfile,
+/// Implementations: [`SimNetwork`] (in-process fabric) and
+/// `shadowfax_rpc::TcpTransport` (real sockets).
+pub trait Transport: Send + Sync {
+    /// Opens a link to the server dispatch thread at `addr`.
+    fn connect_link(&self, addr: &str) -> Result<Box<dyn KvLink>, TransportError>;
+
+    /// A short name for diagnostics ("sim", "tcp").
+    fn transport_name(&self) -> &'static str;
 }
 
-impl<C2S, S2C> std::fmt::Debug for SimNetwork<C2S, S2C> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimNetwork")
-            .field("listeners", &self.listeners.lock().len())
-            .field("profile", &self.default_profile.name)
-            .finish()
+impl KvLink for Connection<RequestBatch, BatchReply> {
+    fn send_batch(&self, batch: RequestBatch) -> Result<(), TransportError> {
+        if self.send(batch) {
+            Ok(())
+        } else {
+            Err(TransportError::PeerClosed)
+        }
+    }
+
+    fn try_recv_reply(&self) -> Result<Option<BatchReply>, TransportError> {
+        // The sim fabric cannot fail mid-stream; a dropped peer simply stops
+        // producing replies, which `is_open` exposes.
+        Ok(self.try_recv())
+    }
+
+    fn is_open(&self) -> bool {
+        !self.peer_closed()
+    }
+
+    fn peer_label(&self) -> String {
+        format!("sim:{}", self.profile().name)
     }
 }
 
-impl<C2S: WireSize + Send + 'static, S2C: WireSize + Send + 'static> SimNetwork<C2S, S2C> {
-    /// Creates a fabric whose connections use `profile` by default.
-    pub fn new(profile: NetworkProfile) -> Arc<Self> {
-        Arc::new(SimNetwork {
-            listeners: Mutex::new(HashMap::new()),
-            default_profile: profile,
-        })
+impl Transport for SimNetwork<RequestBatch, BatchReply> {
+    fn connect_link(&self, addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
+        match self.connect(addr) {
+            Some(conn) => Ok(Box::new(conn)),
+            None => Err(TransportError::ConnectionRefused {
+                addr: addr.to_string(),
+            }),
+        }
     }
 
-    /// The fabric-wide default profile.
-    pub fn default_profile(&self) -> NetworkProfile {
-        self.default_profile
-    }
-
-    /// Registers a listener at `addr`.  Panics if the address is taken.
-    pub fn listen(&self, addr: &str) -> Listener<C2S, S2C> {
-        let (tx, rx) = unbounded();
-        let prev = self.listeners.lock().insert(addr.to_string(), tx);
-        assert!(prev.is_none(), "address {addr} already has a listener");
-        Listener { incoming: rx }
-    }
-
-    /// Removes the listener at `addr` (server shutdown).
-    pub fn unlisten(&self, addr: &str) {
-        self.listeners.lock().remove(addr);
-    }
-
-    /// `true` if a listener is registered at `addr`.
-    pub fn has_listener(&self, addr: &str) -> bool {
-        self.listeners.lock().contains_key(addr)
-    }
-
-    /// Connects to the listener at `addr` using the fabric's default profile.
-    pub fn connect(&self, addr: &str) -> Option<Connection<C2S, S2C>> {
-        self.connect_with(addr, self.default_profile)
-    }
-
-    /// Connects to the listener at `addr` with an explicit profile.
-    pub fn connect_with(&self, addr: &str, profile: NetworkProfile) -> Option<Connection<C2S, S2C>> {
-        let accept_tx = self.listeners.lock().get(addr).cloned()?;
-        let (c2s_tx, c2s_rx) = unbounded();
-        let (s2c_tx, s2c_rx) = unbounded();
-        let marker = Arc::new(());
-        let client_end = Connection {
-            tx: c2s_tx,
-            rx: s2c_rx,
-            stash: Mutex::new(None),
-            profile,
-            stats: Arc::new(ConnectionStats::default()),
-            peer_closed_marker: Arc::clone(&marker),
-        };
-        let server_end = Connection {
-            tx: s2c_tx,
-            rx: c2s_rx,
-            stash: Mutex::new(None),
-            profile,
-            stats: Arc::new(ConnectionStats::default()),
-            peer_closed_marker: marker,
-        };
-        accept_tx.send(server_end).ok()?;
-        Some(client_end)
+    fn transport_name(&self) -> &'static str {
+        "sim"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{KvRequest, RequestBatch};
+    use crate::profile::NetworkProfile;
+    use std::sync::Arc;
 
-    fn batch(seq: u64) -> RequestBatch {
-        RequestBatch {
+    type Net = SimNetwork<RequestBatch, BatchReply>;
+
+    #[test]
+    fn sim_network_implements_transport() {
+        let net: Arc<Net> = SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("sv0/t0");
+        let link = net.connect_link("sv0/t0").expect("listener registered");
+        assert_eq!(net.transport_name(), "sim");
+        assert!(link.is_open());
+
+        let batch = RequestBatch {
             view: 1,
-            seq,
-            ops: vec![KvRequest::Read { key: seq }],
-        }
-    }
-
-    #[test]
-    fn connect_and_exchange_messages() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let listener = net.listen("server-0/0");
-        let client = net.connect("server-0/0").unwrap();
-        let server = listener.try_accept().unwrap();
-
-        assert!(client.send(batch(1)));
-        assert!(client.send(batch(2)));
-        let got = server.drain();
-        assert_eq!(got.len(), 2);
-        assert_eq!(got[0].seq, 1);
-        assert_eq!(got[1].seq, 2);
-
-        assert!(server.send(batch(3)));
-        assert_eq!(client.try_recv().unwrap().seq, 3);
-        assert!(client.try_recv().is_none());
-    }
-
-    #[test]
-    fn connect_to_unknown_address_fails() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        assert!(net.connect("nowhere").is_none());
-    }
-
-    #[test]
-    fn counters_track_traffic() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let listener = net.listen("s");
-        let client = net.connect("s").unwrap();
-        let server = listener.try_accept().unwrap();
-        client.send(batch(1));
-        let _ = server.drain();
-        assert_eq!(client.stats().msgs_sent(), 1);
-        assert!(client.stats().bytes_sent() > 0);
-        assert_eq!(server.stats().msgs_received(), 1);
-        assert_eq!(server.stats().bytes_received(), client.stats().bytes_sent());
-    }
-
-    #[test]
-    fn propagation_delay_defers_delivery() {
-        let profile = NetworkProfile {
-            propagation: std::time::Duration::from_millis(30),
-            ..NetworkProfile::instant()
+            seq: 7,
+            ops: vec![],
         };
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(profile);
-        let listener = net.listen("s");
-        let client = net.connect("s").unwrap();
+        link.send_batch(batch).unwrap();
         let server = listener.try_accept().unwrap();
-        client.send(batch(1));
-        assert!(server.try_recv().is_none(), "message arrived before propagation delay");
-        std::thread::sleep(std::time::Duration::from_millis(40));
-        assert!(server.try_recv().is_some());
-    }
+        assert_eq!(server.drain().len(), 1);
 
-    #[test]
-    fn peer_closed_detection() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let listener = net.listen("s");
-        let client = net.connect("s").unwrap();
-        let server = listener.try_accept().unwrap();
-        assert!(!client.peer_closed());
-        drop(server);
-        assert!(client.peer_closed());
-        assert!(!client.send(batch(1)), "send to a closed peer should fail");
-    }
-
-    #[test]
-    fn duplicate_listener_panics() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let _a = net.listen("dup");
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.listen("dup")));
-        assert!(result.is_err());
-    }
-
-    #[test]
-    fn unlisten_frees_address() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let _a = net.listen("addr");
-        net.unlisten("addr");
-        let _b = net.listen("addr");
-    }
-
-    #[test]
-    fn cross_thread_usage() {
-        let net: Arc<SimNetwork<RequestBatch, RequestBatch>> = SimNetwork::new(NetworkProfile::instant());
-        let listener = net.listen("s");
-        let net2 = Arc::clone(&net);
-        let client_thread = std::thread::spawn(move || {
-            let client = net2.connect("s").unwrap();
-            for i in 0..100 {
-                client.send(batch(i));
-            }
-            // Wait for 100 acks.
-            let mut acks = 0;
-            while acks < 100 {
-                if client.try_recv().is_some() {
-                    acks += 1;
-                }
-            }
-            acks
+        server.send(BatchReply::Rejected {
+            seq: 7,
+            server_view: 2,
         });
-        let server = loop {
-            if let Some(c) = listener.try_accept() {
-                break c;
-            }
-        };
-        let mut echoed = 0;
-        while echoed < 100 {
-            if let Some(m) = server.try_recv() {
-                server.send(m);
-                echoed += 1;
-            }
+        let reply = link.try_recv_reply().unwrap().unwrap();
+        assert_eq!(reply.seq(), 7);
+        assert!(link.try_recv_reply().unwrap().is_none());
+    }
+
+    #[test]
+    fn connect_link_to_unknown_address_is_typed() {
+        let net: Arc<Net> = SimNetwork::new(NetworkProfile::instant());
+        match net.connect_link("nowhere") {
+            Err(TransportError::ConnectionRefused { addr }) => assert_eq!(addr, "nowhere"),
+            Err(other) => panic!("expected ConnectionRefused, got {other:?}"),
+            Ok(_) => panic!("expected ConnectionRefused, got a link"),
         }
-        assert_eq!(client_thread.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn dropped_peer_closes_link() {
+        let net: Arc<Net> = SimNetwork::new(NetworkProfile::instant());
+        let listener = net.listen("sv0/t0");
+        let link = net.connect_link("sv0/t0").unwrap();
+        let server = listener.try_accept().unwrap();
+        drop(server);
+        assert!(!link.is_open());
+        let batch = RequestBatch {
+            view: 1,
+            seq: 1,
+            ops: vec![],
+        };
+        assert_eq!(link.send_batch(batch), Err(TransportError::PeerClosed));
     }
 }

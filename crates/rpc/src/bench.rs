@@ -1,0 +1,185 @@
+//! Loopback throughput micro-benchmark: proves that pipelined batches flow
+//! over real sockets, and measures what the TCP serving path sustains.
+//!
+//! Used by `shadowfax-cli bench` and by the loopback integration tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shadowfax_net::KvRequest;
+use shadowfax_workload::{KeyDistribution, UniformGenerator, ZipfianGenerator};
+
+use crate::client::RemoteClient;
+use crate::ctrl::RpcError;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Total operations to issue.
+    pub ops: u64,
+    /// Value size for upserts.
+    pub value_size: usize,
+    /// Key-space size.
+    pub keys: u64,
+    /// Fraction of operations that are reads (the rest are upserts).
+    pub read_fraction: f64,
+    /// Draw keys from YCSB's Zipfian distribution instead of uniform.
+    pub zipfian: bool,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            ops: 100_000,
+            value_size: 256,
+            keys: 10_000,
+            read_fraction: 0.5,
+            zipfian: false,
+            seed: 42,
+        }
+    }
+}
+
+/// What the benchmark observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Batches sent across all sessions.
+    pub batches_sent: u64,
+    /// Request bytes sent across all sessions.
+    pub bytes_sent: u64,
+    /// Mean operations per batch.
+    pub ops_per_batch: f64,
+    /// The deepest pipeline observed on any session (batches in flight at
+    /// once); > 1 demonstrates pipelining over the socket.
+    pub max_inflight_observed: usize,
+    /// Batch rejections observed (stale views during migrations).
+    pub rejections: u64,
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ops:              {}", self.ops)?;
+        writeln!(f, "elapsed:          {:.3} s", self.elapsed.as_secs_f64())?;
+        writeln!(f, "throughput:       {:.0} ops/s", self.ops_per_sec)?;
+        writeln!(f, "batches sent:     {}", self.batches_sent)?;
+        writeln!(f, "ops per batch:    {:.1}", self.ops_per_batch)?;
+        writeln!(f, "request bytes:    {}", self.bytes_sent)?;
+        writeln!(
+            f,
+            "max inflight:     {} batches",
+            self.max_inflight_observed
+        )?;
+        write!(f, "rejections:       {}", self.rejections)
+    }
+}
+
+/// Simple deterministic PRNG for the op mix (separate from the key
+/// distribution so mixes are comparable across runs).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the benchmark over an already connected client.
+pub fn run_bench(client: &mut RemoteClient, opts: &BenchOptions) -> Result<BenchReport, RpcError> {
+    enum Dist {
+        Uniform(UniformGenerator),
+        Zipfian(ZipfianGenerator),
+    }
+    let mut dist = if opts.zipfian {
+        Dist::Zipfian(ZipfianGenerator::ycsb(opts.keys))
+    } else {
+        Dist::Uniform(UniformGenerator::new(opts.keys))
+    };
+    use rand::SeedableRng;
+    let mut key_rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut next_key = move |rng: &mut rand::rngs::StdRng| match &mut dist {
+        Dist::Uniform(g) => g.next_key(rng),
+        Dist::Zipfian(g) => g.next_key(rng),
+    };
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut mix_state = opts.seed ^ 0xC0FFEE;
+    let value = vec![0x5Au8; opts.value_size];
+    let mut max_inflight = 0usize;
+    let start = Instant::now();
+
+    let mut issued = 0u64;
+    while issued < opts.ops {
+        // Issue in chunks so the pipeline stays full without unbounded
+        // buffering on this side.
+        let chunk = (opts.ops - issued).min(4096);
+        for _ in 0..chunk {
+            let key = next_key(&mut key_rng);
+            let u = (splitmix(&mut mix_state) >> 11) as f64 / (1u64 << 53) as f64;
+            let is_read = u < opts.read_fraction;
+            let req = if is_read {
+                KvRequest::Read { key }
+            } else {
+                KvRequest::Upsert {
+                    key,
+                    value: value.clone(),
+                }
+            };
+            let completed = Arc::clone(&completed);
+            client.issue(
+                req,
+                Box::new(move |_resp| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        issued += chunk;
+        client.flush();
+        client.poll()?;
+        max_inflight = max_inflight.max(client.max_inflight_batches());
+        // Bound client-side memory: wait for the pipeline to make progress
+        // before issuing the next chunk.
+        while client.outstanding_ops() > 64 * 1024 {
+            client.poll()?;
+            max_inflight = max_inflight.max(client.max_inflight_batches());
+        }
+    }
+    // Drain the tail.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while client.outstanding_ops() > 0 && Instant::now() < deadline {
+        client.flush();
+        client.poll()?;
+        max_inflight = max_inflight.max(client.max_inflight_batches());
+    }
+    let elapsed = start.elapsed();
+
+    let done = completed.load(Ordering::Relaxed);
+    let stats = client.stats();
+    let (mut batches_sent, mut bytes_sent) = (0u64, 0u64);
+    for s in client.session_stats() {
+        batches_sent += s.batches_sent;
+        bytes_sent += s.bytes_sent;
+    }
+    Ok(BenchReport {
+        ops: done,
+        elapsed,
+        ops_per_sec: done as f64 / elapsed.as_secs_f64(),
+        batches_sent,
+        bytes_sent,
+        ops_per_batch: if batches_sent > 0 {
+            done as f64 / batches_sent as f64
+        } else {
+            0.0
+        },
+        max_inflight_observed: max_inflight,
+        rejections: stats.batches_rejected,
+    })
+}

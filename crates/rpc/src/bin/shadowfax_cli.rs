@@ -1,0 +1,223 @@
+//! `shadowfax-cli`: a command-line client speaking the Shadowfax wire
+//! protocol.
+//!
+//! ```text
+//! shadowfax-cli --addr HOST:PORT <command> [args]
+//!
+//! commands:
+//!   ping                         liveness probe
+//!   ownership                    print the cluster's ownership map
+//!   get KEY                      read a key
+//!   put KEY VALUE                upsert a key (VALUE is UTF-8)
+//!   del KEY                      delete a key
+//!   rmw KEY DELTA                increment the counter at KEY by DELTA
+//!   migrate FROM TO FRACTION     move FRACTION of FROM's first range to TO
+//!   bench [--ops N] [--keys K] [--value-size B] [--read-fraction F]
+//!         [--zipf] [--batch OPS] [--inflight B]
+//!                                loopback throughput benchmark (pipelined
+//!                                batches over real sockets)
+//! ```
+
+use std::time::Duration;
+
+use shadowfax_net::SessionConfig;
+use shadowfax_rpc::{
+    run_bench, BenchOptions, CtrlClient, RemoteClient, RemoteClientConfig, RpcError,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shadowfax-cli --addr HOST:PORT \
+         (ping | ownership | get K | put K V | del K | rmw K D | \
+         migrate FROM TO FRACTION | bench [opts])"
+    );
+    std::process::exit(2)
+}
+
+fn fail(e: RpcError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1)
+}
+
+fn parse_u64(s: &str, what: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{what} must be an unsigned integer, got {s:?}");
+        usage()
+    })
+}
+
+fn client_for(addr: &str, session: SessionConfig) -> RemoteClient {
+    let mut config = RemoteClientConfig::new(addr);
+    config.session = session;
+    RemoteClient::connect(config).unwrap_or_else(|e| fail(e))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--addr" {
+            addr = it.next();
+        } else {
+            rest.push(a);
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if rest.is_empty() {
+        usage()
+    }
+    let command = rest.remove(0);
+
+    // Point operations complete one at a time; flush immediately.
+    let point_session = SessionConfig {
+        max_batch_ops: 1,
+        ..SessionConfig::default()
+    };
+
+    match command.as_str() {
+        "ping" => {
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            ctrl.ping().unwrap_or_else(|e| fail(e));
+            println!("PONG from {addr}");
+        }
+        "ownership" => {
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let own = ctrl.ownership().unwrap_or_else(|e| fail(e));
+            for s in &own.servers {
+                println!(
+                    "server {} ({}, {} threads) view {} owns {} range(s):",
+                    s.id,
+                    s.address,
+                    s.threads,
+                    s.view,
+                    s.ranges.len()
+                );
+                for (start, end) in &s.ranges {
+                    println!("  [{start:#018x}, {end:#018x})");
+                }
+            }
+        }
+        "get" => {
+            let key = parse_u64(
+                rest.first().map(String::as_str).unwrap_or_else(|| usage()),
+                "KEY",
+            );
+            let mut client = client_for(&addr, point_session);
+            match client.get(key).unwrap_or_else(|e| fail(e)) {
+                Some(value) => match std::str::from_utf8(&value) {
+                    Ok(s) => println!("{s}"),
+                    Err(_) => println!("{}", hex(&value)),
+                },
+                None => {
+                    eprintln!("(nil)");
+                    std::process::exit(3);
+                }
+            }
+        }
+        "put" => {
+            if rest.len() < 2 {
+                usage()
+            }
+            let key = parse_u64(&rest[0], "KEY");
+            let value = rest[1].clone().into_bytes();
+            let mut client = client_for(&addr, point_session);
+            client.put(key, value).unwrap_or_else(|e| fail(e));
+            println!("OK");
+        }
+        "del" => {
+            let key = parse_u64(
+                rest.first().map(String::as_str).unwrap_or_else(|| usage()),
+                "KEY",
+            );
+            let mut client = client_for(&addr, point_session);
+            let existed = client.delete(key).unwrap_or_else(|e| fail(e));
+            println!("{}", if existed { "DELETED" } else { "NOT_FOUND" });
+        }
+        "rmw" => {
+            if rest.len() < 2 {
+                usage()
+            }
+            let key = parse_u64(&rest[0], "KEY");
+            let delta = parse_u64(&rest[1], "DELTA");
+            let mut client = client_for(&addr, point_session);
+            let counter = client.rmw_add(key, delta).unwrap_or_else(|e| fail(e));
+            println!("{counter}");
+        }
+        "migrate" => {
+            if rest.len() < 3 {
+                usage()
+            }
+            let from = parse_u64(&rest[0], "FROM") as u32;
+            let to = parse_u64(&rest[1], "TO") as u32;
+            let fraction: f64 = rest[2].parse().unwrap_or_else(|_| {
+                eprintln!("FRACTION must be a float in [0, 1], got {:?}", rest[2]);
+                usage()
+            });
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let id = ctrl
+                .migrate_fraction(from, to, fraction)
+                .unwrap_or_else(|e| fail(e));
+            println!("migration {id} started: {fraction} of server {from} -> server {to}");
+        }
+        "bench" => {
+            let mut opts = BenchOptions::default();
+            let mut session = SessionConfig {
+                max_batch_ops: 64,
+                ..SessionConfig::default()
+            };
+            let mut it = rest.into_iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().unwrap_or_else(|| {
+                        eprintln!("missing value for {name}");
+                        usage()
+                    })
+                };
+                match flag.as_str() {
+                    "--ops" => opts.ops = parse_u64(&value("--ops"), "--ops"),
+                    "--keys" => opts.keys = parse_u64(&value("--keys"), "--keys"),
+                    "--value-size" => {
+                        opts.value_size = parse_u64(&value("--value-size"), "--value-size") as usize
+                    }
+                    "--read-fraction" => {
+                        opts.read_fraction =
+                            value("--read-fraction").parse().unwrap_or_else(|_| usage())
+                    }
+                    "--zipf" => opts.zipfian = true,
+                    "--batch" => {
+                        session.max_batch_ops = parse_u64(&value("--batch"), "--batch") as usize
+                    }
+                    "--inflight" => {
+                        session.max_inflight_batches =
+                            parse_u64(&value("--inflight"), "--inflight") as usize
+                    }
+                    other => {
+                        eprintln!("unknown bench flag {other}");
+                        usage()
+                    }
+                }
+            }
+            let mut client = client_for(&addr, session);
+            let report = run_bench(&mut client, &opts).unwrap_or_else(|e| fail(e));
+            println!("{report}");
+            if report.max_inflight_observed <= 1 {
+                eprintln!("warning: pipeline never exceeded one batch in flight");
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(2 + bytes.len() * 2);
+    out.push_str("0x");
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}

@@ -1,0 +1,115 @@
+//! `shadowfax-server`: hosts a Shadowfax cluster behind a real TCP socket.
+//!
+//! ```text
+//! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
+//!                  [--io-threads I] [--balanced]
+//! ```
+//!
+//! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
+//! a shared FASTER instance) and serves them over `ADDR` with `I` I/O
+//! threads speaking the length-prefixed wire protocol.  By default server 0
+//! owns the whole hash space and the others idle as scale-out targets (move
+//! load with `shadowfax-cli migrate`); `--balanced` splits the space evenly.
+//!
+//! Prints `LISTENING <addr>` once ready (scripts and tests parse this), then
+//! serves until killed.
+
+use std::sync::Arc;
+
+use shadowfax::{Cluster, ClusterConfig};
+use shadowfax_rpc::{RpcServer, RpcServerConfig};
+
+struct Args {
+    listen: String,
+    servers: usize,
+    threads: usize,
+    io_threads: usize,
+    balanced: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
+         [--io-threads I] [--balanced]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:4870".to_string(),
+        servers: 2,
+        threads: 2,
+        io_threads: 2,
+        balanced: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("missing value for {name}");
+                usage()
+            }
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--servers" => args.servers = value("--servers").parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--io-threads" => {
+                args.io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--balanced" => args.balanced = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.servers == 0 || args.threads == 0 {
+        eprintln!("--servers and --threads must be at least 1");
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut config = ClusterConfig::two_server_test();
+    config.servers = args.servers;
+    config.server_template.threads = args.threads;
+    config.assign_ranges_to_all = args.balanced;
+
+    let cluster = Arc::new(Cluster::start(config));
+    let rpc = RpcServer::serve(
+        Arc::clone(&cluster) as Arc<dyn shadowfax_rpc::ClusterControl>,
+        RpcServerConfig {
+            listen: args.listen.clone(),
+            io_threads: args.io_threads,
+            ..RpcServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to bind {}: {e}", args.listen);
+        std::process::exit(1);
+    });
+
+    // Scripts and the process-level integration test parse this line.
+    println!("LISTENING {}", rpc.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "shadowfax-server: {} logical servers x {} dispatch threads, {} i/o threads on {}",
+        args.servers,
+        args.threads,
+        args.io_threads,
+        rpc.local_addr()
+    );
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

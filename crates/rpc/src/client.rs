@@ -1,0 +1,355 @@
+//! The out-of-process Shadowfax client: ownership-aware routing and
+//! pipelined sessions over real TCP.
+//!
+//! [`RemoteClient`] mirrors `shadowfax::ShadowfaxClient` but lives in a
+//! different OS process from the cluster: it fetches ownership snapshots
+//! over the control plane instead of reading the metadata store directly,
+//! and its [`ClientSession`]s run over [`TcpTransport`] links.  Everything
+//! else — batching, pipelining, view stamping, parking on rejection,
+//! re-routing after an ownership refresh — is the same `ClientSession`
+//! machinery, which is the point of the [`Transport`] abstraction.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use shadowfax_faster::KeyHash;
+use shadowfax_net::{ClientSession, KvRequest, KvResponse, SessionConfig, Transport};
+
+use crate::codec::WireOwnership;
+use crate::ctrl::{CtrlClient, RpcError};
+use crate::tcp::TcpTransport;
+
+/// A completion callback invoked with the operation's response.
+pub type OpCallback = Box<dyn FnOnce(KvResponse) + Send>;
+
+/// Configuration of a [`RemoteClient`].
+#[derive(Debug, Clone)]
+pub struct RemoteClientConfig {
+    /// Socket address of the serving process (`"127.0.0.1:4870"`).
+    pub server_addr: String,
+    /// This client thread's id; spreads clients across dispatch threads.
+    pub thread_id: usize,
+    /// Session batching/pipelining parameters.
+    pub session: SessionConfig,
+    /// Dial / control-roundtrip timeout.
+    pub timeout: Duration,
+}
+
+impl RemoteClientConfig {
+    /// A default configuration pointed at `server_addr`.
+    pub fn new(server_addr: impl Into<String>) -> Self {
+        RemoteClientConfig {
+            server_addr: server_addr.into(),
+            thread_id: 0,
+            session: SessionConfig::default(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters kept by a remote client.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteClientStats {
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations completed (callback executed).
+    pub completed: u64,
+    /// Ownership refreshes fetched over the control plane.
+    pub ownership_refreshes: u64,
+    /// Operations re-routed after batch rejections.
+    pub rerouted: u64,
+    /// Batch rejections observed across all sessions.
+    pub batches_rejected: u64,
+}
+
+/// A per-thread Shadowfax client speaking the TCP wire protocol.
+pub struct RemoteClient {
+    config: RemoteClientConfig,
+    transport: TcpTransport,
+    ctrl: CtrlClient,
+    ownership: WireOwnership,
+    sessions: HashMap<u32, ClientSession>,
+    /// Operations whose re-route attempt failed (ownership momentarily
+    /// unknown, or a session could not be opened); retried on every poll so
+    /// their callbacks are never silently dropped.
+    pending_reroute: Vec<(KvRequest, OpCallback)>,
+    stats: RemoteClientStats,
+}
+
+impl std::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("server", &self.config.server_addr)
+            .field("sessions", &self.sessions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RemoteClient {
+    /// Connects the control plane and fetches the initial ownership
+    /// snapshot.
+    pub fn connect(config: RemoteClientConfig) -> Result<Self, RpcError> {
+        let mut ctrl = CtrlClient::connect(&config.server_addr, config.timeout)?;
+        let ownership = ctrl.ownership()?;
+        let transport = TcpTransport {
+            connect_timeout: config.timeout,
+            ..TcpTransport::default()
+        };
+        Ok(RemoteClient {
+            config,
+            transport,
+            ctrl,
+            ownership,
+            sessions: HashMap::new(),
+            pending_reroute: Vec::new(),
+            stats: RemoteClientStats::default(),
+        })
+    }
+
+    /// Client counters.
+    pub fn stats(&self) -> RemoteClientStats {
+        let mut stats = self.stats;
+        stats.batches_rejected = self
+            .sessions
+            .values()
+            .map(|s| s.stats().batches_rejected)
+            .sum();
+        stats
+    }
+
+    /// The cached ownership snapshot.
+    pub fn ownership(&self) -> &WireOwnership {
+        &self.ownership
+    }
+
+    /// Direct access to the control plane (migrations, pings).
+    pub fn ctrl(&mut self) -> &mut CtrlClient {
+        &mut self.ctrl
+    }
+
+    /// Operations issued but not yet completed across all sessions.
+    pub fn outstanding_ops(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.outstanding_ops())
+            .sum::<usize>()
+            + self.pending_reroute.len()
+    }
+
+    /// The largest number of batches currently in flight on any session
+    /// (observable pipelining depth).
+    pub fn max_inflight_batches(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.inflight_batches())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-session counters (batches sent, bytes, rejections).
+    pub fn session_stats(&self) -> Vec<shadowfax_net::SessionStats> {
+        self.sessions.values().map(|s| s.stats()).collect()
+    }
+
+    /// Re-fetches the ownership snapshot and restamps session views.
+    pub fn refresh_ownership(&mut self) -> Result<(), RpcError> {
+        self.ownership = self.ctrl.ownership()?;
+        self.stats.ownership_refreshes += 1;
+        for (server, session) in self.sessions.iter_mut() {
+            if let Some(info) = self.ownership.server(*server) {
+                session.set_view(info.view);
+            }
+        }
+        Ok(())
+    }
+
+    fn owner_for_key(&self, key: u64) -> Option<u32> {
+        let hash = KeyHash::of(key).raw();
+        self.ownership.owner_of(hash).map(|s| s.id)
+    }
+
+    fn session_for(&mut self, server: u32) -> Option<&mut ClientSession> {
+        if !self.sessions.contains_key(&server) {
+            let info = self.ownership.server(server)?;
+            let thread = self.config.thread_id % (info.threads.max(1) as usize);
+            let addr = format!("{}/{}/t{}", self.config.server_addr, info.address, thread);
+            let link = self.transport.connect_link(&addr).ok()?;
+            let session = ClientSession::from_link(link, info.view, self.config.session);
+            self.sessions.insert(server, session);
+        }
+        self.sessions.get_mut(&server)
+    }
+
+    /// Issues an asynchronous operation.  Returns `false` if no server
+    /// currently owns the key's hash.
+    pub fn issue(&mut self, request: KvRequest, callback: OpCallback) -> bool {
+        self.try_issue(request, callback).is_none()
+    }
+
+    /// Like [`RemoteClient::issue`], but hands the operation back instead of
+    /// dropping it when no route exists.
+    fn try_issue(
+        &mut self,
+        request: KvRequest,
+        callback: OpCallback,
+    ) -> Option<(KvRequest, OpCallback)> {
+        let Some(owner) = self.owner_for_key(request.key()) else {
+            return Some((request, callback));
+        };
+        if self.session_for(owner).is_none() {
+            return Some((request, callback));
+        }
+        self.stats.issued += 1;
+        let session = self.sessions.get_mut(&owner).expect("session just created");
+        session.issue(request, callback);
+        None
+    }
+
+    /// Flushes partially filled batches on every session.
+    pub fn flush(&mut self) {
+        for session in self.sessions.values_mut() {
+            let _ = session.flush();
+        }
+    }
+
+    /// Drains replies, runs callbacks, refreshes ownership after rejections,
+    /// and re-routes parked operations.  Returns the number of operations
+    /// completed by this call.
+    pub fn poll(&mut self) -> Result<usize, RpcError> {
+        let mut completed = 0;
+        let mut needs_refresh = false;
+        let mut dead: Vec<u32> = Vec::new();
+        for (server, session) in self.sessions.iter_mut() {
+            match session.poll() {
+                Ok(n) => completed += n,
+                Err(_) => {
+                    needs_refresh = true;
+                    dead.push(*server);
+                }
+            }
+            if session.stale_view().is_some() {
+                needs_refresh = true;
+            }
+        }
+        self.stats.completed += completed as u64;
+        // Salvage what can safely be re-routed from dead sessions: parked
+        // and never-sent operations survive; batches already in flight on
+        // the broken link have unknown outcomes and are lost with it.
+        let mut parked: Vec<(KvRequest, OpCallback)> = Vec::new();
+        for server in dead {
+            if let Some(mut session) = self.sessions.remove(&server) {
+                parked.extend(session.take_unsent());
+            }
+        }
+        if needs_refresh {
+            self.refresh_ownership()?;
+            for session in self.sessions.values_mut() {
+                parked.extend(session.take_parked());
+            }
+            for (req, cb) in parked {
+                self.stats.rerouted += 1;
+                self.stats.issued = self.stats.issued.saturating_sub(1); // re-issue
+                if let Some(op) = self.try_issue(req, cb) {
+                    // Ownership is momentarily unknown; hold the operation
+                    // and retry on the next poll.
+                    self.pending_reroute.push(op);
+                }
+            }
+            self.flush();
+        } else if !self.pending_reroute.is_empty() {
+            self.refresh_ownership()?;
+        }
+        // Retry operations whose earlier re-route found no owner.
+        if !self.pending_reroute.is_empty() {
+            let retry = std::mem::take(&mut self.pending_reroute);
+            for (req, cb) in retry {
+                if let Some(op) = self.try_issue(req, cb) {
+                    self.pending_reroute.push(op);
+                }
+            }
+            self.flush();
+        }
+        Ok(completed)
+    }
+
+    /// Waits until every outstanding operation has completed (or the
+    /// timeout expires).  Returns `true` if the client became quiescent.
+    pub fn drain(&mut self, timeout: Duration) -> Result<bool, RpcError> {
+        let start = Instant::now();
+        self.flush();
+        while self.outstanding_ops() > 0 {
+            self.poll()?;
+            self.flush();
+            if start.elapsed() > timeout {
+                return Ok(false);
+            }
+            std::thread::yield_now();
+        }
+        Ok(true)
+    }
+
+    fn execute_sync(&mut self, request: KvRequest) -> Result<KvResponse, RpcError> {
+        use std::sync::{Arc, Mutex};
+        let slot: Arc<Mutex<Option<KvResponse>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        if !self.issue(
+            request,
+            Box::new(move |resp| *slot2.lock().unwrap() = Some(resp)),
+        ) {
+            return Err(RpcError::Protocol("no server owns the key's hash".into()));
+        }
+        self.flush();
+        let start = Instant::now();
+        loop {
+            self.poll()?;
+            if let Some(resp) = slot.lock().unwrap().take() {
+                return Ok(resp);
+            }
+            if start.elapsed() > self.config.timeout {
+                return Err(RpcError::Io("timed out waiting for a reply".into()));
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Synchronously reads a key.
+    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, RpcError> {
+        match self.execute_sync(KvRequest::Read { key })? {
+            KvResponse::Value(v) => Ok(v),
+            other => Err(RpcError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Synchronously writes a key.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> Result<(), RpcError> {
+        match self.execute_sync(KvRequest::Upsert { key, value })? {
+            KvResponse::Ok => Ok(()),
+            other => Err(RpcError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Synchronously deletes a key; returns whether it existed.
+    pub fn delete(&mut self, key: u64) -> Result<bool, RpcError> {
+        match self.execute_sync(KvRequest::Delete { key })? {
+            KvResponse::Deleted(existed) => Ok(existed),
+            other => Err(RpcError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Synchronously increments a key's counter; returns the new value.
+    pub fn rmw_add(&mut self, key: u64, delta: u64) -> Result<u64, RpcError> {
+        match self.execute_sync(KvRequest::RmwAdd { key, delta })? {
+            KvResponse::Counter(c) => Ok(c),
+            other => Err(RpcError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+}

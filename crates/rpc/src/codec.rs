@@ -1,0 +1,808 @@
+//! The length-prefixed binary wire codec.
+//!
+//! Every frame on a Shadowfax TCP connection is:
+//!
+//! ```text
+//! ┌───────────────┬──────────┬─────────────────┐
+//! │ length: u32le │ kind: u8 │ payload (bytes) │
+//! └───────────────┴──────────┴─────────────────┘
+//! ```
+//!
+//! where `length` counts the kind byte plus the payload.  All integers are
+//! little-endian; strings and byte strings are a `u32` length followed by
+//! the bytes.  The codec is hand-rolled (the build environment has no serde
+//! format crates) and deliberately explicit: the tags below are part of the
+//! wire format — append, never renumber.
+//!
+//! Data-plane frames carry [`RequestBatch`]es client→server and
+//! [`BatchReply`]s server→client, including the view number used for
+//! ownership validation (paper §3.1.1/§3.2).  Control-plane frames bootstrap
+//! a connection ([`WireMsg::Hello`] binds it to a dispatch thread), fetch
+//! ownership mappings, and trigger migrations — the out-of-process stand-in
+//! for talking to the metadata store directly.
+
+use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
+
+/// Default per-frame size limit (16 MiB): far above any sane batch, low
+/// enough that a corrupt length prefix cannot OOM the receiver.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Frame kind tags (`kind` byte).  Part of the wire format.
+mod kind {
+    pub const BATCH: u8 = 0x01;
+    pub const REPLY: u8 = 0x02;
+    pub const HELLO: u8 = 0x10;
+    pub const GET_OWNERSHIP: u8 = 0x20;
+    pub const OWNERSHIP: u8 = 0x21;
+    pub const MIGRATE: u8 = 0x22;
+    pub const CTRL_OK: u8 = 0x23;
+    pub const CTRL_ERR: u8 = 0x24;
+    pub const PING: u8 = 0x25;
+    pub const PONG: u8 = 0x26;
+}
+
+/// Errors from encoding or decoding frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the structure it claims to carry.
+    Truncated,
+    /// A frame declared a length above the receiver's limit.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// The receiver's limit.
+        max: usize,
+    },
+    /// An unknown tag byte.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A frame's payload was longer than the structure it carries.
+    TrailingBytes {
+        /// Number of undecoded bytes left over.
+        count: usize,
+    },
+}
+
+impl CodecError {
+    /// The wire status code reported back to a peer that sent this garbage.
+    pub fn status_code(&self) -> StatusCode {
+        match self {
+            CodecError::Oversized { .. } => StatusCode::Oversized,
+            _ => StatusCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("frame payload truncated"),
+            CodecError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+            CodecError::BadTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+            CodecError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            CodecError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete frame body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Ownership metadata for one server, as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireServerInfo {
+    /// The server's cluster-wide id.
+    pub id: u32,
+    /// The server's fabric base address (`"sv0"`); dispatch thread `t`
+    /// listens at `"sv0/t{t}"`.
+    pub address: String,
+    /// Number of dispatch threads.
+    pub threads: u32,
+    /// The server's current view number.
+    pub view: u64,
+    /// Owned hash ranges as `[start, end)` pairs.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl WireServerInfo {
+    /// `true` if `hash` falls in one of this server's owned ranges.
+    /// Delegates to [`shadowfax::HashRange::contains`] so client-side
+    /// routing can never diverge from server-side ownership validation.
+    pub fn owns_hash(&self, hash: u64) -> bool {
+        self.ranges.iter().any(|&(start, end)| {
+            // Guard against hostile wire data; HashRange::new asserts on
+            // inverted ranges.
+            start <= end && shadowfax::HashRange { start, end }.contains(hash)
+        })
+    }
+}
+
+/// A consistent ownership snapshot, as carried on the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireOwnership {
+    /// Every registered server.
+    pub servers: Vec<WireServerInfo>,
+}
+
+impl WireOwnership {
+    /// The server owning `hash`, if any.
+    pub fn owner_of(&self, hash: u64) -> Option<&WireServerInfo> {
+        self.servers.iter().find(|s| s.owns_hash(hash))
+    }
+
+    /// The metadata of server `id`.
+    pub fn server(&self, id: u32) -> Option<&WireServerInfo> {
+        self.servers.iter().find(|s| s.id == id)
+    }
+}
+
+/// Every message that can travel on a Shadowfax TCP connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// First frame on a data connection: binds it to the dispatch thread
+    /// listening at `fabric_addr` (e.g. `"sv0/t1"`).
+    Hello {
+        /// Fabric address of the target dispatch thread.
+        fabric_addr: String,
+    },
+    /// A pipelined request batch (client → server).
+    Batch(RequestBatch),
+    /// The reply to one batch (server → client).
+    Reply(BatchReply),
+    /// Request the current ownership snapshot (control plane).
+    GetOwnership,
+    /// The ownership snapshot (control plane reply).
+    Ownership(WireOwnership),
+    /// Trigger a migration of `fraction` of `source`'s first owned range to
+    /// `target` (control plane; the out-of-process stand-in for poking the
+    /// metadata store / operator API).
+    Migrate {
+        /// Source server id.
+        source: u32,
+        /// Target server id.
+        target: u32,
+        /// Fraction of the source's first owned range to move, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Control operation succeeded; `value` is operation-specific (e.g. the
+    /// migration id).
+    CtrlOk {
+        /// Operation-specific result.
+        value: u64,
+    },
+    /// Control or protocol failure, with the typed status and a message.
+    CtrlErr {
+        /// The typed status code.
+        status: StatusCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Liveness probe carrying an opaque token.
+    Ping(u64),
+    /// Liveness reply echoing the token.
+    Pong(u64),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_request(out: &mut Vec<u8>, req: &KvRequest) {
+    match req {
+        KvRequest::Read { key } => {
+            out.push(0);
+            put_u64(out, *key);
+        }
+        KvRequest::Upsert { key, value } => {
+            out.push(1);
+            put_u64(out, *key);
+            put_bytes(out, value);
+        }
+        KvRequest::RmwAdd { key, delta } => {
+            out.push(2);
+            put_u64(out, *key);
+            put_u64(out, *delta);
+        }
+        KvRequest::Delete { key } => {
+            out.push(3);
+            put_u64(out, *key);
+        }
+    }
+}
+
+fn put_response(out: &mut Vec<u8>, resp: &KvResponse) {
+    match resp {
+        KvResponse::Value(None) => out.push(0),
+        KvResponse::Value(Some(v)) => {
+            out.push(1);
+            put_bytes(out, v);
+        }
+        KvResponse::Counter(c) => {
+            out.push(2);
+            put_u64(out, *c);
+        }
+        KvResponse::Ok => out.push(3),
+        KvResponse::Deleted(existed) => {
+            out.push(4);
+            out.push(u8::from(*existed));
+        }
+        KvResponse::Pending => out.push(5),
+        KvResponse::Error(msg) => {
+            out.push(6);
+            put_str(out, msg);
+        }
+    }
+}
+
+/// Encodes `msg` as one complete frame (length prefix included).
+pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match msg {
+        WireMsg::Hello { fabric_addr } => {
+            body.push(kind::HELLO);
+            put_str(&mut body, fabric_addr);
+        }
+        WireMsg::Batch(batch) => {
+            body.push(kind::BATCH);
+            put_u64(&mut body, batch.view);
+            put_u64(&mut body, batch.seq);
+            put_u32(&mut body, batch.ops.len() as u32);
+            for op in &batch.ops {
+                put_request(&mut body, op);
+            }
+        }
+        WireMsg::Reply(reply) => {
+            body.push(kind::REPLY);
+            match reply {
+                BatchReply::Executed { seq, results } => {
+                    body.push(0);
+                    put_u64(&mut body, *seq);
+                    put_u32(&mut body, results.len() as u32);
+                    for r in results {
+                        put_response(&mut body, r);
+                    }
+                }
+                BatchReply::Rejected { seq, server_view } => {
+                    body.push(1);
+                    put_u64(&mut body, *seq);
+                    put_u64(&mut body, *server_view);
+                }
+            }
+        }
+        WireMsg::GetOwnership => body.push(kind::GET_OWNERSHIP),
+        WireMsg::Ownership(own) => {
+            body.push(kind::OWNERSHIP);
+            put_u32(&mut body, own.servers.len() as u32);
+            for s in &own.servers {
+                put_u32(&mut body, s.id);
+                put_str(&mut body, &s.address);
+                put_u32(&mut body, s.threads);
+                put_u64(&mut body, s.view);
+                put_u32(&mut body, s.ranges.len() as u32);
+                for &(start, end) in &s.ranges {
+                    put_u64(&mut body, start);
+                    put_u64(&mut body, end);
+                }
+            }
+        }
+        WireMsg::Migrate {
+            source,
+            target,
+            fraction,
+        } => {
+            body.push(kind::MIGRATE);
+            put_u32(&mut body, *source);
+            put_u32(&mut body, *target);
+            put_u64(&mut body, fraction.to_bits());
+        }
+        WireMsg::CtrlOk { value } => {
+            body.push(kind::CTRL_OK);
+            put_u64(&mut body, *value);
+        }
+        WireMsg::CtrlErr { status, message } => {
+            body.push(kind::CTRL_ERR);
+            body.push(status.as_u8());
+            put_str(&mut body, message);
+        }
+        WireMsg::Ping(token) => {
+            body.push(kind::PING);
+            put_u64(&mut body, *token);
+        }
+        WireMsg::Pong(token) => {
+            body.push(kind::PONG);
+            put_u64(&mut body, *token);
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        if self.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        if self.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if self.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let v = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+/// Caps `Vec::with_capacity` pre-allocation so a corrupt count field cannot
+/// force a huge allocation before the (truncated) payload is noticed.
+fn bounded_cap(count: usize) -> usize {
+    count.min(4096)
+}
+
+fn get_request(r: &mut Reader<'_>) -> Result<KvRequest, CodecError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => KvRequest::Read { key: r.u64()? },
+        1 => KvRequest::Upsert {
+            key: r.u64()?,
+            value: r.bytes()?,
+        },
+        2 => KvRequest::RmwAdd {
+            key: r.u64()?,
+            delta: r.u64()?,
+        },
+        3 => KvRequest::Delete { key: r.u64()? },
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "KvRequest",
+                tag,
+            })
+        }
+    })
+}
+
+fn get_response(r: &mut Reader<'_>) -> Result<KvResponse, CodecError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => KvResponse::Value(None),
+        1 => KvResponse::Value(Some(r.bytes()?)),
+        2 => KvResponse::Counter(r.u64()?),
+        3 => KvResponse::Ok,
+        4 => KvResponse::Deleted(r.u8()? != 0),
+        5 => KvResponse::Pending,
+        6 => KvResponse::Error(r.string()?),
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "KvResponse",
+                tag,
+            })
+        }
+    })
+}
+
+fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
+    let mut r = Reader::new(body);
+    let msg = match r.u8()? {
+        kind::HELLO => WireMsg::Hello {
+            fabric_addr: r.string()?,
+        },
+        kind::BATCH => {
+            let view = r.u64()?;
+            let seq = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                ops.push(get_request(&mut r)?);
+            }
+            WireMsg::Batch(RequestBatch { view, seq, ops })
+        }
+        kind::REPLY => match r.u8()? {
+            0 => {
+                let seq = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut results = Vec::with_capacity(bounded_cap(n));
+                for _ in 0..n {
+                    results.push(get_response(&mut r)?);
+                }
+                WireMsg::Reply(BatchReply::Executed { seq, results })
+            }
+            1 => WireMsg::Reply(BatchReply::Rejected {
+                seq: r.u64()?,
+                server_view: r.u64()?,
+            }),
+            tag => {
+                return Err(CodecError::BadTag {
+                    context: "BatchReply",
+                    tag,
+                })
+            }
+        },
+        kind::GET_OWNERSHIP => WireMsg::GetOwnership,
+        kind::OWNERSHIP => {
+            let n = r.u32()? as usize;
+            let mut servers = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                let id = r.u32()?;
+                let address = r.string()?;
+                let threads = r.u32()?;
+                let view = r.u64()?;
+                let n_ranges = r.u32()? as usize;
+                let mut ranges = Vec::with_capacity(bounded_cap(n_ranges));
+                for _ in 0..n_ranges {
+                    ranges.push((r.u64()?, r.u64()?));
+                }
+                servers.push(WireServerInfo {
+                    id,
+                    address,
+                    threads,
+                    view,
+                    ranges,
+                });
+            }
+            WireMsg::Ownership(WireOwnership { servers })
+        }
+        kind::MIGRATE => WireMsg::Migrate {
+            source: r.u32()?,
+            target: r.u32()?,
+            fraction: f64::from_bits(r.u64()?),
+        },
+        kind::CTRL_OK => WireMsg::CtrlOk { value: r.u64()? },
+        kind::CTRL_ERR => {
+            let status_byte = r.u8()?;
+            let status = StatusCode::from_u8(status_byte).ok_or(CodecError::BadTag {
+                context: "StatusCode",
+                tag: status_byte,
+            })?;
+            WireMsg::CtrlErr {
+                status,
+                message: r.string()?,
+            }
+        }
+        kind::PING => WireMsg::Ping(r.u64()?),
+        kind::PONG => WireMsg::Pong(r.u64()?),
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "frame kind",
+                tag,
+            })
+        }
+    };
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes {
+            count: r.remaining(),
+        });
+    }
+    Ok(msg)
+}
+
+/// An incremental frame decoder: feed it raw socket bytes with
+/// [`FrameDecoder::extend`], pull complete messages with
+/// [`FrameDecoder::next_msg`].
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_frame` as the body-length limit.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete message, if a full frame has arrived.
+    ///
+    /// A frame whose declared length exceeds the limit fails with
+    /// [`CodecError::Oversized`] *before* its payload is buffered, so a
+    /// corrupt or hostile length prefix cannot balloon memory.
+    pub fn next_msg(&mut self) -> Result<Option<WireMsg>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        if len > self.max_frame {
+            return Err(CodecError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg = decode_body(&self.buf[4..4 + len])?;
+        self.buf.drain(..4 + len);
+        Ok(Some(msg))
+    }
+}
+
+/// Decodes one complete frame from `bytes` (convenience for tests and
+/// blocking paths).  Returns the message and the number of bytes consumed.
+pub fn decode_frame(bytes: &[u8], max_frame: usize) -> Result<(WireMsg, usize), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    if len > max_frame {
+        return Err(CodecError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    if bytes.len() < 4 + len {
+        return Err(CodecError::Truncated);
+    }
+    Ok((decode_body(&bytes[4..4 + len])?, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMsg) {
+        let frame = encode_frame(&msg);
+        let (decoded, consumed) = decode_frame(&frame, MAX_FRAME_BYTES).expect("decode");
+        assert_eq!(consumed, frame.len());
+        assert_eq!(decoded, msg);
+    }
+
+    fn sample_batch() -> RequestBatch {
+        RequestBatch {
+            view: 7,
+            seq: 42,
+            ops: vec![
+                KvRequest::Read { key: 1 },
+                KvRequest::Upsert {
+                    key: 2,
+                    value: vec![9u8; 300],
+                },
+                KvRequest::RmwAdd { key: 3, delta: 5 },
+                KvRequest::Delete { key: 4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_message_kind() {
+        roundtrip(WireMsg::Hello {
+            fabric_addr: "sv0/t3".into(),
+        });
+        roundtrip(WireMsg::Batch(sample_batch()));
+        roundtrip(WireMsg::Reply(BatchReply::Executed {
+            seq: 42,
+            results: vec![
+                KvResponse::Value(None),
+                KvResponse::Value(Some(b"abc".to_vec())),
+                KvResponse::Counter(12),
+                KvResponse::Ok,
+                KvResponse::Deleted(true),
+                KvResponse::Pending,
+                KvResponse::Error("boom".into()),
+            ],
+        }));
+        roundtrip(WireMsg::Reply(BatchReply::Rejected {
+            seq: 9,
+            server_view: 3,
+        }));
+        roundtrip(WireMsg::GetOwnership);
+        roundtrip(WireMsg::Ownership(WireOwnership {
+            servers: vec![WireServerInfo {
+                id: 0,
+                address: "sv0".into(),
+                threads: 2,
+                view: 4,
+                ranges: vec![(0, 1 << 63), (u64::MAX / 2 + 1, u64::MAX)],
+            }],
+        }));
+        roundtrip(WireMsg::Migrate {
+            source: 0,
+            target: 1,
+            fraction: 0.1,
+        });
+        roundtrip(WireMsg::CtrlOk { value: 17 });
+        roundtrip(WireMsg::CtrlErr {
+            status: StatusCode::StaleView,
+            message: "view 3 < 4".into(),
+        });
+        roundtrip(WireMsg::Ping(0xDEAD));
+        roundtrip(WireMsg::Pong(0xBEEF));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_cut() {
+        let frame = encode_frame(&WireMsg::Batch(sample_batch()));
+        // Whole-frame decode: any prefix must fail Truncated, never panic.
+        for cut in 0..frame.len() {
+            match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                Err(CodecError::Truncated) => {}
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_with_lying_length_is_rejected() {
+        // A frame whose length prefix claims *less* payload than the body's
+        // structure needs: inner fields run off the end of the body slice.
+        let mut frame = encode_frame(&WireMsg::Ping(1)); // body = kind + u64 = 9 bytes
+        frame[0..4].copy_from_slice(&5u32.to_le_bytes()); // claim only 5
+        assert_eq!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_buffering() {
+        let mut decoder = FrameDecoder::new(1024);
+        // Length prefix claims 1 MiB.
+        decoder.extend(&(1u32 << 20).to_le_bytes());
+        match decoder.next_msg() {
+            Err(CodecError::Oversized { len, max }) => {
+                assert_eq!(len, 1 << 20);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode_frame(&WireMsg::Ping(1));
+        // Append junk inside the declared length.
+        frame.extend_from_slice(&[0xAB, 0xCD]);
+        let len = (frame.len() - 4) as u32;
+        frame[0..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::TrailingBytes { count: 2 })
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut frame = encode_frame(&WireMsg::Ping(1));
+        frame[4] = 0x7F; // unknown frame kind
+        assert!(matches!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::BadTag {
+                context: "frame kind",
+                tag: 0x7F
+            })
+        ));
+    }
+
+    #[test]
+    fn incremental_decoder_handles_split_and_coalesced_frames() {
+        let a = encode_frame(&WireMsg::Ping(1));
+        let b = encode_frame(&WireMsg::Batch(sample_batch()));
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+
+        let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+        let mut got = Vec::new();
+        // Deliver the byte stream 3 bytes at a time.
+        for chunk in stream.chunks(3) {
+            decoder.extend(chunk);
+            while let Some(msg) = decoder.next_msg().unwrap() {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], WireMsg::Ping(1));
+        assert_eq!(got[1], WireMsg::Batch(sample_batch()));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn ownership_routing_matches_hash_range_semantics() {
+        let own = WireOwnership {
+            servers: vec![
+                WireServerInfo {
+                    id: 0,
+                    address: "sv0".into(),
+                    threads: 1,
+                    view: 1,
+                    ranges: vec![(0, 100)],
+                },
+                WireServerInfo {
+                    id: 1,
+                    address: "sv1".into(),
+                    threads: 1,
+                    view: 1,
+                    ranges: vec![(100, u64::MAX)],
+                },
+            ],
+        };
+        assert_eq!(own.owner_of(0).unwrap().id, 0);
+        assert_eq!(own.owner_of(99).unwrap().id, 0);
+        assert_eq!(own.owner_of(100).unwrap().id, 1);
+        // Top of the hash space belongs to the range ending at u64::MAX.
+        assert_eq!(own.owner_of(u64::MAX).unwrap().id, 1);
+        assert_eq!(own.server(1).unwrap().address, "sv1");
+    }
+}

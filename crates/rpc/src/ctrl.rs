@@ -1,0 +1,157 @@
+//! The blocking control-plane client.
+//!
+//! A control connection is an ordinary TCP connection to the serving process
+//! that never sends a HELLO: it speaks request/response control frames
+//! (ownership snapshots, migration triggers, liveness probes).  This is the
+//! out-of-process stand-in for talking to the metadata store directly, which
+//! in-process clients do via `shadowfax::MetadataStore`.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use shadowfax_net::StatusCode;
+
+use crate::codec::{
+    encode_frame, CodecError, FrameDecoder, WireMsg, WireOwnership, MAX_FRAME_BYTES,
+};
+
+/// Errors from RPC client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// A socket-level failure.
+    Io(String),
+    /// The peer sent bytes that failed to decode.
+    Codec(CodecError),
+    /// The server reported a typed failure.
+    Remote {
+        /// The wire status code.
+        status: StatusCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The peer violated the request/response protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(msg) => write!(f, "i/o error: {msg}"),
+            RpcError::Codec(e) => write!(f, "codec error: {e}"),
+            RpcError::Remote { status, message } => {
+                write!(f, "server error ({status}): {message}")
+            }
+            RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e.to_string())
+    }
+}
+
+impl From<CodecError> for RpcError {
+    fn from(e: CodecError) -> Self {
+        RpcError::Codec(e)
+    }
+}
+
+/// A blocking request/response connection to a serving process's control
+/// plane.
+pub struct CtrlClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    label: String,
+}
+
+impl std::fmt::Debug for CtrlClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtrlClient")
+            .field("peer", &self.label)
+            .finish()
+    }
+}
+
+impl CtrlClient {
+    /// Connects to the serving process at `sock_addr` (e.g.
+    /// `"127.0.0.1:4870"`).
+    pub fn connect(sock_addr: &str, timeout: Duration) -> Result<Self, RpcError> {
+        let target = sock_addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| RpcError::Io(format!("unresolvable address {sock_addr:?}")))?;
+        let stream = TcpStream::connect_timeout(&target, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(CtrlClient {
+            stream,
+            decoder: FrameDecoder::new(MAX_FRAME_BYTES),
+            label: sock_addr.to_string(),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &WireMsg) -> Result<WireMsg, RpcError> {
+        self.stream.write_all(&encode_frame(request))?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(msg) = self.decoder.next_msg()? {
+                if let WireMsg::CtrlErr { status, message } = msg {
+                    return Err(RpcError::Remote { status, message });
+                }
+                return Ok(msg);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(RpcError::Io("server closed the control connection".into())),
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Fetches the current ownership snapshot.
+    pub fn ownership(&mut self) -> Result<WireOwnership, RpcError> {
+        match self.roundtrip(&WireMsg::GetOwnership)? {
+            WireMsg::Ownership(own) => Ok(own),
+            other => Err(RpcError::Protocol(format!(
+                "expected Ownership, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Triggers a migration; returns the migration id.
+    pub fn migrate_fraction(
+        &mut self,
+        source: u32,
+        target: u32,
+        fraction: f64,
+    ) -> Result<u64, RpcError> {
+        match self.roundtrip(&WireMsg::Migrate {
+            source,
+            target,
+            fraction,
+        })? {
+            WireMsg::CtrlOk { value } => Ok(value),
+            other => Err(RpcError::Protocol(format!(
+                "expected CtrlOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), RpcError> {
+        let token = 0x005A_D0FA;
+        match self.roundtrip(&WireMsg::Ping(token))? {
+            WireMsg::Pong(t) if t == token => Ok(()),
+            other => Err(RpcError::Protocol(format!(
+                "expected matching Pong, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The real TCP serving path for Shadowfax.
+//!
+//! The core crates serve a cluster over an in-process simulated fabric; this
+//! crate puts the same cluster behind real sockets:
+//!
+//! * [`codec`] — the length-prefixed binary wire format for
+//!   [`RequestBatch`](shadowfax_net::RequestBatch)es, batch replies (with
+//!   the view number used for ownership validation, paper §3.1.1/§3.2), and
+//!   control frames.
+//! * [`TcpTransport`] — a `shadowfax_net::Transport` implementation over
+//!   non-blocking TCP, so `ClientSession`s pipeline batches over loopback or
+//!   a LAN exactly as they do over the simulator.
+//! * [`RpcServer`] — the TCP front end: N I/O threads bridging socket
+//!   connections onto the cluster's dispatch threads, plus a control plane
+//!   (ownership snapshots, migration triggers) standing in for direct
+//!   metadata-store access.
+//! * [`RemoteClient`] — the out-of-process client: ownership-aware routing,
+//!   pipelined sessions, stale-view handling, all over the wire.
+//! * [`bench`] — a loopback throughput micro-benchmark used by
+//!   `shadowfax-cli bench` and the integration tests.
+//!
+//! Binaries: `shadowfax-server` hosts a cluster behind a listening socket;
+//! `shadowfax-cli` speaks the wire protocol (get/put/delete/bench/migrate).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+mod client;
+pub mod codec;
+mod ctrl;
+mod server;
+mod tcp;
+
+pub use bench::{run_bench, BenchOptions, BenchReport};
+pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats};
+pub use codec::{
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireMsg, WireOwnership, WireServerInfo,
+    MAX_FRAME_BYTES,
+};
+pub use ctrl::{CtrlClient, RpcError};
+pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle};
+pub use tcp::{TcpLink, TcpTransport};

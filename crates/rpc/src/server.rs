@@ -1,0 +1,394 @@
+//! The TCP front end of a serving process.
+//!
+//! [`RpcServer::serve`] binds a listening socket and spawns N I/O threads.
+//! Each accepted connection is bound (by its HELLO frame) to one of the
+//! cluster's dispatch threads: the I/O thread decodes request-batch frames
+//! and forwards them onto the in-process fabric, and pumps the dispatch
+//! thread's replies back out as reply frames.  Control frames (ownership
+//! snapshots, migration triggers, pings) are answered directly from the
+//! metadata store.
+//!
+//! This mirrors the paper's deployment shape — partitioned client sessions
+//! terminate on server dispatch threads; no request or reply crosses
+//! threads once bound — while keeping the dispatch loop itself transport
+//! agnostic.
+
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use shadowfax::{Cluster, ServerId};
+use shadowfax_net::{KvLink, StatusCode, Transport, TransportError};
+
+use crate::codec::{
+    encode_frame, FrameDecoder, WireMsg, WireOwnership, WireServerInfo, MAX_FRAME_BYTES,
+};
+use crate::tcp::write_all_nonblocking;
+
+/// What the TCP front end needs from the cluster behind it.
+///
+/// Implemented by [`Cluster`]; tests can substitute their own.
+pub trait ClusterControl: Send + Sync {
+    /// A consistent ownership snapshot for clients.
+    fn ownership(&self) -> WireOwnership;
+
+    /// Starts a migration; returns the migration id.
+    fn migrate(&self, source: u32, target: u32, fraction: f64) -> Result<u64, String>;
+
+    /// Opens a fabric link to the dispatch thread at `fabric_addr`.
+    fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError>;
+}
+
+impl ClusterControl for Cluster {
+    fn ownership(&self) -> WireOwnership {
+        let snapshot = self.meta().snapshot();
+        let mut servers: Vec<WireServerInfo> = snapshot
+            .servers
+            .iter()
+            .map(|(id, meta)| WireServerInfo {
+                id: id.0,
+                address: meta.address.clone(),
+                threads: meta.threads as u32,
+                view: meta.view,
+                ranges: meta
+                    .owned
+                    .ranges()
+                    .iter()
+                    .map(|r| (r.start, r.end))
+                    .collect(),
+            })
+            .collect();
+        servers.sort_by_key(|s| s.id);
+        WireOwnership { servers }
+    }
+
+    fn migrate(&self, source: u32, target: u32, fraction: f64) -> Result<u64, String> {
+        self.migrate_fraction(ServerId(source), ServerId(target), fraction)
+    }
+
+    fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
+        self.kv_network().connect_link(fabric_addr)
+    }
+}
+
+/// Knobs for the TCP front end.
+#[derive(Debug, Clone)]
+pub struct RpcServerConfig {
+    /// Socket address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub listen: String,
+    /// Number of I/O threads sharing the accepted connections.
+    pub io_threads: usize,
+    /// Per-frame size limit enforced on received frames.
+    pub max_frame: usize,
+}
+
+impl Default for RpcServerConfig {
+    fn default() -> Self {
+        RpcServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            io_threads: 2,
+            max_frame: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// The running TCP front end.
+pub struct RpcServer;
+
+/// Join handle for a running front end.
+pub struct RpcServerHandle {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RpcServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("threads", &self.joins.len())
+            .finish()
+    }
+}
+
+impl RpcServerHandle {
+    /// The socket address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the acceptor and I/O threads and waits for them to exit.
+    /// Connections are dropped; in-flight batches already forwarded to
+    /// dispatch threads complete inside the cluster but their replies are
+    /// discarded.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for RpcServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl RpcServer {
+    /// Binds `config.listen` and starts serving `control` until the returned
+    /// handle is shut down or dropped.
+    pub fn serve(
+        control: Arc<dyn ClusterControl>,
+        config: RpcServerConfig,
+    ) -> std::io::Result<RpcServerHandle> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let io_threads = config.io_threads.max(1);
+
+        let mut joins = Vec::with_capacity(io_threads + 1);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
+        for t in 0..io_threads {
+            let (tx, rx) = unbounded::<TcpStream>();
+            senders.push(tx);
+            let control = Arc::clone(&control);
+            let shutdown = Arc::clone(&shutdown);
+            let max_frame = config.max_frame;
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("shadowfax-rpc-io-{t}"))
+                    .spawn(move || io_thread(rx, control, shutdown, max_frame))
+                    .expect("failed to spawn rpc i/o thread"),
+            );
+        }
+
+        let shutdown_acceptor = Arc::clone(&shutdown);
+        joins.push(
+            std::thread::Builder::new()
+                .name("shadowfax-rpc-accept".to_string())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    while !shutdown_acceptor.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let _ = stream.set_nodelay(true);
+                                let _ = stream.set_nonblocking(true);
+                                // Round-robin connections across I/O threads.
+                                let _ = senders[next % senders.len()].send(stream);
+                                next += 1;
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_micros(500));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .expect("failed to spawn rpc acceptor thread"),
+        );
+
+        Ok(RpcServerHandle {
+            local_addr,
+            shutdown,
+            joins,
+        })
+    }
+}
+
+/// One TCP connection being served.
+struct ServedConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Bound by the HELLO frame; `None` on pure control connections.
+    link: Option<Box<dyn KvLink>>,
+    eof: bool,
+    dead: bool,
+}
+
+impl ServedConn {
+    fn send(&mut self, msg: &WireMsg) {
+        // Bounded: a client that stops reading gets its connection dropped
+        // instead of wedging this I/O thread (and starving every other
+        // connection assigned to it).
+        let budget = Duration::from_secs(5);
+        if write_all_nonblocking(&mut self.stream, &encode_frame(msg), budget).is_err() {
+            self.dead = true;
+        }
+    }
+
+    fn fail(&mut self, status: StatusCode, message: String) {
+        self.send(&WireMsg::CtrlErr { status, message });
+        self.dead = true;
+    }
+
+    /// Reads whatever the socket has without blocking.
+    fn drain_socket(&mut self) {
+        if self.eof {
+            return;
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Decodes and handles every complete frame buffered so far.
+    /// Returns `true` if any frame was handled.
+    fn process_frames(&mut self, control: &Arc<dyn ClusterControl>) -> bool {
+        let mut progressed = false;
+        while !self.dead {
+            let msg = match self.decoder.next_msg() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(e.status_code(), e.to_string());
+                    break;
+                }
+            };
+            progressed = true;
+            match msg {
+                WireMsg::Hello { fabric_addr } => match control.connect_fabric(&fabric_addr) {
+                    Ok(link) => self.link = Some(link),
+                    Err(e) => self.fail(e.status_code(), e.to_string()),
+                },
+                WireMsg::Batch(batch) => match &self.link {
+                    Some(link) => {
+                        if let Err(e) = link.send_batch(batch) {
+                            self.fail(e.status_code(), e.to_string());
+                        }
+                    }
+                    None => self.fail(
+                        StatusCode::Malformed,
+                        "BATCH frame before HELLO bound this connection".to_string(),
+                    ),
+                },
+                WireMsg::GetOwnership => {
+                    let own = control.ownership();
+                    self.send(&WireMsg::Ownership(own));
+                }
+                WireMsg::Migrate {
+                    source,
+                    target,
+                    fraction,
+                } => {
+                    // Validate wire input before it reaches cluster code
+                    // whose invariants are enforced with asserts, and treat
+                    // any panic below as a failed control operation: one bad
+                    // request must never take an I/O thread down.
+                    let result = if !(0.0..=1.0).contains(&fraction) {
+                        Err(format!("fraction {fraction} is outside [0, 1]"))
+                    } else if source == target {
+                        Err(format!("source and target are both server {source}"))
+                    } else {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            control.migrate(source, target, fraction)
+                        }))
+                        .unwrap_or_else(|_| Err("migration setup panicked".to_string()))
+                    };
+                    match result {
+                        Ok(id) => self.send(&WireMsg::CtrlOk { value: id }),
+                        Err(msg) => self.send(&WireMsg::CtrlErr {
+                            status: StatusCode::ControlFailed,
+                            message: msg,
+                        }),
+                    }
+                }
+                WireMsg::Ping(token) => self.send(&WireMsg::Pong(token)),
+                other => self.fail(
+                    StatusCode::Malformed,
+                    format!("unexpected frame from a client: {other:?}"),
+                ),
+            }
+        }
+        progressed
+    }
+
+    /// Forwards replies from the dispatch thread back onto the socket.
+    /// Returns `true` if any reply moved.
+    fn pump_replies(&mut self) -> bool {
+        let mut replies = Vec::new();
+        if let Some(link) = &self.link {
+            loop {
+                match link.try_recv_reply() {
+                    Ok(Some(reply)) => replies.push(reply),
+                    Ok(None) => break,
+                    Err(_) => {
+                        // The dispatch thread went away (server shutdown).
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let progressed = !replies.is_empty();
+        for reply in replies {
+            self.send(&WireMsg::Reply(reply));
+            if self.dead {
+                break;
+            }
+        }
+        progressed
+    }
+}
+
+fn io_thread(
+    rx: Receiver<TcpStream>,
+    control: Arc<dyn ClusterControl>,
+    shutdown: Arc<AtomicBool>,
+    max_frame: usize,
+) {
+    let mut conns: Vec<ServedConn> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut did_work = false;
+
+        while let Ok(stream) = rx.try_recv() {
+            did_work = true;
+            conns.push(ServedConn {
+                stream,
+                decoder: FrameDecoder::new(max_frame),
+                link: None,
+                eof: false,
+                dead: false,
+            });
+        }
+
+        for conn in conns.iter_mut() {
+            conn.drain_socket();
+            did_work |= conn.process_frames(&control);
+            did_work |= conn.pump_replies();
+            if conn.eof {
+                // The client hung up: every complete frame was just
+                // processed, a partial frame can never complete, and any
+                // replies still in flight on the fabric have nowhere to go.
+                conn.dead = true;
+            }
+        }
+        conns.retain(|c| !c.dead);
+
+        if !did_work {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}

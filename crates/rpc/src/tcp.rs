@@ -1,0 +1,376 @@
+//! The real-socket transport: [`TcpTransport`] opens [`TcpLink`]s that
+//! implement `shadowfax_net::KvLink`, so a
+//! [`ClientSession`](shadowfax_net::ClientSession) pipelines batches over
+//! loopback/LAN TCP exactly as it does over the simulated fabric.
+//!
+//! Link addresses are `"<socket-addr>/<fabric-addr>"`, e.g.
+//! `"127.0.0.1:4870/sv0/t1"`: the socket part names the serving process, the
+//! fabric part names the dispatch thread inside it.  The first frame on a
+//! data connection is a HELLO carrying the fabric part.
+//!
+//! Sockets run in non-blocking mode (the session API is non-blocking);
+//! writes spin briefly on `WouldBlock`, which on loopback only happens when
+//! the kernel buffer is momentarily full.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use shadowfax_net::{BatchReply, KvLink, RequestBatch, StatusCode, Transport, TransportError};
+
+use crate::codec::{encode_frame, CodecError, FrameDecoder, WireMsg, MAX_FRAME_BYTES};
+
+/// Splits `"host:port/fabric/addr"` into the socket and fabric parts.
+pub(crate) fn split_link_addr(addr: &str) -> Result<(&str, &str), TransportError> {
+    match addr.split_once('/') {
+        Some((sock, fabric)) if !sock.is_empty() && !fabric.is_empty() => Ok((sock, fabric)),
+        _ => Err(TransportError::Malformed(format!(
+            "link address {addr:?} is not of the form <socket-addr>/<fabric-addr>"
+        ))),
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+fn codec_err(e: CodecError) -> TransportError {
+    match e {
+        CodecError::Oversized { len, max } => TransportError::Oversized { len, max },
+        other => TransportError::Malformed(other.to_string()),
+    }
+}
+
+/// Writes all of `bytes` to a non-blocking stream, retrying `WouldBlock`
+/// until `budget` elapses.  A peer that stops reading (full kernel buffer
+/// for longer than the budget) fails the write instead of wedging the
+/// calling thread.
+pub(crate) fn write_all_nonblocking(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    budget: Duration,
+) -> Result<(), TransportError> {
+    let deadline = std::time::Instant::now() + budget;
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(TransportError::PeerClosed),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(TransportError::Io(format!(
+                        "write stalled for {budget:?}: peer is not reading"
+                    )));
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == ErrorKind::BrokenPipe || e.kind() == ErrorKind::ConnectionReset =>
+            {
+                return Err(TransportError::PeerClosed)
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(())
+}
+
+/// A transport that opens real TCP connections to a serving process.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    /// Per-frame size limit enforced on received frames.
+    pub max_frame: usize,
+    /// Dial timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport {
+            max_frame: MAX_FRAME_BYTES,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Opens a concrete [`TcpLink`] (the trait method boxes it).
+    pub fn connect_tcp(&self, addr: &str) -> Result<TcpLink, TransportError> {
+        let (sock, fabric) = split_link_addr(addr)?;
+        let target = sock
+            .to_socket_addrs()
+            .map_err(io_err)?
+            .next()
+            .ok_or_else(|| TransportError::Malformed(format!("unresolvable address {sock:?}")))?;
+        let mut stream =
+            TcpStream::connect_timeout(&target, self.connect_timeout).map_err(|e| {
+                if e.kind() == ErrorKind::ConnectionRefused {
+                    TransportError::ConnectionRefused {
+                        addr: addr.to_string(),
+                    }
+                } else {
+                    io_err(e)
+                }
+            })?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        // The HELLO goes out while the socket is still blocking, then the
+        // link switches to the non-blocking regime the session API expects.
+        stream
+            .write_all(&encode_frame(&WireMsg::Hello {
+                fabric_addr: fabric.to_string(),
+            }))
+            .map_err(io_err)?;
+        stream.set_nonblocking(true).map_err(io_err)?;
+        let reader = stream.try_clone().map_err(io_err)?;
+        Ok(TcpLink {
+            writer: Mutex::new(stream),
+            reader: Mutex::new(ReadState {
+                stream: reader,
+                decoder: FrameDecoder::new(self.max_frame),
+                eof: false,
+            }),
+            open: AtomicBool::new(true),
+            label: addr.to_string(),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect_link(&self, addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
+        Ok(Box::new(self.connect_tcp(addr)?))
+    }
+
+    fn transport_name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+struct ReadState {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    eof: bool,
+}
+
+/// One TCP connection from a client session to a server dispatch thread.
+pub struct TcpLink {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<ReadState>,
+    open: AtomicBool,
+    label: String,
+}
+
+impl std::fmt::Debug for TcpLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpLink")
+            .field("peer", &self.label)
+            .field("open", &self.open.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TcpLink {
+    fn fail(&self, e: TransportError) -> TransportError {
+        self.open.store(false, Ordering::Relaxed);
+        e
+    }
+}
+
+impl KvLink for TcpLink {
+    fn send_batch(&self, batch: RequestBatch) -> Result<(), TransportError> {
+        if !self.open.load(Ordering::Relaxed) {
+            return Err(TransportError::PeerClosed);
+        }
+        let frame = encode_frame(&WireMsg::Batch(batch));
+        let mut stream = self.writer.lock();
+        write_all_nonblocking(&mut stream, &frame, Duration::from_secs(30))
+            .map_err(|e| self.fail(e))
+    }
+
+    fn try_recv_reply(&self) -> Result<Option<BatchReply>, TransportError> {
+        let mut state = self.reader.lock();
+        // Drain the socket into the decoder without blocking.
+        if !state.eof {
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match state.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        state.eof = true;
+                        break;
+                    }
+                    Ok(n) => state.decoder.extend(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == ErrorKind::ConnectionReset
+                            || e.kind() == ErrorKind::BrokenPipe =>
+                    {
+                        state.eof = true;
+                        break;
+                    }
+                    Err(e) => return Err(self.fail(io_err(e))),
+                }
+            }
+        }
+        // Surface at most one decoded message per call (the session loops).
+        match state
+            .decoder
+            .next_msg()
+            .map_err(|e| self.fail(codec_err(e)))?
+        {
+            Some(WireMsg::Reply(reply)) => return Ok(Some(reply)),
+            Some(WireMsg::CtrlErr { status, message }) => {
+                let err = match status {
+                    StatusCode::Oversized => {
+                        TransportError::Malformed(format!("peer rejected a frame: {message}"))
+                    }
+                    StatusCode::UnknownAddress => TransportError::ConnectionRefused {
+                        addr: self.label.clone(),
+                    },
+                    _ => TransportError::Malformed(message),
+                };
+                return Err(self.fail(err));
+            }
+            Some(other) => {
+                return Err(self.fail(TransportError::Malformed(format!(
+                    "unexpected frame on a data connection: {other:?}"
+                ))))
+            }
+            None => {}
+        }
+        if state.eof && state.decoder.buffered() == 0 {
+            return Err(self.fail(TransportError::PeerClosed));
+        }
+        Ok(None)
+    }
+
+    fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    fn peer_label(&self) -> String {
+        format!("tcp:{}", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn link_addr_splitting() {
+        let (sock, fabric) = split_link_addr("127.0.0.1:4870/sv0/t1").unwrap();
+        assert_eq!(sock, "127.0.0.1:4870");
+        assert_eq!(fabric, "sv0/t1");
+        assert!(split_link_addr("no-slash").is_err());
+        assert!(split_link_addr("/sv0").is_err());
+        assert!(split_link_addr("1.2.3.4:1/").is_err());
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_refused() {
+        let transport = TcpTransport {
+            connect_timeout: Duration::from_millis(500),
+            ..TcpTransport::default()
+        };
+        // Bind-then-drop to find a port with nothing listening.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = transport
+            .connect_tcp(&format!("127.0.0.1:{port}/sv0/t0"))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::ConnectionRefused { .. } | TransportError::Io(_)
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn hello_then_batches_flow_and_replies_return() {
+        use shadowfax_net::KvRequest;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+            let mut chunk = [0u8; 4096];
+            let mut hello = None;
+            let mut served = 0usize;
+            while served < 2 {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "client hung up early");
+                decoder.extend(&chunk[..n]);
+                while let Some(msg) = decoder.next_msg().unwrap() {
+                    match msg {
+                        WireMsg::Hello { fabric_addr } => hello = Some(fabric_addr),
+                        WireMsg::Batch(batch) => {
+                            let reply = BatchReply::Rejected {
+                                seq: batch.seq,
+                                server_view: 99,
+                            };
+                            stream
+                                .write_all(&encode_frame(&WireMsg::Reply(reply)))
+                                .unwrap();
+                            served += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            hello.expect("no hello observed")
+        });
+
+        let transport = TcpTransport::default();
+        let link = transport.connect_tcp(&format!("{addr}/sv7/t0")).unwrap();
+        for seq in 1..=2 {
+            link.send_batch(RequestBatch {
+                view: 1,
+                seq,
+                ops: vec![KvRequest::Read { key: seq }],
+            })
+            .unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.len() < 2 && Instant::now() < deadline {
+            if let Some(reply) = link.try_recv_reply().unwrap() {
+                got.push(reply.seq());
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(server.join().unwrap(), "sv7/t0");
+    }
+
+    #[test]
+    fn server_hangup_surfaces_as_peer_closed() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let transport = TcpTransport::default();
+        let link = transport.connect_tcp(&format!("{addr}/sv0/t0")).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match link.try_recv_reply() {
+                Err(TransportError::PeerClosed) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                other => panic!("expected PeerClosed, got {other:?}"),
+            }
+        }
+        assert!(!link.is_open());
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end test with real OS processes: spawns the `shadowfax-server`
+//! binary, then drives it with the `shadowfax-cli` binary over loopback TCP
+//! — the acceptance path for the serving binaries.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProcess {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--servers",
+                "2",
+                "--threads",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn shadowfax-server");
+        let stdout = child.stdout.take().expect("server stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        let addr = first
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {first:?}"))
+            .to_string();
+        ServerProcess { child, addr }
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
+        .arg("--addr")
+        .arg(addr)
+        .args(args)
+        .output()
+        .expect("run shadowfax-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).trim().to_string(),
+        String::from_utf8_lossy(&out.stderr).trim().to_string(),
+    )
+}
+
+#[test]
+fn server_and_cli_as_separate_processes() {
+    let server = ServerProcess::spawn();
+    let addr = server.addr.clone();
+
+    // Liveness.
+    let (ok, stdout, stderr) = cli(&addr, &["ping"]);
+    assert!(ok, "ping failed: {stderr}");
+    assert!(stdout.contains("PONG"), "unexpected ping output: {stdout}");
+
+    // Upsert / read / delete through a separate process.
+    let (ok, stdout, stderr) = cli(&addr, &["put", "42", "forty-two"]);
+    assert!(ok, "put failed: {stderr}");
+    assert_eq!(stdout, "OK");
+
+    let (ok, stdout, stderr) = cli(&addr, &["get", "42"]);
+    assert!(ok, "get failed: {stderr}");
+    assert_eq!(stdout, "forty-two");
+
+    let (ok, stdout, _) = cli(&addr, &["rmw", "9000", "5"]);
+    assert!(ok);
+    assert_eq!(stdout, "5");
+
+    let (ok, stdout, stderr) = cli(&addr, &["del", "42"]);
+    assert!(ok, "del failed: {stderr}");
+    assert_eq!(stdout, "DELETED");
+
+    // A deleted key reads back as nil (distinct exit code).
+    let (ok, _, _) = cli(&addr, &["get", "42"]);
+    assert!(!ok, "get of a deleted key should exit non-zero");
+
+    // Ownership map names both logical servers.
+    let (ok, stdout, _) = cli(&addr, &["ownership"]);
+    assert!(ok);
+    assert!(stdout.contains("server 0"), "{stdout}");
+    assert!(stdout.contains("server 1"), "{stdout}");
+
+    // Migrate half the space to the idle server, then keep serving reads.
+    let (ok, stdout, stderr) = cli(&addr, &["migrate", "0", "1", "0.5"]);
+    assert!(ok, "migrate failed: {stderr}");
+    assert!(stdout.contains("migration"), "{stdout}");
+
+    // The migration runs asynchronously; data stays readable throughout.
+    let (ok, stdout, stderr) = cli(&addr, &["put", "77", "post-migration"]);
+    assert!(ok, "put after migrate failed: {stderr}");
+    assert_eq!(stdout, "OK");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (ok, stdout, stderr) = cli(&addr, &["get", "77"]);
+        if ok && stdout == "post-migration" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "get after migration never succeeded: ok={ok} out={stdout} err={stderr}"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // A short pipelined bench over the real socket.
+    let (ok, stdout, stderr) = cli(
+        &addr,
+        &[
+            "bench",
+            "--ops",
+            "5000",
+            "--keys",
+            "500",
+            "--value-size",
+            "64",
+            "--batch",
+            "32",
+        ],
+    );
+    assert!(ok, "bench failed: {stderr}");
+    assert!(stdout.contains("throughput"), "{stdout}");
+}

@@ -43,7 +43,8 @@ impl DeviceCounters {
     /// Records one write of `bytes` bytes.
     pub fn record_write(&self, bytes: usize) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot for reporting purposes.

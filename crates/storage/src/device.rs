@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DeviceError::OutOfCapacity { end: 10, capacity: 5 };
+        let e = DeviceError::OutOfCapacity {
+            end: 10,
+            capacity: 5,
+        };
         assert!(e.to_string().contains("capacity"));
         let e = DeviceError::UnknownLog(7);
         assert!(e.to_string().contains('7'));

@@ -145,7 +145,9 @@ pub struct SharedTierHandle {
 
 impl std::fmt::Debug for SharedTierHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedTierHandle").field("log", &self.log).finish()
+        f.debug_struct("SharedTierHandle")
+            .field("log", &self.log)
+            .finish()
     }
 }
 

@@ -92,8 +92,8 @@ impl Device for SimSsd {
             let chunk_idx = pos / CHUNK_SIZE;
             let chunk_off = pos % CHUNK_SIZE;
             let n = remaining.len().min(CHUNK_SIZE - chunk_off);
-            let chunk = chunks[chunk_idx]
-                .get_or_insert_with(|| vec![0u8; CHUNK_SIZE].into_boxed_slice());
+            let chunk =
+                chunks[chunk_idx].get_or_insert_with(|| vec![0u8; CHUNK_SIZE].into_boxed_slice());
             chunk[chunk_off..chunk_off + n].copy_from_slice(&remaining[..n]);
             remaining = &remaining[n..];
             pos += n;
@@ -113,7 +113,9 @@ impl Device for SimSsd {
             let chunk_off = pos % CHUNK_SIZE;
             let n = (buf.len() - filled).min(CHUNK_SIZE - chunk_off);
             match &chunks[chunk_idx] {
-                Some(chunk) => buf[filled..filled + n].copy_from_slice(&chunk[chunk_off..chunk_off + n]),
+                Some(chunk) => {
+                    buf[filled..filled + n].copy_from_slice(&chunk[chunk_off..chunk_off + n])
+                }
                 None => {
                     return Err(DeviceError::UnwrittenRange {
                         offset,

@@ -85,9 +85,12 @@ impl ZipfianGenerator {
         if n <= 1_000_000 {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=1_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // Integral approximation of the tail.
-            let tail = ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -184,7 +187,7 @@ mod tests {
     fn uniform_covers_range() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut gen = UniformGenerator::new(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..10_000 {
             let k = gen.next_key(&mut rng);
             assert!(k < 100);
@@ -203,7 +206,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / min < 1.2, "uniform distribution too skewed: {counts:?}");
+        assert!(
+            max / min < 1.2,
+            "uniform distribution too skewed: {counts:?}"
+        );
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
         let frac = top10 as f64 / n as f64;
         // With θ=0.99 over 1M items, the 10 hottest ranks draw a large share
         // (tens of percent) of accesses.
-        assert!(frac > 0.2, "zipfian not skewed enough: top-10 fraction {frac}");
+        assert!(
+            frac > 0.2,
+            "zipfian not skewed enough: top-10 fraction {frac}"
+        );
     }
 
     #[test]

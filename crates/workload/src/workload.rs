@@ -53,19 +53,38 @@ pub struct WorkloadMix {
 
 impl WorkloadMix {
     /// YCSB-A: 50% reads, 50% updates.
-    pub const YCSB_A: WorkloadMix = WorkloadMix { reads: 0.5, upserts: 0.5, rmws: 0.0 };
+    pub const YCSB_A: WorkloadMix = WorkloadMix {
+        reads: 0.5,
+        upserts: 0.5,
+        rmws: 0.0,
+    };
     /// YCSB-B: 95% reads, 5% updates.
-    pub const YCSB_B: WorkloadMix = WorkloadMix { reads: 0.95, upserts: 0.05, rmws: 0.0 };
+    pub const YCSB_B: WorkloadMix = WorkloadMix {
+        reads: 0.95,
+        upserts: 0.05,
+        rmws: 0.0,
+    };
     /// YCSB-C: read only.
-    pub const YCSB_C: WorkloadMix = WorkloadMix { reads: 1.0, upserts: 0.0, rmws: 0.0 };
+    pub const YCSB_C: WorkloadMix = WorkloadMix {
+        reads: 1.0,
+        upserts: 0.0,
+        rmws: 0.0,
+    };
     /// YCSB-F: read-modify-write only — the mix the paper evaluates with.
-    pub const YCSB_F: WorkloadMix = WorkloadMix { reads: 0.0, upserts: 0.0, rmws: 1.0 };
+    pub const YCSB_F: WorkloadMix = WorkloadMix {
+        reads: 0.0,
+        upserts: 0.0,
+        rmws: 1.0,
+    };
 
     /// Validates that the fractions are non-negative and sum to ~1.
     pub fn validate(&self) {
         assert!(self.reads >= 0.0 && self.upserts >= 0.0 && self.rmws >= 0.0);
         let sum = self.reads + self.upserts + self.rmws;
-        assert!((sum - 1.0).abs() < 1e-6, "workload mix must sum to 1 (got {sum})");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "workload mix must sum to 1 (got {sum})"
+        );
     }
 }
 
@@ -73,9 +92,7 @@ impl WorkloadMix {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Distribution {
     Uniform,
-    Zipfian {
-        theta: f64,
-    },
+    Zipfian { theta: f64 },
 }
 
 /// Configuration of a workload stream.
@@ -288,7 +305,10 @@ mod tests {
             *counts.entry(gen.next_key()).or_insert(0usize) += 1;
         }
         let max = counts.values().copied().max().unwrap();
-        assert!(max < 20, "uniform workload has a hot key repeated {max} times");
+        assert!(
+            max < 20,
+            "uniform workload has a hot key repeated {max} times"
+        );
     }
 
     #[test]
@@ -301,7 +321,11 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn invalid_mix_is_rejected() {
         let mut config = WorkloadConfig::ycsb_f(10);
-        config.mix = WorkloadMix { reads: 0.5, upserts: 0.0, rmws: 0.0 };
+        config.mix = WorkloadMix {
+            reads: 0.5,
+            upserts: 0.0,
+            rmws: 0.0,
+        };
         let _ = WorkloadGenerator::new(config);
     }
 }

@@ -43,7 +43,9 @@ fn main() {
     drop(source);
 
     // Start a migration and crash the source before it finishes.
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     println!(
         "started migrating 50% of server 0's hash range; pending migration dependencies: {}",
         cluster.meta().pending_migrations()

@@ -51,9 +51,13 @@ fn main() {
                 for _ in 0..64 {
                     let key = gen.next_key();
                     let done_ops = Arc::clone(&done_ops);
-                    client.issue_rmw(key, 1, Box::new(move |_| {
-                        done_ops.fetch_add(1, Ordering::Relaxed);
-                    }));
+                    client.issue_rmw(
+                        key,
+                        1,
+                        Box::new(move |_| {
+                            done_ops.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
                 }
                 client.flush();
                 client.poll();
@@ -67,7 +71,9 @@ fn main() {
     let before = done_ops.load(Ordering::Relaxed);
     println!("starting migration of 10% of server 0's hash range to server 1...");
     let migration_start = Instant::now();
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.10).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.10)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
     let migration_secs = migration_start.elapsed().as_secs_f64();
     std::thread::sleep(Duration::from_secs(2));

@@ -32,7 +32,11 @@ fn main() {
     }
     let stats = store.log().stats();
     println!("dataset: {records} records x 256 B");
-    println!("log tail: {} MiB, in memory: {} MiB", stats.tail.raw() >> 20, stats.in_memory_bytes() >> 20);
+    println!(
+        "log tail: {} MiB, in memory: {} MiB",
+        stats.tail.raw() >> 20,
+        stats.in_memory_bytes() >> 20
+    );
     println!(
         "SSD absorbed {} MiB across {} writes; shared tier holds {} MiB",
         ssd.counters().snapshot().bytes_written >> 20,
@@ -48,7 +52,10 @@ fn main() {
         }
     }
     let s = store.stats().snapshot();
-    println!("verified {hits} random keys; {} reads had to visit stable storage", s.stable_reads);
+    println!(
+        "verified {hits} random keys; {} reads had to visit stable storage",
+        s.stable_reads
+    );
 
     // Compact the cold prefix of the log and show everything still reads.
     let report = shadowfax_faster::compact_all_keep(&store, &session);

@@ -18,7 +18,10 @@ fn main() {
     }
     println!("wrote 1000 records");
     assert_eq!(client.read(42).as_deref(), Some(&b"value-42"[..]));
-    println!("read key 42 -> {:?}", String::from_utf8(client.read(42).unwrap()).unwrap());
+    println!(
+        "read key 42 -> {:?}",
+        String::from_utf8(client.read(42).unwrap()).unwrap()
+    );
 
     // Read-modify-write counters (the paper's YCSB-F workload pattern).
     for _ in 0..10 {
@@ -28,16 +31,25 @@ fn main() {
 
     // Elastic scale-out: move 25% of server 0's hash range to server 1.
     println!("migrating 25% of server 0's hash range to server 1...");
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.25).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.25)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(60)));
     println!("migration complete; ownership now:");
     for (id, meta) in cluster.meta().snapshot().servers {
-        println!("  {id}: view {} owning {} range(s)", meta.view, meta.owned.len());
+        println!(
+            "  {id}: view {} owning {} range(s)",
+            meta.view,
+            meta.owned.len()
+        );
     }
 
     // Every record is still readable, wherever it now lives.
     for key in (0..1000u64).step_by(97) {
-        assert_eq!(client.read(key).as_deref(), Some(format!("value-{key}").as_bytes()));
+        assert_eq!(
+            client.read(key).as_deref(),
+            Some(format!("value-{key}").as_bytes())
+        );
     }
     println!("all sampled keys still readable after the migration");
     cluster.shutdown();

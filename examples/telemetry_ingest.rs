@@ -27,9 +27,13 @@ fn main() {
         for _ in 0..256 {
             let device = gen.next_key();
             let completed = Arc::clone(&completed);
-            ingest.issue_rmw(device, 1, Box::new(move |_| {
-                completed.fetch_add(1, Ordering::Relaxed);
-            }));
+            ingest.issue_rmw(
+                device,
+                1,
+                Box::new(move |_| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
         }
         ingest.flush();
         ingest.poll();

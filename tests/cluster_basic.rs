@@ -31,7 +31,11 @@ fn reads_writes_and_counters_across_two_servers() {
     }
     // Both servers served some of the load (the hash space is split).
     for server in cluster.servers() {
-        assert!(server.completed_ops() > 0, "{:?} served nothing", server.id());
+        assert!(
+            server.completed_ops() > 0,
+            "{:?} served nothing",
+            server.id()
+        );
     }
     cluster.shutdown();
 }
@@ -102,8 +106,14 @@ fn many_hash_splits_still_route_correctly() {
     let meta = cluster.meta();
     meta.register_server(ServerId(0), "sv0", 2, RangeSet::from_ranges(even.clone()));
     meta.register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges(odd.clone()));
-    cluster.server(ServerId(0)).unwrap().set_owned_ranges(RangeSet::from_ranges(even));
-    cluster.server(ServerId(1)).unwrap().set_owned_ranges(RangeSet::from_ranges(odd));
+    cluster
+        .server(ServerId(0))
+        .unwrap()
+        .set_owned_ranges(RangeSet::from_ranges(even));
+    cluster
+        .server(ServerId(1))
+        .unwrap()
+        .set_owned_ranges(RangeSet::from_ranges(odd));
 
     let mut client = cluster.client(ClientConfig::default());
     for key in 0..300u64 {

@@ -6,9 +6,7 @@
 
 use std::time::Duration;
 
-use shadowfax::{
-    ClientConfig, Cluster, ClusterConfig, MigrationMode, ServerConfig, ServerId,
-};
+use shadowfax::{ClientConfig, Cluster, ClusterConfig, MigrationMode, ServerConfig, ServerId};
 
 fn preload(cluster: &Cluster, records: u64, value: &[u8]) {
     let mut loader = cluster.client(ClientConfig::default());
@@ -18,7 +16,10 @@ fn preload(cluster: &Cluster, records: u64, value: &[u8]) {
             loader.poll();
         }
     }
-    assert!(loader.drain(Duration::from_secs(120)), "preload did not finish");
+    assert!(
+        loader.drain(Duration::from_secs(120)),
+        "preload did not finish"
+    );
 }
 
 fn constrained_template(mode: MigrationMode) -> ServerConfig {
@@ -35,7 +36,7 @@ fn constrained_template(mode: MigrationMode) -> ServerConfig {
 #[test]
 fn scale_in_consolidates_ownership_and_preserves_data() {
     let mut cluster = Cluster::start(ClusterConfig::balanced(3));
-    preload(&cluster, 3_000, &vec![9u8; 64]);
+    preload(&cluster, 3_000, &[9u8; 64]);
 
     cluster
         .scale_in(ServerId(2), ServerId(0), Duration::from_secs(120))
@@ -56,7 +57,11 @@ fn scale_in_consolidates_ownership_and_preserves_data() {
     // Every key is still readable through the surviving servers.
     let mut client = cluster.client(ClientConfig::default());
     for key in (0..3_000u64).step_by(59) {
-        assert_eq!(client.read(key), Some(vec![9u8; 64]), "key {key} lost by scale-in");
+        assert_eq!(
+            client.read(key),
+            Some(vec![9u8; 64]),
+            "key {key} lost by scale-in"
+        );
     }
     cluster.shutdown();
 }
@@ -64,7 +69,7 @@ fn scale_in_consolidates_ownership_and_preserves_data() {
 #[test]
 fn add_server_then_shift_load_onto_it() {
     let mut cluster = Cluster::start(ClusterConfig::two_server_test());
-    preload(&cluster, 1_500, &vec![4u8; 64]);
+    preload(&cluster, 1_500, &[4u8; 64]);
 
     let mut config = ServerConfig::small_for_tests(ServerId(7));
     config.threads = 1;
@@ -87,7 +92,7 @@ fn add_server_then_shift_load_onto_it() {
 #[test]
 fn crash_recovery_restores_data_from_checkpoint() {
     let mut cluster = Cluster::start(ClusterConfig::two_server_test());
-    preload(&cluster, 2_000, &vec![7u8; 128]);
+    preload(&cluster, 2_000, &[7u8; 128]);
 
     let source = cluster.server(ServerId(0)).unwrap();
     let cp = source.checkpoint_now();
@@ -104,7 +109,11 @@ fn crash_recovery_restores_data_from_checkpoint() {
     // Data written before the checkpoint survives the crash.
     let mut client = cluster.client(ClientConfig::default());
     for key in (0..2_000u64).step_by(67) {
-        assert_eq!(client.read(key), Some(vec![7u8; 128]), "key {key} lost by the crash");
+        assert_eq!(
+            client.read(key),
+            Some(vec![7u8; 128]),
+            "key {key} lost by the crash"
+        );
     }
     // And the recovered server accepts new writes.
     assert!(client.upsert(9_999, b"post-recovery".to_vec()));
@@ -122,14 +131,16 @@ fn crash_during_migration_cancels_it_and_returns_ownership_to_the_source() {
         server_template: template,
         ..ClusterConfig::two_server_test()
     });
-    preload(&cluster, 1_000, &vec![2u8; 64]);
+    preload(&cluster, 1_000, &[2u8; 64]);
 
     let source = cluster.server(ServerId(0)).unwrap();
     source.checkpoint_now();
     let owned_before = source.owned_ranges();
     drop(source);
 
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     assert_eq!(cluster.meta().pending_migrations(), 1);
 
     let crashed = cluster.crash_server(ServerId(0)).unwrap();
@@ -151,7 +162,11 @@ fn crash_during_migration_cancels_it_and_returns_ownership_to_the_source() {
     // All data is served by the recovered source.
     let mut client = cluster.client(ClientConfig::default());
     for key in (0..1_000u64).step_by(29) {
-        assert_eq!(client.read(key), Some(vec![2u8; 64]), "key {key} lost by cancellation");
+        assert_eq!(
+            client.read(key),
+            Some(vec![2u8; 64]),
+            "key {key} lost by cancellation"
+        );
     }
     cluster.shutdown();
 }
@@ -164,7 +179,9 @@ fn compaction_hands_foreign_records_to_the_new_owner() {
     });
     preload(&cluster, 5_000, &vec![8u8; 256]);
 
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
 
     // The source's log still holds records for the migrated range (they were
@@ -184,7 +201,11 @@ fn compaction_hands_foreign_records_to_the_new_owner() {
     std::thread::sleep(Duration::from_millis(200));
     let mut client = cluster.client(ClientConfig::default());
     for key in (0..5_000u64).step_by(83) {
-        assert_eq!(client.read(key), Some(vec![8u8; 256]), "key {key} lost by compaction");
+        assert_eq!(
+            client.read(key),
+            Some(vec![8u8; 256]),
+            "key {key} lost by compaction"
+        );
     }
     cluster.shutdown();
 }
@@ -200,7 +221,9 @@ fn target_compaction_drops_indirections_for_ranges_it_no_longer_owns() {
     });
     preload(&cluster, 4_000, &vec![3u8; 256]);
 
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.4).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.4)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
     let target = cluster.server(ServerId(1)).unwrap();
     let moved_back = target.owned_ranges().ranges().to_vec();

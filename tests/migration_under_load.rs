@@ -31,14 +31,17 @@ fn preload(cluster: &Cluster, records: u64, value: &[u8]) {
             loader.poll();
         }
     }
-    assert!(loader.drain(Duration::from_secs(120)), "preload did not finish");
+    assert!(
+        loader.drain(Duration::from_secs(120)),
+        "preload did not finish"
+    );
 }
 
 #[test]
 fn counters_survive_migration_under_concurrent_load() {
     let cluster = Cluster::start(ClusterConfig::two_server_test());
     let keys = 64u64;
-    preload(&cluster, keys, &vec![0u8; 64]);
+    preload(&cluster, keys, &[0u8; 64]);
 
     // A background client hammers RMW increments while the migration runs.
     let stop = Arc::new(AtomicBool::new(false));
@@ -63,9 +66,13 @@ fn counters_survive_migration_under_concurrent_load() {
                 for _ in 0..16 {
                     k = (k + 1) % keys;
                     let increments = Arc::clone(&increments);
-                    client.issue_rmw(k, 1, Box::new(move |_| {
-                        increments.fetch_add(1, Ordering::Relaxed);
-                    }));
+                    client.issue_rmw(
+                        k,
+                        1,
+                        Box::new(move |_| {
+                            increments.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
                 }
                 client.flush();
                 client.poll();
@@ -75,7 +82,9 @@ fn counters_survive_migration_under_concurrent_load() {
     };
 
     std::thread::sleep(Duration::from_millis(300));
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
     std::thread::sleep(Duration::from_millis(300));
     stop.store(true, Ordering::SeqCst);
@@ -89,24 +98,36 @@ fn counters_survive_migration_under_concurrent_load() {
         let v = verifier.read(key).expect("key lost during migration");
         sum += u64::from_le_bytes(v[0..8].try_into().unwrap());
     }
-    assert_eq!(sum, increments.load(Ordering::Relaxed), "lost or duplicated updates");
+    assert_eq!(
+        sum,
+        increments.load(Ordering::Relaxed),
+        "lost or duplicated updates"
+    );
     cluster.shutdown();
 }
 
 #[test]
 fn migration_moves_ownership_and_reports_progress() {
     let cluster = Cluster::start(ClusterConfig::two_server_test());
-    preload(&cluster, 2_000, &vec![3u8; 128]);
-    let migrated = cluster.migrate_fraction(ServerId(0), ServerId(1), 0.25).unwrap();
+    preload(&cluster, 2_000, &[3u8; 128]);
+    let migrated = cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.25)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
     let source = cluster.server(ServerId(0)).unwrap();
     let target = cluster.server(ServerId(1)).unwrap();
-    let report = source.last_migration_report().expect("source kept no report");
+    let report = source
+        .last_migration_report()
+        .expect("source kept no report");
     assert_eq!(report.migration_id, migrated);
     assert_eq!(report.role, MigrationRole::Source);
     assert!(report.records_moved > 0, "no records were shipped");
     assert!(!target.owned_ranges().is_empty());
-    assert_eq!(cluster.meta().pending_migrations(), 0, "dependency not cleaned up");
+    assert_eq!(
+        cluster.meta().pending_migrations(),
+        0,
+        "dependency not cleaned up"
+    );
 
     // Keys in the moved range are served by the target afterwards.
     let mut client = cluster.client(ClientConfig::default());
@@ -131,21 +152,30 @@ fn indirection_records_serve_cold_keys_from_shared_tier() {
         "dataset did not spill to the SSD; the test would not exercise indirection records"
     );
 
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
     let report = source.last_migration_report().unwrap();
     assert!(
         report.indirection_records > 0,
         "a constrained-memory Shadowfax migration must ship indirection records"
     );
-    assert_eq!(report.ssd_bytes_scanned, 0, "Shadowfax must not scan the source SSD");
+    assert_eq!(
+        report.ssd_bytes_scanned, 0,
+        "Shadowfax must not scan the source SSD"
+    );
 
     // Cold keys in the migrated range resolve through the shared tier.
     let target = cluster.server(ServerId(1)).unwrap();
     let mut client = cluster.client(ClientConfig::default());
     let mut verified = 0;
     for key in (0..6_000u64).step_by(101) {
-        assert_eq!(client.read(key), Some(vec![5u8; 256]), "key {key} unreadable");
+        assert_eq!(
+            client.read(key),
+            Some(vec![5u8; 256]),
+            "key {key} unreadable"
+        );
         verified += 1;
     }
     assert!(verified > 50);
@@ -163,7 +193,9 @@ fn rocksteady_mode_scans_the_ssd_instead_of_shipping_indirections() {
         ..ClusterConfig::two_server_test()
     });
     preload(&cluster, 5_000, &vec![6u8; 256]);
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 0.5).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 0.5)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(180)));
     let report = cluster
         .server(ServerId(0))
@@ -190,7 +222,7 @@ fn sampling_ships_hot_records_with_ownership_transfer() {
         server_template: template,
         ..ClusterConfig::two_server_test()
     });
-    preload(&cluster, 1_000, &vec![1u8; 64]);
+    preload(&cluster, 1_000, &[1u8; 64]);
 
     // Touch a small hot set continuously so the sampling phase sees it.
     let stop = Arc::new(AtomicBool::new(false));
@@ -208,7 +240,9 @@ fn sampling_ships_hot_records_with_ownership_transfer() {
         })
     };
     std::thread::sleep(Duration::from_millis(200));
-    cluster.migrate_fraction(ServerId(0), ServerId(1), 1.0).unwrap();
+    cluster
+        .migrate_fraction(ServerId(0), ServerId(1), 1.0)
+        .unwrap();
     assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
     stop.store(true, Ordering::SeqCst);
     toucher.join().unwrap();

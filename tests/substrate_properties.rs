@@ -1,17 +1,21 @@
-//! Cross-crate property-based and invariant tests over the substrates: the
-//! FASTER store against a model map, HybridLog region invariants, hash-range
-//! set algebra, and checkpoint/recovery round trips.
+//! Cross-crate randomized-invariant tests over the substrates: the FASTER
+//! store against a model map, HybridLog region invariants, hash-range set
+//! algebra, and checkpoint/recovery round trips.
+//!
+//! These were originally `proptest` properties; the build environment has no
+//! registry access, so they run the same invariants over deterministic
+//! seeded-PRNG cases instead (every failure is reproducible from the case
+//! number).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use shadowfax::{HashRange, RangeSet};
 use shadowfax_epoch::EpochManager;
-use shadowfax_faster::{
-    recover_from_checkpoint, take_checkpoint, Faster, FasterConfig, KeyHash,
-};
+use shadowfax_faster::{recover_from_checkpoint, take_checkpoint, Faster, FasterConfig, KeyHash};
 use shadowfax_hlog::{HybridLog, LogConfig, RecordFlags, INVALID_ADDRESS};
 use shadowfax_storage::SimSsd;
 
@@ -23,28 +27,34 @@ enum ModelOp {
     Read(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = ModelOp> {
-    prop_oneof![
-        (0u64..64, any::<u8>(), 1u8..32).prop_map(|(k, b, l)| ModelOp::Upsert(k, b, l)),
-        (0u64..64, 1u8..16).prop_map(|(k, d)| ModelOp::RmwAdd(k, d)),
-        (0u64..64).prop_map(ModelOp::Delete),
-        (0u64..64).prop_map(ModelOp::Read),
-    ]
+fn random_op(rng: &mut StdRng) -> ModelOp {
+    match rng.gen_range(0u32..4) {
+        0 => ModelOp::Upsert(
+            rng.gen_range(0u64..64),
+            rng.gen::<u32>() as u8,
+            rng.gen_range(1u64..32) as u8,
+        ),
+        1 => ModelOp::RmwAdd(rng.gen_range(0u64..64), rng.gen_range(1u64..16) as u8),
+        2 => ModelOp::Delete(rng.gen_range(0u64..64)),
+        _ => ModelOp::Read(rng.gen_range(0u64..64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// FASTER behaves like a map for any sequence of operations: every read
-    /// agrees with a model HashMap, including after deletes and
-    /// re-insertions.
-    #[test]
-    fn faster_matches_model_map(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        let store = Faster::standalone(FasterConfig::small_for_tests(), Arc::new(SimSsd::new(1 << 28)));
+/// FASTER behaves like a map for any sequence of operations: every read
+/// agrees with a model HashMap, including after deletes and re-insertions.
+#[test]
+fn faster_matches_model_map() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xFA57E4 + case);
+        let n_ops = rng.gen_range(1u64..300) as usize;
+        let store = Faster::standalone(
+            FasterConfig::small_for_tests(),
+            Arc::new(SimSsd::new(1 << 28)),
+        );
         let session = store.start_session();
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 ModelOp::Upsert(k, b, l) => {
                     let v = vec![b; l as usize];
                     session.upsert(k, &v).unwrap();
@@ -53,8 +63,11 @@ proptest! {
                 ModelOp::RmwAdd(k, d) => {
                     session.rmw_add(k, d as u64, &[0u8; 8]).unwrap();
                     let entry = model.entry(k).or_insert_with(|| vec![0u8; 8]);
-                    if entry.len() < 8 { entry.resize(8, 0); }
-                    let c = u64::from_le_bytes(entry[0..8].try_into().unwrap()) + d as u64;
+                    if entry.len() < 8 {
+                        entry.resize(8, 0);
+                    }
+                    let c =
+                        u64::from_le_bytes(entry[0..8].try_into().unwrap()).wrapping_add(d as u64);
                     entry[0..8].copy_from_slice(&c.to_le_bytes());
                 }
                 ModelOp::Delete(k) => {
@@ -62,20 +75,28 @@ proptest! {
                     model.remove(&k);
                 }
                 ModelOp::Read(k) => {
-                    prop_assert_eq!(session.read(k).unwrap(), model.get(&k).cloned());
+                    assert_eq!(
+                        session.read(k).unwrap(),
+                        model.get(&k).cloned(),
+                        "case {case}"
+                    );
                 }
             }
         }
         for (k, v) in &model {
             let read = session.read(*k).unwrap();
-            prop_assert_eq!(read.as_ref(), Some(v));
+            assert_eq!(read.as_ref(), Some(v), "case {case}");
         }
     }
+}
 
-    /// Appending arbitrary records never violates the log's region ordering
-    /// invariants, and every appended record reads back intact.
-    #[test]
-    fn hybridlog_region_invariants(values in proptest::collection::vec((any::<u64>(), 1usize..512), 1..200)) {
+/// Appending arbitrary records never violates the log's region ordering
+/// invariants, and every appended record reads back intact.
+#[test]
+fn hybridlog_region_invariants() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x4106 + case);
+        let n_values = rng.gen_range(1u64..200) as usize;
         let epoch = Arc::new(EpochManager::new());
         let log = HybridLog::new(
             LogConfig::small_for_tests(),
@@ -85,50 +106,69 @@ proptest! {
         );
         let t = epoch.register();
         let mut appended = Vec::new();
-        for (key, len) in values {
+        for _ in 0..n_values {
+            let key: u64 = rng.gen();
+            let len = rng.gen_range(1u64..512) as usize;
             let value = vec![(key % 251) as u8; len];
-            let addr = log.append(key, &value, INVALID_ADDRESS, 1, RecordFlags::empty(), &t).unwrap();
+            let addr = log
+                .append(key, &value, INVALID_ADDRESS, 1, RecordFlags::empty(), &t)
+                .unwrap();
             appended.push((key, value, addr));
             let s = log.stats();
-            prop_assert!(s.begin <= s.safe_head);
-            prop_assert!(s.safe_head <= s.head);
-            prop_assert!(s.head <= s.read_only);
-            prop_assert!(s.read_only <= s.tail);
+            assert!(s.begin <= s.safe_head, "case {case}");
+            assert!(s.safe_head <= s.head, "case {case}");
+            assert!(s.head <= s.read_only, "case {case}");
+            assert!(s.read_only <= s.tail, "case {case}");
         }
         let g = t.protect();
         for (key, value, addr) in appended {
             let rec = log.read_record(addr, &g).unwrap();
-            prop_assert_eq!(rec.key(), key);
-            prop_assert_eq!(rec.value(), &value[..]);
+            assert_eq!(rec.key(), key, "case {case}");
+            assert_eq!(rec.value(), &value[..], "case {case}");
         }
     }
+}
 
-    /// RangeSet add/remove behaves like set algebra over the hash space.
-    #[test]
-    fn rangeset_add_remove_is_set_algebra(
-        cut_points in proptest::collection::btree_set(1u64..u64::MAX - 1, 2..10),
-        probes in proptest::collection::vec(any::<u64>(), 32),
-    ) {
+/// RangeSet add/remove behaves like set algebra over the hash space.
+#[test]
+fn rangeset_add_remove_is_set_algebra() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E7 + case);
+        let n_cuts = rng.gen_range(2u64..10) as usize;
+        let mut cut_points: BTreeSet<u64> = BTreeSet::new();
+        while cut_points.len() < n_cuts {
+            cut_points.insert(rng.gen_range(1u64..u64::MAX - 1));
+        }
+        let probes: Vec<u64> = (0..32).map(|_| rng.gen()).collect();
+
         let cuts: Vec<u64> = cut_points.into_iter().collect();
-        let ranges: Vec<HashRange> = cuts.windows(2).map(|w| HashRange::new(w[0], w[1])).collect();
+        let ranges: Vec<HashRange> = cuts
+            .windows(2)
+            .map(|w| HashRange::new(w[0], w[1]))
+            .collect();
         let mut set = RangeSet::full();
         set.remove(&ranges);
         for p in &probes {
             let in_removed = ranges.iter().any(|r| r.contains(*p));
-            prop_assert_eq!(set.contains(*p), !in_removed);
+            assert_eq!(set.contains(*p), !in_removed, "case {case}");
         }
         set.add(&ranges);
-        prop_assert_eq!(set, RangeSet::full());
+        assert_eq!(set, RangeSet::full(), "case {case}");
     }
+}
 
-    /// Every key hashes into exactly one part of any even partition of the
-    /// hash space (the routing invariant clients and servers rely on).
-    #[test]
-    fn partition_routes_every_key_exactly_once(key in any::<u64>(), parts in 1usize..16) {
+/// Every key hashes into exactly one part of any even partition of the hash
+/// space (the routing invariant clients and servers rely on).
+#[test]
+fn partition_routes_every_key_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0x9A97);
+    for _ in 0..256 {
+        let key: u64 = rng.gen();
+        let parts = rng.gen_range(1u64..16) as usize;
         let ranges = HashRange::FULL.split(parts);
         let hash = KeyHash::of(key).raw();
         let owners = ranges.iter().filter(|r| r.contains(hash)).count();
-        prop_assert_eq!(owners, 1);
+        assert_eq!(owners, 1, "key {key} parts {parts}");
     }
 }
 
