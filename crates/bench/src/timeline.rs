@@ -204,6 +204,8 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
     let cluster = Cluster::start(ClusterConfig {
         server_template,
         servers: 2,
+        base_id: 0,
+        peers: Vec::new(),
         kv_profile: shadowfax::NetworkProfile::instant(),
         migration_profile: shadowfax::NetworkProfile::instant(),
         shared_tier_capacity: 8 << 30,

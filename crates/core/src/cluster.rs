@@ -17,8 +17,26 @@ use crate::client::ShadowfaxClient;
 use crate::config::{ClientConfig, ServerConfig};
 use crate::hash_range::{partition_space, HashRange, RangeSet};
 use crate::meta::MetadataStore;
-use crate::server::{KvNetwork, MigrationNetwork, Server, ServerHandle};
+use crate::server::{KvNetwork, MigrationConnector, MigrationNetwork, Server, ServerHandle};
 use crate::ServerId;
+
+/// A server running in *another* OS process, registered with this process's
+/// metadata store so local servers can route migrations (and clients can
+/// route requests) to it.
+#[derive(Debug, Clone)]
+pub struct PeerServer {
+    /// The peer's cluster-wide id.
+    pub id: ServerId,
+    /// The peer's address.  A socket address (`"10.0.0.7:4871"`) tells the
+    /// RPC layer's migration connector to dial TCP instead of the
+    /// in-process fabric.
+    pub address: String,
+    /// Number of dispatch threads the peer runs.
+    pub threads: usize,
+    /// The hash ranges the peer owns at startup (must agree with the peer
+    /// process's own configuration).
+    pub ranges: RangeSet,
+}
 
 /// Options controlling cluster assembly.
 #[derive(Debug, Clone)]
@@ -27,14 +45,22 @@ pub struct ClusterConfig {
     pub server_template: ServerConfig,
     /// Number of servers to start.
     pub servers: usize,
+    /// Id of the first local server; server `i` gets id `base_id + i`.
+    /// Non-zero values are used by multi-process deployments where each
+    /// process hosts a different slice of the cluster.
+    pub base_id: u32,
+    /// Servers running in other OS processes, registered with this
+    /// process's metadata store at startup.
+    pub peers: Vec<PeerServer>,
     /// Network cost profile for the client/server fabric.
     pub kv_profile: NetworkProfile,
     /// Network cost profile for the server/server (migration) fabric.
     pub migration_profile: NetworkProfile,
     /// Capacity of each server's log space on the shared blob tier.
     pub shared_tier_capacity: u64,
-    /// If `false`, the last server is started with no owned ranges (an idle
-    /// scale-out target, as in the Figure 10 experiments).
+    /// If `false`, only the server with id 0 owns ranges (every other
+    /// server — in this process or a peer process — is an idle scale-out
+    /// target, as in the Figure 10 experiments).
     pub assign_ranges_to_all: bool,
 }
 
@@ -45,6 +71,8 @@ impl ClusterConfig {
         ClusterConfig {
             server_template: ServerConfig::small_for_tests(ServerId(0)),
             servers: 2,
+            base_id: 0,
+            peers: Vec::new(),
             kv_profile: NetworkProfile::instant(),
             migration_profile: NetworkProfile::instant(),
             shared_tier_capacity: 1 << 30,
@@ -57,6 +85,8 @@ impl ClusterConfig {
         ClusterConfig {
             server_template: ServerConfig::small_for_tests(ServerId(0)),
             servers: n,
+            base_id: 0,
+            peers: Vec::new(),
             kv_profile: NetworkProfile::instant(),
             migration_profile: NetworkProfile::instant(),
             shared_tier_capacity: 1 << 30,
@@ -91,8 +121,22 @@ impl Cluster {
         let mig_net: Arc<MigrationNetwork> = MigrationNetwork::new(config.migration_profile);
         let shared_tier = SharedBlobTier::new(config.shared_tier_capacity);
 
-        // Initial ownership: either split evenly over every server or give
-        // everything to server 0 and leave the rest idle (scale-out targets).
+        // Servers in other processes are registered first so ownership
+        // lookups and migration routing see them from the start.
+        for peer in &config.peers {
+            meta.register_server(
+                peer.id,
+                peer.address.clone(),
+                peer.threads,
+                peer.ranges.clone(),
+            );
+        }
+
+        // Initial ownership: either split evenly over every local server or
+        // give everything to the server with id 0 and leave the rest idle
+        // (scale-out targets).  Partition slots are indexed by global id, so
+        // a process hosting ids ≥ 1 starts them idle under the default
+        // "server 0 owns everything" layout.
         let owners = if config.assign_ranges_to_all {
             config.servers
         } else {
@@ -103,8 +147,9 @@ impl Cluster {
         let mut handles = Vec::with_capacity(config.servers);
         for i in 0..config.servers {
             let mut server_config = config.server_template.clone();
-            server_config.id = ServerId(i as u32);
-            let ranges = match parts.get(i) {
+            let global_id = config.base_id + i as u32;
+            server_config.id = ServerId(global_id);
+            let ranges = match parts.get(global_id as usize) {
                 Some(part) => RangeSet::from_ranges([*part]),
                 None => RangeSet::empty(),
             };
@@ -145,6 +190,17 @@ impl Cluster {
     /// The shared blob tier.
     pub fn shared_tier(&self) -> &Arc<SharedBlobTier> {
         &self.shared_tier
+    }
+
+    /// Installs a migration connector on every local server, replacing the
+    /// default in-process fabric.  The RPC layer uses this to route
+    /// migrations to peer servers over TCP.
+    pub fn set_migration_connector(&self, connector: Arc<dyn MigrationConnector>) {
+        for handle in &self.handles {
+            handle
+                .server()
+                .set_migration_connector(Arc::clone(&connector));
+        }
     }
 
     /// The running servers.

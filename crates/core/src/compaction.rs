@@ -59,7 +59,6 @@ impl Server {
             .collect();
         let snapshot = self.meta.snapshot();
         let my_id = self.id();
-        let mig_net = Arc::clone(&self.mig_net);
 
         let mut conns: HashMap<ServerId, Option<ServerMigConn>> = HashMap::new();
         let mut handed_off_records = 0u64;
@@ -103,16 +102,16 @@ impl Server {
             let conn = conns.entry(owner).or_insert_with(|| {
                 snapshot
                     .server(owner)
-                    .and_then(|m| mig_net.connect(&format!("{}/m0", m.address)))
+                    .and_then(|m| self.connect_migration(&m.address, owner, 0))
             });
             match conn {
                 Some(conn) => {
-                    conn.send(MigrationMsg::CompactionHandoff {
+                    let _ = conn.send_msg(MigrationMsg::CompactionHandoff {
                         key: record.key(),
                         value: record.value().to_vec(),
                     });
                     // Drain acknowledgements/noise so the channel never backs up.
-                    while conn.try_recv().is_some() {}
+                    while let Ok(Some(_)) = conn.try_recv_msg() {}
                     handed_off_records += 1;
                     Disposition::Handled
                 }

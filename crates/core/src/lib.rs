@@ -52,7 +52,7 @@ mod recovery;
 mod server;
 
 pub use client::{ClientStats, OpCallback, ShadowfaxClient};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, PeerServer};
 pub use compaction::CompactionOutcome;
 pub use config::{ClientConfig, MigrationConfig, MigrationMode, OwnershipCheck, ServerConfig};
 pub use hash_range::{partition_space, HashRange, RangeSet};
@@ -60,10 +60,11 @@ pub use indirection::{IndirectionRecord, INDIRECTION_VALUE_BYTES};
 pub use messages::{MigratedItem, MigrationAckPhase, MigrationMsg};
 pub use meta::{MetaError, MetadataStore, MigrationDep, OwnershipSnapshot, ServerMeta};
 pub use migration::{
-    IncomingMigration, MigrationReport, MigrationRole, OutgoingMigration, PendMode, SourcePhase,
+    BatchPull, IncomingMigration, MigrationBatchIter, MigrationReport, MigrationRole,
+    OutgoingMigration, PendMode, SourcePhase,
 };
 pub use recovery::{CrashedServer, RecoveryOutcome};
-pub use server::{KvNetwork, MigrationNetwork, Server, ServerHandle};
+pub use server::{KvNetwork, MigrationConnector, MigrationNetwork, Server, ServerHandle};
 
 // Re-export the request/response types clients interact with.
 pub use shadowfax_net::{KvRequest, KvResponse, NetworkProfile, SessionConfig};

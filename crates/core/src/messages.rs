@@ -2,11 +2,16 @@
 //!
 //! Client/server traffic reuses the request/reply batch types from
 //! `shadowfax-net`.  Migration traffic between the source and target flows
-//! over its own sessions on the same simulated fabric using the messages
-//! defined here, mirroring the paper's RPCs: `PrepForTransfer`,
-//! `TransferedOwnership` (carrying sampled hot records), record batches,
-//! `CompleteMigration`, plus a compaction-time hand-off message for records a
-//! server no longer owns (paper §3.3.3).
+//! over dedicated migration links (the in-process fabric, or TCP via
+//! `shadowfax-rpc`) using the messages defined here, mirroring the paper's
+//! RPCs: `PrepForTransfer`, `TakeOwnership`, `PushHotRecords` (the sampled
+//! hot set), `PushRecordBatch`, `CompleteMigration`, plus a compaction-time
+//! hand-off message for records a server no longer owns (paper §3.3.3).
+//!
+//! Every source→target message is **view-tagged** with the view number the
+//! metadata store assigned the target when ownership was remapped, so a
+//! target can adopt the new view from whichever message arrives first and
+//! reject traffic from a different migration epoch.
 
 use shadowfax_net::WireSize;
 
@@ -60,21 +65,35 @@ pub enum MigrationMsg {
         target_view: u64,
     },
     /// Source → target: the source has stopped serving the ranges; the target
-    /// owns them now and may begin serving (its Receive phase).  Carries the
-    /// hot records sampled during the source's Sampling phase.
-    TransferredOwnership {
+    /// owns them now and may begin serving (its Receive phase).  A
+    /// [`MigrationMsg::PushHotRecords`] with the sampled hot set follows
+    /// immediately on the same (ordered) link.
+    TakeOwnership {
         /// Migration id.
         migration_id: u64,
         /// The ranges being migrated.
         ranges: Vec<HashRange>,
+        /// The view the metadata store assigned the target at transfer time.
+        target_view: u64,
+    },
+    /// Source → target: the hot records sampled during the source's Sampling
+    /// phase, read after the ownership cut so they include every update the
+    /// source acknowledged.
+    PushHotRecords {
+        /// Migration id.
+        migration_id: u64,
+        /// The target's view for this migration.
+        target_view: u64,
         /// Hot records sampled at the source (key, value).
-        sampled: Vec<(u64, Vec<u8>)>,
+        records: Vec<(u64, Vec<u8>)>,
     },
     /// Source → target: a parallel batch of migrated records / indirection
     /// records collected from one source thread's hash-table region.
-    Records {
+    PushRecordBatch {
         /// Migration id.
         migration_id: u64,
+        /// The target's view for this migration.
+        target_view: u64,
         /// Items in this batch.
         items: Vec<MigratedItem>,
     },
@@ -83,6 +102,8 @@ pub enum MigrationMsg {
     CompleteMigration {
         /// Migration id.
         migration_id: u64,
+        /// The target's view for this migration.
+        target_view: u64,
         /// Total items (records + indirection records) the source sent across
         /// all of its threads' sessions; the target waits until it has
         /// received this many before finalizing.
@@ -123,13 +144,14 @@ impl WireSize for MigrationMsg {
     fn wire_size(&self) -> usize {
         match self {
             MigrationMsg::PrepForTransfer { ranges, .. } => 32 + ranges.len() * 16,
-            MigrationMsg::TransferredOwnership {
-                ranges, sampled, ..
-            } => 32 + ranges.len() * 16 + sampled.iter().map(|(_, v)| 16 + v.len()).sum::<usize>(),
-            MigrationMsg::Records { items, .. } => {
-                16 + items.iter().map(MigratedItem::wire_size).sum::<usize>()
+            MigrationMsg::TakeOwnership { ranges, .. } => 24 + ranges.len() * 16,
+            MigrationMsg::PushHotRecords { records, .. } => {
+                24 + records.iter().map(|(_, v)| 16 + v.len()).sum::<usize>()
             }
-            MigrationMsg::CompleteMigration { .. } => 16,
+            MigrationMsg::PushRecordBatch { items, .. } => {
+                24 + items.iter().map(MigratedItem::wire_size).sum::<usize>()
+            }
+            MigrationMsg::CompleteMigration { .. } => 24,
             MigrationMsg::Ack { .. } => 17,
             MigrationMsg::CompactionHandoff { value, .. } => 16 + value.len(),
         }
@@ -142,15 +164,17 @@ mod tests {
 
     #[test]
     fn record_batches_scale_with_payload() {
-        let small = MigrationMsg::Records {
+        let small = MigrationMsg::PushRecordBatch {
             migration_id: 1,
+            target_view: 2,
             items: vec![MigratedItem::Record {
                 key: 1,
                 value: vec![0; 8],
             }],
         };
-        let big = MigrationMsg::Records {
+        let big = MigrationMsg::PushRecordBatch {
             migration_id: 1,
+            target_view: 2,
             items: (0..100)
                 .map(|k| MigratedItem::Record {
                     key: k,
@@ -167,6 +191,7 @@ mod tests {
         assert!(
             MigrationMsg::CompleteMigration {
                 migration_id: 3,
+                target_view: 2,
                 total_items: 10
             }
             .wire_size()
@@ -183,11 +208,11 @@ mod tests {
     }
 
     #[test]
-    fn transferred_ownership_counts_sampled_records() {
-        let msg = MigrationMsg::TransferredOwnership {
+    fn hot_record_push_counts_sampled_records() {
+        let msg = MigrationMsg::PushHotRecords {
             migration_id: 1,
-            ranges: vec![HashRange::new(0, 100)],
-            sampled: vec![(1, vec![0u8; 256]), (2, vec![0u8; 256])],
+            target_view: 2,
+            records: vec![(1, vec![0u8; 256]), (2, vec![0u8; 256])],
         };
         assert!(msg.wire_size() > 512);
     }

@@ -87,6 +87,11 @@ impl OwnershipSnapshot {
 struct MetaInner {
     servers: HashMap<ServerId, ServerMeta>,
     migrations: Vec<MigrationDep>,
+    /// Cancelled migrations, retained so status queries can distinguish
+    /// "completed and garbage collected" from "rolled back".  Cancellations
+    /// are rare (crash recovery), so retention is unbounded — evicting one
+    /// would make its status read as a success.
+    cancelled: Vec<MigrationDep>,
     next_migration_id: u64,
 }
 
@@ -250,6 +255,7 @@ impl MetadataStore {
             src.owned.add(&ranges);
             src.view += 1;
         }
+        inner.cancelled.push(dep.clone());
         Ok(dep)
     }
 
@@ -267,6 +273,23 @@ impl MetadataStore {
     /// Number of unresolved migration dependencies.
     pub fn pending_migrations(&self) -> usize {
         self.inner.lock().migrations.len()
+    }
+
+    /// The state of migration `id`: `Ok(Some(dep))` while it is in flight
+    /// or was cancelled (`dep.cancelled` distinguishes them), `Ok(None)`
+    /// once both sides completed (the dependency has been garbage
+    /// collected), and `Err` if no such migration was ever issued.
+    pub fn migration_state(&self, id: u64) -> Result<Option<MigrationDep>, MetaError> {
+        let inner = self.inner.lock();
+        if id >= inner.next_migration_id {
+            return Err(MetaError::UnknownMigration(id));
+        }
+        Ok(inner
+            .migrations
+            .iter()
+            .chain(inner.cancelled.iter())
+            .find(|d| d.id == id)
+            .cloned())
     }
 }
 

@@ -15,8 +15,8 @@
 //!   (`PrepForTransfer`); the target starts pending requests for the ranges.
 //! * **Transfer** — the source moves into its new view (it stops serving the
 //!   ranges) and, once every thread has crossed that cut, sends
-//!   `TransferredOwnership` with the sampled hot records; the target starts
-//!   serving the ranges immediately.
+//!   `TakeOwnership` followed by `PushHotRecords` with the sampled hot
+//!   records; the target starts serving the ranges immediately.
 //! * **Migrate** — every source thread walks its own disjoint region of the
 //!   hash table, shipping in-memory records and, for chains that extend onto
 //!   the SSD, *indirection records* naming the shared-tier location
@@ -148,6 +148,9 @@ pub struct OutgoingMigration {
     pub(crate) target: ServerId,
     pub(crate) ranges: Vec<HashRange>,
     pub(crate) new_view: u64,
+    /// The view the metadata store assigned the target; every source→target
+    /// message is tagged with it.
+    pub(crate) target_view: u64,
     pub(crate) mode: MigrationMode,
     pub(crate) phase: AtomicU8,
     pub(crate) started: Instant,
@@ -192,6 +195,98 @@ impl OutgoingMigration {
 
     fn set_phase(&self, p: SourcePhase) {
         self.phase.store(p as u8, Ordering::SeqCst);
+    }
+}
+
+/// A completed outgoing migration still waiting for the target's final
+/// acknowledgement (see [`Server::drive_finishing`]).
+pub(crate) struct FinishingMigration {
+    pub(crate) migration_id: u64,
+    pub(crate) target: ServerId,
+    /// Kept alive for its control connection.
+    pub(crate) outgoing: Arc<OutgoingMigration>,
+}
+
+/// The result of pulling one step from a [`MigrationBatchIter`].
+#[derive(Debug)]
+pub enum BatchPull {
+    /// A batch of records / indirection records ready to ship.
+    Batch(Vec<MigratedItem>),
+    /// A bounded slice of the region was scanned but a full batch has not
+    /// accumulated yet; pull again.
+    Pending,
+    /// The thread's region is exhausted and every batch has been returned.
+    Exhausted,
+}
+
+/// A pull-based iterator over the record batches one dispatch thread
+/// contributes to the Migrate phase.
+///
+/// Each [`MigrationBatchIter::next_batch`] call scans at most
+/// `buckets_per_iteration` hash-table buckets of the thread's region (so
+/// migration work stays interleaved with request processing) and hands back
+/// a batch once `records_per_batch` items have accumulated or the region is
+/// done.  The dispatch loop pulls batches from this iterator and ships each
+/// one over the thread's migration link — the transport underneath (the
+/// in-process fabric or a TCP migration connection) never influences how
+/// batches are produced.
+pub struct MigrationBatchIter<'a> {
+    server: &'a Arc<Server>,
+    outgoing: &'a Arc<OutgoingMigration>,
+    state: &'a mut SourceThreadState,
+    session: &'a FasterSession,
+}
+
+impl<'a> MigrationBatchIter<'a> {
+    pub(crate) fn new(
+        server: &'a Arc<Server>,
+        outgoing: &'a Arc<OutgoingMigration>,
+        state: &'a mut SourceThreadState,
+        session: &'a FasterSession,
+    ) -> Self {
+        MigrationBatchIter {
+            server,
+            outgoing,
+            state,
+            session,
+        }
+    }
+
+    /// Pulls the next step: a full (or final partial) batch, a bounded
+    /// amount of scanning progress, or region exhaustion.
+    pub fn next_batch(&mut self) -> BatchPull {
+        let thread_id = self.state.thread_id;
+        let (start, end) = {
+            let mut cursor = self.outgoing.regions[thread_id].lock();
+            if cursor.next_bucket >= cursor.end_bucket {
+                (cursor.end_bucket, cursor.end_bucket)
+            } else {
+                let start = cursor.next_bucket;
+                let end = (start + self.server.config.migration.buckets_per_iteration)
+                    .min(cursor.end_bucket);
+                cursor.next_bucket = end;
+                (start, end)
+            }
+        };
+        if start < end {
+            self.server
+                .collect_region(self.outgoing, self.state, start..end, self.session);
+        }
+        let finished = {
+            let cursor = self.outgoing.regions[thread_id].lock();
+            cursor.next_bucket >= cursor.end_bucket
+        };
+        if self.state.batch.len() >= self.server.config.migration.records_per_batch
+            || (finished && !self.state.batch.is_empty())
+        {
+            self.state.batch_bytes = 0;
+            return BatchPull::Batch(std::mem::take(&mut self.state.batch));
+        }
+        if finished {
+            BatchPull::Exhausted
+        } else {
+            BatchPull::Pending
+        }
     }
 }
 
@@ -255,7 +350,7 @@ impl Server {
             .clone();
         // Step 1 (Sampling phase entry): atomically remap ownership, advance
         // both views, and record the recovery dependency.
-        let (migration_id, new_source_view, _new_target_view) = self
+        let (migration_id, new_source_view, new_target_view) = self
             .meta
             .transfer_ownership(self.id(), target, &ranges)
             .map_err(|e| e.to_string())?;
@@ -267,11 +362,14 @@ impl Server {
             }));
         }
         // Control connection to the target's thread-0 migration endpoint.
-        let control_addr = format!("{}/m0", target_meta.address);
         let control = self
-            .mig_net
-            .connect(&control_addr)
-            .ok_or_else(|| format!("cannot connect to target at {control_addr}"))?;
+            .connect_migration(&target_meta.address, target, 0)
+            .ok_or_else(|| {
+                format!(
+                    "cannot connect to target {target} at {}/m0",
+                    target_meta.address
+                )
+            })?;
 
         let buckets = self.store.index().num_buckets();
         let threads = self.config.threads;
@@ -290,6 +388,7 @@ impl Server {
             target,
             ranges,
             new_view: new_source_view,
+            target_view: new_target_view,
             mode: self.config.migration.mode,
             phase: AtomicU8::new(SourcePhase::Sampling as u8),
             started: Instant::now(),
@@ -330,11 +429,11 @@ impl Server {
         };
         state.reset_for(outgoing.migration_id);
         let is_driver = state.thread_id == 0;
-        // Drain (and ignore) acknowledgements on the control connection so it
-        // never backs up; the protocol is fully asynchronous.
+        // Drain acknowledgements on the control connection so it never backs
+        // up; the protocol is fully asynchronous and nothing blocks on them.
         if is_driver {
             let control = outgoing.control.lock();
-            while control.try_recv().is_some() {}
+            while let Ok(Some(_)) = control.try_recv_msg() {}
         }
         match outgoing.phase() {
             SourcePhase::Sampling => {
@@ -355,17 +454,16 @@ impl Server {
             }
             SourcePhase::Prepare => {
                 if is_driver && !outgoing.prep_sent.swap(true, Ordering::SeqCst) {
-                    let snapshot = self.meta.snapshot();
-                    let target_view = snapshot
-                        .server(outgoing.target)
-                        .map(|m| m.view)
-                        .unwrap_or(0);
-                    outgoing.control.lock().send(MigrationMsg::PrepForTransfer {
-                        migration_id: outgoing.migration_id,
-                        ranges: outgoing.ranges.clone(),
-                        source: self.id(),
-                        target_view,
-                    });
+                    let target_view = outgoing.target_view;
+                    let _ = outgoing
+                        .control
+                        .lock()
+                        .send_msg(MigrationMsg::PrepForTransfer {
+                            migration_id: outgoing.migration_id,
+                            ranges: outgoing.ranges.clone(),
+                            source: self.id(),
+                            target_view,
+                        });
                     // Transfer begins once every thread has completed Prepare.
                     let server = Arc::clone(self);
                     let out = Arc::clone(&outgoing);
@@ -432,14 +530,20 @@ impl Server {
                         let _ = self.store.end_sampling();
                         Vec::new()
                     };
-                    outgoing
-                        .control
-                        .lock()
-                        .send(MigrationMsg::TransferredOwnership {
-                            migration_id: outgoing.migration_id,
-                            ranges: outgoing.ranges.clone(),
-                            sampled,
-                        });
+                    // The control link is ordered, so the target always sees
+                    // the ownership flip before the hot set that follows it.
+                    let control = outgoing.control.lock();
+                    let _ = control.send_msg(MigrationMsg::TakeOwnership {
+                        migration_id: outgoing.migration_id,
+                        ranges: outgoing.ranges.clone(),
+                        target_view: outgoing.target_view,
+                    });
+                    let _ = control.send_msg(MigrationMsg::PushHotRecords {
+                        migration_id: outgoing.migration_id,
+                        target_view: outgoing.target_view,
+                        records: sampled,
+                    });
+                    drop(control);
                     outgoing.set_phase(SourcePhase::Migrate);
                     return true;
                 }
@@ -455,11 +559,12 @@ impl Server {
             }
             SourcePhase::Complete => {
                 if is_driver && !outgoing.complete_sent.swap(true, Ordering::SeqCst) {
-                    outgoing
+                    let _ = outgoing
                         .control
                         .lock()
-                        .send(MigrationMsg::CompleteMigration {
+                        .send_msg(MigrationMsg::CompleteMigration {
                             migration_id: outgoing.migration_id,
+                            target_view: outgoing.target_view,
                             total_items: outgoing.total_items.load(Ordering::SeqCst),
                         });
                     // Checkpoint so the post-migration state is independently
@@ -477,6 +582,18 @@ impl Server {
                         duration_ms: outgoing.started.elapsed().as_millis() as u64,
                     };
                     *self.completed_report.lock() = Some(report);
+                    // Keep the control link alive until the target's final
+                    // acknowledgement arrives: when the target runs in
+                    // another OS process it cannot reach this process's
+                    // metadata store, so the source marks the target side
+                    // complete on its behalf (idempotent in-process, where
+                    // the target already marked itself directly).
+                    *self.finishing.lock() = Some(FinishingMigration {
+                        migration_id: outgoing.migration_id,
+                        target: outgoing.target,
+                        outgoing: Arc::clone(&outgoing),
+                    });
+                    self.finishing_active.store(true, Ordering::SeqCst);
                     *self.outgoing.write() = None;
                     return true;
                 }
@@ -485,9 +602,94 @@ impl Server {
         }
     }
 
-    /// One iteration of this thread's share of the Migrate phase: walk up to
-    /// `buckets_per_iteration` buckets of the thread's region and ship the
-    /// matching records.
+    /// Collects the target's final `Ack { Completed }` for a migration whose
+    /// source side already finished, then marks the target side complete at
+    /// this process's metadata store.  Returns `true` if progress was made.
+    pub(crate) fn drive_finishing(&self) -> bool {
+        // Fast path: no migration is waiting on its final ack.
+        if !self.finishing_active.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut slot = self.finishing.lock();
+        let Some(fin) = slot.as_ref() else {
+            return false;
+        };
+        let mut acked = false;
+        {
+            let control = fin.outgoing.control.lock();
+            while let Ok(Some(msg)) = control.try_recv_msg() {
+                if matches!(
+                    msg,
+                    MigrationMsg::Ack {
+                        migration_id,
+                        phase: MigrationAckPhase::Completed,
+                    } if migration_id == fin.migration_id
+                ) {
+                    acked = true;
+                }
+            }
+            if !acked && !control.is_open() {
+                // The target is gone; leave the dependency pending so the
+                // stall is observable, but stop polling a dead link.
+                drop(control);
+                *slot = None;
+                self.finishing_active.store(false, Ordering::SeqCst);
+                return false;
+            }
+        }
+        if acked {
+            let _ = self.meta.mark_complete(fin.migration_id, fin.target);
+            *slot = None;
+            self.finishing_active.store(false, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// The per-thread half of [`Server::drive_finishing`]: the target's
+    /// final ack travels on whichever link delivered the finalizing message,
+    /// which can be this thread's records link rather than the control link.
+    pub(crate) fn drive_finishing_thread(&self, state: &SourceThreadState) -> bool {
+        // Fast paths: nothing to wait for, or this thread has no link that
+        // could carry the ack.  The atomic keeps the idle serving loop off
+        // the shared mutex.
+        if !self.finishing_active.load(Ordering::Relaxed) || state.records_conn.is_none() {
+            return false;
+        }
+        let (id, target) = match self.finishing.lock().as_ref() {
+            Some(fin) => (fin.migration_id, fin.target),
+            None => return false,
+        };
+        if state.migration_id != Some(id) {
+            return false;
+        }
+        let Some(conn) = &state.records_conn else {
+            return false;
+        };
+        let mut acked = false;
+        while let Ok(Some(msg)) = conn.try_recv_msg() {
+            if matches!(
+                msg,
+                MigrationMsg::Ack {
+                    migration_id,
+                    phase: MigrationAckPhase::Completed,
+                } if migration_id == id
+            ) {
+                acked = true;
+            }
+        }
+        if acked {
+            let _ = self.meta.mark_complete(id, target);
+            *self.finishing.lock() = None;
+            self.finishing_active.store(false, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// One iteration of this thread's share of the Migrate phase: pull the
+    /// next record batch from the thread's [`MigrationBatchIter`] and ship
+    /// it over the thread's migration link.
     fn drive_migrate_phase(
         self: &Arc<Self>,
         outgoing: &Arc<OutgoingMigration>,
@@ -509,47 +711,31 @@ impl Server {
             return false;
         }
 
-        // Ensure this thread has its own session to the target.
+        // Ensure this thread has its own migration connection to the target.
         if state.records_conn.is_none() {
             let snapshot = self.meta.snapshot();
             let Some(target_meta) = snapshot.server(outgoing.target).cloned() else {
                 return false;
             };
-            let addr = format!(
-                "{}/m{}",
-                target_meta.address,
-                thread_id % target_meta.threads.max(1)
+            state.records_conn = self.connect_migration(
+                &target_meta.address,
+                outgoing.target,
+                thread_id % target_meta.threads.max(1),
             );
-            state.records_conn = self.mig_net.connect(&addr);
         }
 
-        let (start, end) = {
-            let mut cursor = outgoing.regions[thread_id].lock();
-            if cursor.next_bucket >= cursor.end_bucket {
-                (cursor.end_bucket, cursor.end_bucket)
-            } else {
-                let start = cursor.next_bucket;
-                let end =
-                    (start + self.config.migration.buckets_per_iteration).min(cursor.end_bucket);
-                cursor.next_bucket = end;
-                (start, end)
+        match MigrationBatchIter::new(self, outgoing, state, session).next_batch() {
+            BatchPull::Batch(items) => {
+                self.ship_migration_items(outgoing, state, items);
+                true
             }
-        };
-
-        if start < end {
-            self.collect_region(outgoing, state, start..end, session);
+            BatchPull::Pending => true,
+            BatchPull::Exhausted => {
+                state.region_done_reported = true;
+                outgoing.regions_done.fetch_add(1, Ordering::SeqCst);
+                true
+            }
         }
-
-        let finished = {
-            let cursor = outgoing.regions[thread_id].lock();
-            cursor.next_bucket >= cursor.end_bucket
-        };
-        if finished && !state.region_done_reported {
-            self.flush_migration_batch(outgoing, state);
-            state.region_done_reported = true;
-            outgoing.regions_done.fetch_add(1, Ordering::SeqCst);
-        }
-        start < end
     }
 
     /// Collects records for the migrating ranges from main-table buckets
@@ -622,7 +808,6 @@ impl Server {
             }
         }
         drop(guard);
-        self.maybe_flush_migration_batch(outgoing, state);
     }
 
     fn push_migration_item(
@@ -640,37 +825,60 @@ impl Server {
         state.batch.push(item);
     }
 
-    fn maybe_flush_migration_batch(
+    /// Ships one pulled batch on this thread's migration link, falling back
+    /// to the control link if the thread's link is missing or fails.  If the
+    /// target is unreachable on both, the batch is put back for retry:
+    /// every item in it is already counted in `total_items`, so dropping it
+    /// would leave the target waiting forever.  In the rare case a transport
+    /// consumes a message it could not deliver, the count is rolled back
+    /// instead, keeping the target's expected total honest.
+    fn ship_migration_items(
         &self,
         outgoing: &Arc<OutgoingMigration>,
         state: &mut SourceThreadState,
+        items: Vec<MigratedItem>,
     ) {
-        if state.batch.len() >= self.config.migration.records_per_batch {
-            self.flush_migration_batch(outgoing, state);
-        }
-    }
-
-    fn flush_migration_batch(
-        &self,
-        outgoing: &Arc<OutgoingMigration>,
-        state: &mut SourceThreadState,
-    ) {
-        if state.batch.is_empty() {
+        if items.is_empty() {
             return;
         }
-        let items = std::mem::take(&mut state.batch);
-        state.batch_bytes = 0;
-        let msg = MigrationMsg::Records {
+        let count = items.len() as u64;
+        let mut msg = MigrationMsg::PushRecordBatch {
             migration_id: outgoing.migration_id,
+            target_view: outgoing.target_view,
             items,
         };
         if let Some(conn) = &state.records_conn {
-            conn.send(msg);
-            // Drain acknowledgements/noise so the channel never backs up.
-            while conn.try_recv().is_some() {}
-        } else {
-            // No connection to the target: fall back to the control channel.
-            outgoing.control.lock().send(msg);
+            match conn.send_msg(msg) {
+                Ok(()) => {
+                    // Drain acknowledgements/noise so the channel never
+                    // backs up.
+                    while let Ok(Some(_)) = conn.try_recv_msg() {}
+                    return;
+                }
+                Err(err) => {
+                    // The link failed; drop it so the next iteration redials.
+                    state.records_conn = None;
+                    match err.msg {
+                        Some(recovered) => msg = recovered,
+                        None => {
+                            outgoing.total_items.fetch_sub(count, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        match outgoing.control.lock().send_msg(msg) {
+            Ok(()) => {}
+            Err(err) => match err.msg {
+                Some(MigrationMsg::PushRecordBatch { mut items, .. }) => {
+                    items.append(&mut state.batch);
+                    state.batch = items;
+                }
+                _ => {
+                    outgoing.total_items.fetch_sub(count, Ordering::SeqCst);
+                }
+            },
         }
     }
 
@@ -689,7 +897,15 @@ impl Server {
         let head = log.head_address();
         let start = *outgoing.disk_cursor.lock();
         if start >= head {
-            outgoing.set_phase(SourcePhase::Complete);
+            // Retry any batch a failed send put back before declaring the
+            // scan complete — the items are counted in `total_items`, so
+            // completing with them unshipped would wedge the target.
+            let items = std::mem::take(&mut state.batch);
+            state.batch_bytes = 0;
+            self.ship_migration_items(outgoing, state, items);
+            if state.batch.is_empty() {
+                outgoing.set_phase(SourcePhase::Complete);
+            }
             return true;
         }
         let budget = self.config.migration.disk_scan_bytes_per_iteration as u64;
@@ -730,8 +946,10 @@ impl Server {
             .ssd_bytes_scanned
             .fetch_add(new_cursor.raw() - start.raw(), Ordering::Relaxed);
         *outgoing.disk_cursor.lock() = new_cursor;
-        self.flush_migration_batch(outgoing, state);
-        if new_cursor >= head {
+        let items = std::mem::take(&mut state.batch);
+        state.batch_bytes = 0;
+        self.ship_migration_items(outgoing, state, items);
+        if new_cursor >= head && state.batch.is_empty() {
             outgoing.set_phase(SourcePhase::Complete);
         }
         true
@@ -755,13 +973,32 @@ impl Server {
                 source,
                 target_view,
             } => {
+                // A prepare tagged with a view older than the one we already
+                // serve is from a dead migration epoch: ignore it.
+                if target_view < self.serving_view() {
+                    return;
+                }
+                // Record batches can beat this message over TCP (they travel
+                // on different connections); fold any strays back in.  The
+                // stray map is drained while the `incoming` lock is held —
+                // the batch handler updates it under the same lock — so a
+                // concurrent batch either landed in the map before this
+                // drain or sees the installed migration and counts directly.
+                // Stray counts for *other* migrations are from dead epochs
+                // (a target receives one migration at a time) and dropped.
                 let mut incoming = self.incoming.lock();
+                let early_items = {
+                    let mut stray = self.stray_migration_items.lock();
+                    let early = stray.remove(&migration_id).unwrap_or(0);
+                    stray.clear();
+                    early
+                };
                 *incoming = Some(IncomingMigration {
                     migration_id,
                     ranges: RangeSet::from_ranges(ranges.iter().copied()),
                     mode: PendMode::PendAll,
                     source,
-                    items_received: 0,
+                    items_received: early_items,
                     expected_items: None,
                     started: Instant::now(),
                 });
@@ -771,34 +1008,61 @@ impl Server {
                 // time and take responsibility for the ranges.
                 self.serving_view.fetch_max(target_view, Ordering::SeqCst);
                 self.owned.write().add(&ranges);
-                conn.send(MigrationMsg::Ack {
+                let _ = conn.send_msg(MigrationMsg::Ack {
                     migration_id,
                     phase: MigrationAckPhase::Prepared,
                 });
             }
-            MigrationMsg::TransferredOwnership {
+            MigrationMsg::TakeOwnership {
                 migration_id,
                 ranges: _,
-                sampled,
+                target_view,
             } => {
-                // Insert the sampled hot set so those keys serve immediately.
-                for (key, value) in &sampled {
-                    self.insert_migrated_record(*key, value, session);
-                }
+                // The source has stopped serving the ranges; from here on
+                // only records that have not arrived yet pend.
+                self.serving_view.fetch_max(target_view, Ordering::SeqCst);
                 if let Some(incoming) = self.incoming.lock().as_mut() {
                     if incoming.migration_id == migration_id {
                         incoming.mode = PendMode::PendMissing;
                     }
                 }
-                conn.send(MigrationMsg::Ack {
+                let _ = conn.send_msg(MigrationMsg::Ack {
                     migration_id,
                     phase: MigrationAckPhase::OwnershipReceived,
                 });
             }
-            MigrationMsg::Records {
+            MigrationMsg::PushHotRecords {
                 migration_id,
+                target_view: _,
+                records,
+            } => {
+                // Only apply the hot set for the migration currently being
+                // received — a delayed push from an earlier (cancelled)
+                // migration must not resurrect stale values.  Dropping it is
+                // always safe: the Migrate phase ships every live in-range
+                // record again.
+                let applies = self
+                    .incoming
+                    .lock()
+                    .as_ref()
+                    .map(|m| m.migration_id == migration_id)
+                    .unwrap_or(false);
+                if applies {
+                    for (key, value) in &records {
+                        self.insert_migrated_record(*key, value, session);
+                    }
+                }
+            }
+            MigrationMsg::PushRecordBatch {
+                migration_id,
+                target_view,
                 items,
             } => {
+                // A batch tagged with a view older than the one we already
+                // serve is from a dead migration epoch: drop it.
+                if target_view < self.serving_view() {
+                    return;
+                }
                 let count = items.len() as u64;
                 for item in items {
                     match item {
@@ -819,15 +1083,32 @@ impl Server {
                         }
                     }
                 }
-                if let Some(incoming) = self.incoming.lock().as_mut() {
-                    if incoming.migration_id == migration_id {
-                        incoming.items_received += count;
+                {
+                    // The stray map is updated while the `incoming` lock is
+                    // held (same order as the PrepForTransfer handler), so
+                    // this count can never slip between that handler's
+                    // stray-drain and its install of the migration.
+                    let mut incoming = self.incoming.lock();
+                    match incoming.as_mut() {
+                        Some(m) if m.migration_id == migration_id => {
+                            m.items_received += count;
+                        }
+                        _ => {
+                            // `PrepForTransfer` has not arrived yet; remember
+                            // the count so the items stay in the tally.
+                            *self
+                                .stray_migration_items
+                                .lock()
+                                .entry(migration_id)
+                                .or_insert(0) += count;
+                        }
                     }
                 }
-                self.maybe_finalize_incoming(session);
+                self.maybe_finalize_incoming(conn, session);
             }
             MigrationMsg::CompleteMigration {
                 migration_id,
+                target_view: _,
                 total_items,
             } => {
                 if let Some(incoming) = self.incoming.lock().as_mut() {
@@ -835,11 +1116,11 @@ impl Server {
                         incoming.expected_items = Some(total_items);
                     }
                 }
-                conn.send(MigrationMsg::Ack {
-                    migration_id,
-                    phase: MigrationAckPhase::Completed,
-                });
-                self.maybe_finalize_incoming(session);
+                // The Completed ack is sent by `maybe_finalize_incoming`
+                // once every announced item has actually arrived — acking
+                // here would let the source garbage-collect the recovery
+                // dependency while record batches are still in flight.
+                self.maybe_finalize_incoming(conn, session);
             }
             MigrationMsg::Ack { .. } => {
                 // Control-plane acknowledgement; nothing to do.
@@ -877,8 +1158,11 @@ impl Server {
 
     /// Finalizes the incoming migration once the source has declared
     /// completion and every announced item has been received: checkpoint,
-    /// mark complete at the metadata store, stop pending.
-    fn maybe_finalize_incoming(self: &Arc<Self>, session: &FasterSession) {
+    /// mark complete at the metadata store, stop pending, and send the
+    /// final `Ack { Completed }` on the connection that delivered the
+    /// finalizing message (the source watches all of its migration links
+    /// for it).
+    fn maybe_finalize_incoming(self: &Arc<Self>, conn: &ServerMigConn, session: &FasterSession) {
         let ready = {
             let incoming = self.incoming.lock();
             match incoming.as_ref() {
@@ -898,6 +1182,7 @@ impl Server {
             let cp = take_checkpoint(&self.store, session);
             *self.latest_checkpoint.lock() = Some(cp);
             let _ = self.meta.mark_complete(m.migration_id, self.id());
+            self.stray_migration_items.lock().remove(&m.migration_id);
             *self.completed_report.lock() = Some(MigrationReport {
                 migration_id: m.migration_id,
                 role: MigrationRole::Target,
@@ -906,6 +1191,10 @@ impl Server {
                 indirection_records: 0,
                 ssd_bytes_scanned: 0,
                 duration_ms: m.started.elapsed().as_millis() as u64,
+            });
+            let _ = conn.send_msg(MigrationMsg::Ack {
+                migration_id: m.migration_id,
+                phase: MigrationAckPhase::Completed,
             });
         }
     }

@@ -167,8 +167,12 @@ impl Server {
             shared_tier,
             serving_view: AtomicU64::new(view),
             owned: RwLock::new(owned),
+            mig_connector: RwLock::new(None),
             incoming: Mutex::new(None),
+            stray_migration_items: Mutex::new(std::collections::HashMap::new()),
             outgoing: RwLock::new(None),
+            finishing: Mutex::new(None),
+            finishing_active: AtomicBool::new(false),
             incoming_active: AtomicBool::new(false),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(checkpoint.cloned()),

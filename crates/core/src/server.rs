@@ -10,6 +10,7 @@
 //! pending operations, and contributes its share of any in-flight migration
 //! (paper §3.3: migration work is interleaved with request processing).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,7 +18,9 @@ use std::thread::JoinHandle;
 use parking_lot::{Mutex, RwLock};
 
 use shadowfax_faster::{Checkpoint, Faster, FasterSession, KeyHash, ReadOutcome, RecordFlags};
-use shadowfax_net::{BatchReply, Connection, KvRequest, KvResponse, RequestBatch, SimNetwork};
+use shadowfax_net::{
+    BatchReply, Connection, KvRequest, KvResponse, MigrationLink, RequestBatch, SimNetwork,
+};
 use shadowfax_storage::{LogId, SharedBlobTier};
 
 use crate::config::{OwnershipCheck, ServerConfig};
@@ -25,7 +28,9 @@ use crate::hash_range::RangeSet;
 use crate::indirection::IndirectionRecord;
 use crate::messages::MigrationMsg;
 use crate::meta::MetadataStore;
-use crate::migration::{IncomingMigration, OutgoingMigration, PendMode, SourceThreadState};
+use crate::migration::{
+    FinishingMigration, IncomingMigration, OutgoingMigration, PendMode, SourceThreadState,
+};
 use crate::ServerId;
 
 /// The client-facing fabric type.
@@ -35,8 +40,39 @@ pub type MigrationNetwork = SimNetwork<MigrationMsg, MigrationMsg>;
 
 /// A server-side client connection (sends replies, receives request batches).
 pub(crate) type ServerKvConn = Connection<BatchReply, RequestBatch>;
-/// A server-side migration connection.
-pub(crate) type ServerMigConn = Connection<MigrationMsg, MigrationMsg>;
+/// A server-side migration connection: either an in-process fabric
+/// connection or (via `shadowfax-rpc`) a real TCP migration link.
+pub(crate) type ServerMigConn = Box<dyn MigrationLink<MigrationMsg>>;
+
+/// Opens outgoing migration links to peer servers.
+///
+/// The in-process fabric implements this directly.  The `shadowfax-rpc`
+/// crate installs a connector that inspects the peer's registered address:
+/// local fabric addresses (`"sv1"`) connect in-process while socket
+/// addresses (`"10.0.0.7:4870"`) open dedicated TCP migration connections,
+/// which is how the migration data plane crosses OS processes.
+pub trait MigrationConnector: Send + Sync {
+    /// Opens a migration link to dispatch thread `thread` of server `server`,
+    /// whose address registered at the metadata store is `address`.
+    fn connect_migration(
+        &self,
+        address: &str,
+        server: ServerId,
+        thread: usize,
+    ) -> Option<ServerMigConn>;
+}
+
+impl MigrationConnector for MigrationNetwork {
+    fn connect_migration(
+        &self,
+        address: &str,
+        _server: ServerId,
+        thread: usize,
+    ) -> Option<ServerMigConn> {
+        self.connect(&format!("{address}/m{thread}"))
+            .map(|c| Box::new(c) as ServerMigConn)
+    }
+}
 
 /// A request batch whose reply is being withheld until every operation in it
 /// can be completed (paper §3.3: the target "marks these requests pending,
@@ -61,10 +97,26 @@ pub struct Server {
     pub(crate) serving_view: AtomicU64,
     /// The hash ranges this server currently considers itself responsible for.
     pub(crate) owned: RwLock<RangeSet>,
+    /// Overrides how outgoing migration links are opened (installed by the
+    /// RPC layer so migrations can cross OS processes); `None` uses
+    /// [`Server::mig_net`].
+    pub(crate) mig_connector: RwLock<Option<Arc<dyn MigrationConnector>>>,
     /// Target-side state for an in-flight incoming migration.
     pub(crate) incoming: Mutex<Option<IncomingMigration>>,
+    /// Record-batch items that arrived before the migration's
+    /// `PrepForTransfer` (possible over TCP, where batches travel on
+    /// different connections than control messages); folded into
+    /// [`IncomingMigration::items_received`] when it is created.
+    pub(crate) stray_migration_items: Mutex<HashMap<u64, u64>>,
     /// Source-side state for an in-flight outgoing migration.
     pub(crate) outgoing: RwLock<Option<Arc<OutgoingMigration>>>,
+    /// A completed outgoing migration still waiting for the target's final
+    /// acknowledgement (which marks the target side complete at this
+    /// process's metadata store when the target runs elsewhere).
+    pub(crate) finishing: Mutex<Option<FinishingMigration>>,
+    /// Fast-path flag mirroring `finishing.is_some()`, so the per-iteration
+    /// checks in every dispatch thread avoid the mutex when idle.
+    pub(crate) finishing_active: AtomicBool,
     /// Fast-path flag: `true` while `incoming` holds an active migration, so
     /// the per-operation check avoids the mutex in the common case.
     pub(crate) incoming_active: AtomicBool,
@@ -137,8 +189,12 @@ impl Server {
             shared_tier,
             serving_view: AtomicU64::new(view),
             owned: RwLock::new(initial_ranges),
+            mig_connector: RwLock::new(None),
             incoming: Mutex::new(None),
+            stray_migration_items: Mutex::new(HashMap::new()),
             outgoing: RwLock::new(None),
+            finishing: Mutex::new(None),
+            finishing_active: AtomicBool::new(false),
             incoming_active: AtomicBool::new(false),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(None),
@@ -211,6 +267,29 @@ impl Server {
     /// `true` while an outgoing (source-side) migration is in flight.
     pub fn migration_in_progress(&self) -> bool {
         self.outgoing.read().is_some() || self.incoming.lock().is_some()
+    }
+
+    /// Installs the connector used to open outgoing migration links,
+    /// replacing the default (the in-process migration fabric).  The RPC
+    /// layer installs a TCP-capable connector here so migrations can reach
+    /// servers in other OS processes.
+    pub fn set_migration_connector(&self, connector: Arc<dyn MigrationConnector>) {
+        *self.mig_connector.write() = Some(connector);
+    }
+
+    /// Opens a migration link to dispatch thread `thread` of the server
+    /// registered at `address`.
+    pub(crate) fn connect_migration(
+        &self,
+        address: &str,
+        server: ServerId,
+        thread: usize,
+    ) -> Option<ServerMigConn> {
+        let connector = self.mig_connector.read().clone();
+        match connector {
+            Some(c) => c.connect_migration(address, server, thread),
+            None => self.mig_net.connect_migration(address, server, thread),
+        }
     }
 
     /// The network address of dispatch thread `t`.
@@ -286,7 +365,7 @@ impl Server {
             let new_mig = mig_listener.accept_all();
             did_work |= !new_kv.is_empty() || !new_mig.is_empty();
             kv_conns.extend(new_kv);
-            mig_conns.extend(new_mig);
+            mig_conns.extend(new_mig.into_iter().map(|c| Box::new(c) as ServerMigConn));
 
             // Client request batches.
             for conn_idx in 0..kv_conns.len() {
@@ -298,7 +377,7 @@ impl Server {
 
             // Migration messages from peer servers.
             for conn in &mig_conns {
-                while let Some(msg) = conn.try_recv() {
+                while let Ok(Some(msg)) = conn.try_recv_msg() {
                     did_work = true;
                     self.handle_migration_msg(msg, conn, &session);
                 }
@@ -309,6 +388,15 @@ impl Server {
 
             // Contribute this thread's share of any outgoing migration.
             did_work |= self.drive_outgoing(&mut source_state, &session);
+
+            // Collect the target's final acknowledgement of a migration that
+            // already completed on this (source) side: it arrives on the
+            // control link (thread 0 watches it) or on whichever per-thread
+            // records link delivered the last batch.
+            if thread_id == 0 {
+                did_work |= self.drive_finishing();
+            }
+            did_work |= self.drive_finishing_thread(&source_state);
 
             // Let global cuts (view changes, checkpoints, log maintenance)
             // make progress, then yield if idle.

@@ -51,4 +51,4 @@ pub use message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
 pub use profile::NetworkProfile;
 pub use session::{Callback, ClientSession, SessionConfig, SessionStats};
 pub use sim::{Connection, ConnectionStats, Listener, SimNetwork};
-pub use transport::{KvLink, Transport};
+pub use transport::{KvLink, MigrationLink, MigrationSendError, Transport};

@@ -99,6 +99,26 @@ impl<S: WireSize + Send + 'static, R: WireSize + Send + 'static> Connection<S, R
             .is_ok()
     }
 
+    /// Like [`Connection::send`], but hands the message back if the peer end
+    /// has been dropped, so the caller can retry or re-route it.
+    pub fn try_send(&self, msg: S) -> Result<(), S> {
+        let bytes = msg.wire_size();
+        let cost = self.profile.spend(self.profile.send_cost(bytes));
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats
+            .cpu_ns_spent
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.tx
+            .send(Timed {
+                deliver_at: Instant::now() + self.profile.propagation,
+                msg,
+            })
+            .map_err(|e| e.0.msg)
+    }
+
     /// Attempts to receive one message whose propagation delay has elapsed,
     /// charging this side the profile's receive cost.
     pub fn try_recv(&self) -> Option<R> {

@@ -52,6 +52,66 @@ pub trait Transport: Send + Sync {
     fn transport_name(&self) -> &'static str;
 }
 
+/// A failed migration send, carrying the undelivered message back when the
+/// transport could recover it, so record batches can be retried or re-routed
+/// instead of silently lost.
+#[derive(Debug)]
+pub struct MigrationSendError<M> {
+    /// What went wrong.
+    pub error: TransportError,
+    /// The undelivered message (`None` if the transport consumed it).
+    pub msg: Option<M>,
+}
+
+/// One end of a server-to-server migration connection carrying symmetric
+/// messages of type `M` (the core crate instantiates `M` with its migration
+/// message enum).
+///
+/// This is the migration data plane's analogue of [`KvLink`]: all methods are
+/// non-blocking, implementations are internally synchronized, and both the
+/// in-process fabric ([`Connection<M, M>`]) and real sockets
+/// (`shadowfax_rpc::TcpMigrationLink`) satisfy it, so the migration state
+/// machines in the core crate never know which transport is underneath.
+pub trait MigrationLink<M>: Send {
+    /// Sends one migration message toward the peer.  On failure the message
+    /// is handed back in the error whenever possible.
+    fn send_msg(&self, msg: M) -> Result<(), MigrationSendError<M>>;
+
+    /// Receives one migration message, if one is available, without blocking.
+    fn try_recv_msg(&self) -> Result<Option<M>, TransportError>;
+
+    /// `true` while the link can still carry traffic.
+    fn is_open(&self) -> bool;
+
+    /// A human-readable description of the remote endpoint.
+    fn peer_label(&self) -> String {
+        "<unknown peer>".to_string()
+    }
+}
+
+impl<M: crate::message::WireSize + Send + 'static> MigrationLink<M> for Connection<M, M> {
+    fn send_msg(&self, msg: M) -> Result<(), MigrationSendError<M>> {
+        self.try_send(msg).map_err(|msg| MigrationSendError {
+            error: TransportError::PeerClosed,
+            msg: Some(msg),
+        })
+    }
+
+    fn try_recv_msg(&self) -> Result<Option<M>, TransportError> {
+        // The sim fabric cannot fail mid-stream; a dropped peer simply stops
+        // producing messages, which `is_open` exposes.
+        Ok(self.try_recv())
+    }
+
+    fn is_open(&self) -> bool {
+        !self.peer_closed()
+    }
+
+    fn peer_label(&self) -> String {
+        format!("sim:{}", self.profile().name)
+    }
+}
+
 impl KvLink for Connection<RequestBatch, BatchReply> {
     fn send_batch(&self, batch: RequestBatch) -> Result<(), TransportError> {
         if self.send(batch) {

@@ -11,7 +11,11 @@
 //!   put KEY VALUE                upsert a key (VALUE is UTF-8)
 //!   del KEY                      delete a key
 //!   rmw KEY DELTA                increment the counter at KEY by DELTA
-//!   migrate FROM TO FRACTION     move FRACTION of FROM's first range to TO
+//!   migrate FROM TO FRACTION [--no-wait] [--timeout SECS]
+//!                                move FRACTION of FROM's first range to TO;
+//!                                waits for both sides to complete unless
+//!                                --no-wait is given
+//!   status ID                    print the state of migration ID
 //!   bench [--ops N] [--keys K] [--value-size B] [--read-fraction F]
 //!         [--zipf] [--batch OPS] [--inflight B]
 //!                                loopback throughput benchmark (pipelined
@@ -157,12 +161,57 @@ fn main() {
                 eprintln!("FRACTION must be a float in [0, 1], got {:?}", rest[2]);
                 usage()
             });
+            let mut wait = true;
+            let mut timeout = Duration::from_secs(60);
+            let mut it = rest.into_iter().skip(3);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--no-wait" => wait = false,
+                    "--timeout" => {
+                        let secs = it.next().unwrap_or_else(|| {
+                            eprintln!("missing value for --timeout");
+                            usage()
+                        });
+                        timeout = Duration::from_secs(parse_u64(&secs, "--timeout"));
+                    }
+                    other => {
+                        eprintln!("unknown migrate flag {other}");
+                        usage()
+                    }
+                }
+            }
             let mut ctrl =
                 CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
             let id = ctrl
                 .migrate_fraction(from, to, fraction)
                 .unwrap_or_else(|e| fail(e));
             println!("migration {id} started: {fraction} of server {from} -> server {to}");
+            if wait {
+                ctrl.wait_for_migration(id, timeout)
+                    .unwrap_or_else(|e| fail(e));
+                println!("migration {id} complete");
+            }
+        }
+        "status" => {
+            let id = parse_u64(
+                rest.first().map(String::as_str).unwrap_or_else(|| usage()),
+                "ID",
+            );
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let state = ctrl.migration_status(id).unwrap_or_else(|e| fail(e));
+            println!(
+                "migration {id}: {} (source_complete={}, target_complete={})",
+                if state.cancelled {
+                    "cancelled"
+                } else if state.complete {
+                    "complete"
+                } else {
+                    "in flight"
+                },
+                state.source_complete,
+                state.target_complete
+            );
         }
         "bench" => {
             let mut opts = BenchOptions::default();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
-//!                  [--io-threads I] [--balanced]
+//!                  [--io-threads I] [--balanced] [--base-id B]
+//!                  [--memory-pages P] [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
@@ -11,13 +12,19 @@
 //! owns the whole hash space and the others idle as scale-out targets (move
 //! load with `shadowfax-cli migrate`); `--balanced` splits the space evenly.
 //!
+//! Multi-process clusters: give each process a distinct `--base-id` and
+//! register the servers hosted by the other processes with repeated
+//! `--peer id=1,addr=127.0.0.1:4871,threads=2,owns=none` flags (`owns` is
+//! `full` or `none`).  Migrations to a peer flow over dedicated TCP
+//! migration connections, and clients dial peers directly for data traffic.
+//!
 //! Prints `LISTENING <addr>` once ready (scripts and tests parse this), then
 //! serves until killed.
 
 use std::sync::Arc;
 
-use shadowfax::{Cluster, ClusterConfig};
-use shadowfax_rpc::{RpcServer, RpcServerConfig};
+use shadowfax::{Cluster, ClusterConfig, HashRange, PeerServer, RangeSet, ServerId};
+use shadowfax_rpc::{RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport};
 
 struct Args {
     listen: String,
@@ -25,14 +32,52 @@ struct Args {
     threads: usize,
     io_threads: usize,
     balanced: bool,
+    base_id: u32,
+    memory_pages: Option<u64>,
+    peers: Vec<PeerServer>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
-         [--io-threads I] [--balanced]"
+         [--io-threads I] [--balanced] [--base-id B] [--memory-pages P] \
+         [--peer id=I,addr=HOST:PORT,threads=T,owns=full|none]..."
     );
     std::process::exit(2)
+}
+
+/// Parses `id=1,addr=127.0.0.1:4871,threads=2,owns=none`.
+fn parse_peer(spec: &str) -> Option<PeerServer> {
+    let mut id = None;
+    let mut addr = None;
+    let mut threads = 2usize;
+    let mut owns_full = false;
+    for field in spec.split(',') {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "id" => id = Some(value.parse::<u32>().ok()?),
+            "addr" => addr = Some(value.to_string()),
+            "threads" => threads = value.parse().ok()?,
+            "owns" => {
+                owns_full = match value {
+                    "full" => true,
+                    "none" => false,
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(PeerServer {
+        id: ServerId(id?),
+        address: addr?,
+        threads,
+        ranges: if owns_full {
+            RangeSet::from_ranges([HashRange::FULL])
+        } else {
+            RangeSet::empty()
+        },
+    })
 }
 
 fn parse_args() -> Args {
@@ -42,6 +87,9 @@ fn parse_args() -> Args {
         threads: 2,
         io_threads: 2,
         balanced: false,
+        base_id: 0,
+        memory_pages: None,
+        peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +108,21 @@ fn parse_args() -> Args {
                 args.io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage())
             }
             "--balanced" => args.balanced = true,
+            "--base-id" => args.base_id = value("--base-id").parse().unwrap_or_else(|_| usage()),
+            "--memory-pages" => {
+                args.memory_pages =
+                    Some(value("--memory-pages").parse().unwrap_or_else(|_| usage()))
+            }
+            "--peer" => {
+                let spec = value("--peer");
+                match parse_peer(&spec) {
+                    Some(peer) => args.peers.push(peer),
+                    None => {
+                        eprintln!("malformed --peer spec {spec:?}");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -81,8 +144,21 @@ fn main() {
     config.servers = args.servers;
     config.server_template.threads = args.threads;
     config.assign_ranges_to_all = args.balanced;
+    config.base_id = args.base_id;
+    config.peers = args.peers.clone();
+    if let Some(pages) = args.memory_pages {
+        config.server_template.faster.log.memory_pages = pages;
+        config.server_template.faster.log.mutable_pages = (pages / 2).max(1);
+    }
 
     let cluster = Arc::new(Cluster::start(config));
+    // Route outgoing migrations either onto the in-process fabric (peers in
+    // this process) or over dedicated TCP migration connections (peers
+    // registered with socket addresses).
+    cluster.set_migration_connector(TcpMigrationConnector::new(
+        Arc::clone(cluster.migration_network()),
+        TcpTransport::default(),
+    ));
     let rpc = RpcServer::serve(
         Arc::clone(&cluster) as Arc<dyn shadowfax_rpc::ClusterControl>,
         RpcServerConfig {

@@ -173,7 +173,16 @@ impl RemoteClient {
         if !self.sessions.contains_key(&server) {
             let info = self.ownership.server(server)?;
             let thread = self.config.thread_id % (info.threads.max(1) as usize);
-            let addr = format!("{}/{}/t{}", self.config.server_addr, info.address, thread);
+            // A server registered with a socket address lives in a different
+            // serving process than the control plane we bootstrapped from;
+            // dial it directly (its fabric address is `sv<id>` by
+            // convention).  Bare fabric addresses are served by the
+            // bootstrap process.
+            let addr = if crate::fabric::is_peer_socket_address(&info.address) {
+                format!("{}/sv{}/t{}", info.address, info.id, thread)
+            } else {
+                format!("{}/{}/t{}", self.config.server_addr, info.address, thread)
+            };
             let link = self.transport.connect_link(&addr).ok()?;
             let session = ClientSession::from_link(link, info.view, self.config.session);
             self.sessions.insert(server, session);

@@ -20,7 +20,15 @@
 //! a connection ([`WireMsg::Hello`] binds it to a dispatch thread), fetch
 //! ownership mappings, and trigger migrations — the out-of-process stand-in
 //! for talking to the metadata store directly.
+//!
+//! Migration-plane frames carry the live-migration protocol between serving
+//! processes: [`WireMsg::MigHello`] binds a dedicated migration connection
+//! to a target dispatch thread, and [`WireMsg::Migration`] carries the
+//! view-tagged [`MigrationMsg`]s (`PrepForTransfer`, `TakeOwnership`,
+//! `PushHotRecords`, `PushRecordBatch`, `CompleteMigration`, acks, and
+//! compaction hand-offs) that the core state machines exchange.
 
+use shadowfax::{HashRange, MigratedItem, MigrationAckPhase, MigrationMsg, ServerId};
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
 
 /// Default per-frame size limit (16 MiB): far above any sane batch, low
@@ -39,6 +47,10 @@ mod kind {
     pub const CTRL_ERR: u8 = 0x24;
     pub const PING: u8 = 0x25;
     pub const PONG: u8 = 0x26;
+    pub const MIG_STATUS: u8 = 0x27;
+    pub const MIG_STATE: u8 = 0x28;
+    pub const MIG_HELLO: u8 = 0x30;
+    pub const MIGRATION: u8 = 0x31;
 }
 
 /// Errors from encoding or decoding frames.
@@ -62,6 +74,12 @@ pub enum CodecError {
     },
     /// A string field held invalid UTF-8.
     BadUtf8,
+    /// A structurally well-formed field held a semantically invalid value
+    /// (e.g. an inverted hash range).
+    Invalid {
+        /// What was being decoded.
+        context: &'static str,
+    },
     /// A frame's payload was longer than the structure it carries.
     TrailingBytes {
         /// Number of undecoded bytes left over.
@@ -90,6 +108,9 @@ impl std::fmt::Display for CodecError {
                 write!(f, "unknown tag {tag:#04x} while decoding {context}")
             }
             CodecError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            CodecError::Invalid { context } => {
+                write!(f, "semantically invalid value while decoding {context}")
+            }
             CodecError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after a complete frame body")
             }
@@ -192,6 +213,42 @@ pub enum WireMsg {
     Ping(u64),
     /// Liveness reply echoing the token.
     Pong(u64),
+    /// Query the state of a migration by id (control plane).
+    MigrationStatus {
+        /// The id returned by [`WireMsg::Migrate`]'s `CtrlOk`.
+        migration_id: u64,
+    },
+    /// The state of a migration (control plane reply).
+    MigrationState(WireMigrationState),
+    /// First frame on a dedicated migration connection: binds it to
+    /// dispatch thread `thread` of local server `server` in the receiving
+    /// process.
+    MigHello {
+        /// The target server's cluster-wide id.
+        server: u32,
+        /// The dispatch thread the connection terminates on.
+        thread: u32,
+    },
+    /// A migration-protocol message (either direction on a migration
+    /// connection).
+    Migration(MigrationMsg),
+}
+
+/// The state of one migration, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMigrationState {
+    /// The migration id.
+    pub migration_id: u64,
+    /// `true` once both sides have completed and the dependency has been
+    /// garbage collected from the metadata store.
+    pub complete: bool,
+    /// `true` once the source has checkpointed and finished its role.
+    pub source_complete: bool,
+    /// `true` once the target has checkpointed and finished its role.
+    pub target_complete: bool,
+    /// `true` if the migration was cancelled and ownership rolled back to
+    /// the source (mutually exclusive with `complete`).
+    pub cancelled: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -234,6 +291,117 @@ fn put_request(out: &mut Vec<u8>, req: &KvRequest) {
         KvRequest::Delete { key } => {
             out.push(3);
             put_u64(out, *key);
+        }
+    }
+}
+
+fn put_ranges(out: &mut Vec<u8>, ranges: &[HashRange]) {
+    put_u32(out, ranges.len() as u32);
+    for r in ranges {
+        put_u64(out, r.start);
+        put_u64(out, r.end);
+    }
+}
+
+fn put_migrated_item(out: &mut Vec<u8>, item: &MigratedItem) {
+    match item {
+        MigratedItem::Record { key, value } => {
+            out.push(0);
+            put_u64(out, *key);
+            put_bytes(out, value);
+        }
+        MigratedItem::Indirection {
+            representative_hash,
+            payload,
+        } => {
+            out.push(1);
+            put_u64(out, *representative_hash);
+            put_bytes(out, payload);
+        }
+    }
+}
+
+fn ack_phase_byte(phase: MigrationAckPhase) -> u8 {
+    match phase {
+        MigrationAckPhase::Prepared => 0,
+        MigrationAckPhase::OwnershipReceived => 1,
+        MigrationAckPhase::Completed => 2,
+    }
+}
+
+fn put_migration_msg(out: &mut Vec<u8>, msg: &MigrationMsg) {
+    match msg {
+        MigrationMsg::PrepForTransfer {
+            migration_id,
+            ranges,
+            source,
+            target_view,
+        } => {
+            out.push(0);
+            put_u64(out, *migration_id);
+            put_u64(out, *target_view);
+            put_u32(out, source.0);
+            put_ranges(out, ranges);
+        }
+        MigrationMsg::TakeOwnership {
+            migration_id,
+            ranges,
+            target_view,
+        } => {
+            out.push(1);
+            put_u64(out, *migration_id);
+            put_u64(out, *target_view);
+            put_ranges(out, ranges);
+        }
+        MigrationMsg::PushHotRecords {
+            migration_id,
+            target_view,
+            records,
+        } => {
+            out.push(2);
+            put_u64(out, *migration_id);
+            put_u64(out, *target_view);
+            put_u32(out, records.len() as u32);
+            for (key, value) in records {
+                put_u64(out, *key);
+                put_bytes(out, value);
+            }
+        }
+        MigrationMsg::PushRecordBatch {
+            migration_id,
+            target_view,
+            items,
+        } => {
+            out.push(3);
+            put_u64(out, *migration_id);
+            put_u64(out, *target_view);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_migrated_item(out, item);
+            }
+        }
+        MigrationMsg::CompleteMigration {
+            migration_id,
+            target_view,
+            total_items,
+        } => {
+            out.push(4);
+            put_u64(out, *migration_id);
+            put_u64(out, *target_view);
+            put_u64(out, *total_items);
+        }
+        MigrationMsg::Ack {
+            migration_id,
+            phase,
+        } => {
+            out.push(5);
+            put_u64(out, *migration_id);
+            out.push(ack_phase_byte(*phase));
+        }
+        MigrationMsg::CompactionHandoff { key, value } => {
+            out.push(6);
+            put_u64(out, *key);
+            put_bytes(out, value);
         }
     }
 }
@@ -339,6 +507,27 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
         WireMsg::Pong(token) => {
             body.push(kind::PONG);
             put_u64(&mut body, *token);
+        }
+        WireMsg::MigrationStatus { migration_id } => {
+            body.push(kind::MIG_STATUS);
+            put_u64(&mut body, *migration_id);
+        }
+        WireMsg::MigrationState(state) => {
+            body.push(kind::MIG_STATE);
+            put_u64(&mut body, state.migration_id);
+            body.push(u8::from(state.complete));
+            body.push(u8::from(state.source_complete));
+            body.push(u8::from(state.target_complete));
+            body.push(u8::from(state.cancelled));
+        }
+        WireMsg::MigHello { server, thread } => {
+            body.push(kind::MIG_HELLO);
+            put_u32(&mut body, *server);
+            put_u32(&mut body, *thread);
+        }
+        WireMsg::Migration(msg) => {
+            body.push(kind::MIGRATION);
+            put_migration_msg(&mut body, msg);
         }
     }
     let mut frame = Vec::with_capacity(4 + body.len());
@@ -451,6 +640,131 @@ fn get_response(r: &mut Reader<'_>) -> Result<KvResponse, CodecError> {
     })
 }
 
+fn get_ranges(r: &mut Reader<'_>) -> Result<Vec<HashRange>, CodecError> {
+    let n = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(bounded_cap(n));
+    for _ in 0..n {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        if start > end {
+            return Err(CodecError::Invalid {
+                context: "HashRange",
+            });
+        }
+        ranges.push(HashRange { start, end });
+    }
+    Ok(ranges)
+}
+
+fn get_migrated_item(r: &mut Reader<'_>) -> Result<MigratedItem, CodecError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => MigratedItem::Record {
+            key: r.u64()?,
+            value: r.bytes()?,
+        },
+        1 => MigratedItem::Indirection {
+            representative_hash: r.u64()?,
+            payload: r.bytes()?,
+        },
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "MigratedItem",
+                tag,
+            })
+        }
+    })
+}
+
+fn get_migration_msg(r: &mut Reader<'_>) -> Result<MigrationMsg, CodecError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => {
+            let migration_id = r.u64()?;
+            let target_view = r.u64()?;
+            let source = ServerId(r.u32()?);
+            let ranges = get_ranges(r)?;
+            MigrationMsg::PrepForTransfer {
+                migration_id,
+                ranges,
+                source,
+                target_view,
+            }
+        }
+        1 => {
+            let migration_id = r.u64()?;
+            let target_view = r.u64()?;
+            let ranges = get_ranges(r)?;
+            MigrationMsg::TakeOwnership {
+                migration_id,
+                ranges,
+                target_view,
+            }
+        }
+        2 => {
+            let migration_id = r.u64()?;
+            let target_view = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut records = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                records.push((r.u64()?, r.bytes()?));
+            }
+            MigrationMsg::PushHotRecords {
+                migration_id,
+                target_view,
+                records,
+            }
+        }
+        3 => {
+            let migration_id = r.u64()?;
+            let target_view = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                items.push(get_migrated_item(r)?);
+            }
+            MigrationMsg::PushRecordBatch {
+                migration_id,
+                target_view,
+                items,
+            }
+        }
+        4 => MigrationMsg::CompleteMigration {
+            migration_id: r.u64()?,
+            target_view: r.u64()?,
+            total_items: r.u64()?,
+        },
+        5 => {
+            let migration_id = r.u64()?;
+            let phase = match r.u8()? {
+                0 => MigrationAckPhase::Prepared,
+                1 => MigrationAckPhase::OwnershipReceived,
+                2 => MigrationAckPhase::Completed,
+                tag => {
+                    return Err(CodecError::BadTag {
+                        context: "MigrationAckPhase",
+                        tag,
+                    })
+                }
+            };
+            MigrationMsg::Ack {
+                migration_id,
+                phase,
+            }
+        }
+        6 => MigrationMsg::CompactionHandoff {
+            key: r.u64()?,
+            value: r.bytes()?,
+        },
+        tag => {
+            return Err(CodecError::BadTag {
+                context: "MigrationMsg",
+                tag,
+            })
+        }
+    })
+}
+
 fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
     let mut r = Reader::new(body);
     let msg = match r.u8()? {
@@ -531,6 +845,21 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
         }
         kind::PING => WireMsg::Ping(r.u64()?),
         kind::PONG => WireMsg::Pong(r.u64()?),
+        kind::MIG_STATUS => WireMsg::MigrationStatus {
+            migration_id: r.u64()?,
+        },
+        kind::MIG_STATE => WireMsg::MigrationState(WireMigrationState {
+            migration_id: r.u64()?,
+            complete: r.u8()? != 0,
+            source_complete: r.u8()? != 0,
+            target_complete: r.u8()? != 0,
+            cancelled: r.u8()? != 0,
+        }),
+        kind::MIG_HELLO => WireMsg::MigHello {
+            server: r.u32()?,
+            thread: r.u32()?,
+        },
+        kind::MIGRATION => WireMsg::Migration(get_migration_msg(&mut r)?),
         tag => {
             return Err(CodecError::BadTag {
                 context: "frame kind",
@@ -776,6 +1105,187 @@ mod tests {
         assert_eq!(got[0], WireMsg::Ping(1));
         assert_eq!(got[1], WireMsg::Batch(sample_batch()));
         assert_eq!(decoder.buffered(), 0);
+    }
+
+    fn sample_migration_msgs() -> Vec<MigrationMsg> {
+        vec![
+            MigrationMsg::PrepForTransfer {
+                migration_id: 7,
+                ranges: vec![
+                    HashRange::new(0, 1 << 62),
+                    HashRange::new(1 << 63, u64::MAX),
+                ],
+                source: ServerId(0),
+                target_view: 2,
+            },
+            MigrationMsg::TakeOwnership {
+                migration_id: 7,
+                ranges: vec![HashRange::new(0, 1 << 62)],
+                target_view: 2,
+            },
+            MigrationMsg::PushHotRecords {
+                migration_id: 7,
+                target_view: 2,
+                records: vec![(1, vec![0xAA; 64]), (2, Vec::new())],
+            },
+            MigrationMsg::PushRecordBatch {
+                migration_id: 7,
+                target_view: 2,
+                items: vec![
+                    MigratedItem::Record {
+                        key: 3,
+                        value: vec![0xBB; 128],
+                    },
+                    MigratedItem::Indirection {
+                        representative_hash: 0xFFEE,
+                        payload: vec![1, 2, 3],
+                    },
+                ],
+            },
+            MigrationMsg::CompleteMigration {
+                migration_id: 7,
+                target_view: 2,
+                total_items: 12345,
+            },
+            MigrationMsg::Ack {
+                migration_id: 7,
+                phase: MigrationAckPhase::Prepared,
+            },
+            MigrationMsg::Ack {
+                migration_id: 7,
+                phase: MigrationAckPhase::OwnershipReceived,
+            },
+            MigrationMsg::Ack {
+                migration_id: 7,
+                phase: MigrationAckPhase::Completed,
+            },
+            MigrationMsg::CompactionHandoff {
+                key: 9,
+                value: vec![4; 32],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_migration_wire_message() {
+        roundtrip(WireMsg::MigHello {
+            server: 1,
+            thread: 3,
+        });
+        roundtrip(WireMsg::MigrationStatus { migration_id: 7 });
+        roundtrip(WireMsg::MigrationState(WireMigrationState {
+            migration_id: 7,
+            complete: false,
+            source_complete: true,
+            target_complete: false,
+            cancelled: false,
+        }));
+        roundtrip(WireMsg::MigrationState(WireMigrationState {
+            migration_id: 8,
+            complete: false,
+            source_complete: false,
+            target_complete: false,
+            cancelled: true,
+        }));
+        for msg in sample_migration_msgs() {
+            roundtrip(WireMsg::Migration(msg));
+        }
+    }
+
+    #[test]
+    fn truncated_migration_frames_are_rejected_at_every_cut() {
+        for msg in sample_migration_msgs() {
+            let frame = encode_frame(&WireMsg::Migration(msg));
+            for cut in 0..frame.len() {
+                match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                    Err(CodecError::Truncated) => {}
+                    other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_record_batch_is_rejected_before_buffering() {
+        // A record batch whose frame exceeds the receiver's limit must fail
+        // from the length prefix alone, before any payload is buffered.
+        let big = WireMsg::Migration(MigrationMsg::PushRecordBatch {
+            migration_id: 1,
+            target_view: 2,
+            items: (0..64)
+                .map(|k| MigratedItem::Record {
+                    key: k,
+                    value: vec![0; 1024],
+                })
+                .collect(),
+        });
+        let frame = encode_frame(&big);
+        let limit = 4 * 1024;
+        assert!(frame.len() > limit);
+        let mut decoder = FrameDecoder::new(limit);
+        decoder.extend(&frame[..4]);
+        match decoder.next_msg() {
+            Err(CodecError::Oversized { len, max }) => {
+                assert_eq!(len, frame.len() - 4);
+                assert_eq!(max, limit);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The same frame decodes fine under the default limit.
+        let (decoded, _) = decode_frame(&frame, MAX_FRAME_BYTES).unwrap();
+        assert_eq!(decoded, big);
+    }
+
+    #[test]
+    fn inverted_wire_ranges_are_rejected() {
+        let msg = WireMsg::Migration(MigrationMsg::TakeOwnership {
+            migration_id: 1,
+            ranges: vec![HashRange::new(10, 20)],
+            target_view: 2,
+        });
+        let mut frame = encode_frame(&msg);
+        // Swap the range's start/end bytes: body is
+        // kind(1) + subtag(1) + id(8) + view(8) + count(4), then start/end.
+        let start_off = 4 + 1 + 1 + 8 + 8 + 4;
+        frame.copy_within(start_off + 8..start_off + 16, start_off);
+        frame[start_off + 8..start_off + 16].copy_from_slice(&10u64.to_le_bytes());
+        frame[start_off..start_off + 8].copy_from_slice(&20u64.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::Invalid {
+                context: "HashRange"
+            })
+        );
+    }
+
+    #[test]
+    fn bad_migration_tags_are_rejected() {
+        let mut frame = encode_frame(&WireMsg::Migration(MigrationMsg::Ack {
+            migration_id: 1,
+            phase: MigrationAckPhase::Completed,
+        }));
+        // Corrupt the ack-phase byte (the last body byte).
+        *frame.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::BadTag {
+                context: "MigrationAckPhase",
+                tag: 9
+            })
+        ));
+        // Corrupt the MigrationMsg sub-tag.
+        let mut frame = encode_frame(&WireMsg::Migration(MigrationMsg::CompactionHandoff {
+            key: 1,
+            value: vec![],
+        }));
+        frame[5] = 0x7E;
+        assert!(matches!(
+            decode_frame(&frame, MAX_FRAME_BYTES),
+            Err(CodecError::BadTag {
+                context: "MigrationMsg",
+                tag: 0x7E
+            })
+        ));
     }
 
     #[test]

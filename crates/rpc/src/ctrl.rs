@@ -13,7 +13,8 @@ use std::time::Duration;
 use shadowfax_net::StatusCode;
 
 use crate::codec::{
-    encode_frame, CodecError, FrameDecoder, WireMsg, WireOwnership, MAX_FRAME_BYTES,
+    encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg, WireOwnership,
+    MAX_FRAME_BYTES,
 };
 
 /// Errors from RPC client operations.
@@ -141,6 +142,45 @@ impl CtrlClient {
             other => Err(RpcError::Protocol(format!(
                 "expected CtrlOk, got {other:?}"
             ))),
+        }
+    }
+
+    /// Queries the state of a migration by id.
+    pub fn migration_status(&mut self, migration_id: u64) -> Result<WireMigrationState, RpcError> {
+        match self.roundtrip(&WireMsg::MigrationStatus { migration_id })? {
+            WireMsg::MigrationState(state) if state.migration_id == migration_id => Ok(state),
+            other => Err(RpcError::Protocol(format!(
+                "expected MigrationState for {migration_id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls [`CtrlClient::migration_status`] until the migration completes
+    /// on both sides or `timeout` expires.
+    pub fn wait_for_migration(
+        &mut self,
+        migration_id: u64,
+        timeout: Duration,
+    ) -> Result<WireMigrationState, RpcError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let state = self.migration_status(migration_id)?;
+            if state.cancelled {
+                return Err(RpcError::Protocol(format!(
+                    "migration {migration_id} was cancelled and rolled back"
+                )));
+            }
+            if state.complete {
+                return Ok(state);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(RpcError::Io(format!(
+                    "migration {migration_id} did not complete within {timeout:?} \
+                     (source_complete={}, target_complete={})",
+                    state.source_complete, state.target_complete
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 

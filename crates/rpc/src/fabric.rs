@@ -1,0 +1,68 @@
+//! Routing for outgoing migration links.
+//!
+//! The core crate opens migration links through its `MigrationConnector`
+//! seam.  [`TcpMigrationConnector`] implements that seam for multi-process
+//! deployments: a peer registered with a bare fabric address (`"sv1"`) is
+//! hosted in this process and is reached over the in-process migration
+//! fabric, while a peer registered with a socket address
+//! (`"10.0.0.7:4871"`) lives in another OS process and is reached over a
+//! dedicated TCP migration connection.  The core migration state machines
+//! cannot tell the difference — both come back as
+//! [`MigrationLink`](shadowfax_net::MigrationLink)s.
+
+use std::sync::Arc;
+
+use shadowfax::{MigrationConnector, MigrationMsg, MigrationNetwork, ServerId};
+use shadowfax_net::MigrationLink;
+
+use crate::tcp::TcpTransport;
+
+/// `true` if a server's registered address names a peer *serving process*
+/// (a socket address like `"10.0.0.7:4871"`) rather than an in-process
+/// fabric address (`"sv1"`, which never contains a colon).  This is the one
+/// place that convention lives; routing on both the client data plane and
+/// the migration plane goes through it.
+pub(crate) fn is_peer_socket_address(address: &str) -> bool {
+    address.contains(':')
+}
+
+/// A [`MigrationConnector`] that dials TCP for peers registered with socket
+/// addresses and falls back to the in-process fabric otherwise.
+pub struct TcpMigrationConnector {
+    sim: Arc<MigrationNetwork>,
+    transport: TcpTransport,
+}
+
+impl std::fmt::Debug for TcpMigrationConnector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TcpMigrationConnector")
+    }
+}
+
+impl TcpMigrationConnector {
+    /// Creates a connector over this process's migration fabric; `transport`
+    /// supplies the dial timeout and frame limit for TCP peers.
+    pub fn new(sim: Arc<MigrationNetwork>, transport: TcpTransport) -> Arc<Self> {
+        Arc::new(TcpMigrationConnector { sim, transport })
+    }
+}
+
+impl MigrationConnector for TcpMigrationConnector {
+    fn connect_migration(
+        &self,
+        address: &str,
+        server: ServerId,
+        thread: usize,
+    ) -> Option<Box<dyn MigrationLink<MigrationMsg>>> {
+        if is_peer_socket_address(address) {
+            self.transport
+                .connect_migration(address, server.0, thread as u32)
+                .ok()
+                .map(|link| Box::new(link) as Box<dyn MigrationLink<MigrationMsg>>)
+        } else {
+            self.sim
+                .connect(&format!("{address}/m{thread}"))
+                .map(|conn| Box::new(conn) as Box<dyn MigrationLink<MigrationMsg>>)
+        }
+    }
+}

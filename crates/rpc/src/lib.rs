@@ -15,7 +15,15 @@
 //!   (ownership snapshots, migration triggers) standing in for direct
 //!   metadata-store access.
 //! * [`RemoteClient`] — the out-of-process client: ownership-aware routing,
-//!   pipelined sessions, stale-view handling, all over the wire.
+//!   pipelined sessions, stale-view handling, all over the wire.  Servers
+//!   registered with socket addresses are dialled directly, so one client
+//!   spans a multi-process cluster.
+//! * [`TcpMigrationLink`] / [`TcpMigrationConnector`] — the migration data
+//!   plane: dedicated TCP connections carrying the view-tagged migration
+//!   protocol (`PrepForTransfer`, `TakeOwnership`, `PushHotRecords`,
+//!   `PushRecordBatch`, `CompleteMigration`) between serving processes, so
+//!   hash-range ownership and the records underneath it move between OS
+//!   processes under live load.
 //! * [`bench`] — a loopback throughput micro-benchmark used by
 //!   `shadowfax-cli bench` and the integration tests.
 //!
@@ -28,15 +36,17 @@ pub mod bench;
 mod client;
 pub mod codec;
 mod ctrl;
+mod fabric;
 mod server;
 mod tcp;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats};
 pub use codec::{
-    decode_frame, encode_frame, CodecError, FrameDecoder, WireMsg, WireOwnership, WireServerInfo,
-    MAX_FRAME_BYTES,
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg,
+    WireOwnership, WireServerInfo, MAX_FRAME_BYTES,
 };
 pub use ctrl::{CtrlClient, RpcError};
+pub use fabric::TcpMigrationConnector;
 pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle};
-pub use tcp::{TcpLink, TcpTransport};
+pub use tcp::{TcpLink, TcpMigrationLink, TcpTransport};

@@ -22,11 +22,12 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use shadowfax::{Cluster, ServerId};
-use shadowfax_net::{KvLink, StatusCode, Transport, TransportError};
+use shadowfax::{Cluster, MigrationMsg, ServerId};
+use shadowfax_net::{KvLink, MigrationLink, StatusCode, Transport, TransportError};
 
 use crate::codec::{
-    encode_frame, FrameDecoder, WireMsg, WireOwnership, WireServerInfo, MAX_FRAME_BYTES,
+    encode_frame, FrameDecoder, WireMigrationState, WireMsg, WireOwnership, WireServerInfo,
+    MAX_FRAME_BYTES,
 };
 use crate::tcp::write_all_nonblocking;
 
@@ -40,8 +41,19 @@ pub trait ClusterControl: Send + Sync {
     /// Starts a migration; returns the migration id.
     fn migrate(&self, source: u32, target: u32, fraction: f64) -> Result<u64, String>;
 
+    /// The state of migration `migration_id`.
+    fn migration_status(&self, migration_id: u64) -> Result<WireMigrationState, String>;
+
     /// Opens a fabric link to the dispatch thread at `fabric_addr`.
     fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError>;
+
+    /// Opens a migration link to dispatch thread `thread` of the local
+    /// server `server` (terminating an incoming TCP migration connection).
+    fn connect_migration_local(
+        &self,
+        server: u32,
+        thread: u32,
+    ) -> Result<Box<dyn MigrationLink<MigrationMsg>>, TransportError>;
 }
 
 impl ClusterControl for Cluster {
@@ -71,8 +83,47 @@ impl ClusterControl for Cluster {
         self.migrate_fraction(ServerId(source), ServerId(target), fraction)
     }
 
+    fn migration_status(&self, migration_id: u64) -> Result<WireMigrationState, String> {
+        match self.meta().migration_state(migration_id) {
+            // Both sides completed: the dependency has been garbage
+            // collected from the metadata store.
+            Ok(None) => Ok(WireMigrationState {
+                migration_id,
+                complete: true,
+                source_complete: true,
+                target_complete: true,
+                cancelled: false,
+            }),
+            Ok(Some(dep)) => Ok(WireMigrationState {
+                migration_id,
+                complete: dep.is_complete(),
+                source_complete: dep.source_complete,
+                target_complete: dep.target_complete,
+                cancelled: dep.cancelled,
+            }),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
     fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
         self.kv_network().connect_link(fabric_addr)
+    }
+
+    fn connect_migration_local(
+        &self,
+        server: u32,
+        thread: u32,
+    ) -> Result<Box<dyn MigrationLink<MigrationMsg>>, TransportError> {
+        let local =
+            self.server(ServerId(server))
+                .ok_or_else(|| TransportError::ConnectionRefused {
+                    addr: format!("sv{server} (not hosted in this process)"),
+                })?;
+        let addr = local.migration_address(thread as usize);
+        match self.migration_network().connect(&addr) {
+            Some(conn) => Ok(Box::new(conn)),
+            None => Err(TransportError::ConnectionRefused { addr }),
+        }
     }
 }
 
@@ -211,6 +262,9 @@ struct ServedConn {
     decoder: FrameDecoder,
     /// Bound by the HELLO frame; `None` on pure control connections.
     link: Option<Box<dyn KvLink>>,
+    /// Bound by the MIG_HELLO frame; `None` unless this is a dedicated
+    /// migration connection from a peer serving process.
+    mig: Option<Box<dyn MigrationLink<MigrationMsg>>>,
     eof: bool,
     dead: bool,
 }
@@ -284,6 +338,32 @@ impl ServedConn {
                         "BATCH frame before HELLO bound this connection".to_string(),
                     ),
                 },
+                WireMsg::MigHello { server, thread } => {
+                    match control.connect_migration_local(server, thread) {
+                        Ok(link) => self.mig = Some(link),
+                        Err(e) => self.fail(e.status_code(), e.to_string()),
+                    }
+                }
+                WireMsg::Migration(msg) => match &self.mig {
+                    Some(link) => {
+                        if let Err(e) = link.send_msg(msg) {
+                            self.fail(e.error.status_code(), e.error.to_string());
+                        }
+                    }
+                    None => self.fail(
+                        StatusCode::Malformed,
+                        "MIGRATION frame before MIG_HELLO bound this connection".to_string(),
+                    ),
+                },
+                WireMsg::MigrationStatus { migration_id } => {
+                    match control.migration_status(migration_id) {
+                        Ok(state) => self.send(&WireMsg::MigrationState(state)),
+                        Err(msg) => self.send(&WireMsg::CtrlErr {
+                            status: StatusCode::ControlFailed,
+                            message: msg,
+                        }),
+                    }
+                }
                 WireMsg::GetOwnership => {
                     let own = control.ownership();
                     self.send(&WireMsg::Ownership(own));
@@ -325,14 +405,14 @@ impl ServedConn {
         progressed
     }
 
-    /// Forwards replies from the dispatch thread back onto the socket.
-    /// Returns `true` if any reply moved.
+    /// Forwards replies (and migration messages) from the dispatch thread
+    /// back onto the socket.  Returns `true` if anything moved.
     fn pump_replies(&mut self) -> bool {
-        let mut replies = Vec::new();
+        let mut out: Vec<WireMsg> = Vec::new();
         if let Some(link) = &self.link {
             loop {
                 match link.try_recv_reply() {
-                    Ok(Some(reply)) => replies.push(reply),
+                    Ok(Some(reply)) => out.push(WireMsg::Reply(reply)),
                     Ok(None) => break,
                     Err(_) => {
                         // The dispatch thread went away (server shutdown).
@@ -342,9 +422,21 @@ impl ServedConn {
                 }
             }
         }
-        let progressed = !replies.is_empty();
-        for reply in replies {
-            self.send(&WireMsg::Reply(reply));
+        if let Some(mig) = &self.mig {
+            loop {
+                match mig.try_recv_msg() {
+                    Ok(Some(msg)) => out.push(WireMsg::Migration(msg)),
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let progressed = !out.is_empty();
+        for msg in out {
+            self.send(&msg);
             if self.dead {
                 break;
             }
@@ -369,6 +461,7 @@ fn io_thread(
                 stream,
                 decoder: FrameDecoder::new(max_frame),
                 link: None,
+                mig: None,
                 eof: false,
                 dead: false,
             });

@@ -19,7 +19,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use shadowfax_net::{BatchReply, KvLink, RequestBatch, StatusCode, Transport, TransportError};
+use shadowfax::MigrationMsg;
+use shadowfax_net::{
+    BatchReply, KvLink, MigrationLink, MigrationSendError, RequestBatch, StatusCode, Transport,
+    TransportError,
+};
 
 use crate::codec::{encode_frame, CodecError, FrameDecoder, WireMsg, MAX_FRAME_BYTES};
 
@@ -139,6 +143,52 @@ impl TcpTransport {
     }
 }
 
+impl TcpTransport {
+    /// Opens a dedicated migration connection to the serving process at
+    /// `sock_addr`, bound (by its MIG_HELLO frame) to dispatch thread
+    /// `thread` of logical server `server` inside that process.
+    pub fn connect_migration(
+        &self,
+        sock_addr: &str,
+        server: u32,
+        thread: u32,
+    ) -> Result<TcpMigrationLink, TransportError> {
+        let target = sock_addr
+            .to_socket_addrs()
+            .map_err(io_err)?
+            .next()
+            .ok_or_else(|| {
+                TransportError::Malformed(format!("unresolvable address {sock_addr:?}"))
+            })?;
+        let mut stream =
+            TcpStream::connect_timeout(&target, self.connect_timeout).map_err(|e| {
+                if e.kind() == ErrorKind::ConnectionRefused {
+                    TransportError::ConnectionRefused {
+                        addr: sock_addr.to_string(),
+                    }
+                } else {
+                    io_err(e)
+                }
+            })?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        stream
+            .write_all(&encode_frame(&WireMsg::MigHello { server, thread }))
+            .map_err(io_err)?;
+        stream.set_nonblocking(true).map_err(io_err)?;
+        let reader = stream.try_clone().map_err(io_err)?;
+        Ok(TcpMigrationLink {
+            writer: Mutex::new(stream),
+            reader: Mutex::new(ReadState {
+                stream: reader,
+                decoder: FrameDecoder::new(self.max_frame),
+                eof: false,
+            }),
+            open: AtomicBool::new(true),
+            label: format!("{sock_addr}/sv{server}/m{thread}"),
+        })
+    }
+}
+
 impl Transport for TcpTransport {
     fn connect_link(&self, addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
         Ok(Box::new(self.connect_tcp(addr)?))
@@ -237,6 +287,123 @@ impl KvLink for TcpLink {
             Some(other) => {
                 return Err(self.fail(TransportError::Malformed(format!(
                     "unexpected frame on a data connection: {other:?}"
+                ))))
+            }
+            None => {}
+        }
+        if state.eof && state.decoder.buffered() == 0 {
+            return Err(self.fail(TransportError::PeerClosed));
+        }
+        Ok(None)
+    }
+
+    fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    fn peer_label(&self) -> String {
+        format!("tcp:{}", self.label)
+    }
+}
+
+/// One dedicated TCP migration connection between two serving processes.
+///
+/// Carries [`WireMsg::Migration`] frames in both directions; the core
+/// migration state machines drive it through the
+/// [`MigrationLink`](shadowfax_net::MigrationLink) trait exactly as they
+/// drive in-process fabric connections.
+pub struct TcpMigrationLink {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<ReadState>,
+    open: AtomicBool,
+    label: String,
+}
+
+impl std::fmt::Debug for TcpMigrationLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpMigrationLink")
+            .field("peer", &self.label)
+            .field("open", &self.open.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TcpMigrationLink {
+    fn fail(&self, e: TransportError) -> TransportError {
+        self.open.store(false, Ordering::Relaxed);
+        e
+    }
+}
+
+impl MigrationLink<MigrationMsg> for TcpMigrationLink {
+    fn send_msg(&self, msg: MigrationMsg) -> Result<(), MigrationSendError<MigrationMsg>> {
+        if !self.open.load(Ordering::Relaxed) {
+            return Err(MigrationSendError {
+                error: TransportError::PeerClosed,
+                msg: Some(msg),
+            });
+        }
+        let wire = WireMsg::Migration(msg);
+        let frame = encode_frame(&wire);
+        let mut stream = self.writer.lock();
+        // A short budget: this is called from dispatch threads that also
+        // serve client traffic, so a stalled target must not wedge them.
+        // On failure the link is dead (a partial frame may be on the wire,
+        // so it must never be reused) and the message is handed back for
+        // the caller to retry on another link.
+        match write_all_nonblocking(&mut stream, &frame, Duration::from_secs(5)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let error = self.fail(e);
+                let WireMsg::Migration(msg) = wire else {
+                    unreachable!("wire frame was built as Migration above")
+                };
+                Err(MigrationSendError {
+                    error,
+                    msg: Some(msg),
+                })
+            }
+        }
+    }
+
+    fn try_recv_msg(&self) -> Result<Option<MigrationMsg>, TransportError> {
+        let mut state = self.reader.lock();
+        if !state.eof {
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match state.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        state.eof = true;
+                        break;
+                    }
+                    Ok(n) => state.decoder.extend(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == ErrorKind::ConnectionReset
+                            || e.kind() == ErrorKind::BrokenPipe =>
+                    {
+                        state.eof = true;
+                        break;
+                    }
+                    Err(e) => return Err(self.fail(io_err(e))),
+                }
+            }
+        }
+        match state
+            .decoder
+            .next_msg()
+            .map_err(|e| self.fail(codec_err(e)))?
+        {
+            Some(WireMsg::Migration(msg)) => return Ok(Some(msg)),
+            Some(WireMsg::CtrlErr { message, .. }) => {
+                return Err(self.fail(TransportError::Malformed(format!(
+                    "peer rejected a migration frame: {message}"
+                ))));
+            }
+            Some(other) => {
+                return Err(self.fail(TransportError::Malformed(format!(
+                    "unexpected frame on a migration connection: {other:?}"
                 ))))
             }
             None => {}

@@ -1,0 +1,280 @@
+//! The migration data plane across real OS processes.
+//!
+//! Spawns two `shadowfax-server` processes — the source owns the whole hash
+//! space, the target starts idle — then, from this (third) process, keeps a
+//! pipelined write load running while 50% of the source's range migrates to
+//! the target over dedicated TCP migration connections.  Verifies:
+//!
+//! * the migration completes on both sides (observed via the
+//!   `MigrationStatus` control message),
+//! * the client saw the cut-over live (stale-view rejections followed by
+//!   re-routes to the target process), and
+//! * **zero acknowledged-write loss**: every value the cluster acknowledged
+//!   is readable afterwards, at least as new as the last acknowledged
+//!   version of its key.
+//!
+//! Server stderr goes to `target/test-logs/` so CI can attach it to failed
+//! runs.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use shadowfax_net::{KvRequest, KvResponse, SessionConfig};
+use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig};
+
+const KEYS: u64 = 1200;
+const VALUE_PAD: usize = 64;
+
+fn log_dir() -> PathBuf {
+    // target/test-logs, next to the test binary's target directory.
+    let mut dir = std::env::current_exe().expect("test binary path");
+    // .../target/debug/deps/<bin> -> .../target
+    dir.pop();
+    dir.pop();
+    dir.pop();
+    dir.push("test-logs");
+    std::fs::create_dir_all(&dir).expect("create test-logs dir");
+    dir
+}
+
+fn free_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    listener.local_addr().unwrap().port()
+}
+
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProcess {
+    fn spawn(name: &str, listen_port: u16, base_id: u32, peer: &str) -> Self {
+        let log = File::create(log_dir().join(format!("multi_process_{name}.log")))
+            .expect("create server log file");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"))
+            .args([
+                "--listen",
+                &format!("127.0.0.1:{listen_port}"),
+                "--servers",
+                "1",
+                "--threads",
+                "2",
+                "--base-id",
+                &base_id.to_string(),
+                // Plenty of in-memory log so the live load never spills a
+                // migrating chain to the (per-process) SSD tier mid-test.
+                "--memory-pages",
+                "128",
+                "--peer",
+                peer,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::from(log))
+            .spawn()
+            .expect("spawn shadowfax-server");
+        let stdout = child.stdout.take().expect("server stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        let addr = first
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {first:?}"))
+            .to_string();
+        ServerProcess { child, addr }
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn value_for(key: u64, gen: u64) -> Vec<u8> {
+    let mut v = format!("k{key}:g{gen}").into_bytes();
+    v.resize(VALUE_PAD, b' ');
+    v
+}
+
+fn gen_of(key: u64, value: &[u8]) -> u64 {
+    let s = std::str::from_utf8(value).expect("value is UTF-8");
+    let s = s.trim_end();
+    let prefix = format!("k{key}:g");
+    s.strip_prefix(&prefix)
+        .unwrap_or_else(|| panic!("value for key {key} is malformed: {s:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("value for key {key} has a bad generation: {s:?}"))
+}
+
+#[test]
+fn two_processes_migrate_half_the_space_under_live_load() {
+    let source_port = free_port();
+    let target_port = free_port();
+    let source = ServerProcess::spawn(
+        "source",
+        source_port,
+        0,
+        &format!("id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"),
+    );
+    let _target = ServerProcess::spawn(
+        "target",
+        target_port,
+        1,
+        &format!("id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"),
+    );
+
+    // The client bootstraps from the source process's control plane, which
+    // holds the authoritative ownership map for this deployment.
+    let mut config = RemoteClientConfig::new(source.addr.clone());
+    config.session = SessionConfig {
+        max_batch_ops: 16,
+        max_inflight_batches: 4,
+        ..SessionConfig::default()
+    };
+    config.timeout = Duration::from_secs(10);
+    let mut client = RemoteClient::connect(config).expect("connect remote client");
+
+    // Last generation the cluster acknowledged, per key.  Shared with the
+    // completion callbacks.
+    let acked: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // Preload generation 1 of every key and wait until all are acknowledged.
+    for key in 0..KEYS {
+        let acked = Arc::clone(&acked);
+        let ok = client.issue(
+            KvRequest::Upsert {
+                key,
+                value: value_for(key, 1),
+            },
+            Box::new(move |resp| {
+                assert!(matches!(resp, KvResponse::Ok), "preload failed: {resp:?}");
+                let mut acked = acked.lock().unwrap();
+                let e = acked.entry(key).or_insert(0);
+                *e = (*e).max(1);
+            }),
+        );
+        assert!(ok, "no owner for key {key} during preload");
+    }
+    assert!(
+        client
+            .drain(Duration::from_secs(30))
+            .expect("preload drain"),
+        "preload did not drain"
+    );
+    assert_eq!(acked.lock().unwrap().len(), KEYS as usize);
+
+    // Kick off the migration of 50% of the source's range to the target
+    // process, then keep a pipelined write load running while it proceeds.
+    let mut ctrl = CtrlClient::connect(&source.addr, Duration::from_secs(5)).expect("ctrl connect");
+    let migration_id = ctrl.migrate_fraction(0, 1, 0.5).expect("start migration");
+
+    let mut gen = 2u64;
+    let mut next_key = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let complete = loop {
+        // One pipelined round: a few writes spread over the whole keyspace
+        // (both the moving and the staying half).
+        for _ in 0..8 {
+            let key = next_key % KEYS;
+            next_key += 7; // co-prime stride: touches every key over time
+            let write_gen = gen;
+            let acked = Arc::clone(&acked);
+            client.issue(
+                KvRequest::Upsert {
+                    key,
+                    value: value_for(key, write_gen),
+                },
+                Box::new(move |resp| {
+                    if matches!(resp, KvResponse::Ok) {
+                        let mut acked = acked.lock().unwrap();
+                        let e = acked.entry(key).or_insert(0);
+                        *e = (*e).max(write_gen);
+                    }
+                }),
+            );
+        }
+        gen += 1;
+        client.flush();
+        client.poll().expect("client poll during migration");
+
+        let state = ctrl.migration_status(migration_id).expect("status poll");
+        if state.complete {
+            break state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "migration {migration_id} did not complete; last state: {state:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(complete.source_complete && complete.target_complete);
+
+    // Let every outstanding write finish (re-routes included).
+    assert!(
+        client.drain(Duration::from_secs(60)).expect("final drain"),
+        "writes issued during migration did not drain"
+    );
+
+    // The cut-over happened under load: batches were rejected with a stale
+    // view and their operations re-routed to the target process.
+    let stats = client.stats();
+    assert!(
+        stats.batches_rejected >= 1,
+        "expected at least one stale-view rejection, stats: {stats:?}"
+    );
+    assert!(
+        stats.rerouted >= 1,
+        "expected re-routed operations after the ownership flip, stats: {stats:?}"
+    );
+
+    // Ownership is now split across the two processes.
+    let own = client.ctrl().ownership().expect("ownership snapshot");
+    let target_info = own.server(1).expect("target registered");
+    assert!(
+        !target_info.ranges.is_empty(),
+        "target owns nothing after migration: {own:?}"
+    );
+    assert!(
+        target_info.address.contains(':'),
+        "target should be registered under its socket address"
+    );
+
+    // Zero acknowledged-write loss: every key reads back at a generation at
+    // least as new as the last one the cluster acknowledged.  (A value may
+    // be newer if a write was applied but its ack raced the drain.)
+    let acked = acked.lock().unwrap();
+    for key in 0..KEYS {
+        let value = client
+            .get(key)
+            .unwrap_or_else(|e| panic!("read of key {key} failed after migration: {e}"))
+            .unwrap_or_else(|| panic!("acknowledged key {key} vanished after migration"));
+        let stored_gen = gen_of(key, &value);
+        let acked_gen = acked.get(&key).copied().unwrap_or(0);
+        assert!(
+            stored_gen >= acked_gen,
+            "key {key}: stored generation {stored_gen} is older than acknowledged {acked_gen}"
+        );
+    }
+
+    // The migration moved real data over the dedicated TCP connections: the
+    // half that moved is served by the target process now.
+    let moved: u64 = (0..KEYS)
+        .filter(|k| {
+            let hash = shadowfax_faster::KeyHash::of(*k).raw();
+            target_info.owns_hash(hash)
+        })
+        .count() as u64;
+    assert!(
+        moved > 0,
+        "no test key landed in the migrated half of the hash space"
+    );
+}
