@@ -52,7 +52,10 @@ mod recovery;
 mod server;
 
 pub use client::{ClientStats, OpCallback, ShadowfaxClient};
-pub use cluster::{Cluster, ClusterConfig, PeerServer};
+pub use cluster::{
+    ChainFetchError, ChainFetchQuery, ChainFetchReply, ChainFetchSnapshot, ChainFetchStats,
+    Cluster, ClusterConfig, PeerServer,
+};
 pub use compaction::CompactionOutcome;
 pub use config::{ClientConfig, MigrationConfig, MigrationMode, OwnershipCheck, ServerConfig};
 pub use hash_range::{partition_space, HashRange, RangeSet};

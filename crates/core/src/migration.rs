@@ -36,7 +36,7 @@ use shadowfax_faster::{
     take_checkpoint, Address, FasterSession, KeyHash, ReadOutcome, RecordFlags, RecordOwned,
 };
 use shadowfax_hlog::{LogScanner, RecordHeader, RECORD_HEADER_BYTES};
-use shadowfax_storage::{LogId, SharedBlobTier};
+use shadowfax_storage::{LogId, SharedBlobTier, TierRecord, TierService};
 
 use crate::config::MigrationMode;
 use crate::hash_range::{HashRange, RangeSet};
@@ -1219,43 +1219,173 @@ fn enclosing_range(ranges: &[HashRange], default: HashRange) -> HashRange {
     HashRange::new(start, end)
 }
 
-/// Follows a record chain stored on the shared tier (written there by
-/// `source_log`'s HybridLog flush path) looking for `key`.  Returns the
-/// record if found.
+/// What a local chain walk produced.
+#[derive(Debug)]
+pub(crate) enum LocalChainFetch {
+    /// The key's newest live record.
+    Found(RecordOwned),
+    /// The chain was fully walked and holds no live record for the key.
+    Missing,
+    /// A read failed mid-walk (e.g. a nested indirection named a log this
+    /// process cannot read).  The caller must keep the operation pending —
+    /// the record may exist where the walk could not reach.
+    Unreadable,
+}
+
+/// Follows a record chain stored on a *locally readable* shared-tier log
+/// (the [`TierService`] answered `Local` for it) looking for `key`.
+/// Indirection records on the chain whose range covers the key are followed
+/// onto the named log — on an in-process tier every log is readable, so
+/// multi-hop chains resolve transitively.
 pub(crate) fn fetch_from_shared_chain(
-    tier: &Arc<SharedBlobTier>,
+    tier: &dyn TierService,
     source_log: LogId,
-    mut addr: Address,
+    addr: Address,
     key: u64,
-) -> Option<RecordOwned> {
+) -> LocalChainFetch {
+    let hash = shadowfax_faster::KeyHash::of(key).raw();
+    // Chain positions still to visit, LIFO: when an indirection is followed
+    // onto another log, that continuation is visited *before* the rest of
+    // the current chain (it holds the newer versions of covered keys).
+    let mut work: Vec<(LogId, Address)> = vec![(source_log, addr)];
     let mut hops = 0;
-    while addr.is_valid() && hops < 1_000_000 {
+    while let Some((log, addr)) = work.pop() {
+        if !addr.is_valid() {
+            continue;
+        }
+        hops += 1;
+        if hops > 1_000_000 {
+            return LocalChainFetch::Unreadable;
+        }
         let mut header_bytes = [0u8; RECORD_HEADER_BYTES];
-        tier.read_log(source_log, addr.raw(), &mut header_bytes)
-            .ok()?;
+        if tier.read_log(log, addr.raw(), &mut header_bytes).is_err() {
+            return LocalChainFetch::Unreadable;
+        }
         let header = RecordHeader::decode(&header_bytes);
         if header.is_null() {
-            return None;
+            continue;
+        }
+        if header.flags.contains(RecordFlags::INDIRECTION) {
+            // The chain continues on another log; follow it if it can cover
+            // the key (its payload carries the covered range).
+            let mut payload = vec![0u8; header.value_len as usize];
+            if tier
+                .read_log(log, addr.raw() + RECORD_HEADER_BYTES as u64, &mut payload)
+                .is_err()
+            {
+                return LocalChainFetch::Unreadable;
+            }
+            work.push((log, header.prev));
+            if let Some(ind) = IndirectionRecord::decode_value(&payload) {
+                if ind.range.contains(hash) {
+                    work.push((ind.source_log, ind.chain_address));
+                }
+            }
+            continue;
         }
         if header.key == key {
             let mut value = vec![0u8; header.value_len as usize];
-            if !value.is_empty() {
-                tier.read_log(
-                    source_log,
-                    addr.raw() + RECORD_HEADER_BYTES as u64,
-                    &mut value,
-                )
-                .ok()?;
+            if !value.is_empty()
+                && tier
+                    .read_log(log, addr.raw() + RECORD_HEADER_BYTES as u64, &mut value)
+                    .is_err()
+            {
+                return LocalChainFetch::Unreadable;
             }
             if header.flags.contains(RecordFlags::TOMBSTONE) {
-                return None;
+                return LocalChainFetch::Missing;
             }
-            return Some(RecordOwned { header, value });
+            return LocalChainFetch::Found(RecordOwned { header, value });
+        }
+        work.push((log, header.prev));
+    }
+    LocalChainFetch::Missing
+}
+
+/// The outcome of one serving-side chain walk page.
+#[derive(Debug)]
+pub(crate) enum ChainWalk {
+    /// The walk progressed: the page's records plus the address to resume
+    /// from (0 when the chain is exhausted).
+    Page(Vec<TierRecord>, u64),
+    /// The tier failed to read at `address` mid-walk.  The chain must be
+    /// reported as *unreadable*, never as exhausted — a fetcher that takes
+    /// a truncated walk for the full chain would turn a transient tier
+    /// error into an acknowledged "not found".
+    Unreadable {
+        /// The address whose read failed.
+        address: u64,
+    },
+}
+
+/// Walks the chain rooted at `addr` in `source_log` on the local shared
+/// tier, collecting records — newest first, one per key (the first
+/// occurrence on the chain is the newest version), skipping records marked
+/// invalid — until `max_records` or `max_bytes` of value payload is
+/// reached (at least one record always makes progress).  Tombstones and
+/// indirection records are included *with their flags* so the fetching side
+/// can distinguish "deleted" from "never existed".
+///
+/// This is the serving half of the cross-process chain-fetch protocol: the
+/// process hosting the log runs it on behalf of a peer that received an
+/// indirection record during migration.
+pub(crate) fn read_chain_records(
+    tier: &SharedBlobTier,
+    source_log: LogId,
+    mut addr: Address,
+    max_records: usize,
+    max_bytes: usize,
+) -> ChainWalk {
+    let mut records = Vec::new();
+    let mut seen_keys: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut bytes = 0usize;
+    let mut hops = 0;
+    while addr.is_valid() && hops < 1_000_000 {
+        if records.len() >= max_records || bytes >= max_bytes {
+            return ChainWalk::Page(records, addr.raw());
+        }
+        let mut header_bytes = [0u8; RECORD_HEADER_BYTES];
+        if tier
+            .read_log(source_log, addr.raw(), &mut header_bytes)
+            .is_err()
+        {
+            return ChainWalk::Unreadable {
+                address: addr.raw(),
+            };
+        }
+        let header = RecordHeader::decode(&header_bytes);
+        if header.is_null() {
+            // Zeroed space: the chain ran into never-written padding, which
+            // only happens at the end of a chain.
+            break;
+        }
+        let skip = header.flags.contains(RecordFlags::INVALID) || !seen_keys.insert(header.key);
+        if !skip {
+            let mut value = vec![0u8; header.value_len as usize];
+            if !value.is_empty()
+                && tier
+                    .read_log(
+                        source_log,
+                        addr.raw() + RECORD_HEADER_BYTES as u64,
+                        &mut value,
+                    )
+                    .is_err()
+            {
+                return ChainWalk::Unreadable {
+                    address: addr.raw(),
+                };
+            }
+            bytes += RECORD_HEADER_BYTES + value.len();
+            records.push(TierRecord {
+                key: header.key,
+                flags: header.flags.bits(),
+                value,
+            });
         }
         addr = header.prev;
         hops += 1;
     }
-    None
+    ChainWalk::Page(records, 0)
 }
 
 #[cfg(test)]

@@ -159,12 +159,15 @@ impl Server {
             .server(config.id)
             .map(|m| (m.view, m.owned.clone()))
             .unwrap_or((1, RangeSet::empty()));
+        let tier_service =
+            RwLock::new(Arc::clone(&shared_tier) as Arc<dyn shadowfax_storage::TierService>);
         Arc::new(Server {
             store,
             meta,
             kv_net,
             mig_net,
             shared_tier,
+            tier_service,
             serving_view: AtomicU64::new(view),
             owned: RwLock::new(owned),
             mig_connector: RwLock::new(None),
@@ -179,6 +182,7 @@ impl Server {
             pending_gauge: AtomicU64::new(0),
             total_pended: AtomicU64::new(0),
             indirection_fetches: AtomicU64::new(0),
+            remote_chain_fetches: AtomicU64::new(0),
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),

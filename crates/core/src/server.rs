@@ -21,7 +21,9 @@ use shadowfax_faster::{Checkpoint, Faster, FasterSession, KeyHash, ReadOutcome, 
 use shadowfax_net::{
     BatchReply, Connection, KvRequest, KvResponse, MigrationLink, RequestBatch, SimNetwork,
 };
-use shadowfax_storage::{LogId, SharedBlobTier};
+use shadowfax_storage::{
+    ChainFetch, ChainFetchRequest, LogId, SharedBlobTier, TierRecord, TierService,
+};
 
 use crate::config::{OwnershipCheck, ServerConfig};
 use crate::hash_range::RangeSet;
@@ -92,6 +94,11 @@ pub struct Server {
     pub(crate) kv_net: Arc<KvNetwork>,
     pub(crate) mig_net: Arc<MigrationNetwork>,
     pub(crate) shared_tier: Arc<SharedBlobTier>,
+    /// Resolves spilled record chains named by indirection records.  Defaults
+    /// to the process-local [`SharedBlobTier`]; the RPC layer installs a
+    /// router that fetches chains from peer processes over TCP when the
+    /// indirection names a log this process does not host.
+    pub(crate) tier_service: RwLock<Arc<dyn TierService>>,
     /// The view number the server validates batches against.  Lags the
     /// metadata store's view until the appropriate migration phase flips it.
     pub(crate) serving_view: AtomicU64,
@@ -134,6 +141,9 @@ pub struct Server {
     /// Count of records fetched from the shared tier to resolve indirection
     /// records during normal operation.
     pub(crate) indirection_fetches: AtomicU64,
+    /// Count of chain fetches answered by a *remote* tier service (the chain
+    /// was pulled from another process over the wire).
+    pub(crate) remote_chain_fetches: AtomicU64,
     /// Per-dispatch-thread loop counters.  A thread increments its counter at
     /// the top of every loop iteration; migration uses them to wait until
     /// every thread has passed an operation-sequence boundary after the
@@ -181,12 +191,14 @@ impl Server {
             initial_ranges.clone(),
         );
         let view = meta.view_of(config.id).unwrap_or(1);
+        let tier_service: Arc<dyn TierService> = Arc::clone(&shared_tier) as Arc<dyn TierService>;
         Arc::new(Server {
             store,
             meta,
             kv_net,
             mig_net,
             shared_tier,
+            tier_service: RwLock::new(tier_service),
             serving_view: AtomicU64::new(view),
             owned: RwLock::new(initial_ranges),
             mig_connector: RwLock::new(None),
@@ -201,6 +213,7 @@ impl Server {
             pending_gauge: AtomicU64::new(0),
             total_pended: AtomicU64::new(0),
             indirection_fetches: AtomicU64::new(0),
+            remote_chain_fetches: AtomicU64::new(0),
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),
@@ -226,6 +239,11 @@ impl Server {
     /// The log id under which this server writes to the shared tier.
     pub fn log_id(&self) -> LogId {
         LogId(self.config.id.0 as u64)
+    }
+
+    /// The shared blob tier this server's log spills to.
+    pub fn shared_tier(&self) -> &Arc<SharedBlobTier> {
+        &self.shared_tier
     }
 
     /// The view number currently used to validate batches.
@@ -262,6 +280,20 @@ impl Server {
     /// Records fetched from the shared tier to resolve indirection records.
     pub fn indirection_fetches(&self) -> u64 {
         self.indirection_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Chain fetches that were answered by a remote tier service (i.e. the
+    /// spilled chain lived in another process and crossed the wire).
+    pub fn remote_chain_fetches(&self) -> u64 {
+        self.remote_chain_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the service used to resolve spilled chains named by
+    /// indirection records.  The default reads the process-local
+    /// [`SharedBlobTier`]; the RPC layer installs a router that dials the
+    /// process hosting the log when the indirection names a remote one.
+    pub fn set_tier_service(&self, service: Arc<dyn TierService>) {
+        *self.tier_service.write() = service;
     }
 
     /// `true` while an outgoing (source-side) migration is in flight.
@@ -568,8 +600,13 @@ impl Server {
                             return ExecOutcome::Pend;
                         }
                         match self.resolve_indirection(*key, record.value(), session) {
-                            Some(()) => self.execute_resolved(op, session),
-                            None => self.finish_missing(op, session),
+                            IndirectionFetch::Resolved => self.execute_resolved(op, session),
+                            IndirectionFetch::Missing => self.finish_missing(op, session),
+                            // The chain lives in a process we could not reach
+                            // (or the fetch was rejected): the record is not
+                            // resolvable *yet*, which must never be reported
+                            // as a miss.  Stay pending and retry.
+                            IndirectionFetch::Unavailable => ExecOutcome::Pend,
                         }
                     }
                     Ok(ReadOutcome::Found { .. }) => self.execute_resolved(op, session),
@@ -624,36 +661,153 @@ impl Server {
         }
     }
 
-    /// Fetches the record for `key` from the shared tier by following the
-    /// chain named by an indirection record's payload, inserting it locally.
-    /// Returns `None` if the key does not exist on the source's chain.
-    fn resolve_indirection(&self, key: u64, payload: &[u8], session: &FasterSession) -> Option<()> {
-        let ind = IndirectionRecord::decode_value(payload)?;
-        let record = crate::migration::fetch_from_shared_chain(
-            &self.shared_tier,
-            ind.source_log,
-            ind.chain_address,
+    /// Fetches the record for `key` by following the chain named by an
+    /// indirection record's payload — through the installed [`TierService`],
+    /// so the chain may live on the process-local shared tier or in another
+    /// process reached over the wire — and inserts what it finds locally.
+    fn resolve_indirection(
+        &self,
+        key: u64,
+        payload: &[u8],
+        session: &FasterSession,
+    ) -> IndirectionFetch {
+        let Some(ind) = IndirectionRecord::decode_value(payload) else {
+            return IndirectionFetch::Missing;
+        };
+        let service = self.tier_service.read().clone();
+        let request = ChainFetchRequest {
+            log: ind.source_log,
+            address: ind.chain_address.raw(),
             key,
-        )?;
-        self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
-        // Insert unless a newer local version appeared meanwhile.
-        if matches!(session.read_outcome(key), Ok(ReadOutcome::NotFound))
-            || matches!(
-                session.read_outcome(key),
-                Ok(ReadOutcome::Found { ref record, .. }) if record.is_indirection()
-            )
-        {
-            let _ = self
-                .store
-                .insert_record(key, record.value(), RecordFlags::empty(), session);
+            requester: self.config.id.0 as u64,
+            view: self.serving_view(),
+        };
+        match service.fetch_chain(&request) {
+            ChainFetch::Local => match crate::migration::fetch_from_shared_chain(
+                service.as_ref(),
+                ind.source_log,
+                ind.chain_address,
+                key,
+            ) {
+                crate::migration::LocalChainFetch::Found(record) => {
+                    self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+                    self.insert_fetched_record(key, record.value(), false, session);
+                    IndirectionFetch::Resolved
+                }
+                crate::migration::LocalChainFetch::Missing => IndirectionFetch::Missing,
+                crate::migration::LocalChainFetch::Unreadable => IndirectionFetch::Unavailable,
+            },
+            ChainFetch::Records(records) => {
+                self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+                self.remote_chain_fetches.fetch_add(1, Ordering::Relaxed);
+                self.absorb_chain_records(key, &ind.range, &records, session)
+            }
+            ChainFetch::Unavailable(_) => IndirectionFetch::Unavailable,
         }
-        Some(())
+    }
+
+    /// Applies a remotely fetched chain batch: every live record whose hash
+    /// falls in the indirection's covered range is inserted (unless a newer
+    /// local version exists), amortizing the round trip over the whole
+    /// chain.  Reports whether the requested `key` was found live.
+    fn absorb_chain_records(
+        &self,
+        key: u64,
+        range: &crate::hash_range::HashRange,
+        records: &[TierRecord],
+        session: &FasterSession,
+    ) -> IndirectionFetch {
+        // Records arrive newest-first; only the first relevant occurrence
+        // for the requested key (its newest spilled version, or the newest
+        // indirection whose range covers it) decides the outcome.
+        let hash = KeyHash::of(key).raw();
+        let mut requested: Option<IndirectionFetch> = None;
+        // Ranges covered by nested indirections seen so far on the chain.
+        // Records *below* such an indirection are older than whatever lives
+        // behind it on the third process's log: neither their values nor
+        // their outcomes can be trusted, so they are skipped entirely —
+        // caching one would later serve a stale version.
+        let mut shadowed: Vec<crate::hash_range::HashRange> = Vec::new();
+        for rec in records {
+            let flags = RecordFlags::from_bits(rec.flags);
+            if flags.contains(RecordFlags::INDIRECTION) {
+                // An indirection on the *source's* chain (the source was
+                // itself a migration target once): the chain continues on a
+                // third process's log.  If it covers the requested key, the
+                // key may live behind it — resolving through a second hop is
+                // future work, so the fetch is *not resolvable yet*; it must
+                // never fall through to "missing".
+                if let Some(ind) = IndirectionRecord::decode_value(&rec.value) {
+                    if requested.is_none() && ind.range.contains(hash) {
+                        requested = Some(IndirectionFetch::Unavailable);
+                    }
+                    shadowed.push(ind.range);
+                }
+                continue;
+            }
+            if flags.contains(RecordFlags::INVALID) {
+                continue;
+            }
+            let rec_hash = KeyHash::of(rec.key).raw();
+            if shadowed.iter().any(|r| r.contains(rec_hash)) {
+                continue;
+            }
+            let tombstone = flags.contains(RecordFlags::TOMBSTONE);
+            if rec.key == key && requested.is_none() {
+                requested = Some(if tombstone {
+                    IndirectionFetch::Missing
+                } else {
+                    IndirectionFetch::Resolved
+                });
+            }
+            if !range.contains(rec_hash) {
+                continue;
+            }
+            // Tombstones are cached too: overwriting the local indirection
+            // record means later reads of the deleted key resolve locally
+            // instead of re-fetching the chain on every attempt.
+            self.insert_fetched_record(rec.key, &rec.value, tombstone, session);
+        }
+        requested.unwrap_or(IndirectionFetch::Missing)
+    }
+
+    /// Inserts a record fetched from the shared tier unless a newer local
+    /// version (anything that is not an indirection record) already exists.
+    fn insert_fetched_record(
+        &self,
+        key: u64,
+        value: &[u8],
+        tombstone: bool,
+        session: &FasterSession,
+    ) {
+        match session.read_outcome(key) {
+            Ok(ReadOutcome::Found { ref record, .. }) if !record.is_indirection() => {}
+            _ => {
+                let flags = if tombstone {
+                    RecordFlags::TOMBSTONE
+                } else {
+                    RecordFlags::empty()
+                };
+                let _ = self.store.insert_record(key, value, flags, session);
+            }
+        }
     }
 }
 
 enum ExecOutcome {
     Done(KvResponse),
     Pend,
+}
+
+/// What resolving an indirection record produced.
+enum IndirectionFetch {
+    /// The record was fetched and inserted locally.
+    Resolved,
+    /// The chain holds no live record for the key.
+    Missing,
+    /// The chain could not be read right now (remote tier unreachable or the
+    /// fetch was rejected); the operation must stay pending.
+    Unavailable,
 }
 
 /// Join handle for a server's dispatch threads.

@@ -33,6 +33,9 @@ pub enum StatusCode {
     Oversized = 6,
     /// The server could not execute a control operation.
     ControlFailed = 7,
+    /// The request referenced a log address beyond what the addressed log
+    /// has ever covered (chain fetches against the shared tier).
+    OutOfRange = 8,
 }
 
 impl StatusCode {
@@ -47,6 +50,7 @@ impl StatusCode {
             5 => StatusCode::Malformed,
             6 => StatusCode::Oversized,
             7 => StatusCode::ControlFailed,
+            8 => StatusCode::OutOfRange,
             _ => return None,
         })
     }
@@ -68,6 +72,7 @@ impl fmt::Display for StatusCode {
             StatusCode::Malformed => "malformed frame",
             StatusCode::Oversized => "oversized frame",
             StatusCode::ControlFailed => "control operation failed",
+            StatusCode::OutOfRange => "log address out of range",
         };
         f.write_str(s)
     }
@@ -199,6 +204,7 @@ mod tests {
             StatusCode::Malformed,
             StatusCode::Oversized,
             StatusCode::ControlFailed,
+            StatusCode::OutOfRange,
         ] {
             assert_eq!(StatusCode::from_u8(code.as_u8()), Some(code));
         }

@@ -15,7 +15,10 @@
 //!                                move FRACTION of FROM's first range to TO;
 //!                                waits for both sides to complete unless
 //!                                --no-wait is given
-//!   status ID                    print the state of migration ID
+//!   status ID                    print the state of migration ID; exits 1
+//!                                if ID is unknown and 4 if it was cancelled
+//!   tier-stats                   print the process's shared-tier chain-fetch
+//!                                counters
 //!   bench [--ops N] [--keys K] [--value-size B] [--read-fraction F]
 //!         [--zipf] [--batch OPS] [--inflight B]
 //!                                loopback throughput benchmark (pipelined
@@ -33,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: shadowfax-cli --addr HOST:PORT \
          (ping | ownership | get K | put K V | del K | rmw K D | \
-         migrate FROM TO FRACTION | bench [opts])"
+         migrate FROM TO FRACTION | status ID | tier-stats | bench [opts])"
     );
     std::process::exit(2)
 }
@@ -199,6 +202,9 @@ fn main() {
             );
             let mut ctrl =
                 CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            // An unknown migration id surfaces as a server error and exits 1
+            // via `fail`; a known-but-cancelled migration gets its own
+            // nonzero code so scripts can tell the outcomes apart.
             let state = ctrl.migration_status(id).unwrap_or_else(|e| fail(e));
             println!(
                 "migration {id}: {} (source_complete={}, target_complete={})",
@@ -212,6 +218,23 @@ fn main() {
                 state.source_complete,
                 state.target_complete
             );
+            if state.cancelled {
+                std::process::exit(4);
+            }
+        }
+        "tier-stats" => {
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let stats = ctrl.tier_stats().unwrap_or_else(|e| fail(e));
+            println!(
+                "chain fetches served: {} ({} records)",
+                stats.served, stats.records_served
+            );
+            println!(
+                "rejected: {} stale-view, {} out-of-range",
+                stats.rejected_stale_view, stats.rejected_out_of_range
+            );
+            println!("remote chain fetches issued: {}", stats.remote_fetches);
         }
         "bench" => {
             let mut opts = BenchOptions::default();

@@ -24,7 +24,9 @@
 use std::sync::Arc;
 
 use shadowfax::{Cluster, ClusterConfig, HashRange, PeerServer, RangeSet, ServerId};
-use shadowfax_rpc::{RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport};
+use shadowfax_rpc::{
+    RemoteTierService, RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport,
+};
 
 struct Args {
     listen: String,
@@ -159,6 +161,12 @@ fn main() {
         Arc::clone(cluster.migration_network()),
         TcpTransport::default(),
     ));
+    // Resolve indirection records whose chains live in peer processes by
+    // fetching them over TCP; local logs keep the in-memory read path.
+    cluster.set_tier_service(Arc::new(RemoteTierService::new(
+        Arc::clone(cluster.shared_tier()),
+        Arc::clone(cluster.meta()),
+    )));
     let rpc = RpcServer::serve(
         Arc::clone(&cluster) as Arc<dyn shadowfax_rpc::ClusterControl>,
         RpcServerConfig {

@@ -27,9 +27,19 @@
 //! view-tagged [`MigrationMsg`]s (`PrepForTransfer`, `TakeOwnership`,
 //! `PushHotRecords`, `PushRecordBatch`, `CompleteMigration`, acks, and
 //! compaction hand-offs) that the core state machines exchange.
+//!
+//! Chain-fetch frames serve the *shared tier* across processes: a target
+//! that received an indirection record naming a log another process hosts
+//! sends a view-tagged [`WireMsg::FetchChain`] and gets the spilled chain's
+//! records back in one [`WireMsg::ChainRecords`] batch (stale views and
+//! out-of-range addresses are rejected with typed `CtrlErr` frames).
 
-use shadowfax::{HashRange, MigratedItem, MigrationAckPhase, MigrationMsg, ServerId};
+use shadowfax::{
+    ChainFetchQuery, ChainFetchReply, HashRange, MigratedItem, MigrationAckPhase, MigrationMsg,
+    ServerId,
+};
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
+use shadowfax_storage::TierRecord;
 
 /// Default per-frame size limit (16 MiB): far above any sane batch, low
 /// enough that a corrupt length prefix cannot OOM the receiver.
@@ -51,6 +61,10 @@ mod kind {
     pub const MIG_STATE: u8 = 0x28;
     pub const MIG_HELLO: u8 = 0x30;
     pub const MIGRATION: u8 = 0x31;
+    pub const FETCH_CHAIN: u8 = 0x40;
+    pub const CHAIN_RECORDS: u8 = 0x41;
+    pub const GET_TIER_STATS: u8 = 0x42;
+    pub const TIER_STATS: u8 = 0x43;
 }
 
 /// Errors from encoding or decoding frames.
@@ -232,6 +246,35 @@ pub enum WireMsg {
     /// A migration-protocol message (either direction on a migration
     /// connection).
     Migration(MigrationMsg),
+    /// View-tagged request to read a spilled record chain out of the
+    /// receiving process's shared-tier log (sent by a process that received
+    /// an indirection record naming a log it does not host).  Answered with
+    /// [`WireMsg::ChainRecords`], or a [`WireMsg::CtrlErr`] carrying
+    /// [`StatusCode::StaleView`] (view tag older than the requester's
+    /// registered view) or [`StatusCode::OutOfRange`] (address beyond the
+    /// log's written extent, or unknown log).
+    FetchChain(ChainFetchQuery),
+    /// The record batch answering a [`WireMsg::FetchChain`].
+    ChainRecords(ChainFetchReply),
+    /// Request the shared-tier serving counters (control plane).
+    GetTierStats,
+    /// The shared-tier counters (control plane reply).
+    TierStats(WireTierStats),
+}
+
+/// Shared-tier chain-fetch counters, as carried on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTierStats {
+    /// Chain fetches this process served out of its shared tier.
+    pub served: u64,
+    /// Total records across all served batches.
+    pub records_served: u64,
+    /// Fetches rejected for a stale view tag.
+    pub rejected_stale_view: u64,
+    /// Fetches rejected for an out-of-range address or unknown log.
+    pub rejected_out_of_range: u64,
+    /// Chain fetches this process resolved against *remote* tiers.
+    pub remote_fetches: u64,
 }
 
 /// The state of one migration, as carried on the wire.
@@ -529,6 +572,35 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
             body.push(kind::MIGRATION);
             put_migration_msg(&mut body, msg);
         }
+        WireMsg::FetchChain(query) => {
+            body.push(kind::FETCH_CHAIN);
+            put_u32(&mut body, query.requester);
+            put_u64(&mut body, query.view);
+            put_u64(&mut body, query.log);
+            put_u64(&mut body, query.address);
+            put_u32(&mut body, query.max_records);
+        }
+        WireMsg::ChainRecords(reply) => {
+            body.push(kind::CHAIN_RECORDS);
+            put_u64(&mut body, reply.log);
+            put_u64(&mut body, reply.address);
+            put_u64(&mut body, reply.next);
+            put_u32(&mut body, reply.records.len() as u32);
+            for rec in &reply.records {
+                put_u64(&mut body, rec.key);
+                body.extend_from_slice(&rec.flags.to_le_bytes());
+                put_bytes(&mut body, &rec.value);
+            }
+        }
+        WireMsg::GetTierStats => body.push(kind::GET_TIER_STATS),
+        WireMsg::TierStats(stats) => {
+            body.push(kind::TIER_STATS);
+            put_u64(&mut body, stats.served);
+            put_u64(&mut body, stats.records_served);
+            put_u64(&mut body, stats.rejected_stale_view);
+            put_u64(&mut body, stats.rejected_out_of_range);
+            put_u64(&mut body, stats.remote_fetches);
+        }
     }
     let mut frame = Vec::with_capacity(4 + body.len());
     put_u32(&mut frame, body.len() as u32);
@@ -558,6 +630,15 @@ impl<'a> Reader<'a> {
         let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
         self.pos += 1;
         Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        if self.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        Ok(v)
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
@@ -860,6 +941,41 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
             thread: r.u32()?,
         },
         kind::MIGRATION => WireMsg::Migration(get_migration_msg(&mut r)?),
+        kind::FETCH_CHAIN => WireMsg::FetchChain(ChainFetchQuery {
+            requester: r.u32()?,
+            view: r.u64()?,
+            log: r.u64()?,
+            address: r.u64()?,
+            max_records: r.u32()?,
+        }),
+        kind::CHAIN_RECORDS => {
+            let log = r.u64()?;
+            let address = r.u64()?;
+            let next = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut records = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                records.push(TierRecord {
+                    key: r.u64()?,
+                    flags: r.u16()?,
+                    value: r.bytes()?,
+                });
+            }
+            WireMsg::ChainRecords(ChainFetchReply {
+                log,
+                address,
+                next,
+                records,
+            })
+        }
+        kind::GET_TIER_STATS => WireMsg::GetTierStats,
+        kind::TIER_STATS => WireMsg::TierStats(WireTierStats {
+            served: r.u64()?,
+            records_served: r.u64()?,
+            rejected_stale_view: r.u64()?,
+            rejected_out_of_range: r.u64()?,
+            remote_fetches: r.u64()?,
+        }),
         tag => {
             return Err(CodecError::BadTag {
                 context: "frame kind",
@@ -1286,6 +1402,75 @@ mod tests {
                 tag: 0x7E
             })
         ));
+    }
+
+    fn sample_chain_reply() -> ChainFetchReply {
+        ChainFetchReply {
+            log: 3,
+            address: 0x40,
+            next: 0x1234,
+            records: vec![
+                TierRecord {
+                    key: 11,
+                    flags: 0,
+                    value: vec![0xEE; 48],
+                },
+                TierRecord {
+                    key: 12,
+                    flags: 0b0001, // tombstone
+                    value: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_chain_fetch_frames() {
+        roundtrip(WireMsg::FetchChain(ChainFetchQuery {
+            requester: 1,
+            view: 7,
+            log: 0,
+            address: 0x9_4000,
+            max_records: 256,
+        }));
+        roundtrip(WireMsg::ChainRecords(sample_chain_reply()));
+        roundtrip(WireMsg::ChainRecords(ChainFetchReply {
+            log: 0,
+            address: 64,
+            next: 0,
+            records: Vec::new(),
+        }));
+        roundtrip(WireMsg::GetTierStats);
+        roundtrip(WireMsg::TierStats(WireTierStats {
+            served: 5,
+            records_served: 1234,
+            rejected_stale_view: 1,
+            rejected_out_of_range: 2,
+            remote_fetches: 99,
+        }));
+    }
+
+    #[test]
+    fn truncated_chain_frames_are_rejected_at_every_cut() {
+        for msg in [
+            WireMsg::FetchChain(ChainFetchQuery {
+                requester: 1,
+                view: 7,
+                log: 0,
+                address: 64,
+                max_records: 8,
+            }),
+            WireMsg::ChainRecords(sample_chain_reply()),
+            WireMsg::TierStats(WireTierStats::default()),
+        ] {
+            let frame = encode_frame(&msg);
+            for cut in 0..frame.len() {
+                match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                    Err(CodecError::Truncated) => {}
+                    other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,11 +10,12 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use shadowfax::{ChainFetchQuery, ChainFetchReply};
 use shadowfax_net::StatusCode;
 
 use crate::codec::{
     encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg, WireOwnership,
-    MAX_FRAME_BYTES,
+    WireTierStats, MAX_FRAME_BYTES,
 };
 
 /// Errors from RPC client operations.
@@ -181,6 +182,28 @@ impl CtrlClient {
                 )));
             }
             std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Fetches a spilled record chain out of the peer process's shared
+    /// tier.  Stale-view and out-of-range rejections surface as
+    /// [`RpcError::Remote`] with the corresponding [`StatusCode`].
+    pub fn fetch_chain(&mut self, query: &ChainFetchQuery) -> Result<ChainFetchReply, RpcError> {
+        match self.roundtrip(&WireMsg::FetchChain(*query))? {
+            WireMsg::ChainRecords(reply) => Ok(reply),
+            other => Err(RpcError::Protocol(format!(
+                "expected ChainRecords, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the peer process's shared-tier chain-fetch counters.
+    pub fn tier_stats(&mut self) -> Result<WireTierStats, RpcError> {
+        match self.roundtrip(&WireMsg::GetTierStats)? {
+            WireMsg::TierStats(stats) => Ok(stats),
+            other => Err(RpcError::Protocol(format!(
+                "expected TierStats, got {other:?}"
+            ))),
         }
     }
 

@@ -24,6 +24,11 @@
 //!   `PushRecordBatch`, `CompleteMigration`) between serving processes, so
 //!   hash-range ownership and the records underneath it move between OS
 //!   processes under live load.
+//! * [`RemoteTierService`] — the cross-process shared tier: indirection
+//!   records naming a log another process hosts are resolved with
+//!   view-tagged `FetchChain` requests; the hosting process walks the
+//!   spilled chain out of its shared-tier log and returns the records in
+//!   one batch (stale views and out-of-range addresses are rejected).
 //! * [`bench`] — a loopback throughput micro-benchmark used by
 //!   `shadowfax-cli bench` and the integration tests.
 //!
@@ -39,14 +44,16 @@ mod ctrl;
 mod fabric;
 mod server;
 mod tcp;
+mod tier;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats};
 pub use codec::{
     decode_frame, encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg,
-    WireOwnership, WireServerInfo, MAX_FRAME_BYTES,
+    WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 pub use ctrl::{CtrlClient, RpcError};
 pub use fabric::TcpMigrationConnector;
 pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle};
 pub use tcp::{TcpLink, TcpMigrationLink, TcpTransport};
+pub use tier::RemoteTierService;

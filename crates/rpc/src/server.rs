@@ -22,12 +22,14 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use shadowfax::{Cluster, MigrationMsg, ServerId};
+use shadowfax::{
+    ChainFetchError, ChainFetchQuery, ChainFetchReply, Cluster, MigrationMsg, ServerId,
+};
 use shadowfax_net::{KvLink, MigrationLink, StatusCode, Transport, TransportError};
 
 use crate::codec::{
     encode_frame, FrameDecoder, WireMigrationState, WireMsg, WireOwnership, WireServerInfo,
-    MAX_FRAME_BYTES,
+    WireTierStats, MAX_FRAME_BYTES,
 };
 use crate::tcp::write_all_nonblocking;
 
@@ -54,6 +56,15 @@ pub trait ClusterControl: Send + Sync {
         server: u32,
         thread: u32,
     ) -> Result<Box<dyn MigrationLink<MigrationMsg>>, TransportError>;
+
+    /// Serves a view-tagged chain fetch out of this process's shared tier.
+    /// The error carries the typed status reported back to the peer
+    /// (`StaleView`, `OutOfRange`, ...).
+    fn fetch_chain(&self, query: &ChainFetchQuery)
+        -> Result<ChainFetchReply, (StatusCode, String)>;
+
+    /// The process's shared-tier serving and remote-fetch counters.
+    fn tier_stats(&self) -> WireTierStats;
 }
 
 impl ClusterControl for Cluster {
@@ -123,6 +134,35 @@ impl ClusterControl for Cluster {
         match self.migration_network().connect(&addr) {
             Some(conn) => Ok(Box::new(conn)),
             None => Err(TransportError::ConnectionRefused { addr }),
+        }
+    }
+
+    fn fetch_chain(
+        &self,
+        query: &ChainFetchQuery,
+    ) -> Result<ChainFetchReply, (StatusCode, String)> {
+        self.serve_chain_fetch(query).map_err(|e| {
+            let status = match &e {
+                ChainFetchError::StaleView { .. } | ChainFetchError::UnknownRequester(_) => {
+                    StatusCode::StaleView
+                }
+                ChainFetchError::OutOfRange { .. } | ChainFetchError::UnknownLog(_) => {
+                    StatusCode::OutOfRange
+                }
+                ChainFetchError::Unreadable { .. } => StatusCode::Io,
+            };
+            (status, e.to_string())
+        })
+    }
+
+    fn tier_stats(&self) -> WireTierStats {
+        let served = self.chain_fetch_stats();
+        WireTierStats {
+            served: served.served,
+            records_served: served.records_served,
+            rejected_stale_view: served.rejected_stale_view,
+            rejected_out_of_range: served.rejected_out_of_range,
+            remote_fetches: self.remote_chain_fetches(),
         }
     }
 }
@@ -363,6 +403,17 @@ impl ServedConn {
                             message: msg,
                         }),
                     }
+                }
+                WireMsg::FetchChain(query) => match control.fetch_chain(&query) {
+                    Ok(reply) => self.send(&WireMsg::ChainRecords(reply)),
+                    // A rejection is a protocol-level answer, not a framing
+                    // violation: report the typed status and keep the
+                    // connection alive for further fetches.
+                    Err((status, message)) => self.send(&WireMsg::CtrlErr { status, message }),
+                },
+                WireMsg::GetTierStats => {
+                    let stats = control.tier_stats();
+                    self.send(&WireMsg::TierStats(stats));
                 }
                 WireMsg::GetOwnership => {
                     let own = control.ownership();

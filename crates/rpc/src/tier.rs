@@ -1,0 +1,203 @@
+//! The remote tier service: resolving spilled chains across OS processes.
+//!
+//! During migration the source ships *indirection records* naming a
+//! `(log id, address)` location on the shared tier instead of reading its
+//! own stable storage (paper §3.3.2).  In-process deployments resolve those
+//! against the process-local `SharedBlobTier`.  [`RemoteTierService`] lifts
+//! that to multi-process deployments: when the named log belongs to a peer
+//! registered with a socket address, the fetch is routed over TCP as a
+//! view-tagged `FetchChain` request and the peer's `RpcServer` walks the
+//! chain out of its shared-tier log, returning the records in one batch.
+//!
+//! Failure semantics matter here: a chain that cannot be fetched right now
+//! (peer down, fetch rejected) is reported as
+//! [`ChainFetch::Unavailable`], which the core read path turns into a
+//! *pending* operation — never a miss.  A short per-peer backoff keeps an
+//! unreachable peer from stalling dispatch threads on every retry.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use shadowfax::{ChainFetchQuery, MetadataStore, ServerId};
+use shadowfax_storage::{ChainFetch, ChainFetchRequest, LogId, SharedBlobTier, TierRecord};
+
+use crate::ctrl::CtrlClient;
+use crate::fabric::is_peer_socket_address;
+
+/// Resume-address pages fetched per chain before giving up.  With the
+/// default page size this bounds one resolution at tens of thousands of
+/// records — far beyond any realistic bucket chain.
+const MAX_PAGES: usize = 64;
+
+/// Records requested per `FetchChain` page.
+const RECORDS_PER_FETCH: u32 = 512;
+
+/// Upper bound on value bytes accumulated across one chain resolution
+/// before the fetch is reported unavailable instead (a chain this large is
+/// pathological; buffering it unboundedly could exhaust memory).
+const MAX_CHAIN_BYTES: usize = 32 * 1024 * 1024;
+
+/// A `TierService` that reads local logs from the process's own shared tier
+/// and fetches chains of remote logs from the peer process hosting them.
+pub struct RemoteTierService {
+    local: Arc<SharedBlobTier>,
+    meta: Arc<MetadataStore>,
+    /// Dial / I/O timeout for chain-fetch connections.
+    timeout: Duration,
+    /// How long to avoid re-dialling a peer after a connection failure.
+    backoff: Duration,
+    /// One cached request/response connection per peer address.  An entry is
+    /// taken out of the map for the duration of a round trip, so concurrent
+    /// fetches to one peer briefly open an extra connection instead of
+    /// serializing on a lock held across I/O.
+    conns: Mutex<HashMap<String, CtrlClient>>,
+    /// Peers that recently failed, with the time the failure was observed.
+    down_until: Mutex<HashMap<String, Instant>>,
+}
+
+impl std::fmt::Debug for RemoteTierService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteTierService")
+            .field("cached_conns", &self.conns.lock().len())
+            .finish()
+    }
+}
+
+impl RemoteTierService {
+    /// Creates a service over this process's shared tier and metadata store
+    /// (whose peer registrations map log ids to socket addresses).
+    pub fn new(local: Arc<SharedBlobTier>, meta: Arc<MetadataStore>) -> Self {
+        RemoteTierService {
+            local,
+            meta,
+            timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(250),
+            conns: Mutex::new(HashMap::new()),
+            down_until: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn take_conn(&self, addr: &str) -> Option<CtrlClient> {
+        self.conns.lock().remove(addr)
+    }
+
+    fn put_conn(&self, addr: &str, conn: CtrlClient) {
+        self.conns.lock().insert(addr.to_string(), conn);
+    }
+
+    fn peer_is_down(&self, addr: &str) -> bool {
+        match self.down_until.lock().get(addr) {
+            Some(until) => Instant::now() < *until,
+            None => false,
+        }
+    }
+
+    fn mark_down(&self, addr: &str) {
+        self.down_until
+            .lock()
+            .insert(addr.to_string(), Instant::now() + self.backoff);
+    }
+
+    /// Pages through the chain at the peer until the requested key shows up
+    /// or the chain is exhausted.  Records are deduplicated first-wins
+    /// across pages (the first occurrence is the newest version).
+    fn fetch_remote(&self, addr: &str, req: &ChainFetchRequest) -> ChainFetch {
+        if self.peer_is_down(addr) {
+            return ChainFetch::Unavailable(format!("peer {addr} is backing off"));
+        }
+        let mut conn = match self.take_conn(addr) {
+            Some(conn) => conn,
+            None => match CtrlClient::connect(addr, self.timeout) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.mark_down(addr);
+                    return ChainFetch::Unavailable(format!("dial {addr}: {e}"));
+                }
+            },
+        };
+        let mut records: Vec<TierRecord> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut total_bytes = 0usize;
+        let mut cursor = req.address;
+        for _ in 0..MAX_PAGES {
+            let query = ChainFetchQuery {
+                requester: req.requester as u32,
+                view: req.view,
+                log: req.log.0,
+                address: cursor,
+                max_records: RECORDS_PER_FETCH,
+            };
+            let reply = match conn.fetch_chain(&query) {
+                Ok(reply) => reply,
+                Err(crate::ctrl::RpcError::Remote { status, message }) => {
+                    // A typed rejection (stale view, out of range): the
+                    // connection is still good, the fetch is not.
+                    self.put_conn(addr, conn);
+                    return ChainFetch::Unavailable(format!(
+                        "peer {addr} rejected the fetch ({status}): {message}"
+                    ));
+                }
+                Err(e) => {
+                    self.mark_down(addr);
+                    return ChainFetch::Unavailable(format!("fetch from {addr}: {e}"));
+                }
+            };
+            let mut found = false;
+            for rec in reply.records {
+                if rec.key == req.key {
+                    found = true;
+                }
+                if seen.insert(rec.key) {
+                    total_bytes += rec.value.len();
+                    records.push(rec);
+                }
+            }
+            if found || reply.next == 0 {
+                self.put_conn(addr, conn);
+                return ChainFetch::Records(records);
+            }
+            if total_bytes > MAX_CHAIN_BYTES {
+                self.put_conn(addr, conn);
+                return ChainFetch::Unavailable(format!(
+                    "chain at {addr} log {} exceeded {MAX_CHAIN_BYTES} buffered bytes",
+                    req.log
+                ));
+            }
+            cursor = reply.next;
+        }
+        // The chain outlived the page budget without surfacing the key.
+        // Returning the partial batch would read as "missing"; report the
+        // fetch as unresolvable instead.
+        self.put_conn(addr, conn);
+        ChainFetch::Unavailable(format!(
+            "chain at {addr} log {} exceeded {MAX_PAGES} pages",
+            req.log
+        ))
+    }
+}
+
+impl shadowfax_storage::TierService for RemoteTierService {
+    fn read_log(&self, log: LogId, offset: u64, buf: &mut [u8]) -> shadowfax_storage::Result<()> {
+        self.local.read_log(log, offset, buf)
+    }
+
+    fn fetch_chain(&self, req: &ChainFetchRequest) -> ChainFetch {
+        // The log id is the owning server's cluster id; its registered
+        // address decides local vs remote (the same convention the
+        // migration connector uses).
+        let snapshot = self.meta.snapshot();
+        let Some(owner) = snapshot.server(ServerId(req.log.0 as u32)) else {
+            return ChainFetch::Unavailable(format!(
+                "no server registered for log {} (owner deregistered?)",
+                req.log
+            ));
+        };
+        if !is_peer_socket_address(&owner.address) {
+            return ChainFetch::Local;
+        }
+        self.fetch_remote(&owner.address.clone(), req)
+    }
+}

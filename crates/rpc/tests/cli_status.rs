@@ -1,0 +1,101 @@
+//! `shadowfax-cli status` exit codes: scripts must be able to distinguish
+//! "in flight / complete" (0) from "unknown migration" (1) and "cancelled"
+//! (4) without parsing output.
+//!
+//! The cluster runs in-process behind a real `RpcServer`; the CLI binary is
+//! spawned as a separate OS process against it.  Cancellation is driven
+//! directly at the metadata store (there is no wire-level cancel yet — see
+//! ROADMAP), which is exactly how the state a status query observes comes to
+//! exist.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use shadowfax::{Cluster, ClusterConfig, ServerId};
+use shadowfax_rpc::{ClusterControl, RpcServer, RpcServerConfig};
+
+fn cli_status(addr: &str, id: &str) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
+        .args(["--addr", addr, "status", id])
+        .output()
+        .expect("run shadowfax-cli");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).trim().to_string(),
+        String::from_utf8_lossy(&out.stderr).trim().to_string(),
+    )
+}
+
+#[test]
+fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
+    let cluster = Arc::new(Cluster::start(ClusterConfig::two_server_test()));
+    let rpc = RpcServer::serve(
+        Arc::clone(&cluster) as Arc<dyn ClusterControl>,
+        RpcServerConfig::default(),
+    )
+    .expect("bind rpc server");
+    let addr = rpc.local_addr().to_string();
+
+    // Unknown migration id: server-side error, exit 1.
+    let (code, _, stderr) = cli_status(&addr, "999");
+    assert_eq!(code, Some(1), "unknown id should exit 1; stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown migration"),
+        "unexpected stderr: {stderr}"
+    );
+
+    // An in-flight migration (recorded at the metadata store): exit 0.
+    let moving = cluster
+        .meta()
+        .snapshot()
+        .server(ServerId(0))
+        .expect("server 0 registered")
+        .owned
+        .ranges()[0]
+        .take_fraction(0.1);
+    let (id, ..) = cluster
+        .meta()
+        .transfer_ownership(ServerId(0), ServerId(1), &[moving])
+        .expect("record migration");
+    let id_str = id.to_string();
+    let (code, stdout, _) = cli_status(&addr, &id_str);
+    assert_eq!(code, Some(0), "in-flight status should exit 0");
+    assert!(stdout.contains("in flight"), "unexpected stdout: {stdout}");
+
+    // Cancelled: ownership rolled back, status reports it, exit 4.
+    cluster.meta().cancel_migration(id).expect("cancel");
+    let (code, stdout, _) = cli_status(&addr, &id_str);
+    assert_eq!(code, Some(4), "cancelled status should exit 4");
+    assert!(stdout.contains("cancelled"), "unexpected stdout: {stdout}");
+
+    // Completed (dependency garbage collected): exit 0.
+    let moving2 = cluster
+        .meta()
+        .snapshot()
+        .server(ServerId(0))
+        .expect("server 0 registered")
+        .owned
+        .ranges()[0]
+        .take_fraction(0.1);
+    let (id2, ..) = cluster
+        .meta()
+        .transfer_ownership(ServerId(0), ServerId(1), &[moving2])
+        .expect("record migration");
+    cluster
+        .meta()
+        .mark_complete(id2, ServerId(0))
+        .expect("source done");
+    cluster
+        .meta()
+        .mark_complete(id2, ServerId(1))
+        .expect("target done");
+    let (code, stdout, _) = cli_status(&addr, &id2.to_string());
+    assert_eq!(code, Some(0), "completed status should exit 0");
+    assert!(stdout.contains("complete"), "unexpected stdout: {stdout}");
+
+    rpc.shutdown();
+    match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster.shutdown(),
+        Err(_) => panic!("cluster still referenced after rpc shutdown"),
+    }
+}

@@ -17,87 +17,17 @@
 //! runs.
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
-use std::net::TcpListener;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use shadowfax_net::{KvRequest, KvResponse, SessionConfig};
 use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig};
 
+mod util;
+use util::{free_port, ServerSpawn};
+
 const KEYS: u64 = 1200;
 const VALUE_PAD: usize = 64;
-
-fn log_dir() -> PathBuf {
-    // target/test-logs, next to the test binary's target directory.
-    let mut dir = std::env::current_exe().expect("test binary path");
-    // .../target/debug/deps/<bin> -> .../target
-    dir.pop();
-    dir.pop();
-    dir.pop();
-    dir.push("test-logs");
-    std::fs::create_dir_all(&dir).expect("create test-logs dir");
-    dir
-}
-
-fn free_port() -> u16 {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
-    listener.local_addr().unwrap().port()
-}
-
-struct ServerProcess {
-    child: Child,
-    addr: String,
-}
-
-impl ServerProcess {
-    fn spawn(name: &str, listen_port: u16, base_id: u32, peer: &str) -> Self {
-        let log = File::create(log_dir().join(format!("multi_process_{name}.log")))
-            .expect("create server log file");
-        let mut child = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"))
-            .args([
-                "--listen",
-                &format!("127.0.0.1:{listen_port}"),
-                "--servers",
-                "1",
-                "--threads",
-                "2",
-                "--base-id",
-                &base_id.to_string(),
-                // Plenty of in-memory log so the live load never spills a
-                // migrating chain to the (per-process) SSD tier mid-test.
-                "--memory-pages",
-                "128",
-                "--peer",
-                peer,
-            ])
-            .stdout(Stdio::piped())
-            .stderr(Stdio::from(log))
-            .spawn()
-            .expect("spawn shadowfax-server");
-        let stdout = child.stdout.take().expect("server stdout piped");
-        let mut lines = BufReader::new(stdout).lines();
-        let first = lines
-            .next()
-            .expect("server exited before announcing its address")
-            .expect("read server stdout");
-        let addr = first
-            .strip_prefix("LISTENING ")
-            .unwrap_or_else(|| panic!("unexpected server banner: {first:?}"))
-            .to_string();
-        ServerProcess { child, addr }
-    }
-}
-
-impl Drop for ServerProcess {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
 
 fn value_for(key: u64, gen: u64) -> Vec<u8> {
     let mut v = format!("k{key}:g{gen}").into_bytes();
@@ -119,18 +49,33 @@ fn gen_of(key: u64, value: &[u8]) -> u64 {
 fn two_processes_migrate_half_the_space_under_live_load() {
     let source_port = free_port();
     let target_port = free_port();
-    let source = ServerProcess::spawn(
-        "source",
-        source_port,
-        0,
-        &format!("id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"),
-    );
-    let _target = ServerProcess::spawn(
-        "target",
-        target_port,
-        1,
-        &format!("id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"),
-    );
+    // Plenty of in-memory log so the live load never spills a migrating
+    // chain to the SSD tier mid-test (spill-before-migration is covered by
+    // shared_tier_reads.rs).
+    let source = ServerSpawn {
+        log_name: "multi_process_source".into(),
+        listen_port: source_port,
+        servers: 1,
+        base_id: 0,
+        memory_pages: Some(128),
+        peer: Some(format!(
+            "id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"
+        )),
+        ..ServerSpawn::default()
+    }
+    .spawn();
+    let _target = ServerSpawn {
+        log_name: "multi_process_target".into(),
+        listen_port: target_port,
+        servers: 1,
+        base_id: 1,
+        memory_pages: Some(128),
+        peer: Some(format!(
+            "id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"
+        )),
+        ..ServerSpawn::default()
+    }
+    .spawn();
 
     // The client bootstraps from the source process's control plane, which
     // holds the authoritative ownership map for this deployment.

@@ -2,50 +2,11 @@
 //! binary, then drives it with the `shadowfax-cli` binary over loopback TCP
 //! — the acceptance path for the serving binaries.
 
-use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, Stdio};
+use std::process::Command;
 use std::time::Duration;
 
-struct ServerProcess {
-    child: Child,
-    addr: String,
-}
-
-impl ServerProcess {
-    fn spawn() -> Self {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"))
-            .args([
-                "--listen",
-                "127.0.0.1:0",
-                "--servers",
-                "2",
-                "--threads",
-                "2",
-            ])
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn shadowfax-server");
-        let stdout = child.stdout.take().expect("server stdout piped");
-        let mut lines = BufReader::new(stdout).lines();
-        let first = lines
-            .next()
-            .expect("server exited before announcing its address")
-            .expect("read server stdout");
-        let addr = first
-            .strip_prefix("LISTENING ")
-            .unwrap_or_else(|| panic!("unexpected server banner: {first:?}"))
-            .to_string();
-        ServerProcess { child, addr }
-    }
-}
-
-impl Drop for ServerProcess {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
+mod util;
+use util::ServerSpawn;
 
 fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
@@ -63,7 +24,7 @@ fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn server_and_cli_as_separate_processes() {
-    let server = ServerProcess::spawn();
+    let server = ServerSpawn::default().spawn();
     let addr = server.addr.clone();
 
     // Liveness.

@@ -1,0 +1,133 @@
+//! Shared process-lifecycle harness for the multi-process integration
+//! tests: spawning `shadowfax-server` binaries, parsing the `LISTENING`
+//! banner, and killing the processes on drop (which is what the CI
+//! leaked-process assert relies on).  One copy — fixes to spawn/kill
+//! ordering apply to every test.
+
+#![allow(dead_code)]
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// `target/test-logs`, next to the test binary's target directory; server
+/// stderr goes here so CI can attach it to failed runs.
+pub fn log_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    // .../target/<profile>/deps/<bin> -> .../target
+    dir.pop();
+    dir.pop();
+    dir.pop();
+    dir.push("test-logs");
+    std::fs::create_dir_all(&dir).expect("create test-logs dir");
+    dir
+}
+
+/// Binds and drops an ephemeral port so a server can be given a port number
+/// other processes know in advance.
+pub fn free_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    listener.local_addr().unwrap().port()
+}
+
+/// Options for one `shadowfax-server` process.
+pub struct ServerSpawn {
+    /// Log file suffix under `target/test-logs`; empty discards stderr.
+    pub log_name: String,
+    /// Port to listen on (0 picks an ephemeral one).
+    pub listen_port: u16,
+    /// `--servers`.
+    pub servers: usize,
+    /// `--threads`.
+    pub threads: usize,
+    /// `--base-id`.
+    pub base_id: u32,
+    /// `--memory-pages`, when a test needs the log to spill.
+    pub memory_pages: Option<u64>,
+    /// `--peer` spec registering a server in another process.
+    pub peer: Option<String>,
+}
+
+impl Default for ServerSpawn {
+    fn default() -> Self {
+        ServerSpawn {
+            log_name: String::new(),
+            listen_port: 0,
+            servers: 2,
+            threads: 2,
+            base_id: 0,
+            memory_pages: None,
+            peer: None,
+        }
+    }
+}
+
+impl ServerSpawn {
+    /// Spawns the server and waits for its `LISTENING <addr>` banner.
+    pub fn spawn(self) -> ServerProcess {
+        let stderr = if self.log_name.is_empty() {
+            Stdio::null()
+        } else {
+            Stdio::from(
+                File::create(log_dir().join(format!("{}.log", self.log_name)))
+                    .expect("create server log file"),
+            )
+        };
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"));
+        cmd.args([
+            "--listen",
+            &format!("127.0.0.1:{}", self.listen_port),
+            "--servers",
+            &self.servers.to_string(),
+            "--threads",
+            &self.threads.to_string(),
+            "--base-id",
+            &self.base_id.to_string(),
+        ]);
+        if let Some(pages) = self.memory_pages {
+            cmd.args(["--memory-pages", &pages.to_string()]);
+        }
+        if let Some(peer) = &self.peer {
+            cmd.args(["--peer", peer]);
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(stderr)
+            .spawn()
+            .expect("spawn shadowfax-server");
+        let stdout = child.stdout.take().expect("server stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        let addr = first
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {first:?}"))
+            .to_string();
+        ServerProcess { child, addr }
+    }
+}
+
+/// A running `shadowfax-server` process, killed (and reaped) on drop.
+pub struct ServerProcess {
+    child: Child,
+    /// The socket address the server announced.
+    pub addr: String,
+}
+
+impl ServerProcess {
+    /// Kills the process now (used by tests that need a dead peer).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}

@@ -27,9 +27,11 @@ mod device;
 mod latency;
 mod shared_tier;
 mod sim_ssd;
+mod tier_service;
 
 pub use counters::{CounterSnapshot, DeviceCounters};
 pub use device::{Device, DeviceError, NullDevice, Result};
 pub use latency::LatencyModel;
 pub use shared_tier::{LogId, SharedBlobTier, SharedTierHandle};
 pub use sim_ssd::SimSsd;
+pub use tier_service::{ChainFetch, ChainFetchRequest, TierRecord, TierService};
