@@ -139,6 +139,23 @@ impl ChainFetchStats {
     }
 }
 
+/// Aggregated cancellation / liveness counters across a process's local
+/// servers (queried over the control plane and published by CI alongside
+/// the bench numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CancellationSnapshot {
+    /// Cancellation events at local servers — one per server *role* rolled
+    /// back.  A multi-process deployment reports one per process; a
+    /// migration whose source and target are both hosted here counts once
+    /// for each role.
+    pub migrations_cancelled: u64,
+    /// Migration items whose shipment was undone by cancellations.
+    pub records_rolled_back: u64,
+    /// Heartbeat intervals that elapsed without hearing from a migration
+    /// peer.
+    pub heartbeats_missed: u64,
+}
+
 /// A server running in *another* OS process, registered with this process's
 /// metadata store so local servers can route migrations (and clients can
 /// route requests) to it.
@@ -481,6 +498,90 @@ impl Cluster {
     ) -> Result<u64, String> {
         let src = self.server(source).ok_or("unknown source server")?;
         src.start_migration(ranges, target)
+    }
+
+    /// Cancels an in-flight migration (paper §3.3.1), the operator-driven
+    /// path behind `shadowfax-cli cancel`: the dependency is cancelled at
+    /// the metadata store (ownership of the migrating ranges rolls back to
+    /// the source, both views advance), and every *local* server involved
+    /// drops its in-flight state, checkpoints, and re-adopts the
+    /// post-cancellation ownership map.  A source hosted here relays the
+    /// cancellation to a remote target over the migration control link.
+    ///
+    /// Idempotent: cancelling an already-cancelled migration succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the migration id was never issued, or if it has already
+    /// completed on both sides (a durable migration cannot be rolled back).
+    pub fn cancel_migration(&self, migration_id: u64) -> Result<(), String> {
+        let dep = match self.meta.migration_state(migration_id) {
+            Err(e) => return Err(e.to_string()),
+            Ok(None) => {
+                return Err(format!(
+                    "migration {migration_id} already completed durably; it cannot be cancelled"
+                ))
+            }
+            Ok(Some(dep)) => dep,
+        };
+        // An already-cancelled migration is not an early return: a retried
+        // cancel is also the repair path for a server that missed the
+        // cancellation (e.g. the peer's best-effort relay was lost) and
+        // still holds in-flight state for the dead dependency.
+        let already_cancelled = dep.cancelled;
+        // Local servers drive their own rollback (their paths also cancel at
+        // the metadata store, and a local source relays the cancellation to
+        // its target over the migration control link).
+        let mut cancelled_by_server = false;
+        if let Some(src) = self.server(dep.source) {
+            cancelled_by_server |= src.cancel_migration_local(migration_id);
+        }
+        if let Some(tgt) = self.server(dep.target) {
+            cancelled_by_server |= tgt.cancel_migration_local(migration_id);
+        }
+        // No local server held in-flight state: cancel directly, and count
+        // it against an involved local server so the cancellation counters
+        // still reflect the operation.
+        if !already_cancelled && !cancelled_by_server {
+            self.meta
+                .cancel_migration(migration_id)
+                .map_err(|e| e.to_string())?;
+            if let Some(server) = self.server(dep.source).or_else(|| self.server(dep.target)) {
+                server.note_cancellation(
+                    migration_id,
+                    0,
+                    0,
+                    "operator request (no in-flight state held locally)",
+                );
+            }
+        }
+        // Safety net: whatever path ran, involved local servers drop any
+        // remaining in-flight state and adopt the post-cancellation
+        // ownership map and views.
+        for id in [dep.source, dep.target] {
+            if let Some(server) = self.server(id) {
+                server.abort_migration_state(migration_id);
+                server.refresh_ownership_from_meta();
+            }
+        }
+        match self.meta.migration_state(migration_id) {
+            Ok(Some(dep)) if dep.cancelled => Ok(()),
+            other => Err(format!(
+                "migration {migration_id} was not cancelled (state: {other:?})"
+            )),
+        }
+    }
+
+    /// Aggregated cancellation / liveness counters across local servers.
+    pub fn cancellation_stats(&self) -> CancellationSnapshot {
+        let mut snap = CancellationSnapshot::default();
+        for h in &self.handles {
+            let s = h.server();
+            snap.migrations_cancelled += s.migrations_cancelled();
+            snap.records_rolled_back += s.records_rolled_back();
+            snap.heartbeats_missed += s.heartbeats_missed();
+        }
+        snap
     }
 
     /// Removes and returns the handle of server `id`, if it is running.

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use shadowfax_faster::FasterConfig;
-use shadowfax_net::SessionConfig;
+use shadowfax_net::{LivenessConfig, SessionConfig};
 
 use crate::ServerId;
 
@@ -53,6 +53,12 @@ pub struct MigrationConfig {
     /// Maximum pending operations retried per dispatch-loop iteration at the
     /// target (bounds time spent on shared-tier fetches).
     pub pending_retries_per_iteration: usize,
+    /// Liveness of the migration peer: heartbeat pacing and the silence
+    /// budget after which the peer is declared dead and the migration is
+    /// cancelled (paper §3.3.1).  The target tolerates twice this budget
+    /// before declaring the source dead, so the source (which also sees
+    /// transport errors first) always wins the race to cancel cleanly.
+    pub liveness: LivenessConfig,
 }
 
 impl Default for MigrationConfig {
@@ -65,6 +71,7 @@ impl Default for MigrationConfig {
             buckets_per_iteration: 64,
             disk_scan_bytes_per_iteration: 256 * 1024,
             pending_retries_per_iteration: 256,
+            liveness: LivenessConfig::default(),
         }
     }
 }

@@ -53,8 +53,8 @@ mod server;
 
 pub use client::{ClientStats, OpCallback, ShadowfaxClient};
 pub use cluster::{
-    ChainFetchError, ChainFetchQuery, ChainFetchReply, ChainFetchSnapshot, ChainFetchStats,
-    Cluster, ClusterConfig, PeerServer,
+    CancellationSnapshot, ChainFetchError, ChainFetchQuery, ChainFetchReply, ChainFetchSnapshot,
+    ChainFetchStats, Cluster, ClusterConfig, PeerServer,
 };
 pub use compaction::CompactionOutcome;
 pub use config::{ClientConfig, MigrationConfig, MigrationMode, OwnershipCheck, ServerConfig};

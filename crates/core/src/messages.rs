@@ -127,6 +127,37 @@ pub enum MigrationMsg {
         /// The record value.
         value: Vec<u8>,
     },
+    /// Liveness probe on a migration link (either direction).  The receiver
+    /// echoes a [`MigrationMsg::HeartbeatAck`] on the same connection; any
+    /// traffic counts as proof of life, heartbeats just guarantee there *is*
+    /// traffic during quiet protocol phases.
+    Heartbeat {
+        /// Migration id the probe belongs to.
+        migration_id: u64,
+        /// The sender's current serving view (diagnostic; receivers do not
+        /// adopt it).
+        view: u64,
+    },
+    /// Echo of a [`MigrationMsg::Heartbeat`].
+    HeartbeatAck {
+        /// Migration id echoed back.
+        migration_id: u64,
+        /// The echoing server's current serving view.
+        view: u64,
+    },
+    /// The sender cancelled `migration_id` (its peer died, or an operator
+    /// asked): the receiver must drop its in-flight state for the migration,
+    /// roll back to its checkpoint, and re-adopt the post-cancellation
+    /// ownership map (paper §3.3.1).  The migration id — never reused — is
+    /// the replay fence; the view tag is diagnostic.
+    CancelMigration {
+        /// The cancelled migration.
+        migration_id: u64,
+        /// The sender's view of the cancelled migration epoch (diagnostic;
+        /// receivers gate on the migration id, since their own view can
+        /// advance for unrelated concurrent migrations).
+        view: u64,
+    },
 }
 
 /// Which control step an [`MigrationMsg::Ack`] acknowledges.
@@ -154,6 +185,9 @@ impl WireSize for MigrationMsg {
             MigrationMsg::CompleteMigration { .. } => 24,
             MigrationMsg::Ack { .. } => 17,
             MigrationMsg::CompactionHandoff { value, .. } => 16 + value.len(),
+            MigrationMsg::Heartbeat { .. }
+            | MigrationMsg::HeartbeatAck { .. }
+            | MigrationMsg::CancelMigration { .. } => 16,
         }
     }
 }

@@ -36,6 +36,7 @@ use shadowfax_faster::{
     take_checkpoint, Address, FasterSession, KeyHash, ReadOutcome, RecordFlags, RecordOwned,
 };
 use shadowfax_hlog::{LogScanner, RecordHeader, RECORD_HEADER_BYTES};
+use shadowfax_net::PeerLiveness;
 use shadowfax_storage::{LogId, SharedBlobTier, TierRecord, TierService};
 
 use crate::config::MigrationMode;
@@ -105,6 +106,11 @@ pub struct IncomingMigration {
     pub expected_items: Option<u64>,
     /// When the first migration message arrived.
     pub started: Instant,
+    /// When the source was last heard from (any migration message for this
+    /// id, heartbeats included).  The target declares the source dead — and
+    /// cancels the migration — when this goes silent past twice the
+    /// liveness deadline.
+    pub last_source_msg: Instant,
 }
 
 /// A report describing a finished migration, kept for benchmarking.
@@ -167,6 +173,10 @@ pub struct OutgoingMigration {
     pub(crate) regions_done: AtomicUsize,
     /// Control connection to the target (thread 0 of its migration fabric).
     pub(crate) control: Mutex<ServerMigConn>,
+    /// Liveness of the target, observed on the control connection: any
+    /// received message is proof of life; heartbeats guarantee traffic
+    /// during quiet phases; transport errors declare death immediately.
+    pub(crate) liveness: Mutex<PeerLiveness>,
     /// Rocksteady disk-scan cursor.
     pub(crate) disk_cursor: Mutex<Address>,
     // Accounting (Figure 13).
@@ -362,14 +372,23 @@ impl Server {
             }));
         }
         // Control connection to the target's thread-0 migration endpoint.
-        let control = self
-            .connect_migration(&target_meta.address, target, 0)
-            .ok_or_else(|| {
-                format!(
-                    "cannot connect to target {target} at {}/m0",
+        let control = match self.connect_migration(&target_meta.address, target, 0) {
+            Some(control) => control,
+            None => {
+                // Ownership already transferred at the metadata store above;
+                // cancel it, or the failed start would strand the ranges on
+                // a target that never learned a migration existed.
+                let _ = self.store.end_sampling();
+                let _ = self.meta.cancel_migration(migration_id);
+                self.refresh_ownership_from_meta();
+                self.note_cancellation(migration_id, 0, 0, "target unreachable at start");
+                return Err(format!(
+                    "cannot connect to target {target} at {}/m0 \
+                     (migration {migration_id} cancelled, ownership rolled back)",
                     target_meta.address
-                )
-            })?;
+                ));
+            }
+        };
 
         let buckets = self.store.index().num_buckets();
         let threads = self.config.threads;
@@ -400,6 +419,7 @@ impl Server {
             regions,
             regions_done: AtomicUsize::new(0),
             control: Mutex::new(control),
+            liveness: Mutex::new(PeerLiveness::new(self.config.migration.liveness)),
             disk_cursor: Mutex::new(self.store.log().begin_address()),
             bytes_from_memory: AtomicU64::new(0),
             records_sent: AtomicU64::new(0),
@@ -429,11 +449,12 @@ impl Server {
         };
         state.reset_for(outgoing.migration_id);
         let is_driver = state.thread_id == 0;
-        // Drain acknowledgements on the control connection so it never backs
-        // up; the protocol is fully asynchronous and nothing blocks on them.
-        if is_driver {
-            let control = outgoing.control.lock();
-            while let Ok(Some(_)) = control.try_recv_msg() {}
+        // Drain the control connection (acknowledgements, heartbeat echoes),
+        // track the target's liveness, and heartbeat it.  A dead target
+        // cancels the migration here — at whatever phase it was in — instead
+        // of wedging the dependency at the metadata store forever.
+        if is_driver && self.drive_source_liveness(&outgoing, session) {
+            return true;
         }
         match outgoing.phase() {
             SourcePhase::Sampling => {
@@ -468,6 +489,18 @@ impl Server {
                     let server = Arc::clone(self);
                     let out = Arc::clone(&outgoing);
                     self.store.epoch().bump_with_action(move || {
+                        // The migration may have been cancelled (dead target)
+                        // between scheduling this action and the cut
+                        // completing; flipping the view for a dead migration
+                        // would clobber the post-cancellation ownership map.
+                        // The check synchronizes with the cancellation path
+                        // on the `outgoing` slot lock: cancellation detaches
+                        // the slot under the write lock before it touches
+                        // the view, so whoever holds the slot wins.
+                        let guard = server.outgoing.read();
+                        if guard.as_ref().map(|o| o.migration_id) != Some(out.migration_id) {
+                            return;
+                        }
                         // Transfer-phase entry: move into the new view.  From
                         // this instant batches tagged with the old view are
                         // rejected, which pushes the cut out to clients over
@@ -604,8 +637,11 @@ impl Server {
 
     /// Collects the target's final `Ack { Completed }` for a migration whose
     /// source side already finished, then marks the target side complete at
-    /// this process's metadata store.  Returns `true` if progress was made.
-    pub(crate) fn drive_finishing(&self) -> bool {
+    /// this process's metadata store.  A target that dies before finishing
+    /// its side — detected by a transport error or heartbeat silence on the
+    /// control link — cancels the migration instead of leaving the
+    /// dependency pending forever.  Returns `true` if progress was made.
+    pub(crate) fn drive_finishing(self: &Arc<Self>, session: &FasterSession) -> bool {
         // Fast path: no migration is waiting on its final ack.
         if !self.finishing_active.load(Ordering::Relaxed) {
             return false;
@@ -615,35 +651,335 @@ impl Server {
             return false;
         };
         let mut acked = false;
-        {
+        let dead_reason = {
             let control = fin.outgoing.control.lock();
-            while let Ok(Some(msg)) = control.try_recv_msg() {
+            let mut liveness = fin.outgoing.liveness.lock();
+            let migration_id = fin.migration_id;
+            self.poll_migration_control(migration_id, &control, &mut liveness, |msg| {
                 if matches!(
                     msg,
                     MigrationMsg::Ack {
-                        migration_id,
+                        migration_id: id,
                         phase: MigrationAckPhase::Completed,
-                    } if migration_id == fin.migration_id
+                    } if *id == migration_id
                 ) {
                     acked = true;
                 }
-            }
-            if !acked && !control.is_open() {
-                // The target is gone; leave the dependency pending so the
-                // stall is observable, but stop polling a dead link.
-                drop(control);
-                *slot = None;
-                self.finishing_active.store(false, Ordering::SeqCst);
-                return false;
-            }
-        }
+            })
+        };
         if acked {
             let _ = self.meta.mark_complete(fin.migration_id, fin.target);
             *slot = None;
             self.finishing_active.store(false, Ordering::SeqCst);
             return true;
         }
+        if let Some(reason) = dead_reason {
+            let fin = slot.take().expect("finishing checked Some above");
+            self.finishing_active.store(false, Ordering::SeqCst);
+            drop(slot);
+            self.cancel_finishing(fin, &reason, session);
+            return true;
+        }
         false
+    }
+
+    /// The shared control-link poll behind [`Server::drive_finishing`] and
+    /// [`Server::drive_source_liveness`]: drains every available message
+    /// (any receipt is proof of life, heartbeats are echoed here, everything
+    /// else goes to `on_msg`), declares the peer dead on transport errors or
+    /// a closed link, sends the next heartbeat when due, and returns the
+    /// death reason if the peer is dead.
+    ///
+    /// Caller holds both the control and liveness locks (in that order).
+    fn poll_migration_control(
+        &self,
+        migration_id: u64,
+        control: &ServerMigConn,
+        liveness: &mut PeerLiveness,
+        mut on_msg: impl FnMut(&MigrationMsg),
+    ) -> Option<String> {
+        loop {
+            match control.try_recv_msg() {
+                Ok(Some(msg)) => {
+                    liveness.record_recv();
+                    if let MigrationMsg::Heartbeat { migration_id, .. } = msg {
+                        let _ = control.send_msg(MigrationMsg::HeartbeatAck {
+                            migration_id,
+                            view: self.serving_view(),
+                        });
+                    } else {
+                        on_msg(&msg);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    liveness.declare_dead(format!("control link receive failed: {e}"));
+                    break;
+                }
+            }
+        }
+        if !control.is_open() {
+            liveness.declare_dead("control link closed");
+        }
+        if liveness.heartbeat_due() {
+            let probe = MigrationMsg::Heartbeat {
+                migration_id,
+                view: self.serving_view(),
+            };
+            if let Err(e) = control.send_msg(probe) {
+                liveness.declare_dead(format!("control link send failed: {}", e.error));
+            }
+        }
+        liveness.check_dead()
+    }
+
+    /// Cancels a migration whose source side completed but whose target died
+    /// before finishing its own: the dependency is unresolved at the
+    /// metadata store, so ownership of the ranges rolls back to this server
+    /// (the records are all still on its log — migration never removes
+    /// them).  A no-op if the dependency resolved concurrently (the final
+    /// ack can also arrive on a per-thread records link).
+    pub(crate) fn cancel_finishing(
+        self: &Arc<Self>,
+        fin: FinishingMigration,
+        reason: &str,
+        session: &FasterSession,
+    ) {
+        if self.meta.cancel_migration(fin.migration_id).is_err() {
+            // Already resolved (completed or cancelled elsewhere).
+            return;
+        }
+        // Best-effort: a half-open target that revives must roll back too.
+        let _ = fin
+            .outgoing
+            .control
+            .lock()
+            .send_msg(MigrationMsg::CancelMigration {
+                migration_id: fin.migration_id,
+                view: fin.outgoing.target_view,
+            });
+        let cp = take_checkpoint(&self.store, session);
+        *self.latest_checkpoint.lock() = Some(cp);
+        self.refresh_ownership_from_meta();
+        self.note_cancellation(
+            fin.migration_id,
+            fin.outgoing.records_sent.load(Ordering::Relaxed)
+                + fin.outgoing.indirections_sent.load(Ordering::Relaxed),
+            fin.outgoing.liveness.lock().heartbeats_missed(),
+            reason,
+        );
+    }
+
+    /// Drains the outgoing migration's control connection, tracking the
+    /// target's liveness and heartbeating it; called by the driver thread
+    /// every dispatch iteration.  Returns `true` if the migration was
+    /// cancelled (dead target, or the target asked for cancellation).
+    fn drive_source_liveness(
+        self: &Arc<Self>,
+        outgoing: &Arc<OutgoingMigration>,
+        session: &FasterSession,
+    ) -> bool {
+        let mut peer_cancel = false;
+        let dead_reason = {
+            let control = outgoing.control.lock();
+            let mut liveness = outgoing.liveness.lock();
+            let migration_id = outgoing.migration_id;
+            // Acknowledgements and heartbeat echoes are proof of life only;
+            // the one message with a side effect is the target asking for
+            // cancellation.
+            self.poll_migration_control(migration_id, &control, &mut liveness, |msg| {
+                if matches!(
+                    msg,
+                    MigrationMsg::CancelMigration { migration_id: id, .. } if *id == migration_id
+                ) {
+                    peer_cancel = true;
+                }
+            })
+        };
+        if peer_cancel {
+            return self.cancel_outgoing_migration(
+                outgoing.migration_id,
+                "target requested cancellation",
+                session,
+            );
+        }
+        if let Some(reason) = dead_reason {
+            let why = format!("target {} declared dead: {reason}", outgoing.target);
+            return self.cancel_outgoing_migration(outgoing.migration_id, &why, session);
+        }
+        false
+    }
+
+    /// Cancels the in-flight *outgoing* migration `migration_id` at this
+    /// server (the source role of the paper's §3.3.1 cancellation):
+    /// the dependency is cancelled at the metadata store (ownership of the
+    /// migrating ranges rolls back to this server, both views advance), the
+    /// post-cancellation state is checkpointed as the new recovery point,
+    /// and the server re-adopts the post-cancellation ownership map — which
+    /// bumps its serving view, fencing any frame the (possibly revived)
+    /// target later sends from the dead migration epoch.
+    ///
+    /// Returns `false` if no outgoing migration with that id is in flight.
+    pub(crate) fn cancel_outgoing_migration(
+        self: &Arc<Self>,
+        migration_id: u64,
+        reason: &str,
+        session: &FasterSession,
+    ) -> bool {
+        // Atomically detach the outgoing state: only the detaching caller
+        // runs the rollback, and the ownership-transfer epoch action (which
+        // re-checks this slot) can no longer clobber the rolled-back view.
+        let outgoing = {
+            let mut slot = self.outgoing.write();
+            match slot.as_ref() {
+                Some(o) if o.migration_id == migration_id => slot.take().expect("checked Some"),
+                _ => return false,
+            }
+        };
+        // Sampling may still be active if the cancellation landed early.
+        let _ = self.store.end_sampling();
+        // Best-effort: tell a still-reachable target to roll back too.
+        let _ = outgoing
+            .control
+            .lock()
+            .send_msg(MigrationMsg::CancelMigration {
+                migration_id,
+                view: outgoing.target_view,
+            });
+        // Cancel at the metadata store: the migrating ranges return to this
+        // server and both views advance again (paper §3.3.1).  The records
+        // themselves never left this server's log, so re-owning the ranges
+        // loses nothing — records already shipped become unreachable
+        // duplicates at the dead target.
+        let _ = self.meta.cancel_migration(migration_id);
+        // Checkpoint the post-cancellation state as the new recovery point,
+        // then adopt the post-cancellation ownership map and view.
+        let cp = take_checkpoint(&self.store, session);
+        *self.latest_checkpoint.lock() = Some(cp);
+        self.refresh_ownership_from_meta();
+        self.note_cancellation(
+            migration_id,
+            outgoing.records_sent.load(Ordering::Relaxed)
+                + outgoing.indirections_sent.load(Ordering::Relaxed),
+            outgoing.liveness.lock().heartbeats_missed(),
+            reason,
+        );
+        true
+    }
+
+    /// Cancels the in-flight *incoming* migration `migration_id` at this
+    /// server (the target role): in-flight migration state is dropped, the
+    /// migrating ranges are given back, and the serving view advances so
+    /// record pushes from the dead migration epoch are rejected as
+    /// stale-view.  Returns `false` if no such incoming migration exists.
+    pub(crate) fn cancel_incoming_migration(
+        self: &Arc<Self>,
+        migration_id: u64,
+        reason: &str,
+        session: &FasterSession,
+    ) -> bool {
+        let incoming = {
+            let mut slot = self.incoming.lock();
+            match slot.as_ref() {
+                Some(m) if m.migration_id == migration_id => slot.take().expect("checked Some"),
+                _ => return false,
+            }
+        };
+        self.incoming_active.store(false, Ordering::SeqCst);
+        self.stray_migration_items.lock().remove(&migration_id);
+        // Roll ownership back.  In-process (shared metadata store) the
+        // cancellation there is authoritative; a cross-process target cannot
+        // reach the coordinating store — it applies the identical state
+        // transition locally: drop the ranges, advance the view.  Either
+        // way the serving view ends at target_view + 1, exactly what the
+        // authoritative store records, so both sides agree on the fence.
+        match self.meta.cancel_migration(migration_id) {
+            Ok(_) => self.refresh_ownership_from_meta(),
+            Err(_) => {
+                self.owned.write().remove(incoming.ranges.ranges());
+                self.serving_view.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // Batches that pended for the migrating ranges are orphaned now.
+        // This must happen *after* the ownership rollback above: a dispatch
+        // thread consumes the flush signal at most once per bump, so bumping
+        // while `owned` still held the ranges would let it scan, reject
+        // nothing, and later answer an orphaned batch from a store that only
+        // received part of the data.
+        self.pend_flush_epoch.fetch_add(1, Ordering::SeqCst);
+        let cp = take_checkpoint(&self.store, session);
+        *self.latest_checkpoint.lock() = Some(cp);
+        self.note_cancellation(migration_id, incoming.items_received, 0, reason);
+        true
+    }
+
+    /// Target-side liveness: cancels the incoming migration if the source
+    /// has been silent past twice the liveness deadline (the factor of two
+    /// lets the source — which also observes transport errors directly —
+    /// win the race and cancel cleanly at the metadata store first).
+    /// Driven by dispatch thread 0 every loop iteration.
+    pub(crate) fn drive_incoming_liveness(self: &Arc<Self>, session: &FasterSession) -> bool {
+        if !self.incoming_active.load(Ordering::Relaxed) {
+            return false;
+        }
+        let deadline = self.config.migration.liveness.deadline() * 2;
+        let stale = {
+            let incoming = self.incoming.lock();
+            match incoming.as_ref() {
+                Some(m) if m.last_source_msg.elapsed() > deadline => {
+                    Some((m.migration_id, m.source))
+                }
+                _ => None,
+            }
+        };
+        let Some((migration_id, source)) = stale else {
+            return false;
+        };
+        // Every heartbeat interval in the silent window counts as missed.
+        let interval = self.config.migration.liveness.heartbeat_interval;
+        let missed = (deadline.as_micros() / interval.as_micros().max(1)) as u64;
+        self.heartbeats_missed.fetch_add(missed, Ordering::Relaxed);
+        // The view of the epoch being cancelled, read before the rollback
+        // bumps it (diagnostic on the wire).
+        let epoch_view = self.serving_view();
+        let reason = format!("source silent for more than {deadline:?}");
+        let cancelled = self.cancel_incoming_migration(migration_id, &reason, session);
+        if cancelled {
+            // Best-effort relay: a source that is merely stalled (not dead)
+            // should cancel authoritatively at its metadata store right
+            // away instead of waiting out its own silence budget.  If the
+            // source is really gone the dial simply fails.
+            let snapshot = self.meta.snapshot();
+            if let Some(src) = snapshot.server(source) {
+                if let Some(conn) = self.connect_migration(&src.address, source, 0) {
+                    let _ = conn.send_msg(MigrationMsg::CancelMigration {
+                        migration_id,
+                        view: epoch_view,
+                    });
+                }
+            }
+        }
+        cancelled
+    }
+
+    /// Records a cancellation in the server's counters and on stderr (which
+    /// multi-process tests capture into `target/test-logs/`).
+    pub(crate) fn note_cancellation(
+        &self,
+        migration_id: u64,
+        rolled_back: u64,
+        missed: u64,
+        reason: &str,
+    ) {
+        self.migrations_cancelled.fetch_add(1, Ordering::Relaxed);
+        self.records_rolled_back
+            .fetch_add(rolled_back, Ordering::Relaxed);
+        self.heartbeats_missed.fetch_add(missed, Ordering::Relaxed);
+        eprintln!(
+            "server {}: cancelled migration {migration_id} ({reason}); \
+             {rolled_back} shipped records rolled back",
+            self.id()
+        );
     }
 
     /// The per-thread half of [`Server::drive_finishing`]: the target's
@@ -966,6 +1302,18 @@ impl Server {
         conn: &ServerMigConn,
         session: &FasterSession,
     ) {
+        // Any message for the in-flight incoming migration is proof the
+        // source is alive; the target's liveness deadline restarts.
+        if let MigrationMsg::PrepForTransfer { migration_id, .. }
+        | MigrationMsg::TakeOwnership { migration_id, .. }
+        | MigrationMsg::PushHotRecords { migration_id, .. }
+        | MigrationMsg::PushRecordBatch { migration_id, .. }
+        | MigrationMsg::CompleteMigration { migration_id, .. }
+        | MigrationMsg::Heartbeat { migration_id, .. }
+        | MigrationMsg::HeartbeatAck { migration_id, .. } = &msg
+        {
+            self.touch_incoming(*migration_id);
+        }
         match msg {
             MigrationMsg::PrepForTransfer {
                 migration_id,
@@ -1001,6 +1349,7 @@ impl Server {
                     items_received: early_items,
                     expected_items: None,
                     started: Instant::now(),
+                    last_source_msg: Instant::now(),
                 });
                 drop(incoming);
                 self.incoming_active.store(true, Ordering::SeqCst);
@@ -1127,8 +1476,9 @@ impl Server {
             }
             MigrationMsg::CompactionHandoff { key, value } => {
                 // Insert unless we already have a version for this key that is
-                // not an indirection record (paper §3.3.3).
-                match session.read_outcome(key) {
+                // not an indirection record (paper §3.3.3).  A local
+                // tombstone counts as such a version.
+                match self.store.read_record_for(key, session) {
                     Ok(ReadOutcome::Found { record, .. }) if !record.is_indirection() => {}
                     _ => {
                         let _ =
@@ -1137,14 +1487,46 @@ impl Server {
                     }
                 }
             }
+            MigrationMsg::Heartbeat { migration_id, .. } => {
+                let _ = conn.send_msg(MigrationMsg::HeartbeatAck {
+                    migration_id,
+                    view: self.serving_view(),
+                });
+            }
+            MigrationMsg::HeartbeatAck { .. } => {
+                // Proof of life only (already recorded above).
+            }
+            MigrationMsg::CancelMigration { migration_id, .. } => {
+                // The id match inside the role-specific cancel paths is the
+                // gate: migration ids are never reused, so a replayed cancel
+                // from a dead epoch matches no in-flight state and is a
+                // no-op.  Deliberately no view comparison here — the
+                // receiver's single per-server view can advance for an
+                // unrelated concurrent migration, which must not mask a
+                // legitimate cancel.
+                self.cancel_local_roles(migration_id, "peer cancelled the migration", session);
+            }
+        }
+    }
+
+    /// Restarts the target-side liveness deadline for `migration_id`.
+    fn touch_incoming(&self, migration_id: u64) {
+        if !self.incoming_active.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(m) = self.incoming.lock().as_mut() {
+            if m.migration_id == migration_id {
+                m.last_source_msg = Instant::now();
+            }
         }
     }
 
     /// Inserts a record that arrived via migration, unless a newer version
-    /// already exists locally (a client may have written the key after
-    /// ownership transferred).
+    /// already exists locally (a client may have written — or deleted — the
+    /// key after ownership transferred; a local tombstone is a newer
+    /// version too, and overwriting it would resurrect the key).
     fn insert_migrated_record(&self, key: u64, value: &[u8], session: &FasterSession) {
-        match session.read_outcome(key) {
+        match self.store.read_record_for(key, session) {
             Ok(ReadOutcome::Found { record, .. }) if !record.is_indirection() => {
                 // Local version is newer; keep it.
             }
@@ -1224,8 +1606,14 @@ fn enclosing_range(ranges: &[HashRange], default: HashRange) -> HashRange {
 pub(crate) enum LocalChainFetch {
     /// The key's newest live record.
     Found(RecordOwned),
-    /// The chain was fully walked and holds no live record for the key.
+    /// The chain was fully walked and holds no record for the key at all.
     Missing,
+    /// The key's newest record on the chain is a tombstone: the key was
+    /// deleted.  Distinct from [`LocalChainFetch::Missing`] so the caller
+    /// can cache the deletion locally — without it, a fallback path that
+    /// treats "absent from this chain" as "older records elsewhere decide"
+    /// would resurrect a pre-delete version.
+    Tombstone,
     /// A read failed mid-walk (e.g. a nested indirection named a log this
     /// process cannot read).  The caller must keep the operation pending —
     /// the record may exist where the walk could not reach.
@@ -1293,7 +1681,7 @@ pub(crate) fn fetch_from_shared_chain(
                 return LocalChainFetch::Unreadable;
             }
             if header.flags.contains(RecordFlags::TOMBSTONE) {
-                return LocalChainFetch::Missing;
+                return LocalChainFetch::Tombstone;
             }
             return LocalChainFetch::Found(RecordOwned { header, value });
         }
@@ -1426,5 +1814,293 @@ mod tests {
         ] {
             assert_eq!(SourcePhase::from_u8(p as u8), p);
         }
+    }
+
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::config::ClientConfig;
+    use crate::server::ServerMigConn;
+    use shadowfax_net::LivenessConfig;
+    use std::time::Duration;
+
+    /// Satellite of the cancellation work: after the target cancels an
+    /// incoming migration, a revived source's frames from the dead epoch —
+    /// record batches and hot-set pushes tagged with the old target view —
+    /// are fenced by view and dropped.
+    #[test]
+    fn revived_peer_push_after_cancellation_is_fenced_by_view() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let target = cluster.server(crate::ServerId(1)).unwrap();
+        let session = target.store().start_session();
+
+        // The metadata-store half of a migration: 25% of server 0 moves to 1.
+        let moving = cluster
+            .meta()
+            .snapshot()
+            .server(crate::ServerId(0))
+            .unwrap()
+            .owned
+            .ranges()[0]
+            .take_fraction(0.25);
+        let (migration_id, _source_view, target_view) = cluster
+            .meta()
+            .transfer_ownership(crate::ServerId(0), crate::ServerId(1), &[moving])
+            .unwrap();
+
+        // A loopback migration connection standing in for the source's
+        // control link.
+        let listener = cluster.migration_network().listen("unit-source");
+        let conn: ServerMigConn =
+            Box::new(cluster.migration_network().connect("unit-source").unwrap());
+        let source_side = listener.try_accept().unwrap();
+
+        target.handle_migration_msg(
+            MigrationMsg::PrepForTransfer {
+                migration_id,
+                ranges: vec![moving],
+                source: crate::ServerId(0),
+                target_view,
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(target.serving_view(), target_view);
+        assert!(target.owned_ranges().contains(moving.start));
+
+        // A batch in the live epoch applies.
+        target.handle_migration_msg(
+            MigrationMsg::PushRecordBatch {
+                migration_id,
+                target_view,
+                items: vec![MigratedItem::Record {
+                    key: 42,
+                    value: b"live".to_vec(),
+                }],
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(session.read(42).unwrap(), Some(b"live".to_vec()));
+
+        // The target declares the source dead and cancels: ownership rolls
+        // back and the serving view advances past the dead epoch.
+        assert!(target.cancel_incoming_migration(migration_id, "unit test", &session));
+        assert_eq!(
+            target.serving_view(),
+            target_view + 1,
+            "cancellation must advance the view to fence the dead epoch"
+        );
+        assert!(!target.owned_ranges().contains(moving.start));
+        let dep = cluster
+            .meta()
+            .migration_state(migration_id)
+            .unwrap()
+            .unwrap();
+        assert!(dep.cancelled);
+        assert!(!target.cancel_incoming_migration(migration_id, "again", &session));
+
+        // The revived source's post-cancellation frames are fenced by view.
+        target.handle_migration_msg(
+            MigrationMsg::PushRecordBatch {
+                migration_id,
+                target_view,
+                items: vec![MigratedItem::Record {
+                    key: 43,
+                    value: b"stale".to_vec(),
+                }],
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(
+            session.read(43).unwrap(),
+            None,
+            "a stale-view record batch must be dropped"
+        );
+        target.handle_migration_msg(
+            MigrationMsg::PushHotRecords {
+                migration_id,
+                target_view,
+                records: vec![(44, b"stale-hot".to_vec())],
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(
+            session.read(44).unwrap(),
+            None,
+            "a hot-set push for a cancelled migration must be dropped"
+        );
+
+        // The live phase of the protocol acked on the link.
+        let acked = source_side.drain();
+        assert!(acked.iter().any(|m| matches!(
+            m,
+            MigrationMsg::Ack {
+                phase: MigrationAckPhase::Prepared,
+                ..
+            }
+        )));
+
+        drop(conn);
+        cluster.shutdown();
+    }
+
+    /// The tentpole's liveness-timeout path, in-process: a migration to a
+    /// registered-but-unresponsive target (its migration endpoint accepts
+    /// connections and then never answers — a hung process) is cancelled by
+    /// heartbeat silence, ownership rolls back to the source, and every
+    /// previously acknowledged record is still served.
+    #[test]
+    fn silent_target_triggers_liveness_cancellation_and_rollback() {
+        let mut config = ClusterConfig::two_server_test();
+        config.server_template.migration.liveness = LivenessConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            miss_budget: 5,
+        };
+        let cluster = Cluster::start(config);
+        {
+            let mut client = cluster.client(ClientConfig::default());
+            for key in 0..100u64 {
+                assert!(client.upsert(key, format!("v{key}").into_bytes()));
+            }
+        }
+
+        // A phantom peer: registered at the metadata store, listening on the
+        // migration fabric, never answering.
+        cluster
+            .meta()
+            .register_server(crate::ServerId(9), "phantom", 1, RangeSet::empty());
+        let _phantom = cluster.migration_network().listen("phantom/m0");
+
+        let migration_id = cluster
+            .migrate_fraction(crate::ServerId(0), crate::ServerId(9), 0.5)
+            .unwrap();
+
+        // The silence budget expires and the source cancels.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match cluster.meta().migration_state(migration_id) {
+                Ok(Some(dep)) if dep.cancelled => break,
+                Ok(Some(_)) => {}
+                other => panic!("dependency resolved without cancellation: {other:?}"),
+            }
+            assert!(
+                Instant::now() < deadline,
+                "liveness did not cancel the migration to the silent target"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The source re-adopts the post-cancellation map (view + ranges).
+        let source = cluster.server(crate::ServerId(0)).unwrap();
+        let meta_view = cluster.meta().view_of(crate::ServerId(0)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while source.serving_view() != meta_view || !source.owned_ranges().contains(0) {
+            assert!(
+                Instant::now() < deadline,
+                "source never re-adopted the post-cancellation ownership map"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let stats = cluster.cancellation_stats();
+        assert_eq!(stats.migrations_cancelled, 1);
+        assert!(
+            stats.heartbeats_missed > 0,
+            "silence-driven cancellation must count missed heartbeats"
+        );
+
+        // Zero acknowledged-write loss: everything reads back, including the
+        // half whose ownership had been handed to the phantom.
+        let mut client = cluster.client(ClientConfig::default());
+        for key in 0..100u64 {
+            assert_eq!(
+                client.read(key),
+                Some(format!("v{key}").into_bytes()),
+                "key {key} lost across the cancelled migration"
+            );
+        }
+        assert!(client.upsert(3, b"post-cancel".to_vec()));
+        assert_eq!(client.read(3).as_deref(), Some(&b"post-cancel"[..]));
+        cluster.shutdown();
+    }
+
+    /// A migration start whose target cannot be dialled must roll the
+    /// already-recorded ownership transfer back — otherwise the ranges are
+    /// stranded on a target that never learned a migration existed.
+    #[test]
+    fn failed_migration_start_rolls_back_the_ownership_transfer() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        // Registered at the metadata store, but nothing listens at its
+        // migration endpoint.
+        cluster
+            .meta()
+            .register_server(crate::ServerId(8), "unreachable", 1, RangeSet::empty());
+        let err = cluster
+            .migrate_fraction(crate::ServerId(0), crate::ServerId(8), 0.5)
+            .unwrap_err();
+        assert!(err.contains("cancelled"), "unexpected error: {err}");
+        assert_eq!(cluster.meta().pending_migrations(), 0);
+        let (owner, _) = cluster.meta().owner_of(0).unwrap();
+        assert_eq!(owner, crate::ServerId(0), "ownership was stranded");
+        assert_eq!(cluster.cancellation_stats().migrations_cancelled, 1);
+        // The source is fully clean: a real migration still works.
+        cluster
+            .migrate_fraction(crate::ServerId(0), crate::ServerId(1), 0.25)
+            .unwrap();
+        assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
+        cluster.shutdown();
+    }
+
+    /// Operator-driven cancellation (`shadowfax-cli cancel` bottoms out
+    /// here): an in-flight migration rolls back cleanly and the pair can
+    /// immediately run a fresh migration to completion.
+    #[test]
+    fn operator_cancellation_rolls_back_and_allows_a_fresh_migration() {
+        let mut config = ClusterConfig::two_server_test();
+        // A long sampling phase keeps migration 1 reliably in flight while
+        // the operator cancels it.
+        config.server_template.migration.sampling_duration = Duration::from_millis(500);
+        let cluster = Cluster::start(config);
+        {
+            let mut client = cluster.client(ClientConfig::default());
+            for key in 0..50u64 {
+                assert!(client.upsert(key, vec![key as u8; 16]));
+            }
+        }
+
+        let id = cluster
+            .migrate_fraction(crate::ServerId(0), crate::ServerId(1), 0.5)
+            .unwrap();
+        cluster.cancel_migration(id).expect("cancel in-flight");
+        cluster.cancel_migration(id).expect("cancel is idempotent");
+        let dep = cluster.meta().migration_state(id).unwrap().unwrap();
+        assert!(dep.cancelled);
+        assert_eq!(cluster.meta().pending_migrations(), 0);
+        assert!(
+            cluster.cancel_migration(9999).is_err(),
+            "unknown ids are an error"
+        );
+
+        // The cancellation left no residue: a fresh migration of the same
+        // ranges completes durably.
+        let id2 = cluster
+            .migrate_fraction(crate::ServerId(0), crate::ServerId(1), 0.25)
+            .unwrap();
+        assert!(cluster.wait_for_migrations(Duration::from_secs(120)));
+        assert!(
+            cluster.meta().migration_state(id2).unwrap().is_none(),
+            "second migration should complete and be garbage collected"
+        );
+        assert!(
+            cluster.cancel_migration(id2).is_err(),
+            "a durably completed migration cannot be cancelled"
+        );
+
+        let mut client = cluster.client(ClientConfig::default());
+        for key in 0..50u64 {
+            assert_eq!(client.read(key), Some(vec![key as u8; 16]));
+        }
+        cluster.shutdown();
     }
 }

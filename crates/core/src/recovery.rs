@@ -98,6 +98,13 @@ impl Server {
             self.serving_view
                 .store(m.view, std::sync::atomic::Ordering::SeqCst);
             *self.owned.write() = m.owned.clone();
+            // The ownership map changed: have dispatch threads re-check
+            // their pended batches against it (a batch that pended for a
+            // range this server just gave back must be rejected, not
+            // answered).  Raised after `owned` is updated so the check can
+            // never run against the stale map.
+            self.pend_flush_epoch
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         }
     }
 
@@ -115,6 +122,13 @@ impl Server {
                 *incoming = None;
                 self.incoming_active
                     .store(false, std::sync::atomic::Ordering::SeqCst);
+                // Batches that pended for the migrating ranges are orphaned.
+                // The pend-flush signal is raised by the ownership refresh
+                // that always follows this call (see
+                // `refresh_ownership_from_meta`), *after* `owned` reflects
+                // the rollback — raising it here would let a dispatch thread
+                // consume the signal against the pre-rollback ownership map
+                // and reject nothing.
             }
         }
         let mut outgoing = self.outgoing.write();
@@ -177,12 +191,16 @@ impl Server {
             finishing: Mutex::new(None),
             finishing_active: AtomicBool::new(false),
             incoming_active: AtomicBool::new(false),
+            pend_flush_epoch: AtomicU64::new(0),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(checkpoint.cloned()),
             pending_gauge: AtomicU64::new(0),
             total_pended: AtomicU64::new(0),
             indirection_fetches: AtomicU64::new(0),
             remote_chain_fetches: AtomicU64::new(0),
+            migrations_cancelled: AtomicU64::new(0),
+            records_rolled_back: AtomicU64::new(0),
+            heartbeats_missed: AtomicU64::new(0),
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),

@@ -127,6 +127,11 @@ pub struct Server {
     /// Fast-path flag: `true` while `incoming` holds an active migration, so
     /// the per-operation check avoids the mutex in the common case.
     pub(crate) incoming_active: AtomicBool,
+    /// Bumped whenever in-flight migration state is dropped without
+    /// completing (cancellation, crash-recovery abort).  Dispatch threads
+    /// react by rejecting pended batches that reference hashes this server
+    /// no longer owns, pushing their clients to the rolled-back owner.
+    pub(crate) pend_flush_epoch: AtomicU64,
     /// The most recently completed migration's report (source or target role).
     pub(crate) completed_report: Mutex<Option<crate::migration::MigrationReport>>,
     /// The most recent checkpoint image, kept as the recovery point for this
@@ -144,6 +149,16 @@ pub struct Server {
     /// Count of chain fetches answered by a *remote* tier service (the chain
     /// was pulled from another process over the wire).
     pub(crate) remote_chain_fetches: AtomicU64,
+    /// Migrations this server cancelled (dead peer, operator request, or a
+    /// peer-relayed cancellation), in either role.
+    pub(crate) migrations_cancelled: AtomicU64,
+    /// Records whose shipment was undone by cancellations: items already
+    /// pushed toward (or received from) the peer when the migration rolled
+    /// back — they become unreachable duplicates on the dead epoch's log.
+    pub(crate) records_rolled_back: AtomicU64,
+    /// Heartbeat intervals that elapsed without hearing from a migration
+    /// peer (across all migrations; the liveness layer's miss counter).
+    pub(crate) heartbeats_missed: AtomicU64,
     /// Per-dispatch-thread loop counters.  A thread increments its counter at
     /// the top of every loop iteration; migration uses them to wait until
     /// every thread has passed an operation-sequence boundary after the
@@ -208,12 +223,16 @@ impl Server {
             finishing: Mutex::new(None),
             finishing_active: AtomicBool::new(false),
             incoming_active: AtomicBool::new(false),
+            pend_flush_epoch: AtomicU64::new(0),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(None),
             pending_gauge: AtomicU64::new(0),
             total_pended: AtomicU64::new(0),
             indirection_fetches: AtomicU64::new(0),
             remote_chain_fetches: AtomicU64::new(0),
+            migrations_cancelled: AtomicU64::new(0),
+            records_rolled_back: AtomicU64::new(0),
+            heartbeats_missed: AtomicU64::new(0),
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),
@@ -286,6 +305,61 @@ impl Server {
     /// spilled chain lived in another process and crossed the wire).
     pub fn remote_chain_fetches(&self) -> u64 {
         self.remote_chain_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Migrations this server cancelled (either role).
+    pub fn migrations_cancelled(&self) -> u64 {
+        self.migrations_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Shipped/received migration items undone by cancellations.
+    pub fn records_rolled_back(&self) -> u64 {
+        self.records_rolled_back.load(Ordering::Relaxed)
+    }
+
+    /// Heartbeat intervals that elapsed without hearing from a migration
+    /// peer.
+    pub fn heartbeats_missed(&self) -> u64 {
+        self.heartbeats_missed.load(Ordering::Relaxed)
+    }
+
+    /// Cancels migration `migration_id` if this server is involved in it
+    /// (either role).  Used by the operator control plane (`shadowfax-cli
+    /// cancel`); liveness-triggered cancellation calls the role-specific
+    /// paths directly from the dispatch loop.  Returns `true` if in-flight
+    /// state was rolled back here.
+    pub fn cancel_migration_local(self: &Arc<Self>, migration_id: u64) -> bool {
+        let session = self.store.start_session();
+        self.cancel_local_roles(migration_id, "operator request", &session)
+    }
+
+    /// Cancels every role this server holds in `migration_id`: an in-flight
+    /// outgoing migration, an in-flight incoming one, or a completed source
+    /// side still awaiting the target's final acknowledgement.  Returns
+    /// `true` if any state was rolled back.
+    pub(crate) fn cancel_local_roles(
+        self: &Arc<Self>,
+        migration_id: u64,
+        reason: &str,
+        session: &FasterSession,
+    ) -> bool {
+        let mut any = self.cancel_outgoing_migration(migration_id, reason, session);
+        any |= self.cancel_incoming_migration(migration_id, reason, session);
+        let finishing = {
+            let mut slot = self.finishing.lock();
+            match slot.as_ref() {
+                Some(f) if f.migration_id == migration_id => {
+                    self.finishing_active.store(false, Ordering::SeqCst);
+                    slot.take()
+                }
+                _ => None,
+            }
+        };
+        if let Some(fin) = finishing {
+            self.cancel_finishing(fin, reason, session);
+            any = true;
+        }
+        any
     }
 
     /// Replaces the service used to resolve spilled chains named by
@@ -385,6 +459,7 @@ impl Server {
         let mut mig_conns: Vec<ServerMigConn> = Vec::new();
         let mut pending: Vec<PendingBatch> = Vec::new();
         let mut source_state = SourceThreadState::new(thread_id);
+        let mut pend_flush_seen = self.pend_flush_epoch.load(Ordering::SeqCst);
 
         while !self.shutdown.load(Ordering::SeqCst) {
             // Mark an operation-sequence boundary for this thread: every batch
@@ -415,6 +490,16 @@ impl Server {
                 }
             }
 
+            // A cancelled incoming migration orphans batches that pended for
+            // the (no longer owned) migrating ranges: reject them so their
+            // clients re-route to the post-cancellation owner, instead of
+            // answering from a store that only received part of the data.
+            let flush_epoch = self.pend_flush_epoch.load(Ordering::SeqCst);
+            if flush_epoch != pend_flush_seen {
+                pend_flush_seen = flush_epoch;
+                did_work |= self.reject_unowned_pending(&mut pending, &kv_conns);
+            }
+
             // Retry pending operations (bounded per iteration).
             did_work |= self.retry_pending(&mut pending, &kv_conns, &session);
 
@@ -424,9 +509,14 @@ impl Server {
             // Collect the target's final acknowledgement of a migration that
             // already completed on this (source) side: it arrives on the
             // control link (thread 0 watches it) or on whichever per-thread
-            // records link delivered the last batch.
+            // records link delivered the last batch.  The control link is
+            // also heartbeated there, so a target that dies at this stage
+            // cancels the migration instead of wedging the dependency.
             if thread_id == 0 {
-                did_work |= self.drive_finishing();
+                did_work |= self.drive_finishing(&session);
+                // Target side of the liveness protocol: cancel an incoming
+                // migration whose source has gone silent.
+                did_work |= self.drive_incoming_liveness(&session);
             }
             did_work |= self.drive_finishing_thread(&source_state);
 
@@ -560,6 +650,80 @@ impl Server {
         progressed
     }
 
+    /// Fails over pending batches that reference hashes this server no
+    /// longer owns (their migration was cancelled out from under them).
+    /// Answering such a batch locally could serve a miss — or a partially
+    /// migrated value — for a key the rolled-back owner still holds, so:
+    ///
+    /// * a batch with **no** executed operations gets a standard view
+    ///   rejection — the client refreshes ownership and re-routes every
+    ///   operation to the post-cancellation owner;
+    /// * a batch where some operations **already executed** is kept — a
+    ///   rejection would make the client re-issue the executed ones
+    ///   (double-applying RMWs).  Only the orphaned operations complete,
+    ///   with a typed error (their issuer retries explicitly); still-owned
+    ///   pending operations keep pending and resolve normally.
+    pub(crate) fn reject_unowned_pending(
+        &self,
+        pending: &mut Vec<PendingBatch>,
+        kv_conns: &[ServerKvConn],
+    ) -> bool {
+        if pending.is_empty() {
+            return false;
+        }
+        let view = self.serving_view();
+        let owned = self.owned.read();
+        let mut progressed = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let batch = &mut pending[i];
+            let has_orphan = batch
+                .unresolved
+                .iter()
+                .any(|(_, op)| !owned.contains(KeyHash::of(op.key()).raw()));
+            if !has_orphan {
+                i += 1;
+                continue;
+            }
+            if batch.results.iter().all(|r| r.is_none()) {
+                let batch = pending.swap_remove(i);
+                self.pending_gauge
+                    .fetch_sub(batch.unresolved.len() as u64, Ordering::Relaxed);
+                kv_conns[batch.conn_idx].send(BatchReply::Rejected {
+                    seq: batch.seq,
+                    server_view: view,
+                });
+                progressed = true;
+                continue;
+            }
+            // Partially executed: fail exactly the orphaned operations.
+            let unresolved = std::mem::take(&mut batch.unresolved);
+            for (idx, op) in unresolved {
+                if owned.contains(KeyHash::of(op.key()).raw()) {
+                    batch.unresolved.push((idx, op));
+                } else {
+                    batch.results[idx] = Some(KvResponse::Error(
+                        "hash range no longer owned (migration cancelled); \
+                         retry against the current owner"
+                            .into(),
+                    ));
+                    self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    progressed = true;
+                }
+            }
+            if batch.unresolved.is_empty() {
+                let done = pending.swap_remove(i);
+                kv_conns[done.conn_idx].send(BatchReply::Executed {
+                    seq: done.seq,
+                    results: done.results.into_iter().map(|r| r.unwrap()).collect(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        progressed
+    }
+
     /// Executes one operation.  `is_retry` permits slow work (shared-tier
     /// fetches) that the first attempt defers by pending the operation.
     fn execute_op(&self, op: &KvRequest, is_retry: bool, session: &FasterSession) -> ExecOutcome {
@@ -674,6 +838,21 @@ impl Server {
         let Some(ind) = IndirectionRecord::decode_value(payload) else {
             return IndirectionFetch::Missing;
         };
+        self.resolve_indirection_record(key, &ind, 0, session)
+    }
+
+    /// Resolves one indirection record through the tier service.  `depth`
+    /// counts nested hops already taken: a remotely fetched chain may itself
+    /// contain an indirection record (the chain's owner was once a migration
+    /// target too — a three-process chain); one such nested hop is followed
+    /// from here, deeper nesting keeps the operation pending.
+    fn resolve_indirection_record(
+        &self,
+        key: u64,
+        ind: &IndirectionRecord,
+        depth: u8,
+        session: &FasterSession,
+    ) -> IndirectionFetch {
         let service = self.tier_service.read().clone();
         let request = ChainFetchRequest {
             log: ind.source_log,
@@ -694,13 +873,23 @@ impl Server {
                     self.insert_fetched_record(key, record.value(), false, session);
                     IndirectionFetch::Resolved
                 }
+                crate::migration::LocalChainFetch::Tombstone => {
+                    self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+                    // Cache the deletion locally: later reads resolve here
+                    // instead of re-walking the chain, and — when this walk
+                    // was a nested hop — the caller's fallback to older
+                    // records is gated by the cached tombstone instead of
+                    // resurrecting a pre-delete version.
+                    self.insert_fetched_record(key, &[], true, session);
+                    IndirectionFetch::Missing
+                }
                 crate::migration::LocalChainFetch::Missing => IndirectionFetch::Missing,
                 crate::migration::LocalChainFetch::Unreadable => IndirectionFetch::Unavailable,
             },
             ChainFetch::Records(records) => {
                 self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
                 self.remote_chain_fetches.fetch_add(1, Ordering::Relaxed);
-                self.absorb_chain_records(key, &ind.range, &records, session)
+                self.absorb_chain_records(key, &ind.range, &records, depth, session)
             }
             ChainFetch::Unavailable(_) => IndirectionFetch::Unavailable,
         }
@@ -710,11 +899,18 @@ impl Server {
     /// falls in the indirection's covered range is inserted (unless a newer
     /// local version exists), amortizing the round trip over the whole
     /// chain.  Reports whether the requested `key` was found live.
+    ///
+    /// A fetched chain may itself contain an indirection record (the chain's
+    /// owner received it in an earlier migration — a three-process chain).
+    /// When one covers the requested key and this is the first hop, it is
+    /// followed transitively with a second fetch; deeper nesting keeps the
+    /// operation pending.
     fn absorb_chain_records(
         &self,
         key: u64,
         range: &crate::hash_range::HashRange,
         records: &[TierRecord],
+        depth: u8,
         session: &FasterSession,
     ) -> IndirectionFetch {
         // Records arrive newest-first; only the first relevant occurrence
@@ -731,17 +927,32 @@ impl Server {
         for rec in records {
             let flags = RecordFlags::from_bits(rec.flags);
             if flags.contains(RecordFlags::INDIRECTION) {
-                // An indirection on the *source's* chain (the source was
-                // itself a migration target once): the chain continues on a
-                // third process's log.  If it covers the requested key, the
-                // key may live behind it — resolving through a second hop is
-                // future work, so the fetch is *not resolvable yet*; it must
-                // never fall through to "missing".
-                if let Some(ind) = IndirectionRecord::decode_value(&rec.value) {
-                    if requested.is_none() && ind.range.contains(hash) {
-                        requested = Some(IndirectionFetch::Unavailable);
+                // An indirection on the *source's* chain: the chain
+                // continues on a third process's log.
+                if let Some(nested) = IndirectionRecord::decode_value(&rec.value) {
+                    if requested.is_none() && nested.range.contains(hash) {
+                        requested = if depth == 0 {
+                            // Follow one nested hop from the requesting side.
+                            match self.resolve_indirection_record(key, &nested, 1, session) {
+                                IndirectionFetch::Resolved => Some(IndirectionFetch::Resolved),
+                                // The nested chain holds no live record for
+                                // the key, so older records *below* this
+                                // indirection are the newest survivors — let
+                                // them decide the outcome.
+                                IndirectionFetch::Missing => None,
+                                // Not resolvable yet; must never read as a
+                                // miss.
+                                IndirectionFetch::Unavailable => {
+                                    Some(IndirectionFetch::Unavailable)
+                                }
+                            }
+                        } else {
+                            // A second level of nesting: resolving it would
+                            // need another hop; keep the operation pending.
+                            Some(IndirectionFetch::Unavailable)
+                        };
                     }
-                    shadowed.push(ind.range);
+                    shadowed.push(nested.range);
                 }
                 continue;
             }
@@ -749,16 +960,23 @@ impl Server {
                 continue;
             }
             let rec_hash = KeyHash::of(rec.key).raw();
-            if shadowed.iter().any(|r| r.contains(rec_hash)) {
-                continue;
-            }
             let tombstone = flags.contains(RecordFlags::TOMBSTONE);
             if rec.key == key && requested.is_none() {
+                // Reaching here with the key's hash shadowed means the
+                // nested hop reported the key missing behind the
+                // indirection, so this older record is its newest survivor.
                 requested = Some(if tombstone {
                     IndirectionFetch::Missing
                 } else {
                     IndirectionFetch::Resolved
                 });
+                if range.contains(rec_hash) {
+                    self.insert_fetched_record(rec.key, &rec.value, tombstone, session);
+                }
+                continue;
+            }
+            if shadowed.iter().any(|r| r.contains(rec_hash)) {
+                continue;
             }
             if !range.contains(rec_hash) {
                 continue;
@@ -772,7 +990,9 @@ impl Server {
     }
 
     /// Inserts a record fetched from the shared tier unless a newer local
-    /// version (anything that is not an indirection record) already exists.
+    /// version (anything that is not an indirection record — a local
+    /// tombstone counts: it must not be overwritten by an older fetched
+    /// value) already exists.
     fn insert_fetched_record(
         &self,
         key: u64,
@@ -780,7 +1000,7 @@ impl Server {
         tombstone: bool,
         session: &FasterSession,
     ) {
-        match session.read_outcome(key) {
+        match self.store.read_record_for(key, session) {
             Ok(ReadOutcome::Found { ref record, .. }) if !record.is_indirection() => {}
             _ => {
                 let flags = if tombstone {
@@ -837,5 +1057,305 @@ impl ServerHandle {
         for j in self.joins {
             let _ = j.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::config::ClientConfig;
+    use crate::hash_range::HashRange;
+    use crate::ServerId;
+    use shadowfax_faster::Address;
+    use shadowfax_storage::{ChainFetch, ChainFetchRequest, DeviceError};
+    use std::time::{Duration, Instant};
+
+    /// A tier service whose chains are scripted per log id, recording every
+    /// fetch.  Stands in for the RPC layer's `RemoteTierService` so the
+    /// requesting-side transitive-hop logic can be tested without three OS
+    /// processes.  Logs backed by `local` answer `Local` and are walked
+    /// through `read_log`, exactly as a log hosted by this process would be.
+    struct ScriptedTier {
+        chains: HashMap<u64, Vec<TierRecord>>,
+        fetched: Mutex<Vec<u64>>,
+        local: Option<(u64, Arc<SharedBlobTier>)>,
+    }
+
+    impl TierService for ScriptedTier {
+        fn read_log(
+            &self,
+            log: LogId,
+            offset: u64,
+            buf: &mut [u8],
+        ) -> shadowfax_storage::Result<()> {
+            match &self.local {
+                Some((id, tier)) if *id == log.0 => tier.read_log(log, offset, buf),
+                _ => Err(DeviceError::UnknownLog(log.0)),
+            }
+        }
+
+        fn fetch_chain(&self, req: &ChainFetchRequest) -> ChainFetch {
+            self.fetched.lock().push(req.log.0);
+            if matches!(&self.local, Some((id, _)) if *id == req.log.0) {
+                return ChainFetch::Local;
+            }
+            match self.chains.get(&req.log.0) {
+                Some(records) => ChainFetch::Records(records.clone()),
+                None => ChainFetch::Unavailable(format!("no scripted chain for log {}", req.log)),
+            }
+        }
+    }
+
+    fn indirection_payload(log: u64, address: u64) -> Vec<u8> {
+        IndirectionRecord {
+            range: HashRange::FULL,
+            chain_address: Address::new(address),
+            source_log: LogId(log),
+            representative_hash: 0,
+        }
+        .encode_value()
+    }
+
+    fn indirection_record(log: u64, address: u64) -> TierRecord {
+        TierRecord {
+            key: u64::MAX, // placeholder key, as on a real chain
+            flags: RecordFlags::INDIRECTION.bits(),
+            value: indirection_payload(log, address),
+        }
+    }
+
+    /// ROADMAP limit (a) from the chain-fetch work, fixed: a remotely
+    /// fetched chain containing an indirection record (a three-process
+    /// chain) is followed one nested hop on the requesting side instead of
+    /// pending forever.
+    #[test]
+    fn nested_indirection_in_fetched_chain_is_followed_one_hop() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let server = cluster.server(ServerId(0)).unwrap();
+        let session = server.store().start_session();
+        let key = 7_007u64;
+
+        // The local store holds an indirection pointing at log 50; log 50's
+        // chain holds only another indirection pointing at log 60, whose
+        // chain holds the live record.
+        let tier = Arc::new(ScriptedTier {
+            chains: HashMap::from([
+                (50, vec![indirection_record(60, 128)]),
+                (
+                    60,
+                    vec![TierRecord {
+                        key,
+                        flags: 0,
+                        value: b"behind-two-hops".to_vec(),
+                    }],
+                ),
+            ]),
+            fetched: Mutex::new(Vec::new()),
+            local: None,
+        });
+        cluster.set_tier_service(Arc::clone(&tier) as Arc<dyn TierService>);
+        server
+            .store()
+            .insert_record(
+                key,
+                &indirection_payload(50, 64),
+                RecordFlags::INDIRECTION,
+                &session,
+            )
+            .unwrap();
+
+        let mut client = cluster.client(ClientConfig::default());
+        assert_eq!(
+            client.read(key),
+            Some(b"behind-two-hops".to_vec()),
+            "the nested hop was not followed"
+        );
+        let fetched = tier.fetched.lock().clone();
+        assert_eq!(
+            fetched,
+            vec![50, 60],
+            "expected the first fetch to chase the nested indirection once"
+        );
+        cluster.shutdown();
+    }
+
+    /// A nested chain that reports the key missing falls back to the older
+    /// records *below* the indirection on the first chain — they are the
+    /// newest surviving versions.
+    #[test]
+    fn nested_hop_miss_falls_back_to_records_below_the_indirection() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let server = cluster.server(ServerId(0)).unwrap();
+        let session = server.store().start_session();
+        let key = 8_008u64;
+
+        let tier = Arc::new(ScriptedTier {
+            chains: HashMap::from([
+                (
+                    50,
+                    vec![
+                        indirection_record(60, 128),
+                        // Below (older than) the indirection on log 50's
+                        // chain: the key's newest surviving version.
+                        TierRecord {
+                            key,
+                            flags: 0,
+                            value: b"survivor-below".to_vec(),
+                        },
+                    ],
+                ),
+                // The nested chain has records, none for the key.
+                (
+                    60,
+                    vec![TierRecord {
+                        key: 1,
+                        flags: 0,
+                        value: b"other".to_vec(),
+                    }],
+                ),
+            ]),
+            fetched: Mutex::new(Vec::new()),
+            local: None,
+        });
+        cluster.set_tier_service(Arc::clone(&tier) as Arc<dyn TierService>);
+        server
+            .store()
+            .insert_record(
+                key,
+                &indirection_payload(50, 64),
+                RecordFlags::INDIRECTION,
+                &session,
+            )
+            .unwrap();
+
+        let mut client = cluster.client(ClientConfig::default());
+        assert_eq!(client.read(key), Some(b"survivor-below".to_vec()));
+        cluster.shutdown();
+    }
+
+    /// Two levels of nesting still pend (resolving them needs a third hop):
+    /// never a miss, the operation stays pending until the chain becomes
+    /// resolvable.
+    #[test]
+    fn doubly_nested_indirection_keeps_the_operation_pending() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let server = cluster.server(ServerId(0)).unwrap();
+        let session = server.store().start_session();
+        let key = 9_009u64;
+
+        let tier = Arc::new(ScriptedTier {
+            chains: HashMap::from([
+                (50, vec![indirection_record(60, 128)]),
+                (60, vec![indirection_record(70, 256)]),
+                (
+                    70,
+                    vec![TierRecord {
+                        key,
+                        flags: 0,
+                        value: b"three-hops-away".to_vec(),
+                    }],
+                ),
+            ]),
+            fetched: Mutex::new(Vec::new()),
+            local: None,
+        });
+        cluster.set_tier_service(Arc::clone(&tier) as Arc<dyn TierService>);
+        server
+            .store()
+            .insert_record(
+                key,
+                &indirection_payload(50, 64),
+                RecordFlags::INDIRECTION,
+                &session,
+            )
+            .unwrap();
+
+        let mut client = cluster.client(ClientConfig::default());
+        let completed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&completed);
+        assert!(client.issue_read(key, Box::new(move |_| flag.store(true, Ordering::SeqCst))));
+        client.flush();
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            client.poll();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            !completed.load(Ordering::SeqCst),
+            "a doubly nested chain must pend, not complete"
+        );
+        assert!(
+            server.pending_ops() > 0,
+            "the read should be parked in the pending set"
+        );
+        // The second hop was attempted, the third was not.
+        let fetched = tier.fetched.lock().clone();
+        assert!(
+            fetched.contains(&50) && fetched.contains(&60) && !fetched.contains(&70),
+            "fetch trace: {fetched:?}"
+        );
+        cluster.shutdown();
+    }
+
+    /// The nested hop can land on a *locally readable* log.  When that local
+    /// chain's newest record for the key is a tombstone, the deletion must
+    /// win — the older live record below the indirection on the remote chain
+    /// must not be resurrected.
+    #[test]
+    fn nested_hop_tombstone_on_a_local_chain_is_not_resurrected() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let server = cluster.server(ServerId(0)).unwrap();
+        let session = server.store().start_session();
+        let key = 6_006u64;
+
+        // A tombstone for the key on shared-tier log 60 (the "local" log of
+        // this process, as after a range round-trips between servers).
+        let local_tier = SharedBlobTier::new(1 << 20);
+        let header = shadowfax_hlog::RecordHeader {
+            prev: Address::new(0),
+            flags: RecordFlags::TOMBSTONE,
+            version: 1,
+            value_len: 0,
+            key,
+        };
+        let mut bytes = vec![0u8; shadowfax_hlog::RECORD_HEADER_BYTES];
+        header.encode_into(&mut bytes);
+        local_tier.write_log(LogId(60), 128, &bytes).unwrap();
+
+        let tier = Arc::new(ScriptedTier {
+            chains: HashMap::from([(
+                50,
+                vec![
+                    indirection_record(60, 128),
+                    // Older than the deletion behind the indirection.
+                    TierRecord {
+                        key,
+                        flags: 0,
+                        value: b"pre-delete".to_vec(),
+                    },
+                ],
+            )]),
+            fetched: Mutex::new(Vec::new()),
+            local: Some((60, local_tier)),
+        });
+        cluster.set_tier_service(Arc::clone(&tier) as Arc<dyn TierService>);
+        server
+            .store()
+            .insert_record(
+                key,
+                &indirection_payload(50, 64),
+                RecordFlags::INDIRECTION,
+                &session,
+            )
+            .unwrap();
+
+        let mut client = cluster.client(ClientConfig::default());
+        assert_eq!(
+            client.read(key),
+            None,
+            "a deleted key must stay deleted, not resurrect its pre-delete value"
+        );
+        cluster.shutdown();
     }
 }

@@ -547,10 +547,22 @@ impl Faster {
 
     /// Looks up a key but, unlike [`FasterSession::read`], does not resolve
     /// tombstones or indirection records — it simply reports the newest
-    /// record.  Shadowfax's server uses this to detect indirection records
-    /// and to answer migration-time queries.
+    /// record, with its flags intact.  Shadowfax's server uses this to
+    /// detect indirection records, to answer migration-time queries, and as
+    /// the "does a newer local version exist?" guard on migration-time
+    /// inserts — where a local tombstone *is* a newer version (resolving it
+    /// to `NotFound`, as [`FasterSession::read_outcome`] does, would let a
+    /// stale migrated value resurrect a deleted key).
     pub fn read_record_for(&self, key: u64, session: &FasterSession) -> Result<ReadOutcome> {
-        self.read_impl(key, session)
+        let guard = session.thread.protect();
+        let hash = KeyHash::of(key);
+        let Some((_slot, entry)) = self.index.find_entry(hash) else {
+            return Ok(ReadOutcome::NotFound);
+        };
+        match self.find_in_chain(entry.address, key, &guard)? {
+            Some((address, record)) => Ok(ReadOutcome::Found { address, record }),
+            None => Ok(ReadOutcome::NotFound),
+        }
     }
 
     /// Number of live keys reachable from the index (linear scan; test/debug

@@ -32,6 +32,11 @@
 //! * **typed errors** — [`TransportError`] / [`SessionError`] replace the
 //!   old ad-hoc `bool`/`Option` signalling, and carry a stable one-byte
 //!   [`StatusCode`] so the RPC layer can put them on the wire.
+//! * **liveness** — [`PeerLiveness`] / [`LivenessConfig`] track whether the
+//!   peer on a long-lived link (a migration control connection) is still
+//!   alive: heartbeats with a miss budget, plus explicit peer-death from
+//!   transport errors.  The migration state machines use it to cancel a
+//!   migration whose peer died instead of wedging forever.
 //!
 //! The simulated fabric remains generic over the message type; the Shadowfax
 //! core crate instantiates it with its client/server and server/server
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod liveness;
 mod message;
 mod profile;
 mod session;
@@ -47,6 +53,7 @@ mod sim;
 mod transport;
 
 pub use error::{SessionError, StatusCode, TransportError};
+pub use liveness::{LivenessConfig, PeerLiveness};
 pub use message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
 pub use profile::NetworkProfile;
 pub use session::{Callback, ClientSession, SessionConfig, SessionStats};

@@ -1,0 +1,213 @@
+//! Peer liveness for long-lived control links (heartbeats with a miss
+//! budget).
+//!
+//! A migration couples two servers for seconds: the source must notice a
+//! target that died mid-transfer (and vice versa) or the migration wedges
+//! forever with its recovery dependency pending at the metadata store
+//! (paper §3.3.1).  Two signals decide that a peer is dead:
+//!
+//! * **explicit transport death** — a TCP link reports `PeerClosed`/EOF or
+//!   an I/O error, or a sim connection's peer endpoint was dropped.  The
+//!   observer calls [`PeerLiveness::declare_dead`] immediately.
+//! * **heartbeat silence** — the link looks open but nothing has arrived
+//!   for [`LivenessConfig::miss_budget`] heartbeat intervals (a hung peer,
+//!   a half-open connection).  The prober sends a heartbeat every
+//!   [`LivenessConfig::heartbeat_interval`] and counts the silence.
+//!
+//! [`PeerLiveness`] is transport-agnostic bookkeeping: the layers above
+//! (the migration state machines in the core crate) decide *what* to send
+//! as a heartbeat and what to do when the peer is declared dead.
+
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`PeerLiveness`] monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// How often the prober sends a heartbeat on the monitored link.
+    pub heartbeat_interval: Duration,
+    /// How many consecutive silent intervals are tolerated before the peer
+    /// is declared dead.
+    pub miss_budget: u32,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        // Generous enough that a CI scheduler hiccup on a healthy peer never
+        // trips it (explicit transport death catches real crashes much
+        // faster); small enough that a hung peer is caught in seconds.
+        LivenessConfig {
+            heartbeat_interval: Duration::from_millis(200),
+            miss_budget: 15,
+        }
+    }
+}
+
+impl LivenessConfig {
+    /// The silence after which the peer is declared dead.
+    pub fn deadline(&self) -> Duration {
+        self.heartbeat_interval * self.miss_budget.max(1)
+    }
+}
+
+/// Liveness bookkeeping for one peer on one link.
+///
+/// Not internally synchronized: callers hold it under whatever lock guards
+/// the link itself.
+#[derive(Debug)]
+pub struct PeerLiveness {
+    config: LivenessConfig,
+    last_recv: Instant,
+    last_send: Instant,
+    missed: u64,
+    dead: Option<String>,
+}
+
+impl PeerLiveness {
+    /// Starts monitoring now: the peer is considered fresh.
+    pub fn new(config: LivenessConfig) -> Self {
+        let now = Instant::now();
+        PeerLiveness {
+            config,
+            last_recv: now,
+            last_send: now,
+            missed: 0,
+            dead: None,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> LivenessConfig {
+        self.config
+    }
+
+    /// Records that *any* message arrived from the peer (heartbeat replies
+    /// and ordinary protocol traffic both count as proof of life).
+    pub fn record_recv(&mut self) {
+        self.last_recv = Instant::now();
+    }
+
+    /// `true` when it is time to send the next heartbeat; also advances the
+    /// send clock and, if the peer has been silent for more than one
+    /// interval, counts a miss.
+    pub fn heartbeat_due(&mut self) -> bool {
+        let now = Instant::now();
+        if now.duration_since(self.last_send) < self.config.heartbeat_interval {
+            return false;
+        }
+        if now.duration_since(self.last_recv) > self.config.heartbeat_interval {
+            self.missed += 1;
+        }
+        self.last_send = now;
+        true
+    }
+
+    /// Declares the peer dead from an explicit transport signal (EOF, I/O
+    /// error, dropped endpoint).  Idempotent; the first reason wins.
+    pub fn declare_dead(&mut self, reason: impl Into<String>) {
+        if self.dead.is_none() {
+            self.dead = Some(reason.into());
+        }
+    }
+
+    /// Returns the death reason if the peer is dead — either declared
+    /// explicitly, or silent past the miss budget.
+    pub fn check_dead(&mut self) -> Option<String> {
+        if let Some(reason) = &self.dead {
+            return Some(reason.clone());
+        }
+        let silent = Instant::now().duration_since(self.last_recv);
+        if silent > self.config.deadline() {
+            let reason = format!(
+                "peer silent for {silent:?} (budget: {} x {:?})",
+                self.config.miss_budget, self.config.heartbeat_interval
+            );
+            self.dead = Some(reason.clone());
+            return Some(reason);
+        }
+        None
+    }
+
+    /// Heartbeat intervals that elapsed without hearing from the peer.
+    pub fn heartbeats_missed(&self) -> u64 {
+        self.missed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Margins are coarse (tens of ms) so scheduler jitter on a loaded test
+    /// machine cannot cross a boundary the assertion depends on.
+    fn fast() -> LivenessConfig {
+        LivenessConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            miss_budget: 10,
+        }
+    }
+
+    #[test]
+    fn fresh_peer_is_alive_and_heartbeats_pace_the_interval() {
+        let mut live = PeerLiveness::new(fast());
+        assert!(live.check_dead().is_none());
+        // Immediately after creation the send clock is fresh.
+        assert!(!live.heartbeat_due());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(live.heartbeat_due());
+        // The clock advanced; the next one is not due yet.
+        assert!(!live.heartbeat_due());
+    }
+
+    #[test]
+    fn silence_past_the_budget_is_death_and_receipt_resets_it() {
+        // Deadline: 3 x 40ms = 120ms.
+        let mut live = PeerLiveness::new(LivenessConfig {
+            heartbeat_interval: Duration::from_millis(40),
+            miss_budget: 3,
+        });
+        live.record_recv();
+        // A fresh receipt is always alive, regardless of scheduling.
+        assert!(live.check_dead().is_none());
+        std::thread::sleep(Duration::from_millis(200));
+        // 200ms silent > 120ms deadline: dead, with an informative reason.
+        let reason = live.check_dead().expect("deadline exceeded");
+        assert!(reason.contains("silent"), "{reason}");
+        // Death is sticky even if a late message shows up.
+        live.record_recv();
+        assert!(live.check_dead().is_some());
+    }
+
+    #[test]
+    fn explicit_death_wins_immediately_and_is_idempotent() {
+        let mut live = PeerLiveness::new(fast());
+        live.declare_dead("connection reset");
+        live.declare_dead("later, ignored");
+        assert_eq!(live.check_dead().as_deref(), Some("connection reset"));
+    }
+
+    #[test]
+    fn misses_are_counted_while_the_peer_is_silent() {
+        let mut live = PeerLiveness::new(fast());
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(60));
+            let _ = live.heartbeat_due();
+        }
+        assert!(
+            live.heartbeats_missed() >= 2,
+            "missed: {}",
+            live.heartbeats_missed()
+        );
+        // A fresh receipt at probe time stops the counting.
+        std::thread::sleep(Duration::from_millis(60));
+        live.record_recv();
+        let before = live.heartbeats_missed();
+        let _ = live.heartbeat_due();
+        assert_eq!(live.heartbeats_missed(), before);
+    }
+
+    #[test]
+    fn default_config_deadline_is_the_product() {
+        let c = LivenessConfig::default();
+        assert_eq!(c.deadline(), c.heartbeat_interval * c.miss_budget);
+    }
+}

@@ -13,12 +13,26 @@
 //!   rmw KEY DELTA                increment the counter at KEY by DELTA
 //!   migrate FROM TO FRACTION [--no-wait] [--timeout SECS]
 //!                                move FRACTION of FROM's first range to TO;
-//!                                waits for both sides to complete unless
+//!                                waits for the migration to settle unless
 //!                                --no-wait is given
-//!   status ID                    print the state of migration ID; exits 1
-//!                                if ID is unknown and 4 if it was cancelled
+//!   wait ID [--timeout SECS]     wait until migration ID settles (completes
+//!                                on both sides, or is cancelled)
+//!   status ID                    print the state of migration ID
+//!   cancel ID                    cancel migration ID: ownership of the
+//!                                migrating ranges rolls back to the source
+//!                                and both servers drop their in-flight state
 //!   tier-stats                   print the process's shared-tier chain-fetch
 //!                                counters
+//!   cancel-stats                 print the process's migration-cancellation
+//!                                counters (heartbeats missed, migrations
+//!                                cancelled, records rolled back)
+//!
+//! Exit codes (shared by migrate/wait/status so scripts never parse text):
+//!   0  success / migration complete or in flight (status)
+//!   1  error (unknown migration id, unreachable server, ...)
+//!   3  `get` found no value
+//!   4  the migration was cancelled and rolled back
+//!   5  the wait deadline expired while the migration was still in flight
 //!   bench [--ops N] [--keys K] [--value-size B] [--read-fraction F]
 //!         [--zipf] [--batch OPS] [--inflight B]
 //!                                loopback throughput benchmark (pipelined
@@ -36,14 +50,35 @@ fn usage() -> ! {
     eprintln!(
         "usage: shadowfax-cli --addr HOST:PORT \
          (ping | ownership | get K | put K V | del K | rmw K D | \
-         migrate FROM TO FRACTION | status ID | tier-stats | bench [opts])"
+         migrate FROM TO FRACTION | wait ID | status ID | cancel ID | \
+         tier-stats | cancel-stats | bench [opts])"
     );
     std::process::exit(2)
 }
 
+/// Exit code for a wait deadline that expired with the migration still in
+/// flight (documented next to 1 = unknown/error and 4 = cancelled).
+const EXIT_TIMEOUT: i32 = 5;
+/// Exit code for a migration that was cancelled and rolled back.
+const EXIT_CANCELLED: i32 = 4;
+
 fn fail(e: RpcError) -> ! {
     eprintln!("error: {e}");
-    std::process::exit(1)
+    match e {
+        RpcError::Timeout(_) => std::process::exit(EXIT_TIMEOUT),
+        _ => std::process::exit(1),
+    }
+}
+
+/// Reports a settled migration: exit 0 when complete, [`EXIT_CANCELLED`]
+/// when it was cancelled and rolled back.
+fn report_settled(id: u64, state: &shadowfax_rpc::WireMigrationState) -> ! {
+    if state.cancelled {
+        println!("migration {id} cancelled and rolled back");
+        std::process::exit(EXIT_CANCELLED);
+    }
+    println!("migration {id} complete");
+    std::process::exit(0);
 }
 
 fn parse_u64(s: &str, what: &str) -> u64 {
@@ -190,10 +225,50 @@ fn main() {
                 .unwrap_or_else(|e| fail(e));
             println!("migration {id} started: {fraction} of server {from} -> server {to}");
             if wait {
-                ctrl.wait_for_migration(id, timeout)
+                let state = ctrl
+                    .wait_for_migration(id, timeout)
                     .unwrap_or_else(|e| fail(e));
-                println!("migration {id} complete");
+                report_settled(id, &state);
             }
+        }
+        "wait" => {
+            let id = parse_u64(
+                rest.first().map(String::as_str).unwrap_or_else(|| usage()),
+                "ID",
+            );
+            let mut timeout = Duration::from_secs(60);
+            let mut it = rest.into_iter().skip(1);
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--timeout" => {
+                        let secs = it.next().unwrap_or_else(|| {
+                            eprintln!("missing value for --timeout");
+                            usage()
+                        });
+                        timeout = Duration::from_secs(parse_u64(&secs, "--timeout"));
+                    }
+                    other => {
+                        eprintln!("unknown wait flag {other}");
+                        usage()
+                    }
+                }
+            }
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let state = ctrl
+                .wait_for_migration(id, timeout)
+                .unwrap_or_else(|e| fail(e));
+            report_settled(id, &state);
+        }
+        "cancel" => {
+            let id = parse_u64(
+                rest.first().map(String::as_str).unwrap_or_else(|| usage()),
+                "ID",
+            );
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            ctrl.cancel_migration(id).unwrap_or_else(|e| fail(e));
+            println!("migration {id} cancelled: ownership rolled back to the source");
         }
         "status" => {
             let id = parse_u64(
@@ -219,7 +294,7 @@ fn main() {
                 state.target_complete
             );
             if state.cancelled {
-                std::process::exit(4);
+                std::process::exit(EXIT_CANCELLED);
             }
         }
         "tier-stats" => {
@@ -235,6 +310,14 @@ fn main() {
                 stats.rejected_stale_view, stats.rejected_out_of_range
             );
             println!("remote chain fetches issued: {}", stats.remote_fetches);
+        }
+        "cancel-stats" => {
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let stats = ctrl.cancel_stats().unwrap_or_else(|e| fail(e));
+            println!("migrations cancelled: {}", stats.migrations_cancelled);
+            println!("records rolled back: {}", stats.records_rolled_back);
+            println!("heartbeats missed: {}", stats.heartbeats_missed);
         }
         "bench" => {
             let mut opts = BenchOptions::default();

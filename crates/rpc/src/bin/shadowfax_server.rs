@@ -3,7 +3,7 @@
 //! ```text
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
 //!                  [--io-threads I] [--balanced] [--base-id B]
-//!                  [--memory-pages P] [--peer SPEC]...
+//!                  [--memory-pages P] [--sampling-ms MS] [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
@@ -36,6 +36,7 @@ struct Args {
     balanced: bool,
     base_id: u32,
     memory_pages: Option<u64>,
+    sampling_ms: Option<u64>,
     peers: Vec<PeerServer>,
 }
 
@@ -43,6 +44,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
          [--io-threads I] [--balanced] [--base-id B] [--memory-pages P] \
+         [--sampling-ms MS] \
          [--peer id=I,addr=HOST:PORT,threads=T,owns=full|none]..."
     );
     std::process::exit(2)
@@ -91,6 +93,7 @@ fn parse_args() -> Args {
         balanced: false,
         base_id: 0,
         memory_pages: None,
+        sampling_ms: None,
         peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -114,6 +117,11 @@ fn parse_args() -> Args {
             "--memory-pages" => {
                 args.memory_pages =
                     Some(value("--memory-pages").parse().unwrap_or_else(|_| usage()))
+            }
+            // Migration sampling-phase duration; tests stretch it so a kill
+            // lands deterministically mid-migration.
+            "--sampling-ms" => {
+                args.sampling_ms = Some(value("--sampling-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--peer" => {
                 let spec = value("--peer");
@@ -151,6 +159,9 @@ fn main() {
     if let Some(pages) = args.memory_pages {
         config.server_template.faster.log.memory_pages = pages;
         config.server_template.faster.log.mutable_pages = (pages / 2).max(1);
+    }
+    if let Some(ms) = args.sampling_ms {
+        config.server_template.migration.sampling_duration = std::time::Duration::from_millis(ms);
     }
 
     let cluster = Arc::new(Cluster::start(config));

@@ -25,8 +25,12 @@
 //! processes: [`WireMsg::MigHello`] binds a dedicated migration connection
 //! to a target dispatch thread, and [`WireMsg::Migration`] carries the
 //! view-tagged [`MigrationMsg`]s (`PrepForTransfer`, `TakeOwnership`,
-//! `PushHotRecords`, `PushRecordBatch`, `CompleteMigration`, acks, and
-//! compaction hand-offs) that the core state machines exchange.
+//! `PushHotRecords`, `PushRecordBatch`, `CompleteMigration`, acks,
+//! compaction hand-offs, plus the fault-tolerance traffic: `Heartbeat` /
+//! `HeartbeatAck` liveness probes and `CancelMigration`) that the core
+//! state machines exchange.  The control plane can also cancel a migration
+//! ([`WireMsg::CancelMigration`]) and read the cancellation counters
+//! ([`WireMsg::GetCancelStats`]).
 //!
 //! Chain-fetch frames serve the *shared tier* across processes: a target
 //! that received an indirection record naming a log another process hosts
@@ -59,6 +63,9 @@ mod kind {
     pub const PONG: u8 = 0x26;
     pub const MIG_STATUS: u8 = 0x27;
     pub const MIG_STATE: u8 = 0x28;
+    pub const CANCEL_MIGRATION: u8 = 0x29;
+    pub const GET_CANCEL_STATS: u8 = 0x2A;
+    pub const CANCEL_STATS: u8 = 0x2B;
     pub const MIG_HELLO: u8 = 0x30;
     pub const MIGRATION: u8 = 0x31;
     pub const FETCH_CHAIN: u8 = 0x40;
@@ -234,6 +241,19 @@ pub enum WireMsg {
     },
     /// The state of a migration (control plane reply).
     MigrationState(WireMigrationState),
+    /// Cancel an in-flight migration (control plane; the operator-driven
+    /// path — liveness-triggered cancellation runs inside the serving
+    /// processes).  Answered with [`WireMsg::CtrlOk`] carrying the
+    /// migration id, or a [`WireMsg::CtrlErr`] if the migration is unknown
+    /// or already durably complete.
+    CancelMigration {
+        /// The migration to cancel.
+        migration_id: u64,
+    },
+    /// Request the cancellation / liveness counters (control plane).
+    GetCancelStats,
+    /// The cancellation / liveness counters (control plane reply).
+    CancelStats(WireCancelStats),
     /// First frame on a dedicated migration connection: binds it to
     /// dispatch thread `thread` of local server `server` in the receiving
     /// process.
@@ -275,6 +295,20 @@ pub struct WireTierStats {
     pub rejected_out_of_range: u64,
     /// Chain fetches this process resolved against *remote* tiers.
     pub remote_fetches: u64,
+}
+
+/// Cancellation / liveness counters, as carried on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCancelStats {
+    /// Cancellation events at this process's servers, one per server role
+    /// rolled back (an in-process migration cancelled at both of its local
+    /// roles counts twice).
+    pub migrations_cancelled: u64,
+    /// Migration items whose shipment was undone by cancellations.
+    pub records_rolled_back: u64,
+    /// Heartbeat intervals that elapsed without hearing from a migration
+    /// peer.
+    pub heartbeats_missed: u64,
 }
 
 /// The state of one migration, as carried on the wire.
@@ -446,6 +480,21 @@ fn put_migration_msg(out: &mut Vec<u8>, msg: &MigrationMsg) {
             put_u64(out, *key);
             put_bytes(out, value);
         }
+        MigrationMsg::Heartbeat { migration_id, view } => {
+            out.push(7);
+            put_u64(out, *migration_id);
+            put_u64(out, *view);
+        }
+        MigrationMsg::HeartbeatAck { migration_id, view } => {
+            out.push(8);
+            put_u64(out, *migration_id);
+            put_u64(out, *view);
+        }
+        MigrationMsg::CancelMigration { migration_id, view } => {
+            out.push(9);
+            put_u64(out, *migration_id);
+            put_u64(out, *view);
+        }
     }
 }
 
@@ -562,6 +611,17 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
             body.push(u8::from(state.source_complete));
             body.push(u8::from(state.target_complete));
             body.push(u8::from(state.cancelled));
+        }
+        WireMsg::CancelMigration { migration_id } => {
+            body.push(kind::CANCEL_MIGRATION);
+            put_u64(&mut body, *migration_id);
+        }
+        WireMsg::GetCancelStats => body.push(kind::GET_CANCEL_STATS),
+        WireMsg::CancelStats(stats) => {
+            body.push(kind::CANCEL_STATS);
+            put_u64(&mut body, stats.migrations_cancelled);
+            put_u64(&mut body, stats.records_rolled_back);
+            put_u64(&mut body, stats.heartbeats_missed);
         }
         WireMsg::MigHello { server, thread } => {
             body.push(kind::MIG_HELLO);
@@ -837,6 +897,18 @@ fn get_migration_msg(r: &mut Reader<'_>) -> Result<MigrationMsg, CodecError> {
             key: r.u64()?,
             value: r.bytes()?,
         },
+        7 => MigrationMsg::Heartbeat {
+            migration_id: r.u64()?,
+            view: r.u64()?,
+        },
+        8 => MigrationMsg::HeartbeatAck {
+            migration_id: r.u64()?,
+            view: r.u64()?,
+        },
+        9 => MigrationMsg::CancelMigration {
+            migration_id: r.u64()?,
+            view: r.u64()?,
+        },
         tag => {
             return Err(CodecError::BadTag {
                 context: "MigrationMsg",
@@ -935,6 +1007,15 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
             source_complete: r.u8()? != 0,
             target_complete: r.u8()? != 0,
             cancelled: r.u8()? != 0,
+        }),
+        kind::CANCEL_MIGRATION => WireMsg::CancelMigration {
+            migration_id: r.u64()?,
+        },
+        kind::GET_CANCEL_STATS => WireMsg::GetCancelStats,
+        kind::CANCEL_STATS => WireMsg::CancelStats(WireCancelStats {
+            migrations_cancelled: r.u64()?,
+            records_rolled_back: r.u64()?,
+            heartbeats_missed: r.u64()?,
         }),
         kind::MIG_HELLO => WireMsg::MigHello {
             server: r.u32()?,
@@ -1279,6 +1360,18 @@ mod tests {
                 key: 9,
                 value: vec![4; 32],
             },
+            MigrationMsg::Heartbeat {
+                migration_id: 7,
+                view: 2,
+            },
+            MigrationMsg::HeartbeatAck {
+                migration_id: 7,
+                view: 3,
+            },
+            MigrationMsg::CancelMigration {
+                migration_id: 7,
+                view: 2,
+            },
         ]
     }
 
@@ -1302,6 +1395,13 @@ mod tests {
             source_complete: false,
             target_complete: false,
             cancelled: true,
+        }));
+        roundtrip(WireMsg::CancelMigration { migration_id: 7 });
+        roundtrip(WireMsg::GetCancelStats);
+        roundtrip(WireMsg::CancelStats(WireCancelStats {
+            migrations_cancelled: 1,
+            records_rolled_back: 4096,
+            heartbeats_missed: 17,
         }));
         for msg in sample_migration_msgs() {
             roundtrip(WireMsg::Migration(msg));

@@ -14,8 +14,8 @@ use shadowfax::{ChainFetchQuery, ChainFetchReply};
 use shadowfax_net::StatusCode;
 
 use crate::codec::{
-    encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg, WireOwnership,
-    WireTierStats, MAX_FRAME_BYTES,
+    encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState, WireMsg,
+    WireOwnership, WireTierStats, MAX_FRAME_BYTES,
 };
 
 /// Errors from RPC client operations.
@@ -34,6 +34,11 @@ pub enum RpcError {
     },
     /// The peer violated the request/response protocol.
     Protocol(String),
+    /// A waiting operation did not reach its goal within its deadline.  A
+    /// typed variant (rather than a generic I/O error) so callers — the CLI
+    /// in particular — can map "still in flight, gave up waiting" to its
+    /// own exit code, distinct from hard failures.
+    Timeout(String),
 }
 
 impl std::fmt::Display for RpcError {
@@ -45,6 +50,7 @@ impl std::fmt::Display for RpcError {
                 write!(f, "server error ({status}): {message}")
             }
             RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            RpcError::Timeout(msg) => write!(f, "timed out: {msg}"),
         }
     }
 }
@@ -156,8 +162,13 @@ impl CtrlClient {
         }
     }
 
-    /// Polls [`CtrlClient::migration_status`] until the migration completes
-    /// on both sides or `timeout` expires.
+    /// Polls [`CtrlClient::migration_status`] until the migration *settles*
+    /// — completes on both sides, or is cancelled — or `timeout` expires.
+    ///
+    /// Cancellation is a settled outcome, not an error: the returned
+    /// state's `cancelled` flag distinguishes it (a dead peer mid-migration
+    /// resolves as cancelled, it no longer blocks the waiter forever).  An
+    /// expired deadline returns the typed [`RpcError::Timeout`].
     pub fn wait_for_migration(
         &mut self,
         migration_id: u64,
@@ -166,22 +177,39 @@ impl CtrlClient {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let state = self.migration_status(migration_id)?;
-            if state.cancelled {
-                return Err(RpcError::Protocol(format!(
-                    "migration {migration_id} was cancelled and rolled back"
-                )));
-            }
-            if state.complete {
+            if state.complete || state.cancelled {
                 return Ok(state);
             }
             if std::time::Instant::now() >= deadline {
-                return Err(RpcError::Io(format!(
-                    "migration {migration_id} did not complete within {timeout:?} \
+                return Err(RpcError::Timeout(format!(
+                    "migration {migration_id} did not settle within {timeout:?} \
                      (source_complete={}, target_complete={})",
                     state.source_complete, state.target_complete
                 )));
             }
             std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Cancels an in-flight migration; the serving process rolls every
+    /// involved local server back and the dependency is cancelled at the
+    /// metadata store.  Idempotent on an already-cancelled migration.
+    pub fn cancel_migration(&mut self, migration_id: u64) -> Result<(), RpcError> {
+        match self.roundtrip(&WireMsg::CancelMigration { migration_id })? {
+            WireMsg::CtrlOk { value } if value == migration_id => Ok(()),
+            other => Err(RpcError::Protocol(format!(
+                "expected CtrlOk for cancel of {migration_id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the peer process's cancellation / liveness counters.
+    pub fn cancel_stats(&mut self) -> Result<WireCancelStats, RpcError> {
+        match self.roundtrip(&WireMsg::GetCancelStats)? {
+            WireMsg::CancelStats(stats) => Ok(stats),
+            other => Err(RpcError::Protocol(format!(
+                "expected CancelStats, got {other:?}"
+            ))),
         }
     }
 

@@ -49,8 +49,8 @@ mod tier;
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats};
 pub use codec::{
-    decode_frame, encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg,
-    WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState,
+    WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 pub use ctrl::{CtrlClient, RpcError};
 pub use fabric::TcpMigrationConnector;

@@ -28,8 +28,8 @@ use shadowfax::{
 use shadowfax_net::{KvLink, MigrationLink, StatusCode, Transport, TransportError};
 
 use crate::codec::{
-    encode_frame, FrameDecoder, WireMigrationState, WireMsg, WireOwnership, WireServerInfo,
-    WireTierStats, MAX_FRAME_BYTES,
+    encode_frame, FrameDecoder, WireCancelStats, WireMigrationState, WireMsg, WireOwnership,
+    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 use crate::tcp::write_all_nonblocking;
 
@@ -45,6 +45,14 @@ pub trait ClusterControl: Send + Sync {
 
     /// The state of migration `migration_id`.
     fn migration_status(&self, migration_id: u64) -> Result<WireMigrationState, String>;
+
+    /// Cancels an in-flight migration: the dependency is cancelled at the
+    /// metadata store and every local server involved rolls back to its
+    /// checkpoint and re-adopts the post-cancellation ownership map.
+    fn cancel_migration(&self, migration_id: u64) -> Result<(), String>;
+
+    /// The process's cancellation / liveness counters.
+    fn cancel_stats(&self) -> WireCancelStats;
 
     /// Opens a fabric link to the dispatch thread at `fabric_addr`.
     fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError>;
@@ -113,6 +121,19 @@ impl ClusterControl for Cluster {
                 cancelled: dep.cancelled,
             }),
             Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn cancel_migration(&self, migration_id: u64) -> Result<(), String> {
+        Cluster::cancel_migration(self, migration_id)
+    }
+
+    fn cancel_stats(&self) -> WireCancelStats {
+        let snap = self.cancellation_stats();
+        WireCancelStats {
+            migrations_cancelled: snap.migrations_cancelled,
+            records_rolled_back: snap.records_rolled_back,
+            heartbeats_missed: snap.heartbeats_missed,
         }
     }
 
@@ -403,6 +424,27 @@ impl ServedConn {
                             message: msg,
                         }),
                     }
+                }
+                WireMsg::CancelMigration { migration_id } => {
+                    // Like Migrate: treat a panic below as a failed control
+                    // operation, never as a downed I/O thread.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        control.cancel_migration(migration_id)
+                    }))
+                    .unwrap_or_else(|_| Err("migration cancellation panicked".to_string()));
+                    match result {
+                        Ok(()) => self.send(&WireMsg::CtrlOk {
+                            value: migration_id,
+                        }),
+                        Err(msg) => self.send(&WireMsg::CtrlErr {
+                            status: StatusCode::ControlFailed,
+                            message: msg,
+                        }),
+                    }
+                }
+                WireMsg::GetCancelStats => {
+                    let stats = control.cancel_stats();
+                    self.send(&WireMsg::CancelStats(stats));
                 }
                 WireMsg::FetchChain(query) => match control.fetch_chain(&query) {
                     Ok(reply) => self.send(&WireMsg::ChainRecords(reply)),

@@ -1,12 +1,12 @@
-//! `shadowfax-cli status` exit codes: scripts must be able to distinguish
-//! "in flight / complete" (0) from "unknown migration" (1) and "cancelled"
-//! (4) without parsing output.
+//! `shadowfax-cli` migration exit codes: scripts must be able to
+//! distinguish "in flight / complete" (0) from "unknown migration" (1),
+//! "cancelled" (4), and "wait deadline expired" (5) without parsing output.
 //!
 //! The cluster runs in-process behind a real `RpcServer`; the CLI binary is
-//! spawned as a separate OS process against it.  Cancellation is driven
-//! directly at the metadata store (there is no wire-level cancel yet — see
-//! ROADMAP), which is exactly how the state a status query observes comes to
-//! exist.
+//! spawned as a separate OS process against it.  The first cancellation is
+//! driven over the wire with the CLI's own `cancel` verb; a later one is
+//! recorded directly at the metadata store to exercise the status path in
+//! isolation.
 
 use std::process::Command;
 use std::sync::Arc;
@@ -14,9 +14,10 @@ use std::sync::Arc;
 use shadowfax::{Cluster, ClusterConfig, ServerId};
 use shadowfax_rpc::{ClusterControl, RpcServer, RpcServerConfig};
 
-fn cli_status(addr: &str, id: &str) -> (Option<i32>, String, String) {
+fn cli(addr: &str, args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
-        .args(["--addr", addr, "status", id])
+        .args(["--addr", addr])
+        .args(args)
         .output()
         .expect("run shadowfax-cli");
     (
@@ -24,6 +25,10 @@ fn cli_status(addr: &str, id: &str) -> (Option<i32>, String, String) {
         String::from_utf8_lossy(&out.stdout).trim().to_string(),
         String::from_utf8_lossy(&out.stderr).trim().to_string(),
     )
+}
+
+fn cli_status(addr: &str, id: &str) -> (Option<i32>, String, String) {
+    cli(addr, &["status", id])
 }
 
 #[test]
@@ -62,11 +67,40 @@ fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
     assert_eq!(code, Some(0), "in-flight status should exit 0");
     assert!(stdout.contains("in flight"), "unexpected stdout: {stdout}");
 
-    // Cancelled: ownership rolled back, status reports it, exit 4.
-    cluster.meta().cancel_migration(id).expect("cancel");
+    // Waiting on a migration that never settles: the typed Timeout exit
+    // code (5), distinct from hard errors — the fix for `wait` wedging
+    // forever on a dead peer.
+    let (code, _, stderr) = cli(&addr, &["wait", &id_str, "--timeout", "1"]);
+    assert_eq!(
+        code,
+        Some(5),
+        "an expired wait deadline should exit 5; stderr: {stderr}"
+    );
+    assert!(stderr.contains("timed out"), "unexpected stderr: {stderr}");
+
+    // Cancel over the wire with the CLI's own verb: exit 0, and the
+    // cancellation counters become visible.
+    let (code, stdout, stderr) = cli(&addr, &["cancel", &id_str]);
+    assert_eq!(code, Some(0), "cancel should exit 0; stderr: {stderr}");
+    assert!(stdout.contains("cancelled"), "unexpected stdout: {stdout}");
+    let (code, stdout, _) = cli(&addr, &["cancel-stats"]);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("migrations cancelled: 1"),
+        "unexpected cancel-stats: {stdout}"
+    );
+
+    // Status and wait both report the cancellation with exit 4.
     let (code, stdout, _) = cli_status(&addr, &id_str);
     assert_eq!(code, Some(4), "cancelled status should exit 4");
     assert!(stdout.contains("cancelled"), "unexpected stdout: {stdout}");
+    let (code, stdout, _) = cli(&addr, &["wait", &id_str, "--timeout", "5"]);
+    assert_eq!(code, Some(4), "waiting on a cancelled migration exits 4");
+    assert!(stdout.contains("cancelled"), "unexpected stdout: {stdout}");
+
+    // Cancelling an unknown migration is a hard error (exit 1).
+    let (code, _, stderr) = cli(&addr, &["cancel", "999"]);
+    assert_eq!(code, Some(1), "unknown cancel should exit 1: {stderr}");
 
     // Completed (dependency garbage collected): exit 0.
     let moving2 = cluster

@@ -28,8 +28,8 @@ use shadowfax::{
 };
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
 use shadowfax_rpc::{
-    decode_frame, encode_frame, CodecError, FrameDecoder, WireMigrationState, WireMsg,
-    WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState,
+    WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 use shadowfax_storage::TierRecord;
 
@@ -108,7 +108,7 @@ fn random_migrated_item(rng: &mut StdRng) -> MigratedItem {
 }
 
 fn random_migration_msg(rng: &mut StdRng) -> MigrationMsg {
-    match rng.gen_range(0u64..7) {
+    match rng.gen_range(0u64..10) {
         0 => MigrationMsg::PrepForTransfer {
             migration_id: rng.gen(),
             ranges: (0..rng.gen_range(0u64..4))
@@ -151,9 +151,21 @@ fn random_migration_msg(rng: &mut StdRng) -> MigrationMsg {
                 MigrationAckPhase::Completed,
             ][rng.gen_range(0u64..3) as usize],
         },
-        _ => MigrationMsg::CompactionHandoff {
+        6 => MigrationMsg::CompactionHandoff {
             key: rng.gen(),
             value: random_bytes(rng, 200),
+        },
+        7 => MigrationMsg::Heartbeat {
+            migration_id: rng.gen(),
+            view: rng.gen(),
+        },
+        8 => MigrationMsg::HeartbeatAck {
+            migration_id: rng.gen(),
+            view: rng.gen(),
+        },
+        _ => MigrationMsg::CancelMigration {
+            migration_id: rng.gen(),
+            view: rng.gen(),
         },
     }
 }
@@ -232,11 +244,34 @@ fn random_messages(rng: &mut StdRng) -> Vec<WireMsg> {
             target_complete: rng.gen::<u64>() % 2 == 0,
             cancelled: rng.gen::<u64>() % 2 == 0,
         }),
+        WireMsg::CancelMigration {
+            migration_id: rng.gen(),
+        },
+        WireMsg::GetCancelStats,
+        WireMsg::CancelStats(WireCancelStats {
+            migrations_cancelled: rng.gen(),
+            records_rolled_back: rng.gen(),
+            heartbeats_missed: rng.gen(),
+        }),
         WireMsg::MigHello {
             server: rng.gen(),
             thread: rng.gen(),
         },
         WireMsg::Migration(random_migration_msg(rng)),
+        // The liveness / cancellation migration frames, pinned (the random
+        // generator above only covers them probabilistically).
+        WireMsg::Migration(MigrationMsg::Heartbeat {
+            migration_id: rng.gen(),
+            view: rng.gen(),
+        }),
+        WireMsg::Migration(MigrationMsg::HeartbeatAck {
+            migration_id: rng.gen(),
+            view: rng.gen(),
+        }),
+        WireMsg::Migration(MigrationMsg::CancelMigration {
+            migration_id: rng.gen(),
+            view: rng.gen(),
+        }),
         WireMsg::FetchChain(ChainFetchQuery {
             requester: rng.gen(),
             view: rng.gen(),
@@ -275,11 +310,12 @@ fn generator_covers_every_wire_kind() {
             kinds.insert(frame[4]);
         }
     }
-    // 18 distinct kind bytes are on the wire today (Executed/Rejected share
-    // the REPLY kind; every MigrationMsg shares MIGRATION).
+    // 21 distinct kind bytes are on the wire today (Executed/Rejected share
+    // the REPLY kind; every MigrationMsg shares MIGRATION; the cancel work
+    // added CANCEL_MIGRATION, GET_CANCEL_STATS, and CANCEL_STATS).
     assert_eq!(
         kinds.len(),
-        18,
+        21,
         "frame kinds covered by the generator changed: {kinds:?}"
     );
 }

@@ -46,6 +46,9 @@ pub struct ServerSpawn {
     pub base_id: u32,
     /// `--memory-pages`, when a test needs the log to spill.
     pub memory_pages: Option<u64>,
+    /// `--sampling-ms`, when a test needs the migration to stay in its
+    /// sampling phase long enough to interfere with it deterministically.
+    pub sampling_ms: Option<u64>,
     /// `--peer` spec registering a server in another process.
     pub peer: Option<String>,
 }
@@ -59,6 +62,7 @@ impl Default for ServerSpawn {
             threads: 2,
             base_id: 0,
             memory_pages: None,
+            sampling_ms: None,
             peer: None,
         }
     }
@@ -88,6 +92,9 @@ impl ServerSpawn {
         ]);
         if let Some(pages) = self.memory_pages {
             cmd.args(["--memory-pages", &pages.to_string()]);
+        }
+        if let Some(ms) = self.sampling_ms {
+            cmd.args(["--sampling-ms", &ms.to_string()]);
         }
         if let Some(peer) = &self.peer {
             cmd.args(["--peer", peer]);
