@@ -209,7 +209,7 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
         kv_profile: shadowfax::NetworkProfile::instant(),
         migration_profile: shadowfax::NetworkProfile::instant(),
         shared_tier_capacity: 8 << 30,
-        assign_ranges_to_all: false,
+        layout: shadowfax::ClusterLayout::ScaleOut,
     });
 
     // Preload the dataset through a client.

@@ -16,7 +16,8 @@ use shadowfax_storage::{LogId, SharedBlobTier, TierRecord, TierService};
 
 use crate::client::ShadowfaxClient;
 use crate::config::{ClientConfig, ServerConfig};
-use crate::hash_range::{partition_space, HashRange, RangeSet};
+use crate::hash_range::{HashRange, RangeSet};
+use crate::layout::{ClusterLayout, LayoutError, PeerOwns};
 use crate::meta::MetadataStore;
 use crate::server::{KvNetwork, MigrationConnector, MigrationNetwork, Server, ServerHandle};
 use crate::ServerId;
@@ -169,9 +170,11 @@ pub struct PeerServer {
     pub address: String,
     /// Number of dispatch threads the peer runs.
     pub threads: usize,
-    /// The hash ranges the peer owns at startup (must agree with the peer
-    /// process's own configuration).
-    pub ranges: RangeSet,
+    /// What the peer owns at startup: [`PeerOwns::Auto`] lets the cluster
+    /// layout assign its ranges (every process derives the same split from
+    /// the same membership), while an explicit declaration pins them (and
+    /// must agree with the peer process's own configuration).
+    pub owns: PeerOwns,
 }
 
 /// Options controlling cluster assembly.
@@ -194,10 +197,12 @@ pub struct ClusterConfig {
     pub migration_profile: NetworkProfile,
     /// Capacity of each server's log space on the shared blob tier.
     pub shared_tier_capacity: u64,
-    /// If `false`, only the server with id 0 owns ranges (every other
-    /// server — in this process or a peer process — is an idle scale-out
-    /// target, as in the Figure 10 experiments).
-    pub assign_ranges_to_all: bool,
+    /// How initial ownership is assigned across the cluster's *global* ids
+    /// (local servers plus peers): [`ClusterLayout::ScaleOut`] gives
+    /// everything to server 0 (the Figure 10 experiments),
+    /// [`ClusterLayout::Partitioned`] splits the space evenly, and
+    /// [`ClusterLayout::Explicit`] spells per-id ranges out.
+    pub layout: ClusterLayout,
 }
 
 impl ClusterConfig {
@@ -212,7 +217,7 @@ impl ClusterConfig {
             kv_profile: NetworkProfile::instant(),
             migration_profile: NetworkProfile::instant(),
             shared_tier_capacity: 1 << 30,
-            assign_ranges_to_all: false,
+            layout: ClusterLayout::ScaleOut,
         }
     }
 
@@ -226,7 +231,7 @@ impl ClusterConfig {
             kv_profile: NetworkProfile::instant(),
             migration_profile: NetworkProfile::instant(),
             shared_tier_capacity: 1 << 30,
-            assign_ranges_to_all: true,
+            layout: ClusterLayout::Partitioned,
         }
     }
 }
@@ -251,8 +256,40 @@ impl std::fmt::Debug for Cluster {
 
 impl Cluster {
     /// Builds and starts a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured layout does not resolve to a valid
+    /// partition of the hash space; use [`Cluster::try_start`] to handle
+    /// the typed error instead.
     pub fn start(config: ClusterConfig) -> Self {
-        assert!(config.servers >= 1);
+        Self::try_start(config).unwrap_or_else(|e| panic!("invalid cluster layout: {e}"))
+    }
+
+    /// Builds and starts a cluster, resolving and validating the configured
+    /// [`ClusterLayout`] over the cluster's global membership (the local
+    /// servers plus every registered peer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LayoutError`] when ids collide, peers pin ranges
+    /// that overlap the layout's assignment, or the resolved map leaves a
+    /// hole in the hash space.  Nothing is spawned on error.
+    pub fn try_start(config: ClusterConfig) -> Result<Self, LayoutError> {
+        // The cluster's global membership: the servers this process hosts
+        // (their ranges always come from the layout) and the peers other
+        // processes host (which may pin their ranges explicitly).
+        let mut members: Vec<(ServerId, PeerOwns)> = (0..config.servers)
+            .map(|i| (ServerId(config.base_id + i as u32), PeerOwns::Auto))
+            .collect();
+        if members.is_empty() {
+            return Err(LayoutError::NoServers);
+        }
+        for peer in &config.peers {
+            members.push((peer.id, peer.owns.clone()));
+        }
+        let mut assignment = config.layout.resolve(&members)?;
+
         let meta = MetadataStore::new();
         let kv_net: Arc<KvNetwork> = KvNetwork::new(config.kv_profile);
         let mig_net: Arc<MigrationNetwork> = MigrationNetwork::new(config.migration_profile);
@@ -261,35 +298,28 @@ impl Cluster {
         // Servers in other processes are registered first so ownership
         // lookups and migration routing see them from the start.
         for peer in &config.peers {
-            meta.register_server(
-                peer.id,
-                peer.address.clone(),
-                peer.threads,
-                peer.ranges.clone(),
-            );
+            let ranges = assignment.remove(&peer.id).unwrap_or_default();
+            meta.try_register_server(peer.id, peer.address.clone(), peer.threads, ranges)
+                .map_err(|e| match e {
+                    crate::meta::MetaError::OwnershipOverlap {
+                        server,
+                        other,
+                        range,
+                    } => LayoutError::Overlap {
+                        a: server,
+                        b: other,
+                        range,
+                    },
+                    _ => LayoutError::DuplicateServer(peer.id),
+                })?;
         }
-
-        // Initial ownership: either split evenly over every local server or
-        // give everything to the server with id 0 and leave the rest idle
-        // (scale-out targets).  Partition slots are indexed by global id, so
-        // a process hosting ids ≥ 1 starts them idle under the default
-        // "server 0 owns everything" layout.
-        let owners = if config.assign_ranges_to_all {
-            config.servers
-        } else {
-            1
-        };
-        let parts = partition_space(owners);
 
         let mut handles = Vec::with_capacity(config.servers);
         for i in 0..config.servers {
             let mut server_config = config.server_template.clone();
-            let global_id = config.base_id + i as u32;
-            server_config.id = ServerId(global_id);
-            let ranges = match parts.get(global_id as usize) {
-                Some(part) => RangeSet::from_ranges([*part]),
-                None => RangeSet::empty(),
-            };
+            let global_id = ServerId(config.base_id + i as u32);
+            server_config.id = global_id;
+            let ranges = assignment.remove(&global_id).unwrap_or_default();
             let server = Server::new(
                 server_config,
                 ranges,
@@ -300,14 +330,14 @@ impl Cluster {
             );
             handles.push(server.spawn_threads());
         }
-        Cluster {
+        Ok(Cluster {
             meta,
             kv_net,
             mig_net,
             shared_tier,
             chain_stats: ChainFetchStats::default(),
             handles,
-        }
+        })
     }
 
     /// The metadata store.

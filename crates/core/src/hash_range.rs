@@ -203,6 +203,19 @@ pub fn partition_space(n: usize) -> Vec<HashRange> {
     HashRange::FULL.split(n)
 }
 
+/// Partitions the full hash space evenly across an arbitrary set of global
+/// server ids (local servers and peers alike), assigning slices in
+/// ascending id order.  This is the multi-process generalisation of
+/// [`partition_space`]: every process that knows the same id set derives
+/// the same assignment, no matter which ids it hosts.
+pub fn partition_space_among(ids: &[crate::ServerId]) -> Vec<(crate::ServerId, HashRange)> {
+    let mut sorted: Vec<crate::ServerId> = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let parts = partition_space(sorted.len().max(1));
+    sorted.into_iter().zip(parts).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +312,23 @@ mod tests {
             let set = RangeSet::from_ranges(parts);
             assert_eq!(set.total_width(), u64::MAX);
         }
+    }
+
+    #[test]
+    fn partition_space_among_sorts_dedups_and_covers() {
+        use crate::ServerId;
+        let parts = partition_space_among(&[ServerId(5), ServerId(0), ServerId(2), ServerId(5)]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![ServerId(0), ServerId(2), ServerId(5)]
+        );
+        assert_eq!(parts[0].1.start, 0);
+        assert_eq!(parts[2].1.end, u64::MAX);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1.end, w[1].1.start);
+        }
+        assert!(partition_space_among(&[]).is_empty());
     }
 
     #[test]

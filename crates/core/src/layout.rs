@@ -1,0 +1,654 @@
+//! Cluster-wide initial ownership layouts.
+//!
+//! The paper's deployments assume every server owns a slice of the hash
+//! space from the moment it boots; migrations then *rebalance* load between
+//! any pair of owners.  [`ClusterLayout`] makes that first assignment a
+//! first-class, validated object: it is resolved over the set of **global**
+//! server ids (the servers a process hosts plus every peer registered from
+//! other processes), so every process in a multi-process deployment derives
+//! the same ownership map from the same configuration.
+//!
+//! Three layouts exist:
+//!
+//! * [`ClusterLayout::ScaleOut`] — server 0 owns the full space and every
+//!   other id idles (the Figure 10 scale-out experiments, and the historical
+//!   default).
+//! * [`ClusterLayout::Partitioned`] — the space is split evenly across every
+//!   registered global id, in id order.
+//! * [`ClusterLayout::Explicit`] — per-id range lists, spelled out.
+//!
+//! Individual peers may also pin their ranges explicitly
+//! ([`PeerOwns::Explicit`], the `--peer ...,owns=0x...-0x...` syntax); an
+//! explicit declaration replaces whatever the layout computed for that id.
+//! However the final map is produced, [`ClusterLayout::resolve`] validates
+//! it: ids must be unique, ranges must not overlap, and the union must cover
+//! the full hash space — violations surface as typed [`LayoutError`]s, never
+//! panics.
+//!
+//! This module also owns the *textual* forms used by `shadowfax-server`
+//! (`--layout`, `--peer`): parsing is strict and round-trips with the
+//! `Display` impls, which the layout property tests fuzz.
+
+use std::collections::BTreeMap;
+
+use crate::hash_range::{partition_space_among, HashRange, RangeSet};
+use crate::ServerId;
+
+/// How the initial ownership of the hash space is assigned across the
+/// cluster's global server ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ClusterLayout {
+    /// Server 0 owns the full hash space; every other server starts idle as
+    /// a scale-out target (the historical default).
+    #[default]
+    ScaleOut,
+    /// The full hash space split evenly across every registered global id
+    /// (local servers and peers alike), in ascending id order.
+    Partitioned,
+    /// Explicit per-id range lists.  Ids absent from the list start idle;
+    /// the listed ranges must be disjoint and cover the full space once
+    /// combined with any per-peer declarations.
+    Explicit(Vec<(ServerId, RangeSet)>),
+}
+
+/// What a peer declared about its initial ownership (the `owns=` field of a
+/// `--peer` spec).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum PeerOwns {
+    /// Let the cluster layout assign the peer's ranges (the default, and
+    /// the only sensible choice under [`ClusterLayout::Partitioned`]).
+    #[default]
+    Auto,
+    /// The peer's ranges, pinned explicitly.  `full` and `none` are
+    /// shorthands for the full space and the empty set.
+    Explicit(RangeSet),
+}
+
+/// Why a layout failed to parse or resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The same global id was registered twice (e.g. a peer colliding with
+    /// a local server).
+    DuplicateServer(ServerId),
+    /// An explicit assignment names an id that is neither hosted locally
+    /// nor registered as a peer.
+    UnknownServer(ServerId),
+    /// An id appears more than once in an explicit assignment list.
+    ConflictingAssignment(ServerId),
+    /// Two owners claim overlapping slices of the hash space.
+    Overlap {
+        /// One claimant.
+        a: ServerId,
+        /// The other claimant.
+        b: ServerId,
+        /// Where their claims collide.
+        range: HashRange,
+    },
+    /// Nobody owns `[start, end)`.
+    Gap {
+        /// Start of the unowned hole.
+        start: u64,
+        /// End of the unowned hole.
+        end: u64,
+    },
+    /// The cluster has no servers at all.
+    NoServers,
+    /// A textual spec failed to parse.
+    Spec {
+        /// What was being parsed (`"--layout"`, `"--peer"`, ...).
+        context: &'static str,
+        /// The offending input (or the part of it that failed).
+        input: String,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::DuplicateServer(id) => {
+                write!(f, "server id {} registered twice", id.0)
+            }
+            LayoutError::UnknownServer(id) => write!(
+                f,
+                "layout assigns ranges to server id {} but no such server is registered",
+                id.0
+            ),
+            LayoutError::ConflictingAssignment(id) => {
+                write!(f, "server id {} assigned ranges more than once", id.0)
+            }
+            LayoutError::Overlap { a, b, range } => write!(
+                f,
+                "servers {} and {} both claim {range}",
+                a.0.min(b.0),
+                a.0.max(b.0)
+            ),
+            LayoutError::Gap { start, end } => {
+                write!(f, "no server owns [{start:#x}, {end:#x})")
+            }
+            LayoutError::NoServers => f.write_str("the layout has no servers"),
+            LayoutError::Spec { context, input } => {
+                write!(f, "malformed {context} spec {input:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl ClusterLayout {
+    /// Resolves the layout over the cluster's global membership into one
+    /// [`RangeSet`] per id.  `members` pairs every global id (local servers
+    /// and peers) with its ownership declaration; [`PeerOwns::Explicit`]
+    /// declarations replace whatever the layout computed for that id.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`LayoutError`]s for duplicate ids, assignments to unknown
+    /// ids, overlapping claims, and coverage gaps — the resolved map always
+    /// covers the full hash space with disjoint ranges.
+    pub fn resolve(
+        &self,
+        members: &[(ServerId, PeerOwns)],
+    ) -> Result<BTreeMap<ServerId, RangeSet>, LayoutError> {
+        if members.is_empty() {
+            return Err(LayoutError::NoServers);
+        }
+        let mut assignment: BTreeMap<ServerId, RangeSet> = BTreeMap::new();
+        for (id, _) in members {
+            if assignment.insert(*id, RangeSet::empty()).is_some() {
+                return Err(LayoutError::DuplicateServer(*id));
+            }
+        }
+        match self {
+            ClusterLayout::ScaleOut => {
+                if let Some(owned) = assignment.get_mut(&ServerId(0)) {
+                    *owned = RangeSet::full();
+                }
+                // No server 0 anywhere: the coverage check below reports
+                // the hole as a typed Gap.
+            }
+            ClusterLayout::Partitioned => {
+                let ids: Vec<ServerId> = assignment.keys().copied().collect();
+                for (id, part) in partition_space_among(&ids) {
+                    assignment.insert(id, RangeSet::from_ranges([part]));
+                }
+            }
+            ClusterLayout::Explicit(assigned) => {
+                let mut seen = Vec::new();
+                for (id, ranges) in assigned {
+                    if seen.contains(id) {
+                        return Err(LayoutError::ConflictingAssignment(*id));
+                    }
+                    seen.push(*id);
+                    match assignment.get_mut(id) {
+                        Some(owned) => *owned = ranges.clone(),
+                        None => return Err(LayoutError::UnknownServer(*id)),
+                    }
+                }
+            }
+        }
+        // Explicit per-member declarations win over the computed layout.
+        for (id, owns) in members {
+            if let PeerOwns::Explicit(ranges) = owns {
+                assignment.insert(*id, ranges.clone());
+            }
+        }
+        validate_partition(&assignment)?;
+        Ok(assignment)
+    }
+
+    /// Parses a `--layout` spec: `scale-out`, `partitioned`, or an explicit
+    /// assignment list `0=0x0-0x8000000000000000,1=0x8000000000000000-0xffffffffffffffff`
+    /// (multiple ranges per id joined with `+`; `none` marks an id idle).
+    pub fn from_spec(spec: &str) -> Result<Self, LayoutError> {
+        let bad = |input: &str| LayoutError::Spec {
+            context: "--layout",
+            input: input.to_string(),
+        };
+        match spec {
+            "scale-out" | "scaleout" => return Ok(ClusterLayout::ScaleOut),
+            "partitioned" | "balanced" => return Ok(ClusterLayout::Partitioned),
+            "" => return Err(bad(spec)),
+            _ => {}
+        }
+        let mut assigned = Vec::new();
+        for field in spec.split(',') {
+            let (id, ranges) = field.split_once('=').ok_or_else(|| bad(field))?;
+            let id: u32 = id.parse().map_err(|_| bad(field))?;
+            let ranges = parse_ranges_spec(ranges, "--layout")?;
+            assigned.push((ServerId(id), ranges));
+        }
+        Ok(ClusterLayout::Explicit(assigned))
+    }
+}
+
+impl std::fmt::Display for ClusterLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterLayout::ScaleOut => f.write_str("scale-out"),
+            ClusterLayout::Partitioned => f.write_str("partitioned"),
+            ClusterLayout::Explicit(assigned) => {
+                for (i, (id, ranges)) in assigned.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}={}", id.0, format_ranges_spec(ranges))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl PeerOwns {
+    /// The explicitly declared ranges, if any.
+    pub fn explicit(&self) -> Option<&RangeSet> {
+        match self {
+            PeerOwns::Auto => None,
+            PeerOwns::Explicit(ranges) => Some(ranges),
+        }
+    }
+
+    /// Parses an `owns=` field: `auto`, `full`, `none`, or a `+`-joined
+    /// range list (`0x0-0x7fff+0xc000-0xffff`).
+    pub fn from_spec(spec: &str) -> Result<Self, LayoutError> {
+        Ok(match spec {
+            "auto" => PeerOwns::Auto,
+            "full" => PeerOwns::Explicit(RangeSet::full()),
+            "none" => PeerOwns::Explicit(RangeSet::empty()),
+            _ => PeerOwns::Explicit(parse_ranges_spec(spec, "--peer owns")?),
+        })
+    }
+}
+
+impl std::fmt::Display for PeerOwns {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerOwns::Auto => f.write_str("auto"),
+            PeerOwns::Explicit(ranges) if ranges.is_empty() => f.write_str("none"),
+            PeerOwns::Explicit(ranges) => f.write_str(&format_ranges_spec(ranges)),
+        }
+    }
+}
+
+/// Parses a `+`-joined list of `START-END` hash ranges (hex, `0x` prefix
+/// optional; `END` exclusive, with `0xffffffffffffffff` meaning "to the
+/// top").  `none` is the empty set.  Rejects inverted and empty ranges.
+pub fn parse_ranges_spec(spec: &str, context: &'static str) -> Result<RangeSet, LayoutError> {
+    let bad = |input: &str| LayoutError::Spec {
+        context,
+        input: input.to_string(),
+    };
+    if spec == "none" {
+        return Ok(RangeSet::empty());
+    }
+    let mut ranges = Vec::new();
+    for part in spec.split('+') {
+        let (start, end) = part.split_once('-').ok_or_else(|| bad(part))?;
+        let parse_hex = |s: &str| -> Result<u64, LayoutError> {
+            let digits = s.strip_prefix("0x").unwrap_or(s);
+            if digits.is_empty() {
+                return Err(bad(part));
+            }
+            u64::from_str_radix(digits, 16).map_err(|_| bad(part))
+        };
+        let start = parse_hex(start)?;
+        let end = parse_hex(end)?;
+        if start >= end {
+            return Err(bad(part));
+        }
+        ranges.push(HashRange { start, end });
+    }
+    Ok(RangeSet::from_ranges(ranges))
+}
+
+/// The canonical textual form of a range set (inverse of
+/// [`parse_ranges_spec`]): `0x0-0x7fff+0xc000-0xffff`, or `none` when
+/// empty.
+pub fn format_ranges_spec(ranges: &RangeSet) -> String {
+    if ranges.is_empty() {
+        return "none".to_string();
+    }
+    ranges
+        .ranges()
+        .iter()
+        .map(|r| format!("{:#x}-{:#x}", r.start, r.end))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Parses a `--peer` spec, e.g.
+/// `id=1,addr=127.0.0.1:4871,threads=2,owns=0x0-0x7fff+0xc000-0xffff`.
+/// `id` and `addr` are required; `threads` defaults to 2 and `owns` to
+/// `auto` (the cluster layout assigns the peer's ranges).
+pub fn parse_peer_spec(spec: &str) -> Result<crate::cluster::PeerServer, LayoutError> {
+    let bad = |input: &str| LayoutError::Spec {
+        context: "--peer",
+        input: input.to_string(),
+    };
+    let mut id = None;
+    let mut addr = None;
+    let mut threads = 2usize;
+    let mut owns = PeerOwns::Auto;
+    for field in spec.split(',') {
+        let (key, value) = field.split_once('=').ok_or_else(|| bad(field))?;
+        match key {
+            "id" => id = Some(value.parse::<u32>().map_err(|_| bad(field))?),
+            "addr" if !value.is_empty() => addr = Some(value.to_string()),
+            "threads" => {
+                threads = value.parse().map_err(|_| bad(field))?;
+                if threads == 0 {
+                    return Err(bad(field));
+                }
+            }
+            "owns" => owns = PeerOwns::from_spec(value)?,
+            _ => return Err(bad(field)),
+        }
+    }
+    Ok(crate::cluster::PeerServer {
+        id: ServerId(id.ok_or_else(|| bad(spec))?),
+        address: addr.ok_or_else(|| bad(spec))?,
+        threads,
+        owns,
+    })
+}
+
+/// Checks that `assignment` tiles the full hash space: no two ids claim
+/// overlapping ranges and no hash value is left unowned.
+pub fn validate_partition(assignment: &BTreeMap<ServerId, RangeSet>) -> Result<(), LayoutError> {
+    let mut claims: Vec<(u64, u64, ServerId)> = Vec::new();
+    for (id, owned) in assignment {
+        for r in owned.ranges() {
+            claims.push((r.start, r.end, *id));
+        }
+    }
+    claims.sort_unstable();
+    let mut cursor = 0u64;
+    let mut last_owner: Option<ServerId> = None;
+    for (start, end, id) in claims {
+        match start.cmp(&cursor) {
+            std::cmp::Ordering::Less => {
+                return Err(LayoutError::Overlap {
+                    a: last_owner.unwrap_or(id),
+                    b: id,
+                    range: HashRange::new(start, cursor.min(end)),
+                });
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(LayoutError::Gap {
+                    start: cursor,
+                    end: start,
+                });
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        cursor = end;
+        last_owner = Some(id);
+    }
+    if cursor != u64::MAX {
+        return Err(LayoutError::Gap {
+            start: cursor,
+            end: u64::MAX,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auto_members(ids: &[u32]) -> Vec<(ServerId, PeerOwns)> {
+        ids.iter()
+            .map(|&id| (ServerId(id), PeerOwns::Auto))
+            .collect()
+    }
+
+    #[test]
+    fn scale_out_gives_everything_to_server_zero() {
+        let map = ClusterLayout::ScaleOut
+            .resolve(&auto_members(&[0, 1, 2]))
+            .unwrap();
+        assert_eq!(map[&ServerId(0)], RangeSet::full());
+        assert!(map[&ServerId(1)].is_empty());
+        assert!(map[&ServerId(2)].is_empty());
+    }
+
+    #[test]
+    fn scale_out_without_server_zero_is_a_gap() {
+        let err = ClusterLayout::ScaleOut
+            .resolve(&auto_members(&[1, 2]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LayoutError::Gap {
+                start: 0,
+                end: u64::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn partitioned_splits_across_global_ids_in_id_order() {
+        // Ids out of order and non-contiguous: the split follows sorted ids.
+        let map = ClusterLayout::Partitioned
+            .resolve(&auto_members(&[7, 0, 3]))
+            .unwrap();
+        assert_eq!(map.len(), 3);
+        let r0 = map[&ServerId(0)].ranges()[0];
+        let r3 = map[&ServerId(3)].ranges()[0];
+        let r7 = map[&ServerId(7)].ranges()[0];
+        assert_eq!(r0.start, 0);
+        assert_eq!(r0.end, r3.start);
+        assert_eq!(r3.end, r7.start);
+        assert_eq!(r7.end, u64::MAX);
+    }
+
+    #[test]
+    fn explicit_peer_declaration_overrides_the_layout() {
+        // Partitioned over {0, 1}, but peer 1 pins the top three quarters.
+        let cut = u64::MAX / 4;
+        let members = vec![
+            (
+                ServerId(0),
+                PeerOwns::Explicit(RangeSet::from_ranges([HashRange::new(0, cut)])),
+            ),
+            (
+                ServerId(1),
+                PeerOwns::Explicit(RangeSet::from_ranges([HashRange::new(cut, u64::MAX)])),
+            ),
+        ];
+        let map = ClusterLayout::Partitioned.resolve(&members).unwrap();
+        assert_eq!(map[&ServerId(0)].ranges(), &[HashRange::new(0, cut)]);
+        assert_eq!(map[&ServerId(1)].ranges(), &[HashRange::new(cut, u64::MAX)]);
+    }
+
+    #[test]
+    fn overlap_and_gap_are_typed_errors() {
+        let cut = 1u64 << 63;
+        let overlap = ClusterLayout::Explicit(vec![
+            (
+                ServerId(0),
+                RangeSet::from_ranges([HashRange::new(0, cut + 10)]),
+            ),
+            (
+                ServerId(1),
+                RangeSet::from_ranges([HashRange::new(cut, u64::MAX)]),
+            ),
+        ])
+        .resolve(&auto_members(&[0, 1]))
+        .unwrap_err();
+        assert!(matches!(overlap, LayoutError::Overlap { .. }), "{overlap}");
+
+        let gap = ClusterLayout::Explicit(vec![
+            (ServerId(0), RangeSet::from_ranges([HashRange::new(0, cut)])),
+            (
+                ServerId(1),
+                RangeSet::from_ranges([HashRange::new(cut + 10, u64::MAX)]),
+            ),
+        ])
+        .resolve(&auto_members(&[0, 1]))
+        .unwrap_err();
+        assert_eq!(
+            gap,
+            LayoutError::Gap {
+                start: cut,
+                end: cut + 10
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_are_typed_errors() {
+        assert_eq!(
+            ClusterLayout::ScaleOut
+                .resolve(&auto_members(&[0, 0]))
+                .unwrap_err(),
+            LayoutError::DuplicateServer(ServerId(0))
+        );
+        assert_eq!(
+            ClusterLayout::Explicit(vec![(ServerId(9), RangeSet::full())])
+                .resolve(&auto_members(&[0]))
+                .unwrap_err(),
+            LayoutError::UnknownServer(ServerId(9))
+        );
+        assert_eq!(
+            ClusterLayout::Explicit(vec![
+                (ServerId(0), RangeSet::full()),
+                (ServerId(0), RangeSet::full())
+            ])
+            .resolve(&auto_members(&[0]))
+            .unwrap_err(),
+            LayoutError::ConflictingAssignment(ServerId(0))
+        );
+        assert_eq!(
+            ClusterLayout::ScaleOut.resolve(&[]).unwrap_err(),
+            LayoutError::NoServers
+        );
+    }
+
+    #[test]
+    fn layout_specs_parse_and_roundtrip() {
+        assert_eq!(
+            ClusterLayout::from_spec("scale-out").unwrap(),
+            ClusterLayout::ScaleOut
+        );
+        assert_eq!(
+            ClusterLayout::from_spec("partitioned").unwrap(),
+            ClusterLayout::Partitioned
+        );
+        let explicit = ClusterLayout::from_spec(
+            "0=0x0-0x8000000000000000,1=0x8000000000000000-0xffffffffffffffff",
+        )
+        .unwrap();
+        match &explicit {
+            ClusterLayout::Explicit(assigned) => {
+                assert_eq!(assigned.len(), 2);
+                assert_eq!(assigned[0].0, ServerId(0));
+                assert_eq!(assigned[0].1.ranges(), &[HashRange::new(0, 1 << 63)]);
+            }
+            other => panic!("expected Explicit, got {other:?}"),
+        }
+        for layout in [
+            ClusterLayout::ScaleOut,
+            ClusterLayout::Partitioned,
+            explicit,
+        ] {
+            assert_eq!(
+                ClusterLayout::from_spec(&layout.to_string()).unwrap(),
+                layout
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_specs_are_rejected_without_panicking() {
+        for bad in [
+            "",
+            "bogus",
+            "0=",
+            "0=0x10-0x5",  // inverted
+            "0=0x10-0x10", // empty
+            "0=10..20",    // wrong separator
+            "0=0x-0x5",    // no digits
+            "x=0x0-0x5",   // bad id
+            "0=0x0-0xzz",  // bad hex
+            "0=0x0-0x5,,", // empty field
+            "0:0x0-0x5",   // wrong assignment separator
+        ] {
+            assert!(
+                matches!(ClusterLayout::from_spec(bad), Err(LayoutError::Spec { .. })),
+                "spec {bad:?} was not rejected"
+            );
+        }
+        for bad in ["", "garbage", "0x5-0x1", "0x1+0x5"] {
+            assert!(
+                PeerOwns::from_spec(bad).is_err(),
+                "owns spec {bad:?} was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn peer_specs_parse_with_defaults_and_reject_garbage() {
+        let peer = parse_peer_spec("id=3,addr=127.0.0.1:4871").unwrap();
+        assert_eq!(peer.id, ServerId(3));
+        assert_eq!(peer.address, "127.0.0.1:4871");
+        assert_eq!(peer.threads, 2);
+        assert_eq!(peer.owns, PeerOwns::Auto);
+
+        let peer = parse_peer_spec("id=1,addr=h:1,threads=4,owns=0x0-0x7fff").unwrap();
+        assert_eq!(peer.threads, 4);
+        assert_eq!(
+            peer.owns,
+            PeerOwns::Explicit(RangeSet::from_ranges([HashRange::new(0, 0x7fff)]))
+        );
+
+        for bad in [
+            "",
+            "id=1",                      // missing addr
+            "addr=h:1",                  // missing id
+            "id=x,addr=h:1",             // bad id
+            "id=1,addr=",                // empty addr
+            "id=1,addr=h:1,threads=0",   // zero threads
+            "id=1,addr=h:1,threads=abc", // bad threads
+            "id=1,addr=h:1,owns=bogus",  // bad owns
+            "id=1,addr=h:1,color=red",   // unknown field
+            "id=1 addr=h:1",             // wrong field separator
+        ] {
+            assert!(
+                parse_peer_spec(bad).is_err(),
+                "peer spec {bad:?} was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn owns_specs_parse_and_roundtrip() {
+        assert_eq!(PeerOwns::from_spec("auto").unwrap(), PeerOwns::Auto);
+        assert_eq!(
+            PeerOwns::from_spec("full").unwrap(),
+            PeerOwns::Explicit(RangeSet::full())
+        );
+        assert_eq!(
+            PeerOwns::from_spec("none").unwrap(),
+            PeerOwns::Explicit(RangeSet::empty())
+        );
+        let ranges = PeerOwns::from_spec("0x0-0x7fff+0xc000-0xffff").unwrap();
+        assert_eq!(
+            ranges,
+            PeerOwns::Explicit(RangeSet::from_ranges([
+                HashRange::new(0, 0x7fff),
+                HashRange::new(0xc000, 0xffff)
+            ]))
+        );
+        for owns in [
+            PeerOwns::Auto,
+            PeerOwns::Explicit(RangeSet::empty()),
+            PeerOwns::Explicit(RangeSet::full()),
+            ranges,
+        ] {
+            assert_eq!(PeerOwns::from_spec(&owns.to_string()).unwrap(), owns);
+        }
+    }
+}

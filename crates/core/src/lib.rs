@@ -45,6 +45,7 @@ mod compaction;
 mod config;
 mod hash_range;
 mod indirection;
+mod layout;
 mod messages;
 mod meta;
 mod migration;
@@ -58,8 +59,12 @@ pub use cluster::{
 };
 pub use compaction::CompactionOutcome;
 pub use config::{ClientConfig, MigrationConfig, MigrationMode, OwnershipCheck, ServerConfig};
-pub use hash_range::{partition_space, HashRange, RangeSet};
+pub use hash_range::{partition_space, partition_space_among, HashRange, RangeSet};
 pub use indirection::{IndirectionRecord, INDIRECTION_VALUE_BYTES};
+pub use layout::{
+    format_ranges_spec, parse_peer_spec, parse_ranges_spec, validate_partition, ClusterLayout,
+    LayoutError, PeerOwns,
+};
 pub use messages::{MigratedItem, MigrationAckPhase, MigrationMsg};
 pub use meta::{MetaError, MetadataStore, MigrationDep, OwnershipSnapshot, ServerMeta};
 pub use migration::{

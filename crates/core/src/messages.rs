@@ -149,13 +149,19 @@ pub enum MigrationMsg {
     /// asked): the receiver must drop its in-flight state for the migration,
     /// roll back to its checkpoint, and re-adopt the post-cancellation
     /// ownership map (paper §3.3.1).  The migration id — never reused — is
-    /// the replay fence; the view tag is diagnostic.
+    /// the replay fence.
     CancelMigration {
         /// The cancelled migration.
         migration_id: u64,
-        /// The sender's view of the cancelled migration epoch (diagnostic;
-        /// receivers gate on the migration id, since their own view can
-        /// advance for unrelated concurrent migrations).
+        /// The view the *receiver* was assigned for the cancelled
+        /// migration, when the sender knows it (a source relaying to its
+        /// target sends the target's assigned view; a target relaying to
+        /// its source sends 0).  A receiver holding no in-flight state for
+        /// the migration — cancelled before it ever heard of it — adopts
+        /// `view + 1` as its serving-view fence, matching the authoritative
+        /// store's post-cancellation registration; receivers *with* state
+        /// gate on the migration id alone, since their own view can
+        /// advance for unrelated concurrent migrations.
         view: u64,
     },
 }

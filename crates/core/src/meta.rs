@@ -127,6 +127,52 @@ impl MetadataStore {
         );
     }
 
+    /// Registers a server like [`MetadataStore::register_server`], but
+    /// validates the registration first: re-registering an id that is
+    /// already present is rejected (typed error, not a silent overwrite),
+    /// as is an ownership claim overlapping another server's ranges.  This
+    /// is the registration path cluster assembly uses; the unchecked
+    /// variant remains for crash recovery, which deliberately re-registers
+    /// a rebooted server over its old entry.
+    pub fn try_register_server(
+        &self,
+        id: ServerId,
+        address: impl Into<String>,
+        threads: usize,
+        owned: RangeSet,
+    ) -> Result<(), MetaError> {
+        let mut inner = self.inner.lock();
+        if inner.servers.contains_key(&id) {
+            return Err(MetaError::AlreadyRegistered(id));
+        }
+        for (other, meta) in &inner.servers {
+            for theirs in meta.owned.ranges() {
+                for ours in owned.ranges() {
+                    if ours.overlaps(theirs) {
+                        return Err(MetaError::OwnershipOverlap {
+                            server: id,
+                            other: *other,
+                            range: HashRange::new(
+                                ours.start.max(theirs.start),
+                                ours.end.min(theirs.end),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        inner.servers.insert(
+            id,
+            ServerMeta {
+                view: 1,
+                owned,
+                address: address.into(),
+                threads,
+            },
+        );
+        Ok(())
+    }
+
     /// Removes a server (scale-in after its ranges have been migrated away).
     pub fn deregister_server(&self, id: ServerId) {
         self.inner.lock().servers.remove(&id);
@@ -298,6 +344,8 @@ impl MetadataStore {
 pub enum MetaError {
     /// The server is not registered.
     UnknownServer(ServerId),
+    /// The server id is already registered (checked registration only).
+    AlreadyRegistered(ServerId),
     /// The migration id does not exist.
     UnknownMigration(u64),
     /// The source does not own the requested range.
@@ -307,16 +355,35 @@ pub enum MetaError {
         /// The range it does not own.
         range: HashRange,
     },
+    /// A registration claimed ranges another server already owns (checked
+    /// registration only).
+    OwnershipOverlap {
+        /// The server being registered.
+        server: ServerId,
+        /// The server whose ownership it collides with.
+        other: ServerId,
+        /// Where the claims collide.
+        range: HashRange,
+    },
 }
 
 impl std::fmt::Display for MetaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MetaError::UnknownServer(s) => write!(f, "unknown server {s:?}"),
+            MetaError::AlreadyRegistered(s) => write!(f, "server {s:?} already registered"),
             MetaError::UnknownMigration(id) => write!(f, "unknown migration {id}"),
             MetaError::NotOwned { server, range } => {
                 write!(f, "server {server:?} does not own range {range}")
             }
+            MetaError::OwnershipOverlap {
+                server,
+                other,
+                range,
+            } => write!(
+                f,
+                "registration of {server:?} overlaps {other:?} at {range}"
+            ),
         }
     }
 }
@@ -425,6 +492,32 @@ mod tests {
             meta.snapshot().owner_of(moved.start).unwrap().0,
             ServerId(1)
         );
+    }
+
+    #[test]
+    fn checked_registration_rejects_duplicates_and_overlap() {
+        let meta = MetadataStore::new();
+        let parts = partition_space(2);
+        meta.try_register_server(ServerId(0), "sv0", 2, RangeSet::from_ranges([parts[0]]))
+            .expect("first registration");
+        assert_eq!(
+            meta.try_register_server(ServerId(0), "sv0", 2, RangeSet::empty()),
+            Err(MetaError::AlreadyRegistered(ServerId(0)))
+        );
+        // Overlapping claim: server 1 tries to own the whole space while
+        // server 0 holds the bottom half.
+        match meta.try_register_server(ServerId(1), "sv1", 2, RangeSet::full()) {
+            Err(MetaError::OwnershipOverlap { server, other, .. }) => {
+                assert_eq!(server, ServerId(1));
+                assert_eq!(other, ServerId(0));
+            }
+            other => panic!("expected OwnershipOverlap, got {other:?}"),
+        }
+        // The rejected registration left no trace.
+        assert_eq!(meta.view_of(ServerId(1)), None);
+        // A disjoint claim goes through.
+        meta.try_register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges([parts[1]]))
+            .expect("disjoint registration");
     }
 
     #[test]

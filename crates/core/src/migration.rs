@@ -838,20 +838,29 @@ impl Server {
         };
         // Sampling may still be active if the cancellation landed early.
         let _ = self.store.end_sampling();
-        // Best-effort: tell a still-reachable target to roll back too.
-        let _ = outgoing
-            .control
-            .lock()
-            .send_msg(MigrationMsg::CancelMigration {
-                migration_id,
-                view: outgoing.target_view,
-            });
         // Cancel at the metadata store: the migrating ranges return to this
         // server and both views advance again (paper §3.3.1).  The records
         // themselves never left this server's log, so re-owning the ranges
         // loses nothing — records already shipped become unreachable
         // duplicates at the dead target.
-        let _ = self.meta.cancel_migration(migration_id);
+        let cancelled_at_store = self.meta.cancel_migration(migration_id).is_ok();
+        // Best-effort: tell a still-reachable target to roll back too.  The
+        // serving-view fence (see the CancelMigration handler) is offered
+        // only when the cancel actually won at the store: a cancel that
+        // lost the race to a concurrent resolution must not advance a
+        // healthy target's view past its registration — that would wedge
+        // it exactly the way the fence exists to prevent.
+        let _ = outgoing
+            .control
+            .lock()
+            .send_msg(MigrationMsg::CancelMigration {
+                migration_id,
+                view: if cancelled_at_store {
+                    outgoing.target_view
+                } else {
+                    0
+                },
+            });
         // Checkpoint the post-cancellation state as the new recovery point,
         // then adopt the post-cancellation ownership map and view.
         let cp = take_checkpoint(&self.store, session);
@@ -939,22 +948,23 @@ impl Server {
         let interval = self.config.migration.liveness.heartbeat_interval;
         let missed = (deadline.as_micros() / interval.as_micros().max(1)) as u64;
         self.heartbeats_missed.fetch_add(missed, Ordering::Relaxed);
-        // The view of the epoch being cancelled, read before the rollback
-        // bumps it (diagnostic on the wire).
-        let epoch_view = self.serving_view();
         let reason = format!("source silent for more than {deadline:?}");
         let cancelled = self.cancel_incoming_migration(migration_id, &reason, session);
         if cancelled {
             // Best-effort relay: a source that is merely stalled (not dead)
             // should cancel authoritatively at its metadata store right
             // away instead of waiting out its own silence budget.  If the
-            // source is really gone the dial simply fails.
+            // source is really gone the dial simply fails.  View 0: a
+            // target does not know the view the source was assigned for
+            // this migration, so it cannot offer a fence — the source
+            // fences itself when it rolls back (see the CancelMigration
+            // handler).
             let snapshot = self.meta.snapshot();
             if let Some(src) = snapshot.server(source) {
                 if let Some(conn) = self.connect_migration(&src.address, source, 0) {
                     let _ = conn.send_msg(MigrationMsg::CancelMigration {
                         migration_id,
-                        view: epoch_view,
+                        view: 0,
                     });
                 }
             }
@@ -1496,15 +1506,32 @@ impl Server {
             MigrationMsg::HeartbeatAck { .. } => {
                 // Proof of life only (already recorded above).
             }
-            MigrationMsg::CancelMigration { migration_id, .. } => {
+            MigrationMsg::CancelMigration { migration_id, view } => {
                 // The id match inside the role-specific cancel paths is the
                 // gate: migration ids are never reused, so a replayed cancel
-                // from a dead epoch matches no in-flight state and is a
-                // no-op.  Deliberately no view comparison here — the
+                // from a dead epoch matches no in-flight state and rolls
+                // nothing back.  Deliberately no view comparison here — the
                 // receiver's single per-server view can advance for an
                 // unrelated concurrent migration, which must not mask a
                 // legitimate cancel.
-                self.cancel_local_roles(migration_id, "peer cancelled the migration", session);
+                let rolled_back =
+                    self.cancel_local_roles(migration_id, "peer cancelled the migration", session);
+                if !rolled_back && view > 0 {
+                    // No local state: the migration was cancelled before this
+                    // server ever heard of it (e.g. mid-sampling, before
+                    // `PrepForTransfer` went out).  The authoritative store
+                    // has still advanced this server's registered view past
+                    // the dead epoch — adopt that fence, or every future
+                    // batch stamped with the registered view would be
+                    // rejected as stale forever.  `view` carries the view
+                    // this server was assigned for the cancelled migration
+                    // when the sender knows it (source -> target relays; a
+                    // target -> source relay sends 0, the source fences
+                    // itself); the post-cancellation registration is one
+                    // past it.  fetch_max keeps a replayed cancel from an
+                    // old epoch harmless.
+                    self.serving_view.fetch_max(view + 1, Ordering::SeqCst);
+                }
             }
         }
     }
@@ -1940,6 +1967,87 @@ mod tests {
                 ..
             }
         )));
+
+        drop(conn);
+        cluster.shutdown();
+    }
+
+    /// A migration cancelled *before* `PrepForTransfer` ever reached the
+    /// target: the authoritative store has advanced the target's registered
+    /// view, so the cancel relay must fence the target's serving view even
+    /// though it holds no in-flight state — otherwise every future batch
+    /// stamped with the registered view is rejected as stale forever (the
+    /// wedge the three-process partitioned-layout test first exposed).
+    #[test]
+    fn cancel_before_prep_fences_the_never_prepped_target() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let target = cluster.server(crate::ServerId(1)).unwrap();
+        let session = target.store().start_session();
+        assert_eq!(target.serving_view(), 1);
+
+        // The metadata-store half of a migration the target never hears
+        // about (cancelled mid-sampling, prep never sent) ...
+        let moving = cluster
+            .meta()
+            .snapshot()
+            .server(crate::ServerId(0))
+            .unwrap()
+            .owned
+            .ranges()[0]
+            .take_fraction(0.25);
+        let (migration_id, _source_view, target_view) = cluster
+            .meta()
+            .transfer_ownership(crate::ServerId(0), crate::ServerId(1), &[moving])
+            .unwrap();
+        cluster.meta().cancel_migration(migration_id).unwrap();
+        let registered = cluster.meta().view_of(crate::ServerId(1)).unwrap();
+        assert_eq!(registered, target_view + 1);
+        assert_eq!(target.serving_view(), 1, "no prep was ever delivered");
+
+        let listener = cluster.migration_network().listen("unit-source-2");
+        let conn: ServerMigConn = Box::new(
+            cluster
+                .migration_network()
+                .connect("unit-source-2")
+                .unwrap(),
+        );
+        let _source_side = listener.try_accept().unwrap();
+
+        // A cancel for an *unknown* migration carrying no fence (view 0,
+        // the target -> source relay form) must not move the view.
+        target.handle_migration_msg(
+            MigrationMsg::CancelMigration {
+                migration_id: migration_id + 7,
+                view: 0,
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(target.serving_view(), 1);
+
+        // The source's relay carries the target's assigned view: with no
+        // local state to roll back, the target adopts the post-cancellation
+        // fence and agrees with the authoritative registration.
+        target.handle_migration_msg(
+            MigrationMsg::CancelMigration {
+                migration_id,
+                view: target_view,
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(target.serving_view(), registered);
+
+        // A replayed cancel from the dead epoch is harmless.
+        target.handle_migration_msg(
+            MigrationMsg::CancelMigration {
+                migration_id,
+                view: target_view,
+            },
+            &conn,
+            &session,
+        );
+        assert_eq!(target.serving_view(), registered);
 
         drop(conn);
         cluster.shutdown();

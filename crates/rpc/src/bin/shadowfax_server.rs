@@ -2,95 +2,86 @@
 //!
 //! ```text
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
-//!                  [--io-threads I] [--balanced] [--base-id B]
+//!                  [--io-threads I] [--layout SPEC] [--base-id B]
 //!                  [--memory-pages P] [--sampling-ms MS] [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
 //! a shared FASTER instance) and serves them over `ADDR` with `I` I/O
-//! threads speaking the length-prefixed wire protocol.  By default server 0
-//! owns the whole hash space and the others idle as scale-out targets (move
-//! load with `shadowfax-cli migrate`); `--balanced` splits the space evenly.
+//! threads speaking the length-prefixed wire protocol.
 //!
-//! Multi-process clusters: give each process a distinct `--base-id` and
-//! register the servers hosted by the other processes with repeated
-//! `--peer id=1,addr=127.0.0.1:4871,threads=2,owns=none` flags (`owns` is
-//! `full` or `none`).  Migrations to a peer flow over dedicated TCP
-//! migration connections, and clients dial peers directly for data traffic.
+//! `--layout` assigns the initial ownership across the cluster's *global*
+//! server ids (the local servers plus every `--peer`):
 //!
-//! Prints `LISTENING <addr>` once ready (scripts and tests parse this), then
-//! serves until killed.
+//! * `scale-out` (default) — server 0 owns the whole hash space, everyone
+//!   else idles as a scale-out target (move load with `shadowfax-cli
+//!   migrate`),
+//! * `partitioned` — the space is split evenly across all registered ids,
+//! * an explicit assignment list, e.g.
+//!   `0=0x0-0x8000000000000000,1=0x8000000000000000-0xffffffffffffffff`
+//!   (multiple ranges per id joined with `+`).
+//!
+//! Multi-process clusters: give each process a distinct `--base-id`, pass
+//! every process the **same** `--layout`, and register the servers hosted
+//! by the other processes with repeated
+//! `--peer id=1,addr=127.0.0.1:4871,threads=2` flags.  A peer's `owns=`
+//! field defaults to `auto` (the layout assigns its ranges); `full`,
+//! `none`, or an explicit `+`-joined range list
+//! (`owns=0x0-0x7fff+0xc000-0xffff`) pin them instead.  Migrations to a
+//! peer flow over dedicated TCP migration connections, and clients dial
+//! peers directly for data traffic.
+//!
+//! Malformed flag values and invalid layouts (overlaps, coverage gaps, id
+//! collisions) print the offending detail plus this usage text and exit
+//! with code 64 (`EX_USAGE`), distinct from runtime failures (1).
+//!
+//! Prints `LISTENING <addr>` once ready (scripts and tests parse this),
+//! then serves until killed.
 
 use std::sync::Arc;
 
-use shadowfax::{Cluster, ClusterConfig, HashRange, PeerServer, RangeSet, ServerId};
+use shadowfax::{parse_peer_spec, Cluster, ClusterConfig, ClusterLayout, PeerServer};
 use shadowfax_rpc::{
     RemoteTierService, RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport,
 };
+
+/// Exit code for malformed flags or an invalid layout (`EX_USAGE`),
+/// distinct from runtime failures (1).
+const EXIT_USAGE: i32 = 64;
+
+const USAGE: &str = "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
+     [--io-threads I] [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
+     [--memory-pages P] [--sampling-ms MS] \
+     [--peer id=I,addr=HOST:PORT[,threads=T][,owns=auto|full|none|RANGES]]...
+RANGES is a +-joined list of hex ranges, e.g. 0x0-0x7fff+0xc000-0xffff";
 
 struct Args {
     listen: String,
     servers: usize,
     threads: usize,
     io_threads: usize,
-    balanced: bool,
+    layout: ClusterLayout,
     base_id: u32,
     memory_pages: Option<u64>,
     sampling_ms: Option<u64>,
     peers: Vec<PeerServer>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
-         [--io-threads I] [--balanced] [--base-id B] [--memory-pages P] \
-         [--sampling-ms MS] \
-         [--peer id=I,addr=HOST:PORT,threads=T,owns=full|none]..."
-    );
-    std::process::exit(2)
+/// Reports a configuration error: the detail, then the usage text, then
+/// exit [`EXIT_USAGE`].
+fn bad_args(detail: &str) -> ! {
+    eprintln!("shadowfax-server: {detail}");
+    eprintln!("{USAGE}");
+    std::process::exit(EXIT_USAGE)
 }
 
-/// Parses `id=1,addr=127.0.0.1:4871,threads=2,owns=none`.
-fn parse_peer(spec: &str) -> Option<PeerServer> {
-    let mut id = None;
-    let mut addr = None;
-    let mut threads = 2usize;
-    let mut owns_full = false;
-    for field in spec.split(',') {
-        let (key, value) = field.split_once('=')?;
-        match key {
-            "id" => id = Some(value.parse::<u32>().ok()?),
-            "addr" => addr = Some(value.to_string()),
-            "threads" => threads = value.parse().ok()?,
-            "owns" => {
-                owns_full = match value {
-                    "full" => true,
-                    "none" => false,
-                    _ => return None,
-                }
-            }
-            _ => return None,
-        }
-    }
-    Some(PeerServer {
-        id: ServerId(id?),
-        address: addr?,
-        threads,
-        ranges: if owns_full {
-            RangeSet::from_ranges([HashRange::FULL])
-        } else {
-            RangeSet::empty()
-        },
-    })
-}
-
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:4870".to_string(),
         servers: 2,
         threads: 2,
         io_threads: 2,
-        balanced: false,
+        layout: ClusterLayout::ScaleOut,
         base_id: 0,
         memory_pages: None,
         sampling_ms: None,
@@ -98,62 +89,62 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| match it.next() {
-            Some(v) => v,
-            None => {
-                eprintln!("missing value for {name}");
-                usage()
-            }
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parse_num = |name: &str, v: String| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("{name} must be an unsigned integer, got {v:?}"))
         };
         match flag.as_str() {
-            "--listen" => args.listen = value("--listen"),
-            "--servers" => args.servers = value("--servers").parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = value("--listen")?,
+            "--servers" => args.servers = parse_num("--servers", value("--servers")?)? as usize,
+            "--threads" => args.threads = parse_num("--threads", value("--threads")?)? as usize,
             "--io-threads" => {
-                args.io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage())
+                args.io_threads = parse_num("--io-threads", value("--io-threads")?)? as usize
             }
-            "--balanced" => args.balanced = true,
-            "--base-id" => args.base_id = value("--base-id").parse().unwrap_or_else(|_| usage()),
+            "--layout" => {
+                let spec = value("--layout")?;
+                args.layout = ClusterLayout::from_spec(&spec).map_err(|e| e.to_string())?;
+            }
+            // Historical alias for `--layout partitioned`.
+            "--balanced" => args.layout = ClusterLayout::Partitioned,
+            "--base-id" => {
+                let v = parse_num("--base-id", value("--base-id")?)?;
+                args.base_id = u32::try_from(v)
+                    .map_err(|_| format!("--base-id must fit in 32 bits, got {v}"))?;
+            }
             "--memory-pages" => {
-                args.memory_pages =
-                    Some(value("--memory-pages").parse().unwrap_or_else(|_| usage()))
+                args.memory_pages = Some(parse_num("--memory-pages", value("--memory-pages")?)?)
             }
             // Migration sampling-phase duration; tests stretch it so a kill
-            // lands deterministically mid-migration.
+            // or a cancellation lands deterministically mid-migration.
             "--sampling-ms" => {
-                args.sampling_ms = Some(value("--sampling-ms").parse().unwrap_or_else(|_| usage()))
+                args.sampling_ms = Some(parse_num("--sampling-ms", value("--sampling-ms")?)?)
             }
             "--peer" => {
-                let spec = value("--peer");
-                match parse_peer(&spec) {
-                    Some(peer) => args.peers.push(peer),
-                    None => {
-                        eprintln!("malformed --peer spec {spec:?}");
-                        usage()
-                    }
-                }
+                let spec = value("--peer")?;
+                args.peers
+                    .push(parse_peer_spec(&spec).map_err(|e| e.to_string())?);
             }
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other}");
-                usage()
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0)
             }
+            other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.servers == 0 || args.threads == 0 {
-        eprintln!("--servers and --threads must be at least 1");
-        usage()
+        return Err("--servers and --threads must be at least 1".into());
     }
-    args
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args().unwrap_or_else(|detail| bad_args(&detail));
 
     let mut config = ClusterConfig::two_server_test();
     config.servers = args.servers;
     config.server_template.threads = args.threads;
-    config.assign_ranges_to_all = args.balanced;
+    config.layout = args.layout;
     config.base_id = args.base_id;
     config.peers = args.peers.clone();
     if let Some(pages) = args.memory_pages {
@@ -164,7 +155,12 @@ fn main() {
         config.server_template.migration.sampling_duration = std::time::Duration::from_millis(ms);
     }
 
-    let cluster = Arc::new(Cluster::start(config));
+    // An invalid layout (overlap, gap, id collision) is a configuration
+    // error, same as a malformed flag.
+    let cluster = match Cluster::try_start(config) {
+        Ok(cluster) => Arc::new(cluster),
+        Err(e) => bad_args(&format!("invalid cluster layout: {e}")),
+    };
     // Route outgoing migrations either onto the in-process fabric (peers in
     // this process) or over dedicated TCP migration connections (peers
     // registered with socket addresses).
@@ -202,6 +198,19 @@ fn main() {
         args.io_threads,
         rpc.local_addr()
     );
+    // The resolved layout, one line per global id (local and peers alike).
+    let snapshot = cluster.meta().snapshot();
+    let mut ids: Vec<_> = snapshot.servers.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let meta = &snapshot.servers[&id];
+        eprintln!(
+            "layout: server {} ({}) owns {}",
+            id.0,
+            meta.address,
+            shadowfax::format_ranges_spec(&meta.owned)
+        );
+    }
 
     // Serve until killed.
     loop {

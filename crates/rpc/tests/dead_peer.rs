@@ -32,7 +32,7 @@ use shadowfax_net::{KvRequest, KvResponse, SessionConfig};
 use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig};
 
 mod util;
-use util::{free_port, ServerSpawn};
+use util::{ClusterSpec, ProcessSpec};
 
 const KEYS: u64 = 400;
 
@@ -51,40 +51,30 @@ fn gen_of(key: u64, value: &[u8]) -> u64 {
 
 #[test]
 fn dead_target_cancels_the_migration_and_the_source_serves_everything_again() {
-    let source_port = free_port();
-    let target_port = free_port();
-    let source = ServerSpawn {
-        log_name: "dead_peer_source".into(),
-        listen_port: source_port,
-        servers: 1,
-        base_id: 0,
-        // A long sampling phase pins where in the protocol the kill lands:
-        // the target dies while the source is still sampling, well before
-        // ownership could have been taken over, so the doomed process can
-        // never have acknowledged a write.  Detection does not wait for the
-        // phase: the control link is heartbeated from the very start.
-        sampling_ms: Some(3_000),
-        peer: Some(format!(
-            "id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"
-        )),
-        ..ServerSpawn::default()
-    }
-    .spawn();
-    let mut target = ServerSpawn {
-        log_name: "dead_peer_target".into(),
-        listen_port: target_port,
-        servers: 1,
-        base_id: 1,
-        peer: Some(format!(
-            "id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"
-        )),
-        ..ServerSpawn::default()
+    // Two single-server processes under the scale-out layout (server 0
+    // owns everything, server 1 idles as the migration target).
+    let mut cluster = ClusterSpec {
+        name: "dead_peer",
+        layout: "scale-out",
+        processes: vec![
+            // A long sampling phase pins where in the protocol the kill
+            // lands: the target dies while the source is still sampling,
+            // well before ownership could have been taken over, so the
+            // doomed process can never have acknowledged a write.
+            // Detection does not wait for the phase: the control link is
+            // heartbeated from the very start.
+            ProcessSpec {
+                sampling_ms: Some(3_000),
+                ..ProcessSpec::default()
+            },
+            ProcessSpec::default(),
+        ],
     }
     .spawn();
 
     // Preload generation 1 of every key (all acked by the source, which
     // still owns the full hash space).
-    let mut config = RemoteClientConfig::new(source.addr.clone());
+    let mut config = RemoteClientConfig::new(cluster.addr(0).to_string());
     config.session = SessionConfig {
         max_batch_ops: 8,
         ..SessionConfig::default()
@@ -118,9 +108,9 @@ fn dead_target_cancels_the_migration_and_the_source_serves_everything_again() {
     // Start migrating 25% of the source's range to the target, then kill
     // the target immediately — before the live load below issues a single
     // write, so nothing is ever acked by the doomed process.
-    let mut ctrl = CtrlClient::connect(&source.addr, Duration::from_secs(5)).expect("ctrl");
+    let mut ctrl = CtrlClient::connect(cluster.addr(0), Duration::from_secs(5)).expect("ctrl");
     let migration_id = ctrl.migrate_fraction(0, 1, 0.25).expect("start migration");
-    target.kill();
+    cluster.kill(1);
 
     // Live load over the whole keyspace while the source detects the death
     // and cancels.  Writes routed at the dead target are simply never

@@ -24,7 +24,7 @@ use shadowfax_net::{KvRequest, KvResponse, SessionConfig};
 use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig};
 
 mod util;
-use util::{free_port, ServerSpawn};
+use util::{ClusterSpec, ProcessSpec};
 
 const KEYS: u64 = 1200;
 const VALUE_PAD: usize = 64;
@@ -47,39 +47,30 @@ fn gen_of(key: u64, value: &[u8]) -> u64 {
 
 #[test]
 fn two_processes_migrate_half_the_space_under_live_load() {
-    let source_port = free_port();
-    let target_port = free_port();
+    // Two single-server processes under the scale-out layout: process 0
+    // (server 0) owns the whole space, process 1 (server 1) starts idle.
     // Plenty of in-memory log so the live load never spills a migrating
     // chain to the SSD tier mid-test (spill-before-migration is covered by
     // shared_tier_reads.rs).
-    let source = ServerSpawn {
-        log_name: "multi_process_source".into(),
-        listen_port: source_port,
-        servers: 1,
-        base_id: 0,
-        memory_pages: Some(128),
-        peer: Some(format!(
-            "id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"
-        )),
-        ..ServerSpawn::default()
-    }
-    .spawn();
-    let _target = ServerSpawn {
-        log_name: "multi_process_target".into(),
-        listen_port: target_port,
-        servers: 1,
-        base_id: 1,
-        memory_pages: Some(128),
-        peer: Some(format!(
-            "id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"
-        )),
-        ..ServerSpawn::default()
+    let cluster = ClusterSpec {
+        name: "multi_process",
+        layout: "scale-out",
+        processes: vec![
+            ProcessSpec {
+                memory_pages: Some(128),
+                ..ProcessSpec::default()
+            },
+            ProcessSpec {
+                memory_pages: Some(128),
+                ..ProcessSpec::default()
+            },
+        ],
     }
     .spawn();
 
     // The client bootstraps from the source process's control plane, which
     // holds the authoritative ownership map for this deployment.
-    let mut config = RemoteClientConfig::new(source.addr.clone());
+    let mut config = RemoteClientConfig::new(cluster.addr(0).to_string());
     config.session = SessionConfig {
         max_batch_ops: 16,
         max_inflight_batches: 4,
@@ -119,7 +110,8 @@ fn two_processes_migrate_half_the_space_under_live_load() {
 
     // Kick off the migration of 50% of the source's range to the target
     // process, then keep a pipelined write load running while it proceeds.
-    let mut ctrl = CtrlClient::connect(&source.addr, Duration::from_secs(5)).expect("ctrl connect");
+    let mut ctrl =
+        CtrlClient::connect(cluster.addr(0), Duration::from_secs(5)).expect("ctrl connect");
     let migration_id = ctrl.migrate_fraction(0, 1, 0.5).expect("start migration");
 
     let mut gen = 2u64;

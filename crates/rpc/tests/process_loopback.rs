@@ -6,7 +6,7 @@ use std::process::Command;
 use std::time::Duration;
 
 mod util;
-use util::ServerSpawn;
+use util::{ClusterSpec, ProcessSpec};
 
 fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
@@ -24,8 +24,18 @@ fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn server_and_cli_as_separate_processes() {
-    let server = ServerSpawn::default().spawn();
-    let addr = server.addr.clone();
+    // One process hosting two logical servers under the scale-out layout
+    // (server 0 owns everything, server 1 idles).
+    let cluster = ClusterSpec {
+        name: "process_loopback",
+        layout: "scale-out",
+        processes: vec![ProcessSpec {
+            servers: 2,
+            ..ProcessSpec::default()
+        }],
+    }
+    .spawn();
+    let addr = cluster.addr(0).to_string();
 
     // Liveness.
     let (ok, stdout, stderr) = cli(&addr, &["ping"]);

@@ -1,0 +1,104 @@
+//! `shadowfax-server` argument handling: malformed `--peer` / `--layout`
+//! values (and invalid resolved layouts) must print the offending detail
+//! plus the usage text and exit with the distinct code 64 (`EX_USAGE`) —
+//! never bind a socket, never exit with the generic 1, and never panic.
+
+use std::process::Command;
+
+/// Runs the server binary with `args` and returns `(exit code, stderr)`.
+/// None of the invocations here may ever reach the serving loop.
+fn server(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-server"))
+        .args(args)
+        .output()
+        .expect("run shadowfax-server");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+/// Exit code for malformed flags / invalid layouts (`EX_USAGE`), as
+/// documented in the server binary's header.
+const EXIT_USAGE: i32 = 64;
+
+#[test]
+fn malformed_values_exit_64_with_the_usage_message() {
+    // Malformed --peer specs: missing addr, bad owns grammar, garbage.
+    for peer in [
+        "id=1",
+        "id=1,addr=127.0.0.1:1,owns=garbage",
+        "id=1,addr=127.0.0.1:1,owns=0x10-0x5",
+        "id=x,addr=127.0.0.1:1",
+        "total garbage",
+    ] {
+        let (code, _, stderr) = server(&["--peer", peer]);
+        assert_eq!(
+            code,
+            Some(EXIT_USAGE),
+            "--peer {peer:?} should exit {EXIT_USAGE}; stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage:"),
+            "--peer {peer:?} did not print usage; stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("--peer"),
+            "--peer {peer:?} error does not name the flag; stderr: {stderr}"
+        );
+    }
+
+    // Malformed --layout specs.
+    for layout in ["bogus", "0=0x10-0x5", "0=0x0-0xzz", ""] {
+        let (code, _, stderr) = server(&["--layout", layout]);
+        assert_eq!(
+            code,
+            Some(EXIT_USAGE),
+            "--layout {layout:?} should exit {EXIT_USAGE}; stderr: {stderr}"
+        );
+        assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    }
+
+    // A layout that parses but does not resolve (gap in the space, id not
+    // registered anywhere) is the same class of configuration error.
+    let (code, _, stderr) = server(&[
+        "--servers",
+        "2",
+        "--layout",
+        "0=0x0-0x1000,1=0x2000-0xffffffffffffffff",
+    ]);
+    assert_eq!(code, Some(EXIT_USAGE), "gap layout; stderr: {stderr}");
+    assert!(stderr.contains("no server owns"), "stderr: {stderr}");
+
+    // A peer colliding with a local id is a duplicate-registration error
+    // (the default --servers 2 hosts ids 0 and 1 locally).
+    let (code, _, stderr) = server(&["--peer", "id=0,addr=127.0.0.1:9,owns=none"]);
+    assert_eq!(
+        code,
+        Some(EXIT_USAGE),
+        "peer/local id collision; stderr: {stderr}"
+    );
+    assert!(stderr.contains("registered twice"), "stderr: {stderr}");
+
+    // Malformed numeric values route through the same path.
+    let (code, _, stderr) = server(&["--servers", "lots"]);
+    assert_eq!(code, Some(EXIT_USAGE), "stderr: {stderr}");
+    assert!(stderr.contains("--servers"), "stderr: {stderr}");
+
+    // An out-of-range --base-id is rejected, never silently truncated to a
+    // colliding 32-bit id.
+    let (code, _, stderr) = server(&["--base-id", "4294967296"]);
+    assert_eq!(code, Some(EXIT_USAGE), "stderr: {stderr}");
+    assert!(stderr.contains("--base-id"), "stderr: {stderr}");
+
+    // Unknown flags too.
+    let (code, _, stderr) = server(&["--frobnicate"]);
+    assert_eq!(code, Some(EXIT_USAGE), "stderr: {stderr}");
+    assert!(stderr.contains("unknown flag"), "stderr: {stderr}");
+
+    // --help is not an error: usage on stdout, exit 0.
+    let (code, stdout, _) = server(&["--help"]);
+    assert_eq!(code, Some(0), "--help should exit 0");
+    assert!(stdout.contains("usage:"), "stdout: {stdout}");
+}

@@ -27,7 +27,7 @@ use shadowfax_net::{KvRequest, KvResponse, SessionConfig, StatusCode};
 use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig, RpcError};
 
 mod util;
-use util::{free_port, ServerSpawn};
+use util::{ClusterSpec, ProcessSpec};
 
 /// Preloaded keys: at ~280 bytes per record these overflow the source's
 /// 8-page (512 KiB) in-memory log more than once over.
@@ -46,36 +46,27 @@ fn value_for(key: u64) -> Vec<u8> {
 
 #[test]
 fn spilled_chains_are_served_across_processes_under_live_reads() {
-    let source_port = free_port();
-    let target_port = free_port();
-    // Deliberately tiny in-memory logs (8 pages): the preload *must* spill
-    // to the stable region / shared tier before the migration.
-    let source = ServerSpawn {
-        log_name: "shared_tier_source".into(),
-        listen_port: source_port,
-        servers: 1,
-        base_id: 0,
-        memory_pages: Some(8),
-        peer: Some(format!(
-            "id=1,addr=127.0.0.1:{target_port},threads=2,owns=none"
-        )),
-        ..ServerSpawn::default()
-    }
-    .spawn();
-    let _target = ServerSpawn {
-        log_name: "shared_tier_target".into(),
-        listen_port: target_port,
-        servers: 1,
-        base_id: 1,
-        memory_pages: Some(8),
-        peer: Some(format!(
-            "id=0,addr=127.0.0.1:{source_port},threads=2,owns=full"
-        )),
-        ..ServerSpawn::default()
+    // Two single-server processes under the scale-out layout (server 0
+    // owns everything), with deliberately tiny in-memory logs (8 pages):
+    // the preload *must* spill to the stable region / shared tier before
+    // the migration.
+    let cluster = ClusterSpec {
+        name: "shared_tier",
+        layout: "scale-out",
+        processes: vec![
+            ProcessSpec {
+                memory_pages: Some(8),
+                ..ProcessSpec::default()
+            },
+            ProcessSpec {
+                memory_pages: Some(8),
+                ..ProcessSpec::default()
+            },
+        ],
     }
     .spawn();
 
-    let mut config = RemoteClientConfig::new(source.addr.clone());
+    let mut config = RemoteClientConfig::new(cluster.addr(0).to_string());
     config.session = SessionConfig {
         max_batch_ops: 16,
         max_inflight_batches: 4,
@@ -125,7 +116,8 @@ fn spilled_chains_are_served_across_processes_under_live_reads() {
     // migration: a view tag of 0 is older than any registered view and must
     // be rejected as stale; an address beyond the log's written extent must
     // be rejected as out of range.  Neither may kill the connection.
-    let mut probe = CtrlClient::connect(&source.addr, Duration::from_secs(5)).expect("probe ctrl");
+    let mut probe =
+        CtrlClient::connect(cluster.addr(0), Duration::from_secs(5)).expect("probe ctrl");
     match probe.fetch_chain(&ChainFetchQuery {
         requester: 1,
         view: 0,
@@ -161,7 +153,8 @@ fn spilled_chains_are_served_across_processes_under_live_reads() {
     // Migrate 50% of the hash space to the target process — *after* the
     // spill — while keeping a pipelined read load running.  Every read that
     // completes must return the exact preloaded value.
-    let mut ctrl = CtrlClient::connect(&source.addr, Duration::from_secs(5)).expect("ctrl connect");
+    let mut ctrl =
+        CtrlClient::connect(cluster.addr(0), Duration::from_secs(5)).expect("ctrl connect");
     let migration_id = ctrl.migrate_fraction(0, 1, 0.5).expect("start migration");
 
     let misses: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
@@ -253,8 +246,7 @@ fn spilled_chains_are_served_across_processes_under_live_reads() {
     // counted.  Printed for the CI job summary.
     let source_stats = ctrl.tier_stats().expect("source tier stats");
     let mut target_ctrl =
-        CtrlClient::connect(&format!("127.0.0.1:{target_port}"), Duration::from_secs(5))
-            .expect("target ctrl");
+        CtrlClient::connect(cluster.addr(1), Duration::from_secs(5)).expect("target ctrl");
     let target_stats = target_ctrl.tier_stats().expect("target tier stats");
     println!(
         "CHAIN_FETCH_COUNTERS source_served={} source_records={} target_remote={} \

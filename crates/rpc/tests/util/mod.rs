@@ -1,8 +1,20 @@
 //! Shared process-lifecycle harness for the multi-process integration
-//! tests: spawning `shadowfax-server` binaries, parsing the `LISTENING`
-//! banner, and killing the processes on drop (which is what the CI
-//! leaked-process assert relies on).  One copy — fixes to spawn/kill
-//! ordering apply to every test.
+//! tests.
+//!
+//! Two layers:
+//!
+//! * [`ServerSpawn`] — one `shadowfax-server` process: builds the command
+//!   line, spawns, parses the `LISTENING` banner, and kills the process on
+//!   drop (which is what the CI leaked-process assert relies on).
+//! * [`ClusterSpec`] / [`ProcessCluster`] — an N-process cluster with a
+//!   declared [`ClusterLayout`](`--layout`) spec: allocates one port per
+//!   process, cross-registers every process's servers as `--peer`s of all
+//!   the others, spawns them in order, waits for every readiness banner,
+//!   and captures each process's stderr to its own log file under
+//!   `target/test-logs/`.
+//!
+//! One copy — fixes to spawn/kill ordering and peer wiring apply to every
+//! test.
 
 #![allow(dead_code)]
 
@@ -44,13 +56,15 @@ pub struct ServerSpawn {
     pub threads: usize,
     /// `--base-id`.
     pub base_id: u32,
+    /// `--layout` spec (`None` keeps the server's scale-out default).
+    pub layout: Option<String>,
     /// `--memory-pages`, when a test needs the log to spill.
     pub memory_pages: Option<u64>,
     /// `--sampling-ms`, when a test needs the migration to stay in its
     /// sampling phase long enough to interfere with it deterministically.
     pub sampling_ms: Option<u64>,
-    /// `--peer` spec registering a server in another process.
-    pub peer: Option<String>,
+    /// `--peer` specs registering servers in other processes.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServerSpawn {
@@ -61,9 +75,10 @@ impl Default for ServerSpawn {
             servers: 2,
             threads: 2,
             base_id: 0,
+            layout: None,
             memory_pages: None,
             sampling_ms: None,
-            peer: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -90,13 +105,16 @@ impl ServerSpawn {
             "--base-id",
             &self.base_id.to_string(),
         ]);
+        if let Some(layout) = &self.layout {
+            cmd.args(["--layout", layout]);
+        }
         if let Some(pages) = self.memory_pages {
             cmd.args(["--memory-pages", &pages.to_string()]);
         }
         if let Some(ms) = self.sampling_ms {
             cmd.args(["--sampling-ms", &ms.to_string()]);
         }
-        if let Some(peer) = &self.peer {
+        for peer in &self.peers {
             cmd.args(["--peer", peer]);
         }
         let mut child = cmd
@@ -136,5 +154,132 @@ impl ServerProcess {
 impl Drop for ServerProcess {
     fn drop(&mut self) {
         self.kill();
+    }
+}
+
+/// One process of a declarative [`ClusterSpec`].
+pub struct ProcessSpec {
+    /// Number of logical servers this process hosts (`--servers`); global
+    /// ids are assigned contiguously across the spec's processes.
+    pub servers: usize,
+    /// `--threads` per server.
+    pub threads: usize,
+    /// `--memory-pages` override.
+    pub memory_pages: Option<u64>,
+    /// `--sampling-ms` override.
+    pub sampling_ms: Option<u64>,
+}
+
+impl Default for ProcessSpec {
+    fn default() -> Self {
+        ProcessSpec {
+            servers: 1,
+            threads: 2,
+            memory_pages: None,
+            sampling_ms: None,
+        }
+    }
+}
+
+/// A declarative N-process cluster: every process gets the same `--layout`
+/// and a `--peer` registration for every server the other processes host,
+/// so each process's metadata store resolves the identical ownership map.
+pub struct ClusterSpec {
+    /// Log-file prefix; process `i` logs to `target/test-logs/{name}_p{i}.log`.
+    pub name: &'static str,
+    /// The `--layout` spec passed to every process
+    /// (`"scale-out"`, `"partitioned"`, or an explicit assignment list).
+    pub layout: &'static str,
+    /// The processes, in base-id order.
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl ClusterSpec {
+    /// A spec with `n` single-server processes (the common shape).
+    pub fn n_processes(name: &'static str, layout: &'static str, n: usize) -> Self {
+        ClusterSpec {
+            name,
+            layout,
+            processes: (0..n).map(|_| ProcessSpec::default()).collect(),
+        }
+    }
+
+    /// Spawns every process and waits for all readiness banners.
+    pub fn spawn(self) -> ProcessCluster {
+        assert!(!self.processes.is_empty(), "a cluster needs processes");
+        let ports: Vec<u16> = self.processes.iter().map(|_| free_port()).collect();
+        // Contiguous global ids: process i hosts base_id(i) .. +servers.
+        let mut base_ids = Vec::with_capacity(self.processes.len());
+        let mut next_id = 0u32;
+        for p in &self.processes {
+            base_ids.push(next_id);
+            next_id += p.servers as u32;
+        }
+        let ids: Vec<Vec<u32>> = self
+            .processes
+            .iter()
+            .zip(&base_ids)
+            .map(|(p, base)| (0..p.servers as u32).map(|i| base + i).collect())
+            .collect();
+        let mut procs = Vec::with_capacity(self.processes.len());
+        for (i, p) in self.processes.iter().enumerate() {
+            // Every server hosted by every *other* process is a peer.
+            let peers = self
+                .processes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(j, other)| {
+                    let port = ports[j];
+                    ids[j].iter().map(move |gid| {
+                        format!("id={gid},addr=127.0.0.1:{port},threads={}", other.threads)
+                    })
+                })
+                .collect();
+            procs.push(
+                ServerSpawn {
+                    log_name: format!("{}_p{i}", self.name),
+                    listen_port: ports[i],
+                    servers: p.servers,
+                    threads: p.threads,
+                    base_id: base_ids[i],
+                    layout: Some(self.layout.to_string()),
+                    memory_pages: p.memory_pages,
+                    sampling_ms: p.sampling_ms,
+                    peers,
+                }
+                .spawn(),
+            );
+        }
+        ProcessCluster { procs, ids }
+    }
+}
+
+/// A running N-process cluster.  Every process is killed on drop.
+pub struct ProcessCluster {
+    procs: Vec<ServerProcess>,
+    ids: Vec<Vec<u32>>,
+}
+
+impl ProcessCluster {
+    /// The socket address process `i` announced.
+    pub fn addr(&self, i: usize) -> &str {
+        &self.procs[i].addr
+    }
+
+    /// The global server ids process `i` hosts.
+    pub fn ids(&self, i: usize) -> &[u32] {
+        &self.ids[i]
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Kills process `i` now (dead-peer scenarios); the remaining
+    /// processes keep running.
+    pub fn kill(&mut self, i: usize) {
+        self.procs[i].kill();
     }
 }
