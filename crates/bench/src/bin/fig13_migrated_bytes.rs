@@ -19,6 +19,7 @@ fn main() {
         "records_moved",
         "indirection_records",
         "ssd_bytes_scanned_mb",
+        "device_ssd_read_mb",
         "migration_secs",
     ]);
     for variant in [
@@ -40,6 +41,12 @@ fn main() {
             report.records_moved.to_string(),
             report.indirection_records.to_string(),
             format!("{:.2}", report.ssd_bytes_scanned as f64 / (1 << 20) as f64),
+            // Cross-check against the device's own counters, isolated to
+            // the migration window by baseline subtraction.
+            format!(
+                "{:.2}",
+                result.source_ssd_io.bytes_read as f64 / (1 << 20) as f64
+            ),
             format!("{:.1}", report.duration_ms as f64 / 1000.0),
         ]);
     }

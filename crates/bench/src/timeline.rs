@@ -16,6 +16,7 @@ use shadowfax::{
     ClientConfig, Cluster, ClusterConfig, MigrationMode, MigrationReport, ServerConfig, ServerId,
     SessionConfig,
 };
+use shadowfax_storage::CounterSnapshot;
 use shadowfax_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// Which Figure 10/11 variant to run.
@@ -138,6 +139,10 @@ pub struct ScaleOutResult {
     pub source_total_ops: u64,
     /// Operations the target had served by the end of the run.
     pub target_total_ops: u64,
+    /// Source-side SSD traffic between migration start and the end of the
+    /// run, isolated by baseline-snapshot subtraction (the device counters
+    /// themselves are cumulative and never reset).
+    pub source_ssd_io: CounterSnapshot,
 }
 
 impl ScaleOutResult {
@@ -285,6 +290,7 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
     let mut last_target = target.completed_ops();
     let mut last_tick = Instant::now();
     let mut migration_started_at = None;
+    let mut ssd_baseline: Option<CounterSnapshot> = None;
     while start.elapsed() < config.duration {
         std::thread::sleep(config.tick);
         let now = Instant::now();
@@ -304,6 +310,10 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
             target_pending: target.pending_ops(),
         });
         if migration_started_at.is_none() && start.elapsed() >= config.warmup {
+            // Baseline the cumulative device counters at the migration
+            // boundary so the report isolates migration-window SSD traffic
+            // without resetting counters other readers may be watching.
+            ssd_baseline = Some(source.store().log().ssd().counters().snapshot());
             cluster
                 .migrate_fraction(ServerId(0), ServerId(1), config.migrate_fraction)
                 .expect("failed to start migration");
@@ -319,6 +329,8 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
     cluster.wait_for_migrations(Duration::from_secs(60));
     let source_report = source.last_migration_report();
     let target_report = target.last_migration_report();
+    let ssd_final = source.store().log().ssd().counters().snapshot();
+    let source_ssd_io = ssd_final.delta(&ssd_baseline.unwrap_or(ssd_final));
     let result = ScaleOutResult {
         variant: config.variant,
         samples,
@@ -328,6 +340,7 @@ pub fn run_scaleout(config: ScaleOutConfig) -> ScaleOutResult {
         client_ops_completed: client_completed.load(Ordering::Relaxed),
         source_total_ops: source.completed_ops(),
         target_total_ops: target.completed_ops(),
+        source_ssd_io,
     };
     cluster.shutdown();
     result

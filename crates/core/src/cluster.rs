@@ -7,11 +7,11 @@
 //! dispatch threads run on real OS threads.  Examples, integration tests and
 //! the benchmark harness all build clusters through this type.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use shadowfax_net::NetworkProfile;
+use shadowfax_obs::{Counter, MetricsRegistry};
 use shadowfax_storage::{LogId, SharedBlobTier, TierRecord, TierService};
 
 use crate::client::ShadowfaxClient;
@@ -107,12 +107,16 @@ impl std::fmt::Display for ChainFetchError {
 
 /// Counters for the chain-fetch serving path (queried over the control
 /// plane and published by CI alongside the bench numbers).
+///
+/// These are views over registry counters (`tier.chain.*`): the wire
+/// snapshot and the `GET_METRICS` frame read the same cells, so the two
+/// exposures can never disagree.
 #[derive(Debug, Default)]
 pub struct ChainFetchStats {
-    served: AtomicU64,
-    records_served: AtomicU64,
-    rejected_stale_view: AtomicU64,
-    rejected_out_of_range: AtomicU64,
+    served: Counter,
+    records_served: Counter,
+    rejected_stale_view: Counter,
+    rejected_out_of_range: Counter,
 }
 
 /// A point-in-time copy of [`ChainFetchStats`].
@@ -129,13 +133,23 @@ pub struct ChainFetchSnapshot {
 }
 
 impl ChainFetchStats {
+    /// Handles onto the registry's `tier.chain.*` counters.
+    pub fn registered(metrics: &MetricsRegistry) -> Self {
+        ChainFetchStats {
+            served: metrics.counter("tier.chain.served"),
+            records_served: metrics.counter("tier.chain.records_served"),
+            rejected_stale_view: metrics.counter("tier.chain.rejected_stale_view"),
+            rejected_out_of_range: metrics.counter("tier.chain.rejected_out_of_range"),
+        }
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> ChainFetchSnapshot {
         ChainFetchSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            records_served: self.records_served.load(Ordering::Relaxed),
-            rejected_stale_view: self.rejected_stale_view.load(Ordering::Relaxed),
-            rejected_out_of_range: self.rejected_out_of_range.load(Ordering::Relaxed),
+            served: self.served.value(),
+            records_served: self.records_served.value(),
+            rejected_stale_view: self.rejected_stale_view.value(),
+            rejected_out_of_range: self.rejected_out_of_range.value(),
         }
     }
 }
@@ -242,6 +256,7 @@ pub struct Cluster {
     kv_net: Arc<KvNetwork>,
     mig_net: Arc<MigrationNetwork>,
     shared_tier: Arc<SharedBlobTier>,
+    metrics: Arc<MetricsRegistry>,
     chain_stats: ChainFetchStats,
     handles: Vec<ServerHandle>,
 }
@@ -294,6 +309,21 @@ impl Cluster {
         let kv_net: Arc<KvNetwork> = KvNetwork::new(config.kv_profile);
         let mig_net: Arc<MigrationNetwork> = MigrationNetwork::new(config.migration_profile);
         let shared_tier = SharedBlobTier::new(config.shared_tier_capacity);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let chain_stats = ChainFetchStats::registered(&metrics);
+        {
+            let tier = Arc::clone(&shared_tier);
+            metrics.register_source(
+                "tier.shared",
+                Box::new(move |out| {
+                    let s = tier.counters().snapshot();
+                    out.push(("tier.shared.reads".to_string(), s.reads));
+                    out.push(("tier.shared.writes".to_string(), s.writes));
+                    out.push(("tier.shared.bytes_read".to_string(), s.bytes_read));
+                    out.push(("tier.shared.bytes_written".to_string(), s.bytes_written));
+                }),
+            );
+        }
 
         // Servers in other processes are registered first so ownership
         // lookups and migration routing see them from the start.
@@ -327,6 +357,7 @@ impl Cluster {
                 Arc::clone(&kv_net),
                 Arc::clone(&mig_net),
                 Arc::clone(&shared_tier),
+                Arc::clone(&metrics),
             );
             handles.push(server.spawn_threads());
         }
@@ -335,7 +366,8 @@ impl Cluster {
             kv_net,
             mig_net,
             shared_tier,
-            chain_stats: ChainFetchStats::default(),
+            metrics,
+            chain_stats,
             handles,
         })
     }
@@ -358,6 +390,13 @@ impl Cluster {
     /// The shared blob tier.
     pub fn shared_tier(&self) -> &Arc<SharedBlobTier> {
         &self.shared_tier
+    }
+
+    /// The process metrics registry: every local server's counter
+    /// families, the chain-fetch serving-path counters, the shared-tier
+    /// device counters, and the migration event timeline.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Installs a migration connector on every local server, replacing the
@@ -390,15 +429,11 @@ impl Cluster {
     ) -> Result<ChainFetchReply, ChainFetchError> {
         match self.meta.view_of(ServerId(query.requester)) {
             None => {
-                self.chain_stats
-                    .rejected_stale_view
-                    .fetch_add(1, Ordering::Relaxed);
+                self.chain_stats.rejected_stale_view.inc();
                 return Err(ChainFetchError::UnknownRequester(query.requester));
             }
             Some(expected) if query.view < expected => {
-                self.chain_stats
-                    .rejected_stale_view
-                    .fetch_add(1, Ordering::Relaxed);
+                self.chain_stats.rejected_stale_view.inc();
                 return Err(ChainFetchError::StaleView {
                     expected,
                     got: query.view,
@@ -410,16 +445,12 @@ impl Cluster {
         let extent = match self.shared_tier.written_extent_of(log) {
             Ok(extent) => extent,
             Err(_) => {
-                self.chain_stats
-                    .rejected_out_of_range
-                    .fetch_add(1, Ordering::Relaxed);
+                self.chain_stats.rejected_out_of_range.inc();
                 return Err(ChainFetchError::UnknownLog(query.log));
             }
         };
         if query.address >= extent {
-            self.chain_stats
-                .rejected_out_of_range
-                .fetch_add(1, Ordering::Relaxed);
+            self.chain_stats.rejected_out_of_range.inc();
             return Err(ChainFetchError::OutOfRange {
                 address: query.address,
                 extent,
@@ -445,10 +476,8 @@ impl Cluster {
                 });
             }
         };
-        self.chain_stats.served.fetch_add(1, Ordering::Relaxed);
-        self.chain_stats
-            .records_served
-            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        self.chain_stats.served.inc();
+        self.chain_stats.records_served.add(records.len() as u64);
         Ok(ChainFetchReply {
             log: query.log,
             address: query.address,
@@ -641,6 +670,7 @@ impl Cluster {
             Arc::clone(&self.kv_net),
             Arc::clone(&self.mig_net),
             Arc::clone(&self.shared_tier),
+            Arc::clone(&self.metrics),
         );
         let id = server.id();
         self.handles.push(server.spawn_threads());

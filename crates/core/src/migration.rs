@@ -75,6 +75,18 @@ impl SourcePhase {
             _ => SourcePhase::Complete,
         }
     }
+
+    /// The label this phase is recorded under on the migration timeline.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourcePhase::Sampling => "sampling",
+            SourcePhase::Prepare => "prepare",
+            SourcePhase::Transfer => "transfer",
+            SourcePhase::Migrate => "migrate",
+            SourcePhase::DiskScan => "disk-scan",
+            SourcePhase::Complete => "complete",
+        }
+    }
 }
 
 /// How the target treats requests in the migrating ranges.
@@ -185,6 +197,9 @@ pub struct OutgoingMigration {
     pub(crate) indirections_sent: AtomicU64,
     pub(crate) ssd_bytes_scanned: AtomicU64,
     pub(crate) total_items: AtomicU64,
+    /// The owning server's migration timeline; every phase transition is
+    /// stamped here under `migration.phase` (Fig. 11 impact windows).
+    pub(crate) timeline: Arc<shadowfax_obs::EventTimeline>,
 }
 
 impl std::fmt::Debug for OutgoingMigration {
@@ -205,6 +220,8 @@ impl OutgoingMigration {
 
     fn set_phase(&self, p: SourcePhase) {
         self.phase.store(p as u8, Ordering::SeqCst);
+        self.timeline
+            .record("migration.phase", p.label(), self.migration_id);
     }
 }
 
@@ -426,7 +443,13 @@ impl Server {
             indirections_sent: AtomicU64::new(0),
             ssd_bytes_scanned: AtomicU64::new(0),
             total_items: AtomicU64::new(0),
+            timeline: Arc::clone(&self.timeline),
         });
+        self.timeline.record(
+            "migration.phase",
+            SourcePhase::Sampling.label(),
+            migration_id,
+        );
         *self.outgoing.write() = Some(outgoing);
         Ok(migration_id)
     }
@@ -947,7 +970,7 @@ impl Server {
         // Every heartbeat interval in the silent window counts as missed.
         let interval = self.config.migration.liveness.heartbeat_interval;
         let missed = (deadline.as_micros() / interval.as_micros().max(1)) as u64;
-        self.heartbeats_missed.fetch_add(missed, Ordering::Relaxed);
+        self.heartbeats_missed.add(missed);
         let reason = format!("source silent for more than {deadline:?}");
         let cancelled = self.cancel_incoming_migration(migration_id, &reason, session);
         if cancelled {
@@ -981,10 +1004,11 @@ impl Server {
         missed: u64,
         reason: &str,
     ) {
-        self.migrations_cancelled.fetch_add(1, Ordering::Relaxed);
-        self.records_rolled_back
-            .fetch_add(rolled_back, Ordering::Relaxed);
-        self.heartbeats_missed.fetch_add(missed, Ordering::Relaxed);
+        self.migrations_cancelled.inc();
+        self.records_rolled_back.add(rolled_back);
+        self.heartbeats_missed.add(missed);
+        self.timeline
+            .record("migration.phase", "cancelled", migration_id);
         eprintln!(
             "server {}: cancelled migration {migration_id} ({reason}); \
              {rolled_back} shipped records rolled back",

@@ -149,6 +149,9 @@ impl Server {
     ///
     /// Unlike [`Server::new`], this does **not** register the server with the
     /// metadata store — the crashed server's registration is still there.
+    // A rebuild necessarily threads every substrate handle the crashed
+    // incarnation held plus the surviving SSD and checkpoint.
+    #[allow(clippy::too_many_arguments)]
     pub fn recover(
         config: ServerConfig,
         meta: Arc<MetadataStore>,
@@ -157,6 +160,7 @@ impl Server {
         shared_tier: Arc<SharedBlobTier>,
         ssd: Arc<dyn Device>,
         checkpoint: Option<&Checkpoint>,
+        metrics: Arc<shadowfax_obs::MetricsRegistry>,
     ) -> Arc<Self> {
         use parking_lot::{Mutex, RwLock};
         use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
@@ -164,7 +168,7 @@ impl Server {
         config.validate();
         let epoch = Arc::new(shadowfax_epoch::EpochManager::new());
         let shared_handle = shared_tier.handle(LogId(config.id.0 as u64));
-        let store = Faster::new(config.faster, ssd, Some(shared_handle), epoch);
+        let store = Faster::new(config.faster, Arc::clone(&ssd), Some(shared_handle), epoch);
         if let Some(cp) = checkpoint {
             recover_from_checkpoint(&store, cp);
         }
@@ -175,6 +179,14 @@ impl Server {
             .unwrap_or((1, RangeSet::empty()));
         let tier_service =
             RwLock::new(Arc::clone(&shared_tier) as Arc<dyn shadowfax_storage::TierService>);
+        // Re-adopt the crashed incarnation's named instruments (cumulative
+        // counters survive a crash within the process) and point the
+        // store/device source at the rebuilt store.  Nothing pends in a
+        // freshly recovered server, so the gauge restarts at zero.
+        let instruments =
+            crate::server::ServerInstruments::register(&metrics, config.id, &store, &ssd);
+        instruments.pending_gauge.set(0);
+        let timeline = metrics.timeline();
         Arc::new(Server {
             store,
             meta,
@@ -194,13 +206,15 @@ impl Server {
             pend_flush_epoch: AtomicU64::new(0),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(checkpoint.cloned()),
-            pending_gauge: AtomicU64::new(0),
-            total_pended: AtomicU64::new(0),
-            indirection_fetches: AtomicU64::new(0),
-            remote_chain_fetches: AtomicU64::new(0),
-            migrations_cancelled: AtomicU64::new(0),
-            records_rolled_back: AtomicU64::new(0),
-            heartbeats_missed: AtomicU64::new(0),
+            metrics,
+            timeline,
+            pending_gauge: instruments.pending_gauge,
+            total_pended: instruments.total_pended,
+            indirection_fetches: instruments.indirection_fetches,
+            remote_chain_fetches: instruments.remote_chain_fetches,
+            migrations_cancelled: instruments.migrations_cancelled,
+            records_rolled_back: instruments.records_rolled_back,
+            heartbeats_missed: instruments.heartbeats_missed,
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),
@@ -272,6 +286,7 @@ impl Cluster {
             Arc::clone(self.shared_tier()),
             crashed.ssd,
             crashed.checkpoint.as_ref(),
+            Arc::clone(self.metrics()),
         );
         let outcome = RecoveryOutcome {
             cancelled_migration,

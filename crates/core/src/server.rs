@@ -21,6 +21,7 @@ use shadowfax_faster::{Checkpoint, Faster, FasterSession, KeyHash, ReadOutcome, 
 use shadowfax_net::{
     BatchReply, Connection, KvRequest, KvResponse, MigrationLink, RequestBatch, SimNetwork,
 };
+use shadowfax_obs::{Counter, EventTimeline, Gauge, MetricsRegistry};
 use shadowfax_storage::{
     ChainFetch, ChainFetchRequest, LogId, SharedBlobTier, TierRecord, TierService,
 };
@@ -86,6 +87,68 @@ pub(crate) struct PendingBatch {
     pub(crate) unresolved: Vec<(usize, KvRequest)>,
 }
 
+/// The per-server instrument handles on the process registry, created (or
+/// re-adopted, after crash recovery) under the `sv{id}.` name prefix.
+pub(crate) struct ServerInstruments {
+    pub(crate) pending_gauge: Gauge,
+    pub(crate) total_pended: Counter,
+    pub(crate) indirection_fetches: Counter,
+    pub(crate) remote_chain_fetches: Counter,
+    pub(crate) migrations_cancelled: Counter,
+    pub(crate) records_rolled_back: Counter,
+    pub(crate) heartbeats_missed: Counter,
+}
+
+impl ServerInstruments {
+    /// Creates the handles and registers the store/device counter source
+    /// for server `id`.  Re-registering (crash recovery) re-adopts the
+    /// existing named instruments and replaces the source closure, so the
+    /// crashed incarnation's devices stop contributing.
+    pub(crate) fn register(
+        metrics: &MetricsRegistry,
+        id: ServerId,
+        store: &Arc<Faster>,
+        ssd: &Arc<dyn shadowfax_storage::Device>,
+    ) -> Self {
+        let p = format!("sv{}", id.0);
+        let instruments = ServerInstruments {
+            pending_gauge: metrics.gauge(&format!("{p}.ops.pending")),
+            total_pended: metrics.counter(&format!("{p}.ops.pended_total")),
+            indirection_fetches: metrics.counter(&format!("{p}.indirection.fetches")),
+            remote_chain_fetches: metrics.counter(&format!("{p}.chain.remote_fetches")),
+            migrations_cancelled: metrics.counter(&format!("{p}.migration.cancelled")),
+            records_rolled_back: metrics.counter(&format!("{p}.migration.records_rolled_back")),
+            heartbeats_missed: metrics.counter(&format!("{p}.migration.heartbeats_missed")),
+        };
+        // The FASTER store and the SSD already keep their own relaxed
+        // atomics; contribute them at snapshot time instead of rewriting
+        // their hot paths.
+        let store = Arc::clone(store);
+        let ssd = Arc::clone(ssd);
+        let key = p.clone();
+        metrics.register_source(
+            &key,
+            Box::new(move |out| {
+                let s = store.stats().snapshot();
+                out.push((format!("{p}.store.reads"), s.reads));
+                out.push((format!("{p}.store.upserts"), s.upserts));
+                out.push((format!("{p}.store.rmws"), s.rmws));
+                out.push((format!("{p}.store.deletes"), s.deletes));
+                out.push((format!("{p}.store.in_place_updates"), s.in_place_updates));
+                out.push((format!("{p}.store.rcu_appends"), s.rcu_appends));
+                out.push((format!("{p}.store.stable_reads"), s.stable_reads));
+                out.push((format!("{p}.store.sampled_copies"), s.sampled_copies));
+                let d = ssd.counters().snapshot();
+                out.push((format!("{p}.ssd.reads"), d.reads));
+                out.push((format!("{p}.ssd.writes"), d.writes));
+                out.push((format!("{p}.ssd.bytes_read"), d.bytes_read));
+                out.push((format!("{p}.ssd.bytes_written"), d.bytes_written));
+            }),
+        );
+        instruments
+    }
+}
+
 /// A running Shadowfax server.
 pub struct Server {
     pub(crate) config: ServerConfig,
@@ -139,26 +202,33 @@ pub struct Server {
     /// either can be recovered independently).  Updated by migration
     /// completion and by [`Server::checkpoint_now`].
     pub(crate) latest_checkpoint: Mutex<Option<Checkpoint>>,
+    /// The registry every counter family below lives in (shared with the
+    /// owning [`Cluster`](crate::Cluster) so one `GET_METRICS` pull sees
+    /// the whole process).
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// The registry's migration-lifecycle timeline (phase transitions and
+    /// cancellations are stamped here).
+    pub(crate) timeline: Arc<EventTimeline>,
     /// Gauge: operations currently pending at this server (Figure 12).
-    pub(crate) pending_gauge: AtomicU64,
+    pub(crate) pending_gauge: Gauge,
     /// Cumulative count of operations that ever pended.
-    pub(crate) total_pended: AtomicU64,
+    pub(crate) total_pended: Counter,
     /// Count of records fetched from the shared tier to resolve indirection
     /// records during normal operation.
-    pub(crate) indirection_fetches: AtomicU64,
+    pub(crate) indirection_fetches: Counter,
     /// Count of chain fetches answered by a *remote* tier service (the chain
     /// was pulled from another process over the wire).
-    pub(crate) remote_chain_fetches: AtomicU64,
+    pub(crate) remote_chain_fetches: Counter,
     /// Migrations this server cancelled (dead peer, operator request, or a
     /// peer-relayed cancellation), in either role.
-    pub(crate) migrations_cancelled: AtomicU64,
+    pub(crate) migrations_cancelled: Counter,
     /// Records whose shipment was undone by cancellations: items already
     /// pushed toward (or received from) the peer when the migration rolled
     /// back — they become unreachable duplicates on the dead epoch's log.
-    pub(crate) records_rolled_back: AtomicU64,
+    pub(crate) records_rolled_back: Counter,
     /// Heartbeat intervals that elapsed without hearing from a migration
     /// peer (across all migrations; the liveness layer's miss counter).
-    pub(crate) heartbeats_missed: AtomicU64,
+    pub(crate) heartbeats_missed: Counter,
     /// Per-dispatch-thread loop counters.  A thread increments its counter at
     /// the top of every loop iteration; migration uses them to wait until
     /// every thread has passed an operation-sequence boundary after the
@@ -191,6 +261,7 @@ impl Server {
         kv_net: Arc<KvNetwork>,
         mig_net: Arc<MigrationNetwork>,
         shared_tier: Arc<SharedBlobTier>,
+        metrics: Arc<MetricsRegistry>,
     ) -> Arc<Self> {
         config.validate();
         let epoch = Arc::new(shadowfax_epoch::EpochManager::new());
@@ -198,7 +269,12 @@ impl Server {
             config.faster.log.ssd_capacity,
         ));
         let shared_handle = shared_tier.handle(LogId(config.id.0 as u64));
-        let store = Faster::new(config.faster, ssd, Some(shared_handle), epoch);
+        let store = Faster::new(
+            config.faster,
+            Arc::clone(&ssd) as Arc<dyn shadowfax_storage::Device>,
+            Some(shared_handle),
+            epoch,
+        );
         meta.register_server(
             config.id,
             config.address(),
@@ -207,6 +283,13 @@ impl Server {
         );
         let view = meta.view_of(config.id).unwrap_or(1);
         let tier_service: Arc<dyn TierService> = Arc::clone(&shared_tier) as Arc<dyn TierService>;
+        let instruments = ServerInstruments::register(
+            &metrics,
+            config.id,
+            &store,
+            &(Arc::clone(&ssd) as Arc<dyn shadowfax_storage::Device>),
+        );
+        let timeline = metrics.timeline();
         Arc::new(Server {
             store,
             meta,
@@ -226,13 +309,15 @@ impl Server {
             pend_flush_epoch: AtomicU64::new(0),
             completed_report: Mutex::new(None),
             latest_checkpoint: Mutex::new(None),
-            pending_gauge: AtomicU64::new(0),
-            total_pended: AtomicU64::new(0),
-            indirection_fetches: AtomicU64::new(0),
-            remote_chain_fetches: AtomicU64::new(0),
-            migrations_cancelled: AtomicU64::new(0),
-            records_rolled_back: AtomicU64::new(0),
-            heartbeats_missed: AtomicU64::new(0),
+            metrics,
+            timeline,
+            pending_gauge: instruments.pending_gauge,
+            total_pended: instruments.total_pended,
+            indirection_fetches: instruments.indirection_fetches,
+            remote_chain_fetches: instruments.remote_chain_fetches,
+            migrations_cancelled: instruments.migrations_cancelled,
+            records_rolled_back: instruments.records_rolled_back,
+            heartbeats_missed: instruments.heartbeats_missed,
             loop_generation: (0..config.threads).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
             threads_running: AtomicUsize::new(0),
@@ -283,12 +368,12 @@ impl Server {
 
     /// Number of operations currently pending at this server (Figure 12).
     pub fn pending_ops(&self) -> u64 {
-        self.pending_gauge.load(Ordering::Relaxed)
+        self.pending_gauge.value()
     }
 
     /// Cumulative number of operations that ever pended.
     pub fn total_pended_ops(&self) -> u64 {
-        self.total_pended.load(Ordering::Relaxed)
+        self.total_pended.value()
     }
 
     /// Operations completed by this server since start (throughput sampling).
@@ -298,29 +383,34 @@ impl Server {
 
     /// Records fetched from the shared tier to resolve indirection records.
     pub fn indirection_fetches(&self) -> u64 {
-        self.indirection_fetches.load(Ordering::Relaxed)
+        self.indirection_fetches.value()
     }
 
     /// Chain fetches that were answered by a remote tier service (i.e. the
     /// spilled chain lived in another process and crossed the wire).
     pub fn remote_chain_fetches(&self) -> u64 {
-        self.remote_chain_fetches.load(Ordering::Relaxed)
+        self.remote_chain_fetches.value()
+    }
+
+    /// The process metrics registry this server's instruments live in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Migrations this server cancelled (either role).
     pub fn migrations_cancelled(&self) -> u64 {
-        self.migrations_cancelled.load(Ordering::Relaxed)
+        self.migrations_cancelled.value()
     }
 
     /// Shipped/received migration items undone by cancellations.
     pub fn records_rolled_back(&self) -> u64 {
-        self.records_rolled_back.load(Ordering::Relaxed)
+        self.records_rolled_back.value()
     }
 
     /// Heartbeat intervals that elapsed without hearing from a migration
     /// peer.
     pub fn heartbeats_missed(&self) -> u64 {
-        self.heartbeats_missed.load(Ordering::Relaxed)
+        self.heartbeats_missed.value()
     }
 
     /// Cancels migration `migration_id` if this server is involved in it
@@ -577,8 +667,8 @@ impl Server {
             match self.execute_op(&op, false, session) {
                 ExecOutcome::Done(resp) => results[i] = Some(resp),
                 ExecOutcome::Pend => {
-                    self.pending_gauge.fetch_add(1, Ordering::Relaxed);
-                    self.total_pended.fetch_add(1, Ordering::Relaxed);
+                    self.pending_gauge.add(1);
+                    self.total_pended.inc();
                     unresolved.push((i, op));
                 }
             }
@@ -625,7 +715,7 @@ impl Server {
                 match self.execute_op(&op, true, session) {
                     ExecOutcome::Done(resp) => {
                         batch.results[idx] = Some(resp);
-                        self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                        self.pending_gauge.sub(1);
                         progressed = true;
                     }
                     ExecOutcome::Pend => still_unresolved.push((idx, op)),
@@ -687,8 +777,7 @@ impl Server {
             }
             if batch.results.iter().all(|r| r.is_none()) {
                 let batch = pending.swap_remove(i);
-                self.pending_gauge
-                    .fetch_sub(batch.unresolved.len() as u64, Ordering::Relaxed);
+                self.pending_gauge.sub(batch.unresolved.len() as u64);
                 kv_conns[batch.conn_idx].send(BatchReply::Rejected {
                     seq: batch.seq,
                     server_view: view,
@@ -707,7 +796,7 @@ impl Server {
                          retry against the current owner"
                             .into(),
                     ));
-                    self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    self.pending_gauge.sub(1);
                     progressed = true;
                 }
             }
@@ -869,12 +958,12 @@ impl Server {
                 key,
             ) {
                 crate::migration::LocalChainFetch::Found(record) => {
-                    self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+                    self.indirection_fetches.inc();
                     self.insert_fetched_record(key, record.value(), false, session);
                     IndirectionFetch::Resolved
                 }
                 crate::migration::LocalChainFetch::Tombstone => {
-                    self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
+                    self.indirection_fetches.inc();
                     // Cache the deletion locally: later reads resolve here
                     // instead of re-walking the chain, and — when this walk
                     // was a nested hop — the caller's fallback to older
@@ -887,8 +976,8 @@ impl Server {
                 crate::migration::LocalChainFetch::Unreadable => IndirectionFetch::Unavailable,
             },
             ChainFetch::Records(records) => {
-                self.indirection_fetches.fetch_add(1, Ordering::Relaxed);
-                self.remote_chain_fetches.fetch_add(1, Ordering::Relaxed);
+                self.indirection_fetches.inc();
+                self.remote_chain_fetches.inc();
                 self.absorb_chain_records(key, &ind.range, &records, depth, session)
             }
             ChainFetch::Unavailable(_) => IndirectionFetch::Unavailable,

@@ -1,0 +1,205 @@
+//! The registry: get-or-create named instruments, external counter
+//! sources, and whole-registry snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricsSnapshot, SNAPSHOT_VERSION};
+use crate::timeline::EventTimeline;
+
+/// A callback contributing externally-owned counters to each snapshot.
+///
+/// Subsystems that already maintain their own atomics (the FASTER store's
+/// op stats, device counters) register a source instead of rewriting
+/// their hot paths; the closure appends `(name, value)` pairs when a
+/// snapshot is taken.
+pub type CounterSource = dyn Fn(&mut Vec<(String, u64)>) + Send + Sync;
+
+/// A process- or cluster-scoped collection of named instruments.
+///
+/// Handles returned by [`counter`](Self::counter) /
+/// [`gauge`](Self::gauge) / [`histogram`](Self::histogram) are cheap
+/// clones meant to be held at the call site; the registry maps are only
+/// locked at creation and snapshot time, never on the record path.
+pub struct MetricsRegistry {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    sources: Mutex<Vec<(String, Box<CounterSource>)>>,
+    timeline: Arc<EventTimeline>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.lock().expect("lock").len())
+            .field("gauges", &self.gauges.lock().expect("lock").len())
+            .field("histograms", &self.histograms.lock().expect("lock").len())
+            .field("sources", &self.sources.lock().expect("lock").len())
+            .finish()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry whose uptime epoch is "now".
+    pub fn new() -> Self {
+        MetricsRegistry {
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            sources: Mutex::new(Vec::new()),
+            timeline: Arc::new(EventTimeline::new()),
+        }
+    }
+
+    /// Returns the counter named `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it if new.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers a counter source polled at snapshot time.  Registering
+    /// under an existing key replaces the previous source — the path a
+    /// recovered server takes so its crashed incarnation's closure does
+    /// not keep contributing stale values.
+    pub fn register_source(&self, key: &str, source: Box<CounterSource>) {
+        let mut sources = self.sources.lock().expect("registry lock");
+        if let Some(slot) = sources.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = source;
+        } else {
+            sources.push((key.to_string(), source));
+        }
+    }
+
+    /// The shared event timeline.
+    pub fn timeline(&self) -> Arc<EventTimeline> {
+        Arc::clone(&self.timeline)
+    }
+
+    /// Takes a versioned snapshot of every instrument, source, and the
+    /// timeline.  Output ordering is deterministic (sorted by name).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.value()))
+            .collect();
+        for (_, source) in self.sources.lock().expect("registry lock").iter() {
+            source(&mut counters);
+        }
+        counters.sort();
+        let gauges: Vec<(String, u64)> = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            uptime_micros: self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            counters,
+            gauges,
+            histograms,
+            events: self.timeline.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_instrument() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn sources_contribute_and_output_is_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("z.native").inc();
+        r.register_source(
+            "ext",
+            Box::new(|out| {
+                out.push(("a.external".to_string(), 7));
+            }),
+        );
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.external"), Some(7));
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn re_registering_a_source_key_replaces_it() {
+        let r = MetricsRegistry::new();
+        r.register_source("sv0", Box::new(|out| out.push(("sv0.x".into(), 1))));
+        r.register_source("sv0", Box::new(|out| out.push(("sv0.x".into(), 5))));
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("sv0.x"), Some(5));
+        assert_eq!(snap.counters.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_histograms_and_events() {
+        let r = MetricsRegistry::new();
+        r.histogram("lat").record_ns(1000);
+        r.timeline().record("migration.phase", "prepare", 9);
+        let snap = r.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.histogram("lat").map(|h| h.count), Some(1));
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].label, "prepare");
+    }
+}

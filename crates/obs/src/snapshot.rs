@@ -1,0 +1,318 @@
+//! Point-in-time copies of the registry, with text and JSON renderings.
+//!
+//! A snapshot is what crosses the wire in a `METRICS` frame and what the
+//! bench harnesses persist as `BENCH_*.json`, so it is plain owned data
+//! with deterministic ordering (`PartialEq` compares bit-for-bit after a
+//! codec roundtrip).
+
+use crate::metrics::{bucket_value, SUB_BUCKETS};
+use crate::timeline::TimelineEvent;
+
+/// Wire/JSON schema version of [`MetricsSnapshot`].  Bump when fields are
+/// added; decoders accept any version and surface it to the caller.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A merged, point-in-time copy of one [`Histogram`](crate::Histogram).
+///
+/// Buckets are sparse `(index, count)` pairs sorted by index; quantiles
+/// are extracted from them with the same log-linear math used when
+/// recording.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Registry name, e.g. `rpc.latency.read`.
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples (ns, saturating).
+    pub total_ns: u64,
+    /// Largest recorded sample (ns).
+    pub max_ns: u64,
+    /// Sparse non-empty buckets, sorted by bucket index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The latency (ns) at percentile `p` (0.0–100.0).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return bucket_value(idx as usize).min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (ns).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 95th percentile (ns).
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// 99th percentile (ns).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Mean (ns).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper edge (ns) of sub-bucket resolution at this histogram's scale
+    /// — exposed so reports can state the quantization error.
+    pub fn resolution_denominator() -> usize {
+        SUB_BUCKETS
+    }
+}
+
+/// A versioned, order-deterministic copy of a whole
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`] when produced locally; remote
+    /// snapshots carry whatever the peer encoded).
+    pub version: u32,
+    /// Microseconds since the producing registry was created.
+    pub uptime_micros: u64,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Timeline events, oldest first.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sums all counters whose name ends with `suffix` (aggregating a
+    /// per-server family such as `sv*.migration.cancelled`).
+    pub fn counter_family(&self, suffix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.ends_with(suffix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Human-readable exposition (the CLI's default `metrics` output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# metrics snapshot v{} uptime={}.{:06}s\n",
+            self.version,
+            self.uptime_micros / 1_000_000,
+            self.uptime_micros % 1_000_000
+        ));
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram {} count={} mean_ns={} p50_ns={} p95_ns={} p99_ns={} max_ns={}\n",
+                h.name,
+                h.count,
+                h.mean_ns(),
+                h.p50_ns(),
+                h.p95_ns(),
+                h.p99_ns(),
+                h.max_ns
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "event at_micros={} name={} label={} id={}\n",
+                e.at_micros, e.name, e.label, e.id
+            ));
+        }
+        out
+    }
+
+    /// JSON encoding (hand-rolled; no external crates in this workspace).
+    ///
+    /// Shape: `{"version":1,"uptime_micros":n,"counters":{..},
+    /// "gauges":{..},"histograms":[{..,"buckets":[[idx,count],..]}],
+    /// "events":[{..}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"version\":{},\"uptime_micros\":{},\"counters\":{{",
+            self.version, self.uptime_micros
+        ));
+        push_name_value_map(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_name_value_map(&mut out, &self.gauges);
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"max_ns\":{},\
+                 \"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[",
+                json_escape(&h.name),
+                h.count,
+                h.total_ns,
+                h.max_ns,
+                h.mean_ns(),
+                h.p50_ns(),
+                h.p95_ns(),
+                h.p99_ns()
+            ));
+            for (j, (idx, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{c}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_micros\":{},\"name\":\"{}\",\"label\":\"{}\",\"id\":{}}}",
+                e.at_micros,
+                json_escape(&e.name),
+                json_escape(&e.label),
+                e.id
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_name_value_map(out: &mut String, pairs: &[(String, u64)]) {
+    for (i, (name, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            uptime_micros: 1_500_000,
+            counters: vec![("a.b".into(), 3), ("c".into(), 0)],
+            gauges: vec![("g".into(), 9)],
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                count: 2,
+                total_ns: 300,
+                max_ns: 200,
+                buckets: vec![(0, 1), (5, 1)],
+            }],
+            events: vec![TimelineEvent {
+                at_micros: 42,
+                name: "migration.phase".into(),
+                label: "sampling".into(),
+                id: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_instrument() {
+        let text = sample_snapshot().render_text();
+        assert!(text.contains("counter a.b 3"));
+        assert!(text.contains("gauge g 9"));
+        assert!(text.contains("histogram h count=2"));
+        assert!(text.contains("label=sampling"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced_and_complete() {
+        let json = sample_snapshot().to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces: {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"a.b\":3"));
+        assert!(json.contains("\"buckets\":[[0,1],[5,1]]"));
+        assert!(json.contains("\"label\":\"sampling\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn family_sum_aggregates_matching_suffixes() {
+        let mut s = sample_snapshot();
+        s.counters = vec![
+            ("sv0.migration.cancelled".into(), 1),
+            ("sv1.migration.cancelled".into(), 2),
+            ("sv1.other".into(), 7),
+        ];
+        assert_eq!(s.counter_family(".migration.cancelled"), 3);
+    }
+}

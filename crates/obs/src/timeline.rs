@@ -1,0 +1,104 @@
+//! A bounded, structured event timeline.
+//!
+//! Migration-lifecycle transitions (sampling → prep → push →
+//! ownership-cut → complete/cancelled) are appended here with a
+//! microsecond timestamp relative to the timeline's epoch (process
+//! start), so a single [`MetricsSnapshot`](crate::MetricsSnapshot) pull
+//! reconstructs the full phase history — including how long each impact
+//! window (Fig. 11) lasted — without log scraping.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Retained events; the oldest are dropped first once full.  4096 phase
+/// transitions is hundreds of complete migrations.
+const CAPACITY: usize = 4096;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Microseconds since the timeline's epoch (monotonic clock).
+    pub at_micros: u64,
+    /// Event family, e.g. `migration.phase`.
+    pub name: String,
+    /// Event detail within the family, e.g. `sampling` or `cancelled`.
+    pub label: String,
+    /// Correlation id (migration id for migration events).
+    pub id: u64,
+}
+
+/// An append-only bounded event log with monotonic timestamps.
+#[derive(Debug)]
+pub struct EventTimeline {
+    epoch: Instant,
+    events: Mutex<VecDeque<TimelineEvent>>,
+}
+
+impl Default for EventTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventTimeline {
+    /// Creates an empty timeline whose epoch is "now".
+    pub fn new() -> Self {
+        EventTimeline {
+            epoch: Instant::now(),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the timeline's epoch.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Appends one event stamped "now".
+    pub fn record(&self, name: &str, label: &str, id: u64) {
+        let event = TimelineEvent {
+            at_micros: self.now_micros(),
+            name: name.to_string(),
+            label: label.to_string(),
+            id,
+        };
+        let mut events = self.events.lock().expect("timeline lock");
+        if events.len() == CAPACITY {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TimelineEvent> {
+        self.events
+            .lock()
+            .expect("timeline lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_ordered_and_bounded() {
+        let t = EventTimeline::new();
+        for i in 0..(CAPACITY + 10) as u64 {
+            t.record("migration.phase", "sampling", i);
+        }
+        let events = t.snapshot();
+        assert_eq!(events.len(), CAPACITY);
+        assert_eq!(events[0].id, 10, "oldest events were dropped first");
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].at_micros <= pair[1].at_micros,
+                "timestamps monotone"
+            );
+        }
+    }
+}

@@ -26,6 +26,11 @@
 //!   cancel-stats                 print the process's migration-cancellation
 //!                                counters (heartbeats missed, migrations
 //!                                cancelled, records rolled back)
+//!   metrics [--json]             pull the process's full metrics snapshot:
+//!                                every counter family, gauge, serving-path
+//!                                latency histogram, and the migration-phase
+//!                                event timeline; --json emits one JSON
+//!                                object (the BENCH_*.json schema)
 //!
 //! Exit codes (shared by migrate/wait/status so scripts never parse text):
 //!   0  success / migration complete or in flight (status)
@@ -51,7 +56,7 @@ fn usage() -> ! {
         "usage: shadowfax-cli --addr HOST:PORT \
          (ping | ownership | get K | put K V | del K | rmw K D | \
          migrate FROM TO FRACTION | wait ID | status ID | cancel ID | \
-         tier-stats | cancel-stats | bench [opts])"
+         tier-stats | cancel-stats | metrics [--json] | bench [opts])"
     );
     std::process::exit(2)
 }
@@ -318,6 +323,24 @@ fn main() {
             println!("migrations cancelled: {}", stats.migrations_cancelled);
             println!("records rolled back: {}", stats.records_rolled_back);
             println!("heartbeats missed: {}", stats.heartbeats_missed);
+        }
+        "metrics" => {
+            let json = match rest.first().map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(other) => {
+                    eprintln!("unknown metrics flag {other}");
+                    usage()
+                }
+            };
+            let mut ctrl =
+                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let snap = ctrl.metrics().unwrap_or_else(|e| fail(e));
+            if json {
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", snap.render_text());
+            }
         }
         "bench" => {
             let mut opts = BenchOptions::default();

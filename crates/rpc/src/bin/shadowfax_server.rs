@@ -3,7 +3,8 @@
 //! ```text
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
 //!                  [--io-threads I] [--layout SPEC] [--base-id B]
-//!                  [--memory-pages P] [--sampling-ms MS] [--peer SPEC]...
+//!                  [--memory-pages P] [--sampling-ms MS]
+//!                  [--metrics-log-secs S] [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
@@ -51,7 +52,7 @@ const EXIT_USAGE: i32 = 64;
 
 const USAGE: &str = "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
      [--io-threads I] [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
-     [--memory-pages P] [--sampling-ms MS] \
+     [--memory-pages P] [--sampling-ms MS] [--metrics-log-secs S] \
      [--peer id=I,addr=HOST:PORT[,threads=T][,owns=auto|full|none|RANGES]]...
 RANGES is a +-joined list of hex ranges, e.g. 0x0-0x7fff+0xc000-0xffff";
 
@@ -64,6 +65,7 @@ struct Args {
     base_id: u32,
     memory_pages: Option<u64>,
     sampling_ms: Option<u64>,
+    metrics_log_secs: u64,
     peers: Vec<PeerServer>,
 }
 
@@ -85,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         base_id: 0,
         memory_pages: None,
         sampling_ms: None,
+        metrics_log_secs: 30,
         peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -119,6 +122,11 @@ fn parse_args() -> Result<Args, String> {
             // or a cancellation lands deterministically mid-migration.
             "--sampling-ms" => {
                 args.sampling_ms = Some(parse_num("--sampling-ms", value("--sampling-ms")?)?)
+            }
+            // Cadence of the METRICS_SNAPSHOT stderr log line; 0 disables.
+            "--metrics-log-secs" => {
+                args.metrics_log_secs =
+                    parse_num("--metrics-log-secs", value("--metrics-log-secs")?)?
             }
             "--peer" => {
                 let spec = value("--peer")?;
@@ -212,8 +220,21 @@ fn main() {
         );
     }
 
-    // Serve until killed.
+    // Serve until killed, periodically logging the full registry snapshot
+    // so a crashed or killed process leaves its perf trajectory behind in
+    // the log (one `METRICS_SNAPSHOT {json}` line per interval).
+    let interval = if args.metrics_log_secs == 0 {
+        std::time::Duration::from_secs(3600)
+    } else {
+        std::time::Duration::from_secs(args.metrics_log_secs)
+    };
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(interval);
+        if args.metrics_log_secs > 0 {
+            eprintln!(
+                "METRICS_SNAPSHOT {}",
+                cluster.metrics().snapshot().to_json()
+            );
+        }
     }
 }

@@ -37,12 +37,20 @@
 //! sends a view-tagged [`WireMsg::FetchChain`] and gets the spilled chain's
 //! records back in one [`WireMsg::ChainRecords`] batch (stale views and
 //! out-of-range addresses are rejected with typed `CtrlErr` frames).
+//!
+//! Telemetry frames export the unified metrics registry: a
+//! [`WireMsg::GetMetrics`] control request is answered by one versioned
+//! [`WireMsg::Metrics`] snapshot carrying every counter family, gauge,
+//! latency histogram (sparse log-linear buckets), and the migration-phase
+//! event timeline — the single source for `shadowfax-cli metrics` and the
+//! checked-in `BENCH_*.json` perf trajectories.
 
 use shadowfax::{
     ChainFetchQuery, ChainFetchReply, HashRange, MigratedItem, MigrationAckPhase, MigrationMsg,
     ServerId,
 };
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
+use shadowfax_obs::{HistogramSnapshot, MetricsSnapshot, TimelineEvent};
 use shadowfax_storage::TierRecord;
 
 /// Default per-frame size limit (16 MiB): far above any sane batch, low
@@ -72,6 +80,8 @@ mod kind {
     pub const CHAIN_RECORDS: u8 = 0x41;
     pub const GET_TIER_STATS: u8 = 0x42;
     pub const TIER_STATS: u8 = 0x43;
+    pub const GET_METRICS: u8 = 0x50;
+    pub const METRICS: u8 = 0x51;
 }
 
 /// Errors from encoding or decoding frames.
@@ -280,6 +290,14 @@ pub enum WireMsg {
     GetTierStats,
     /// The shared-tier counters (control plane reply).
     TierStats(WireTierStats),
+    /// Request a full metrics snapshot: every registry counter family,
+    /// gauge, latency histogram, and the migration event timeline
+    /// (control plane; `shadowfax-cli metrics`).
+    GetMetrics,
+    /// The versioned metrics snapshot answering [`WireMsg::GetMetrics`].
+    /// The snapshot's own `version` field is the schema version — decoders
+    /// accept any value and surface it to the caller.
+    Metrics(MetricsSnapshot),
 }
 
 /// Shared-tier chain-fetch counters, as carried on the wire.
@@ -661,6 +679,41 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
             put_u64(&mut body, stats.rejected_out_of_range);
             put_u64(&mut body, stats.remote_fetches);
         }
+        WireMsg::GetMetrics => body.push(kind::GET_METRICS),
+        WireMsg::Metrics(snap) => {
+            body.push(kind::METRICS);
+            put_u32(&mut body, snap.version);
+            put_u64(&mut body, snap.uptime_micros);
+            put_u32(&mut body, snap.counters.len() as u32);
+            for (name, value) in &snap.counters {
+                put_str(&mut body, name);
+                put_u64(&mut body, *value);
+            }
+            put_u32(&mut body, snap.gauges.len() as u32);
+            for (name, value) in &snap.gauges {
+                put_str(&mut body, name);
+                put_u64(&mut body, *value);
+            }
+            put_u32(&mut body, snap.histograms.len() as u32);
+            for h in &snap.histograms {
+                put_str(&mut body, &h.name);
+                put_u64(&mut body, h.count);
+                put_u64(&mut body, h.total_ns);
+                put_u64(&mut body, h.max_ns);
+                put_u32(&mut body, h.buckets.len() as u32);
+                for (idx, c) in &h.buckets {
+                    put_u32(&mut body, *idx);
+                    put_u64(&mut body, *c);
+                }
+            }
+            put_u32(&mut body, snap.events.len() as u32);
+            for ev in &snap.events {
+                put_u64(&mut body, ev.at_micros);
+                put_str(&mut body, &ev.name);
+                put_str(&mut body, &ev.label);
+                put_u64(&mut body, ev.id);
+            }
+        }
     }
     let mut frame = Vec::with_capacity(4 + body.len());
     put_u32(&mut frame, body.len() as u32);
@@ -795,6 +848,15 @@ fn get_ranges(r: &mut Reader<'_>) -> Result<Vec<HashRange>, CodecError> {
         ranges.push(HashRange { start, end });
     }
     Ok(ranges)
+}
+
+fn get_name_values(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, CodecError> {
+    let n = r.u32()? as usize;
+    let mut pairs = Vec::with_capacity(bounded_cap(n));
+    for _ in 0..n {
+        pairs.push((r.string()?, r.u64()?));
+    }
+    Ok(pairs)
 }
 
 fn get_migrated_item(r: &mut Reader<'_>) -> Result<MigratedItem, CodecError> {
@@ -1057,6 +1119,51 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
             rejected_out_of_range: r.u64()?,
             remote_fetches: r.u64()?,
         }),
+        kind::GET_METRICS => WireMsg::GetMetrics,
+        kind::METRICS => {
+            let version = r.u32()?;
+            let uptime_micros = r.u64()?;
+            let counters = get_name_values(&mut r)?;
+            let gauges = get_name_values(&mut r)?;
+            let nh = r.u32()? as usize;
+            let mut histograms = Vec::with_capacity(bounded_cap(nh));
+            for _ in 0..nh {
+                let name = r.string()?;
+                let count = r.u64()?;
+                let total_ns = r.u64()?;
+                let max_ns = r.u64()?;
+                let nb = r.u32()? as usize;
+                let mut buckets = Vec::with_capacity(bounded_cap(nb));
+                for _ in 0..nb {
+                    buckets.push((r.u32()?, r.u64()?));
+                }
+                histograms.push(HistogramSnapshot {
+                    name,
+                    count,
+                    total_ns,
+                    max_ns,
+                    buckets,
+                });
+            }
+            let ne = r.u32()? as usize;
+            let mut events = Vec::with_capacity(bounded_cap(ne));
+            for _ in 0..ne {
+                events.push(TimelineEvent {
+                    at_micros: r.u64()?,
+                    name: r.string()?,
+                    label: r.string()?,
+                    id: r.u64()?,
+                });
+            }
+            WireMsg::Metrics(MetricsSnapshot {
+                version,
+                uptime_micros,
+                counters,
+                gauges,
+                histograms,
+                events,
+            })
+        }
         tag => {
             return Err(CodecError::BadTag {
                 context: "frame kind",
@@ -1548,6 +1655,57 @@ mod tests {
             rejected_out_of_range: 2,
             remote_fetches: 99,
         }));
+    }
+
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: shadowfax_obs::SNAPSHOT_VERSION,
+            uptime_micros: 5_250_000,
+            counters: vec![
+                ("sv0.migration.cancelled".into(), 1),
+                ("tier.chain.served".into(), 42),
+            ],
+            gauges: vec![("sv0.ops.pending".into(), 3)],
+            histograms: vec![HistogramSnapshot {
+                name: "rpc.latency.read".into(),
+                count: 2,
+                total_ns: 3_000,
+                max_ns: 2_000,
+                buckets: vec![(32, 1), (64, 1)],
+            }],
+            events: vec![
+                TimelineEvent {
+                    at_micros: 10,
+                    name: "migration.phase".into(),
+                    label: "sampling".into(),
+                    id: 7,
+                },
+                TimelineEvent {
+                    at_micros: 25,
+                    name: "migration.phase".into(),
+                    label: "cancelled".into(),
+                    id: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_metrics_frames() {
+        roundtrip(WireMsg::GetMetrics);
+        roundtrip(WireMsg::Metrics(sample_metrics_snapshot()));
+        roundtrip(WireMsg::Metrics(MetricsSnapshot::default()));
+    }
+
+    #[test]
+    fn truncated_metrics_frames_are_rejected_at_every_cut() {
+        let frame = encode_frame(&WireMsg::Metrics(sample_metrics_snapshot()));
+        for cut in 0..frame.len() {
+            match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                Err(CodecError::Truncated) => {}
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
     }
 
     #[test]

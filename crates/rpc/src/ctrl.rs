@@ -235,6 +235,18 @@ impl CtrlClient {
         }
     }
 
+    /// Fetches the peer process's full metrics snapshot: every counter
+    /// family, gauge, latency histogram, and the migration-phase event
+    /// timeline in one versioned frame.
+    pub fn metrics(&mut self) -> Result<shadowfax_obs::MetricsSnapshot, RpcError> {
+        match self.roundtrip(&WireMsg::GetMetrics)? {
+            WireMsg::Metrics(snap) => Ok(snap),
+            other => Err(RpcError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
+        }
+    }
+
     /// Round-trips a liveness probe.
     pub fn ping(&mut self) -> Result<(), RpcError> {
         let token = 0x005A_D0FA;

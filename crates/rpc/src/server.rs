@@ -13,19 +13,21 @@
 //! threads once bound — while keeping the dispatch loop itself transport
 //! agnostic.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use shadowfax::{
     ChainFetchError, ChainFetchQuery, ChainFetchReply, Cluster, MigrationMsg, ServerId,
 };
-use shadowfax_net::{KvLink, MigrationLink, StatusCode, Transport, TransportError};
+use shadowfax_net::{KvLink, KvRequest, MigrationLink, StatusCode, Transport, TransportError};
+use shadowfax_obs::{Histogram, MetricsRegistry};
 
 use crate::codec::{
     encode_frame, FrameDecoder, WireCancelStats, WireMigrationState, WireMsg, WireOwnership,
@@ -73,6 +75,11 @@ pub trait ClusterControl: Send + Sync {
 
     /// The process's shared-tier serving and remote-fetch counters.
     fn tier_stats(&self) -> WireTierStats;
+
+    /// The process-wide metrics registry: the front end answers
+    /// `GET_METRICS` frames from it and records its serving-path latency
+    /// histograms into it.
+    fn metrics(&self) -> Arc<MetricsRegistry>;
 }
 
 impl ClusterControl for Cluster {
@@ -186,6 +193,32 @@ impl ClusterControl for Cluster {
             remote_fetches: self.remote_chain_fetches(),
         }
     }
+
+    fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(Cluster::metrics(self))
+    }
+}
+
+/// Serving-path latency histograms, one per op type.  Handles are cheap
+/// clones of the registry's instruments; recording is a relaxed atomic add
+/// into the calling thread's shard.
+#[derive(Clone)]
+struct ServingLatency {
+    read: Histogram,
+    upsert: Histogram,
+    migrate_ctrl: Histogram,
+    chain_fetch: Histogram,
+}
+
+impl ServingLatency {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        ServingLatency {
+            read: metrics.histogram("rpc.latency.read"),
+            upsert: metrics.histogram("rpc.latency.upsert"),
+            migrate_ctrl: metrics.histogram("rpc.latency.migrate_ctrl"),
+            chain_fetch: metrics.histogram("rpc.latency.chain_fetch"),
+        }
+    }
 }
 
 /// Knobs for the TCP front end.
@@ -267,6 +300,7 @@ impl RpcServer {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let io_threads = config.io_threads.max(1);
+        let latency = ServingLatency::new(&control.metrics());
 
         let mut joins = Vec::with_capacity(io_threads + 1);
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
@@ -276,10 +310,11 @@ impl RpcServer {
             let control = Arc::clone(&control);
             let shutdown = Arc::clone(&shutdown);
             let max_frame = config.max_frame;
+            let latency = latency.clone();
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("shadowfax-rpc-io-{t}"))
-                    .spawn(move || io_thread(rx, control, shutdown, max_frame))
+                    .spawn(move || io_thread(rx, control, shutdown, max_frame, latency))
                     .expect("failed to spawn rpc i/o thread"),
             );
         }
@@ -317,6 +352,11 @@ impl RpcServer {
     }
 }
 
+/// Most in-flight batch timings a connection retains for latency
+/// measurement.  A client that never reads replies sheds the oldest
+/// timings rather than growing without bound.
+const MAX_INFLIGHT_TIMINGS: usize = 1024;
+
 /// One TCP connection being served.
 struct ServedConn {
     stream: TcpStream,
@@ -328,6 +368,11 @@ struct ServedConn {
     mig: Option<Box<dyn MigrationLink<MigrationMsg>>>,
     eof: bool,
     dead: bool,
+    /// Serving-path latency histograms shared with the registry.
+    lat: ServingLatency,
+    /// `(seq, arrival, reads, upserts)` for batches forwarded to the
+    /// dispatch thread whose replies have not come back yet.
+    inflight: VecDeque<(u64, Instant, usize, usize)>,
 }
 
 impl ServedConn {
@@ -390,6 +435,19 @@ impl ServedConn {
                 },
                 WireMsg::Batch(batch) => match &self.link {
                     Some(link) => {
+                        let mut reads = 0usize;
+                        let mut upserts = 0usize;
+                        for op in &batch.ops {
+                            match op {
+                                KvRequest::Read { .. } => reads += 1,
+                                _ => upserts += 1,
+                            }
+                        }
+                        if self.inflight.len() >= MAX_INFLIGHT_TIMINGS {
+                            self.inflight.pop_front();
+                        }
+                        self.inflight
+                            .push_back((batch.seq, Instant::now(), reads, upserts));
                         if let Err(e) = link.send_batch(batch) {
                             self.fail(e.status_code(), e.to_string());
                         }
@@ -417,7 +475,10 @@ impl ServedConn {
                     ),
                 },
                 WireMsg::MigrationStatus { migration_id } => {
-                    match control.migration_status(migration_id) {
+                    let start = Instant::now();
+                    let result = control.migration_status(migration_id);
+                    self.lat.migrate_ctrl.record(start.elapsed());
+                    match result {
                         Ok(state) => self.send(&WireMsg::MigrationState(state)),
                         Err(msg) => self.send(&WireMsg::CtrlErr {
                             status: StatusCode::ControlFailed,
@@ -428,10 +489,12 @@ impl ServedConn {
                 WireMsg::CancelMigration { migration_id } => {
                     // Like Migrate: treat a panic below as a failed control
                     // operation, never as a downed I/O thread.
+                    let start = Instant::now();
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         control.cancel_migration(migration_id)
                     }))
                     .unwrap_or_else(|_| Err("migration cancellation panicked".to_string()));
+                    self.lat.migrate_ctrl.record(start.elapsed());
                     match result {
                         Ok(()) => self.send(&WireMsg::CtrlOk {
                             value: migration_id,
@@ -446,16 +509,25 @@ impl ServedConn {
                     let stats = control.cancel_stats();
                     self.send(&WireMsg::CancelStats(stats));
                 }
-                WireMsg::FetchChain(query) => match control.fetch_chain(&query) {
-                    Ok(reply) => self.send(&WireMsg::ChainRecords(reply)),
-                    // A rejection is a protocol-level answer, not a framing
-                    // violation: report the typed status and keep the
-                    // connection alive for further fetches.
-                    Err((status, message)) => self.send(&WireMsg::CtrlErr { status, message }),
-                },
+                WireMsg::FetchChain(query) => {
+                    let start = Instant::now();
+                    let result = control.fetch_chain(&query);
+                    self.lat.chain_fetch.record(start.elapsed());
+                    match result {
+                        Ok(reply) => self.send(&WireMsg::ChainRecords(reply)),
+                        // A rejection is a protocol-level answer, not a
+                        // framing violation: report the typed status and
+                        // keep the connection alive for further fetches.
+                        Err((status, message)) => self.send(&WireMsg::CtrlErr { status, message }),
+                    }
+                }
                 WireMsg::GetTierStats => {
                     let stats = control.tier_stats();
                     self.send(&WireMsg::TierStats(stats));
+                }
+                WireMsg::GetMetrics => {
+                    let snap = control.metrics().snapshot();
+                    self.send(&WireMsg::Metrics(snap));
                 }
                 WireMsg::GetOwnership => {
                     let own = control.ownership();
@@ -470,6 +542,7 @@ impl ServedConn {
                     // whose invariants are enforced with asserts, and treat
                     // any panic below as a failed control operation: one bad
                     // request must never take an I/O thread down.
+                    let start = Instant::now();
                     let result = if !(0.0..=1.0).contains(&fraction) {
                         Err(format!("fraction {fraction} is outside [0, 1]"))
                     } else if source == target {
@@ -480,6 +553,7 @@ impl ServedConn {
                         }))
                         .unwrap_or_else(|_| Err("migration setup panicked".to_string()))
                     };
+                    self.lat.migrate_ctrl.record(start.elapsed());
                     match result {
                         Ok(id) => self.send(&WireMsg::CtrlOk { value: id }),
                         Err(msg) => self.send(&WireMsg::CtrlErr {
@@ -498,14 +572,34 @@ impl ServedConn {
         progressed
     }
 
+    /// Attributes the serving-path latency of the batch answered by `seq`
+    /// to the per-op-type histograms: the elapsed wall time from frame
+    /// decode to reply pickup, recorded once per op type the batch carried.
+    fn record_batch_latency(&mut self, seq: u64) {
+        if let Some(pos) = self.inflight.iter().position(|e| e.0 == seq) {
+            let (_, start, reads, upserts) = self.inflight.remove(pos).unwrap();
+            let elapsed = start.elapsed();
+            if reads > 0 {
+                self.lat.read.record(elapsed);
+            }
+            if upserts > 0 {
+                self.lat.upsert.record(elapsed);
+            }
+        }
+    }
+
     /// Forwards replies (and migration messages) from the dispatch thread
     /// back onto the socket.  Returns `true` if anything moved.
     fn pump_replies(&mut self) -> bool {
         let mut out: Vec<WireMsg> = Vec::new();
+        let mut answered: Vec<u64> = Vec::new();
         if let Some(link) = &self.link {
             loop {
                 match link.try_recv_reply() {
-                    Ok(Some(reply)) => out.push(WireMsg::Reply(reply)),
+                    Ok(Some(reply)) => {
+                        answered.push(reply.seq());
+                        out.push(WireMsg::Reply(reply));
+                    }
                     Ok(None) => break,
                     Err(_) => {
                         // The dispatch thread went away (server shutdown).
@@ -514,6 +608,9 @@ impl ServedConn {
                     }
                 }
             }
+        }
+        for seq in answered {
+            self.record_batch_latency(seq);
         }
         if let Some(mig) = &self.mig {
             loop {
@@ -543,6 +640,7 @@ fn io_thread(
     control: Arc<dyn ClusterControl>,
     shutdown: Arc<AtomicBool>,
     max_frame: usize,
+    latency: ServingLatency,
 ) {
     let mut conns: Vec<ServedConn> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -557,6 +655,8 @@ fn io_thread(
                 mig: None,
                 eof: false,
                 dead: false,
+                lat: latency.clone(),
+                inflight: VecDeque::new(),
             });
         }
 

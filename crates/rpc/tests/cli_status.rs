@@ -102,6 +102,40 @@ fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
     let (code, _, stderr) = cli(&addr, &["cancel", "999"]);
     assert_eq!(code, Some(1), "unknown cancel should exit 1: {stderr}");
 
+    // `metrics` pulls the full registry snapshot over GET_METRICS: exit 0,
+    // text exposition carries the cancellation counter family and the
+    // migration-phase timeline with a cancelled terminal event.
+    let (code, stdout, stderr) = cli(&addr, &["metrics"]);
+    assert_eq!(code, Some(0), "metrics should exit 0; stderr: {stderr}");
+    assert!(
+        stdout.contains("counter sv0.migration.cancelled 1"),
+        "metrics text missing cancellation counter: {stdout}"
+    );
+    assert!(
+        stdout.contains("name=migration.phase label=cancelled"),
+        "metrics text missing cancelled timeline event: {stdout}"
+    );
+
+    // `metrics --json` emits one versioned JSON object.
+    let (code, stdout, stderr) = cli(&addr, &["metrics", "--json"]);
+    assert_eq!(
+        code,
+        Some(0),
+        "metrics --json should exit 0; stderr: {stderr}"
+    );
+    assert!(
+        stdout.starts_with("{\"version\":1,"),
+        "unexpected json head: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"sv0.migration.cancelled\":1"),
+        "json missing cancellation counter: {stdout}"
+    );
+
+    // An unknown metrics flag is a usage error (exit 2).
+    let (code, _, _) = cli(&addr, &["metrics", "--bogus"]);
+    assert_eq!(code, Some(2), "unknown metrics flag should exit 2");
+
     // Completed (dependency garbage collected): exit 0.
     let moving2 = cluster
         .meta()

@@ -27,6 +27,7 @@ use shadowfax::{
     ServerId,
 };
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
+use shadowfax_obs::{HistogramSnapshot, MetricsSnapshot, TimelineEvent};
 use shadowfax_rpc::{
     decode_frame, encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState,
     WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
@@ -178,6 +179,40 @@ fn random_tier_record(rng: &mut StdRng) -> TierRecord {
     }
 }
 
+fn random_name_values(rng: &mut StdRng) -> Vec<(String, u64)> {
+    (0..rng.gen_range(0u64..6))
+        .map(|_| (random_string(rng, 32), rng.gen()))
+        .collect()
+}
+
+fn random_metrics_snapshot(rng: &mut StdRng) -> MetricsSnapshot {
+    MetricsSnapshot {
+        version: rng.gen(),
+        uptime_micros: rng.gen(),
+        counters: random_name_values(rng),
+        gauges: random_name_values(rng),
+        histograms: (0..rng.gen_range(0u64..4))
+            .map(|_| HistogramSnapshot {
+                name: random_string(rng, 32),
+                count: rng.gen(),
+                total_ns: rng.gen(),
+                max_ns: rng.gen(),
+                buckets: (0..rng.gen_range(0u64..8))
+                    .map(|_| (rng.gen(), rng.gen()))
+                    .collect(),
+            })
+            .collect(),
+        events: (0..rng.gen_range(0u64..6))
+            .map(|_| TimelineEvent {
+                at_micros: rng.gen(),
+                name: random_string(rng, 24),
+                label: random_string(rng, 16),
+                id: rng.gen(),
+            })
+            .collect(),
+    }
+}
+
 /// One random message of every frame kind the codec knows.  Extending
 /// `WireMsg` without extending this list fails the `covers_every_kind`
 /// check below.
@@ -295,6 +330,8 @@ fn random_messages(rng: &mut StdRng) -> Vec<WireMsg> {
             rejected_out_of_range: rng.gen(),
             remote_fetches: rng.gen(),
         }),
+        WireMsg::GetMetrics,
+        WireMsg::Metrics(random_metrics_snapshot(rng)),
     ]
 }
 
@@ -310,12 +347,13 @@ fn generator_covers_every_wire_kind() {
             kinds.insert(frame[4]);
         }
     }
-    // 21 distinct kind bytes are on the wire today (Executed/Rejected share
+    // 23 distinct kind bytes are on the wire today (Executed/Rejected share
     // the REPLY kind; every MigrationMsg shares MIGRATION; the cancel work
-    // added CANCEL_MIGRATION, GET_CANCEL_STATS, and CANCEL_STATS).
+    // added CANCEL_MIGRATION, GET_CANCEL_STATS, and CANCEL_STATS; the
+    // telemetry work added GET_METRICS and METRICS).
     assert_eq!(
         kinds.len(),
-        21,
+        23,
         "frame kinds covered by the generator changed: {kinds:?}"
     );
 }

@@ -224,6 +224,45 @@ fn dead_target_cancels_the_migration_and_the_source_serves_everything_again() {
         stats.migrations_cancelled, stats.records_rolled_back, stats.heartbeats_missed
     );
 
+    // The source's migration-phase timeline, pulled over GET_METRICS, shows
+    // the lifecycle ending in a `cancelled` terminal event with sane
+    // monotonic timestamps: the migration started (sampling) strictly
+    // before it was cancelled.
+    let snap = ctrl.metrics().expect("metrics snapshot");
+    let phases: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "migration.phase" && e.id == migration_id)
+        .collect();
+    assert!(
+        !phases.is_empty(),
+        "no timeline events for migration {migration_id}: {:?}",
+        snap.events
+    );
+    let sampling = phases
+        .iter()
+        .find(|e| e.label == "sampling")
+        .unwrap_or_else(|| panic!("timeline has no sampling event: {phases:?}"));
+    let terminal = phases.last().unwrap();
+    assert_eq!(
+        terminal.label, "cancelled",
+        "the timeline must end in the cancelled terminal phase: {phases:?}"
+    );
+    assert!(
+        sampling.at_micros < terminal.at_micros,
+        "cancellation must postdate the sampling phase: {phases:?}"
+    );
+    assert!(
+        phases.iter().all(|e| e.label != "complete"),
+        "a cancelled migration must never reach complete: {phases:?}"
+    );
+    assert_eq!(
+        snap.counter("sv0.migration.cancelled"),
+        Some(1),
+        "registry counter disagrees with GET_CANCEL_STATS: {:?}",
+        snap.counters
+    );
+
     // Cancelling an already-cancelled migration is an idempotent no-op over
     // the wire, too.
     ctrl.cancel_migration(migration_id)

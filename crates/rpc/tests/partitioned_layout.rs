@@ -31,7 +31,7 @@ use shadowfax_net::{KvRequest, KvResponse, SessionConfig};
 use shadowfax_rpc::{CtrlClient, RemoteClient, RemoteClientConfig, WireOwnership};
 
 mod util;
-use util::{ClusterSpec, ProcessSpec};
+use util::{write_bench_json, ClusterSpec, ProcessSpec};
 
 const KEYS: u64 = 900;
 const VALUE_PAD: usize = 64;
@@ -346,4 +346,111 @@ fn three_process_partitioned_cluster_routes_migrates_and_cancels() {
             "key {key}: stored generation {stored_gen} is older than acknowledged {acked_gen}"
         );
     }
+    drop(acked);
+
+    // One versioned metrics snapshot per process, pulled over GET_METRICS.
+    // Every process served reads and writes above, so each one's
+    // serving-path latency histograms must be populated with nonzero
+    // quantiles, and every migrated counter family must be present.
+    let mut snaps = Vec::new();
+    for i in 0..cluster.len() {
+        let mut ctrl =
+            CtrlClient::connect(cluster.addr(i), Duration::from_secs(5)).expect("ctrl connect");
+        let snap = ctrl.metrics().expect("metrics snapshot");
+        assert_eq!(snap.version, 1, "process {i}: unexpected snapshot version");
+        for name in ["rpc.latency.read", "rpc.latency.upsert"] {
+            let h = snap
+                .histogram(name)
+                .unwrap_or_else(|| panic!("process {i}: {name} missing: {:?}", snap.histograms));
+            assert!(h.count > 0, "process {i}: {name} recorded nothing");
+            assert!(h.p50_ns() > 0, "process {i}: {name} p50 is zero: {h:?}");
+            assert!(h.p99_ns() > 0, "process {i}: {name} p99 is zero: {h:?}");
+            assert!(
+                h.p99_ns() >= h.p50_ns(),
+                "process {i}: {name} quantiles inverted: {h:?}"
+            );
+        }
+        assert!(
+            snap.counter_family(".store.upserts") > 0,
+            "process {i}: store counter family missing: {:?}",
+            snap.counters
+        );
+        assert!(
+            snap.counter("tier.chain.served").is_some(),
+            "process {i}: shared-tier counter family missing: {:?}",
+            snap.counters
+        );
+        let id = cluster.ids(i)[0];
+        assert!(
+            snap.gauge(&format!("sv{id}.ops.pending")).is_some(),
+            "process {i}: per-server gauge family missing: {:?}",
+            snap.gauges
+        );
+        snaps.push(snap);
+    }
+
+    // Process 1 sourced both migrations: its timeline must carry the
+    // complete lifecycle of the first (sampling through complete) and the
+    // cancelled terminal phase of the second.
+    let source_snap = &snaps[1];
+    let labels_of = |id: u64| -> Vec<&str> {
+        source_snap
+            .events
+            .iter()
+            .filter(|e| e.name == "migration.phase" && e.id == id)
+            .map(|e| e.label.as_str())
+            .collect()
+    };
+    let completed = labels_of(migration_id);
+    assert_eq!(
+        completed.first().copied(),
+        Some("sampling"),
+        "first migration's timeline must start at sampling: {completed:?}"
+    );
+    assert_eq!(
+        completed.last().copied(),
+        Some("complete"),
+        "first migration's timeline must end complete: {completed:?}"
+    );
+    let cancelled_phases = labels_of(cancel_id);
+    assert_eq!(
+        cancelled_phases.last().copied(),
+        Some("cancelled"),
+        "second migration's timeline must end cancelled: {cancelled_phases:?}"
+    );
+    assert_eq!(
+        source_snap.counter_family(".migration.cancelled"),
+        1,
+        "source process must count exactly one cancellation: {:?}",
+        source_snap.counters
+    );
+    let mig_ctrl = source_snap
+        .histogram("rpc.latency.migrate_ctrl")
+        .expect("migration-control latency histogram");
+    assert!(
+        mig_ctrl.count > 0,
+        "status polls never hit the migrate_ctrl histogram"
+    );
+
+    // Published in the CI job summary; one line per process.
+    for (i, snap) in snaps.iter().enumerate() {
+        let read = snap.histogram("rpc.latency.read").unwrap();
+        let upsert = snap.histogram("rpc.latency.upsert").unwrap();
+        println!(
+            "METRICS_SUMMARY p{i} uptime_s={} read_count={} read_p50_us={} read_p99_us={} \
+             upsert_count={} upsert_p50_us={} upsert_p99_us={} cancelled={} events={}",
+            snap.uptime_micros / 1_000_000,
+            read.count,
+            read.p50_ns() / 1_000,
+            read.p99_ns() / 1_000,
+            upsert.count,
+            upsert.p50_ns() / 1_000,
+            upsert.p99_ns() / 1_000,
+            snap.counter_family(".migration.cancelled"),
+            snap.events.len(),
+        );
+    }
+
+    // The checked-in perf trajectory of the partitioned serving path.
+    write_bench_json("BENCH_partitioned.json", "partitioned", &snaps);
 }

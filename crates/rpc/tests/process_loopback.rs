@@ -1,12 +1,19 @@
 //! End-to-end test with real OS processes: spawns the `shadowfax-server`
 //! binary, then drives it with the `shadowfax-cli` binary over loopback TCP
 //! — the acceptance path for the serving binaries.
+//!
+//! After the drive it pulls the server's metrics snapshot over GET_METRICS
+//! and regenerates `BENCH_loopback.json` at the repo root: the checked-in
+//! perf trajectory of the loopback serving path (CI uploads it as an
+//! artifact and fails if it is missing or unparsable).
 
 use std::process::Command;
 use std::time::Duration;
 
+use shadowfax_rpc::CtrlClient;
+
 mod util;
-use util::{ClusterSpec, ProcessSpec};
+use util::{write_bench_json, ClusterSpec, ProcessSpec};
 
 fn cli(addr: &str, args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_shadowfax-cli"))
@@ -108,4 +115,31 @@ fn server_and_cli_as_separate_processes() {
     );
     assert!(ok, "bench failed: {stderr}");
     assert!(stdout.contains("throughput"), "{stdout}");
+
+    // The CLI `metrics` verb round-trips against a live process.
+    let (ok, stdout, stderr) = cli(&addr, &["metrics", "--json"]);
+    assert!(ok, "metrics --json failed: {stderr}");
+    assert!(stdout.starts_with("{\"version\":1,"), "{stdout}");
+
+    // Pull the registry snapshot and persist the loopback perf trajectory.
+    // The bench above pushed thousands of pipelined reads and upserts
+    // through the serving path, so the latency histograms must be populated
+    // with sane quantiles.
+    let mut ctrl = CtrlClient::connect(&addr, Duration::from_secs(5)).expect("ctrl connect");
+    let snap = ctrl.metrics().expect("metrics snapshot");
+    assert_eq!(snap.version, 1, "unexpected snapshot version");
+    for name in ["rpc.latency.read", "rpc.latency.upsert"] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} histogram missing: {:?}", snap.histograms));
+        assert!(h.count > 0, "{name} recorded nothing under bench load");
+        assert!(h.p50_ns() > 0, "{name} p50 is zero: {h:?}");
+        assert!(h.p99_ns() >= h.p50_ns(), "{name} quantiles inverted: {h:?}");
+    }
+    assert!(
+        snap.counter_family(".store.upserts") > 0,
+        "store counter family missing from the registry: {:?}",
+        snap.counters
+    );
+    write_bench_json("BENCH_loopback.json", "loopback", &[snap]);
 }

@@ -56,14 +56,6 @@ impl DeviceCounters {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
     }
-
-    /// Resets all counters to zero (benchmark warm-up boundaries).
-    pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
-    }
 }
 
 impl CounterSnapshot {
@@ -93,14 +85,6 @@ mod tests {
         assert_eq!(s.writes, 1);
         assert_eq!(s.bytes_read, 150);
         assert_eq!(s.bytes_written, 200);
-    }
-
-    #[test]
-    fn reset_zeroes_everything() {
-        let c = DeviceCounters::new();
-        c.record_write(10);
-        c.reset();
-        assert_eq!(c.snapshot(), CounterSnapshot::default());
     }
 
     #[test]
