@@ -18,7 +18,7 @@ use crate::client::ShadowfaxClient;
 use crate::config::{ClientConfig, ServerConfig};
 use crate::hash_range::{HashRange, RangeSet};
 use crate::layout::{ClusterLayout, LayoutError, PeerOwns};
-use crate::meta::MetadataStore;
+use crate::meta::{MergeOutcome, MetaReplica, MetadataStore};
 use crate::server::{KvNetwork, MigrationConnector, MigrationNetwork, Server, ServerHandle};
 use crate::ServerId;
 
@@ -375,6 +375,63 @@ impl Cluster {
     /// The metadata store.
     pub fn meta(&self) -> &Arc<MetadataStore> {
         &self.meta
+    }
+
+    /// The metadata store behind the [`MetadataService`] seam.
+    pub fn meta_service(&self) -> Arc<dyn crate::MetadataService> {
+        Arc::clone(&self.meta) as Arc<dyn crate::MetadataService>
+    }
+
+    /// The control address of the *process* hosting `source`, when that
+    /// server is not hosted here and was registered with a socket address —
+    /// i.e. where a migration originated at this process must be forwarded
+    /// so the source's own process drives it.  `None` means the server is
+    /// local (or unknown / fabric-addressed) and the operation runs here.
+    pub fn remote_source_addr(&self, source: ServerId) -> Option<String> {
+        if self.server(source).is_some() {
+            return None;
+        }
+        let snapshot = self.meta.snapshot();
+        let meta = snapshot.server(source)?;
+        if meta.address.contains(':') {
+            Some(meta.address.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The control address of the process hosting the *source* of an
+    /// in-flight migration, when it is not this process (cancellations
+    /// originated elsewhere are forwarded there, since the source process
+    /// drives the rollback and the relay to the target).
+    pub fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String> {
+        match self.meta.migration_state(migration_id) {
+            Ok(Some(dep)) if !dep.cancelled => {
+                // Prefer the source's process; if the source is local the
+                // cancellation runs here.
+                self.remote_source_addr(dep.source)
+            }
+            _ => None,
+        }
+    }
+
+    /// Merges a metadata replica received from a peer process (the broker
+    /// fan-out path), then repairs local state: any dependency that
+    /// *became* cancelled through the merge has its involved local servers
+    /// drop in-flight migration state and re-adopt the post-cancellation
+    /// ownership map.
+    pub fn merge_meta_replica(&self, replica: &MetaReplica) -> MergeOutcome {
+        let outcome = self.meta.merge_replica(replica);
+        for dep in &outcome.newly_cancelled {
+            for id in [dep.source, dep.target] {
+                if let Some(server) = self.server(id) {
+                    server.cancel_migration_local(dep.id);
+                    server.abort_migration_state(dep.id);
+                    server.refresh_ownership_from_meta();
+                }
+            }
+        }
+        outcome
     }
 
     /// The client/server fabric (used to build additional clients).

@@ -65,7 +65,12 @@ pub enum PeerOwns {
 }
 
 /// Why a layout failed to parse or resolve.
+///
+/// Non-exhaustive so new failure modes can be added without breaking
+/// downstream matches; Display phrasing is lowercase-first with no
+/// trailing period (audited by the rpc crate's error-surface test).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LayoutError {
     /// The same global id was registered twice (e.g. a peer colliding with
     /// a local server).

@@ -48,6 +48,7 @@ mod indirection;
 mod layout;
 mod messages;
 mod meta;
+mod meta_service;
 mod migration;
 mod recovery;
 mod server;
@@ -66,7 +67,11 @@ pub use layout::{
     LayoutError, PeerOwns,
 };
 pub use messages::{MigratedItem, MigrationAckPhase, MigrationMsg};
-pub use meta::{MetaError, MetadataStore, MigrationDep, OwnershipSnapshot, ServerMeta};
+pub use meta::{
+    MergeOutcome, MetaError, MetaReplica, MetadataStore, MigrationDep, OwnershipSnapshot,
+    ServerMeta,
+};
+pub use meta_service::MetadataService;
 pub use migration::{
     BatchPull, IncomingMigration, MigrationBatchIter, MigrationReport, MigrationRole,
     OutgoingMigration, PendMode, SourcePhase,

@@ -10,6 +10,17 @@
 //! provides exactly those semantics in-process; nothing in the rest of the
 //! system can tell the difference from a real ZooKeeper ensemble, which is
 //! why this substitution is sound (see DESIGN.md §1).
+//!
+//! Multi-process clusters replicate the store: every mutation bumps a
+//! **cluster epoch**, and [`MetadataStore::replica`] /
+//! [`MetadataStore::merge_replica`] export and merge epoch-tagged copies of
+//! the whole store.  The merge is convergent — server entries are resolved
+//! by view number (ties broken deterministically on content), migration
+//! dependency flags only ever gain (`cancelled` / completion flags OR
+//! together), and the epoch joins upward — so a broker that pulls every
+//! peer's replica and fans the merged result back out drives all processes
+//! to the same map.  Migration ids are namespaced by source server id so
+//! ids minted by different processes never collide when replicas meet.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,16 +94,113 @@ impl OwnershipSnapshot {
     }
 }
 
+/// A full, epoch-tagged copy of the metadata store, exported for
+/// replication.  Server entries are sorted by id and dependencies by
+/// migration id so the encoding is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaReplica {
+    /// The cluster epoch at the exporting store.
+    pub epoch: u64,
+    /// The exporting store's migration sequence counter (merged via max so
+    /// a promoted broker keeps minting fresh ids).
+    pub next_migration_seq: u64,
+    /// Every registered server with its view, ownership, and address.
+    pub servers: Vec<(ServerId, ServerMeta)>,
+    /// In-flight migration dependencies.
+    pub pending: Vec<MigrationDep>,
+    /// Durably completed migrations (retained for status queries).
+    pub completed: Vec<MigrationDep>,
+    /// Cancelled migrations (retained for status queries).
+    pub cancelled: Vec<MigrationDep>,
+}
+
+/// What [`MetadataStore::merge_replica`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Whether the merge changed any local state.
+    pub changed: bool,
+    /// The local epoch after the merge (joined upward, bumped when the
+    /// merge changed content).
+    pub epoch: u64,
+    /// Dependencies that *became* cancelled through this merge — the hook
+    /// the cluster uses to roll back involved local servers.
+    pub newly_cancelled: Vec<MigrationDep>,
+}
+
+/// Migration ids are namespaced by the source server id (high bits) over a
+/// per-store sequence (low bits), so ids minted concurrently by different
+/// processes never collide once replicas merge.
+const MIGRATION_SEQ_BITS: u32 = 40;
+
+fn compose_migration_id(source: ServerId, seq: u64) -> u64 {
+    ((source.0 as u64) << MIGRATION_SEQ_BITS) | (seq & ((1u64 << MIGRATION_SEQ_BITS) - 1))
+}
+
 #[derive(Debug, Default)]
 struct MetaInner {
     servers: HashMap<ServerId, ServerMeta>,
     migrations: Vec<MigrationDep>,
+    /// Completed migrations, retained so a status query for an id minted at
+    /// *another* process (learned through replica merge) can still answer
+    /// "complete" rather than "unknown".  Migrations are rare, so retention
+    /// is unbounded, mirroring `cancelled`.
+    completed: Vec<MigrationDep>,
     /// Cancelled migrations, retained so status queries can distinguish
-    /// "completed and garbage collected" from "rolled back".  Cancellations
-    /// are rare (crash recovery), so retention is unbounded — evicting one
-    /// would make its status read as a success.
+    /// "completed" from "rolled back".  Cancellations are rare (crash
+    /// recovery), so retention is unbounded — evicting one would make its
+    /// status read as a success.
     cancelled: Vec<MigrationDep>,
-    next_migration_id: u64,
+    next_migration_seq: u64,
+    /// The cluster epoch: bumped on every mutation, joined upward on
+    /// replica merge.  Replication uses it to decide which peers still
+    /// need a fan-out and when a cancellation has converged.
+    epoch: u64,
+}
+
+impl MetaInner {
+    /// Which retention list holds `id`, if any.
+    fn find_dep(&self, id: u64) -> Option<(DepList, usize)> {
+        if let Some(i) = self.migrations.iter().position(|d| d.id == id) {
+            return Some((DepList::Pending, i));
+        }
+        if let Some(i) = self.completed.iter().position(|d| d.id == id) {
+            return Some((DepList::Completed, i));
+        }
+        if let Some(i) = self.cancelled.iter().position(|d| d.id == id) {
+            return Some((DepList::Cancelled, i));
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DepList {
+    Pending,
+    Completed,
+    Cancelled,
+}
+
+/// The retention list a dependency belongs in, derived from its flags.
+fn dep_list_for(dep: &MigrationDep) -> DepList {
+    if dep.cancelled {
+        DepList::Cancelled
+    } else if dep.is_complete() {
+        DepList::Completed
+    } else {
+        DepList::Pending
+    }
+}
+
+/// A deterministic total order on server-entry content, used only to break
+/// equal-view conflicts during replica merge so every process converges on
+/// the same winner.
+fn merge_rank(m: &ServerMeta) -> (Vec<(u64, u64)>, String, usize, u64) {
+    (
+        m.owned.ranges().iter().map(|r| (r.start, r.end)).collect(),
+        m.address.clone(),
+        m.threads,
+        m.view,
+    )
 }
 
 /// The in-process metadata store.
@@ -125,6 +233,7 @@ impl MetadataStore {
                 threads,
             },
         );
+        inner.epoch += 1;
     }
 
     /// Registers a server like [`MetadataStore::register_server`], but
@@ -170,12 +279,31 @@ impl MetadataStore {
                 threads,
             },
         );
+        inner.epoch += 1;
         Ok(())
     }
 
     /// Removes a server (scale-in after its ranges have been migrated away).
     pub fn deregister_server(&self, id: ServerId) {
-        self.inner.lock().servers.remove(&id);
+        let mut inner = self.inner.lock();
+        if inner.servers.remove(&id).is_some() {
+            inner.epoch += 1;
+        }
+    }
+
+    /// The cluster epoch: bumped on every mutation, joined upward on
+    /// replica merge.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Explicitly advances the cluster epoch without changing content — a
+    /// newly promoted broker uses this so its first fan-out is tagged with
+    /// an epoch strictly later than anything the failed broker sent.
+    pub fn bump_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.epoch
     }
 
     /// The current view number of `id`.
@@ -203,6 +331,11 @@ impl MetadataStore {
     /// Atomically moves `ranges` from `source` to `target`: both servers'
     /// view numbers are incremented, the ownership mappings updated, and a
     /// migration dependency recorded (paper §3.3 "Sampling" step 1).
+    ///
+    /// Conflicting migrations are serialized here: a transfer whose ranges
+    /// overlap an in-flight dependency (e.g. migrating onward ranges whose
+    /// previous migration has not completed on both sides) is rejected with
+    /// [`MetaError::ConflictingMigration`] until that dependency settles.
     ///
     /// Returns `(migration id, new source view, new target view)`.
     pub fn transfer_ownership(
@@ -233,9 +366,25 @@ impl MetadataStore {
                 .servers
                 .get(&target)
                 .ok_or(MetaError::UnknownServer(target))?;
+            for dep in &inner.migrations {
+                for theirs in &dep.ranges {
+                    for ours in ranges {
+                        if ours.overlaps(theirs) {
+                            return Err(MetaError::ConflictingMigration {
+                                conflicting: dep.id,
+                                range: HashRange::new(
+                                    ours.start.max(theirs.start),
+                                    ours.end.min(theirs.end),
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
         }
-        let id = inner.next_migration_id;
-        inner.next_migration_id += 1;
+        let seq = inner.next_migration_seq;
+        inner.next_migration_seq += 1;
+        let id = compose_migration_id(source, seq);
         let src = inner.servers.get_mut(&source).unwrap();
         src.owned.remove(ranges);
         src.view += 1;
@@ -253,19 +402,22 @@ impl MetadataStore {
             target_complete: false,
             cancelled: false,
         });
+        inner.epoch += 1;
         Ok((id, new_source_view, new_target_view))
     }
 
     /// Marks one side of a migration complete.  Once both sides are complete
-    /// the dependency is garbage collected.  Returns `true` if the dependency
-    /// is now fully resolved.
+    /// the dependency moves to the completed-retention list (no longer
+    /// consulted by recovery, but still answering status queries).  Returns
+    /// `true` if the dependency is now fully resolved.
     pub fn mark_complete(&self, migration_id: u64, server: ServerId) -> Result<bool, MetaError> {
         let mut inner = self.inner.lock();
-        let dep = inner
+        let pos = inner
             .migrations
-            .iter_mut()
-            .find(|d| d.id == migration_id)
+            .iter()
+            .position(|d| d.id == migration_id)
             .ok_or(MetaError::UnknownMigration(migration_id))?;
+        let dep = &mut inner.migrations[pos];
         if dep.source == server {
             dep.source_complete = true;
         } else if dep.target == server {
@@ -275,8 +427,10 @@ impl MetadataStore {
         }
         let done = dep.is_complete();
         if done {
-            inner.migrations.retain(|d| d.id != migration_id);
+            let dep = inner.migrations.remove(pos);
+            inner.completed.push(dep);
         }
+        inner.epoch += 1;
         Ok(done)
     }
 
@@ -302,6 +456,7 @@ impl MetadataStore {
             src.view += 1;
         }
         inner.cancelled.push(dep.clone());
+        inner.epoch += 1;
         Ok(dep)
     }
 
@@ -323,24 +478,167 @@ impl MetadataStore {
 
     /// The state of migration `id`: `Ok(Some(dep))` while it is in flight
     /// or was cancelled (`dep.cancelled` distinguishes them), `Ok(None)`
-    /// once both sides completed (the dependency has been garbage
-    /// collected), and `Err` if no such migration was ever issued.
+    /// once both sides completed, and `Err` if no such migration was ever
+    /// issued (or learned through replication).
     pub fn migration_state(&self, id: u64) -> Result<Option<MigrationDep>, MetaError> {
         let inner = self.inner.lock();
-        if id >= inner.next_migration_id {
-            return Err(MetaError::UnknownMigration(id));
+        match inner.find_dep(id) {
+            Some((DepList::Pending, i)) => Ok(Some(inner.migrations[i].clone())),
+            Some((DepList::Cancelled, i)) => Ok(Some(inner.cancelled[i].clone())),
+            Some((DepList::Completed, _)) => Ok(None),
+            None => Err(MetaError::UnknownMigration(id)),
         }
-        Ok(inner
-            .migrations
+    }
+
+    /// Every in-flight migration dependency (the broker's coordinator scans
+    /// these for conflicts and unconverged cancellations).
+    pub fn pending_deps(&self) -> Vec<MigrationDep> {
+        self.inner.lock().migrations.clone()
+    }
+
+    /// Every cancelled migration dependency still retained.
+    pub fn cancelled_deps(&self) -> Vec<MigrationDep> {
+        self.inner.lock().cancelled.clone()
+    }
+
+    /// Exports a full, epoch-tagged copy of the store for replication.
+    pub fn replica(&self) -> MetaReplica {
+        let inner = self.inner.lock();
+        let mut servers: Vec<(ServerId, ServerMeta)> = inner
+            .servers
             .iter()
-            .chain(inner.cancelled.iter())
-            .find(|d| d.id == id)
-            .cloned())
+            .map(|(id, m)| (*id, m.clone()))
+            .collect();
+        servers.sort_by_key(|(id, _)| *id);
+        let sorted = |v: &[MigrationDep]| {
+            let mut v = v.to_vec();
+            v.sort_by_key(|d| d.id);
+            v
+        };
+        MetaReplica {
+            epoch: inner.epoch,
+            next_migration_seq: inner.next_migration_seq,
+            servers,
+            pending: sorted(&inner.migrations),
+            completed: sorted(&inner.completed),
+            cancelled: sorted(&inner.cancelled),
+        }
+    }
+
+    /// Merges a replica exported by another process into this store.
+    ///
+    /// The merge is convergent and commutative over repeated application:
+    ///
+    /// * a server entry is adopted when the incoming view is newer (equal
+    ///   views with different content break the tie deterministically on
+    ///   content, so every process picks the same winner) — except its
+    ///   *address*, which is process-local routing (a fabric name where
+    ///   the server is hosted, a socket address everywhere else) and is
+    ///   never overwritten once locally registered,
+    /// * dependency flags only ever gain — completion flags and
+    ///   `cancelled` OR together, and the dependency settles into the
+    ///   retention list its merged flags dictate,
+    /// * the migration sequence counter and the epoch join upward; a merge
+    ///   that changed content bumps the epoch past both inputs so the
+    ///   change propagates on the next fan-out.
+    ///
+    /// Ownership rollback for a dependency that *became* cancelled through
+    /// the merge is carried by the accompanying server entries (the
+    /// cancelling store bumped both views); the ids are reported in
+    /// [`MergeOutcome::newly_cancelled`] so the cluster can roll back any
+    /// involved local server's in-flight state.
+    pub fn merge_replica(&self, replica: &MetaReplica) -> MergeOutcome {
+        let mut inner = self.inner.lock();
+        let mut changed = false;
+        let mut newly_cancelled = Vec::new();
+        for (id, incoming) in &replica.servers {
+            // Addresses are process-local routing facts, not replicated
+            // state: the same server is a fabric name in the process that
+            // hosts it and a socket address everywhere else.  An adopted
+            // entry therefore keeps the locally registered address; only a
+            // server unknown to this store takes the exporter's address.
+            let mut incoming = incoming.clone();
+            if let Some(local) = inner.servers.get(id) {
+                incoming.address = local.address.clone();
+            }
+            let adopt = match inner.servers.get(id) {
+                None => true,
+                Some(local) => {
+                    incoming.view > local.view
+                        || (incoming.view == local.view
+                            && &incoming != local
+                            && merge_rank(&incoming) > merge_rank(local))
+                }
+            };
+            if adopt {
+                inner.servers.insert(*id, incoming);
+                changed = true;
+            }
+        }
+        for incoming in replica
+            .pending
+            .iter()
+            .chain(&replica.completed)
+            .chain(&replica.cancelled)
+        {
+            let merged = match inner.find_dep(incoming.id) {
+                Some((list, i)) => {
+                    let local = match list {
+                        DepList::Pending => inner.migrations.remove(i),
+                        DepList::Completed => inner.completed.remove(i),
+                        DepList::Cancelled => inner.cancelled.remove(i),
+                    };
+                    let mut merged = local.clone();
+                    merged.source_complete |= incoming.source_complete;
+                    merged.target_complete |= incoming.target_complete;
+                    merged.cancelled |= incoming.cancelled;
+                    if merged != local {
+                        changed = true;
+                        if merged.cancelled && !local.cancelled {
+                            newly_cancelled.push(merged.clone());
+                        }
+                    }
+                    merged
+                }
+                None => {
+                    changed = true;
+                    if incoming.cancelled {
+                        newly_cancelled.push(incoming.clone());
+                    }
+                    incoming.clone()
+                }
+            };
+            // `dep_list_for` checks `cancelled` first, so a cancelled
+            // dependency stays in the cancelled list even if a laggard
+            // replica delivered both completion flags.
+            match dep_list_for(&merged) {
+                DepList::Pending => inner.migrations.push(merged),
+                DepList::Completed => inner.completed.push(merged),
+                DepList::Cancelled => inner.cancelled.push(merged),
+            }
+        }
+        if replica.next_migration_seq > inner.next_migration_seq {
+            inner.next_migration_seq = replica.next_migration_seq;
+            changed = true;
+        }
+        let joined = inner.epoch.max(replica.epoch);
+        inner.epoch = if changed { joined + 1 } else { joined };
+        MergeOutcome {
+            changed,
+            epoch: inner.epoch,
+            newly_cancelled,
+        }
     }
 }
 
 /// Errors returned by the metadata store.
+///
+/// `Display` phrasing is uniform across the public error surface
+/// ([`MetaError`], [`crate::LayoutError`], and the RPC crate's `RpcError`):
+/// lowercase, no trailing period, `detail: context` ordering — audited by a
+/// unit test so scripts and logs can rely on it.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MetaError {
     /// The server is not registered.
     UnknownServer(ServerId),
@@ -365,6 +663,21 @@ pub enum MetaError {
         /// Where the claims collide.
         range: HashRange,
     },
+    /// The requested transfer overlaps an in-flight migration; conflicting
+    /// migrations are serialized, retry once the earlier one settles.
+    ConflictingMigration {
+        /// The in-flight migration it collides with.
+        conflicting: u64,
+        /// Where the range sets collide.
+        range: HashRange,
+    },
+    /// No broker/coordinator is reachable to serve the mutation — the
+    /// typed unavailability a replicated deployment reports between a
+    /// broker failure and the next promotion.
+    CoordinatorUnavailable {
+        /// What was unreachable and why.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for MetaError {
@@ -384,6 +697,13 @@ impl std::fmt::Display for MetaError {
                 f,
                 "registration of {server:?} overlaps {other:?} at {range}"
             ),
+            MetaError::ConflictingMigration { conflicting, range } => write!(
+                f,
+                "transfer overlaps in-flight migration {conflicting} at {range}"
+            ),
+            MetaError::CoordinatorUnavailable { detail } => {
+                write!(f, "metadata coordinator unavailable: {detail}")
+            }
         }
     }
 }
@@ -518,6 +838,192 @@ mod tests {
         // A disjoint claim goes through.
         meta.try_register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges([parts[1]]))
             .expect("disjoint registration");
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let meta = MetadataStore::new();
+        let e0 = meta.epoch();
+        let parts = partition_space(2);
+        meta.register_server(ServerId(0), "sv0", 2, RangeSet::from_ranges([parts[0]]));
+        meta.register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges([parts[1]]));
+        let e1 = meta.epoch();
+        assert!(e1 > e0, "registration must bump the epoch");
+        let moved = parts[0].take_fraction(0.1);
+        let (id, ..) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        let e2 = meta.epoch();
+        assert!(e2 > e1, "transfer must bump the epoch");
+        meta.cancel_migration(id).unwrap();
+        assert!(meta.epoch() > e2, "cancellation must bump the epoch");
+        let before = meta.epoch();
+        assert_eq!(meta.bump_epoch(), before + 1);
+    }
+
+    #[test]
+    fn migration_ids_are_namespaced_by_source() {
+        let a = two_server_store();
+        let b = two_server_store();
+        let moved_a = partition_space(2)[0].take_fraction(0.1);
+        let moved_b = partition_space(2)[1].take_fraction(0.1);
+        let (id_a, ..) = a
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved_a])
+            .unwrap();
+        let (id_b, ..) = b
+            .transfer_ownership(ServerId(1), ServerId(0), &[moved_b])
+            .unwrap();
+        // Both stores minted seq 0, but the source id keeps them distinct
+        // once replicas meet.
+        assert_ne!(id_a, id_b);
+    }
+
+    #[test]
+    fn completed_migrations_keep_answering_status() {
+        let meta = two_server_store();
+        let moved = partition_space(2)[0].take_fraction(0.1);
+        let (id, ..) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        meta.mark_complete(id, ServerId(0)).unwrap();
+        meta.mark_complete(id, ServerId(1)).unwrap();
+        assert_eq!(meta.pending_migrations(), 0);
+        assert_eq!(meta.migration_state(id), Ok(None), "completed, not unknown");
+        assert!(matches!(
+            meta.migration_state(id + 999),
+            Err(MetaError::UnknownMigration(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_transfer_is_serialized_behind_the_pending_one() {
+        let meta = two_server_store();
+        let moved = partition_space(2)[0].take_fraction(0.5);
+        let (id, ..) = meta
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        // The target cannot migrate the in-flight ranges onward until the
+        // first migration completes on both sides.
+        let err = meta
+            .transfer_ownership(ServerId(1), ServerId(0), &[moved])
+            .unwrap_err();
+        match err {
+            MetaError::ConflictingMigration { conflicting, .. } => assert_eq!(conflicting, id),
+            other => panic!("expected ConflictingMigration, got {other:?}"),
+        }
+        meta.mark_complete(id, ServerId(0)).unwrap();
+        meta.mark_complete(id, ServerId(1)).unwrap();
+        meta.transfer_ownership(ServerId(1), ServerId(0), &[moved])
+            .expect("settled dependency no longer conflicts");
+    }
+
+    #[test]
+    fn replica_merge_converges_two_divergent_stores() {
+        let a = two_server_store();
+        let b = two_server_store();
+        // Store A migrates; store B knows nothing about it.
+        let moved = partition_space(2)[0].take_fraction(0.25);
+        let (id, ..) = a
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        let out = b.merge_replica(&a.replica());
+        assert!(out.changed);
+        assert!(out.newly_cancelled.is_empty());
+        assert_eq!(b.owner_of(moved.start).unwrap().0, ServerId(1));
+        assert_eq!(
+            b.migration_state(id).unwrap().map(|d| d.cancelled),
+            Some(false)
+        );
+        // Merging the same replica again is a no-op at a stable epoch.
+        let again = b.merge_replica(&a.replica());
+        assert!(!again.changed, "second merge must be idempotent");
+        // B cancels; merging B back into A reports the cancellation and
+        // rolls ownership back by view.
+        b.cancel_migration(id).unwrap();
+        let out = a.merge_replica(&b.replica());
+        assert!(out.changed);
+        assert_eq!(out.newly_cancelled.len(), 1);
+        assert_eq!(out.newly_cancelled[0].id, id);
+        assert_eq!(a.owner_of(moved.start).unwrap().0, ServerId(0));
+        // Cross-merge until quiescent: both sides settle on the same state.
+        loop {
+            let ab = a.merge_replica(&b.replica()).changed;
+            let ba = b.merge_replica(&a.replica()).changed;
+            if !ab && !ba {
+                break;
+            }
+        }
+        assert_eq!(a.replica(), b.replica(), "stores must converge");
+    }
+
+    #[test]
+    fn merge_keeps_locally_registered_addresses() {
+        // The same two servers as seen by two processes: each is a local
+        // fabric name in its own process and a socket address in the other.
+        let halves = partition_space(2);
+        let a = MetadataStore::new();
+        a.register_server(
+            ServerId(0),
+            "fabric-0",
+            2,
+            RangeSet::from_ranges([halves[0]]),
+        );
+        a.register_server(
+            ServerId(1),
+            "127.0.0.1:4871",
+            2,
+            RangeSet::from_ranges([halves[1]]),
+        );
+        let b = MetadataStore::new();
+        b.register_server(
+            ServerId(0),
+            "127.0.0.1:4870",
+            2,
+            RangeSet::from_ranges([halves[0]]),
+        );
+        b.register_server(
+            ServerId(1),
+            "fabric-1",
+            2,
+            RangeSet::from_ranges([halves[1]]),
+        );
+        // A migration at A bumps both involved views, so B adopts A's
+        // entries on merge — ranges and views, but never the addresses.
+        let moved = halves[0].take_fraction(0.25);
+        a.transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        b.merge_replica(&a.replica());
+        assert_eq!(b.owner_of(moved.start).unwrap().0, ServerId(1));
+        let snap = b.snapshot();
+        assert_eq!(snap.server(ServerId(0)).unwrap().address, "127.0.0.1:4870");
+        assert_eq!(snap.server(ServerId(1)).unwrap().address, "fabric-1");
+        // Cross-merge to quiescence: the stores converge on everything
+        // except the address column, which stays process-local.
+        loop {
+            let ab = a.merge_replica(&b.replica()).changed;
+            let ba = b.merge_replica(&a.replica()).changed;
+            if !ab && !ba {
+                break;
+            }
+        }
+        let a_snap = a.snapshot();
+        assert_eq!(a_snap.server(ServerId(0)).unwrap().address, "fabric-0");
+        assert_eq!(
+            a_snap.server(ServerId(1)).unwrap().address,
+            "127.0.0.1:4871"
+        );
+    }
+
+    #[test]
+    fn merge_never_downgrades_a_newer_view() {
+        let a = two_server_store();
+        let stale = a.replica();
+        let moved = partition_space(2)[0].take_fraction(0.25);
+        a.transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        let out = a.merge_replica(&stale);
+        assert_eq!(a.owner_of(moved.start).unwrap().0, ServerId(1));
+        assert!(out.newly_cancelled.is_empty());
     }
 
     #[test]

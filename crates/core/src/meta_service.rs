@@ -1,0 +1,149 @@
+//! The metadata-service seam: one trait over the handful of linearizable
+//! operations the rest of the system needs from the metadata store, with
+//! two implementations.
+//!
+//! * [`MetadataStore`] — the in-process store every deployment starts
+//!   from.  Single-process clusters use it directly and never pay for
+//!   replication.
+//! * The RPC crate's `ReplicatedMetadata` — wraps the local store in a
+//!   broker/coordinator deployment: reads answer from the continuously
+//!   merged local replica, mutations require a reachable broker and fail
+//!   with the typed [`MetaError::CoordinatorUnavailable`] between a broker
+//!   failure and the next promotion.
+//!
+//! The trait is object-safe so control planes can hold
+//! `Arc<dyn MetadataService>` and swap implementations per deployment.
+
+use crate::hash_range::HashRange;
+use crate::meta::{
+    MergeOutcome, MetaError, MetaReplica, MetadataStore, MigrationDep, OwnershipSnapshot,
+};
+use crate::ServerId;
+
+/// The linearizable metadata operations the protocol needs (paper §3), as
+/// a seam between the in-process store and a replicated deployment.
+pub trait MetadataService: Send + Sync {
+    /// A consistent snapshot of all ownership mappings.
+    fn snapshot(&self) -> OwnershipSnapshot;
+
+    /// The current view number of `id`.
+    fn view_of(&self, id: ServerId) -> Option<u64>;
+
+    /// The `(server, view)` owning `hash`, if any.
+    fn owner_of(&self, hash: u64) -> Option<(ServerId, u64)>;
+
+    /// The cluster epoch (bumped on every mutation).
+    fn epoch(&self) -> u64;
+
+    /// Atomically moves `ranges` from `source` to `target`; see
+    /// [`MetadataStore::transfer_ownership`].
+    fn transfer_ownership(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        ranges: &[HashRange],
+    ) -> Result<(u64, u64, u64), MetaError>;
+
+    /// Marks one side of a migration complete.
+    fn mark_complete(&self, migration_id: u64, server: ServerId) -> Result<bool, MetaError>;
+
+    /// Cancels an in-flight migration, rolling ownership back to the source.
+    fn cancel_migration(&self, migration_id: u64) -> Result<MigrationDep, MetaError>;
+
+    /// The state of migration `id`; see [`MetadataStore::migration_state`].
+    fn migration_state(&self, id: u64) -> Result<Option<MigrationDep>, MetaError>;
+
+    /// Number of unresolved migration dependencies.
+    fn pending_migrations(&self) -> usize;
+
+    /// Any unresolved dependency involving `server`.
+    fn pending_dependency_for(&self, server: ServerId) -> Option<MigrationDep>;
+
+    /// Exports an epoch-tagged copy of the store for replication.
+    fn replica(&self) -> MetaReplica;
+
+    /// Merges a replica exported by another process.
+    fn merge_replica(&self, replica: &MetaReplica) -> MergeOutcome;
+}
+
+impl MetadataService for MetadataStore {
+    fn snapshot(&self) -> OwnershipSnapshot {
+        MetadataStore::snapshot(self)
+    }
+
+    fn view_of(&self, id: ServerId) -> Option<u64> {
+        MetadataStore::view_of(self, id)
+    }
+
+    fn owner_of(&self, hash: u64) -> Option<(ServerId, u64)> {
+        MetadataStore::owner_of(self, hash)
+    }
+
+    fn epoch(&self) -> u64 {
+        MetadataStore::epoch(self)
+    }
+
+    fn transfer_ownership(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        ranges: &[HashRange],
+    ) -> Result<(u64, u64, u64), MetaError> {
+        MetadataStore::transfer_ownership(self, source, target, ranges)
+    }
+
+    fn mark_complete(&self, migration_id: u64, server: ServerId) -> Result<bool, MetaError> {
+        MetadataStore::mark_complete(self, migration_id, server)
+    }
+
+    fn cancel_migration(&self, migration_id: u64) -> Result<MigrationDep, MetaError> {
+        MetadataStore::cancel_migration(self, migration_id)
+    }
+
+    fn migration_state(&self, id: u64) -> Result<Option<MigrationDep>, MetaError> {
+        MetadataStore::migration_state(self, id)
+    }
+
+    fn pending_migrations(&self) -> usize {
+        MetadataStore::pending_migrations(self)
+    }
+
+    fn pending_dependency_for(&self, server: ServerId) -> Option<MigrationDep> {
+        MetadataStore::pending_dependency_for(self, server)
+    }
+
+    fn replica(&self) -> MetaReplica {
+        MetadataStore::replica(self)
+    }
+
+    fn merge_replica(&self, replica: &MetaReplica) -> MergeOutcome {
+        MetadataStore::merge_replica(self, replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_range::{partition_space, RangeSet};
+    use std::sync::Arc;
+
+    #[test]
+    fn local_store_serves_through_the_seam() {
+        let store = MetadataStore::new();
+        let parts = partition_space(2);
+        store.register_server(ServerId(0), "sv0", 2, RangeSet::from_ranges([parts[0]]));
+        store.register_server(ServerId(1), "sv1", 2, RangeSet::from_ranges([parts[1]]));
+        let svc: Arc<dyn MetadataService> = store;
+        assert_eq!(svc.owner_of(0).unwrap().0, ServerId(0));
+        let moved = parts[0].take_fraction(0.1);
+        let (id, ..) = svc
+            .transfer_ownership(ServerId(0), ServerId(1), &[moved])
+            .unwrap();
+        assert_eq!(svc.pending_migrations(), 1);
+        let dep = svc.cancel_migration(id).unwrap();
+        assert!(dep.cancelled);
+        assert!(svc.epoch() > 0);
+        let replica = svc.replica();
+        assert_eq!(replica.cancelled.len(), 1);
+    }
+}

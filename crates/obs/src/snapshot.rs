@@ -123,6 +123,41 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// The slice of this snapshot whose instrument names start with
+    /// `prefix` — what a `GET_METRICS` namespace query answers with.
+    /// Version and uptime are preserved; counters, gauges, histograms,
+    /// and timeline events outside the namespace are dropped.
+    pub fn filtered(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: self.version,
+            uptime_micros: self.uptime_micros,
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Human-readable exposition (the CLI's default `metrics` output).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -303,6 +338,23 @@ mod tests {
         let h = HistogramSnapshot::default();
         assert_eq!(h.p50_ns(), 0);
         assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn filtered_keeps_only_the_namespace() {
+        let mut s = sample_snapshot();
+        s.counters = vec![
+            ("broker.cancel.retries".into(), 4),
+            ("sv0.migration.cancelled".into(), 1),
+        ];
+        let ns = s.filtered("broker.");
+        assert_eq!(ns.counters, vec![("broker.cancel.retries".into(), 4)]);
+        assert!(ns.gauges.is_empty());
+        assert!(ns.histograms.is_empty());
+        assert!(ns.events.is_empty());
+        assert_eq!(ns.version, s.version);
+        let all = s.filtered("");
+        assert_eq!(all, s);
     }
 
     #[test]

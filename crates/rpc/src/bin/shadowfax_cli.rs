@@ -1,48 +1,69 @@
 //! `shadowfax-cli`: a command-line client speaking the Shadowfax wire
 //! protocol.
 //!
+//! Commands form a noun-verb tree (one shared parser normalizes every
+//! spelling before dispatch):
+//!
 //! ```text
 //! shadowfax-cli --addr HOST:PORT <command> [args]
 //!
 //! commands:
 //!   ping                         liveness probe
-//!   ownership                    print the cluster's ownership map
 //!   get KEY                      read a key
 //!   put KEY VALUE                upsert a key (VALUE is UTF-8)
 //!   del KEY                      delete a key
 //!   rmw KEY DELTA                increment the counter at KEY by DELTA
-//!   migrate FROM TO FRACTION [--no-wait] [--timeout SECS]
+//!
+//!   migrate start FROM TO FRACTION [--no-wait] [--timeout SECS]
 //!                                move FRACTION of FROM's first range to TO;
 //!                                waits for the migration to settle unless
-//!                                --no-wait is given
-//!   wait ID [--timeout SECS]     wait until migration ID settles (completes
+//!                                --no-wait is given.  Any process of the
+//!                                cluster can originate the migration; one
+//!                                that does not host FROM relays it.
+//!   migrate wait ID [--timeout SECS]
+//!                                wait until migration ID settles (completes
 //!                                on both sides, or is cancelled)
-//!   status ID                    print the state of migration ID
-//!   cancel ID                    cancel migration ID: ownership of the
+//!   migrate status ID            print the state of migration ID
+//!   migrate cancel ID            cancel migration ID: ownership of the
 //!                                migrating ranges rolls back to the source
 //!                                and both servers drop their in-flight state
-//!   tier-stats                   print the process's shared-tier chain-fetch
-//!                                counters
-//!   cancel-stats                 print the process's migration-cancellation
+//!   migrate stats                print the process's migration-cancellation
 //!                                counters (heartbeats missed, migrations
 //!                                cancelled, records rolled back)
-//!   metrics [--json]             pull the process's full metrics snapshot:
-//!                                every counter family, gauge, serving-path
-//!                                latency histogram, and the migration-phase
-//!                                event timeline; --json emits one JSON
-//!                                object (the BENCH_*.json schema)
 //!
-//! Exit codes (shared by migrate/wait/status so scripts never parse text):
-//!   0  success / migration complete or in flight (status)
-//!   1  error (unknown migration id, unreachable server, ...)
-//!   3  `get` found no value
-//!   4  the migration was cancelled and rolled back
-//!   5  the wait deadline expired while the migration was still in flight
+//!   tier stats                   print the process's shared-tier chain-fetch
+//!                                counters
+//!
+//!   cluster status               print the process's coordinator role
+//!                                (solo/broker/follower), the broker address,
+//!                                the cluster epoch, and each peer's acked
+//!                                epoch and reachability
+//!   cluster layout               print the cluster's ownership map
+//!
+//!   metrics [--json] [--ns PREFIX]
+//!                                pull the process's metrics snapshot: every
+//!                                counter family, gauge, serving-path latency
+//!                                histogram, and the migration-phase event
+//!                                timeline; --json emits one JSON object (the
+//!                                BENCH_*.json schema); --ns keeps only
+//!                                instruments under PREFIX (e.g. broker.)
 //!   bench [--ops N] [--keys K] [--value-size B] [--read-fraction F]
 //!         [--zipf] [--batch OPS] [--inflight B]
 //!                                loopback throughput benchmark (pipelined
 //!                                batches over real sockets)
 //! ```
+//!
+//! The pre-tree flat verbs — `migrate FROM TO FRACTION`, `wait`, `status`,
+//! `cancel`, `cancel-stats`, `tier-stats`, `ownership` — keep working as
+//! hidden aliases of the commands above.
+//!
+//! Exit codes (shared by every verb so scripts never parse text):
+//!   0   success / migration complete or in flight (status)
+//!   1   error (unknown migration id, unreachable server, ...)
+//!   3   `get` found no value
+//!   4   the migration was cancelled and rolled back
+//!   5   the wait deadline expired while the migration was still in flight
+//!   64  usage error (unknown command/flag, malformed argument)
 
 use std::time::Duration;
 
@@ -51,21 +72,25 @@ use shadowfax_rpc::{
     run_bench, BenchOptions, CtrlClient, RemoteClient, RemoteClientConfig, RpcError,
 };
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: shadowfax-cli --addr HOST:PORT \
-         (ping | ownership | get K | put K V | del K | rmw K D | \
-         migrate FROM TO FRACTION | wait ID | status ID | cancel ID | \
-         tier-stats | cancel-stats | metrics [--json] | bench [opts])"
-    );
-    std::process::exit(2)
-}
-
+/// Exit code for malformed invocations (`EX_USAGE`), distinct from
+/// runtime failures (1).
+const EXIT_USAGE: i32 = 64;
 /// Exit code for a wait deadline that expired with the migration still in
 /// flight (documented next to 1 = unknown/error and 4 = cancelled).
 const EXIT_TIMEOUT: i32 = 5;
 /// Exit code for a migration that was cancelled and rolled back.
 const EXIT_CANCELLED: i32 = 4;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shadowfax-cli --addr HOST:PORT \
+         (ping | get K | put K V | del K | rmw K D | \
+         migrate (start FROM TO FRACTION | wait ID | status ID | cancel ID | stats) | \
+         tier stats | cluster (status | layout) | \
+         metrics [--json] [--ns PREFIX] | bench [opts])"
+    );
+    std::process::exit(EXIT_USAGE)
+}
 
 fn fail(e: RpcError) -> ! {
     eprintln!("error: {e}");
@@ -99,6 +124,78 @@ fn client_for(addr: &str, session: SessionConfig) -> RemoteClient {
     RemoteClient::connect(config).unwrap_or_else(|e| fail(e))
 }
 
+fn ctrl_for(addr: &str) -> CtrlClient {
+    CtrlClient::connect(addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e))
+}
+
+/// Normalizes the command tree and every hidden flat alias onto one
+/// canonical verb, so dispatch below has exactly one spelling per
+/// operation.
+fn canonicalize(mut rest: Vec<String>) -> (&'static str, Vec<String>) {
+    let head = rest.remove(0);
+    let sub = |rest: &mut Vec<String>| -> String { rest.remove(0) };
+    match head.as_str() {
+        "migrate" => match rest.first().map(String::as_str) {
+            Some("start") => {
+                sub(&mut rest);
+                ("migrate-start", rest)
+            }
+            Some("wait") => {
+                sub(&mut rest);
+                ("migrate-wait", rest)
+            }
+            Some("status") => {
+                sub(&mut rest);
+                ("migrate-status", rest)
+            }
+            Some("cancel") => {
+                sub(&mut rest);
+                ("migrate-cancel", rest)
+            }
+            Some("stats") => {
+                sub(&mut rest);
+                ("migrate-stats", rest)
+            }
+            // Hidden alias: the flat `migrate FROM TO FRACTION` form.
+            Some(tok) if tok.parse::<u64>().is_ok() => ("migrate-start", rest),
+            _ => usage(),
+        },
+        "tier" => match rest.first().map(String::as_str) {
+            Some("stats") => {
+                sub(&mut rest);
+                ("tier-stats", rest)
+            }
+            _ => usage(),
+        },
+        "cluster" => match rest.first().map(String::as_str) {
+            Some("status") => {
+                sub(&mut rest);
+                ("cluster-status", rest)
+            }
+            Some("layout") => {
+                sub(&mut rest);
+                ("cluster-layout", rest)
+            }
+            _ => usage(),
+        },
+        // Hidden flat aliases from before the command tree.
+        "wait" => ("migrate-wait", rest),
+        "status" => ("migrate-status", rest),
+        "cancel" => ("migrate-cancel", rest),
+        "cancel-stats" => ("migrate-stats", rest),
+        "tier-stats" => ("tier-stats", rest),
+        "ownership" => ("cluster-layout", rest),
+        "ping" => ("ping", rest),
+        "get" => ("get", rest),
+        "put" => ("put", rest),
+        "del" => ("del", rest),
+        "rmw" => ("rmw", rest),
+        "metrics" => ("metrics", rest),
+        "bench" => ("bench", rest),
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = None;
@@ -115,7 +212,7 @@ fn main() {
     if rest.is_empty() {
         usage()
     }
-    let command = rest.remove(0);
+    let (command, rest) = canonicalize(rest);
 
     // Point operations complete one at a time; flush immediately.
     let point_session = SessionConfig {
@@ -123,16 +220,14 @@ fn main() {
         ..SessionConfig::default()
     };
 
-    match command.as_str() {
+    match command {
         "ping" => {
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             ctrl.ping().unwrap_or_else(|e| fail(e));
             println!("PONG from {addr}");
         }
-        "ownership" => {
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+        "cluster-layout" => {
+            let mut ctrl = ctrl_for(&addr);
             let own = ctrl.ownership().unwrap_or_else(|e| fail(e));
             for s in &own.servers {
                 println!(
@@ -146,6 +241,27 @@ fn main() {
                 for (start, end) in &s.ranges {
                     println!("  [{start:#018x}, {end:#018x})");
                 }
+            }
+        }
+        "cluster-status" => {
+            let mut ctrl = ctrl_for(&addr);
+            let status = ctrl.broker_status().unwrap_or_else(|e| fail(e));
+            println!("role: {}", status.role_name());
+            if !status.broker_addr.is_empty() {
+                println!("broker: {}", status.broker_addr);
+            }
+            println!("epoch: {}", status.epoch);
+            for peer in &status.peers {
+                println!(
+                    "peer {}: acked epoch {}, {}",
+                    peer.addr,
+                    peer.acked_epoch,
+                    if peer.reachable {
+                        "reachable"
+                    } else {
+                        "unreachable"
+                    }
+                );
             }
         }
         "get" => {
@@ -194,7 +310,7 @@ fn main() {
             let counter = client.rmw_add(key, delta).unwrap_or_else(|e| fail(e));
             println!("{counter}");
         }
-        "migrate" => {
+        "migrate-start" => {
             if rest.len() < 3 {
                 usage()
             }
@@ -223,8 +339,7 @@ fn main() {
                     }
                 }
             }
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             let id = ctrl
                 .migrate_fraction(from, to, fraction)
                 .unwrap_or_else(|e| fail(e));
@@ -236,7 +351,7 @@ fn main() {
                 report_settled(id, &state);
             }
         }
-        "wait" => {
+        "migrate-wait" => {
             let id = parse_u64(
                 rest.first().map(String::as_str).unwrap_or_else(|| usage()),
                 "ID",
@@ -258,30 +373,27 @@ fn main() {
                     }
                 }
             }
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             let state = ctrl
                 .wait_for_migration(id, timeout)
                 .unwrap_or_else(|e| fail(e));
             report_settled(id, &state);
         }
-        "cancel" => {
+        "migrate-cancel" => {
             let id = parse_u64(
                 rest.first().map(String::as_str).unwrap_or_else(|| usage()),
                 "ID",
             );
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             ctrl.cancel_migration(id).unwrap_or_else(|e| fail(e));
             println!("migration {id} cancelled: ownership rolled back to the source");
         }
-        "status" => {
+        "migrate-status" => {
             let id = parse_u64(
                 rest.first().map(String::as_str).unwrap_or_else(|| usage()),
                 "ID",
             );
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             // An unknown migration id surfaces as a server error and exits 1
             // via `fail`; a known-but-cancelled migration gets its own
             // nonzero code so scripts can tell the outcomes apart.
@@ -303,8 +415,7 @@ fn main() {
             }
         }
         "tier-stats" => {
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+            let mut ctrl = ctrl_for(&addr);
             let stats = ctrl.tier_stats().unwrap_or_else(|e| fail(e));
             println!(
                 "chain fetches served: {} ({} records)",
@@ -316,26 +427,37 @@ fn main() {
             );
             println!("remote chain fetches issued: {}", stats.remote_fetches);
         }
-        "cancel-stats" => {
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
+        "migrate-stats" => {
+            let mut ctrl = ctrl_for(&addr);
             let stats = ctrl.cancel_stats().unwrap_or_else(|e| fail(e));
             println!("migrations cancelled: {}", stats.migrations_cancelled);
             println!("records rolled back: {}", stats.records_rolled_back);
             println!("heartbeats missed: {}", stats.heartbeats_missed);
         }
         "metrics" => {
-            let json = match rest.first().map(String::as_str) {
-                None => false,
-                Some("--json") => true,
-                Some(other) => {
-                    eprintln!("unknown metrics flag {other}");
-                    usage()
+            let mut json = false;
+            let mut ns: Option<String> = None;
+            let mut it = rest.into_iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--ns" => {
+                        ns = Some(it.next().unwrap_or_else(|| {
+                            eprintln!("missing value for --ns");
+                            usage()
+                        }));
+                    }
+                    other => {
+                        eprintln!("unknown metrics flag {other}");
+                        usage()
+                    }
                 }
+            }
+            let mut ctrl = ctrl_for(&addr);
+            let snap = match ns {
+                Some(prefix) => ctrl.metrics_ns(&prefix).unwrap_or_else(|e| fail(e)),
+                None => ctrl.metrics().unwrap_or_else(|e| fail(e)),
             };
-            let mut ctrl =
-                CtrlClient::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| fail(e));
-            let snap = ctrl.metrics().unwrap_or_else(|e| fail(e));
             if json {
                 println!("{}", snap.to_json());
             } else {

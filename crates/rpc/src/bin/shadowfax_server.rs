@@ -4,7 +4,8 @@
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
 //!                  [--io-threads I] [--layout SPEC] [--base-id B]
 //!                  [--memory-pages P] [--sampling-ms MS]
-//!                  [--metrics-log-secs S] [--peer SPEC]...
+//!                  [--metrics-log-secs S] [--coordinator auto|on|off]
+//!                  [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
@@ -32,6 +33,15 @@
 //! peer flow over dedicated TCP migration connections, and clients dial
 //! peers directly for data traffic.
 //!
+//! `--coordinator` controls metadata replication across processes: `auto`
+//! (default) runs the broker/coordinator loop whenever socket-addressed
+//! peers are registered, `on` forces it, `off` disables it.  The process
+//! hosting the lowest global server id acts as broker: it merges every
+//! process's metadata replica, fans the result back out, and retries
+//! cancellation relays to partitioned peers until their replicas
+//! converge (watch `shadowfax-cli cluster status` and the `broker.*`
+//! metrics namespace).
+//!
 //! Malformed flag values and invalid layouts (overlaps, coverage gaps, id
 //! collisions) print the offending detail plus this usage text and exit
 //! with code 64 (`EX_USAGE`), distinct from runtime failures (1).
@@ -43,8 +53,20 @@ use std::sync::Arc;
 
 use shadowfax::{parse_peer_spec, Cluster, ClusterConfig, ClusterLayout, PeerServer};
 use shadowfax_rpc::{
-    RemoteTierService, RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport,
+    CoordinatedControl, Coordinator, CoordinatorConfig, RemoteTierService, RpcServer,
+    RpcServerConfig, TcpMigrationConnector, TcpTransport,
 };
+
+/// When the metadata broker/coordinator loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoordinatorMode {
+    /// Run it iff socket-addressed peers are registered (the default).
+    Auto,
+    /// Always run it (a solo coordinator answers `BROKER_STATUS` too).
+    On,
+    /// Never run it.
+    Off,
+}
 
 /// Exit code for malformed flags or an invalid layout (`EX_USAGE`),
 /// distinct from runtime failures (1).
@@ -53,6 +75,7 @@ const EXIT_USAGE: i32 = 64;
 const USAGE: &str = "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
      [--io-threads I] [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
      [--memory-pages P] [--sampling-ms MS] [--metrics-log-secs S] \
+     [--coordinator auto|on|off] \
      [--peer id=I,addr=HOST:PORT[,threads=T][,owns=auto|full|none|RANGES]]...
 RANGES is a +-joined list of hex ranges, e.g. 0x0-0x7fff+0xc000-0xffff";
 
@@ -66,6 +89,7 @@ struct Args {
     memory_pages: Option<u64>,
     sampling_ms: Option<u64>,
     metrics_log_secs: u64,
+    coordinator: CoordinatorMode,
     peers: Vec<PeerServer>,
 }
 
@@ -88,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         memory_pages: None,
         sampling_ms: None,
         metrics_log_secs: 30,
+        coordinator: CoordinatorMode::Auto,
         peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -127,6 +152,16 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-log-secs" => {
                 args.metrics_log_secs =
                     parse_num("--metrics-log-secs", value("--metrics-log-secs")?)?
+            }
+            "--coordinator" => {
+                args.coordinator = match value("--coordinator")?.as_str() {
+                    "auto" => CoordinatorMode::Auto,
+                    "on" => CoordinatorMode::On,
+                    "off" => CoordinatorMode::Off,
+                    other => {
+                        return Err(format!("--coordinator must be auto|on|off, got {other:?}"))
+                    }
+                };
             }
             "--peer" => {
                 let spec = value("--peer")?;
@@ -182,8 +217,35 @@ fn main() {
         Arc::clone(cluster.shared_tier()),
         Arc::clone(cluster.meta()),
     )));
+    // One coordinator candidate per peer *process*: socket-addressed peer
+    // servers grouped by address, ranked by the lowest id the process
+    // hosts (this process's rank is its base id).
+    let mut peer_ranks: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+    for peer in &args.peers {
+        if peer.address.contains(':') {
+            let rank = peer_ranks.entry(peer.address.clone()).or_insert(peer.id.0);
+            *rank = (*rank).min(peer.id.0);
+        }
+    }
+    let run_coordinator = match args.coordinator {
+        CoordinatorMode::On => true,
+        CoordinatorMode::Off => false,
+        CoordinatorMode::Auto => !peer_ranks.is_empty(),
+    };
+    let coordinator = run_coordinator.then(|| {
+        let mut config = CoordinatorConfig::new(args.listen.clone(), args.base_id);
+        config.peers = peer_ranks.into_iter().collect();
+        Coordinator::spawn(Arc::clone(&cluster), config)
+    });
+    let control: Arc<dyn shadowfax_rpc::ClusterControl> = match &coordinator {
+        Some(handle) => Arc::new(CoordinatedControl::new(
+            Arc::clone(&cluster),
+            Arc::clone(handle),
+        )),
+        None => Arc::clone(&cluster) as _,
+    };
     let rpc = RpcServer::serve(
-        Arc::clone(&cluster) as Arc<dyn shadowfax_rpc::ClusterControl>,
+        control,
         RpcServerConfig {
             listen: args.listen.clone(),
             io_threads: args.io_threads,

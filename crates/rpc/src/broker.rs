@@ -1,0 +1,685 @@
+//! The metadata broker/coordinator: replicated ownership metadata over
+//! the control plane.
+//!
+//! Every serving process keeps its own [`shadowfax::MetadataStore`]; this
+//! module keeps those stores convergent.  One process — the *broker*, the
+//! live candidate with the lowest hosted global server id — owns the
+//! authoritative copy: each tick it pulls every peer's epoch-tagged
+//! replica (`GET_META_REPLICA`), merges them (views, dependency flags and
+//! epochs only ever move forward, so the merge is a join), and fans the
+//! merged replica back out (`META_MERGE`) to every peer whose
+//! acknowledged epoch lags.  Any process therefore answers authoritative
+//! ownership queries, and a migration can be originated against any
+//! source through any process.
+//!
+//! The broker is also the cancellation *coordinator*: a cancelled
+//! dependency whose involved process is partitioned keeps being relayed
+//! an idempotent `CANCEL_MIGRATION` every tick until the peer's replica
+//! shows the cancellation applied — the retry count and convergence count
+//! are published as `broker.cancel.retries` / `broker.cancel.converged`.
+//!
+//! Election is deterministic: candidates are ranked by the lowest global
+//! server id their process hosts, and the lowest-ranked candidate that is
+//! not silent past the liveness budget (reusing
+//! [`shadowfax_net::PeerLiveness`]) is the broker.  A follower that
+//! outlives every better-ranked candidate promotes itself and bumps the
+//! cluster epoch, so replicas stamped by the old broker never win a merge
+//! tie.  Between a broker failure and the next promotion, mutations
+//! through [`ReplicatedMetadata`] fail with the typed
+//! [`MetaError::CoordinatorUnavailable`].
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use shadowfax::{
+    Cluster, HashRange, MergeOutcome, MetaError, MetaReplica, MetadataService, MetadataStore,
+    MigrationDep, OwnershipSnapshot, ServerId,
+};
+use shadowfax_net::{LivenessConfig, PeerLiveness};
+
+use crate::codec::{WireBrokerPeer, WireBrokerStatus, WireMetaReplica};
+use crate::ctrl::CtrlClient;
+
+/// Tuning for a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// This process's control address (what peers dial).
+    pub self_addr: String,
+    /// This process's election rank: the lowest global server id it hosts.
+    pub self_rank: u32,
+    /// Peer control addresses with their election ranks.
+    pub peers: Vec<(String, u32)>,
+    /// How often the coordinator loop runs.
+    pub tick: Duration,
+    /// Per-probe connect/read budget (kept well under `tick` x budget so a
+    /// partitioned peer cannot stall the loop).
+    pub probe_timeout: Duration,
+    /// Silence budget before a candidate is considered dead for election.
+    pub liveness: LivenessConfig,
+}
+
+impl CoordinatorConfig {
+    /// Defaults sized for tests and LAN deployments: 150 ms ticks, dead
+    /// after ~1.5 s of silence.
+    pub fn new(self_addr: impl Into<String>, self_rank: u32) -> Self {
+        CoordinatorConfig {
+            self_addr: self_addr.into(),
+            self_rank,
+            peers: Vec::new(),
+            tick: Duration::from_millis(150),
+            probe_timeout: Duration::from_millis(400),
+            liveness: LivenessConfig {
+                heartbeat_interval: Duration::from_millis(150),
+                miss_budget: 10,
+            },
+        }
+    }
+}
+
+/// This process's current role in the replication protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// No socket-addressed peers: the local store is the whole cluster.
+    Solo,
+    /// This process owns the authoritative map and drives convergence.
+    Broker,
+    /// Another process is the broker; this one merges what it is pushed.
+    Follower,
+}
+
+/// One tracked peer.
+struct PeerTrack {
+    addr: String,
+    rank: u32,
+    live: PeerLiveness,
+    /// Did the most recent probe round-trip succeed?
+    probe_ok: bool,
+    /// Epoch the peer acknowledged after our last `META_MERGE` push.
+    acked_epoch: u64,
+    /// Migration ids the peer's last-pulled replica showed as cancelled.
+    cancelled_seen: HashSet<u64>,
+    /// Persistent control connection; dropped and re-dialled on error.
+    conn: Option<CtrlClient>,
+}
+
+/// Shared coordinator state: what `GET_BROKER_STATUS` answers and what
+/// [`ReplicatedMetadata`] gates mutations on.
+struct CoordState {
+    role: Role,
+    broker_addr: String,
+    /// `false` on a follower exactly between the broker going silent and
+    /// the next promotion (the typed-unavailability window).
+    broker_reachable: bool,
+    peers: Vec<(String, u64, bool)>,
+}
+
+/// Handle to a running coordinator loop; dropping it does **not** stop
+/// the loop — call [`CoordinatorHandle::shutdown`].
+pub struct CoordinatorHandle {
+    cluster: Arc<Cluster>,
+    state: Arc<Mutex<CoordState>>,
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl CoordinatorHandle {
+    /// The current role/epoch/convergence answer for `GET_BROKER_STATUS`.
+    pub fn status(&self) -> WireBrokerStatus {
+        let state = self.state.lock().expect("coordinator state");
+        WireBrokerStatus {
+            role: match state.role {
+                Role::Solo => WireBrokerStatus::ROLE_SOLO,
+                Role::Broker => WireBrokerStatus::ROLE_BROKER,
+                Role::Follower => WireBrokerStatus::ROLE_FOLLOWER,
+            },
+            broker_addr: state.broker_addr.clone(),
+            epoch: self.cluster.meta().epoch(),
+            peers: state
+                .peers
+                .iter()
+                .map(|(addr, acked_epoch, reachable)| WireBrokerPeer {
+                    addr: addr.clone(),
+                    acked_epoch: *acked_epoch,
+                    reachable: *reachable,
+                })
+                .collect(),
+        }
+    }
+
+    /// A [`MetadataService`] view over this process's replica that fails
+    /// mutations with [`MetaError::CoordinatorUnavailable`] while no
+    /// broker is reachable.
+    pub fn metadata_service(&self) -> Arc<dyn MetadataService> {
+        Arc::new(ReplicatedMetadata {
+            local: Arc::clone(self.cluster.meta()),
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Stops the loop and joins its thread.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.lock().expect("coordinator thread").take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The coordinator loop.  Construct with [`Coordinator::spawn`].
+pub struct Coordinator;
+
+impl Coordinator {
+    /// Starts the coordinator thread for `cluster` and returns its handle.
+    pub fn spawn(cluster: Arc<Cluster>, config: CoordinatorConfig) -> Arc<CoordinatorHandle> {
+        let initial_role = if config.peers.is_empty() {
+            Role::Solo
+        } else if config
+            .peers
+            .iter()
+            .all(|(_, rank)| *rank > config.self_rank)
+        {
+            Role::Broker
+        } else {
+            Role::Follower
+        };
+        let state = Arc::new(Mutex::new(CoordState {
+            role: initial_role,
+            broker_addr: if initial_role == Role::Follower {
+                initial_broker_addr(&config)
+            } else {
+                config.self_addr.clone()
+            },
+            broker_reachable: true,
+            peers: config
+                .peers
+                .iter()
+                .map(|(addr, _)| (addr.clone(), 0, true))
+                .collect(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = Arc::new(CoordinatorHandle {
+            cluster: Arc::clone(&cluster),
+            state: Arc::clone(&state),
+            stop: Arc::clone(&stop),
+            thread: Mutex::new(None),
+        });
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("shadowfax-coordinator".into())
+                .spawn(move || {
+                    let mut looper = CoordinatorLoop::new(cluster, config, state);
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(looper.config.tick);
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        looper.tick();
+                    }
+                })
+                .expect("spawn coordinator thread")
+        };
+        *handle.thread.lock().expect("coordinator thread") = Some(thread);
+        handle
+    }
+}
+
+fn initial_broker_addr(config: &CoordinatorConfig) -> String {
+    config
+        .peers
+        .iter()
+        .chain(std::iter::once(&(
+            config.self_addr.clone(),
+            config.self_rank,
+        )))
+        .min_by_key(|(_, rank)| *rank)
+        .map(|(addr, _)| addr.clone())
+        .unwrap_or_else(|| config.self_addr.clone())
+}
+
+/// Per-tick working state of the loop thread.
+struct CoordinatorLoop {
+    cluster: Arc<Cluster>,
+    config: CoordinatorConfig,
+    state: Arc<Mutex<CoordState>>,
+    peers: Vec<PeerTrack>,
+    is_broker: bool,
+    /// Cancelled migration ids already counted as converged.
+    converged: HashSet<u64>,
+    metrics: BrokerMetrics,
+}
+
+/// The `broker.*` registry instruments.
+struct BrokerMetrics {
+    pulls: shadowfax_obs::Counter,
+    pushes: shadowfax_obs::Counter,
+    elections: shadowfax_obs::Counter,
+    cancel_retries: shadowfax_obs::Counter,
+    cancel_converged: shadowfax_obs::Counter,
+    epoch: shadowfax_obs::Gauge,
+    peers_reachable: shadowfax_obs::Gauge,
+    cluster_cancelled: shadowfax_obs::Gauge,
+    cluster_rolled_back: shadowfax_obs::Gauge,
+    cluster_remote_fetches: shadowfax_obs::Gauge,
+}
+
+impl CoordinatorLoop {
+    fn new(
+        cluster: Arc<Cluster>,
+        config: CoordinatorConfig,
+        state: Arc<Mutex<CoordState>>,
+    ) -> Self {
+        let registry = Arc::clone(cluster.metrics());
+        let metrics = BrokerMetrics {
+            pulls: registry.counter("broker.merge.pulls"),
+            pushes: registry.counter("broker.merge.pushes"),
+            elections: registry.counter("broker.elections"),
+            cancel_retries: registry.counter("broker.cancel.retries"),
+            cancel_converged: registry.counter("broker.cancel.converged"),
+            epoch: registry.gauge("broker.epoch"),
+            peers_reachable: registry.gauge("broker.peers.reachable"),
+            cluster_cancelled: registry.gauge("broker.cluster.migrations_cancelled"),
+            cluster_rolled_back: registry.gauge("broker.cluster.records_rolled_back"),
+            cluster_remote_fetches: registry.gauge("broker.cluster.chain_remote_fetches"),
+        };
+        let peers = config
+            .peers
+            .iter()
+            .map(|(addr, rank)| PeerTrack {
+                addr: addr.clone(),
+                rank: *rank,
+                live: PeerLiveness::new(config.liveness),
+                probe_ok: true,
+                acked_epoch: 0,
+                cancelled_seen: HashSet::new(),
+                conn: None,
+            })
+            .collect();
+        let is_broker = config
+            .peers
+            .iter()
+            .all(|(_, rank)| *rank > config.self_rank);
+        CoordinatorLoop {
+            cluster,
+            config,
+            state,
+            peers,
+            is_broker,
+            converged: HashSet::new(),
+            metrics,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.pull_replicas();
+        self.elect();
+        if self.is_broker {
+            self.push_replicas();
+            self.converge_cancellations();
+            self.aggregate_cluster_counters();
+        }
+        self.publish_state();
+    }
+
+    /// Pulls every peer's replica (doubling as the liveness probe) and
+    /// merges it into the local store.
+    fn pull_replicas(&mut self) {
+        let timeout = self.config.probe_timeout;
+        let liveness = self.config.liveness;
+        for peer in &mut self.peers {
+            let pulled = with_conn(peer, timeout, |conn| conn.meta_replica());
+            match pulled {
+                Some(replica) => {
+                    // A returning peer gets a fresh monitor: PeerLiveness
+                    // death is sticky by design.
+                    if peer.live.check_dead().is_some() {
+                        peer.live = PeerLiveness::new(liveness);
+                    }
+                    peer.live.record_recv();
+                    peer.probe_ok = true;
+                    peer.cancelled_seen = replica.cancelled.iter().map(|d| d.id).collect();
+                    self.metrics.pulls.inc();
+                    self.cluster.merge_meta_replica(&replica.to_replica());
+                }
+                None => peer.probe_ok = false,
+            }
+        }
+    }
+
+    /// Deterministic election: the lowest-ranked candidate not silent past
+    /// the liveness budget is the broker.  Promotion bumps the cluster
+    /// epoch so the new broker's merges win ties against the old one's.
+    fn elect(&mut self) {
+        let mut leader_rank = self.config.self_rank;
+        for peer in &mut self.peers {
+            if peer.rank < leader_rank && peer.live.check_dead().is_none() {
+                leader_rank = peer.rank;
+            }
+        }
+        let now_broker = leader_rank == self.config.self_rank;
+        if now_broker && !self.is_broker {
+            self.cluster.meta().bump_epoch();
+            self.metrics.elections.inc();
+        }
+        self.is_broker = now_broker;
+    }
+
+    /// Fans the merged replica out to every peer whose acknowledged epoch
+    /// lags the local one.
+    fn push_replicas(&mut self) {
+        let local = self.cluster.meta().replica();
+        let wire = WireMetaReplica::from_replica(&local);
+        let timeout = self.config.probe_timeout;
+        for peer in &mut self.peers {
+            if peer.acked_epoch >= local.epoch {
+                continue;
+            }
+            if let Some((epoch, _changed)) = with_conn(peer, timeout, |conn| conn.merge_meta(&wire))
+            {
+                peer.acked_epoch = epoch;
+                peer.probe_ok = true;
+                peer.live.record_recv();
+                self.metrics.pushes.inc();
+            }
+        }
+    }
+
+    /// Relays an idempotent `CANCEL_MIGRATION` for every cancelled
+    /// dependency a peer has not yet applied, every tick, until the peer's
+    /// replica shows it cancelled — the coordinator's answer to a target
+    /// partitioned away mid-cancellation.
+    fn converge_cancellations(&mut self) {
+        let cancelled = self.cluster.meta().replica().cancelled;
+        let timeout = self.config.probe_timeout;
+        for dep in &cancelled {
+            let mut all_applied = true;
+            for peer in &mut self.peers {
+                if peer.cancelled_seen.contains(&dep.id) {
+                    continue;
+                }
+                all_applied = false;
+                self.metrics.cancel_retries.inc();
+                with_conn(peer, timeout, |conn| conn.cancel_migration(dep.id));
+            }
+            if all_applied && self.converged.insert(dep.id) {
+                self.metrics.cancel_converged.inc();
+            }
+        }
+    }
+
+    /// Aggregates every process's cancellation / chain-fetch counters into
+    /// cluster-wide `broker.cluster.*` gauges.
+    fn aggregate_cluster_counters(&mut self) {
+        let local = self.cluster.metrics().snapshot();
+        let mut cancelled = local.counter_family(".migration.cancelled");
+        let mut rolled_back = local.counter_family(".migration.records_rolled_back");
+        let mut remote_fetches = local.counter_family(".chain.remote_fetches");
+        let timeout = self.config.probe_timeout;
+        for peer in &mut self.peers {
+            if !peer.probe_ok {
+                continue;
+            }
+            if let Some(snap) = with_conn(peer, timeout, |conn| conn.metrics_ns("sv")) {
+                cancelled += snap.counter_family(".migration.cancelled");
+                rolled_back += snap.counter_family(".migration.records_rolled_back");
+                remote_fetches += snap.counter_family(".chain.remote_fetches");
+            }
+        }
+        self.metrics.cluster_cancelled.set(cancelled);
+        self.metrics.cluster_rolled_back.set(rolled_back);
+        self.metrics.cluster_remote_fetches.set(remote_fetches);
+    }
+
+    /// Publishes role / reachability / acked epochs for `BROKER_STATUS`
+    /// and the [`ReplicatedMetadata`] mutation gate.
+    fn publish_state(&mut self) {
+        self.metrics.epoch.set(self.cluster.meta().epoch());
+        self.metrics
+            .peers_reachable
+            .set(self.peers.iter().filter(|p| p.probe_ok).count() as u64);
+        let mut state = self.state.lock().expect("coordinator state");
+        if self.peers.is_empty() {
+            state.role = Role::Solo;
+            state.broker_addr = self.config.self_addr.clone();
+            state.broker_reachable = true;
+        } else if self.is_broker {
+            state.role = Role::Broker;
+            state.broker_addr = self.config.self_addr.clone();
+            state.broker_reachable = true;
+        } else {
+            state.role = Role::Follower;
+            let leader = self
+                .peers
+                .iter()
+                .filter(|p| p.rank < self.config.self_rank)
+                .filter(|p| {
+                    // check_dead needs &mut; use the probe result captured
+                    // this tick, which tracks it one tick behind at most.
+                    p.probe_ok
+                })
+                .min_by_key(|p| p.rank);
+            match leader {
+                Some(peer) => {
+                    state.broker_addr = peer.addr.clone();
+                    state.broker_reachable = true;
+                }
+                None => {
+                    // Every better-ranked candidate failed its last probe
+                    // but none is past the liveness budget yet: the typed
+                    // unavailability window.
+                    state.broker_reachable = false;
+                }
+            }
+        }
+        state.peers = self
+            .peers
+            .iter()
+            .map(|p| (p.addr.clone(), p.acked_epoch, p.probe_ok))
+            .collect();
+    }
+}
+
+/// Runs `op` over the peer's persistent control connection, dialling it
+/// first if needed; any error drops the connection so the next tick
+/// re-dials.  Returns `None` on failure.
+fn with_conn<R>(
+    peer: &mut PeerTrack,
+    timeout: Duration,
+    op: impl FnOnce(&mut CtrlClient) -> Result<R, crate::ctrl::RpcError>,
+) -> Option<R> {
+    if peer.conn.is_none() {
+        peer.conn = CtrlClient::connect(&peer.addr, timeout).ok();
+    }
+    let conn = peer.conn.as_mut()?;
+    match op(conn) {
+        Ok(value) => Some(value),
+        Err(_) => {
+            peer.conn = None;
+            None
+        }
+    }
+}
+
+/// The replicated implementation of [`MetadataService`]: reads answer
+/// from the continuously merged local replica; mutations are refused with
+/// the typed [`MetaError::CoordinatorUnavailable`] while no broker is
+/// reachable (between a broker failure and the next promotion).
+pub struct ReplicatedMetadata {
+    local: Arc<MetadataStore>,
+    state: Arc<Mutex<CoordState>>,
+}
+
+impl ReplicatedMetadata {
+    fn require_broker(&self) -> Result<(), MetaError> {
+        let state = self.state.lock().expect("coordinator state");
+        if state.broker_reachable {
+            Ok(())
+        } else {
+            Err(MetaError::CoordinatorUnavailable {
+                detail: format!(
+                    "broker {} unreachable, re-election pending",
+                    state.broker_addr
+                ),
+            })
+        }
+    }
+}
+
+impl MetadataService for ReplicatedMetadata {
+    fn snapshot(&self) -> OwnershipSnapshot {
+        self.local.snapshot()
+    }
+
+    fn view_of(&self, id: ServerId) -> Option<u64> {
+        self.local.view_of(id)
+    }
+
+    fn owner_of(&self, hash: u64) -> Option<(ServerId, u64)> {
+        self.local.owner_of(hash)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.local.epoch()
+    }
+
+    fn transfer_ownership(
+        &self,
+        source: ServerId,
+        target: ServerId,
+        ranges: &[HashRange],
+    ) -> Result<(u64, u64, u64), MetaError> {
+        self.require_broker()?;
+        self.local.transfer_ownership(source, target, ranges)
+    }
+
+    fn mark_complete(&self, migration_id: u64, server: ServerId) -> Result<bool, MetaError> {
+        self.require_broker()?;
+        self.local.mark_complete(migration_id, server)
+    }
+
+    fn cancel_migration(&self, migration_id: u64) -> Result<MigrationDep, MetaError> {
+        self.require_broker()?;
+        self.local.cancel_migration(migration_id)
+    }
+
+    fn migration_state(&self, id: u64) -> Result<Option<MigrationDep>, MetaError> {
+        self.local.migration_state(id)
+    }
+
+    fn pending_migrations(&self) -> usize {
+        self.local.pending_migrations()
+    }
+
+    fn pending_dependency_for(&self, server: ServerId) -> Option<MigrationDep> {
+        self.local.pending_dependency_for(server)
+    }
+
+    fn replica(&self) -> MetaReplica {
+        self.local.replica()
+    }
+
+    fn merge_replica(&self, replica: &MetaReplica) -> MergeOutcome {
+        self.local.merge_replica(replica)
+    }
+}
+
+/// [`ClusterControl`](crate::ClusterControl) for a coordinated process:
+/// everything delegates to the cluster, except `BROKER_STATUS`, which
+/// answers from the live coordinator instead of the solo default.
+pub struct CoordinatedControl {
+    cluster: Arc<Cluster>,
+    coordinator: Arc<CoordinatorHandle>,
+}
+
+impl CoordinatedControl {
+    /// Fronts `cluster` with `coordinator`'s status.
+    pub fn new(cluster: Arc<Cluster>, coordinator: Arc<CoordinatorHandle>) -> Self {
+        CoordinatedControl {
+            cluster,
+            coordinator,
+        }
+    }
+}
+
+impl crate::ClusterControl for CoordinatedControl {
+    fn ownership(&self) -> crate::codec::WireOwnership {
+        self.cluster.as_ref().ownership()
+    }
+
+    fn migrate(&self, source: u32, target: u32, fraction: f64) -> Result<u64, String> {
+        self.cluster.as_ref().migrate(source, target, fraction)
+    }
+
+    fn migration_status(
+        &self,
+        migration_id: u64,
+    ) -> Result<crate::codec::WireMigrationState, String> {
+        self.cluster.as_ref().migration_status(migration_id)
+    }
+
+    fn cancel_migration(&self, migration_id: u64) -> Result<(), String> {
+        crate::ClusterControl::cancel_migration(self.cluster.as_ref(), migration_id)
+    }
+
+    fn cancel_stats(&self) -> crate::codec::WireCancelStats {
+        self.cluster.as_ref().cancel_stats()
+    }
+
+    fn connect_fabric(
+        &self,
+        fabric_addr: &str,
+    ) -> Result<Box<dyn shadowfax_net::KvLink>, shadowfax_net::TransportError> {
+        self.cluster.as_ref().connect_fabric(fabric_addr)
+    }
+
+    fn connect_migration_local(
+        &self,
+        server: u32,
+        thread: u32,
+    ) -> Result<
+        Box<dyn shadowfax_net::MigrationLink<shadowfax::MigrationMsg>>,
+        shadowfax_net::TransportError,
+    > {
+        self.cluster
+            .as_ref()
+            .connect_migration_local(server, thread)
+    }
+
+    fn fetch_chain(
+        &self,
+        query: &shadowfax::ChainFetchQuery,
+    ) -> Result<shadowfax::ChainFetchReply, (shadowfax_net::StatusCode, String)> {
+        self.cluster.as_ref().fetch_chain(query)
+    }
+
+    fn tier_stats(&self) -> crate::codec::WireTierStats {
+        self.cluster.as_ref().tier_stats()
+    }
+
+    fn metrics(&self) -> Arc<shadowfax_obs::MetricsRegistry> {
+        crate::ClusterControl::metrics(self.cluster.as_ref())
+    }
+
+    fn meta_replica(&self) -> WireMetaReplica {
+        self.cluster.as_ref().meta_replica()
+    }
+
+    fn merge_meta(&self, replica: &WireMetaReplica) -> (u64, bool) {
+        self.cluster.as_ref().merge_meta(replica)
+    }
+
+    fn broker_status(&self) -> WireBrokerStatus {
+        self.coordinator.status()
+    }
+
+    fn remote_source_addr(&self, server: u32) -> Option<String> {
+        crate::ClusterControl::remote_source_addr(self.cluster.as_ref(), server)
+    }
+
+    fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String> {
+        crate::ClusterControl::remote_addr_for_migration(self.cluster.as_ref(), migration_id)
+    }
+}

@@ -43,7 +43,23 @@
 //! [`WireMsg::Metrics`] snapshot carrying every counter family, gauge,
 //! latency histogram (sparse log-linear buckets), and the migration-phase
 //! event timeline — the single source for `shadowfax-cli metrics` and the
-//! checked-in `BENCH_*.json` perf trajectories.
+//! checked-in `BENCH_*.json` perf trajectories.  Namespaced pulls
+//! ([`WireMsg::GetMetricsNs`]) answer with the same frame filtered to one
+//! name prefix; they subsume the stats-family frames.
+//!
+//! **Deprecated** (kept decoding and answering for one release, remove
+//! after): [`WireMsg::GetTierStats`]/[`WireMsg::TierStats`] (`0x42`/`0x43`)
+//! and [`WireMsg::GetCancelStats`]/[`WireMsg::CancelStats`]
+//! (`0x2A`/`0x2B`) are legacy single-family stat pulls — new callers issue
+//! a namespaced [`WireMsg::GetMetricsNs`] query (`tier.` / `migration.`
+//! prefixes) instead.
+//!
+//! Broker frames replicate the metadata store across processes: the broker
+//! pulls every peer's epoch-tagged replica ([`WireMsg::GetMetaReplica`] →
+//! [`WireMsg::MetaReplicaMsg`]), merges, and fans the merged replica back
+//! out ([`WireMsg::MetaMerge`] → [`WireMsg::MetaAck`] carrying the peer's
+//! post-merge epoch).  [`WireMsg::GetBrokerStatus`] reports a process's
+//! coordinator role, broker address, epoch, and per-peer convergence.
 
 use shadowfax::{
     ChainFetchQuery, ChainFetchReply, HashRange, MigratedItem, MigrationAckPhase, MigrationMsg,
@@ -82,6 +98,13 @@ mod kind {
     pub const TIER_STATS: u8 = 0x43;
     pub const GET_METRICS: u8 = 0x50;
     pub const METRICS: u8 = 0x51;
+    pub const GET_METRICS_NS: u8 = 0x52;
+    pub const GET_META_REPLICA: u8 = 0x53;
+    pub const META_REPLICA: u8 = 0x54;
+    pub const META_MERGE: u8 = 0x55;
+    pub const META_ACK: u8 = 0x56;
+    pub const GET_BROKER_STATUS: u8 = 0x57;
+    pub const BROKER_STATUS: u8 = 0x58;
 }
 
 /// Errors from encoding or decoding frames.
@@ -298,6 +321,224 @@ pub enum WireMsg {
     /// The snapshot's own `version` field is the schema version — decoders
     /// accept any value and surface it to the caller.
     Metrics(MetricsSnapshot),
+    /// Request a metrics snapshot filtered to names starting with `prefix`
+    /// (`""` pulls everything, same as [`WireMsg::GetMetrics`]).  Answered
+    /// with [`WireMsg::Metrics`].  This namespaced query subsumes the
+    /// deprecated [`WireMsg::GetTierStats`]/[`WireMsg::GetCancelStats`]
+    /// single-family pulls.
+    GetMetricsNs {
+        /// The name prefix to keep (counters, gauges, histograms; timeline
+        /// events are filtered on their `name` field).
+        prefix: String,
+    },
+    /// Request the receiving process's epoch-tagged metadata replica
+    /// (broker pull path).  Answered with [`WireMsg::MetaReplicaMsg`].
+    GetMetaReplica,
+    /// A full metadata replica (reply to [`WireMsg::GetMetaReplica`]).
+    MetaReplicaMsg(WireMetaReplica),
+    /// Merge this epoch-tagged replica into the receiving process's store
+    /// (broker fan-out path).  Answered with [`WireMsg::MetaAck`].
+    MetaMerge(WireMetaReplica),
+    /// The receiver's post-merge epoch; `changed` reports whether the merge
+    /// altered local state.  The broker retries fan-out to a peer until the
+    /// acked epoch catches up with its own.
+    MetaAck {
+        /// The receiver's epoch after the merge.
+        epoch: u64,
+        /// Whether the merge changed the receiver's store.
+        changed: bool,
+    },
+    /// Request the coordinator role and convergence state of the receiving
+    /// process (control plane; `shadowfax-cli cluster status`).
+    GetBrokerStatus,
+    /// The coordinator status (reply to [`WireMsg::GetBrokerStatus`]).
+    BrokerStatus(WireBrokerStatus),
+}
+
+/// A migration dependency, as carried inside [`WireMetaReplica`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMigrationDep {
+    /// The migration id (namespaced by source server id).
+    pub id: u64,
+    /// Server losing the ranges.
+    pub source: u32,
+    /// Server gaining the ranges.
+    pub target: u32,
+    /// The ranges being moved, as `[start, end]` pairs.
+    pub ranges: Vec<(u64, u64)>,
+    /// Source finished its role.
+    pub source_complete: bool,
+    /// Target finished its role.
+    pub target_complete: bool,
+    /// The migration was cancelled and rolled back.
+    pub cancelled: bool,
+}
+
+/// A full epoch-tagged metadata replica, as carried on the wire (see
+/// `shadowfax::MetaReplica`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetaReplica {
+    /// The exporting store's cluster epoch.
+    pub epoch: u64,
+    /// The exporting store's migration sequence counter.
+    pub next_migration_seq: u64,
+    /// Every registered server (reuses the ownership entry layout).
+    pub servers: Vec<WireServerInfo>,
+    /// In-flight migration dependencies.
+    pub pending: Vec<WireMigrationDep>,
+    /// Durably completed migrations.
+    pub completed: Vec<WireMigrationDep>,
+    /// Cancelled migrations.
+    pub cancelled: Vec<WireMigrationDep>,
+}
+
+/// One peer's convergence state, as carried in [`WireBrokerStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireBrokerPeer {
+    /// The peer process's control address.
+    pub addr: String,
+    /// The latest epoch the peer acked a fan-out at (0 = never).
+    pub acked_epoch: u64,
+    /// Whether the last probe/fan-out to the peer succeeded.
+    pub reachable: bool,
+}
+
+/// A process's coordinator role and convergence state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireBrokerStatus {
+    /// 0 = solo (no coordinator running), 1 = broker, 2 = follower.
+    pub role: u8,
+    /// The control address of the process currently acting as broker
+    /// (empty when unknown, e.g. mid-election).
+    pub broker_addr: String,
+    /// The local store's cluster epoch.
+    pub epoch: u64,
+    /// Per-peer convergence, broker role only (followers report empty).
+    pub peers: Vec<WireBrokerPeer>,
+}
+
+impl WireBrokerStatus {
+    /// Role byte for a process not running a coordinator.
+    pub const ROLE_SOLO: u8 = 0;
+    /// Role byte for the process currently acting as broker.
+    pub const ROLE_BROKER: u8 = 1;
+    /// Role byte for a process following a broker.
+    pub const ROLE_FOLLOWER: u8 = 2;
+
+    /// Human-readable role name.
+    pub fn role_name(&self) -> &'static str {
+        match self.role {
+            Self::ROLE_BROKER => "broker",
+            Self::ROLE_FOLLOWER => "follower",
+            _ => "solo",
+        }
+    }
+}
+
+impl WireMigrationDep {
+    /// Converts from the core dependency type.
+    pub fn from_dep(dep: &shadowfax::MigrationDep) -> Self {
+        WireMigrationDep {
+            id: dep.id,
+            source: dep.source.0,
+            target: dep.target.0,
+            ranges: dep.ranges.iter().map(|r| (r.start, r.end)).collect(),
+            source_complete: dep.source_complete,
+            target_complete: dep.target_complete,
+            cancelled: dep.cancelled,
+        }
+    }
+
+    /// Converts back to the core dependency type.
+    pub fn to_dep(&self) -> shadowfax::MigrationDep {
+        shadowfax::MigrationDep {
+            id: self.id,
+            source: ServerId(self.source),
+            target: ServerId(self.target),
+            ranges: self
+                .ranges
+                .iter()
+                .map(|&(start, end)| HashRange { start, end })
+                .collect(),
+            source_complete: self.source_complete,
+            target_complete: self.target_complete,
+            cancelled: self.cancelled,
+        }
+    }
+}
+
+impl WireMetaReplica {
+    /// Converts from the core replica type.
+    pub fn from_replica(replica: &shadowfax::MetaReplica) -> Self {
+        WireMetaReplica {
+            epoch: replica.epoch,
+            next_migration_seq: replica.next_migration_seq,
+            servers: replica
+                .servers
+                .iter()
+                .map(|(id, m)| WireServerInfo {
+                    id: id.0,
+                    address: m.address.clone(),
+                    threads: m.threads as u32,
+                    view: m.view,
+                    ranges: m.owned.ranges().iter().map(|r| (r.start, r.end)).collect(),
+                })
+                .collect(),
+            pending: replica
+                .pending
+                .iter()
+                .map(WireMigrationDep::from_dep)
+                .collect(),
+            completed: replica
+                .completed
+                .iter()
+                .map(WireMigrationDep::from_dep)
+                .collect(),
+            cancelled: replica
+                .cancelled
+                .iter()
+                .map(WireMigrationDep::from_dep)
+                .collect(),
+        }
+    }
+
+    /// Converts back to the core replica type.
+    pub fn to_replica(&self) -> shadowfax::MetaReplica {
+        shadowfax::MetaReplica {
+            epoch: self.epoch,
+            next_migration_seq: self.next_migration_seq,
+            servers: self
+                .servers
+                .iter()
+                .map(|s| {
+                    (
+                        ServerId(s.id),
+                        shadowfax::ServerMeta {
+                            view: s.view,
+                            owned: shadowfax::RangeSet::from_ranges(
+                                s.ranges
+                                    .iter()
+                                    .map(|&(start, end)| HashRange { start, end }),
+                            ),
+                            address: s.address.clone(),
+                            threads: s.threads as usize,
+                        },
+                    )
+                })
+                .collect(),
+            pending: self.pending.iter().map(WireMigrationDep::to_dep).collect(),
+            completed: self
+                .completed
+                .iter()
+                .map(WireMigrationDep::to_dep)
+                .collect(),
+            cancelled: self
+                .cancelled
+                .iter()
+                .map(WireMigrationDep::to_dep)
+                .collect(),
+        }
+    }
 }
 
 /// Shared-tier chain-fetch counters, as carried on the wire.
@@ -395,6 +636,47 @@ fn put_ranges(out: &mut Vec<u8>, ranges: &[HashRange]) {
     for r in ranges {
         put_u64(out, r.start);
         put_u64(out, r.end);
+    }
+}
+
+fn put_server_info(out: &mut Vec<u8>, s: &WireServerInfo) {
+    put_u32(out, s.id);
+    put_str(out, &s.address);
+    put_u32(out, s.threads);
+    put_u64(out, s.view);
+    put_u32(out, s.ranges.len() as u32);
+    for &(start, end) in &s.ranges {
+        put_u64(out, start);
+        put_u64(out, end);
+    }
+}
+
+fn put_wire_dep(out: &mut Vec<u8>, dep: &WireMigrationDep) {
+    put_u64(out, dep.id);
+    put_u32(out, dep.source);
+    put_u32(out, dep.target);
+    put_u32(out, dep.ranges.len() as u32);
+    for &(start, end) in &dep.ranges {
+        put_u64(out, start);
+        put_u64(out, end);
+    }
+    out.push(u8::from(dep.source_complete));
+    out.push(u8::from(dep.target_complete));
+    out.push(u8::from(dep.cancelled));
+}
+
+fn put_wire_replica(out: &mut Vec<u8>, replica: &WireMetaReplica) {
+    put_u64(out, replica.epoch);
+    put_u64(out, replica.next_migration_seq);
+    put_u32(out, replica.servers.len() as u32);
+    for s in &replica.servers {
+        put_server_info(out, s);
+    }
+    for list in [&replica.pending, &replica.completed, &replica.cancelled] {
+        put_u32(out, list.len() as u32);
+        for dep in list {
+            put_wire_dep(out, dep);
+        }
     }
 }
 
@@ -580,15 +862,7 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
             body.push(kind::OWNERSHIP);
             put_u32(&mut body, own.servers.len() as u32);
             for s in &own.servers {
-                put_u32(&mut body, s.id);
-                put_str(&mut body, &s.address);
-                put_u32(&mut body, s.threads);
-                put_u64(&mut body, s.view);
-                put_u32(&mut body, s.ranges.len() as u32);
-                for &(start, end) in &s.ranges {
-                    put_u64(&mut body, start);
-                    put_u64(&mut body, end);
-                }
+                put_server_info(&mut body, s);
             }
         }
         WireMsg::Migrate {
@@ -712,6 +986,37 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
                 put_str(&mut body, &ev.name);
                 put_str(&mut body, &ev.label);
                 put_u64(&mut body, ev.id);
+            }
+        }
+        WireMsg::GetMetricsNs { prefix } => {
+            body.push(kind::GET_METRICS_NS);
+            put_str(&mut body, prefix);
+        }
+        WireMsg::GetMetaReplica => body.push(kind::GET_META_REPLICA),
+        WireMsg::MetaReplicaMsg(replica) => {
+            body.push(kind::META_REPLICA);
+            put_wire_replica(&mut body, replica);
+        }
+        WireMsg::MetaMerge(replica) => {
+            body.push(kind::META_MERGE);
+            put_wire_replica(&mut body, replica);
+        }
+        WireMsg::MetaAck { epoch, changed } => {
+            body.push(kind::META_ACK);
+            put_u64(&mut body, *epoch);
+            body.push(u8::from(*changed));
+        }
+        WireMsg::GetBrokerStatus => body.push(kind::GET_BROKER_STATUS),
+        WireMsg::BrokerStatus(status) => {
+            body.push(kind::BROKER_STATUS);
+            body.push(status.role);
+            put_str(&mut body, &status.broker_addr);
+            put_u64(&mut body, status.epoch);
+            put_u32(&mut body, status.peers.len() as u32);
+            for p in &status.peers {
+                put_str(&mut body, &p.addr);
+                put_u64(&mut body, p.acked_epoch);
+                body.push(u8::from(p.reachable));
             }
         }
     }
@@ -857,6 +1162,79 @@ fn get_name_values(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, CodecError>
         pairs.push((r.string()?, r.u64()?));
     }
     Ok(pairs)
+}
+
+fn get_server_info(r: &mut Reader<'_>) -> Result<WireServerInfo, CodecError> {
+    let id = r.u32()?;
+    let address = r.string()?;
+    let threads = r.u32()?;
+    let view = r.u64()?;
+    let n_ranges = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(bounded_cap(n_ranges));
+    for _ in 0..n_ranges {
+        ranges.push((r.u64()?, r.u64()?));
+    }
+    Ok(WireServerInfo {
+        id,
+        address,
+        threads,
+        view,
+        ranges,
+    })
+}
+
+fn get_wire_dep(r: &mut Reader<'_>) -> Result<WireMigrationDep, CodecError> {
+    let id = r.u64()?;
+    let source = r.u32()?;
+    let target = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(bounded_cap(n));
+    for _ in 0..n {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        if start > end {
+            return Err(CodecError::Invalid {
+                context: "WireMigrationDep range",
+            });
+        }
+        ranges.push((start, end));
+    }
+    Ok(WireMigrationDep {
+        id,
+        source,
+        target,
+        ranges,
+        source_complete: r.u8()? != 0,
+        target_complete: r.u8()? != 0,
+        cancelled: r.u8()? != 0,
+    })
+}
+
+fn get_wire_replica(r: &mut Reader<'_>) -> Result<WireMetaReplica, CodecError> {
+    let epoch = r.u64()?;
+    let next_migration_seq = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut servers = Vec::with_capacity(bounded_cap(n));
+    for _ in 0..n {
+        servers.push(get_server_info(r)?);
+    }
+    let mut lists: [Vec<WireMigrationDep>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for list in &mut lists {
+        let n = r.u32()? as usize;
+        list.reserve(bounded_cap(n));
+        for _ in 0..n {
+            list.push(get_wire_dep(r)?);
+        }
+    }
+    let [pending, completed, cancelled] = lists;
+    Ok(WireMetaReplica {
+        epoch,
+        next_migration_seq,
+        servers,
+        pending,
+        completed,
+        cancelled,
+    })
 }
 
 fn get_migrated_item(r: &mut Reader<'_>) -> Result<MigratedItem, CodecError> {
@@ -1022,22 +1400,7 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
             let n = r.u32()? as usize;
             let mut servers = Vec::with_capacity(bounded_cap(n));
             for _ in 0..n {
-                let id = r.u32()?;
-                let address = r.string()?;
-                let threads = r.u32()?;
-                let view = r.u64()?;
-                let n_ranges = r.u32()? as usize;
-                let mut ranges = Vec::with_capacity(bounded_cap(n_ranges));
-                for _ in 0..n_ranges {
-                    ranges.push((r.u64()?, r.u64()?));
-                }
-                servers.push(WireServerInfo {
-                    id,
-                    address,
-                    threads,
-                    view,
-                    ranges,
-                });
+                servers.push(get_server_info(&mut r)?);
             }
             WireMsg::Ownership(WireOwnership { servers })
         }
@@ -1162,6 +1525,43 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
                 gauges,
                 histograms,
                 events,
+            })
+        }
+        kind::GET_METRICS_NS => WireMsg::GetMetricsNs {
+            prefix: r.string()?,
+        },
+        kind::GET_META_REPLICA => WireMsg::GetMetaReplica,
+        kind::META_REPLICA => WireMsg::MetaReplicaMsg(get_wire_replica(&mut r)?),
+        kind::META_MERGE => WireMsg::MetaMerge(get_wire_replica(&mut r)?),
+        kind::META_ACK => WireMsg::MetaAck {
+            epoch: r.u64()?,
+            changed: r.u8()? != 0,
+        },
+        kind::GET_BROKER_STATUS => WireMsg::GetBrokerStatus,
+        kind::BROKER_STATUS => {
+            let role = r.u8()?;
+            if role > WireBrokerStatus::ROLE_FOLLOWER {
+                return Err(CodecError::BadTag {
+                    context: "broker role",
+                    tag: role,
+                });
+            }
+            let broker_addr = r.string()?;
+            let epoch = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut peers = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                peers.push(WireBrokerPeer {
+                    addr: r.string()?,
+                    acked_epoch: r.u64()?,
+                    reachable: r.u8()? != 0,
+                });
+            }
+            WireMsg::BrokerStatus(WireBrokerStatus {
+                role,
+                broker_addr,
+                epoch,
+                peers,
             })
         }
         tag => {
@@ -1729,6 +2129,156 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn sample_wire_replica() -> WireMetaReplica {
+        WireMetaReplica {
+            epoch: 17,
+            next_migration_seq: 3,
+            servers: vec![
+                WireServerInfo {
+                    id: 0,
+                    address: "127.0.0.1:4870".into(),
+                    threads: 2,
+                    view: 4,
+                    ranges: vec![(0, 1 << 60)],
+                },
+                WireServerInfo {
+                    id: 1,
+                    address: "127.0.0.1:4871".into(),
+                    threads: 2,
+                    view: 3,
+                    ranges: vec![(1 << 60, u64::MAX)],
+                },
+            ],
+            pending: vec![WireMigrationDep {
+                id: 1 << 40,
+                source: 1,
+                target: 0,
+                ranges: vec![(1 << 60, 1 << 61)],
+                source_complete: true,
+                target_complete: false,
+                cancelled: false,
+            }],
+            completed: vec![WireMigrationDep {
+                id: 0,
+                source: 0,
+                target: 1,
+                ranges: vec![(0, 1 << 10)],
+                source_complete: true,
+                target_complete: true,
+                cancelled: false,
+            }],
+            cancelled: vec![WireMigrationDep {
+                id: 1,
+                source: 0,
+                target: 1,
+                ranges: vec![(1 << 10, 1 << 11)],
+                source_complete: false,
+                target_complete: false,
+                cancelled: true,
+            }],
+        }
+    }
+
+    fn sample_broker_status() -> WireBrokerStatus {
+        WireBrokerStatus {
+            role: WireBrokerStatus::ROLE_BROKER,
+            broker_addr: "127.0.0.1:4870".into(),
+            epoch: 17,
+            peers: vec![
+                WireBrokerPeer {
+                    addr: "127.0.0.1:4871".into(),
+                    acked_epoch: 17,
+                    reachable: true,
+                },
+                WireBrokerPeer {
+                    addr: "127.0.0.1:4872".into(),
+                    acked_epoch: 9,
+                    reachable: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_broker_frames() {
+        roundtrip(WireMsg::GetMetricsNs {
+            prefix: "tier.".into(),
+        });
+        roundtrip(WireMsg::GetMetricsNs { prefix: "".into() });
+        roundtrip(WireMsg::GetMetaReplica);
+        roundtrip(WireMsg::MetaReplicaMsg(sample_wire_replica()));
+        roundtrip(WireMsg::MetaReplicaMsg(WireMetaReplica::default()));
+        roundtrip(WireMsg::MetaMerge(sample_wire_replica()));
+        roundtrip(WireMsg::MetaAck {
+            epoch: 17,
+            changed: true,
+        });
+        roundtrip(WireMsg::GetBrokerStatus);
+        roundtrip(WireMsg::BrokerStatus(sample_broker_status()));
+        roundtrip(WireMsg::BrokerStatus(WireBrokerStatus::default()));
+    }
+
+    #[test]
+    fn truncated_broker_frames_are_rejected_at_every_cut() {
+        for msg in [
+            WireMsg::GetMetricsNs {
+                prefix: "tier.".into(),
+            },
+            WireMsg::MetaReplicaMsg(sample_wire_replica()),
+            WireMsg::MetaMerge(sample_wire_replica()),
+            WireMsg::MetaAck {
+                epoch: 17,
+                changed: false,
+            },
+            WireMsg::BrokerStatus(sample_broker_status()),
+        ] {
+            let frame = encode_frame(&msg);
+            for cut in 0..frame.len() {
+                match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                    Err(CodecError::Truncated) => {}
+                    other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_replica_dep_range_is_rejected() {
+        let mut replica = sample_wire_replica();
+        replica.pending[0].ranges[0] = (100, 5);
+        let frame = encode_frame(&WireMsg::MetaMerge(replica));
+        match decode_frame(&frame, MAX_FRAME_BYTES) {
+            Err(CodecError::Invalid { .. }) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_broker_role_is_rejected() {
+        let mut frame = encode_frame(&WireMsg::BrokerStatus(sample_broker_status()));
+        // Body starts after the 4-byte length prefix and 1-byte kind; the
+        // role byte is the first payload byte.
+        frame[5] = 9;
+        match decode_frame(&frame, MAX_FRAME_BYTES) {
+            Err(CodecError::BadTag {
+                context: "broker role",
+                ..
+            }) => {}
+            other => panic!("expected BadTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_replica_converts_to_core_and_back() {
+        let wire = sample_wire_replica();
+        let core = wire.to_replica();
+        assert_eq!(core.epoch, 17);
+        assert_eq!(core.pending.len(), 1);
+        assert_eq!(core.pending[0].source, ServerId(1));
+        let back = WireMetaReplica::from_replica(&core);
+        assert_eq!(back, wire);
     }
 
     #[test]

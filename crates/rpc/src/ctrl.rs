@@ -5,21 +5,32 @@
 //! (ownership snapshots, migration triggers, liveness probes).  This is the
 //! out-of-process stand-in for talking to the metadata store directly, which
 //! in-process clients do via `shadowfax::MetadataStore`.
+//!
+//! Every typed method is one line over the generic [`CtrlClient::call`]
+//! helper: encode the request, read exactly one reply frame, surface
+//! `CTRL_ERR` as [`RpcError::Remote`], and reject any other unexpected
+//! frame as [`RpcError::Protocol`].
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use shadowfax::{ChainFetchQuery, ChainFetchReply};
+use shadowfax::{ChainFetchQuery, ChainFetchReply, MetaError};
 use shadowfax_net::StatusCode;
+use shadowfax_obs::MetricsSnapshot;
 
 use crate::codec::{
-    encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState, WireMsg,
-    WireOwnership, WireTierStats, MAX_FRAME_BYTES,
+    encode_frame, CodecError, FrameDecoder, WireBrokerStatus, WireCancelStats, WireMetaReplica,
+    WireMigrationState, WireMsg, WireOwnership, WireTierStats, MAX_FRAME_BYTES,
 };
 
 /// Errors from RPC client operations.
+///
+/// Non-exhaustive so new failure modes can be added without breaking
+/// downstream matches; Display phrasing is lowercase-first with no
+/// trailing period (audited by this crate's error-surface test).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RpcError {
     /// A socket-level failure.
     Io(String),
@@ -66,6 +77,19 @@ impl From<std::io::Error> for RpcError {
 impl From<CodecError> for RpcError {
     fn from(e: CodecError) -> Self {
         RpcError::Codec(e)
+    }
+}
+
+/// A metadata failure maps onto the same shape a remote control plane
+/// reports it with (`CTRL_ERR` + [`StatusCode::ControlFailed`]), so
+/// callers handle a locally-detected and a relayed failure identically
+/// instead of string-matching.
+impl From<MetaError> for RpcError {
+    fn from(e: MetaError) -> Self {
+        RpcError::Remote {
+            status: StatusCode::ControlFailed,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -123,43 +147,56 @@ impl CtrlClient {
         }
     }
 
-    /// Fetches the current ownership snapshot.
-    pub fn ownership(&mut self) -> Result<WireOwnership, RpcError> {
-        match self.roundtrip(&WireMsg::GetOwnership)? {
-            WireMsg::Ownership(own) => Ok(own),
-            other => Err(RpcError::Protocol(format!(
-                "expected Ownership, got {other:?}"
-            ))),
-        }
+    /// The one generic request/response call every typed method is built
+    /// on: sends `request`, reads one reply frame, and narrows it with
+    /// `extract` (return `Err(frame)` to reject; the frame is folded into
+    /// the [`RpcError::Protocol`] message alongside `expected`).
+    pub fn call<Resp>(
+        &mut self,
+        request: &WireMsg,
+        expected: &'static str,
+        extract: impl FnOnce(WireMsg) -> Result<Resp, WireMsg>,
+    ) -> Result<Resp, RpcError> {
+        extract(self.roundtrip(request)?)
+            .map_err(|other| RpcError::Protocol(format!("expected {expected}, got {other:?}")))
     }
 
-    /// Triggers a migration; returns the migration id.
+    /// Fetches the current ownership snapshot.
+    pub fn ownership(&mut self) -> Result<WireOwnership, RpcError> {
+        self.call(&WireMsg::GetOwnership, "Ownership", |m| match m {
+            WireMsg::Ownership(own) => Ok(own),
+            other => Err(other),
+        })
+    }
+
+    /// Triggers a migration; returns the migration id.  The contacted
+    /// process need not host the source server: a process that only knows
+    /// the source from its replicated metadata relays the request to the
+    /// hosting process and returns the same id.
     pub fn migrate_fraction(
         &mut self,
         source: u32,
         target: u32,
         fraction: f64,
     ) -> Result<u64, RpcError> {
-        match self.roundtrip(&WireMsg::Migrate {
+        let req = WireMsg::Migrate {
             source,
             target,
             fraction,
-        })? {
+        };
+        self.call(&req, "CtrlOk", |m| match m {
             WireMsg::CtrlOk { value } => Ok(value),
-            other => Err(RpcError::Protocol(format!(
-                "expected CtrlOk, got {other:?}"
-            ))),
-        }
+            other => Err(other),
+        })
     }
 
     /// Queries the state of a migration by id.
     pub fn migration_status(&mut self, migration_id: u64) -> Result<WireMigrationState, RpcError> {
-        match self.roundtrip(&WireMsg::MigrationStatus { migration_id })? {
+        let req = WireMsg::MigrationStatus { migration_id };
+        self.call(&req, "MigrationState", |m| match m {
             WireMsg::MigrationState(state) if state.migration_id == migration_id => Ok(state),
-            other => Err(RpcError::Protocol(format!(
-                "expected MigrationState for {migration_id}, got {other:?}"
-            ))),
-        }
+            other => Err(other),
+        })
     }
 
     /// Polls [`CtrlClient::migration_status`] until the migration *settles*
@@ -195,66 +232,208 @@ impl CtrlClient {
     /// involved local server back and the dependency is cancelled at the
     /// metadata store.  Idempotent on an already-cancelled migration.
     pub fn cancel_migration(&mut self, migration_id: u64) -> Result<(), RpcError> {
-        match self.roundtrip(&WireMsg::CancelMigration { migration_id })? {
+        let req = WireMsg::CancelMigration { migration_id };
+        self.call(&req, "CtrlOk for cancel", |m| match m {
             WireMsg::CtrlOk { value } if value == migration_id => Ok(()),
-            other => Err(RpcError::Protocol(format!(
-                "expected CtrlOk for cancel of {migration_id}, got {other:?}"
-            ))),
-        }
+            other => Err(other),
+        })
     }
 
     /// Fetches the peer process's cancellation / liveness counters.
+    ///
+    /// Assembled from a namespaced metrics query (the `sv*.migration.*`
+    /// counter families) rather than the deprecated `GET_CANCEL_STATS`
+    /// frame, which servers still answer for old clients.
     pub fn cancel_stats(&mut self) -> Result<WireCancelStats, RpcError> {
-        match self.roundtrip(&WireMsg::GetCancelStats)? {
-            WireMsg::CancelStats(stats) => Ok(stats),
-            other => Err(RpcError::Protocol(format!(
-                "expected CancelStats, got {other:?}"
-            ))),
-        }
+        let snap = self.metrics_ns("sv")?;
+        Ok(WireCancelStats {
+            migrations_cancelled: snap.counter_family(".migration.cancelled"),
+            records_rolled_back: snap.counter_family(".migration.records_rolled_back"),
+            heartbeats_missed: snap.counter_family(".migration.heartbeats_missed"),
+        })
     }
 
     /// Fetches a spilled record chain out of the peer process's shared
     /// tier.  Stale-view and out-of-range rejections surface as
     /// [`RpcError::Remote`] with the corresponding [`StatusCode`].
     pub fn fetch_chain(&mut self, query: &ChainFetchQuery) -> Result<ChainFetchReply, RpcError> {
-        match self.roundtrip(&WireMsg::FetchChain(*query))? {
+        self.call(&WireMsg::FetchChain(*query), "ChainRecords", |m| match m {
             WireMsg::ChainRecords(reply) => Ok(reply),
-            other => Err(RpcError::Protocol(format!(
-                "expected ChainRecords, got {other:?}"
-            ))),
-        }
+            other => Err(other),
+        })
     }
 
     /// Fetches the peer process's shared-tier chain-fetch counters.
+    ///
+    /// Assembled from namespaced metrics queries (`tier.chain.*` plus the
+    /// per-server `sv*.chain.remote_fetches` family) rather than the
+    /// deprecated `GET_TIER_STATS` frame, which servers still answer for
+    /// old clients.
     pub fn tier_stats(&mut self) -> Result<WireTierStats, RpcError> {
-        match self.roundtrip(&WireMsg::GetTierStats)? {
-            WireMsg::TierStats(stats) => Ok(stats),
-            other => Err(RpcError::Protocol(format!(
-                "expected TierStats, got {other:?}"
-            ))),
-        }
+        let tier = self.metrics_ns("tier.chain.")?;
+        let per_server = self.metrics_ns("sv")?;
+        Ok(WireTierStats {
+            served: tier.counter("tier.chain.served").unwrap_or(0),
+            records_served: tier.counter("tier.chain.records_served").unwrap_or(0),
+            rejected_stale_view: tier.counter("tier.chain.rejected_stale_view").unwrap_or(0),
+            rejected_out_of_range: tier
+                .counter("tier.chain.rejected_out_of_range")
+                .unwrap_or(0),
+            remote_fetches: per_server.counter_family(".chain.remote_fetches"),
+        })
     }
 
     /// Fetches the peer process's full metrics snapshot: every counter
     /// family, gauge, latency histogram, and the migration-phase event
     /// timeline in one versioned frame.
-    pub fn metrics(&mut self) -> Result<shadowfax_obs::MetricsSnapshot, RpcError> {
-        match self.roundtrip(&WireMsg::GetMetrics)? {
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, RpcError> {
+        self.call(&WireMsg::GetMetrics, "Metrics", |m| match m {
             WireMsg::Metrics(snap) => Ok(snap),
-            other => Err(RpcError::Protocol(format!(
-                "expected Metrics, got {other:?}"
-            ))),
-        }
+            other => Err(other),
+        })
+    }
+
+    /// Fetches the slice of the peer's metrics whose instrument names
+    /// start with `prefix` (e.g. `"broker."`, `"tier.chain."`).
+    pub fn metrics_ns(&mut self, prefix: &str) -> Result<MetricsSnapshot, RpcError> {
+        let req = WireMsg::GetMetricsNs {
+            prefix: prefix.to_string(),
+        };
+        self.call(&req, "Metrics", |m| match m {
+            WireMsg::Metrics(snap) => Ok(snap),
+            other => Err(other),
+        })
+    }
+
+    /// Exports the peer's epoch-tagged metadata replica.
+    pub fn meta_replica(&mut self) -> Result<WireMetaReplica, RpcError> {
+        self.call(&WireMsg::GetMetaReplica, "MetaReplica", |m| match m {
+            WireMsg::MetaReplicaMsg(replica) => Ok(replica),
+            other => Err(other),
+        })
+    }
+
+    /// Pushes a merged replica into the peer's store; returns the peer's
+    /// post-merge `(epoch, changed)` acknowledgement.
+    pub fn merge_meta(&mut self, replica: &WireMetaReplica) -> Result<(u64, bool), RpcError> {
+        let req = WireMsg::MetaMerge(replica.clone());
+        self.call(&req, "MetaAck", |m| match m {
+            WireMsg::MetaAck { epoch, changed } => Ok((epoch, changed)),
+            other => Err(other),
+        })
+    }
+
+    /// Queries the peer's coordinator role, broker address, epoch, and
+    /// per-peer convergence state.
+    pub fn broker_status(&mut self) -> Result<WireBrokerStatus, RpcError> {
+        self.call(&WireMsg::GetBrokerStatus, "BrokerStatus", |m| match m {
+            WireMsg::BrokerStatus(status) => Ok(status),
+            other => Err(other),
+        })
     }
 
     /// Round-trips a liveness probe.
     pub fn ping(&mut self) -> Result<(), RpcError> {
         let token = 0x005A_D0FA;
-        match self.roundtrip(&WireMsg::Ping(token))? {
+        self.call(&WireMsg::Ping(token), "matching Pong", |m| match m {
             WireMsg::Pong(t) if t == token => Ok(()),
-            other => Err(RpcError::Protocol(format!(
-                "expected matching Pong, got {other:?}"
-            ))),
+            other => Err(other),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowfax::{HashRange, LayoutError, ServerId};
+
+    /// Satellite of the control-plane redesign: every error the binaries
+    /// can print follows one Display convention — starts lowercase (it is
+    /// embedded after an `error:` prefix), no trailing period, non-empty —
+    /// so scripts that scrape stderr see uniform phrasing and the typed
+    /// `From` conversions stay the only way errors cross layers.
+    #[test]
+    fn error_display_phrasing_is_uniform() {
+        let range = HashRange::new(0, 100);
+        let meta: Vec<MetaError> = vec![
+            MetaError::UnknownServer(ServerId(3)),
+            MetaError::AlreadyRegistered(ServerId(3)),
+            MetaError::UnknownMigration(42),
+            MetaError::NotOwned {
+                server: ServerId(1),
+                range,
+            },
+            MetaError::OwnershipOverlap {
+                server: ServerId(1),
+                other: ServerId(2),
+                range,
+            },
+            MetaError::ConflictingMigration {
+                conflicting: 7,
+                range,
+            },
+            MetaError::CoordinatorUnavailable {
+                detail: "broker 127.0.0.1:1 unreachable".into(),
+            },
+        ];
+        let layout: Vec<LayoutError> = vec![
+            LayoutError::DuplicateServer(ServerId(0)),
+            LayoutError::UnknownServer(ServerId(9)),
+            LayoutError::ConflictingAssignment(ServerId(1)),
+            LayoutError::Overlap {
+                a: ServerId(0),
+                b: ServerId(1),
+                range,
+            },
+            LayoutError::Gap { start: 5, end: 10 },
+            LayoutError::NoServers,
+            LayoutError::Spec {
+                context: "--peer",
+                input: "garbage".into(),
+            },
+        ];
+        let rpc: Vec<RpcError> = vec![
+            RpcError::Io("socket reset".into()),
+            RpcError::Remote {
+                status: StatusCode::ControlFailed,
+                message: "detail".into(),
+            },
+            RpcError::Protocol("expected Pong, got Ping".into()),
+            RpcError::Timeout("migration 9 did not settle".into()),
+            MetaError::UnknownMigration(9).into(),
+        ];
+        let all: Vec<String> = meta
+            .iter()
+            .map(|e| e.to_string())
+            .chain(layout.iter().map(|e| e.to_string()))
+            .chain(rpc.iter().map(|e| e.to_string()))
+            .collect();
+        for msg in &all {
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(
+                first.is_ascii_lowercase(),
+                "error Display must start lowercase: {msg:?}"
+            );
+            assert!(
+                !msg.ends_with('.'),
+                "error Display must not end with a period: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn meta_errors_convert_to_typed_remote_failures() {
+        let err: RpcError = MetaError::CoordinatorUnavailable {
+            detail: "no broker".into(),
+        }
+        .into();
+        match err {
+            RpcError::Remote { status, message } => {
+                assert_eq!(status, StatusCode::ControlFailed);
+                assert!(message.contains("no broker"));
+            }
+            other => panic!("expected Remote, got {other:?}"),
         }
     }
 }

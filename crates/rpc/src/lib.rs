@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+mod broker;
 mod client;
 pub mod codec;
 mod ctrl;
@@ -47,10 +48,14 @@ mod tcp;
 mod tier;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
+pub use broker::{
+    CoordinatedControl, Coordinator, CoordinatorConfig, CoordinatorHandle, ReplicatedMetadata, Role,
+};
 pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats};
 pub use codec::{
-    decode_frame, encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState,
-    WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireBrokerPeer, WireBrokerStatus,
+    WireCancelStats, WireMetaReplica, WireMigrationDep, WireMigrationState, WireMsg, WireOwnership,
+    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 pub use ctrl::{CtrlClient, RpcError};
 pub use fabric::TcpMigrationConnector;

@@ -30,10 +30,16 @@ use shadowfax_net::{KvLink, KvRequest, MigrationLink, StatusCode, Transport, Tra
 use shadowfax_obs::{Histogram, MetricsRegistry};
 
 use crate::codec::{
-    encode_frame, FrameDecoder, WireCancelStats, WireMigrationState, WireMsg, WireOwnership,
-    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    encode_frame, FrameDecoder, WireBrokerStatus, WireCancelStats, WireMetaReplica,
+    WireMigrationState, WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
+use crate::ctrl::CtrlClient;
 use crate::tcp::write_all_nonblocking;
+
+/// Budget for relaying a control operation (migrate / cancel) to the peer
+/// process that hosts the relevant source server.  Bounded so a
+/// partitioned peer cannot wedge the I/O thread serving the relay.
+const RELAY_TIMEOUT: Duration = Duration::from_secs(3);
 
 /// What the TCP front end needs from the cluster behind it.
 ///
@@ -80,6 +86,25 @@ pub trait ClusterControl: Send + Sync {
     /// `GET_METRICS` frames from it and records its serving-path latency
     /// histograms into it.
     fn metrics(&self) -> Arc<MetricsRegistry>;
+
+    /// The process's epoch-tagged metadata replica (broker pull path).
+    fn meta_replica(&self) -> WireMetaReplica;
+
+    /// Merges a replica pushed by a peer (broker fan-out path); returns
+    /// the post-merge `(epoch, changed)` acknowledgement.
+    fn merge_meta(&self, replica: &WireMetaReplica) -> (u64, bool);
+
+    /// The coordinator's role and convergence state.  A process running
+    /// no coordinator answers `solo` at its current metadata epoch.
+    fn broker_status(&self) -> WireBrokerStatus;
+
+    /// The control address of the process hosting `server`, when it is
+    /// not hosted here (`None` means the operation runs locally).
+    fn remote_source_addr(&self, server: u32) -> Option<String>;
+
+    /// The control address of the process hosting the *source* of
+    /// in-flight migration `migration_id`, when that is not this process.
+    fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String>;
 }
 
 impl ClusterControl for Cluster {
@@ -197,6 +222,72 @@ impl ClusterControl for Cluster {
     fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(Cluster::metrics(self))
     }
+
+    fn meta_replica(&self) -> WireMetaReplica {
+        WireMetaReplica::from_replica(&self.meta().replica())
+    }
+
+    fn merge_meta(&self, replica: &WireMetaReplica) -> (u64, bool) {
+        let outcome = self.merge_meta_replica(&replica.to_replica());
+        (outcome.epoch, outcome.changed)
+    }
+
+    fn broker_status(&self) -> WireBrokerStatus {
+        WireBrokerStatus {
+            role: WireBrokerStatus::ROLE_SOLO,
+            broker_addr: String::new(),
+            epoch: self.meta().epoch(),
+            peers: Vec::new(),
+        }
+    }
+
+    fn remote_source_addr(&self, server: u32) -> Option<String> {
+        Cluster::remote_source_addr(self, ServerId(server))
+    }
+
+    fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String> {
+        Cluster::remote_addr_for_migration(self, migration_id)
+    }
+}
+
+/// Relays a `Migrate` whose source server lives in another process, then
+/// pulls that process's metadata replica and merges it here, so a status
+/// query for the returned id on *this* process answers immediately
+/// instead of waiting a broker round.
+fn relay_migrate(
+    control: &Arc<dyn ClusterControl>,
+    addr: &str,
+    source: u32,
+    target: u32,
+    fraction: f64,
+) -> Result<u64, String> {
+    let mut peer = CtrlClient::connect(addr, RELAY_TIMEOUT)
+        .map_err(|e| format!("relay to source process {addr}: {e}"))?;
+    let id = peer
+        .migrate_fraction(source, target, fraction)
+        .map_err(|e| format!("relay to source process {addr}: {e}"))?;
+    if let Ok(replica) = peer.meta_replica() {
+        control.merge_meta(&replica);
+    }
+    Ok(id)
+}
+
+/// Relays a `CancelMigration` to the process driving the migration (the
+/// source's process), merging its replica back on success so the
+/// cancelled dependency and rolled-back ownership land here at once.
+fn relay_cancel(
+    control: &Arc<dyn ClusterControl>,
+    addr: &str,
+    migration_id: u64,
+) -> Result<(), String> {
+    let mut peer = CtrlClient::connect(addr, RELAY_TIMEOUT)
+        .map_err(|e| format!("relay to source process {addr}: {e}"))?;
+    peer.cancel_migration(migration_id)
+        .map_err(|e| format!("relay to source process {addr}: {e}"))?;
+    if let Ok(replica) = peer.meta_replica() {
+        control.merge_meta(&replica);
+    }
+    Ok(())
 }
 
 /// Serving-path latency histograms, one per op type.  Handles are cheap
@@ -488,12 +579,23 @@ impl ServedConn {
                 }
                 WireMsg::CancelMigration { migration_id } => {
                     // Like Migrate: treat a panic below as a failed control
-                    // operation, never as a downed I/O thread.
+                    // operation, never as a downed I/O thread.  A migration
+                    // whose source lives in another process is relayed
+                    // there (that process drives the rollback); if the
+                    // relay fails the cancellation still lands in the
+                    // local replica, and the coordinator retries the relay
+                    // until the peer's acked epoch converges.
                     let start = Instant::now();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        control.cancel_migration(migration_id)
-                    }))
-                    .unwrap_or_else(|_| Err("migration cancellation panicked".to_string()));
+                    let relayed = control
+                        .remote_addr_for_migration(migration_id)
+                        .map(|addr| relay_cancel(control, &addr, migration_id));
+                    let result = match relayed {
+                        Some(Ok(())) => Ok(()),
+                        _ => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            control.cancel_migration(migration_id)
+                        }))
+                        .unwrap_or_else(|_| Err("migration cancellation panicked".to_string())),
+                    };
                     self.lat.migrate_ctrl.record(start.elapsed());
                     match result {
                         Ok(()) => self.send(&WireMsg::CtrlOk {
@@ -529,6 +631,29 @@ impl ServedConn {
                     let snap = control.metrics().snapshot();
                     self.send(&WireMsg::Metrics(snap));
                 }
+                WireMsg::GetMetricsNs { prefix } => {
+                    let snap = control.metrics().snapshot().filtered(&prefix);
+                    self.send(&WireMsg::Metrics(snap));
+                }
+                WireMsg::GetMetaReplica => {
+                    let replica = control.meta_replica();
+                    self.send(&WireMsg::MetaReplicaMsg(replica));
+                }
+                WireMsg::MetaMerge(replica) => {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        control.merge_meta(&replica)
+                    }));
+                    match result {
+                        Ok((epoch, changed)) => self.send(&WireMsg::MetaAck { epoch, changed }),
+                        Err(_) => self.send(&WireMsg::CtrlErr {
+                            status: StatusCode::ControlFailed,
+                            message: "metadata merge panicked".to_string(),
+                        }),
+                    }
+                }
+                WireMsg::GetBrokerStatus => {
+                    self.send(&WireMsg::BrokerStatus(control.broker_status()));
+                }
                 WireMsg::GetOwnership => {
                     let own = control.ownership();
                     self.send(&WireMsg::Ownership(own));
@@ -547,6 +672,12 @@ impl ServedConn {
                         Err(format!("fraction {fraction} is outside [0, 1]"))
                     } else if source == target {
                         Err(format!("source and target are both server {source}"))
+                    } else if let Some(addr) = control.remote_source_addr(source) {
+                        // The source server lives in another process: any
+                        // process can originate the migration, but the
+                        // hosting process drives it, so relay and merge
+                        // its replica back.
+                        relay_migrate(control, &addr, source, target, fraction)
                     } else {
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             control.migrate(source, target, fraction)

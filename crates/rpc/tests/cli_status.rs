@@ -1,12 +1,15 @@
-//! `shadowfax-cli` migration exit codes: scripts must be able to
-//! distinguish "in flight / complete" (0) from "unknown migration" (1),
-//! "cancelled" (4), and "wait deadline expired" (5) without parsing output.
+//! `shadowfax-cli` exit codes: scripts must be able to distinguish "in
+//! flight / complete" (0) from "unknown migration" (1), "cancelled" (4),
+//! "wait deadline expired" (5), and a usage error (64) without parsing
+//! output.  Exercises both the noun-verb command tree (`migrate status`,
+//! `tier stats`, `cluster layout`, ...) and the hidden flat aliases it
+//! replaced (`status`, `tier-stats`, `ownership`, ...).
 //!
 //! The cluster runs in-process behind a real `RpcServer`; the CLI binary is
 //! spawned as a separate OS process against it.  The first cancellation is
-//! driven over the wire with the CLI's own `cancel` verb; a later one is
-//! recorded directly at the metadata store to exercise the status path in
-//! isolation.
+//! driven over the wire with the CLI's own `migrate cancel` verb; a later
+//! one is recorded directly at the metadata store to exercise the status
+//! path in isolation.
 
 use std::process::Command;
 use std::sync::Arc;
@@ -41,12 +44,19 @@ fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
     .expect("bind rpc server");
     let addr = rpc.local_addr().to_string();
 
-    // Unknown migration id: server-side error, exit 1.
+    // Unknown migration id: server-side error, exit 1 — via both the
+    // flat alias and the command tree.
     let (code, _, stderr) = cli_status(&addr, "999");
     assert_eq!(code, Some(1), "unknown id should exit 1; stderr: {stderr}");
     assert!(
         stderr.contains("unknown migration"),
         "unexpected stderr: {stderr}"
+    );
+    let (code, _, stderr) = cli(&addr, &["migrate", "status", "999"]);
+    assert_eq!(
+        code,
+        Some(1),
+        "migrate status should exit 1 on an unknown id; stderr: {stderr}"
     );
 
     // An in-flight migration (recorded at the metadata store): exit 0.
@@ -79,12 +89,20 @@ fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
     assert!(stderr.contains("timed out"), "unexpected stderr: {stderr}");
 
     // Cancel over the wire with the CLI's own verb: exit 0, and the
-    // cancellation counters become visible.
-    let (code, stdout, stderr) = cli(&addr, &["cancel", &id_str]);
+    // cancellation counters become visible — through the command tree
+    // (`migrate stats` assembles them from a namespaced metrics query)
+    // and through the deprecated flat alias.
+    let (code, stdout, stderr) = cli(&addr, &["migrate", "cancel", &id_str]);
     assert_eq!(code, Some(0), "cancel should exit 0; stderr: {stderr}");
     assert!(stdout.contains("cancelled"), "unexpected stdout: {stdout}");
-    let (code, stdout, _) = cli(&addr, &["cancel-stats"]);
+    let (code, stdout, _) = cli(&addr, &["migrate", "stats"]);
     assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("migrations cancelled: 1"),
+        "unexpected migrate stats: {stdout}"
+    );
+    let (code, stdout, _) = cli(&addr, &["cancel-stats"]);
+    assert_eq!(code, Some(0), "flat cancel-stats alias should keep working");
     assert!(
         stdout.contains("migrations cancelled: 1"),
         "unexpected cancel-stats: {stdout}"
@@ -132,9 +150,50 @@ fn status_exit_codes_distinguish_unknown_cancelled_and_live() {
         "json missing cancellation counter: {stdout}"
     );
 
-    // An unknown metrics flag is a usage error (exit 2).
+    // Namespaced metrics keep only the requested prefix.
+    let (code, stdout, stderr) = cli(&addr, &["metrics", "--ns", "sv0.migration."]);
+    assert_eq!(
+        code,
+        Some(0),
+        "metrics --ns should exit 0; stderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("counter sv0.migration.cancelled 1"),
+        "namespaced metrics missing the family: {stdout}"
+    );
+    assert!(
+        !stdout.contains("tier.chain.served"),
+        "namespaced metrics leaked another namespace: {stdout}"
+    );
+
+    // The remaining control-plane nouns answer through the tree and
+    // their flat aliases alike.
+    let (code, stdout, _) = cli(&addr, &["tier", "stats"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("chain fetches served"), "{stdout}");
+    let (code, _, _) = cli(&addr, &["tier-stats"]);
+    assert_eq!(code, Some(0), "flat tier-stats alias should keep working");
+    let (code, stdout, _) = cli(&addr, &["cluster", "layout"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("server 0"), "{stdout}");
+    let (code, _, _) = cli(&addr, &["ownership"]);
+    assert_eq!(code, Some(0), "flat ownership alias should keep working");
+    // No coordinator runs in this single-process test: solo role.
+    let (code, stdout, _) = cli(&addr, &["cluster", "status"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("role: solo"), "{stdout}");
+    assert!(stdout.contains("epoch:"), "{stdout}");
+
+    // Usage errors exit 64 (EX_USAGE): unknown flags, unknown commands,
+    // and unknown subcommands of a noun.
     let (code, _, _) = cli(&addr, &["metrics", "--bogus"]);
-    assert_eq!(code, Some(2), "unknown metrics flag should exit 2");
+    assert_eq!(code, Some(64), "unknown metrics flag should exit 64");
+    let (code, _, _) = cli(&addr, &["frobnicate"]);
+    assert_eq!(code, Some(64), "unknown command should exit 64");
+    let (code, _, _) = cli(&addr, &["migrate", "bogus"]);
+    assert_eq!(code, Some(64), "unknown migrate verb should exit 64");
+    let (code, _, _) = cli(&addr, &["cluster"]);
+    assert_eq!(code, Some(64), "bare noun should exit 64");
 
     // Completed (dependency garbage collected): exit 0.
     let moving2 = cluster

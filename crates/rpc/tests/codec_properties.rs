@@ -29,8 +29,9 @@ use shadowfax::{
 use shadowfax_net::{BatchReply, KvRequest, KvResponse, RequestBatch, StatusCode};
 use shadowfax_obs::{HistogramSnapshot, MetricsSnapshot, TimelineEvent};
 use shadowfax_rpc::{
-    decode_frame, encode_frame, CodecError, FrameDecoder, WireCancelStats, WireMigrationState,
-    WireMsg, WireOwnership, WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    decode_frame, encode_frame, CodecError, FrameDecoder, WireBrokerPeer, WireBrokerStatus,
+    WireCancelStats, WireMetaReplica, WireMigrationDep, WireMigrationState, WireMsg, WireOwnership,
+    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
 };
 use shadowfax_storage::TierRecord;
 
@@ -213,6 +214,74 @@ fn random_metrics_snapshot(rng: &mut StdRng) -> MetricsSnapshot {
     }
 }
 
+fn random_server_info(rng: &mut StdRng, id: u32) -> WireServerInfo {
+    WireServerInfo {
+        id,
+        address: random_string(rng, 24),
+        threads: rng.gen_range(1u64..8) as u32,
+        view: rng.gen(),
+        ranges: (0..rng.gen_range(0u64..4))
+            .map(|_| {
+                let r = random_range(rng);
+                (r.start, r.end)
+            })
+            .collect(),
+    }
+}
+
+fn random_migration_dep(rng: &mut StdRng) -> WireMigrationDep {
+    WireMigrationDep {
+        id: rng.gen(),
+        source: rng.gen(),
+        target: rng.gen(),
+        ranges: (0..rng.gen_range(0u64..4))
+            .map(|_| {
+                let r = random_range(rng);
+                (r.start, r.end)
+            })
+            .collect(),
+        source_complete: rng.gen::<u64>() % 2 == 0,
+        target_complete: rng.gen::<u64>() % 2 == 0,
+        cancelled: rng.gen::<u64>() % 2 == 0,
+    }
+}
+
+fn random_meta_replica(rng: &mut StdRng) -> WireMetaReplica {
+    WireMetaReplica {
+        epoch: rng.gen(),
+        next_migration_seq: rng.gen(),
+        servers: (0..rng.gen_range(0u64..4))
+            .map(|i| random_server_info(rng, i as u32))
+            .collect(),
+        pending: (0..rng.gen_range(0u64..3))
+            .map(|_| random_migration_dep(rng))
+            .collect(),
+        completed: (0..rng.gen_range(0u64..3))
+            .map(|_| random_migration_dep(rng))
+            .collect(),
+        cancelled: (0..rng.gen_range(0u64..3))
+            .map(|_| random_migration_dep(rng))
+            .collect(),
+    }
+}
+
+fn random_broker_status(rng: &mut StdRng) -> WireBrokerStatus {
+    WireBrokerStatus {
+        // Only the three defined role bytes are encodable (the decoder
+        // rejects anything above ROLE_FOLLOWER as Invalid).
+        role: rng.gen_range(0u64..3) as u8,
+        broker_addr: random_string(rng, 24),
+        epoch: rng.gen(),
+        peers: (0..rng.gen_range(0u64..4))
+            .map(|_| WireBrokerPeer {
+                addr: random_string(rng, 24),
+                acked_epoch: rng.gen(),
+                reachable: rng.gen::<u64>() % 2 == 0,
+            })
+            .collect(),
+    }
+}
+
 /// One random message of every frame kind the codec knows.  Extending
 /// `WireMsg` without extending this list fails the `covers_every_kind`
 /// check below.
@@ -332,6 +401,21 @@ fn random_messages(rng: &mut StdRng) -> Vec<WireMsg> {
         }),
         WireMsg::GetMetrics,
         WireMsg::Metrics(random_metrics_snapshot(rng)),
+        // The metadata-replication control frames (broker/coordinator
+        // work): namespaced metrics queries, replica pull/push, merge
+        // acks, and the coordinator status report.
+        WireMsg::GetMetricsNs {
+            prefix: random_string(rng, 24),
+        },
+        WireMsg::GetMetaReplica,
+        WireMsg::MetaReplicaMsg(random_meta_replica(rng)),
+        WireMsg::MetaMerge(random_meta_replica(rng)),
+        WireMsg::MetaAck {
+            epoch: rng.gen(),
+            changed: rng.gen::<u64>() % 2 == 0,
+        },
+        WireMsg::GetBrokerStatus,
+        WireMsg::BrokerStatus(random_broker_status(rng)),
     ]
 }
 
@@ -347,13 +431,15 @@ fn generator_covers_every_wire_kind() {
             kinds.insert(frame[4]);
         }
     }
-    // 23 distinct kind bytes are on the wire today (Executed/Rejected share
+    // 30 distinct kind bytes are on the wire today (Executed/Rejected share
     // the REPLY kind; every MigrationMsg shares MIGRATION; the cancel work
     // added CANCEL_MIGRATION, GET_CANCEL_STATS, and CANCEL_STATS; the
-    // telemetry work added GET_METRICS and METRICS).
+    // telemetry work added GET_METRICS and METRICS; the metadata-broker
+    // work added GET_METRICS_NS, GET_META_REPLICA, META_REPLICA,
+    // META_MERGE, META_ACK, GET_BROKER_STATUS, and BROKER_STATUS).
     assert_eq!(
         kinds.len(),
-        23,
+        30,
         "frame kinds covered by the generator changed: {kinds:?}"
     );
 }
