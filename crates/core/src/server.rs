@@ -94,6 +94,7 @@ pub(crate) struct ServerInstruments {
     pub(crate) total_pended: Counter,
     pub(crate) indirection_fetches: Counter,
     pub(crate) remote_chain_fetches: Counter,
+    pub(crate) tier_direct_chains: Counter,
     pub(crate) migrations_cancelled: Counter,
     pub(crate) records_rolled_back: Counter,
     pub(crate) heartbeats_missed: Counter,
@@ -116,6 +117,7 @@ impl ServerInstruments {
             total_pended: metrics.counter(&format!("{p}.ops.pended_total")),
             indirection_fetches: metrics.counter(&format!("{p}.indirection.fetches")),
             remote_chain_fetches: metrics.counter(&format!("{p}.chain.remote_fetches")),
+            tier_direct_chains: metrics.counter(&format!("{p}.chain.tier_direct")),
             migrations_cancelled: metrics.counter(&format!("{p}.migration.cancelled")),
             records_rolled_back: metrics.counter(&format!("{p}.migration.records_rolled_back")),
             heartbeats_missed: metrics.counter(&format!("{p}.migration.heartbeats_missed")),
@@ -219,6 +221,9 @@ pub struct Server {
     /// Count of chain fetches answered by a *remote* tier service (the chain
     /// was pulled from another process over the wire).
     pub(crate) remote_chain_fetches: Counter,
+    /// Count of chain fetches the tier service resolved directly (the shared
+    /// tier served the foreign log, no peer chain-fetch round trip).
+    pub(crate) tier_direct_chains: Counter,
     /// Migrations this server cancelled (dead peer, operator request, or a
     /// peer-relayed cancellation), in either role.
     pub(crate) migrations_cancelled: Counter,
@@ -315,6 +320,7 @@ impl Server {
             total_pended: instruments.total_pended,
             indirection_fetches: instruments.indirection_fetches,
             remote_chain_fetches: instruments.remote_chain_fetches,
+            tier_direct_chains: instruments.tier_direct_chains,
             migrations_cancelled: instruments.migrations_cancelled,
             records_rolled_back: instruments.records_rolled_back,
             heartbeats_missed: instruments.heartbeats_missed,
@@ -931,10 +937,15 @@ impl Server {
     }
 
     /// Resolves one indirection record through the tier service.  `depth`
-    /// counts nested hops already taken: a remotely fetched chain may itself
-    /// contain an indirection record (the chain's owner was once a migration
-    /// target too — a three-process chain); one such nested hop is followed
-    /// from here, deeper nesting keeps the operation pending.
+    /// counts nested hops already taken: a fetched chain may itself contain
+    /// an indirection record (the chain's owner was once a migration target
+    /// too — a three-or-more-process chain); such nested hops are followed
+    /// transitively up to [`MAX_NESTED_HOPS`], past which the operation is
+    /// kept pending.  When the tier answers [`ChainFetch::Local`] the walk
+    /// happens directly against the (process-local or genuinely shared)
+    /// tier, which follows nesting itself at no per-hop cost —
+    /// `chain.tier_direct` counts those; `chain.remote_fetches` counts
+    /// chains fetched through the per-hop RPC fallback instead.
     fn resolve_indirection_record(
         &self,
         key: u64,
@@ -951,30 +962,33 @@ impl Server {
             view: self.serving_view(),
         };
         match service.fetch_chain(&request) {
-            ChainFetch::Local => match crate::migration::fetch_from_shared_chain(
-                service.as_ref(),
-                ind.source_log,
-                ind.chain_address,
-                key,
-            ) {
-                crate::migration::LocalChainFetch::Found(record) => {
-                    self.indirection_fetches.inc();
-                    self.insert_fetched_record(key, record.value(), false, session);
-                    IndirectionFetch::Resolved
+            ChainFetch::Local => {
+                self.tier_direct_chains.inc();
+                match crate::migration::fetch_from_shared_chain(
+                    service.as_ref(),
+                    ind.source_log,
+                    ind.chain_address,
+                    key,
+                ) {
+                    crate::migration::LocalChainFetch::Found(record) => {
+                        self.indirection_fetches.inc();
+                        self.insert_fetched_record(key, record.value(), false, session);
+                        IndirectionFetch::Resolved
+                    }
+                    crate::migration::LocalChainFetch::Tombstone => {
+                        self.indirection_fetches.inc();
+                        // Cache the deletion locally: later reads resolve here
+                        // instead of re-walking the chain, and — when this walk
+                        // was a nested hop — the caller's fallback to older
+                        // records is gated by the cached tombstone instead of
+                        // resurrecting a pre-delete version.
+                        self.insert_fetched_record(key, &[], true, session);
+                        IndirectionFetch::Missing
+                    }
+                    crate::migration::LocalChainFetch::Missing => IndirectionFetch::Missing,
+                    crate::migration::LocalChainFetch::Unreadable => IndirectionFetch::Unavailable,
                 }
-                crate::migration::LocalChainFetch::Tombstone => {
-                    self.indirection_fetches.inc();
-                    // Cache the deletion locally: later reads resolve here
-                    // instead of re-walking the chain, and — when this walk
-                    // was a nested hop — the caller's fallback to older
-                    // records is gated by the cached tombstone instead of
-                    // resurrecting a pre-delete version.
-                    self.insert_fetched_record(key, &[], true, session);
-                    IndirectionFetch::Missing
-                }
-                crate::migration::LocalChainFetch::Missing => IndirectionFetch::Missing,
-                crate::migration::LocalChainFetch::Unreadable => IndirectionFetch::Unavailable,
-            },
+            }
             ChainFetch::Records(records) => {
                 self.indirection_fetches.inc();
                 self.remote_chain_fetches.inc();
@@ -990,10 +1004,10 @@ impl Server {
     /// chain.  Reports whether the requested `key` was found live.
     ///
     /// A fetched chain may itself contain an indirection record (the chain's
-    /// owner received it in an earlier migration — a three-process chain).
-    /// When one covers the requested key and this is the first hop, it is
-    /// followed transitively with a second fetch; deeper nesting keeps the
-    /// operation pending.
+    /// owner received it in an earlier migration — a three-or-more-process
+    /// chain).  When one covers the requested key it is followed
+    /// transitively with another fetch, up to [`MAX_NESTED_HOPS`] levels
+    /// deep; only nesting past that cap keeps the operation pending.
     fn absorb_chain_records(
         &self,
         key: u64,
@@ -1020,9 +1034,10 @@ impl Server {
                 // continues on a third process's log.
                 if let Some(nested) = IndirectionRecord::decode_value(&rec.value) {
                     if requested.is_none() && nested.range.contains(hash) {
-                        requested = if depth == 0 {
-                            // Follow one nested hop from the requesting side.
-                            match self.resolve_indirection_record(key, &nested, 1, session) {
+                        requested = if depth < MAX_NESTED_HOPS {
+                            // Follow the nested hop from the requesting side.
+                            match self.resolve_indirection_record(key, &nested, depth + 1, session)
+                            {
                                 IndirectionFetch::Resolved => Some(IndirectionFetch::Resolved),
                                 // The nested chain holds no live record for
                                 // the key, so older records *below* this
@@ -1036,8 +1051,11 @@ impl Server {
                                 }
                             }
                         } else {
-                            // A second level of nesting: resolving it would
-                            // need another hop; keep the operation pending.
+                            // Nesting past the hop cap: resolving it would
+                            // take yet another fetch against a chain that is
+                            // still growing hops; keep the operation pending
+                            // (a later retry resolves it through the shared
+                            // tier directly).
                             Some(IndirectionFetch::Unavailable)
                         };
                     }
@@ -1102,6 +1120,14 @@ impl Server {
         }
     }
 }
+
+/// Nested indirection hops followed transitively while resolving one read
+/// through RPC-fetched chains (a chain that crossed N hosts carries N-1
+/// levels of nesting).  Deeper chains than any realistic migration
+/// sequence produces stay pending until the shared tier resolves them
+/// directly — the cap only guards against indirection cycles from
+/// corrupted records.
+const MAX_NESTED_HOPS: u8 = 4;
 
 enum ExecOutcome {
     Done(KvResponse),
@@ -1323,11 +1349,11 @@ mod tests {
         cluster.shutdown();
     }
 
-    /// Two levels of nesting still pend (resolving them needs a third hop):
-    /// never a miss, the operation stays pending until the chain becomes
-    /// resolvable.
+    /// The PR 4 residual, fixed: two levels of nesting (a four-process
+    /// chain) resolve by following both hops transitively instead of
+    /// pending forever.
     #[test]
-    fn doubly_nested_indirection_keeps_the_operation_pending() {
+    fn doubly_nested_indirection_resolves_transitively() {
         let cluster = Cluster::start(ClusterConfig::two_server_test());
         let server = cluster.server(ServerId(0)).unwrap();
         let session = server.store().start_session();
@@ -1361,6 +1387,65 @@ mod tests {
             .unwrap();
 
         let mut client = cluster.client(ClientConfig::default());
+        assert_eq!(
+            client.read(key),
+            Some(b"three-hops-away".to_vec()),
+            "a doubly nested chain must resolve, not pend"
+        );
+        assert_eq!(
+            server.pending_ops(),
+            0,
+            "nothing should be parked in the pending set"
+        );
+        // Every hop of the chain was chased exactly once.
+        let fetched = tier.fetched.lock().clone();
+        assert_eq!(fetched, vec![50, 60, 70], "fetch trace: {fetched:?}");
+        cluster.shutdown();
+    }
+
+    /// Nesting past [`MAX_NESTED_HOPS`] — deeper than any realistic
+    /// migration sequence, i.e. a corrupted or cyclic chain — still pends:
+    /// never a miss, and the walk stops at the cap instead of looping.
+    #[test]
+    fn nesting_past_the_hop_cap_keeps_the_operation_pending() {
+        let cluster = Cluster::start(ClusterConfig::two_server_test());
+        let server = cluster.server(ServerId(0)).unwrap();
+        let session = server.store().start_session();
+        let key = 9_119u64;
+
+        // Five levels of nesting behind the local indirection: the walk may
+        // follow MAX_NESTED_HOPS (4) of them, so log 100 stays unreached.
+        let tier = Arc::new(ScriptedTier {
+            chains: HashMap::from([
+                (50, vec![indirection_record(60, 128)]),
+                (60, vec![indirection_record(70, 128)]),
+                (70, vec![indirection_record(80, 128)]),
+                (80, vec![indirection_record(90, 128)]),
+                (90, vec![indirection_record(100, 128)]),
+                (
+                    100,
+                    vec![TierRecord {
+                        key,
+                        flags: 0,
+                        value: b"six-hops-away".to_vec(),
+                    }],
+                ),
+            ]),
+            fetched: Mutex::new(Vec::new()),
+            local: None,
+        });
+        cluster.set_tier_service(Arc::clone(&tier) as Arc<dyn TierService>);
+        server
+            .store()
+            .insert_record(
+                key,
+                &indirection_payload(50, 64),
+                RecordFlags::INDIRECTION,
+                &session,
+            )
+            .unwrap();
+
+        let mut client = cluster.client(ClientConfig::default());
         let completed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let flag = Arc::clone(&completed);
         assert!(client.issue_read(key, Box::new(move |_| flag.store(true, Ordering::SeqCst))));
@@ -1372,17 +1457,16 @@ mod tests {
         }
         assert!(
             !completed.load(Ordering::SeqCst),
-            "a doubly nested chain must pend, not complete"
+            "a chain nested past the cap must pend, not complete"
         );
         assert!(
             server.pending_ops() > 0,
             "the read should be parked in the pending set"
         );
-        // The second hop was attempted, the third was not.
         let fetched = tier.fetched.lock().clone();
         assert!(
-            fetched.contains(&50) && fetched.contains(&60) && !fetched.contains(&70),
-            "fetch trace: {fetched:?}"
+            fetched.contains(&90) && !fetched.contains(&100),
+            "the walk should stop at the cap: {fetched:?}"
         );
         cluster.shutdown();
     }

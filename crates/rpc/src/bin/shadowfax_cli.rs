@@ -33,11 +33,16 @@
 //!
 //!   tier stats                   print the process's shared-tier chain-fetch
 //!                                counters
+//!   tier status                  dial a `shadowfax-tier` daemon (give its
+//!                                address as --addr) and print its served
+//!                                counters plus every log's extent and lease
 //!
 //!   cluster status               print the process's coordinator role
 //!                                (solo/broker/follower), the broker address,
-//!                                the cluster epoch, and each peer's acked
-//!                                epoch and reachability
+//!                                the cluster epoch, each peer's acked epoch
+//!                                and reachability, the shared tier endpoint
+//!                                when one is configured, and a warning when
+//!                                cancellation relays have been escalated
 //!   cluster layout               print the cluster's ownership map
 //!
 //!   metrics [--json] [--ns PREFIX]
@@ -86,7 +91,7 @@ fn usage() -> ! {
         "usage: shadowfax-cli --addr HOST:PORT \
          (ping | get K | put K V | del K | rmw K D | \
          migrate (start FROM TO FRACTION | wait ID | status ID | cancel ID | stats) | \
-         tier stats | cluster (status | layout) | \
+         tier (stats | status) | cluster (status | layout) | \
          metrics [--json] [--ns PREFIX] | bench [opts])"
     );
     std::process::exit(EXIT_USAGE)
@@ -164,6 +169,10 @@ fn canonicalize(mut rest: Vec<String>) -> (&'static str, Vec<String>) {
             Some("stats") => {
                 sub(&mut rest);
                 ("tier-stats", rest)
+            }
+            Some("status") => {
+                sub(&mut rest);
+                ("tier-status", rest)
             }
             _ => usage(),
         },
@@ -251,6 +260,17 @@ fn main() {
                 println!("broker: {}", status.broker_addr);
             }
             println!("epoch: {}", status.epoch);
+            if !status.tier_addr.is_empty() {
+                println!(
+                    "tier: {} ({})",
+                    status.tier_addr,
+                    if status.tier_reachable {
+                        "reachable"
+                    } else {
+                        "UNREACHABLE, serving chain fetches via peer fallback"
+                    }
+                );
+            }
             for peer in &status.peers {
                 println!(
                     "peer {}: acked epoch {}, {}",
@@ -261,6 +281,13 @@ fn main() {
                     } else {
                         "unreachable"
                     }
+                );
+            }
+            if status.cancel_escalated > 0 {
+                println!(
+                    "warning: {} cancellation relay(s) escalated after the retry cap \
+                     (peer presumed permanently dead)",
+                    status.cancel_escalated
                 );
             }
         }
@@ -426,6 +453,22 @@ fn main() {
                 stats.rejected_stale_view, stats.rejected_out_of_range
             );
             println!("remote chain fetches issued: {}", stats.remote_fetches);
+        }
+        "tier-status" => {
+            let mut ctrl = ctrl_for(&addr);
+            let status = ctrl.tier_status().unwrap_or_else(|e| fail(e));
+            println!(
+                "appends: {} ({} rejected stale-lease)",
+                status.appends, status.rejected_stale_lease
+            );
+            println!("reads: {}", status.reads);
+            println!("logs: {}", status.logs.len());
+            for log in &status.logs {
+                println!(
+                    "  log {}: {} bytes, lease {} (holder {})",
+                    log.log, log.extent, log.lease, log.holder
+                );
+            }
         }
         "migrate-stats" => {
             let mut ctrl = ctrl_for(&addr);

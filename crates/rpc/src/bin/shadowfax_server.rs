@@ -5,7 +5,7 @@
 //!                  [--io-threads I] [--layout SPEC] [--base-id B]
 //!                  [--memory-pages P] [--sampling-ms MS]
 //!                  [--metrics-log-secs S] [--coordinator auto|on|off]
-//!                  [--peer SPEC]...
+//!                  [--tier ADDR] [--peer SPEC]...
 //! ```
 //!
 //! Starts `N` logical Shadowfax servers (each with `T` dispatch threads over
@@ -42,6 +42,14 @@
 //! converge (watch `shadowfax-cli cluster status` and the `broker.*`
 //! metrics namespace).
 //!
+//! `--tier` points the process at a `shadowfax-tier` blob tier daemon:
+//! spill writes are mirrored there under a per-log lease and foreign logs'
+//! chains — nested indirections included — are resolved against it
+//! directly, with the peer chain-fetch path demoted to a fallback for tier
+//! outages (watch the `tier.remote.*` metrics namespace and
+//! `shadowfax-cli tier status`).  Without the flag, chain fetches go to
+//! the owning peer as before.
+//!
 //! Malformed flag values and invalid layouts (overlaps, coverage gaps, id
 //! collisions) print the offending detail plus this usage text and exit
 //! with code 64 (`EX_USAGE`), distinct from runtime failures (1).
@@ -53,8 +61,8 @@ use std::sync::Arc;
 
 use shadowfax::{parse_peer_spec, Cluster, ClusterConfig, ClusterLayout, PeerServer};
 use shadowfax_rpc::{
-    CoordinatedControl, Coordinator, CoordinatorConfig, RemoteTierService, RpcServer,
-    RpcServerConfig, TcpMigrationConnector, TcpTransport,
+    CoordinatedControl, Coordinator, CoordinatorConfig, RemoteSharedTier, RemoteTierService,
+    RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport, TierAwareControl,
 };
 
 /// When the metadata broker/coordinator loop runs.
@@ -75,7 +83,7 @@ const EXIT_USAGE: i32 = 64;
 const USAGE: &str = "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
      [--io-threads I] [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
      [--memory-pages P] [--sampling-ms MS] [--metrics-log-secs S] \
-     [--coordinator auto|on|off] \
+     [--coordinator auto|on|off] [--tier HOST:PORT] \
      [--peer id=I,addr=HOST:PORT[,threads=T][,owns=auto|full|none|RANGES]]...
 RANGES is a +-joined list of hex ranges, e.g. 0x0-0x7fff+0xc000-0xffff";
 
@@ -90,6 +98,7 @@ struct Args {
     sampling_ms: Option<u64>,
     metrics_log_secs: u64,
     coordinator: CoordinatorMode,
+    tier: Option<String>,
     peers: Vec<PeerServer>,
 }
 
@@ -113,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         sampling_ms: None,
         metrics_log_secs: 30,
         coordinator: CoordinatorMode::Auto,
+        tier: None,
         peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -163,6 +173,13 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--tier" => {
+                let addr = value("--tier")?;
+                if !addr.contains(':') {
+                    return Err(format!("--tier must be HOST:PORT, got {addr:?}"));
+                }
+                args.tier = Some(addr);
+            }
             "--peer" => {
                 let spec = value("--peer")?;
                 args.peers
@@ -211,12 +228,29 @@ fn main() {
         Arc::clone(cluster.migration_network()),
         TcpTransport::default(),
     ));
-    // Resolve indirection records whose chains live in peer processes by
-    // fetching them over TCP; local logs keep the in-memory read path.
-    cluster.set_tier_service(Arc::new(RemoteTierService::new(
-        Arc::clone(cluster.shared_tier()),
-        Arc::clone(cluster.meta()),
-    )));
+    // Resolve indirection records whose chains live in peer processes.
+    // With `--tier`, spill writes mirror to the shared blob tier daemon and
+    // foreign chains are read straight from it (peer chain-fetch demoted to
+    // the outage fallback); without it, chains are fetched from the owning
+    // peer over TCP.  Local logs keep the in-memory read path either way.
+    let remote_tier = args.tier.as_ref().map(|addr| {
+        let tier = RemoteSharedTier::new(
+            addr.clone(),
+            Arc::clone(cluster.shared_tier()),
+            Arc::clone(cluster.meta()),
+            args.base_id as u64,
+            cluster.metrics(),
+        );
+        cluster.shared_tier().set_sink(Arc::clone(&tier) as _);
+        cluster.set_tier_service(Arc::clone(&tier) as _);
+        tier
+    });
+    if remote_tier.is_none() {
+        cluster.set_tier_service(Arc::new(RemoteTierService::new(
+            Arc::clone(cluster.shared_tier()),
+            Arc::clone(cluster.meta()),
+        )));
+    }
     // One coordinator candidate per peer *process*: socket-addressed peer
     // servers grouped by address, ranked by the lowest id the process
     // hosts (this process's rank is its base id).
@@ -243,6 +277,12 @@ fn main() {
             Arc::clone(handle),
         )),
         None => Arc::clone(&cluster) as _,
+    };
+    // Stamp the tier endpoint and its reachability onto BROKER_STATUS
+    // replies so `shadowfax-cli cluster status` can surface tier health.
+    let control: Arc<dyn shadowfax_rpc::ClusterControl> = match &remote_tier {
+        Some(tier) => Arc::new(TierAwareControl::new(control, Arc::clone(tier))),
+        None => control,
     };
     let rpc = RpcServer::serve(
         control,

@@ -13,10 +13,16 @@
 //! source through any process.
 //!
 //! The broker is also the cancellation *coordinator*: a cancelled
-//! dependency whose involved process is partitioned keeps being relayed
-//! an idempotent `CANCEL_MIGRATION` every tick until the peer's replica
-//! shows the cancellation applied — the retry count and convergence count
-//! are published as `broker.cancel.retries` / `broker.cancel.converged`.
+//! dependency whose involved process is partitioned is relayed an
+//! idempotent `CANCEL_MIGRATION` until the peer's replica shows the
+//! cancellation applied — the retry count and convergence count are
+//! published as `broker.cancel.retries` / `broker.cancel.converged`.
+//! Relays to a silent peer back off exponentially, and after
+//! [`MAX_CANCEL_RELAY_ATTEMPTS`] failures the pair is *escalated*: the
+//! broker stops spending a connection attempt on it every tick, counts it
+//! on the `broker.cancel.escalated` gauge (surfaced as a `cluster status`
+//! warning line), and relies on the regular replica fan-out to converge
+//! the peer if it ever returns — a returning peer resets its relay state.
 //!
 //! Election is deterministic: candidates are ranked by the lowest global
 //! server id their process hosts, and the lowest-ranked candidate that is
@@ -28,7 +34,7 @@
 //! through [`ReplicatedMetadata`] fail with the typed
 //! [`MetaError::CoordinatorUnavailable`].
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -99,6 +105,11 @@ struct PeerTrack {
     probe_ok: bool,
     /// Epoch the peer acknowledged after our last `META_MERGE` push.
     acked_epoch: u64,
+    /// Content hash of the replica the peer last pulled or acked — the
+    /// skip-if-current check for fan-out (epoch alone over-pushes: a
+    /// broker-side epoch bump with identical content would re-ship the
+    /// full store to every peer).
+    content_seen: Option<u64>,
     /// Migration ids the peer's last-pulled replica showed as cancelled.
     cancelled_seen: HashSet<u64>,
     /// Persistent control connection; dropped and re-dialled on error.
@@ -146,6 +157,15 @@ impl CoordinatorHandle {
                     reachable: *reachable,
                 })
                 .collect(),
+            // The tier endpoint is stamped in by `TierAwareControl` when a
+            // daemon is configured; the coordinator itself has no tier.
+            tier_addr: String::new(),
+            tier_reachable: false,
+            cancel_escalated: self
+                .cluster
+                .metrics()
+                .gauge("broker.cancel.escalated")
+                .value(),
         }
     }
 
@@ -240,6 +260,23 @@ fn initial_broker_addr(config: &CoordinatorConfig) -> String {
         .unwrap_or_else(|| config.self_addr.clone())
 }
 
+/// Cancellation relays to one silent peer before the pair is escalated:
+/// the broker stops relaying, raises `broker.cancel.escalated`, and leaves
+/// convergence to the replica fan-out if the peer ever returns.
+const MAX_CANCEL_RELAY_ATTEMPTS: u32 = 8;
+
+/// Relay state for one `(cancelled migration, peer)` pair.
+#[derive(Default)]
+struct CancelRelay {
+    /// Consecutive failed relays.
+    attempts: u32,
+    /// Tick sequence number before which no further relay is attempted
+    /// (exponential backoff: 2, 4, 8, ... ticks between failures).
+    next_tick: u64,
+    /// Gave up after [`MAX_CANCEL_RELAY_ATTEMPTS`]; counted on the gauge.
+    escalated: bool,
+}
+
 /// Per-tick working state of the loop thread.
 struct CoordinatorLoop {
     cluster: Arc<Cluster>,
@@ -249,6 +286,10 @@ struct CoordinatorLoop {
     is_broker: bool,
     /// Cancelled migration ids already counted as converged.
     converged: HashSet<u64>,
+    /// Monotonic tick counter (the backoff clock).
+    tick_seq: u64,
+    /// Relay state per `(cancelled migration, peer address)` pair.
+    cancel_attempts: HashMap<(u64, String), CancelRelay>,
     metrics: BrokerMetrics,
 }
 
@@ -256,9 +297,11 @@ struct CoordinatorLoop {
 struct BrokerMetrics {
     pulls: shadowfax_obs::Counter,
     pushes: shadowfax_obs::Counter,
+    push_bytes: shadowfax_obs::Counter,
     elections: shadowfax_obs::Counter,
     cancel_retries: shadowfax_obs::Counter,
     cancel_converged: shadowfax_obs::Counter,
+    cancel_escalated: shadowfax_obs::Gauge,
     epoch: shadowfax_obs::Gauge,
     peers_reachable: shadowfax_obs::Gauge,
     cluster_cancelled: shadowfax_obs::Gauge,
@@ -276,9 +319,11 @@ impl CoordinatorLoop {
         let metrics = BrokerMetrics {
             pulls: registry.counter("broker.merge.pulls"),
             pushes: registry.counter("broker.merge.pushes"),
+            push_bytes: registry.counter("broker.merge.push_bytes"),
             elections: registry.counter("broker.elections"),
             cancel_retries: registry.counter("broker.cancel.retries"),
             cancel_converged: registry.counter("broker.cancel.converged"),
+            cancel_escalated: registry.gauge("broker.cancel.escalated"),
             epoch: registry.gauge("broker.epoch"),
             peers_reachable: registry.gauge("broker.peers.reachable"),
             cluster_cancelled: registry.gauge("broker.cluster.migrations_cancelled"),
@@ -294,6 +339,7 @@ impl CoordinatorLoop {
                 live: PeerLiveness::new(config.liveness),
                 probe_ok: true,
                 acked_epoch: 0,
+                content_seen: None,
                 cancelled_seen: HashSet::new(),
                 conn: None,
             })
@@ -309,11 +355,14 @@ impl CoordinatorLoop {
             peers,
             is_broker,
             converged: HashSet::new(),
+            tick_seq: 0,
+            cancel_attempts: HashMap::new(),
             metrics,
         }
     }
 
     fn tick(&mut self) {
+        self.tick_seq += 1;
         self.pull_replicas();
         self.elect();
         if self.is_broker {
@@ -329,6 +378,7 @@ impl CoordinatorLoop {
     fn pull_replicas(&mut self) {
         let timeout = self.config.probe_timeout;
         let liveness = self.config.liveness;
+        let mut revived: Vec<String> = Vec::new();
         for peer in &mut self.peers {
             let pulled = with_conn(peer, timeout, |conn| conn.meta_replica());
             match pulled {
@@ -337,15 +387,23 @@ impl CoordinatorLoop {
                     // death is sticky by design.
                     if peer.live.check_dead().is_some() {
                         peer.live = PeerLiveness::new(liveness);
+                        revived.push(peer.addr.clone());
                     }
                     peer.live.record_recv();
                     peer.probe_ok = true;
+                    peer.content_seen = Some(replica_content_hash(&replica));
                     peer.cancelled_seen = replica.cancelled.iter().map(|d| d.id).collect();
                     self.metrics.pulls.inc();
                     self.cluster.merge_meta_replica(&replica.to_replica());
                 }
                 None => peer.probe_ok = false,
             }
+        }
+        // A peer that came back from the dead restarts its cancellation
+        // relays from scratch (including escalated ones).
+        if !revived.is_empty() {
+            self.cancel_attempts
+                .retain(|(_, addr), _| !revived.contains(addr));
         }
     }
 
@@ -367,47 +425,97 @@ impl CoordinatorLoop {
         self.is_broker = now_broker;
     }
 
-    /// Fans the merged replica out to every peer whose acknowledged epoch
-    /// lags the local one.
+    /// Fans the merged replica out to every peer that does not already
+    /// hold it.  Currency is judged by *content* (epoch-independent hash),
+    /// not epoch alone: a peer whose pulled replica already matches the
+    /// merged one is skipped even if its acked epoch trails, so a no-op
+    /// tick sends zero `META_MERGE` bytes (`broker.merge.push_bytes`
+    /// stands still).
     fn push_replicas(&mut self) {
         let local = self.cluster.meta().replica();
         let wire = WireMetaReplica::from_replica(&local);
+        let local_hash = replica_content_hash(&wire);
         let timeout = self.config.probe_timeout;
+        // The encoded frame length, computed once and only if some peer
+        // actually needs the push.
+        let mut frame_bytes: Option<u64> = None;
         for peer in &mut self.peers {
-            if peer.acked_epoch >= local.epoch {
+            if peer.acked_epoch >= local.epoch || peer.content_seen == Some(local_hash) {
                 continue;
             }
+            let bytes = *frame_bytes.get_or_insert_with(|| {
+                crate::codec::encode_frame(&crate::codec::WireMsg::MetaMerge(wire.clone())).len()
+                    as u64
+            });
             if let Some((epoch, _changed)) = with_conn(peer, timeout, |conn| conn.merge_meta(&wire))
             {
                 peer.acked_epoch = epoch;
+                peer.content_seen = Some(local_hash);
                 peer.probe_ok = true;
                 peer.live.record_recv();
                 self.metrics.pushes.inc();
+                self.metrics.push_bytes.add(bytes);
             }
         }
     }
 
     /// Relays an idempotent `CANCEL_MIGRATION` for every cancelled
-    /// dependency a peer has not yet applied, every tick, until the peer's
-    /// replica shows it cancelled — the coordinator's answer to a target
-    /// partitioned away mid-cancellation.
+    /// dependency a peer has not yet applied, until the peer's replica
+    /// shows it cancelled — the coordinator's answer to a target
+    /// partitioned away mid-cancellation.  A pair that keeps failing backs
+    /// off exponentially and is escalated after
+    /// [`MAX_CANCEL_RELAY_ATTEMPTS`]: the broker stops burning a dial per
+    /// tick on a peer that is presumed permanently dead and raises the
+    /// `broker.cancel.escalated` gauge instead (a returning peer clears it
+    /// via [`CoordinatorLoop::pull_replicas`]).
     fn converge_cancellations(&mut self) {
         let cancelled = self.cluster.meta().replica().cancelled;
         let timeout = self.config.probe_timeout;
+        let tick = self.tick_seq;
         for dep in &cancelled {
             let mut all_applied = true;
             for peer in &mut self.peers {
                 if peer.cancelled_seen.contains(&dep.id) {
+                    self.cancel_attempts.remove(&(dep.id, peer.addr.clone()));
                     continue;
                 }
                 all_applied = false;
+                let relay = self
+                    .cancel_attempts
+                    .entry((dep.id, peer.addr.clone()))
+                    .or_default();
+                if relay.escalated || tick < relay.next_tick {
+                    continue;
+                }
                 self.metrics.cancel_retries.inc();
-                with_conn(peer, timeout, |conn| conn.cancel_migration(dep.id));
+                if with_conn(peer, timeout, |conn| conn.cancel_migration(dep.id)).is_some() {
+                    // Applied at the peer; the next pull shows it in
+                    // `cancelled_seen` and drops this entry.
+                    relay.attempts = 0;
+                    relay.next_tick = tick + 1;
+                } else {
+                    relay.attempts += 1;
+                    if relay.attempts >= MAX_CANCEL_RELAY_ATTEMPTS {
+                        relay.escalated = true;
+                    } else {
+                        relay.next_tick = tick + (1u64 << relay.attempts.min(6));
+                    }
+                }
             }
             if all_applied && self.converged.insert(dep.id) {
                 self.metrics.cancel_converged.inc();
             }
         }
+        // Relay state for dependencies no longer in the cancelled set
+        // (garbage-collected) is dropped with them.
+        let live: HashSet<u64> = cancelled.iter().map(|d| d.id).collect();
+        self.cancel_attempts.retain(|(id, _), _| live.contains(id));
+        self.metrics.cancel_escalated.set(
+            self.cancel_attempts
+                .values()
+                .filter(|r| r.escalated)
+                .count() as u64,
+        );
     }
 
     /// Aggregates every process's cancellation / chain-fetch counters into
@@ -480,6 +588,24 @@ impl CoordinatorLoop {
             .map(|p| (p.addr.clone(), p.acked_epoch, p.probe_ok))
             .collect();
     }
+}
+
+/// Epoch-independent content hash of a replica: FNV-1a over its wire
+/// serialization with the epoch zeroed.  Two replicas with equal hashes
+/// carry the same servers, views, ownership and dependency state, so a
+/// fan-out push would be a no-op — the epoch is excluded exactly because
+/// it can advance (election bump) without the content changing.
+fn replica_content_hash(wire: &WireMetaReplica) -> u64 {
+    let mut normalized = wire.clone();
+    normalized.epoch = 0;
+    let mut body = Vec::new();
+    crate::codec::put_wire_replica(&mut body, &normalized);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &body {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// Runs `op` over the peer's persistent control connection, dialling it

@@ -60,6 +60,15 @@
 //! out ([`WireMsg::MetaMerge`] → [`WireMsg::MetaAck`] carrying the peer's
 //! post-merge epoch).  [`WireMsg::GetBrokerStatus`] reports a process's
 //! coordinator role, broker address, epoch, and per-peer convergence.
+//!
+//! Tier frames speak to the `shadowfax-tier` daemon — the one genuinely
+//! shared blob store every serving process mirrors its spilled chains
+//! into: [`WireMsg::TierLease`] grants per-log write leases,
+//! [`WireMsg::TierAppend`] mirrors spill writes under a lease,
+//! [`WireMsg::TierRead`] reads any log's bytes back (that is how a process
+//! walks another process's spilled chain without an RPC to it), and
+//! [`WireMsg::GetTierStatus`] / [`WireMsg::TierStatus`] report per-log
+//! extents and lease holders for `shadowfax-cli tier status`.
 
 use shadowfax::{
     ChainFetchQuery, ChainFetchReply, HashRange, MigratedItem, MigrationAckPhase, MigrationMsg,
@@ -105,6 +114,12 @@ mod kind {
     pub const META_ACK: u8 = 0x56;
     pub const GET_BROKER_STATUS: u8 = 0x57;
     pub const BROKER_STATUS: u8 = 0x58;
+    pub const TIER_LEASE: u8 = 0x60;
+    pub const TIER_APPEND: u8 = 0x61;
+    pub const TIER_READ: u8 = 0x62;
+    pub const TIER_DATA: u8 = 0x63;
+    pub const GET_TIER_STATUS: u8 = 0x64;
+    pub const TIER_STATUS: u8 = 0x65;
 }
 
 /// Errors from encoding or decoding frames.
@@ -353,6 +368,59 @@ pub enum WireMsg {
     GetBrokerStatus,
     /// The coordinator status (reply to [`WireMsg::GetBrokerStatus`]).
     BrokerStatus(WireBrokerStatus),
+    /// Acquire (or take over) the write lease on one tier log (serving
+    /// process → tier daemon).  Answered with [`WireMsg::CtrlOk`] carrying
+    /// the granted lease id; every grant bumps the id, so a previous holder
+    /// whose lease was taken over gets [`StatusCode::StaleView`] on its
+    /// next append.
+    TierLease {
+        /// The tier log to lease (the hosting server's global id).
+        log: u64,
+        /// The requesting process's identity (its base global server id).
+        holder: u64,
+    },
+    /// Append `data` at `offset` of tier log `log` under write lease
+    /// `lease` (serving process → tier daemon).  Answered with
+    /// [`WireMsg::CtrlOk`] carrying the log's post-append written extent,
+    /// or a [`WireMsg::CtrlErr`] with [`StatusCode::StaleView`] when the
+    /// lease was superseded.
+    TierAppend {
+        /// The tier log being appended to.
+        log: u64,
+        /// The lease id granted by [`WireMsg::TierLease`].
+        lease: u64,
+        /// Byte offset of the append (the spill path writes at the log's
+        /// own allocation addresses, so this is not forced contiguous).
+        offset: u64,
+        /// The bytes to write.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at `offset` of tier log `log` (any process → tier
+    /// daemon; no lease needed).  Answered with [`WireMsg::TierData`], or a
+    /// [`WireMsg::CtrlErr`] with [`StatusCode::OutOfRange`] for an unknown
+    /// log or a read beyond its written extent.
+    TierRead {
+        /// The tier log to read.
+        log: u64,
+        /// Byte offset of the read.
+        offset: u64,
+        /// Number of bytes to read.
+        len: u32,
+    },
+    /// The bytes answering a [`WireMsg::TierRead`].
+    TierData {
+        /// The tier log read.
+        log: u64,
+        /// The offset read.
+        offset: u64,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// Request the tier daemon's per-log status
+    /// (`shadowfax-cli tier status`).
+    GetTierStatus,
+    /// The tier daemon status (reply to [`WireMsg::GetTierStatus`]).
+    TierStatus(WireTierStatus),
 }
 
 /// A migration dependency, as carried inside [`WireMetaReplica`].
@@ -415,6 +483,43 @@ pub struct WireBrokerStatus {
     pub epoch: u64,
     /// Per-peer convergence, broker role only (followers report empty).
     pub peers: Vec<WireBrokerPeer>,
+    /// The shared tier daemon this process resolves spilled chains against
+    /// (empty when none is configured and chain fetches use peer RPC).
+    pub tier_addr: String,
+    /// Whether the tier daemon answered this process's last append/read
+    /// (`false` also when no daemon is configured).
+    pub tier_reachable: bool,
+    /// Cancellation relays the coordinator gave up on after the retry cap
+    /// (dep × peer pairs presumed permanently dead; 0 when healthy).
+    pub cancel_escalated: u64,
+}
+
+/// Per-log state of the shared tier daemon, as carried in
+/// [`WireTierStatus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTierLog {
+    /// The tier log id (the hosting server's global id).
+    pub log: u64,
+    /// The log's written extent in bytes (chunk-granular).
+    pub extent: u64,
+    /// The current write lease id (0 = never leased).
+    pub lease: u64,
+    /// The lease holder's identity (base global server id; 0 when never
+    /// leased).
+    pub holder: u64,
+}
+
+/// The shared tier daemon's status, answering [`WireMsg::GetTierStatus`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTierStatus {
+    /// Appends the daemon served since start.
+    pub appends: u64,
+    /// Reads the daemon served since start.
+    pub reads: u64,
+    /// Appends rejected for a superseded lease.
+    pub rejected_stale_lease: u64,
+    /// Every log the daemon hosts.
+    pub logs: Vec<WireTierLog>,
 }
 
 impl WireBrokerStatus {
@@ -665,7 +770,7 @@ fn put_wire_dep(out: &mut Vec<u8>, dep: &WireMigrationDep) {
     out.push(u8::from(dep.cancelled));
 }
 
-fn put_wire_replica(out: &mut Vec<u8>, replica: &WireMetaReplica) {
+pub(crate) fn put_wire_replica(out: &mut Vec<u8>, replica: &WireMetaReplica) {
     put_u64(out, replica.epoch);
     put_u64(out, replica.next_migration_seq);
     put_u32(out, replica.servers.len() as u32);
@@ -1017,6 +1122,52 @@ pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
                 put_str(&mut body, &p.addr);
                 put_u64(&mut body, p.acked_epoch);
                 body.push(u8::from(p.reachable));
+            }
+            put_str(&mut body, &status.tier_addr);
+            body.push(u8::from(status.tier_reachable));
+            put_u64(&mut body, status.cancel_escalated);
+        }
+        WireMsg::TierLease { log, holder } => {
+            body.push(kind::TIER_LEASE);
+            put_u64(&mut body, *log);
+            put_u64(&mut body, *holder);
+        }
+        WireMsg::TierAppend {
+            log,
+            lease,
+            offset,
+            data,
+        } => {
+            body.push(kind::TIER_APPEND);
+            put_u64(&mut body, *log);
+            put_u64(&mut body, *lease);
+            put_u64(&mut body, *offset);
+            put_bytes(&mut body, data);
+        }
+        WireMsg::TierRead { log, offset, len } => {
+            body.push(kind::TIER_READ);
+            put_u64(&mut body, *log);
+            put_u64(&mut body, *offset);
+            put_u32(&mut body, *len);
+        }
+        WireMsg::TierData { log, offset, data } => {
+            body.push(kind::TIER_DATA);
+            put_u64(&mut body, *log);
+            put_u64(&mut body, *offset);
+            put_bytes(&mut body, data);
+        }
+        WireMsg::GetTierStatus => body.push(kind::GET_TIER_STATUS),
+        WireMsg::TierStatus(status) => {
+            body.push(kind::TIER_STATUS);
+            put_u64(&mut body, status.appends);
+            put_u64(&mut body, status.reads);
+            put_u64(&mut body, status.rejected_stale_lease);
+            put_u32(&mut body, status.logs.len() as u32);
+            for l in &status.logs {
+                put_u64(&mut body, l.log);
+                put_u64(&mut body, l.extent);
+                put_u64(&mut body, l.lease);
+                put_u64(&mut body, l.holder);
             }
         }
     }
@@ -1557,11 +1708,59 @@ fn decode_body(body: &[u8]) -> Result<WireMsg, CodecError> {
                     reachable: r.u8()? != 0,
                 });
             }
+            let tier_addr = r.string()?;
+            let tier_reachable = r.u8()? != 0;
+            let cancel_escalated = r.u64()?;
             WireMsg::BrokerStatus(WireBrokerStatus {
                 role,
                 broker_addr,
                 epoch,
                 peers,
+                tier_addr,
+                tier_reachable,
+                cancel_escalated,
+            })
+        }
+        kind::TIER_LEASE => WireMsg::TierLease {
+            log: r.u64()?,
+            holder: r.u64()?,
+        },
+        kind::TIER_APPEND => WireMsg::TierAppend {
+            log: r.u64()?,
+            lease: r.u64()?,
+            offset: r.u64()?,
+            data: r.bytes()?,
+        },
+        kind::TIER_READ => WireMsg::TierRead {
+            log: r.u64()?,
+            offset: r.u64()?,
+            len: r.u32()?,
+        },
+        kind::TIER_DATA => WireMsg::TierData {
+            log: r.u64()?,
+            offset: r.u64()?,
+            data: r.bytes()?,
+        },
+        kind::GET_TIER_STATUS => WireMsg::GetTierStatus,
+        kind::TIER_STATUS => {
+            let appends = r.u64()?;
+            let reads = r.u64()?;
+            let rejected_stale_lease = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut logs = Vec::with_capacity(bounded_cap(n));
+            for _ in 0..n {
+                logs.push(WireTierLog {
+                    log: r.u64()?,
+                    extent: r.u64()?,
+                    lease: r.u64()?,
+                    holder: r.u64()?,
+                });
+            }
+            WireMsg::TierStatus(WireTierStatus {
+                appends,
+                reads,
+                rejected_stale_lease,
+                logs,
             })
         }
         tag => {
@@ -2198,6 +2397,93 @@ mod tests {
                     reachable: false,
                 },
             ],
+            tier_addr: "127.0.0.1:4900".into(),
+            tier_reachable: true,
+            cancel_escalated: 2,
+        }
+    }
+
+    fn sample_tier_status() -> WireTierStatus {
+        WireTierStatus {
+            appends: 120,
+            reads: 4096,
+            rejected_stale_lease: 1,
+            logs: vec![
+                WireTierLog {
+                    log: 0,
+                    extent: 1 << 20,
+                    lease: 3,
+                    holder: 0,
+                },
+                WireTierLog {
+                    log: 2,
+                    extent: 64,
+                    lease: 0,
+                    holder: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_tier_frames() {
+        roundtrip(WireMsg::TierLease { log: 3, holder: 1 });
+        roundtrip(WireMsg::TierAppend {
+            log: 3,
+            lease: 7,
+            offset: 0x4_0000,
+            data: vec![0xCC; 96],
+        });
+        roundtrip(WireMsg::TierAppend {
+            log: 0,
+            lease: 1,
+            offset: 0,
+            data: Vec::new(),
+        });
+        roundtrip(WireMsg::TierRead {
+            log: 3,
+            offset: 64,
+            len: 4096,
+        });
+        roundtrip(WireMsg::TierData {
+            log: 3,
+            offset: 64,
+            data: vec![0xDD; 48],
+        });
+        roundtrip(WireMsg::GetTierStatus);
+        roundtrip(WireMsg::TierStatus(sample_tier_status()));
+        roundtrip(WireMsg::TierStatus(WireTierStatus::default()));
+    }
+
+    #[test]
+    fn truncated_tier_frames_are_rejected_at_every_cut() {
+        for msg in [
+            WireMsg::TierLease { log: 3, holder: 1 },
+            WireMsg::TierAppend {
+                log: 3,
+                lease: 7,
+                offset: 64,
+                data: vec![0xCC; 16],
+            },
+            WireMsg::TierRead {
+                log: 3,
+                offset: 64,
+                len: 4096,
+            },
+            WireMsg::TierData {
+                log: 3,
+                offset: 64,
+                data: vec![0xDD; 16],
+            },
+            WireMsg::TierStatus(sample_tier_status()),
+        ] {
+            let frame = encode_frame(&msg);
+            for cut in 0..frame.len() {
+                match decode_frame(&frame[..cut], MAX_FRAME_BYTES) {
+                    Err(CodecError::Truncated) => {}
+                    other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+                }
+            }
         }
     }
 

@@ -21,7 +21,7 @@ use shadowfax_obs::MetricsSnapshot;
 
 use crate::codec::{
     encode_frame, CodecError, FrameDecoder, WireBrokerStatus, WireCancelStats, WireMetaReplica,
-    WireMigrationState, WireMsg, WireOwnership, WireTierStats, MAX_FRAME_BYTES,
+    WireMigrationState, WireMsg, WireOwnership, WireTierStats, WireTierStatus, MAX_FRAME_BYTES,
 };
 
 /// Errors from RPC client operations.
@@ -328,6 +328,63 @@ impl CtrlClient {
     pub fn broker_status(&mut self) -> Result<WireBrokerStatus, RpcError> {
         self.call(&WireMsg::GetBrokerStatus, "BrokerStatus", |m| match m {
             WireMsg::BrokerStatus(status) => Ok(status),
+            other => Err(other),
+        })
+    }
+
+    /// Acquires (or takes over) the write lease on tier log `log` from a
+    /// `shadowfax-tier` daemon; returns the granted lease id.
+    pub fn tier_lease(&mut self, log: u64, holder: u64) -> Result<u64, RpcError> {
+        let req = WireMsg::TierLease { log, holder };
+        self.call(&req, "CtrlOk for tier lease", |m| match m {
+            WireMsg::CtrlOk { value } => Ok(value),
+            other => Err(other),
+        })
+    }
+
+    /// Appends `data` at `offset` of tier log `log` under `lease`; returns
+    /// the log's post-append written extent.  A superseded lease surfaces
+    /// as [`RpcError::Remote`] with [`StatusCode::StaleView`].
+    pub fn tier_append(
+        &mut self,
+        log: u64,
+        lease: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<u64, RpcError> {
+        let req = WireMsg::TierAppend {
+            log,
+            lease,
+            offset,
+            data: data.to_vec(),
+        };
+        self.call(&req, "CtrlOk for tier append", |m| match m {
+            WireMsg::CtrlOk { value } => Ok(value),
+            other => Err(other),
+        })
+    }
+
+    /// Reads `len` bytes at `offset` of tier log `log` from a
+    /// `shadowfax-tier` daemon.  Unknown logs and reads beyond the written
+    /// extent surface as [`RpcError::Remote`] with
+    /// [`StatusCode::OutOfRange`].
+    pub fn tier_read(&mut self, log: u64, offset: u64, len: u32) -> Result<Vec<u8>, RpcError> {
+        let req = WireMsg::TierRead { log, offset, len };
+        self.call(&req, "TierData", |m| match m {
+            WireMsg::TierData {
+                log: l,
+                offset: o,
+                data,
+            } if l == log && o == offset => Ok(data),
+            other => Err(other),
+        })
+    }
+
+    /// Queries a `shadowfax-tier` daemon's per-log status (extents, lease
+    /// holders, serving counters).
+    pub fn tier_status(&mut self) -> Result<WireTierStatus, RpcError> {
+        self.call(&WireMsg::GetTierStatus, "TierStatus", |m| match m {
+            WireMsg::TierStatus(status) => Ok(status),
             other => Err(other),
         })
     }

@@ -24,11 +24,20 @@
 //!   `PushRecordBatch`, `CompleteMigration`) between serving processes, so
 //!   hash-range ownership and the records underneath it move between OS
 //!   processes under live load.
-//! * [`RemoteTierService`] — the cross-process shared tier: indirection
-//!   records naming a log another process hosts are resolved with
-//!   view-tagged `FetchChain` requests; the hosting process walks the
-//!   spilled chain out of its shared-tier log and returns the records in
-//!   one batch (stale views and out-of-range addresses are rejected).
+//! * [`TierDaemon`] — the `shadowfax-tier` blob tier daemon: one genuinely
+//!   shared tier process serving lease-guarded appends and open reads over
+//!   `TIER_LEASE` / `TIER_APPEND` / `TIER_READ` frames.  Serving processes
+//!   mirror their spill writes to it, so any process resolves any log's
+//!   chains — including multi-hop nested indirections — directly.
+//! * [`RemoteSharedTier`] — the serving process's view of that daemon: it
+//!   mirrors spill appends under a per-log lease, reads foreign logs back
+//!   with `TIER_READ`, and demotes to the [`RemoteTierService`] chain-fetch
+//!   path when the daemon is unreachable.
+//! * [`RemoteTierService`] — the chain-fetch fallback: indirection records
+//!   naming a log another process hosts are resolved with view-tagged
+//!   `FetchChain` requests; the hosting process walks the spilled chain out
+//!   of its shared-tier log and returns the records in one batch (stale
+//!   views and out-of-range addresses are rejected).
 //! * [`bench`] — a loopback throughput micro-benchmark used by
 //!   `shadowfax-cli bench` and the integration tests.
 //!
@@ -46,6 +55,7 @@ mod fabric;
 mod server;
 mod tcp;
 mod tier;
+mod tierd;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use broker::{
@@ -55,10 +65,11 @@ pub use client::{OpCallback, RemoteClient, RemoteClientConfig, RemoteClientStats
 pub use codec::{
     decode_frame, encode_frame, CodecError, FrameDecoder, WireBrokerPeer, WireBrokerStatus,
     WireCancelStats, WireMetaReplica, WireMigrationDep, WireMigrationState, WireMsg, WireOwnership,
-    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    WireServerInfo, WireTierLog, WireTierStats, WireTierStatus, MAX_FRAME_BYTES,
 };
 pub use ctrl::{CtrlClient, RpcError};
 pub use fabric::TcpMigrationConnector;
-pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle};
+pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle, TierAwareControl};
 pub use tcp::{TcpLink, TcpMigrationLink, TcpTransport};
-pub use tier::RemoteTierService;
+pub use tier::{RemoteSharedTier, RemoteTierService};
+pub use tierd::{TierDaemon, TierDaemonConfig, TierDaemonHandle, MAX_TIER_READ_BYTES};

@@ -238,6 +238,9 @@ impl ClusterControl for Cluster {
             broker_addr: String::new(),
             epoch: self.meta().epoch(),
             peers: Vec::new(),
+            tier_addr: String::new(),
+            tier_reachable: false,
+            cancel_escalated: self.metrics().gauge("broker.cancel.escalated").value(),
         }
     }
 
@@ -247,6 +250,95 @@ impl ClusterControl for Cluster {
 
     fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String> {
         Cluster::remote_addr_for_migration(self, migration_id)
+    }
+}
+
+/// Decorates any [`ClusterControl`] with awareness of the configured
+/// `shadowfax-tier` daemon: `broker_status` answers carry the daemon's
+/// address and current reachability, so `shadowfax-cli cluster status`
+/// shows the tier next to the broker without a second round trip.
+pub struct TierAwareControl {
+    inner: Arc<dyn ClusterControl>,
+    tier: Arc<crate::tier::RemoteSharedTier>,
+}
+
+impl TierAwareControl {
+    /// Wraps `inner`, stamping `tier`'s endpoint into broker status
+    /// answers.
+    pub fn new(inner: Arc<dyn ClusterControl>, tier: Arc<crate::tier::RemoteSharedTier>) -> Self {
+        TierAwareControl { inner, tier }
+    }
+}
+
+impl ClusterControl for TierAwareControl {
+    fn ownership(&self) -> WireOwnership {
+        self.inner.ownership()
+    }
+
+    fn migrate(&self, source: u32, target: u32, fraction: f64) -> Result<u64, String> {
+        self.inner.migrate(source, target, fraction)
+    }
+
+    fn migration_status(&self, migration_id: u64) -> Result<WireMigrationState, String> {
+        self.inner.migration_status(migration_id)
+    }
+
+    fn cancel_migration(&self, migration_id: u64) -> Result<(), String> {
+        self.inner.cancel_migration(migration_id)
+    }
+
+    fn cancel_stats(&self) -> WireCancelStats {
+        self.inner.cancel_stats()
+    }
+
+    fn connect_fabric(&self, fabric_addr: &str) -> Result<Box<dyn KvLink>, TransportError> {
+        self.inner.connect_fabric(fabric_addr)
+    }
+
+    fn connect_migration_local(
+        &self,
+        server: u32,
+        thread: u32,
+    ) -> Result<Box<dyn MigrationLink<MigrationMsg>>, TransportError> {
+        self.inner.connect_migration_local(server, thread)
+    }
+
+    fn fetch_chain(
+        &self,
+        query: &ChainFetchQuery,
+    ) -> Result<ChainFetchReply, (StatusCode, String)> {
+        self.inner.fetch_chain(query)
+    }
+
+    fn tier_stats(&self) -> WireTierStats {
+        self.inner.tier_stats()
+    }
+
+    fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.inner.metrics()
+    }
+
+    fn meta_replica(&self) -> WireMetaReplica {
+        self.inner.meta_replica()
+    }
+
+    fn merge_meta(&self, replica: &WireMetaReplica) -> (u64, bool) {
+        self.inner.merge_meta(replica)
+    }
+
+    fn broker_status(&self) -> WireBrokerStatus {
+        let mut status = self.inner.broker_status();
+        status.tier_addr = self.tier.addr().to_string();
+        status.tier_reachable = self.tier.is_reachable();
+        status
+    }
+
+    fn remote_source_addr(&self, server: u32) -> Option<String> {
+        self.inner.remote_source_addr(server)
+    }
+
+    fn remote_addr_for_migration(&self, migration_id: u64) -> Option<String> {
+        self.inner.remote_addr_for_migration(migration_id)
     }
 }
 

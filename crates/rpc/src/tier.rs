@@ -14,18 +14,32 @@
 //! [`ChainFetch::Unavailable`], which the core read path turns into a
 //! *pending* operation — never a miss.  A short per-peer backoff keeps an
 //! unreachable peer from stalling dispatch threads on every retry.
+//!
+//! [`RemoteSharedTier`] supersedes that per-hop RPC path whenever a
+//! `shadowfax-tier` daemon is configured: every spill write is mirrored to
+//! the daemon (as a [`TierSink`]) under a per-log lease, and chain
+//! resolution answers [`ChainFetch::Local`] so the core walker reads the
+//! chain — every hop of it, across any number of source logs — straight
+//! off the daemon with `TIER_READ` frames.  The RPC chain-fetch path above
+//! is demoted to the *fallback* taken while the daemon (or one log's
+//! mirror) is unavailable.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use shadowfax::{ChainFetchQuery, MetadataStore, ServerId};
-use shadowfax_storage::{ChainFetch, ChainFetchRequest, LogId, SharedBlobTier, TierRecord};
+use shadowfax_net::StatusCode;
+use shadowfax_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use shadowfax_storage::{
+    ChainFetch, ChainFetchRequest, DeviceError, LogId, SharedBlobTier, TierRecord, TierSink,
+};
 
 use crate::ctrl::CtrlClient;
 use crate::fabric::is_peer_socket_address;
+use crate::tierd::MAX_TIER_READ_BYTES;
 
 /// Resume-address pages fetched per chain before giving up.  With the
 /// default page size this bounds one resolution at tens of thousands of
@@ -199,5 +213,512 @@ impl shadowfax_storage::TierService for RemoteTierService {
             return ChainFetch::Local;
         }
         self.fetch_remote(&owner.address.clone(), req)
+    }
+}
+
+/// Bytes a log's mirror queue may buffer while the daemon is unreachable
+/// before the mirror is abandoned.  An abandoned mirror leaves the daemon's
+/// copy truncated-but-ordered (never holed), so readers of the tail get
+/// `OutOfRange` and demote to the chain-fetch fallback.
+const MAX_MIRROR_QUEUE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Lease re-acquisitions attempted within one mirror drain before giving
+/// the daemon time to settle (a live writer should never lose its lease
+/// twice back to back).
+const MAX_LEASE_RETRIES: u32 = 2;
+
+/// One log's mirror towards the tier daemon: appends are queued in order
+/// and drained front-first, so the daemon's copy of the log is always a
+/// prefix of the local one — truncated at worst, never holed.
+#[derive(Default)]
+struct MirrorState {
+    lease: Option<u64>,
+    queue: VecDeque<(u64, Vec<u8>)>,
+    queued_bytes: usize,
+    abandoned: bool,
+}
+
+/// What a daemon round trip produced, from the caller's point of view.
+enum DaemonError {
+    /// Transport-level failure (or the daemon is backing off): retry later.
+    Unavailable(#[allow(dead_code)] String),
+    /// The daemon answered with a typed rejection; the connection is fine.
+    Rejected {
+        status: StatusCode,
+        #[allow(dead_code)]
+        message: String,
+    },
+}
+
+/// The serving process's view of the `shadowfax-tier` daemon: a
+/// `TierService` that resolves *any* log's chains directly against the
+/// genuinely shared tier, plus the [`TierSink`] that keeps the daemon's
+/// copy of this process's own spill log current.
+///
+/// Read path: local logs are read from the process's own
+/// [`SharedBlobTier`]; a log this process does not host is read back from
+/// the daemon with `TIER_READ` frames.  Because reads work for every log,
+/// [`RemoteSharedTier::fetch_chain`] answers [`ChainFetch::Local`] and
+/// lets the core chain walker follow arbitrarily deep nested indirections
+/// hop by hop — the capability the paper's shared tier provides and the
+/// per-hop RPC chain fetch could not.
+///
+/// Outage semantics: a transport failure marks the daemon down for a short
+/// backoff and subsequent resolutions demote to the wrapped
+/// [`RemoteTierService`] chain-fetch fallback (`tier.remote.fallbacks`
+/// counts them).  Spill appends that cannot be mirrored are queued in
+/// order and replayed when the daemon answers again; a queue that outgrows
+/// [`MAX_MIRROR_QUEUE_BYTES`] abandons the mirror for that log
+/// (`tier.remote.mirror_abandoned`) rather than hole the daemon's copy.
+pub struct RemoteSharedTier {
+    addr: String,
+    local: Arc<SharedBlobTier>,
+    meta: Arc<MetadataStore>,
+    fallback: RemoteTierService,
+    /// The lease holder id presented to the daemon (this process's base
+    /// server id).
+    holder: u64,
+    timeout: Duration,
+    backoff: Duration,
+    /// One cached daemon connection, taken out for the duration of a round
+    /// trip (concurrent calls briefly dial an extra connection instead of
+    /// serializing on a lock held across I/O).
+    conn: Mutex<Option<CtrlClient>>,
+    /// Set while the daemon is in post-failure backoff.
+    down_until: Mutex<Option<Instant>>,
+    /// Logs whose daemon copy recently answered `OutOfRange` (mirror
+    /// behind or abandoned): resolved via the fallback until the deadline.
+    log_down_until: Mutex<HashMap<u64, Instant>>,
+    mirrors: Mutex<HashMap<u64, Arc<Mutex<MirrorState>>>>,
+    reads: Counter,
+    read_bytes: Counter,
+    appends: Counter,
+    append_bytes: Counter,
+    lease_acquires: Counter,
+    direct_chains: Counter,
+    fallbacks: Counter,
+    errors: Counter,
+    mirror_abandoned: Counter,
+    reachable: Gauge,
+    read_latency: Histogram,
+    append_latency: Histogram,
+}
+
+impl std::fmt::Debug for RemoteSharedTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSharedTier")
+            .field("addr", &self.addr)
+            .field("reachable", &self.is_reachable())
+            .finish()
+    }
+}
+
+impl RemoteSharedTier {
+    /// Creates the process's view of the daemon at `addr`, registering its
+    /// `tier.remote.*` instruments on `registry`.  `holder` is the lease
+    /// holder id presented on appends (use the process's base server id).
+    pub fn new(
+        addr: String,
+        local: Arc<SharedBlobTier>,
+        meta: Arc<MetadataStore>,
+        holder: u64,
+        registry: &MetricsRegistry,
+    ) -> Arc<Self> {
+        let fallback = RemoteTierService::new(Arc::clone(&local), Arc::clone(&meta));
+        let reachable = registry.gauge("tier.remote.reachable");
+        reachable.set(1);
+        Arc::new(RemoteSharedTier {
+            addr,
+            local,
+            meta,
+            fallback,
+            holder,
+            timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(500),
+            conn: Mutex::new(None),
+            down_until: Mutex::new(None),
+            log_down_until: Mutex::new(HashMap::new()),
+            mirrors: Mutex::new(HashMap::new()),
+            reads: registry.counter("tier.remote.reads"),
+            read_bytes: registry.counter("tier.remote.read_bytes"),
+            appends: registry.counter("tier.remote.appends"),
+            append_bytes: registry.counter("tier.remote.append_bytes"),
+            lease_acquires: registry.counter("tier.remote.lease_acquires"),
+            direct_chains: registry.counter("tier.remote.direct_chains"),
+            fallbacks: registry.counter("tier.remote.fallbacks"),
+            errors: registry.counter("tier.remote.errors"),
+            mirror_abandoned: registry.counter("tier.remote.mirror_abandoned"),
+            reachable,
+            read_latency: registry.histogram("tier.remote.latency.read"),
+            append_latency: registry.histogram("tier.remote.latency.append"),
+        })
+    }
+
+    /// The daemon's configured address (for `cluster status`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the daemon answered its most recent round trip.  Unlike
+    /// [`Self::daemon_is_down`] this does not flip back after the retry
+    /// backoff expires — a daemon that failed and has not answered since
+    /// stays unreachable until a round trip succeeds.
+    pub fn is_reachable(&self) -> bool {
+        self.reachable.value() != 0
+    }
+
+    fn daemon_is_down(&self) -> bool {
+        match *self.down_until.lock() {
+            Some(until) => Instant::now() < until,
+            None => false,
+        }
+    }
+
+    fn mark_down(&self) {
+        *self.down_until.lock() = Some(Instant::now() + self.backoff);
+        self.reachable.set(0);
+    }
+
+    fn mark_up(&self) {
+        *self.down_until.lock() = None;
+        self.reachable.set(1);
+    }
+
+    fn log_is_down(&self, log: u64) -> bool {
+        match self.log_down_until.lock().get(&log) {
+            Some(until) => Instant::now() < *until,
+            None => false,
+        }
+    }
+
+    fn mark_log_down(&self, log: u64) {
+        self.log_down_until
+            .lock()
+            .insert(log, Instant::now() + self.backoff);
+    }
+
+    /// Runs one round trip against the daemon over the cached connection.
+    /// Typed rejections keep the connection and the daemon's up state;
+    /// transport failures start the backoff window.
+    fn with_daemon<R>(
+        &self,
+        op: impl FnOnce(&mut CtrlClient) -> Result<R, crate::ctrl::RpcError>,
+    ) -> Result<R, DaemonError> {
+        if self.daemon_is_down() {
+            return Err(DaemonError::Unavailable(format!(
+                "tier daemon {} is backing off",
+                self.addr
+            )));
+        }
+        let mut conn = match self.conn.lock().take() {
+            Some(conn) => conn,
+            None => match CtrlClient::connect(&self.addr, self.timeout) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.mark_down();
+                    return Err(DaemonError::Unavailable(format!("dial {}: {e}", self.addr)));
+                }
+            },
+        };
+        match op(&mut conn) {
+            Ok(r) => {
+                *self.conn.lock() = Some(conn);
+                self.mark_up();
+                Ok(r)
+            }
+            Err(crate::ctrl::RpcError::Remote { status, message }) => {
+                *self.conn.lock() = Some(conn);
+                self.mark_up();
+                Err(DaemonError::Rejected { status, message })
+            }
+            Err(e) => {
+                self.mark_down();
+                Err(DaemonError::Unavailable(format!(
+                    "tier daemon {}: {e}",
+                    self.addr
+                )))
+            }
+        }
+    }
+
+    fn mirror_entry(&self, log: u64) -> Arc<Mutex<MirrorState>> {
+        Arc::clone(self.mirrors.lock().entry(log).or_default())
+    }
+
+    fn abandon(&self, state: &mut MirrorState) {
+        state.abandoned = true;
+        state.queue.clear();
+        state.queued_bytes = 0;
+        self.mirror_abandoned.inc();
+        self.errors.inc();
+    }
+
+    /// Replays the log's queued appends front-first until the queue is
+    /// empty or the daemon stops cooperating.  Order is the invariant:
+    /// append N+1 is never sent before N lands, so the daemon's copy stays
+    /// a clean prefix of the local log.
+    fn drain_mirror(&self, log: u64, state: &mut MirrorState) {
+        let mut lease_retries = 0;
+        loop {
+            if state.queue.is_empty() {
+                return;
+            }
+            let lease = match state.lease {
+                Some(lease) => lease,
+                None => match self.with_daemon(|c| c.tier_lease(log, self.holder)) {
+                    Ok(lease) => {
+                        self.lease_acquires.inc();
+                        state.lease = Some(lease);
+                        lease
+                    }
+                    Err(_) => return,
+                },
+            };
+            let Some(front) = state.queue.front() else {
+                return;
+            };
+            let offset = front.0;
+            let len = front.1.len();
+            let start = Instant::now();
+            let result = self.with_daemon(|c| c.tier_append(log, lease, offset, &front.1));
+            match result {
+                Ok(_) => {
+                    self.append_latency.record(start.elapsed());
+                    self.appends.inc();
+                    self.append_bytes.add(len as u64);
+                    state.queue.pop_front();
+                    state.queued_bytes -= len;
+                }
+                Err(DaemonError::Rejected {
+                    status: StatusCode::StaleView,
+                    ..
+                }) => {
+                    // Superseded lease (daemon restarted, or a takeover):
+                    // re-acquire and retry the same append.
+                    state.lease = None;
+                    lease_retries += 1;
+                    if lease_retries > MAX_LEASE_RETRIES {
+                        return;
+                    }
+                }
+                Err(DaemonError::Rejected { .. }) => {
+                    // Permanently refused (e.g. over capacity): replaying
+                    // later cannot help, and skipping the append would hole
+                    // the daemon's copy.  Abandon the mirror; readers of
+                    // this log demote to the chain-fetch fallback.
+                    self.abandon(state);
+                    return;
+                }
+                Err(DaemonError::Unavailable(_)) => return,
+            }
+        }
+    }
+
+    /// Reads `buf.len()` bytes of a foreign log back from the daemon,
+    /// chunked under [`MAX_TIER_READ_BYTES`].
+    fn daemon_read(
+        &self,
+        log: LogId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> shadowfax_storage::Result<()> {
+        if self.log_is_down(log.0) || self.daemon_is_down() {
+            return Err(DeviceError::UnknownLog(log.0));
+        }
+        let start = Instant::now();
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let len = (buf.len() - filled).min(MAX_TIER_READ_BYTES as usize) as u32;
+            match self.with_daemon(|c| c.tier_read(log.0, offset + filled as u64, len)) {
+                Ok(data) if data.len() == len as usize => {
+                    buf[filled..filled + len as usize].copy_from_slice(&data);
+                    filled += len as usize;
+                }
+                Ok(_) => {
+                    self.errors.inc();
+                    return Err(DeviceError::UnknownLog(log.0));
+                }
+                Err(DaemonError::Rejected {
+                    status: StatusCode::OutOfRange,
+                    ..
+                }) => {
+                    // The daemon's copy of this log is behind (or the
+                    // address predates the mirror): demote this log to the
+                    // fallback for a while.
+                    self.errors.inc();
+                    self.mark_log_down(log.0);
+                    return Err(DeviceError::UnknownLog(log.0));
+                }
+                Err(_) => {
+                    self.errors.inc();
+                    return Err(DeviceError::UnknownLog(log.0));
+                }
+            }
+        }
+        self.reads.inc();
+        self.read_bytes.add(buf.len() as u64);
+        self.read_latency.record(start.elapsed());
+        Ok(())
+    }
+}
+
+impl TierSink for RemoteSharedTier {
+    fn append(&self, log: LogId, offset: u64, data: &[u8]) {
+        let entry = self.mirror_entry(log.0);
+        let mut state = entry.lock();
+        if state.abandoned {
+            self.errors.inc();
+            return;
+        }
+        state.queue.push_back((offset, data.to_vec()));
+        state.queued_bytes += data.len();
+        self.drain_mirror(log.0, &mut state);
+        if !state.queue.is_empty() && state.queued_bytes > MAX_MIRROR_QUEUE_BYTES {
+            self.abandon(&mut state);
+        }
+    }
+}
+
+impl shadowfax_storage::TierService for RemoteSharedTier {
+    fn read_log(&self, log: LogId, offset: u64, buf: &mut [u8]) -> shadowfax_storage::Result<()> {
+        // Logs this process hosts are always served locally; only a log we
+        // have no copy of goes to the daemon.  Local errors other than
+        // UnknownLog (bad address, unwritten range) are genuine and must
+        // not be retried remotely — the daemon mirrors the same bytes.
+        match self.local.read_log(log, offset, buf) {
+            Ok(()) => Ok(()),
+            Err(DeviceError::UnknownLog(_)) => self.daemon_read(log, offset, buf),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn fetch_chain(&self, req: &ChainFetchRequest) -> ChainFetch {
+        let snapshot = self.meta.snapshot();
+        let owner_is_remote = match snapshot.server(ServerId(req.log.0 as u32)) {
+            Some(owner) => is_peer_socket_address(&owner.address),
+            // Deregistered owner: the daemon can still serve the chain —
+            // one of the capabilities a genuinely shared tier adds.
+            None => true,
+        };
+        if !owner_is_remote {
+            return ChainFetch::Local;
+        }
+        if !self.daemon_is_down() && !self.log_is_down(req.log.0) {
+            // Answer Local so the core walker reads the chain straight off
+            // the daemon — every hop, across any number of source logs.
+            self.direct_chains.inc();
+            return ChainFetch::Local;
+        }
+        self.fallbacks.inc();
+        self.fallback.fetch_chain(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tierd::{TierDaemon, TierDaemonConfig};
+    use shadowfax_storage::TierService;
+
+    fn spawn_daemon(listen: &str) -> Arc<crate::tierd::TierDaemonHandle> {
+        TierDaemon::serve(TierDaemonConfig {
+            listen: listen.into(),
+            per_log_capacity: 1 << 20,
+        })
+        .expect("bind tier daemon")
+    }
+
+    fn shared_view(
+        addr: &str,
+        holder: u64,
+        registry: &MetricsRegistry,
+    ) -> (Arc<SharedBlobTier>, Arc<RemoteSharedTier>) {
+        let local = SharedBlobTier::new(1 << 20);
+        let view = RemoteSharedTier::new(
+            addr.to_string(),
+            Arc::clone(&local),
+            MetadataStore::new(),
+            holder,
+            registry,
+        );
+        (local, view)
+    }
+
+    #[test]
+    fn mirrored_spill_is_readable_from_another_process_view() {
+        let daemon = spawn_daemon("127.0.0.1:0");
+        let addr = daemon.local_addr().to_string();
+
+        // Process A spills to its local tier; the sink mirrors the bytes.
+        let registry_a = MetricsRegistry::new();
+        let (local_a, writer) = shared_view(&addr, 0, &registry_a);
+        local_a.set_sink(writer);
+        local_a.write_log(LogId(7), 0, &[0xC3; 256]).unwrap();
+        assert_eq!(
+            registry_a.snapshot().counter("tier.remote.appends"),
+            Some(1)
+        );
+
+        // Process B has no local copy of log 7; the read goes to the daemon.
+        let registry_b = MetricsRegistry::new();
+        let (_local_b, reader) = shared_view(&addr, 1, &registry_b);
+        let mut buf = [0u8; 256];
+        reader.read_log(LogId(7), 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xC3));
+        assert_eq!(registry_b.snapshot().counter("tier.remote.reads"), Some(1));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn appends_during_an_outage_queue_and_replay_in_order() {
+        // Reserve a port, leave it unbound: the daemon is "down" at first.
+        let addr = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().to_string()
+        };
+        let registry = MetricsRegistry::new();
+        let (local, writer) = shared_view(&addr, 0, &registry);
+        local.set_sink(writer);
+        local.write_log(LogId(2), 0, &[1u8; 64]).unwrap();
+        local.write_log(LogId(2), 64, &[2u8; 64]).unwrap();
+        assert_eq!(
+            registry.snapshot().counter("tier.remote.appends"),
+            Some(0),
+            "nothing mirrored while the daemon is down"
+        );
+        assert_eq!(registry.snapshot().gauge("tier.remote.reachable"), Some(0));
+
+        // The daemon comes up; after the backoff the next spill drains the
+        // queue front-first, so the daemon's copy is a clean prefix.
+        let daemon = spawn_daemon(&addr);
+        std::thread::sleep(Duration::from_millis(600));
+        local.write_log(LogId(2), 128, &[3u8; 64]).unwrap();
+        assert_eq!(registry.snapshot().counter("tier.remote.appends"), Some(3));
+        assert_eq!(registry.snapshot().gauge("tier.remote.reachable"), Some(1));
+        let status = daemon.status();
+        assert_eq!(status.logs.len(), 1);
+        assert!(status.logs[0].extent >= 192);
+
+        let registry_b = MetricsRegistry::new();
+        let (_local_b, reader) = shared_view(&addr, 1, &registry_b);
+        let mut buf = [0u8; 192];
+        reader.read_log(LogId(2), 0, &mut buf).unwrap();
+        assert!(buf[..64].iter().all(|&b| b == 1));
+        assert!(buf[64..128].iter().all(|&b| b == 2));
+        assert!(buf[128..].iter().all(|&b| b == 3));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn unknown_daemon_log_demotes_that_log_not_the_daemon() {
+        let daemon = spawn_daemon("127.0.0.1:0");
+        let addr = daemon.local_addr().to_string();
+        let registry = MetricsRegistry::new();
+        let (_local, view) = shared_view(&addr, 0, &registry);
+        let mut buf = [0u8; 16];
+        assert!(view.read_log(LogId(42), 0, &mut buf).is_err());
+        assert!(view.log_is_down(42), "the missing log backs off");
+        assert!(view.is_reachable(), "the daemon itself stays up");
+        daemon.shutdown();
     }
 }

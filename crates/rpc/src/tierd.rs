@@ -1,0 +1,451 @@
+//! The `shadowfax-tier` daemon: the cluster's one genuinely shared blob
+//! tier, served over the length-prefixed wire codec.
+//!
+//! The paper's architecture (§3.3.2) assumes a shared remote tier any
+//! server can read spilled chains from directly.  Before this daemon the
+//! reproduction simulated that with N per-process
+//! [`SharedBlobTier`]s, so every cross-process chain read had to take the
+//! RPC chain-fetch path through the process hosting the log.  The daemon
+//! makes the tier real: every serving process mirrors its spill writes
+//! here ([`WireMsg::TierAppend`]), and any process reads any log back
+//! ([`WireMsg::TierRead`]) — which is exactly the capability multi-hop
+//! nested indirection chains need, since the walker can hop from log to
+//! log without a per-hop owner RPC.
+//!
+//! Writes are guarded by per-log *leases* ([`WireMsg::TierLease`]): one
+//! writer per log at a time, the invariant the log-structured spill format
+//! already assumes.  A lease is granted (or taken over) to whoever asks —
+//! ownership policy lives with the metadata broker, not here — but every
+//! grant bumps the lease id, so a superseded writer's appends are refused
+//! with [`StatusCode::StaleView`] instead of silently interleaving.
+//!
+//! The daemon is deliberately dumb: no replication, no ownership map, no
+//! record parsing.  It stores bytes, enforces leases, reports per-log
+//! extents ([`WireMsg::GetTierStatus`]), and answers the standard metrics
+//! frames from its own `tierd.*` registry.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use shadowfax_net::StatusCode;
+use shadowfax_obs::MetricsRegistry;
+use shadowfax_storage::{LogId, SharedBlobTier};
+
+use crate::codec::{
+    encode_frame, FrameDecoder, WireMsg, WireTierLog, WireTierStatus, MAX_FRAME_BYTES,
+};
+
+/// Hard cap on one [`WireMsg::TierRead`]'s length: well under
+/// [`MAX_FRAME_BYTES`] so a reply frame can never exceed the codec limit.
+pub const MAX_TIER_READ_BYTES: u32 = 4 * 1024 * 1024;
+
+/// Tuning for a [`TierDaemon`].
+#[derive(Debug, Clone)]
+pub struct TierDaemonConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port).
+    pub listen: String,
+    /// Capacity of each hosted log in bytes.
+    pub per_log_capacity: u64,
+}
+
+impl Default for TierDaemonConfig {
+    fn default() -> Self {
+        TierDaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            per_log_capacity: 1 << 30,
+        }
+    }
+}
+
+struct LeaseEntry {
+    lease: u64,
+    holder: u64,
+}
+
+/// Everything the connection threads share.
+struct TierState {
+    tier: Arc<SharedBlobTier>,
+    leases: Mutex<HashMap<u64, LeaseEntry>>,
+    next_lease: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    appends: shadowfax_obs::Counter,
+    append_bytes: shadowfax_obs::Counter,
+    reads: shadowfax_obs::Counter,
+    read_bytes: shadowfax_obs::Counter,
+    lease_grants: shadowfax_obs::Counter,
+    rejected_stale_lease: shadowfax_obs::Counter,
+    rejected_out_of_range: shadowfax_obs::Counter,
+}
+
+impl TierState {
+    fn new(per_log_capacity: u64) -> Arc<Self> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        Arc::new(TierState {
+            tier: SharedBlobTier::new(per_log_capacity),
+            leases: Mutex::new(HashMap::new()),
+            next_lease: AtomicU64::new(0),
+            appends: metrics.counter("tierd.appends"),
+            append_bytes: metrics.counter("tierd.append_bytes"),
+            reads: metrics.counter("tierd.reads"),
+            read_bytes: metrics.counter("tierd.read_bytes"),
+            lease_grants: metrics.counter("tierd.lease_grants"),
+            rejected_stale_lease: metrics.counter("tierd.rejected_stale_lease"),
+            rejected_out_of_range: metrics.counter("tierd.rejected_out_of_range"),
+            metrics,
+        })
+    }
+
+    fn grant_lease(&self, log: u64, holder: u64) -> u64 {
+        // Create the log eagerly so `tier status` lists it (and reads of a
+        // leased-but-never-written log answer OutOfRange, not UnknownLog).
+        self.tier.handle(LogId(log));
+        let lease = self.next_lease.fetch_add(1, Ordering::SeqCst) + 1;
+        self.leases
+            .lock()
+            .expect("tier leases")
+            .insert(log, LeaseEntry { lease, holder });
+        self.lease_grants.inc();
+        lease
+    }
+
+    fn answer(&self, msg: WireMsg) -> WireMsg {
+        match msg {
+            WireMsg::TierLease { log, holder } => WireMsg::CtrlOk {
+                value: self.grant_lease(log, holder),
+            },
+            WireMsg::TierAppend {
+                log,
+                lease,
+                offset,
+                data,
+            } => {
+                let current = {
+                    let leases = self.leases.lock().expect("tier leases");
+                    leases.get(&log).map(|e| e.lease)
+                };
+                if current != Some(lease) {
+                    self.rejected_stale_lease.inc();
+                    return WireMsg::CtrlErr {
+                        status: StatusCode::StaleView,
+                        message: format!(
+                            "lease {lease} on log {log} superseded (current {})",
+                            current.unwrap_or(0)
+                        ),
+                    };
+                }
+                match self.tier.write_log(LogId(log), offset, &data) {
+                    Ok(()) => {
+                        self.appends.inc();
+                        self.append_bytes.add(data.len() as u64);
+                        WireMsg::CtrlOk {
+                            value: self.tier.written_extent_of(LogId(log)).unwrap_or(0),
+                        }
+                    }
+                    Err(e) => WireMsg::CtrlErr {
+                        status: StatusCode::ControlFailed,
+                        message: format!("append to log {log} at {offset} failed: {e}"),
+                    },
+                }
+            }
+            WireMsg::TierRead { log, offset, len } => {
+                if len > MAX_TIER_READ_BYTES {
+                    self.rejected_out_of_range.inc();
+                    return WireMsg::CtrlErr {
+                        status: StatusCode::OutOfRange,
+                        message: format!(
+                            "read of {len} bytes exceeds the {MAX_TIER_READ_BYTES}-byte cap"
+                        ),
+                    };
+                }
+                let extent = match self.tier.written_extent_of(LogId(log)) {
+                    Ok(extent) => extent,
+                    Err(_) => {
+                        self.rejected_out_of_range.inc();
+                        return WireMsg::CtrlErr {
+                            status: StatusCode::OutOfRange,
+                            message: format!("unknown tier log {log}"),
+                        };
+                    }
+                };
+                if offset.saturating_add(len as u64) > extent {
+                    self.rejected_out_of_range.inc();
+                    return WireMsg::CtrlErr {
+                        status: StatusCode::OutOfRange,
+                        message: format!(
+                            "read [{offset}, +{len}) beyond log {log}'s written extent {extent}"
+                        ),
+                    };
+                }
+                let mut data = vec![0u8; len as usize];
+                match self.tier.read_log(LogId(log), offset, &mut data) {
+                    Ok(()) => {
+                        self.reads.inc();
+                        self.read_bytes.add(len as u64);
+                        WireMsg::TierData { log, offset, data }
+                    }
+                    Err(e) => WireMsg::CtrlErr {
+                        status: StatusCode::ControlFailed,
+                        message: format!("read of log {log} at {offset} failed: {e}"),
+                    },
+                }
+            }
+            WireMsg::GetTierStatus => {
+                let leases = self.leases.lock().expect("tier leases");
+                let logs = self
+                    .tier
+                    .logs()
+                    .into_iter()
+                    .map(|log| WireTierLog {
+                        log: log.0,
+                        extent: self.tier.written_extent_of(log).unwrap_or(0),
+                        lease: leases.get(&log.0).map(|e| e.lease).unwrap_or(0),
+                        holder: leases.get(&log.0).map(|e| e.holder).unwrap_or(0),
+                    })
+                    .collect();
+                WireMsg::TierStatus(WireTierStatus {
+                    appends: self.appends.value(),
+                    reads: self.reads.value(),
+                    rejected_stale_lease: self.rejected_stale_lease.value(),
+                    logs,
+                })
+            }
+            WireMsg::GetMetrics => WireMsg::Metrics(self.metrics.snapshot()),
+            WireMsg::GetMetricsNs { prefix } => {
+                WireMsg::Metrics(self.metrics.snapshot().filtered(&prefix))
+            }
+            WireMsg::Ping(token) => WireMsg::Pong(token),
+            other => WireMsg::CtrlErr {
+                status: StatusCode::Malformed,
+                message: format!("unexpected frame at the tier daemon: {other:?}"),
+            },
+        }
+    }
+}
+
+/// Handle to a running tier daemon; call [`TierDaemonHandle::shutdown`] to
+/// stop it (dropping the handle does not).
+pub struct TierDaemonHandle {
+    local_addr: SocketAddr,
+    state: Arc<TierState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TierDaemonHandle {
+    /// The daemon's bound socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The daemon's current per-log status (same answer as the
+    /// `GET_TIER_STATUS` frame; used by in-process tests).
+    pub fn status(&self) -> WireTierStatus {
+        match self.state.answer(WireMsg::GetTierStatus) {
+            WireMsg::TierStatus(status) => status,
+            _ => unreachable!("GetTierStatus always answers TierStatus"),
+        }
+    }
+
+    /// Stops the accept loop, closes every connection thread, and joins
+    /// them all.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self
+            .accept_thread
+            .lock()
+            .expect("tier accept thread")
+            .take()
+        {
+            let _ = thread.join();
+        }
+        let threads: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("tier conn threads")
+            .drain(..)
+            .collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The daemon itself.  Construct with [`TierDaemon::serve`].
+pub struct TierDaemon;
+
+impl TierDaemon {
+    /// Binds `config.listen` and starts serving tier frames.
+    pub fn serve(config: TierDaemonConfig) -> std::io::Result<Arc<TierDaemonHandle>> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let state = TierState::new(config.per_log_capacity);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("shadowfax-tier-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let state = Arc::clone(&state);
+                                let stop = Arc::clone(&stop);
+                                let thread = std::thread::Builder::new()
+                                    .name("shadowfax-tier-conn".into())
+                                    .spawn(move || serve_conn(stream, state, stop))
+                                    .expect("spawn tier connection thread");
+                                conn_threads.lock().expect("tier conn threads").push(thread);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn tier accept thread")
+        };
+        Ok(Arc::new(TierDaemonHandle {
+            local_addr,
+            state,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            conn_threads,
+        }))
+    }
+}
+
+/// One blocking connection: decode frames, answer them, until the peer
+/// hangs up or the daemon stops.  Read timeouts just re-check the stop
+/// flag, so shutdown never waits on a silent peer.
+fn serve_conn(stream: TcpStream, state: Arc<TierState>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut stream = stream;
+    let mut decoder = FrameDecoder::new(MAX_FRAME_BYTES);
+    let mut chunk = [0u8; 64 * 1024];
+    while !stop.load(Ordering::SeqCst) {
+        match decoder.next_msg() {
+            Ok(Some(msg)) => {
+                let reply = state.answer(msg);
+                if stream.write_all(&encode_frame(&reply)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            // Garbage on the wire: answer once with the typed status, then
+            // drop the connection (the decoder cannot resynchronise).
+            Err(e) => {
+                let _ = stream.write_all(&encode_frame(&WireMsg::CtrlErr {
+                    status: e.status_code(),
+                    message: e.to_string(),
+                }));
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => decoder.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::CtrlClient;
+    use crate::RpcError;
+
+    fn daemon() -> (Arc<TierDaemonHandle>, CtrlClient) {
+        let handle = TierDaemon::serve(TierDaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            per_log_capacity: 1 << 20,
+        })
+        .expect("bind tier daemon");
+        let client = CtrlClient::connect(&handle.local_addr().to_string(), Duration::from_secs(5))
+            .expect("connect tier client");
+        (handle, client)
+    }
+
+    #[test]
+    fn lease_append_read_roundtrip() {
+        let (daemon, mut client) = daemon();
+        let lease = client.tier_lease(3, 0).expect("lease");
+        assert!(lease > 0);
+        let extent = client
+            .tier_append(3, lease, 0, &[0xAB; 128])
+            .expect("append");
+        assert!(extent >= 128);
+        let data = client.tier_read(3, 0, 128).expect("read");
+        assert!(data.iter().all(|&b| b == 0xAB));
+        let status = client.tier_status().expect("status");
+        assert_eq!(status.appends, 1);
+        assert_eq!(status.reads, 1);
+        assert_eq!(status.logs.len(), 1);
+        assert_eq!(status.logs[0].log, 3);
+        assert_eq!(status.logs[0].lease, lease);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn superseded_lease_is_refused_and_reads_beyond_extent_are_out_of_range() {
+        let (daemon, mut client) = daemon();
+        let old = client.tier_lease(1, 0).expect("first lease");
+        let new = client.tier_lease(1, 7).expect("takeover lease");
+        assert!(new > old);
+        match client.tier_append(1, old, 0, &[1; 8]) {
+            Err(RpcError::Remote { status, .. }) => {
+                assert_eq!(status, StatusCode::StaleView)
+            }
+            other => panic!("stale-lease append was not refused: {other:?}"),
+        }
+        client
+            .tier_append(1, new, 0, &[2; 8])
+            .expect("fresh append");
+        // The connection survived the typed rejection.
+        match client.tier_read(1, 1 << 19, 64) {
+            Err(RpcError::Remote { status, .. }) => {
+                assert_eq!(status, StatusCode::OutOfRange)
+            }
+            other => panic!("beyond-extent read was not refused: {other:?}"),
+        }
+        match client.tier_read(99, 0, 8) {
+            Err(RpcError::Remote { status, .. }) => {
+                assert_eq!(status, StatusCode::OutOfRange)
+            }
+            other => panic!("unknown-log read was not refused: {other:?}"),
+        }
+        let status = client.tier_status().expect("status");
+        assert_eq!(status.rejected_stale_lease, 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_see_each_others_writes() {
+        let (daemon, mut a) = daemon();
+        let mut b = CtrlClient::connect(&daemon.local_addr().to_string(), Duration::from_secs(5))
+            .expect("second client");
+        let lease = a.tier_lease(0, 0).expect("lease");
+        a.tier_append(0, lease, 256, &[0x5A; 64]).expect("append");
+        let data = b.tier_read(0, 256, 64).expect("cross-client read");
+        assert!(data.iter().all(|&b| b == 0x5A));
+        daemon.shutdown();
+    }
+}

@@ -75,6 +75,7 @@ fn broker_replicates_relays_and_converges_cancellations() {
     let mut cluster = ClusterSpec {
         name: "broker_convergence",
         layout: "scale-out",
+        tier: false,
         processes: vec![
             ProcessSpec {
                 sampling_ms: Some(2_000),

@@ -6,7 +6,9 @@
 //! 1 (rank 1, follower).  The test
 //!
 //! * replicates a pending migration recorded at the broker into the
-//!   follower's store,
+//!   follower's store, then asserts the fan-out goes quiet — once the
+//!   follower holds identical content, no-op ticks push zero `META_MERGE`
+//!   bytes (skip-if-current compares merged content, not just epoch),
 //! * kills the broker (RPC front end and coordinator both) mid-migration,
 //! * observes the typed-unavailability window: while every better-ranked
 //!   candidate is unreachable but not yet past the liveness budget,
@@ -143,6 +145,29 @@ fn killing_the_broker_promotes_the_follower_at_a_bumped_epoch() {
         cluster_b.meta().owner_of(moving.start).map(|(id, _)| id),
         Some(ServerId(1)),
         "the follower's replica must show the transferred ownership"
+    );
+
+    // With the follower fully caught up, the fan-out must go quiet: a
+    // no-op tick sends zero META_MERGE bytes.  (The replica content hash
+    // gates the push — epoch alone would keep re-shipping the full store
+    // whenever the follower's acked epoch trails by an election bump.)
+    // Give the in-flight tick a moment to finish counting, then watch
+    // ~10 ticks pass without a byte.
+    std::thread::sleep(Duration::from_millis(100));
+    let pushed_before = cluster_a
+        .metrics()
+        .snapshot()
+        .counter("broker.merge.push_bytes")
+        .unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(400));
+    let pushed_after = cluster_a
+        .metrics()
+        .snapshot()
+        .counter("broker.merge.push_bytes")
+        .unwrap_or(0);
+    assert_eq!(
+        pushed_after, pushed_before,
+        "no-op ticks must not ship META_MERGE bytes to a caught-up follower"
     );
 
     // Kill the broker: front end first (so probes fail), then its loop.

@@ -31,7 +31,7 @@ use shadowfax_obs::{HistogramSnapshot, MetricsSnapshot, TimelineEvent};
 use shadowfax_rpc::{
     decode_frame, encode_frame, CodecError, FrameDecoder, WireBrokerPeer, WireBrokerStatus,
     WireCancelStats, WireMetaReplica, WireMigrationDep, WireMigrationState, WireMsg, WireOwnership,
-    WireServerInfo, WireTierStats, MAX_FRAME_BYTES,
+    WireServerInfo, WireTierLog, WireTierStats, WireTierStatus, MAX_FRAME_BYTES,
 };
 use shadowfax_storage::TierRecord;
 
@@ -279,6 +279,9 @@ fn random_broker_status(rng: &mut StdRng) -> WireBrokerStatus {
                 reachable: rng.gen::<u64>() % 2 == 0,
             })
             .collect(),
+        tier_addr: random_string(rng, 24),
+        tier_reachable: rng.gen::<u64>() % 2 == 0,
+        cancel_escalated: rng.gen(),
     }
 }
 
@@ -416,6 +419,42 @@ fn random_messages(rng: &mut StdRng) -> Vec<WireMsg> {
         },
         WireMsg::GetBrokerStatus,
         WireMsg::BrokerStatus(random_broker_status(rng)),
+        // The shared blob tier frames (lease-guarded mirror appends, open
+        // reads, and the daemon status report).
+        WireMsg::TierLease {
+            log: rng.gen(),
+            holder: rng.gen(),
+        },
+        WireMsg::TierAppend {
+            log: rng.gen(),
+            lease: rng.gen(),
+            offset: rng.gen(),
+            data: random_bytes(rng, 300),
+        },
+        WireMsg::TierRead {
+            log: rng.gen(),
+            offset: rng.gen(),
+            len: rng.gen(),
+        },
+        WireMsg::TierData {
+            log: rng.gen(),
+            offset: rng.gen(),
+            data: random_bytes(rng, 300),
+        },
+        WireMsg::GetTierStatus,
+        WireMsg::TierStatus(WireTierStatus {
+            appends: rng.gen(),
+            reads: rng.gen(),
+            rejected_stale_lease: rng.gen(),
+            logs: (0..rng.gen_range(0u64..4))
+                .map(|_| WireTierLog {
+                    log: rng.gen(),
+                    extent: rng.gen(),
+                    lease: rng.gen(),
+                    holder: rng.gen(),
+                })
+                .collect(),
+        }),
     ]
 }
 
@@ -431,15 +470,17 @@ fn generator_covers_every_wire_kind() {
             kinds.insert(frame[4]);
         }
     }
-    // 30 distinct kind bytes are on the wire today (Executed/Rejected share
+    // 36 distinct kind bytes are on the wire today (Executed/Rejected share
     // the REPLY kind; every MigrationMsg shares MIGRATION; the cancel work
     // added CANCEL_MIGRATION, GET_CANCEL_STATS, and CANCEL_STATS; the
     // telemetry work added GET_METRICS and METRICS; the metadata-broker
     // work added GET_METRICS_NS, GET_META_REPLICA, META_REPLICA,
-    // META_MERGE, META_ACK, GET_BROKER_STATUS, and BROKER_STATUS).
+    // META_MERGE, META_ACK, GET_BROKER_STATUS, and BROKER_STATUS; the
+    // shared-tier work added TIER_LEASE, TIER_APPEND, TIER_READ,
+    // TIER_DATA, GET_TIER_STATUS, and TIER_STATUS).
     assert_eq!(
         kinds.len(),
-        30,
+        36,
         "frame kinds covered by the generator changed: {kinds:?}"
     );
 }

@@ -56,6 +56,7 @@ fn dead_target_cancels_the_migration_and_the_source_serves_everything_again() {
     let mut cluster = ClusterSpec {
         name: "dead_peer",
         layout: "scale-out",
+        tier: false,
         processes: vec![
             // A long sampling phase pins where in the protocol the kill
             // lands: the target dies while the source is still sampling,

@@ -55,6 +55,7 @@ fn two_processes_migrate_half_the_space_under_live_load() {
     let cluster = ClusterSpec {
         name: "multi_process",
         layout: "scale-out",
+        tier: false,
         processes: vec![
             ProcessSpec {
                 memory_pages: Some(128),

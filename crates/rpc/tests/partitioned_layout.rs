@@ -70,6 +70,7 @@ fn three_process_partitioned_cluster_routes_migrates_and_cancels() {
     let cluster = ClusterSpec {
         name: "partitioned_layout",
         layout: "partitioned",
+        tier: false,
         processes: vec![
             ProcessSpec {
                 memory_pages: Some(128),

@@ -36,6 +36,7 @@ fn server_and_cli_as_separate_processes() {
     let cluster = ClusterSpec {
         name: "process_loopback",
         layout: "scale-out",
+        tier: false,
         processes: vec![ProcessSpec {
             servers: 2,
             ..ProcessSpec::default()

@@ -53,6 +53,7 @@ fn spilled_chains_are_served_across_processes_under_live_reads() {
     let cluster = ClusterSpec {
         name: "shared_tier",
         layout: "scale-out",
+        tier: false,
         processes: vec![
             ProcessSpec {
                 memory_pages: Some(8),

@@ -1,17 +1,20 @@
 //! Shared process-lifecycle harness for the multi-process integration
 //! tests.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`ServerSpawn`] — one `shadowfax-server` process: builds the command
 //!   line, spawns, parses the `LISTENING` banner, and kills the process on
 //!   drop (which is what the CI leaked-process assert relies on).
+//! * [`TierSpawn`] — one `shadowfax-tier` blob tier daemon, same banner
+//!   protocol and kill-on-drop discipline.
 //! * [`ClusterSpec`] / [`ProcessCluster`] — an N-process cluster with a
 //!   declared [`ClusterLayout`](`--layout`) spec: allocates one port per
 //!   process, cross-registers every process's servers as `--peer`s of all
-//!   the others, spawns them in order, waits for every readiness banner,
-//!   and captures each process's stderr to its own log file under
-//!   `target/test-logs/`.
+//!   the others, optionally spawns a shared tier daemon and points every
+//!   process at it with `--tier`, spawns them in order, waits for every
+//!   readiness banner, and captures each process's stderr to its own log
+//!   file under `target/test-logs/`.
 //!
 //! One copy — fixes to spawn/kill ordering and peer wiring apply to every
 //! test.
@@ -80,6 +83,8 @@ pub struct ServerSpawn {
     /// `--sampling-ms`, when a test needs the migration to stay in its
     /// sampling phase long enough to interfere with it deterministically.
     pub sampling_ms: Option<u64>,
+    /// `--tier` address of a shared blob tier daemon.
+    pub tier: Option<String>,
     /// `--peer` specs registering servers in other processes.
     pub peers: Vec<String>,
 }
@@ -95,6 +100,7 @@ impl Default for ServerSpawn {
             layout: None,
             memory_pages: None,
             sampling_ms: None,
+            tier: None,
             peers: Vec::new(),
         }
     }
@@ -130,6 +136,9 @@ impl ServerSpawn {
         }
         if let Some(ms) = self.sampling_ms {
             cmd.args(["--sampling-ms", &ms.to_string()]);
+        }
+        if let Some(tier) = &self.tier {
+            cmd.args(["--tier", tier]);
         }
         for peer in &self.peers {
             cmd.args(["--peer", peer]);
@@ -174,6 +183,67 @@ impl Drop for ServerProcess {
     }
 }
 
+/// Options for one `shadowfax-tier` blob tier daemon.
+#[derive(Default)]
+pub struct TierSpawn {
+    /// Log file suffix under `target/test-logs`; empty discards stderr.
+    pub log_name: String,
+    /// Port to listen on (0 picks an ephemeral one).
+    pub listen_port: u16,
+}
+
+impl TierSpawn {
+    /// Spawns the tier daemon and waits for its `LISTENING <addr>` banner.
+    pub fn spawn(self) -> TierProcess {
+        let stderr = if self.log_name.is_empty() {
+            Stdio::null()
+        } else {
+            Stdio::from(
+                File::create(log_dir().join(format!("{}.log", self.log_name)))
+                    .expect("create tier log file"),
+            )
+        };
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shadowfax-tier"))
+            .args(["--listen", &format!("127.0.0.1:{}", self.listen_port)])
+            .stdout(Stdio::piped())
+            .stderr(stderr)
+            .spawn()
+            .expect("spawn shadowfax-tier");
+        let stdout = child.stdout.take().expect("tier stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("tier daemon exited before announcing its address")
+            .expect("read tier stdout");
+        let addr = first
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected tier banner: {first:?}"))
+            .to_string();
+        TierProcess { child, addr }
+    }
+}
+
+/// A running `shadowfax-tier` daemon, killed (and reaped) on drop.
+pub struct TierProcess {
+    child: Child,
+    /// The socket address the daemon announced.
+    pub addr: String,
+}
+
+impl TierProcess {
+    /// Kills the daemon now (tier-outage scenarios).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for TierProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
 /// One process of a declarative [`ClusterSpec`].
 pub struct ProcessSpec {
     /// Number of logical servers this process hosts (`--servers`); global
@@ -209,6 +279,9 @@ pub struct ClusterSpec {
     pub layout: &'static str,
     /// The processes, in base-id order.
     pub processes: Vec<ProcessSpec>,
+    /// Spawn a `shadowfax-tier` daemon and point every process at it with
+    /// `--tier` (the shared blob tier path; off keeps peer chain-fetch).
+    pub tier: bool,
 }
 
 impl ClusterSpec {
@@ -218,12 +291,21 @@ impl ClusterSpec {
             name,
             layout,
             processes: (0..n).map(|_| ProcessSpec::default()).collect(),
+            tier: false,
         }
     }
 
-    /// Spawns every process and waits for all readiness banners.
+    /// Spawns every process (and the tier daemon, when asked for) and
+    /// waits for all readiness banners.
     pub fn spawn(self) -> ProcessCluster {
         assert!(!self.processes.is_empty(), "a cluster needs processes");
+        let tier = self.tier.then(|| {
+            TierSpawn {
+                log_name: format!("{}_tier", self.name),
+                listen_port: 0,
+            }
+            .spawn()
+        });
         let ports: Vec<u16> = self.processes.iter().map(|_| free_port()).collect();
         // Contiguous global ids: process i hosts base_id(i) .. +servers.
         let mut base_ids = Vec::with_capacity(self.processes.len());
@@ -263,12 +345,13 @@ impl ClusterSpec {
                     layout: Some(self.layout.to_string()),
                     memory_pages: p.memory_pages,
                     sampling_ms: p.sampling_ms,
+                    tier: tier.as_ref().map(|t| t.addr.clone()),
                     peers,
                 }
                 .spawn(),
             );
         }
-        ProcessCluster { procs, ids }
+        ProcessCluster { procs, ids, tier }
     }
 }
 
@@ -276,6 +359,7 @@ impl ClusterSpec {
 pub struct ProcessCluster {
     procs: Vec<ServerProcess>,
     ids: Vec<Vec<u32>>,
+    tier: Option<TierProcess>,
 }
 
 impl ProcessCluster {
@@ -298,5 +382,18 @@ impl ProcessCluster {
     /// processes keep running.
     pub fn kill(&mut self, i: usize) {
         self.procs[i].kill();
+    }
+
+    /// The shared tier daemon's address, when the spec asked for one.
+    pub fn tier_addr(&self) -> Option<&str> {
+        self.tier.as_ref().map(|t| t.addr.as_str())
+    }
+
+    /// Kills the tier daemon now (tier-outage scenarios); the serving
+    /// processes keep running and demote to chain-fetch fallback.
+    pub fn kill_tier(&mut self) {
+        if let Some(tier) = &mut self.tier {
+            tier.kill();
+        }
     }
 }

@@ -32,6 +32,6 @@ mod tier_service;
 pub use counters::{CounterSnapshot, DeviceCounters};
 pub use device::{Device, DeviceError, NullDevice, Result};
 pub use latency::LatencyModel;
-pub use shared_tier::{LogId, SharedBlobTier, SharedTierHandle};
+pub use shared_tier::{LogId, SharedBlobTier, SharedTierHandle, TierSink};
 pub use sim_ssd::SimSsd;
 pub use tier_service::{ChainFetch, ChainFetchRequest, TierRecord, TierService};

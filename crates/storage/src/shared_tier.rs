@@ -31,12 +31,27 @@ impl std::fmt::Display for LogId {
     }
 }
 
+/// A mirror target for tier writes: every byte written to a
+/// [`SharedBlobTier`] log is also handed to the installed sink.
+///
+/// This is the seam the RPC layer uses to turn N per-process tiers into one
+/// genuinely shared blob store: each serving process installs a sink that
+/// forwards its spill writes to the `shadowfax-tier` daemon, so any other
+/// process can read the chain straight off the daemon instead of dialling
+/// the writer.  A sink must never fail the local write — delivery problems
+/// are the sink's to absorb (buffer, retry, or mark the daemon down).
+pub trait TierSink: Send + Sync {
+    /// Mirrors `data` written at `offset` of `log`.
+    fn append(&self, log: LogId, offset: u64, data: &[u8]);
+}
+
 /// The cluster-shared blob tier: a namespace of per-log byte spaces.
 pub struct SharedBlobTier {
     logs: RwLock<HashMap<LogId, Arc<SimSsd>>>,
     per_log_capacity: u64,
     latency: LatencyModel,
     counters: DeviceCounters,
+    sink: RwLock<Option<Arc<dyn TierSink>>>,
 }
 
 impl std::fmt::Debug for SharedBlobTier {
@@ -62,7 +77,14 @@ impl SharedBlobTier {
             per_log_capacity,
             latency,
             counters: DeviceCounters::new(),
+            sink: RwLock::new(None),
         })
+    }
+
+    /// Installs `sink` as the mirror target for every subsequent write (see
+    /// [`TierSink`]).  Replaces any previously installed sink.
+    pub fn set_sink(&self, sink: Arc<dyn TierSink>) {
+        *self.sink.write() = Some(sink);
     }
 
     /// Returns (creating if necessary) the write handle for `log`.
@@ -102,11 +124,17 @@ impl SharedBlobTier {
         v
     }
 
-    /// Writes `data` at `offset` within `log`'s space.
+    /// Writes `data` at `offset` within `log`'s space, mirroring the bytes
+    /// to the installed [`TierSink`] (if any) after the local write lands.
     pub fn write_log(&self, log: LogId, offset: u64, data: &[u8]) -> Result<()> {
         self.latency.apply(data.len());
         self.counters.record_write(data.len());
-        self.ensure_log(log).write(offset, data)
+        self.ensure_log(log).write(offset, data)?;
+        let sink = self.sink.read().clone();
+        if let Some(sink) = sink {
+            sink.append(log, offset, data);
+        }
+        Ok(())
     }
 
     /// Reads from `log`'s space.  Any server may read any log — this is the
@@ -240,6 +268,29 @@ mod tests {
             h.read_other(LogId(99), 0, &mut buf),
             Err(DeviceError::UnknownLog(99))
         ));
+    }
+
+    #[test]
+    fn sink_mirrors_every_write_after_it_lands_locally() {
+        struct Capture(std::sync::Mutex<Vec<(u64, u64, usize)>>);
+        impl TierSink for Capture {
+            fn append(&self, log: LogId, offset: u64, data: &[u8]) {
+                self.0.lock().unwrap().push((log.0, offset, data.len()));
+            }
+        }
+        let tier = SharedBlobTier::new(1 << 20);
+        tier.write_log(LogId(1), 0, &[1u8; 32]).unwrap();
+        let capture = Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
+        tier.set_sink(Arc::clone(&capture) as Arc<dyn TierSink>);
+        tier.write_log(LogId(1), 64, &[2u8; 16]).unwrap();
+        tier.write_log(LogId(3), 128, &[3u8; 8]).unwrap();
+        // A failed local write must not reach the sink.
+        assert!(tier.write_log(LogId(1), u64::MAX - 4, &[0u8; 8]).is_err());
+        assert_eq!(
+            *capture.0.lock().unwrap(),
+            vec![(1, 64, 16), (3, 128, 8)],
+            "the sink sees exactly the writes that landed after installation"
+        );
     }
 
     #[test]
