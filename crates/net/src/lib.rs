@@ -37,6 +37,11 @@
 //!   alive: heartbeats with a miss budget, plus explicit peer-death from
 //!   transport errors.  The migration state machines use it to cancel a
 //!   migration whose peer died instead of wedging forever.
+//! * **reactor** — [`Reactor`] / [`Interest`] / [`Token`] wrap Linux
+//!   `epoll` (direct syscall bindings, no external crates) with
+//!   edge-triggered readiness and an `eventfd` wakeup channel.  The RPC
+//!   server's I/O threads and the tier daemon's event loop are built on
+//!   it, so idle connections cost no CPU.
 //!
 //! The simulated fabric remains generic over the message type; the Shadowfax
 //! core crate instantiates it with its client/server and server/server
@@ -48,6 +53,7 @@ mod error;
 mod liveness;
 mod message;
 mod profile;
+pub mod reactor;
 mod session;
 mod sim;
 mod transport;
@@ -56,6 +62,7 @@ pub use error::{SessionError, StatusCode, TransportError};
 pub use liveness::{LivenessConfig, PeerLiveness};
 pub use message::{BatchReply, KvRequest, KvResponse, RequestBatch, WireSize};
 pub use profile::NetworkProfile;
+pub use reactor::{raise_nofile_limit, Event, Interest, Reactor, Token};
 pub use session::{Callback, ClientSession, SessionConfig, SessionStats};
 pub use sim::{Connection, ConnectionStats, Listener, SimNetwork};
 pub use transport::{KvLink, MigrationLink, MigrationSendError, Transport};

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! shadowfax-server [--listen ADDR] [--servers N] [--threads T]
-//!                  [--io-threads I] [--layout SPEC] [--base-id B]
+//!                  [--io-threads I] [--io-driver reactor|polling]
+//!                  [--layout SPEC] [--base-id B]
 //!                  [--memory-pages P] [--sampling-ms MS]
 //!                  [--metrics-log-secs S] [--coordinator auto|on|off]
 //!                  [--tier ADDR] [--peer SPEC]...
@@ -61,8 +62,9 @@ use std::sync::Arc;
 
 use shadowfax::{parse_peer_spec, Cluster, ClusterConfig, ClusterLayout, PeerServer};
 use shadowfax_rpc::{
-    CoordinatedControl, Coordinator, CoordinatorConfig, RemoteSharedTier, RemoteTierService,
-    RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport, TierAwareControl,
+    CoordinatedControl, Coordinator, CoordinatorConfig, IoDriver, RemoteSharedTier,
+    RemoteTierService, RpcServer, RpcServerConfig, TcpMigrationConnector, TcpTransport,
+    TierAwareControl,
 };
 
 /// When the metadata broker/coordinator loop runs.
@@ -81,7 +83,8 @@ enum CoordinatorMode {
 const EXIT_USAGE: i32 = 64;
 
 const USAGE: &str = "usage: shadowfax-server [--listen ADDR] [--servers N] [--threads T] \
-     [--io-threads I] [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
+     [--io-threads I] [--io-driver reactor|polling] \
+     [--layout scale-out|partitioned|ID=RANGES,...] [--base-id B] \
      [--memory-pages P] [--sampling-ms MS] [--metrics-log-secs S] \
      [--coordinator auto|on|off] [--tier HOST:PORT] \
      [--peer id=I,addr=HOST:PORT[,threads=T][,owns=auto|full|none|RANGES]]...
@@ -92,6 +95,7 @@ struct Args {
     servers: usize,
     threads: usize,
     io_threads: usize,
+    io_driver: IoDriver,
     layout: ClusterLayout,
     base_id: u32,
     memory_pages: Option<u64>,
@@ -116,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         servers: 2,
         threads: 2,
         io_threads: 2,
+        io_driver: IoDriver::default(),
         layout: ClusterLayout::ScaleOut,
         base_id: 0,
         memory_pages: None,
@@ -139,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
             "--io-threads" => {
                 args.io_threads = parse_num("--io-threads", value("--io-threads")?)? as usize
             }
+            "--io-driver" => args.io_driver = value("--io-driver")?.parse()?,
             "--layout" => {
                 let spec = value("--layout")?;
                 args.layout = ClusterLayout::from_spec(&spec).map_err(|e| e.to_string())?;
@@ -200,6 +206,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn main() {
     let args = parse_args().unwrap_or_else(|detail| bad_args(&detail));
+
+    // The reactor driver exists to hold tens of thousands of connections;
+    // the default 1024-fd soft limit would undercut it immediately.
+    let _ = shadowfax_net::raise_nofile_limit();
 
     let mut config = ClusterConfig::two_server_test();
     config.servers = args.servers;
@@ -289,6 +299,7 @@ fn main() {
         RpcServerConfig {
             listen: args.listen.clone(),
             io_threads: args.io_threads,
+            io_driver: args.io_driver,
             ..RpcServerConfig::default()
         },
     )
@@ -302,10 +313,11 @@ fn main() {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "shadowfax-server: {} logical servers x {} dispatch threads, {} i/o threads on {}",
+        "shadowfax-server: {} logical servers x {} dispatch threads, {} i/o threads ({}) on {}",
         args.servers,
         args.threads,
         args.io_threads,
+        args.io_driver,
         rpc.local_addr()
     );
     // The resolved layout, one line per global id (local and peers alike).

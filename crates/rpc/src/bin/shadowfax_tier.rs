@@ -66,6 +66,9 @@ fn parse_args() -> Result<(TierDaemonConfig, u64), String> {
 
 fn main() {
     let (config, metrics_log_secs) = parse_args().unwrap_or_else(|detail| bad_args(&detail));
+    // Every serving process parks a mirroring connection here; don't let
+    // the default 1024-fd soft limit cap the cluster size.
+    let _ = shadowfax_net::raise_nofile_limit();
     let listen = config.listen.clone();
     let daemon = TierDaemon::serve(config).unwrap_or_else(|e| {
         eprintln!("failed to bind {listen}: {e}");

@@ -1806,6 +1806,19 @@ impl FrameDecoder {
         self.buf.len()
     }
 
+    /// Whether `next_msg` would make progress right now: a complete
+    /// frame is buffered (or an oversized length prefix is waiting to be
+    /// surfaced as an error).  `false` means the buffer holds at most a
+    /// partial frame — more socket bytes are required before any frame
+    /// can decode.
+    pub fn has_complete_frame(&self) -> bool {
+        if self.buf.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        len > self.max_frame || self.buf.len() >= 4 + len
+    }
+
     /// Decodes the next complete message, if a full frame has arrived.
     ///
     /// A frame whose declared length exceeds the limit fails with

@@ -69,7 +69,10 @@ pub use codec::{
 };
 pub use ctrl::{CtrlClient, RpcError};
 pub use fabric::TcpMigrationConnector;
-pub use server::{ClusterControl, RpcServer, RpcServerConfig, RpcServerHandle, TierAwareControl};
+pub use server::{
+    ClusterControl, IoDriver, RpcServer, RpcServerConfig, RpcServerHandle, TierAwareControl,
+    OUTBOUND_BUDGET_BYTES,
+};
 pub use tcp::{TcpLink, TcpMigrationLink, TcpTransport};
 pub use tier::{RemoteSharedTier, RemoteTierService};
 pub use tierd::{TierDaemon, TierDaemonConfig, TierDaemonHandle, MAX_TIER_READ_BYTES};

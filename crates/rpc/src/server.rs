@@ -8,13 +8,31 @@
 //! snapshots, migration triggers, pings) are answered directly from the
 //! metadata store.
 //!
+//! Two I/O drivers implement that loop, selected by
+//! [`RpcServerConfig::io_driver`]:
+//!
+//! * [`IoDriver::Reactor`] (default) — readiness-driven: each I/O thread
+//!   runs an epoll [`Reactor`]; connections register edge-triggered read
+//!   interest, replies are queued into a bounded per-connection outbound
+//!   buffer flushed on write-readiness (a client that stops reading is
+//!   dropped when its buffer exceeds [`OUTBOUND_BUDGET_BYTES`], counted in
+//!   `rpc.conns.dropped_slow_reader`, without stalling its siblings), and
+//!   a thread whose connections are all quiet blocks in `epoll_wait` — so
+//!   idle connections cost no CPU and tens of thousands of them fit in
+//!   one process.  The acceptor blocks on listener readiness the same way.
+//! * [`IoDriver::Polling`] — the historical baseline: every I/O thread
+//!   busy-scans its whole connection list with a 200µs idle sleep and
+//!   `send` retries a blocking write for up to 5s.  Kept behind the flag
+//!   for A/B benching (`BENCH_connscale.json`); its per-idle-connection
+//!   CPU burn is the thing the reactor exists to delete.
+//!
 //! This mirrors the paper's deployment shape — partitioned client sessions
 //! terminate on server dispatch threads; no request or reply crosses
 //! threads once bound — while keeping the dispatch loop itself transport
 //! agnostic.
 
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,8 +44,11 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use shadowfax::{
     ChainFetchError, ChainFetchQuery, ChainFetchReply, Cluster, MigrationMsg, ServerId,
 };
-use shadowfax_net::{KvLink, KvRequest, MigrationLink, StatusCode, Transport, TransportError};
-use shadowfax_obs::{Histogram, MetricsRegistry};
+use shadowfax_net::{
+    Interest, KvLink, KvRequest, MigrationLink, Reactor, StatusCode, Token, Transport,
+    TransportError,
+};
+use shadowfax_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::codec::{
     encode_frame, FrameDecoder, WireBrokerStatus, WireCancelStats, WireMetaReplica,
@@ -391,6 +412,10 @@ struct ServingLatency {
     upsert: Histogram,
     migrate_ctrl: Histogram,
     chain_fetch: Histogram,
+    /// Batch timing entries shed by the bounded in-flight table; their
+    /// eventual replies go unmeasured, so the histograms under-sample —
+    /// visibly, via this counter, instead of silently.
+    timings_dropped: Counter,
 }
 
 impl ServingLatency {
@@ -400,7 +425,82 @@ impl ServingLatency {
             upsert: metrics.histogram("rpc.latency.upsert"),
             migrate_ctrl: metrics.histogram("rpc.latency.migrate_ctrl"),
             chain_fetch: metrics.histogram("rpc.latency.chain_fetch"),
+            timings_dropped: metrics.counter("rpc.latency.timings_dropped"),
         }
+    }
+}
+
+/// Per-process connection observability (`rpc.conns.*`), shared by every
+/// I/O thread and both drivers.  Visible via
+/// `shadowfax-cli metrics --ns rpc`.
+#[derive(Clone)]
+struct ConnMetrics {
+    /// Connections currently open across all I/O threads.
+    open: Gauge,
+    /// Connections ever accepted.
+    accepted: Counter,
+    /// Connections dropped because the peer hung up or the transport
+    /// failed.
+    dropped_dead: Counter,
+    /// Connections dropped because the peer stopped reading and its
+    /// outbound budget ran out.
+    dropped_slow_reader: Counter,
+    /// High-water mark of any single connection's outbound buffer, in
+    /// bytes (reactor driver only; the polling driver buffers in the
+    /// kernel).
+    outbuf_hwm_bytes: Gauge,
+}
+
+impl ConnMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        ConnMetrics {
+            open: metrics.gauge("rpc.conns.open"),
+            accepted: metrics.counter("rpc.conns.accepted"),
+            dropped_dead: metrics.counter("rpc.conns.dropped_dead"),
+            dropped_slow_reader: metrics.counter("rpc.conns.dropped_slow_reader"),
+            outbuf_hwm_bytes: metrics.gauge("rpc.conns.outbuf_hwm_bytes"),
+        }
+    }
+
+    /// Raises the outbound high-water gauge to `bytes` if it grew.
+    /// Racy across threads in the way gauges are; the high-water mark is
+    /// advisory, not an invariant.
+    fn note_outbuf(&self, bytes: u64) {
+        if bytes > self.outbuf_hwm_bytes.value() {
+            self.outbuf_hwm_bytes.set(bytes);
+        }
+    }
+}
+
+/// Which event loop the I/O threads run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoDriver {
+    /// Busy-scan every connection with an idle sleep (the pre-reactor
+    /// baseline, kept for A/B benching).
+    Polling,
+    /// Readiness-driven epoll reactor: idle connections cost no CPU.
+    #[default]
+    Reactor,
+}
+
+impl std::str::FromStr for IoDriver {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "polling" => Ok(IoDriver::Polling),
+            "reactor" => Ok(IoDriver::Reactor),
+            other => Err(format!("io driver must be polling|reactor, got {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for IoDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoDriver::Polling => "polling",
+            IoDriver::Reactor => "reactor",
+        })
     }
 }
 
@@ -413,6 +513,8 @@ pub struct RpcServerConfig {
     pub io_threads: usize,
     /// Per-frame size limit enforced on received frames.
     pub max_frame: usize,
+    /// The event-loop implementation the I/O threads run.
+    pub io_driver: IoDriver,
 }
 
 impl Default for RpcServerConfig {
@@ -421,6 +523,7 @@ impl Default for RpcServerConfig {
             listen: "127.0.0.1:0".to_string(),
             io_threads: 2,
             max_frame: MAX_FRAME_BYTES,
+            io_driver: IoDriver::default(),
         }
     }
 }
@@ -432,6 +535,9 @@ pub struct RpcServer;
 pub struct RpcServerHandle {
     local_addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Reactor-driver loops to wake at shutdown so blocked `epoll_wait`
+    /// calls notice the flag; empty under the polling driver.
+    wakers: Vec<Arc<Reactor>>,
     joins: Vec<JoinHandle<()>>,
 }
 
@@ -450,24 +556,28 @@ impl RpcServerHandle {
         self.local_addr
     }
 
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+
     /// Stops the acceptor and I/O threads and waits for them to exit.
     /// Connections are dropped; in-flight batches already forwarded to
     /// dispatch threads complete inside the cluster but their replies are
     /// discarded.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for j in self.joins.drain(..) {
-            let _ = j.join();
-        }
+        self.stop();
     }
 }
 
 impl Drop for RpcServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for j in self.joins.drain(..) {
-            let _ = j.join();
-        }
+        self.stop();
     }
 }
 
@@ -483,10 +593,28 @@ impl RpcServer {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let io_threads = config.io_threads.max(1);
-        let latency = ServingLatency::new(&control.metrics());
+        let metrics = control.metrics();
+        let latency = ServingLatency::new(&metrics);
+        let conns = ConnMetrics::new(&metrics);
 
         let mut joins = Vec::with_capacity(io_threads + 1);
+        let mut wakers: Vec<Arc<Reactor>> = Vec::new();
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(io_threads);
+        // Reactor driver: one reactor per I/O thread (created here so bind
+        // failures surface from `serve`), plus one for the acceptor.
+        let mut io_reactors: Vec<Arc<Reactor>> = Vec::new();
+        let acceptor_reactor = match config.io_driver {
+            IoDriver::Polling => None,
+            IoDriver::Reactor => {
+                for _ in 0..io_threads {
+                    io_reactors.push(Arc::new(Reactor::new()?));
+                }
+                Some(Arc::new(Reactor::new()?))
+            }
+        };
+        wakers.extend(io_reactors.iter().cloned());
+        wakers.extend(acceptor_reactor.iter().cloned());
+
         for t in 0..io_threads {
             let (tx, rx) = unbounded::<TcpStream>();
             senders.push(tx);
@@ -494,34 +622,38 @@ impl RpcServer {
             let shutdown = Arc::clone(&shutdown);
             let max_frame = config.max_frame;
             let latency = latency.clone();
+            let conns = conns.clone();
+            let reactor = io_reactors.get(t).cloned();
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("shadowfax-rpc-io-{t}"))
-                    .spawn(move || io_thread(rx, control, shutdown, max_frame, latency))
+                    .spawn(move || match reactor {
+                        Some(reactor) => io_thread_reactor(
+                            reactor, rx, control, shutdown, max_frame, latency, conns,
+                        ),
+                        None => io_thread_polling(rx, control, shutdown, max_frame, latency, conns),
+                    })
                     .expect("failed to spawn rpc i/o thread"),
             );
         }
 
         let shutdown_acceptor = Arc::clone(&shutdown);
+        let conns_acceptor = conns.clone();
+        let io_wakers = io_reactors.clone();
         joins.push(
             std::thread::Builder::new()
                 .name("shadowfax-rpc-accept".to_string())
-                .spawn(move || {
-                    let mut next = 0usize;
-                    while !shutdown_acceptor.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let _ = stream.set_nodelay(true);
-                                let _ = stream.set_nonblocking(true);
-                                // Round-robin connections across I/O threads.
-                                let _ = senders[next % senders.len()].send(stream);
-                                next += 1;
-                            }
-                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_micros(500));
-                            }
-                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                        }
+                .spawn(move || match acceptor_reactor {
+                    Some(reactor) => accept_loop_reactor(
+                        reactor,
+                        listener,
+                        senders,
+                        io_wakers,
+                        shutdown_acceptor,
+                        conns_acceptor,
+                    ),
+                    None => {
+                        accept_loop_polling(listener, senders, shutdown_acceptor, conns_acceptor)
                     }
                 })
                 .expect("failed to spawn rpc acceptor thread"),
@@ -530,15 +662,127 @@ impl RpcServer {
         Ok(RpcServerHandle {
             local_addr,
             shutdown,
+            wakers,
             joins,
         })
     }
 }
 
+/// The polling acceptor: sleep-poll the nonblocking listener (the
+/// pre-reactor baseline).
+fn accept_loop_polling(
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnMetrics,
+) {
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                conns.accepted.inc();
+                // Round-robin connections across I/O threads.
+                let _ = senders[next % senders.len()].send(stream);
+                next += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The reactor acceptor: block on listener readiness, then accept until
+/// `WouldBlock` (edge-triggered), waking the receiving I/O thread's
+/// reactor for each handed-off connection.
+fn accept_loop_reactor(
+    reactor: Arc<Reactor>,
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    io_wakers: Vec<Arc<Reactor>>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnMetrics,
+) {
+    use std::os::unix::io::AsRawFd;
+    if reactor
+        .register(listener.as_raw_fd(), Token(0), Interest::READABLE)
+        .is_err()
+    {
+        // Registration can only fail on fd exhaustion; fall back to the
+        // polling acceptor rather than serving nothing.
+        return accept_loop_polling(listener, senders, shutdown, conns);
+    }
+    let mut events = Vec::new();
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        let _ = reactor.poll(&mut events, None);
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    conns.accepted.inc();
+                    let t = next % senders.len();
+                    next += 1;
+                    if senders[t].send(stream).is_ok() {
+                        io_wakers[t].wake();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE under fd pressure,
+                // aborted handshakes): yield briefly and re-poll.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Most in-flight batch timings a connection retains for latency
 /// measurement.  A client that never reads replies sheds the oldest
-/// timings rather than growing without bound.
+/// timings rather than growing without bound (each shed is counted in
+/// `rpc.latency.timings_dropped`).
 const MAX_INFLIGHT_TIMINGS: usize = 1024;
+
+/// Outbound-buffer budget per connection under the reactor driver.  A
+/// reply queue growing past this means the client has stopped reading
+/// (the kernel socket buffer is already full underneath it): the
+/// connection is dropped and counted in `rpc.conns.dropped_slow_reader`.
+/// Must exceed [`MAX_FRAME_BYTES`] so one maximum-size reply can always
+/// be queued.
+pub const OUTBOUND_BUDGET_BYTES: usize = 2 * MAX_FRAME_BYTES;
+
+/// Most 64 KiB read chunks one connection may drain per service pass.
+/// Bounds how long a single firehose connection can hold the I/O thread
+/// inside `drain_socket`; `read_pending` carries the rest to the next
+/// pass.
+const DRAIN_CHUNKS_PER_PASS: usize = 8;
+
+/// Most frames one connection may have handled per service pass.  A
+/// connection that buffers thousands of tiny requests (a metrics
+/// flooder, say) would otherwise monopolize the thread for the whole
+/// backlog while siblings wait; `frames_pending` keeps it on the active
+/// list so the backlog drains round-robin instead.
+const FRAMES_PER_PASS: usize = 256;
+
+/// Decoder-backlog ceiling: stop reading a socket whose buffered input
+/// already exceeds this *and* holds at least one decodable frame.  Flow
+/// control then happens in the kernel (the peer's writes block) instead
+/// of in our memory.  The decodable-frame condition matters: a single
+/// legitimate frame may be far larger than this ceiling, and gating on
+/// raw bytes alone would stop reading mid-frame — a frame that can then
+/// never complete (the backlog *is* the partial frame), wedging the
+/// connection until the peer's write budget kills it.
+const INPUT_BACKLOG_BYTES: usize = 1024 * 1024;
 
 /// One TCP connection being served.
 struct ServedConn {
@@ -551,22 +795,137 @@ struct ServedConn {
     mig: Option<Box<dyn MigrationLink<MigrationMsg>>>,
     eof: bool,
     dead: bool,
+    /// The connection was dropped for exhausting its outbound budget
+    /// (reactor) or stalling a blocking write (polling), not for dying.
+    slow_reader: bool,
+    /// `true` under the reactor driver: `send` queues into `out` and the
+    /// event loop flushes on write-readiness.  `false` under the polling
+    /// driver: `send` retries a blocking write with a 5s budget.
+    buffered: bool,
+    /// Bytes queued toward the socket, flushed on write-readiness.
+    out: VecDeque<u8>,
+    /// Whether the reactor registration currently includes write
+    /// interest (kept in sync with `out` by the event loop).
+    wants_write: bool,
+    /// On the event loop's active-service list (reactor driver).
+    in_active: bool,
+    /// `drain_socket` stopped at its per-pass bound before the socket
+    /// ran dry.  Edge-triggered epoll will not re-announce the leftover
+    /// bytes, so the service loop must retry the drain next pass.
+    read_pending: bool,
+    /// `process_frames` stopped at its per-pass bound with (possibly)
+    /// more complete frames still buffered; keeps the connection on the
+    /// active list until the backlog is gone.
+    frames_pending: bool,
+    /// Batches forwarded to the dispatch thread minus replies pumped
+    /// back: while nonzero, replies can appear without socket readiness,
+    /// so the event loop must keep servicing this connection.
+    outstanding: u64,
     /// Serving-path latency histograms shared with the registry.
     lat: ServingLatency,
+    /// Connection gauges/counters shared with the registry.
+    conns: ConnMetrics,
     /// `(seq, arrival, reads, upserts)` for batches forwarded to the
     /// dispatch thread whose replies have not come back yet.
     inflight: VecDeque<(u64, Instant, usize, usize)>,
 }
 
 impl ServedConn {
-    fn send(&mut self, msg: &WireMsg) {
-        // Bounded: a client that stops reading gets its connection dropped
-        // instead of wedging this I/O thread (and starving every other
-        // connection assigned to it).
-        let budget = Duration::from_secs(5);
-        if write_all_nonblocking(&mut self.stream, &encode_frame(msg), budget).is_err() {
-            self.dead = true;
+    fn new(
+        stream: TcpStream,
+        max_frame: usize,
+        buffered: bool,
+        lat: ServingLatency,
+        conns: ConnMetrics,
+    ) -> Self {
+        ServedConn {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            link: None,
+            mig: None,
+            eof: false,
+            dead: false,
+            slow_reader: false,
+            buffered,
+            out: VecDeque::new(),
+            wants_write: false,
+            in_active: false,
+            read_pending: false,
+            frames_pending: false,
+            outstanding: 0,
+            lat,
+            conns,
+            inflight: VecDeque::new(),
         }
+    }
+
+    fn send(&mut self, msg: &WireMsg) {
+        if self.dead {
+            return;
+        }
+        if self.buffered {
+            // Reactor driver: queue and opportunistically flush; the
+            // event loop finishes the job on write-readiness.  A client
+            // that stops reading exhausts its bounded budget and is
+            // dropped — without ever stalling this I/O thread.
+            self.out.extend(encode_frame(msg));
+            self.flush_out();
+            self.conns.note_outbuf(self.out.len() as u64);
+            if self.out.len() > OUTBOUND_BUDGET_BYTES {
+                self.slow_reader = true;
+                self.dead = true;
+            }
+            return;
+        }
+        // Polling driver (baseline): retry the write for up to 5s.  This
+        // is the behaviour the reactor exists to delete — one slow reader
+        // stalls every connection sharing the thread for the budget.
+        let budget = Duration::from_secs(5);
+        match write_all_nonblocking(&mut self.stream, &encode_frame(msg), budget) {
+            Ok(()) => {}
+            Err(TransportError::Io(detail)) if detail.contains("stalled") => {
+                self.slow_reader = true;
+                self.dead = true;
+            }
+            Err(_) => self.dead = true,
+        }
+    }
+
+    /// Writes buffered output until the socket would block (reactor
+    /// driver; called from `send` and on every write-readiness edge).
+    fn flush_out(&mut self) {
+        while !self.out.is_empty() {
+            let (front, _) = self.out.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Whether traffic can reach this connection without socket
+    /// readiness: replies still owed by a dispatch thread, a migration
+    /// link a peer may push on, buffered output awaiting a flush, or
+    /// input the per-pass bounds deferred to the next pass.  The reactor
+    /// loop keeps polling such connections; everything else sleeps until
+    /// an epoll event.
+    fn expects_async_traffic(&self) -> bool {
+        self.outstanding > 0
+            || self.mig.is_some()
+            || !self.out.is_empty()
+            || self.read_pending
+            || self.frames_pending
     }
 
     fn fail(&mut self, status: StatusCode, message: String) {
@@ -574,19 +933,34 @@ impl ServedConn {
         self.dead = true;
     }
 
-    /// Reads whatever the socket has without blocking.
+    /// Reads whatever the socket has without blocking, bounded per pass
+    /// (`DRAIN_CHUNKS_PER_PASS` chunks, and nothing while the decoder
+    /// holds over `INPUT_BACKLOG_BYTES` of already-decodable frames) so
+    /// one firehose cannot hold the I/O thread.  `read_pending` records
+    /// a bound being hit.
     fn drain_socket(&mut self) {
         if self.eof {
+            self.read_pending = false;
             return;
         }
         let mut chunk = [0u8; 64 * 1024];
+        let mut chunks = 0usize;
         loop {
+            let over_backlog =
+                self.decoder.buffered() > INPUT_BACKLOG_BYTES && self.decoder.has_complete_frame();
+            if over_backlog || chunks == DRAIN_CHUNKS_PER_PASS {
+                self.read_pending = true;
+                return;
+            }
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
                     self.eof = true;
                     break;
                 }
-                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Ok(n) => {
+                    self.decoder.extend(&chunk[..n]);
+                    chunks += 1;
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -595,13 +969,22 @@ impl ServedConn {
                 }
             }
         }
+        self.read_pending = false;
     }
 
-    /// Decodes and handles every complete frame buffered so far.
-    /// Returns `true` if any frame was handled.
+    /// Decodes and handles buffered frames, at most `FRAMES_PER_PASS`
+    /// per call so a backlogged connection shares the thread fairly
+    /// (`frames_pending` flags leftover work).  Returns `true` if any
+    /// frame was handled.
     fn process_frames(&mut self, control: &Arc<dyn ClusterControl>) -> bool {
         let mut progressed = false;
+        let mut handled = 0usize;
+        self.frames_pending = false;
         while !self.dead {
+            if handled == FRAMES_PER_PASS {
+                self.frames_pending = true;
+                break;
+            }
             let msg = match self.decoder.next_msg() {
                 Ok(Some(msg)) => msg,
                 Ok(None) => break,
@@ -611,6 +994,7 @@ impl ServedConn {
                 }
             };
             progressed = true;
+            handled += 1;
             match msg {
                 WireMsg::Hello { fabric_addr } => match control.connect_fabric(&fabric_addr) {
                     Ok(link) => self.link = Some(link),
@@ -627,12 +1011,17 @@ impl ServedConn {
                             }
                         }
                         if self.inflight.len() >= MAX_INFLIGHT_TIMINGS {
+                            // The shed entry's eventual reply will go
+                            // unmeasured; count it so the histograms'
+                            // under-sampling is visible.
                             self.inflight.pop_front();
+                            self.lat.timings_dropped.inc();
                         }
                         self.inflight
                             .push_back((batch.seq, Instant::now(), reads, upserts));
-                        if let Err(e) = link.send_batch(batch) {
-                            self.fail(e.status_code(), e.to_string());
+                        match link.send_batch(batch) {
+                            Ok(()) => self.outstanding += 1,
+                            Err(e) => self.fail(e.status_code(), e.to_string()),
                         }
                     }
                     None => self.fail(
@@ -833,6 +1222,7 @@ impl ServedConn {
             }
         }
         for seq in answered {
+            self.outstanding = self.outstanding.saturating_sub(1);
             self.record_batch_latency(seq);
         }
         if let Some(mig) = &self.mig {
@@ -858,12 +1248,16 @@ impl ServedConn {
     }
 }
 
-fn io_thread(
+/// The polling I/O loop (baseline): busy-scan every connection, sleeping
+/// 200µs when nothing moved.  CPU burn is linear in the number of idle
+/// connections — the property the reactor driver deletes.
+fn io_thread_polling(
     rx: Receiver<TcpStream>,
     control: Arc<dyn ClusterControl>,
     shutdown: Arc<AtomicBool>,
     max_frame: usize,
     latency: ServingLatency,
+    conn_metrics: ConnMetrics,
 ) {
     let mut conns: Vec<ServedConn> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -871,33 +1265,243 @@ fn io_thread(
 
         while let Ok(stream) = rx.try_recv() {
             did_work = true;
-            conns.push(ServedConn {
+            conn_metrics.open.add(1);
+            conns.push(ServedConn::new(
                 stream,
-                decoder: FrameDecoder::new(max_frame),
-                link: None,
-                mig: None,
-                eof: false,
-                dead: false,
-                lat: latency.clone(),
-                inflight: VecDeque::new(),
-            });
+                max_frame,
+                false,
+                latency.clone(),
+                conn_metrics.clone(),
+            ));
         }
 
         for conn in conns.iter_mut() {
             conn.drain_socket();
             did_work |= conn.process_frames(&control);
             did_work |= conn.pump_replies();
-            if conn.eof {
-                // The client hung up: every complete frame was just
-                // processed, a partial frame can never complete, and any
-                // replies still in flight on the fabric have nowhere to go.
+            if conn.eof && !conn.frames_pending {
+                // The client hung up and the per-pass frame bound has
+                // caught up with its backlog: a partial frame can never
+                // complete, and any replies still in flight on the
+                // fabric have nowhere to go.
                 conn.dead = true;
             }
         }
-        conns.retain(|c| !c.dead);
+        conns.retain(|c| {
+            if c.dead {
+                conn_metrics.open.sub(1);
+                if c.slow_reader {
+                    conn_metrics.dropped_slow_reader.inc();
+                } else {
+                    conn_metrics.dropped_dead.inc();
+                }
+            }
+            !c.dead
+        });
 
         if !did_work {
             std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// How many zero-timeout polls an I/O thread spins through while replies
+/// are outstanding before backing off to 1ms waits.  Dispatch threads
+/// answer in microseconds, so the spin usually catches the reply; the
+/// backoff bounds the burn when one is genuinely slow (a disk-resident
+/// read, a migration pause).
+const ACTIVE_SPIN_BUDGET: u32 = 256;
+
+/// One slot of the reactor loop's connection slab.  The generation is
+/// folded into the epoll token so a readiness event for a closed
+/// connection can never touch the slot's next tenant.
+struct ConnSlot {
+    gen: u32,
+    conn: Option<ServedConn>,
+}
+
+fn slot_token(idx: usize, gen: u32) -> Token {
+    Token(((gen as u64) << 32) | idx as u64)
+}
+
+fn token_slot(token: Token) -> (usize, u32) {
+    ((token.0 & 0xffff_ffff) as usize, (token.0 >> 32) as u32)
+}
+
+/// The reactor I/O loop: readiness-driven serving.
+///
+/// Connections register edge-triggered read interest; the loop services
+/// only connections with something to do (a readiness event, replies owed
+/// by a dispatch thread, buffered output).  With every connection quiet
+/// the thread blocks in `epoll_wait`, so idle connections cost no CPU.
+/// New connections arrive over `rx`, announced by a reactor wake from the
+/// acceptor; shutdown is announced the same way.
+fn io_thread_reactor(
+    reactor: Arc<Reactor>,
+    rx: Receiver<TcpStream>,
+    control: Arc<dyn ClusterControl>,
+    shutdown: Arc<AtomicBool>,
+    max_frame: usize,
+    latency: ServingLatency,
+    conn_metrics: ConnMetrics,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    let mut slots: Vec<ConnSlot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    // Indices of connections needing service this iteration (readiness
+    // event, outstanding replies, buffered output).  Keeping this list
+    // explicit is what makes the loop O(active), not O(connections).
+    let mut active: Vec<usize> = Vec::new();
+    let mut events = Vec::new();
+    let mut did_work = true;
+    let mut idle_spins = 0u32;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let timeout = if did_work {
+            idle_spins = 0;
+            Some(Duration::ZERO)
+        } else if !active.is_empty() {
+            // Replies are owed but nothing moved: spin briefly (dispatch
+            // threads answer in µs), then back off to 1ms waits.
+            idle_spins += 1;
+            if idle_spins < ACTIVE_SPIN_BUDGET {
+                Some(Duration::ZERO)
+            } else {
+                Some(Duration::from_millis(1))
+            }
+        } else {
+            // Every connection is quiet: block until an epoll event or an
+            // acceptor/shutdown wake.  This is the idle-connection win.
+            idle_spins = 0;
+            None
+        };
+        let _ = reactor.poll(&mut events, timeout);
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        did_work = false;
+
+        // Adopt connections handed over by the acceptor.
+        while let Ok(stream) = rx.try_recv() {
+            did_work = true;
+            let idx = free.pop().unwrap_or_else(|| {
+                slots.push(ConnSlot { gen: 0, conn: None });
+                slots.len() - 1
+            });
+            let token = slot_token(idx, slots[idx].gen);
+            let conn = ServedConn::new(
+                stream,
+                max_frame,
+                true,
+                latency.clone(),
+                conn_metrics.clone(),
+            );
+            match reactor.register(conn.stream.as_raw_fd(), token, Interest::READABLE) {
+                Ok(()) => {
+                    conn_metrics.open.add(1);
+                    let mut conn = conn;
+                    conn.in_active = true;
+                    slots[idx].conn = Some(conn);
+                    active.push(idx);
+                }
+                Err(_) => {
+                    // Registration fails only under fd exhaustion; drop
+                    // the connection rather than the thread.
+                    conn_metrics.dropped_dead.inc();
+                    free.push(idx);
+                }
+            }
+        }
+
+        // Apply readiness transitions.
+        for ev in &events {
+            let (idx, gen) = token_slot(ev.token);
+            let Some(slot) = slots.get_mut(idx) else {
+                continue;
+            };
+            if slot.gen != gen {
+                continue; // stale event for a previous tenant
+            }
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            if ev.readable {
+                conn.drain_socket();
+            }
+            if ev.writable {
+                conn.flush_out();
+            }
+            if ev.error {
+                conn.eof = true;
+            }
+            if !conn.in_active {
+                conn.in_active = true;
+                active.push(idx);
+            }
+        }
+
+        // Service the active set.
+        let mut i = 0;
+        while i < active.len() {
+            let idx = active[i];
+            let gen = slots[idx].gen;
+            let Some(conn) = slots[idx].conn.as_mut() else {
+                active.swap_remove(i);
+                continue;
+            };
+            if conn.read_pending {
+                // A per-pass bound stopped the last drain before the
+                // socket ran dry; edge-triggered epoll will not fire
+                // again for those bytes, so retry here.
+                conn.drain_socket();
+            }
+            let progressed = conn.process_frames(&control) | conn.pump_replies();
+            did_work |= progressed;
+            conn.flush_out();
+            if conn.eof && !conn.frames_pending && conn.out.is_empty() {
+                // The client hung up and nothing is left to flush toward
+                // it: replies still in flight have nowhere to go.
+                conn.dead = true;
+            }
+            if conn.dead {
+                let _ = reactor.deregister(conn.stream.as_raw_fd());
+                conn_metrics.open.sub(1);
+                if conn.slow_reader {
+                    conn_metrics.dropped_slow_reader.inc();
+                } else {
+                    conn_metrics.dropped_dead.inc();
+                }
+                slots[idx].conn = None;
+                slots[idx].gen = slots[idx].gen.wrapping_add(1);
+                free.push(idx);
+                active.swap_remove(i);
+                continue;
+            }
+            // Keep the epoll write interest in sync with buffered output.
+            let want = !conn.out.is_empty();
+            if want != conn.wants_write {
+                conn.wants_write = want;
+                let interest = if want {
+                    Interest::READABLE_WRITABLE
+                } else {
+                    Interest::READABLE
+                };
+                let token = slot_token(idx, gen);
+                let fd = conn.stream.as_raw_fd();
+                if reactor.reregister(fd, token, interest).is_err() {
+                    conn.dead = true;
+                    // Handled on the next service pass (stays active).
+                    i += 1;
+                    continue;
+                }
+            }
+            if conn.expects_async_traffic() {
+                i += 1;
+            } else {
+                conn.in_active = false;
+                active.swap_remove(i);
+            }
         }
     }
 }

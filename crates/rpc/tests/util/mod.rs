@@ -74,6 +74,8 @@ pub struct ServerSpawn {
     pub servers: usize,
     /// `--threads`.
     pub threads: usize,
+    /// `--io-threads` (`None` keeps the server's default).
+    pub io_threads: Option<usize>,
     /// `--base-id`.
     pub base_id: u32,
     /// `--layout` spec (`None` keeps the server's scale-out default).
@@ -85,6 +87,9 @@ pub struct ServerSpawn {
     pub sampling_ms: Option<u64>,
     /// `--tier` address of a shared blob tier daemon.
     pub tier: Option<String>,
+    /// `--io-driver` (`"reactor"` or `"polling"`; `None` keeps the
+    /// server's default).
+    pub io_driver: Option<String>,
     /// `--peer` specs registering servers in other processes.
     pub peers: Vec<String>,
 }
@@ -96,11 +101,13 @@ impl Default for ServerSpawn {
             listen_port: 0,
             servers: 2,
             threads: 2,
+            io_threads: None,
             base_id: 0,
             layout: None,
             memory_pages: None,
             sampling_ms: None,
             tier: None,
+            io_driver: None,
             peers: Vec::new(),
         }
     }
@@ -128,6 +135,9 @@ impl ServerSpawn {
             "--base-id",
             &self.base_id.to_string(),
         ]);
+        if let Some(io) = self.io_threads {
+            cmd.args(["--io-threads", &io.to_string()]);
+        }
         if let Some(layout) = &self.layout {
             cmd.args(["--layout", layout]);
         }
@@ -139,6 +149,9 @@ impl ServerSpawn {
         }
         if let Some(tier) = &self.tier {
             cmd.args(["--tier", tier]);
+        }
+        if let Some(driver) = &self.io_driver {
+            cmd.args(["--io-driver", driver]);
         }
         for peer in &self.peers {
             cmd.args(["--peer", peer]);
@@ -170,6 +183,12 @@ pub struct ServerProcess {
 }
 
 impl ServerProcess {
+    /// The process id (the connscale bench reads its per-thread CPU
+    /// accounting out of `/proc/<pid>/task`).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
     /// Kills the process now (used by tests that need a dead peer).
     pub fn kill(&mut self) {
         let _ = self.child.kill();
@@ -255,6 +274,10 @@ pub struct ProcessSpec {
     pub memory_pages: Option<u64>,
     /// `--sampling-ms` override.
     pub sampling_ms: Option<u64>,
+    /// `--io-driver` override (`"reactor"` or `"polling"`; `None` keeps
+    /// the server's default), so any N-process test can be exercised
+    /// against either serving driver.
+    pub io_driver: Option<&'static str>,
 }
 
 impl Default for ProcessSpec {
@@ -264,6 +287,7 @@ impl Default for ProcessSpec {
             threads: 2,
             memory_pages: None,
             sampling_ms: None,
+            io_driver: None,
         }
     }
 }
@@ -341,11 +365,13 @@ impl ClusterSpec {
                     listen_port: ports[i],
                     servers: p.servers,
                     threads: p.threads,
+                    io_threads: None,
                     base_id: base_ids[i],
                     layout: Some(self.layout.to_string()),
                     memory_pages: p.memory_pages,
                     sampling_ms: p.sampling_ms,
                     tier: tier.as_ref().map(|t| t.addr.clone()),
+                    io_driver: p.io_driver.map(str::to_string),
                     peers,
                 }
                 .spawn(),

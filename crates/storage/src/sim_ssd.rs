@@ -70,7 +70,9 @@ impl SimSsd {
     }
 
     fn check_range(&self, offset: u64, len: usize) -> Result<()> {
-        let end = offset + len as u64;
+        // Saturate so an offset near u64::MAX cannot wrap past the
+        // capacity check (and then index off the end of the chunk table).
+        let end = offset.saturating_add(len as u64);
         if end > self.capacity {
             return Err(DeviceError::OutOfCapacity {
                 end,
